@@ -1,0 +1,58 @@
+// Ablation E — architecture choice (paper §III-A-3: the CNN-LSTM
+// "effectively integrates feature maps' global and sequential information,
+// ultimately enhancing classification accuracy").
+//
+// Compares three architectures under the identical subject-independent
+// protocol (the Table I "General model" LOSO over x users):
+//   CNN-LSTM   — the paper's model,
+//   CNN-only   — same conv stack, dense head (the Sun et al. [18] style),
+//   LSTM-only  — raw feature columns as a sequence, no spatial features.
+//
+// Flags: --quick --users=N --epochs=N --seed=N --cache-dir=DIR
+#include "bench_common.hpp"
+#include "clear/evaluation.hpp"
+
+using namespace clear;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  core::ClearConfig config = bench::config_from_args(args);
+  config.general_model_users = static_cast<std::size_t>(
+      args.get_int("users", static_cast<std::int64_t>(
+                                config.general_model_users)));
+  const wemac::WemacDataset dataset = bench::load_dataset(config, args);
+
+  std::printf("Ablation: architecture (subject-independent LOSO over %zu "
+              "users)\n",
+              config.general_model_users);
+
+  struct Arch {
+    const char* name;
+    nn::ModelFactory factory;
+  };
+  const Arch archs[] = {
+      {"CNN-LSTM (paper)", nn::build_cnn_lstm},
+      {"CNN-only ([18]-style)", nn::build_cnn_only},
+      {"LSTM-only", nn::build_lstm_only},
+  };
+
+  AsciiTable table({"Architecture", "params", "Accuracy", "STD", "F1",
+                    "STD F1"});
+  table.set_title("Architecture ablation under the General-model protocol");
+  for (const Arch& arch : archs) {
+    CLEAR_INFO("training " << arch.name << "...");
+    Rng rng(1);
+    auto probe = arch.factory(config.model, rng);
+    const std::size_t params = probe->parameter_count();
+    const core::Aggregate agg =
+        core::run_general_model(dataset, config, arch.factory);
+    table.add_row({arch.name, std::to_string(params),
+                   AsciiTable::num(agg.accuracy.mean),
+                   AsciiTable::num(agg.accuracy.stddev),
+                   AsciiTable::num(agg.f1.mean),
+                   AsciiTable::num(agg.f1.stddev)});
+  }
+  std::printf("\n");
+  table.print();
+  return 0;
+}

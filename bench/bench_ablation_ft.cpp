@@ -1,0 +1,100 @@
+// Ablation B — labelled-data budget for fine-tuning (paper §III-B-2:
+// personalisation "with only a few labelled samples from the new user").
+//
+// Sweeps the fine-tuning label fraction over {0, 10, 20, 30, 40, 50} % of
+// the new user's recording and reports accuracy/F1 on a fixed held-out 50 %
+// test suffix, so every fraction is evaluated on the same maps.
+//
+// Flags: --quick --folds=12 --epochs=N --ft-epochs=N --seed=N --cache-dir=DIR
+#include "bench_common.hpp"
+#include "clear/evaluation.hpp"
+
+using namespace clear;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  core::ClearConfig config = bench::config_from_args(args);
+  const wemac::WemacDataset dataset = bench::load_dataset(config, args);
+  const std::size_t folds = static_cast<std::size_t>(
+      args.get_int("folds", 12));
+
+  std::printf("Ablation: fine-tuning label fraction (%zu LOSO folds)\n",
+              folds);
+
+  const std::vector<double> fractions = {0.0, 0.1, 0.2, 0.3, 0.4};
+  // Per fraction, per fold metrics.
+  std::vector<core::Aggregate> results(fractions.size());
+
+  for (std::size_t vx = 0; vx < std::min(folds, dataset.n_volunteers());
+       ++vx) {
+    CLEAR_INFO("fold " << vx + 1 << "...");
+    std::vector<std::size_t> train_users;
+    for (std::size_t u = 0; u < dataset.n_volunteers(); ++u)
+      if (u != vx) train_users.push_back(u);
+    core::ClearPipeline pipeline(config);
+    pipeline.fit(dataset, train_users, vx + 1);
+    const auto assignment =
+        pipeline.assign_user(dataset, vx, config.ca_fraction);
+
+    // Fixed test suffix: last 50 % of the user's trials.
+    const auto& all = dataset.samples_of(vx);
+    const std::size_t half = all.size() / 2;
+    const std::vector<std::size_t> test_idx(all.begin() +
+                                                static_cast<std::ptrdiff_t>(half),
+                                            all.end());
+    // Adaptation pool: everything before the test suffix, after the CA
+    // prefix, alternating classes (mirrors the stratified FT split).
+    const auto n_ca = std::max<std::size_t>(
+        1, static_cast<std::size_t>(config.ca_fraction *
+                                    static_cast<double>(all.size()) + 0.5));
+    std::vector<std::size_t> pool[2];
+    for (std::size_t i = n_ca; i < half; ++i)
+      pool[dataset.samples()[all[i]].label ? 1 : 0].push_back(all[i]);
+
+    for (std::size_t f = 0; f < fractions.size(); ++f) {
+      // Round to the nearest even budget: class-balanced adaptation sets.
+      const auto want = 2 * static_cast<std::size_t>(
+          fractions[f] * static_cast<double>(all.size()) / 2.0 + 0.5);
+      std::vector<std::size_t> ft_idx;
+      std::size_t take[2] = {0, 0};
+      for (std::size_t i = 0; i < want; ++i) {
+        std::size_t cls = i % 2 == 0 ? 1 : 0;
+        if (take[cls] >= pool[cls].size()) cls = 1 - cls;
+        if (take[cls] >= pool[cls].size()) break;
+        ft_idx.push_back(pool[cls][take[cls]++]);
+      }
+      if (ft_idx.size() < 2) {
+        // No (usable) labelled data: evaluate the cluster checkpoint as-is.
+        results[f].add(
+            pipeline.evaluate_on(dataset, assignment.cluster, test_idx));
+        continue;
+      }
+      auto personal = pipeline.clone_cluster_model(assignment.cluster);
+      pipeline.fine_tune_on(*personal, dataset, ft_idx, vx + 1);
+      const std::vector<Tensor> test_maps =
+          pipeline.normalize_samples(dataset, test_idx);
+      nn::MapDataset test_set;
+      for (std::size_t i = 0; i < test_maps.size(); ++i) {
+        test_set.maps.push_back(&test_maps[i]);
+        test_set.labels.push_back(static_cast<std::size_t>(
+            dataset.samples()[test_idx[i]].label));
+      }
+      results[f].add(nn::evaluate(*personal, test_set));
+    }
+  }
+
+  AsciiTable table({"FT label fraction", "Accuracy", "STD", "F1", "STD F1"});
+  table.set_title(
+      "Fine-tuning label-budget ablation (paper uses 20% labelled data)");
+  for (std::size_t f = 0; f < fractions.size(); ++f) {
+    results[f].finalize();
+    table.add_row({AsciiTable::num(fractions[f] * 100.0, 0) + "%",
+                   AsciiTable::num(results[f].accuracy.mean),
+                   AsciiTable::num(results[f].accuracy.stddev),
+                   AsciiTable::num(results[f].f1.mean),
+                   AsciiTable::num(results[f].f1.stddev)});
+  }
+  std::printf("\n");
+  table.print();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Ablation A — number of clusters K (paper §IV-A: "K = 4 offered the best
+// balance between intra-cluster similarity and inter-cluster separation").
+//
+// Sweeps K over [2, k-max], reporting the clustering quality indices
+// (silhouette, Davies-Bouldin, inertia for the elbow) and the downstream
+// CLEAR w/o FT accuracy over a subset of LOSO folds per K.
+//
+// Flags: --quick --k-min=2 --k-max=7 --folds-per-k=10 --epochs=N --seed=N
+//        --cache-dir=DIR --skip-downstream
+#include "bench_common.hpp"
+#include "clear/evaluation.hpp"
+#include "cluster/validity.hpp"
+
+using namespace clear;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  core::ClearConfig config = bench::config_from_args(args);
+  const wemac::WemacDataset dataset = bench::load_dataset(config, args);
+
+  const auto k_min = static_cast<std::size_t>(args.get_int("k-min", 2));
+  const auto k_max = static_cast<std::size_t>(args.get_int("k-max", 7));
+  const auto folds_per_k =
+      static_cast<std::size_t>(args.get_int("folds-per-k", 10));
+  const bool downstream = !args.get_bool("skip-downstream", false);
+
+  std::printf("Ablation: cluster count K in [%zu, %zu] (%zu volunteers)\n",
+              k_min, k_max, dataset.n_volunteers());
+
+  // Cluster-quality indices on the full population.
+  std::vector<std::size_t> all_users(dataset.n_volunteers());
+  for (std::size_t u = 0; u < all_users.size(); ++u) all_users[u] = u;
+  const features::FeatureNormalizer norm =
+      core::fit_normalizer(dataset, all_users);
+  const std::vector<Tensor> maps = core::normalize_all_maps(dataset, norm);
+  std::vector<std::vector<cluster::Point>> user_obs(dataset.n_volunteers());
+  std::vector<cluster::Point> user_points(dataset.n_volunteers());
+  for (std::size_t u = 0; u < dataset.n_volunteers(); ++u) {
+    user_obs[u] = core::map_observations(maps, dataset.samples_of(u));
+    user_points[u] = cluster::user_representation(user_obs[u]);
+  }
+
+  AsciiTable table({"K", "silhouette", "Davies-Bouldin", "inertia",
+                    "CLEAR w/o FT acc", "CA consistency"});
+  table.set_title("Cluster-count ablation (paper picked K = 4)");
+
+  for (std::size_t k = k_min; k <= k_max; ++k) {
+    Rng rng(config.seed ^ (k * 77));
+    cluster::GlobalClusteringConfig gc = config.gc;
+    gc.k = k;
+    const cluster::GlobalClusteringResult r =
+        cluster::global_clustering(user_obs, gc, rng);
+    const double sil =
+        cluster::silhouette(user_points, r.user_cluster, k);
+    const double db =
+        cluster::davies_bouldin(user_points, r.user_cluster, k);
+    std::vector<cluster::Point> centroids;
+    for (const auto& c : r.clusters) centroids.push_back(c.centroid);
+    const double inertia =
+        cluster::within_cluster_sse(user_points, r.user_cluster, centroids);
+
+    std::string acc = "--";
+    std::string ca = "--";
+    if (downstream) {
+      CLEAR_INFO("downstream CLEAR folds for K=" << k << "...");
+      core::ClearConfig kconfig = config;
+      kconfig.gc.k = k;
+      core::ClearOptions options;
+      options.max_folds = folds_per_k;
+      options.run_finetune = false;
+      const core::ClearValidationResult res =
+          core::run_clear_validation(dataset, kconfig, options);
+      acc = AsciiTable::num(res.no_ft.accuracy.mean) + " ± " +
+            AsciiTable::num(res.no_ft.accuracy.stddev);
+      ca = AsciiTable::num(res.ca_consistency * 100.0, 1) + "%";
+    }
+    table.add_row({std::to_string(k), AsciiTable::num(sil, 3),
+                   AsciiTable::num(db, 3), AsciiTable::num(inertia, 1), acc,
+                   ca});
+  }
+  std::printf("\n");
+  table.print();
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Ablation D — label-free personalization (paper §V future work: "reduce
+// the need for labelled data").
+//
+// Compares, on the same LOSO folds and test maps:
+//   1. the assigned cluster model as-is (CLEAR w/o FT),
+//   2. pseudo-label self-training on the user's *unlabeled* maps,
+//   3. supervised fine-tuning with the paper's 20 % labelled budget.
+// Also reports the pseudo-label precision (how often the self-assigned
+// labels were right).
+//
+// Flags: --quick --folds=16 --epochs=N --ft-epochs=N --confidence=0.8
+//        --rounds=2 --seed=N --cache-dir=DIR
+#include "bench_common.hpp"
+#include "clear/evaluation.hpp"
+#include "clear/pseudo_label.hpp"
+
+using namespace clear;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  core::ClearConfig config = bench::config_from_args(args);
+  const wemac::WemacDataset dataset = bench::load_dataset(config, args);
+  const std::size_t folds = std::min<std::size_t>(
+      static_cast<std::size_t>(args.get_int("folds", 16)),
+      dataset.n_volunteers());
+
+  core::PseudoLabelConfig pl;
+  pl.confidence_threshold = args.get_double("confidence", 0.80);
+  pl.rounds = static_cast<std::size_t>(args.get_int("rounds", 2));
+  pl.train = config.finetune;
+  pl.freeze_boundary = nn::fine_tune_boundary();
+
+  std::printf(
+      "Ablation: label-free personalization (%zu folds, confidence %.2f)\n",
+      folds, pl.confidence_threshold);
+
+  core::Aggregate no_ft;
+  core::Aggregate pseudo;
+  core::Aggregate supervised;
+  std::size_t adopted_total = 0;
+  std::size_t adopted_correct = 0;
+
+  for (std::size_t vx = 0; vx < folds; ++vx) {
+    CLEAR_INFO("fold " << vx + 1 << "/" << folds);
+    std::vector<std::size_t> train_users;
+    for (std::size_t u = 0; u < dataset.n_volunteers(); ++u)
+      if (u != vx) train_users.push_back(u);
+    core::ClearPipeline pipeline(config);
+    pipeline.fit(dataset, train_users, vx + 1);
+    const auto assignment =
+        pipeline.assign_user(dataset, vx, config.ca_fraction);
+    const core::UserSplit split = core::split_user_samples(
+        dataset, vx, config.ca_fraction, config.ft_fraction);
+
+    const std::vector<Tensor> test_maps =
+        pipeline.normalize_samples(dataset, split.test);
+    nn::MapDataset test_set;
+    for (std::size_t i = 0; i < test_maps.size(); ++i) {
+      test_set.maps.push_back(&test_maps[i]);
+      test_set.labels.push_back(static_cast<std::size_t>(
+          dataset.samples()[split.test[i]].label));
+    }
+
+    // 1. Cluster model as deployed.
+    {
+      auto model = pipeline.clone_cluster_model(assignment.cluster);
+      no_ft.add(nn::evaluate(*model, test_set));
+    }
+
+    // 2. Pseudo-label adaptation on the unlabeled CA+FT share (labels unread).
+    {
+      std::vector<std::size_t> unl_idx = split.ca;
+      unl_idx.insert(unl_idx.end(), split.ft.begin(), split.ft.end());
+      const std::vector<Tensor> unl_maps =
+          pipeline.normalize_samples(dataset, unl_idx);
+      std::vector<const Tensor*> unl_ptrs;
+      std::vector<std::size_t> truth;
+      for (std::size_t i = 0; i < unl_maps.size(); ++i) {
+        unl_ptrs.push_back(&unl_maps[i]);
+        truth.push_back(static_cast<std::size_t>(
+            dataset.samples()[unl_idx[i]].label));
+      }
+      auto model = pipeline.clone_cluster_model(assignment.cluster);
+      core::PseudoLabelConfig fold_pl = pl;
+      fold_pl.train.seed = config.seed ^ 0x9D ^ vx;
+      const core::PseudoLabelResult r =
+          core::pseudo_label_adapt(*model, unl_ptrs, fold_pl, &truth);
+      adopted_total += r.adopted_last_round;
+      adopted_correct += r.adopted_correct;
+      pseudo.add(nn::evaluate(*model, test_set));
+    }
+
+    // 3. Supervised fine-tuning (paper's 20 % labelled budget).
+    {
+      auto model = pipeline.clone_cluster_model(assignment.cluster);
+      pipeline.fine_tune_on(*model, dataset, split.ft, vx + 1);
+      supervised.add(nn::evaluate(*model, test_set));
+    }
+  }
+  no_ft.finalize();
+  pseudo.finalize();
+  supervised.finalize();
+
+  AsciiTable table({"Personalization", "labels used", "Accuracy", "STD",
+                    "F1", "STD F1"});
+  table.set_title("Label-free personalization ablation");
+  table.add_row({"none (CLEAR w/o FT)", "0",
+                 AsciiTable::num(no_ft.accuracy.mean),
+                 AsciiTable::num(no_ft.accuracy.stddev),
+                 AsciiTable::num(no_ft.f1.mean),
+                 AsciiTable::num(no_ft.f1.stddev)});
+  table.add_row({"pseudo-label self-training", "0",
+                 AsciiTable::num(pseudo.accuracy.mean),
+                 AsciiTable::num(pseudo.accuracy.stddev),
+                 AsciiTable::num(pseudo.f1.mean),
+                 AsciiTable::num(pseudo.f1.stddev)});
+  table.add_row({"supervised FT (paper)", "20%",
+                 AsciiTable::num(supervised.accuracy.mean),
+                 AsciiTable::num(supervised.accuracy.stddev),
+                 AsciiTable::num(supervised.f1.mean),
+                 AsciiTable::num(supervised.f1.stddev)});
+  std::printf("\n");
+  table.print();
+  if (adopted_total > 0) {
+    std::printf("\npseudo-label precision: %.1f%% (%zu of %zu adopted maps)\n",
+                100.0 * static_cast<double>(adopted_correct) /
+                    static_cast<double>(adopted_total),
+                adopted_correct, adopted_total);
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Shared plumbing for the table harnesses: configuration from CLI flags and
+// dataset caching.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "clear/config.hpp"
+#include "common/cli.hpp"
+#include "common/logging.hpp"
+#include "common/table.hpp"
+#include "wemac/dataset.hpp"
+
+namespace clear::bench {
+
+/// Build the experiment configuration from common CLI flags:
+///   --seed=N --volunteers=N --trials=N --epochs=N --ft-epochs=N
+///   --quick (small preset for a fast sanity pass)
+inline core::ClearConfig config_from_args(const CliArgs& args) {
+  core::ClearConfig config =
+      args.get_bool("quick", false) ? core::smoke_config()
+                                    : core::default_config();
+  config.data.seed =
+      static_cast<std::uint64_t>(args.get_int("seed", static_cast<std::int64_t>(config.data.seed)));
+  config.data.n_volunteers = static_cast<std::size_t>(
+      args.get_int("volunteers", static_cast<std::int64_t>(config.data.n_volunteers)));
+  config.data.trials_per_volunteer = static_cast<std::size_t>(
+      args.get_int("trials", static_cast<std::int64_t>(config.data.trials_per_volunteer)));
+  config.train.epochs = static_cast<std::size_t>(
+      args.get_int("epochs", static_cast<std::int64_t>(config.train.epochs)));
+  config.finetune.epochs = static_cast<std::size_t>(
+      args.get_int("ft-epochs", static_cast<std::int64_t>(config.finetune.epochs)));
+  config.finetune.lr = args.get_double("ft-lr", config.finetune.lr);
+  config.finalize();
+  return config;
+}
+
+/// Load (or generate + cache) the synthetic WEMAC dataset.
+inline wemac::WemacDataset load_dataset(const core::ClearConfig& config,
+                                        const CliArgs& args) {
+  const std::string cache_dir = args.get("cache-dir", "wemac_cache");
+  return wemac::generate_or_load(config.data, cache_dir);
+}
+
+/// "paper / measured" cell helper.
+inline std::string paper_vs(double paper, double measured) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%6.2f / %6.2f", paper, measured);
+  return buf;
+}
+
+}  // namespace clear::bench

@@ -1,0 +1,198 @@
+// Micro-benchmarks (google-benchmark): the op-level kernels behind the
+// tables — fp32 GEMM vs int8 GEMM, conv/LSTM forward+backward, end-to-end
+// CNN-LSTM inference at each precision, and the 123-feature extraction.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "edge/engine.hpp"
+#include "edge/qkernels.hpp"
+#include "features/feature_map.hpp"
+#include "nn/loss.hpp"
+#include "nn/model.hpp"
+#include "tensor/ops.hpp"
+#include "wemac/synth.hpp"
+
+namespace {
+
+using namespace clear;
+
+Tensor random_tensor(std::vector<std::size_t> shape, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(std::move(shape));
+  t.fill_normal(rng, 0.0f, 1.0f);
+  return t;
+}
+
+void BM_MatmulF32(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Tensor a = random_tensor({n, n}, 1);
+  const Tensor b = random_tensor({n, n}, 2);
+  for (auto _ : state) {
+    Tensor c = ops::matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_MatmulF32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmInt8(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Tensor af = random_tensor({n, n}, 3);
+  const Tensor bf = random_tensor({n, n}, 4);
+  const auto qa = edge::quantize_tensor(af, edge::calibrate_max_abs(af.flat()));
+  const auto qb = edge::quantize_tensor(bf, edge::calibrate_max_abs(bf.flat()));
+  std::vector<std::int32_t> acc(n * n);
+  for (auto _ : state) {
+    edge::int8_gemm(qa, qb, n, n, n, acc);
+    benchmark::DoNotOptimize(acc.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_GemmInt8)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_QuantizedConv(benchmark::State& state) {
+  // The paper model's second conv layer (12 channels over 6) in int8.
+  Rng rng(21);
+  Tensor w({12, 6 * 3 * 3});
+  w.fill_normal(rng, 0.0f, 0.3f);
+  Tensor bias({12});
+  bias.fill_normal(rng, 0.0f, 0.1f);
+  const edge::QuantizedConv2d conv(w, bias, 6, 3, 3, 1, 1);
+  Tensor x({1, 6, 61, 6});
+  x.fill_normal(rng, 0.0f, 1.0f);
+  const edge::QuantParams act = edge::calibrate_max_abs(x.flat());
+  for (auto _ : state) {
+    Tensor y = conv.forward(x, act);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_QuantizedConv);
+
+nn::CnnLstmConfig bench_model_config() {
+  nn::CnnLstmConfig c;
+  c.feature_dim = 123;
+  c.window_count = 12;
+  c.conv1_channels = 6;
+  c.conv2_channels = 12;
+  c.lstm_hidden = 32;
+  c.dropout = 0.0;
+  return c;
+}
+
+void BM_CnnLstmForward(benchmark::State& state) {
+  Rng rng(5);
+  auto model = nn::build_cnn_lstm(bench_model_config(), rng);
+  model->set_training(false);
+  const auto batch_size = static_cast<std::size_t>(state.range(0));
+  const Tensor batch = random_tensor({batch_size, 1, 123, 12}, 6);
+  for (auto _ : state) {
+    Tensor out = model->forward(batch);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch_size));
+}
+BENCHMARK(BM_CnnLstmForward)->Arg(1)->Arg(16);
+
+void BM_CnnLstmTrainStep(benchmark::State& state) {
+  Rng rng(7);
+  auto model = nn::build_cnn_lstm(bench_model_config(), rng);
+  model->set_training(true);
+  const Tensor batch = random_tensor({16, 1, 123, 12}, 8);
+  std::vector<std::size_t> labels(16);
+  for (std::size_t i = 0; i < 16; ++i) labels[i] = i % 2;
+  for (auto _ : state) {
+    const Tensor logits = model->forward(batch);
+    const nn::LossResult loss = nn::softmax_cross_entropy(logits, labels);
+    const Tensor grad = model->backward(loss.grad_logits);
+    benchmark::DoNotOptimize(grad.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_CnnLstmTrainStep);
+
+void BM_EdgeInference(benchmark::State& state) {
+  const auto precision = static_cast<edge::Precision>(state.range(0));
+  Rng rng(9);
+  auto model = nn::build_cnn_lstm(bench_model_config(), rng);
+  edge::EngineConfig ec;
+  ec.precision = precision;
+  edge::EdgeEngine engine(std::move(model), ec);
+  std::vector<Tensor> calib;
+  for (std::uint64_t i = 0; i < 8; ++i)
+    calib.push_back(random_tensor({123, 12}, 10 + i));
+  std::vector<const Tensor*> calib_ptrs;
+  for (const Tensor& t : calib) calib_ptrs.push_back(&t);
+  engine.calibrate(calib_ptrs);
+  const Tensor batch = random_tensor({1, 1, 123, 12}, 20);
+  for (auto _ : state) {
+    Tensor out = engine.forward(batch);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_EdgeInference)
+    ->Arg(static_cast<int>(edge::Precision::kFp32))
+    ->Arg(static_cast<int>(edge::Precision::kFp16))
+    ->Arg(static_cast<int>(edge::Precision::kInt8));
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  // One 10 s multi-modal window -> 123 features.
+  Rng prof_rng(11);
+  const wemac::VolunteerProfile profile = wemac::sample_profile(
+      wemac::default_archetypes()[0], 0, 0, prof_rng);
+  wemac::Stimulus stim;
+  stim.emotion = wemac::Emotion::kFear;
+  stim.duration_s = 10.0;
+  Rng trial_rng(12);
+  const wemac::TrialSignals trial =
+      wemac::synthesize_trial(profile, stim, {}, trial_rng);
+  const auto windows = wemac::slice_windows(trial, 10.0);
+  for (auto _ : state) {
+    auto f = features::extract_window_features(windows[0]);
+    benchmark::DoNotOptimize(f.data());
+  }
+}
+BENCHMARK(BM_FeatureExtraction);
+
+void BM_TrialSynthesis(benchmark::State& state) {
+  Rng prof_rng(13);
+  const wemac::VolunteerProfile profile = wemac::sample_profile(
+      wemac::default_archetypes()[1], 0, 1, prof_rng);
+  wemac::Stimulus stim;
+  stim.emotion = wemac::Emotion::kJoy;
+  stim.duration_s = 120.0;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    auto t = wemac::synthesize_trial(profile, stim, {}, rng);
+    benchmark::DoNotOptimize(t.bvp.data());
+  }
+}
+BENCHMARK(BM_TrialSynthesis);
+
+void BM_Fp16RoundTrip(benchmark::State& state) {
+  Tensor t = random_tensor({123, 12}, 14);
+  for (auto _ : state) {
+    Tensor copy = t;
+    edge::fp16_inplace(copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+}
+BENCHMARK(BM_Fp16RoundTrip);
+
+void BM_FakeQuantize(benchmark::State& state) {
+  Tensor t = random_tensor({123, 12}, 15);
+  const edge::QuantParams p = edge::calibrate_max_abs(t.flat());
+  for (auto _ : state) {
+    Tensor copy = t;
+    edge::fake_quantize_inplace(copy, p);
+    benchmark::DoNotOptimize(copy.data());
+  }
+}
+BENCHMARK(BM_FakeQuantize);
+
+}  // namespace
+
+BENCHMARK_MAIN();

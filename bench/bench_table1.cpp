@@ -1,0 +1,113 @@
+// Reproduces Table I: comparison of the proposed method with the existing
+// references for WEMAC (fear / non-fear), accuracy and F1 with standard
+// deviations across LOSO folds.
+//
+// Paper reference values are printed next to the measured ones. The two
+// state-of-the-art rows (Bindi, Sun et al.) are literature numbers quoted by
+// the paper — their systems are out of CLEAR's scope — so they appear as
+// reference-only rows.
+//
+// Flags: --quick --volunteers=N --trials=N --epochs=N --ft-epochs=N
+//        --max-folds=N --skip-cl --skip-general --skip-ft --seed=N
+//        --cache-dir=DIR
+#include "bench_common.hpp"
+#include "clear/evaluation.hpp"
+
+using namespace clear;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  core::ClearConfig config = bench::config_from_args(args);
+  const wemac::WemacDataset dataset = bench::load_dataset(config, args);
+
+  std::printf("Table I harness: %zu volunteers, %zu maps, K=%zu\n",
+              dataset.n_volunteers(), dataset.samples().size(), config.gc.k);
+
+  core::ClearOptions options;
+  options.max_folds = static_cast<std::size_t>(args.get_int("max-folds", 0));
+  options.run_finetune = !args.get_bool("skip-ft", false);
+  options.progress = [](std::size_t fold, std::size_t total) {
+    CLEAR_INFO("CLEAR validation fold " << fold + 1 << "/" << total);
+  };
+
+  // -- CL validation + RT CL -------------------------------------------------
+  core::ClValidationResult cl;
+  bool have_cl = !args.get_bool("skip-cl", false);
+  if (have_cl) {
+    CLEAR_INFO("running CL validation (intra-cluster LOSO)...");
+    cl = core::run_cl_validation(dataset, config);
+    std::printf("\nGC cluster sizes (paper: 17/13/7/7):");
+    for (const std::size_t s : cl.cluster_sizes) std::printf(" %zu", s);
+    std::printf("   silhouette=%.3f\n", cl.silhouette);
+  }
+
+  // -- General model ----------------------------------------------------------
+  core::Aggregate general;
+  bool have_general = !args.get_bool("skip-general", false);
+  if (have_general) {
+    CLEAR_INFO("running General model baseline (x="
+               << config.general_model_users << ", no clustering)...");
+    general = core::run_general_model(dataset, config);
+  }
+
+  // -- CLEAR validation --------------------------------------------------------
+  CLEAR_INFO("running CLEAR validation (full LOSO)...");
+  const core::ClearValidationResult clear_res =
+      core::run_clear_validation(dataset, config, options);
+
+  // -- Render -------------------------------------------------------------------
+  AsciiTable table({"Validation func", "Accuracy (paper/meas)",
+                    "STD (paper/meas)", "F1 (paper/meas)",
+                    "STD F1 (paper/meas)"});
+  table.set_title(
+      "TABLE I — fear vs non-fear on (synthetic) WEMAC; values in percent");
+  table.add_section("Previous works (reference rows from the paper)");
+  table.add_row({"Bindi [22]", "64.63 /   --  ", "16.56 /   --  ",
+                 "66.67 /   --  ", "17.31 /   --  "});
+  table.add_row({"Sun et al. [18]", "79.90 /   --  ", " 4.16 /   --  ",
+                 "78.13 /   --  ", " 6.52 /   --  "});
+  table.add_section("Without clustering");
+  if (have_general) {
+    table.add_row({"General Model",
+                   bench::paper_vs(75.00, general.accuracy.mean),
+                   bench::paper_vs(2.76, general.accuracy.stddev),
+                   bench::paper_vs(72.57, general.f1.mean),
+                   bench::paper_vs(3.12, general.f1.stddev)});
+  }
+  table.add_section("Clustering and Learning (CL) validation");
+  if (have_cl) {
+    table.add_row({"RT CL", bench::paper_vs(64.33, cl.rt.accuracy.mean),
+                   bench::paper_vs(1.80, cl.rt.accuracy.stddev),
+                   bench::paper_vs(62.42, cl.rt.f1.mean),
+                   bench::paper_vs(1.57, cl.rt.f1.stddev)});
+    table.add_row({"CL validation",
+                   bench::paper_vs(81.90, cl.cl.accuracy.mean),
+                   bench::paper_vs(3.44, cl.cl.accuracy.stddev),
+                   bench::paper_vs(80.41, cl.cl.f1.mean),
+                   bench::paper_vs(3.58, cl.cl.f1.stddev)});
+  }
+  table.add_section("CLEAR validation");
+  table.add_row({"RT CLEAR", bench::paper_vs(72.68, clear_res.rt.accuracy.mean),
+                 bench::paper_vs(5.10, clear_res.rt.accuracy.stddev),
+                 bench::paper_vs(70.98, clear_res.rt.f1.mean),
+                 bench::paper_vs(4.26, clear_res.rt.f1.stddev)});
+  table.add_row({"CLEAR w/o FT",
+                 bench::paper_vs(80.63, clear_res.no_ft.accuracy.mean),
+                 bench::paper_vs(4.22, clear_res.no_ft.accuracy.stddev),
+                 bench::paper_vs(79.97, clear_res.no_ft.f1.mean),
+                 bench::paper_vs(4.74, clear_res.no_ft.f1.stddev)});
+  if (options.run_finetune) {
+    table.add_row({"CLEAR w FT",
+                   bench::paper_vs(86.34, clear_res.with_ft.accuracy.mean),
+                   bench::paper_vs(4.04, clear_res.with_ft.accuracy.stddev),
+                   bench::paper_vs(86.03, clear_res.with_ft.f1.mean),
+                   bench::paper_vs(5.04, clear_res.with_ft.f1.stddev)});
+  }
+  std::printf("\n");
+  table.print();
+  std::printf(
+      "\nCA consistency (assigned cluster matches ground-truth archetype "
+      "majority): %.1f%%\n",
+      clear_res.ca_consistency * 100.0);
+  return 0;
+}

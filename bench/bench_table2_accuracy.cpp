@@ -1,0 +1,80 @@
+// Reproduces Table II (upper part): deployed CLEAR accuracy per platform
+// before on-device fine-tuning, plus the RT CLEAR robustness rows.
+//
+// Protocol: the CLEAR LOSO folds are run once (checkpoints + normalizer +
+// cold-start splits captured per fold), then each fold's checkpoints are
+// deployed onto the simulated devices — fp32 (GPU baseline), int8 with
+// activation calibration on the cluster's training maps (Coral TPU), and
+// fp16 (Pi + NCS2) — and evaluated on the held-out user's test maps.
+//
+// Flags: --quick --volunteers=N --epochs=N --max-folds=N --seed=N
+//        --cache-dir=DIR --act-percentile=P
+#include "bench_common.hpp"
+#include "clear/edge_eval.hpp"
+
+using namespace clear;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  core::ClearConfig config = bench::config_from_args(args);
+  const wemac::WemacDataset dataset = bench::load_dataset(config, args);
+
+  std::printf("Table II (upper) harness: %zu volunteers, %zu maps\n",
+              dataset.n_volunteers(), dataset.samples().size());
+
+  core::ClearOptions options;
+  options.max_folds = static_cast<std::size_t>(args.get_int("max-folds", 0));
+  options.keep_artifacts = true;
+  options.run_finetune = false;
+  options.progress = [](std::size_t fold, std::size_t total) {
+    CLEAR_INFO("CLEAR fold " << fold + 1 << "/" << total);
+  };
+  CLEAR_INFO("running CLEAR validation (capturing fold artifacts)...");
+  const core::ClearValidationResult clear_res =
+      core::run_clear_validation(dataset, config, options);
+
+  core::EdgeEvalOptions edge_options;
+  edge_options.run_finetune = false;
+  edge_options.act_percentile = args.get_double("act-percentile", 99.5);
+  edge_options.progress = [](std::size_t fold, std::size_t total) {
+    if ((fold + 1) % 10 == 0) CLEAR_INFO("edge fold " << fold + 1 << "/" << total);
+  };
+
+  CLEAR_INFO("deploying to Coral TPU (int8)...");
+  const core::EdgeEvalResult tpu = core::run_edge_validation(
+      dataset, config, clear_res.artifacts, edge::DeviceKind::kCoralTpu,
+      edge_options);
+  CLEAR_INFO("deploying to Pi + NCS2 (fp16)...");
+  const core::EdgeEvalResult ncs2 = core::run_edge_validation(
+      dataset, config, clear_res.artifacts, edge::DeviceKind::kPiNcs2,
+      edge_options);
+
+  AsciiTable table({"Platform", "Accuracy (paper/meas)", "STD (paper/meas)",
+                    "F1 (paper/meas)", "STD F1 (paper/meas)"});
+  table.set_title(
+      "TABLE II (upper) — deployed CLEAR w/o FT per platform; percent");
+  table.add_row({"GPU (baseline)",
+                 bench::paper_vs(80.63, clear_res.no_ft.accuracy.mean),
+                 bench::paper_vs(4.22, clear_res.no_ft.accuracy.stddev),
+                 bench::paper_vs(79.97, clear_res.no_ft.f1.mean),
+                 bench::paper_vs(4.74, clear_res.no_ft.f1.stddev)});
+  table.add_row({"Coral TPU", bench::paper_vs(74.17, tpu.no_ft.accuracy.mean),
+                 bench::paper_vs(3.84, tpu.no_ft.accuracy.stddev),
+                 bench::paper_vs(73.57, tpu.no_ft.f1.mean),
+                 bench::paper_vs(4.44, tpu.no_ft.f1.stddev)});
+  table.add_row({"  RT CLEAR", bench::paper_vs(65.32, tpu.rt.accuracy.mean),
+                 bench::paper_vs(5.42, tpu.rt.accuracy.stddev),
+                 bench::paper_vs(64.79, tpu.rt.f1.mean),
+                 bench::paper_vs(4.82, tpu.rt.f1.stddev)});
+  table.add_row({"Pi + NCS2", bench::paper_vs(79.03, ncs2.no_ft.accuracy.mean),
+                 bench::paper_vs(4.10, ncs2.no_ft.accuracy.stddev),
+                 bench::paper_vs(78.48, ncs2.no_ft.f1.mean),
+                 bench::paper_vs(4.76, ncs2.no_ft.f1.stddev)});
+  table.add_row({"  RT CLEAR", bench::paper_vs(68.47, ncs2.rt.accuracy.mean),
+                 bench::paper_vs(3.25, ncs2.rt.accuracy.stddev),
+                 bench::paper_vs(69.02, ncs2.rt.f1.mean),
+                 bench::paper_vs(4.14, ncs2.rt.f1.stddev)});
+  std::printf("\n");
+  table.print();
+  return 0;
+}

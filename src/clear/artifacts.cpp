@@ -1,0 +1,181 @@
+#include "clear/artifacts.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "tensor/serialize.hpp"
+
+namespace clear::core {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::uint64_t kMetaMagic = 0x434C4541524D4554ull;  // "CLEARMET"
+constexpr std::uint64_t kMetaVersion = 1;
+
+void write_point(std::ostream& os, const cluster::Point& p) {
+  io::write_u64(os, p.size());
+  for (const double v : p) io::write_f64(os, v);
+}
+
+cluster::Point read_point(std::istream& is) {
+  const std::uint64_t n = io::read_u64(is);
+  CLEAR_CHECK_MSG(n < (1u << 20), "implausible point dimension");
+  cluster::Point p(n);
+  for (double& v : p) v = io::read_f64(is);
+  return p;
+}
+
+void write_index_vector(std::ostream& os, const std::vector<std::size_t>& v) {
+  io::write_u64(os, v.size());
+  for (const std::size_t x : v) io::write_u64(os, x);
+}
+
+std::vector<std::size_t> read_index_vector(std::istream& is) {
+  const std::uint64_t n = io::read_u64(is);
+  CLEAR_CHECK_MSG(n < (1u << 24), "implausible index vector length");
+  std::vector<std::size_t> v(n);
+  for (std::size_t& x : v) x = io::read_u64(is);
+  return v;
+}
+
+void write_model_config(std::ostream& os, const nn::CnnLstmConfig& c) {
+  io::write_u64(os, c.feature_dim);
+  io::write_u64(os, c.window_count);
+  io::write_u64(os, c.conv1_channels);
+  io::write_u64(os, c.conv2_channels);
+  io::write_u64(os, c.lstm_hidden);
+  io::write_u64(os, c.n_classes);
+  io::write_f64(os, c.dropout);
+}
+
+nn::CnnLstmConfig read_model_config(std::istream& is) {
+  nn::CnnLstmConfig c;
+  c.feature_dim = io::read_u64(is);
+  c.window_count = io::read_u64(is);
+  c.conv1_channels = io::read_u64(is);
+  c.conv2_channels = io::read_u64(is);
+  c.lstm_hidden = io::read_u64(is);
+  c.n_classes = io::read_u64(is);
+  c.dropout = io::read_f64(is);
+  return c;
+}
+
+}  // namespace
+
+void save_pipeline(ClearPipeline& pipeline, const std::string& directory) {
+  CLEAR_CHECK_MSG(pipeline.fitted(), "cannot save an unfitted pipeline");
+  const fs::path dir(directory);
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  CLEAR_CHECK_MSG(!ec, "cannot create artifact directory: " << directory);
+
+  ClearPipeline::State state = pipeline.export_state();
+  const ClearConfig& config = pipeline.config();
+
+  std::ofstream meta(dir / "pipeline.meta", std::ios::binary);
+  CLEAR_CHECK_MSG(meta.good(), "cannot write pipeline.meta");
+  io::write_u64(meta, kMetaMagic);
+  io::write_u64(meta, kMetaVersion);
+  // Configuration needed to rebuild models and reproduce assignment.
+  write_model_config(meta, config.model);
+  io::write_u64(meta, config.gc.k);
+  io::write_u64(meta, config.gc.sub_clusters);
+  io::write_f64(meta, config.ca_fraction);
+  io::write_f64(meta, config.ft_fraction);
+  io::write_u64(meta, config.seed);
+  io::write_u64(meta, config.finetune.epochs);
+  io::write_f64(meta, config.finetune.lr);
+  io::write_u64(meta, config.finetune.batch_size);
+  // Fitted users.
+  write_index_vector(meta, state.users);
+  // Normalizer moments.
+  write_point(meta, state.normalizer.mean());
+  write_point(meta, state.normalizer.stddev());
+  // Clustering.
+  write_index_vector(meta, state.clustering.user_cluster);
+  io::write_u64(meta, state.clustering.clusters.size());
+  for (const cluster::ClusterModel& c : state.clustering.clusters) {
+    write_point(meta, c.centroid);
+    io::write_u64(meta, c.sub_centroids.size());
+    for (const cluster::Point& sc : c.sub_centroids) write_point(meta, sc);
+    write_index_vector(meta, c.members);
+  }
+  io::write_u64(meta, state.clustering.rounds_run);
+  io::write_u64(meta, state.clustering.converged ? 1 : 0);
+  CLEAR_CHECK_MSG(meta.good(), "IO error writing pipeline.meta");
+
+  for (std::size_t k = 0; k < state.checkpoints.size(); ++k) {
+    const fs::path file = dir / ("cluster_" + std::to_string(k) + ".ckpt");
+    std::ofstream os(file, std::ios::binary);
+    CLEAR_CHECK_MSG(os.good(), "cannot write " << file.string());
+    os.write(state.checkpoints[k].data(),
+             static_cast<std::streamsize>(state.checkpoints[k].size()));
+    CLEAR_CHECK_MSG(os.good(), "IO error writing " << file.string());
+  }
+}
+
+ClearPipeline load_pipeline(const std::string& directory) {
+  const fs::path dir(directory);
+  std::ifstream meta(dir / "pipeline.meta", std::ios::binary);
+  CLEAR_CHECK_MSG(meta.good(),
+                  "cannot open " << (dir / "pipeline.meta").string());
+  CLEAR_CHECK_MSG(io::read_u64(meta) == kMetaMagic, "bad pipeline.meta magic");
+  CLEAR_CHECK_MSG(io::read_u64(meta) == kMetaVersion,
+                  "unsupported pipeline.meta version");
+
+  ClearConfig config = default_config();
+  config.model = read_model_config(meta);
+  config.gc.k = io::read_u64(meta);
+  config.gc.sub_clusters = io::read_u64(meta);
+  config.ca_fraction = io::read_f64(meta);
+  config.ft_fraction = io::read_f64(meta);
+  config.seed = io::read_u64(meta);
+  config.finetune.epochs = io::read_u64(meta);
+  config.finetune.lr = io::read_f64(meta);
+  config.finetune.batch_size = io::read_u64(meta);
+  // Keep the persisted model geometry (finalize() would overwrite it from
+  // the default data config).
+  config.data.windows_per_trial = config.model.window_count;
+
+  ClearPipeline::State state;
+  state.users = read_index_vector(meta);
+  cluster::Point mean = read_point(meta);
+  cluster::Point stddev = read_point(meta);
+  state.normalizer =
+      features::FeatureNormalizer::from_moments(std::move(mean),
+                                                std::move(stddev));
+  state.clustering.user_cluster = read_index_vector(meta);
+  const std::uint64_t n_clusters = io::read_u64(meta);
+  CLEAR_CHECK_MSG(n_clusters >= 1 && n_clusters < 256,
+                  "implausible cluster count");
+  for (std::uint64_t k = 0; k < n_clusters; ++k) {
+    cluster::ClusterModel c;
+    c.centroid = read_point(meta);
+    const std::uint64_t n_sub = io::read_u64(meta);
+    CLEAR_CHECK_MSG(n_sub >= 1 && n_sub < 1024, "implausible sub-cluster count");
+    for (std::uint64_t i = 0; i < n_sub; ++i)
+      c.sub_centroids.push_back(read_point(meta));
+    c.members = read_index_vector(meta);
+    state.clustering.clusters.push_back(std::move(c));
+  }
+  state.clustering.rounds_run = io::read_u64(meta);
+  state.clustering.converged = io::read_u64(meta) != 0;
+
+  for (std::uint64_t k = 0; k < n_clusters; ++k) {
+    const fs::path file = dir / ("cluster_" + std::to_string(k) + ".ckpt");
+    std::ifstream is(file, std::ios::binary);
+    CLEAR_CHECK_MSG(is.good(), "cannot open " << file.string());
+    std::string bytes((std::istreambuf_iterator<char>(is)),
+                      std::istreambuf_iterator<char>());
+    state.checkpoints.push_back(std::move(bytes));
+  }
+
+  ClearPipeline pipeline(config);
+  pipeline.import_state(std::move(state));
+  return pipeline;
+}
+
+}  // namespace clear::core

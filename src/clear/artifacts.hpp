@@ -1,0 +1,26 @@
+// On-disk deployment artifacts for a fitted ClearPipeline.
+//
+// Directory layout (what the paper's cloud stage ships to the edge):
+//   <dir>/pipeline.meta   — config, fitted users, normalizer, clustering
+//   <dir>/cluster_<k>.ckpt — one CNN-LSTM checkpoint per cluster
+//
+// load_pipeline() restores an equivalent pipeline: same assignments, same
+// predictions, without access to the training data.
+#pragma once
+
+#include <string>
+
+#include "clear/pipeline.hpp"
+
+namespace clear::core {
+
+/// Persist a fitted pipeline. Creates `directory` if needed; overwrites
+/// existing artifact files. Throws clear::Error on IO failure or if the
+/// pipeline is not fitted.
+void save_pipeline(ClearPipeline& pipeline, const std::string& directory);
+
+/// Restore a pipeline saved by save_pipeline(). Throws clear::Error on
+/// missing/corrupt artifacts.
+ClearPipeline load_pipeline(const std::string& directory);
+
+}  // namespace clear::core

@@ -1,0 +1,60 @@
+#include "clear/config.hpp"
+
+namespace clear::core {
+
+void ClearConfig::finalize() {
+  model.feature_dim = 123;
+  model.window_count = data.windows_per_trial;
+}
+
+ClearConfig default_config() {
+  ClearConfig c;
+  c.data.seed = 42;
+  c.data.n_volunteers = 47;
+  c.data.trials_per_volunteer = 17;
+  c.data.windows_per_trial = 12;
+  c.data.window_seconds = 10.0;
+
+  c.gc.k = 4;
+  c.gc.refinement_rounds = 12;
+  c.gc.subsample_fraction = 0.7;
+  c.gc.sub_clusters = 3;
+
+  c.model.conv1_channels = 6;
+  c.model.conv2_channels = 12;
+  c.model.lstm_hidden = 32;
+  c.model.dropout = 0.15;
+
+  c.train.epochs = 10;
+  c.train.batch_size = 16;
+  c.train.lr = 1.5e-3;
+  c.train.weight_decay = 1e-4;
+  c.train.validation_fraction = 0.15;
+  c.train.keep_best = true;
+
+  c.finetune.epochs = 25;
+  c.finetune.batch_size = 4;
+  c.finetune.lr = 1e-3;
+  c.finetune.weight_decay = 1e-4;
+  c.finetune.validation_fraction = 0.0;  // Too few samples to split.
+  c.finetune.keep_best = false;
+
+  c.finalize();
+  return c;
+}
+
+ClearConfig smoke_config() {
+  ClearConfig c = default_config();
+  c.data.n_volunteers = 12;
+  c.data.trials_per_volunteer = 6;
+  c.data.windows_per_trial = 8;
+  c.data.window_seconds = 8.0;
+  c.gc.refinement_rounds = 4;
+  c.train.epochs = 3;
+  c.finetune.epochs = 4;
+  c.general_model_users = 5;
+  c.finalize();
+  return c;
+}
+
+}  // namespace clear::core

@@ -1,0 +1,40 @@
+// Experiment configuration shared by the CLEAR pipeline, the evaluation
+// drivers, and the bench harnesses.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/global_clustering.hpp"
+#include "nn/model.hpp"
+#include "nn/trainer.hpp"
+#include "wemac/dataset.hpp"
+
+namespace clear::core {
+
+struct ClearConfig {
+  wemac::WemacConfig data;                 ///< Synthetic WEMAC parameters.
+  /// Global clustering (paper: K = 4). Setting gc.k = 0 makes
+  /// ClearPipeline::fit select K automatically by silhouette.
+  cluster::GlobalClusteringConfig gc;
+  nn::CnnLstmConfig model;                 ///< CNN-LSTM architecture.
+  nn::TrainConfig train;                   ///< Cloud pre-training.
+  nn::TrainConfig finetune;                ///< Edge fine-tuning.
+
+  double ca_fraction = 0.10;   ///< Unlabeled share for cluster assignment.
+  double ft_fraction = 0.20;   ///< Labeled share for fine-tuning.
+  std::size_t general_model_users = 11;  ///< x for the General baseline.
+  std::uint64_t seed = 7;
+
+  /// Consistency fix-ups (model geometry follows the data geometry).
+  void finalize();
+};
+
+/// Paper-faithful default configuration, sized so the full LOSO tables run
+/// in minutes on a laptop-class single core.
+ClearConfig default_config();
+
+/// Reduced configuration for unit/integration tests (fewer volunteers,
+/// fewer trials, fewer epochs). Exercises every code path quickly.
+ClearConfig smoke_config();
+
+}  // namespace clear::core

@@ -1,0 +1,104 @@
+#include "clear/data_prep.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace clear::core {
+
+features::FeatureNormalizer fit_normalizer(
+    const wemac::WemacDataset& dataset,
+    const std::vector<std::size_t>& user_ids) {
+  CLEAR_CHECK_MSG(!user_ids.empty(), "normalizer needs at least one user");
+  std::vector<Tensor> maps;
+  for (const std::size_t user : user_ids)
+    for (const std::size_t s : dataset.samples_of(user))
+      maps.push_back(dataset.samples()[s].feature_map);
+  features::FeatureNormalizer normalizer;
+  normalizer.fit_maps(maps);
+  return normalizer;
+}
+
+std::vector<Tensor> normalize_all_maps(
+    const wemac::WemacDataset& dataset,
+    const features::FeatureNormalizer& normalizer) {
+  std::vector<Tensor> maps;
+  maps.reserve(dataset.samples().size());
+  for (const wemac::Sample& s : dataset.samples()) {
+    Tensor m = s.feature_map;
+    normalizer.apply_map(m);
+    maps.push_back(std::move(m));
+  }
+  return maps;
+}
+
+std::vector<cluster::Point> map_observations(
+    const std::vector<Tensor>& normalized_maps,
+    const std::vector<std::size_t>& sample_indices) {
+  std::vector<cluster::Point> obs;
+  obs.reserve(sample_indices.size());
+  for (const std::size_t s : sample_indices) {
+    CLEAR_CHECK_MSG(s < normalized_maps.size(), "sample index out of range");
+    obs.push_back(features::feature_map_mean(normalized_maps[s]));
+  }
+  return obs;
+}
+
+nn::MapDataset make_map_dataset(
+    const wemac::WemacDataset& dataset,
+    const std::vector<Tensor>& normalized_maps,
+    const std::vector<std::size_t>& sample_indices) {
+  nn::MapDataset out;
+  out.maps.reserve(sample_indices.size());
+  out.labels.reserve(sample_indices.size());
+  for (const std::size_t s : sample_indices) {
+    CLEAR_CHECK_MSG(s < normalized_maps.size(), "sample index out of range");
+    out.maps.push_back(&normalized_maps[s]);
+    out.labels.push_back(static_cast<std::size_t>(dataset.samples()[s].label));
+  }
+  return out;
+}
+
+UserSplit split_user_samples(const wemac::WemacDataset& dataset,
+                             std::size_t user_id, double ca_fraction,
+                             double ft_fraction) {
+  CLEAR_CHECK_MSG(ca_fraction >= 0.0 && ft_fraction >= 0.0 &&
+                      ca_fraction + ft_fraction < 1.0,
+                  "CA+FT fractions must leave room for a test set");
+  const std::vector<std::size_t>& all = dataset.samples_of(user_id);
+  CLEAR_CHECK_MSG(all.size() >= 3, "user has too few samples to split");
+  const double n = static_cast<double>(all.size());
+  auto n_ca = static_cast<std::size_t>(std::ceil(ca_fraction * n));
+  auto n_ft = static_cast<std::size_t>(std::ceil(ft_fraction * n));
+  if (ca_fraction > 0.0) n_ca = std::max<std::size_t>(1, n_ca);
+  if (ft_fraction > 0.0) n_ft = std::max<std::size_t>(2, n_ft);
+  CLEAR_CHECK_MSG(n_ca + n_ft < all.size(),
+                  "CA+FT split leaves no test samples");
+  UserSplit split;
+  for (std::size_t i = 0; i < n_ca; ++i) split.ca.push_back(all[i]);
+  // FT selection is stratified: alternate classes in trial order so the few
+  // labelled adaptation maps cover both fear and non-fear whenever the user
+  // has both. A single-class adaptation set would make fine-tuning
+  // destructive rather than personalizing.
+  std::vector<std::size_t> remaining(all.begin() +
+                                         static_cast<std::ptrdiff_t>(n_ca),
+                                     all.end());
+  std::vector<std::size_t> by_class[2];
+  for (const std::size_t s : remaining)
+    by_class[dataset.samples()[s].label ? 1 : 0].push_back(s);
+  std::size_t take[2] = {0, 0};
+  for (std::size_t i = 0; i < n_ft; ++i) {
+    std::size_t cls = i % 2 == 0 ? 1 : 0;  // Alternate, fear (1) first.
+    if (take[cls] >= by_class[cls].size()) cls = 1 - cls;
+    if (take[cls] >= by_class[cls].size()) break;  // Both exhausted.
+    split.ft.push_back(by_class[cls][take[cls]++]);
+  }
+  std::sort(split.ft.begin(), split.ft.end());
+  for (const std::size_t s : remaining)
+    if (!std::binary_search(split.ft.begin(), split.ft.end(), s))
+      split.test.push_back(s);
+  return split;
+}
+
+}  // namespace clear::core

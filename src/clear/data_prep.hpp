@@ -1,0 +1,50 @@
+// Bridging the WEMAC dataset to the clustering and training components:
+// per-fold feature normalization (fitted on training users only) and the
+// construction of clustering observations and map datasets.
+#pragma once
+
+#include <vector>
+
+#include "cluster/kmeans.hpp"
+#include "features/feature_map.hpp"
+#include "nn/trainer.hpp"
+#include "wemac/dataset.hpp"
+
+namespace clear::core {
+
+/// Fit a per-feature z-score normalizer on all maps of the given users.
+features::FeatureNormalizer fit_normalizer(
+    const wemac::WemacDataset& dataset,
+    const std::vector<std::size_t>& user_ids);
+
+/// Normalized copies of every map in the dataset, index-aligned with
+/// dataset.samples(). (Materializing all maps is a few MB and keeps the
+/// fold logic simple.)
+std::vector<Tensor> normalize_all_maps(
+    const wemac::WemacDataset& dataset,
+    const features::FeatureNormalizer& normalizer);
+
+/// Clustering observation for each listed sample: the column-mean feature
+/// vector of its normalized map.
+std::vector<cluster::Point> map_observations(
+    const std::vector<Tensor>& normalized_maps,
+    const std::vector<std::size_t>& sample_indices);
+
+/// Labelled map dataset over the listed samples (maps borrowed from
+/// `normalized_maps`, which must outlive the result).
+nn::MapDataset make_map_dataset(const wemac::WemacDataset& dataset,
+                                const std::vector<Tensor>& normalized_maps,
+                                const std::vector<std::size_t>& sample_indices);
+
+/// Split one user's samples (in trial order) into the cold-start protocol's
+/// three contiguous parts: CA (unlabeled), FT (labelled), and test.
+struct UserSplit {
+  std::vector<std::size_t> ca;    ///< Sample indices for cluster assignment.
+  std::vector<std::size_t> ft;    ///< Sample indices for fine-tuning.
+  std::vector<std::size_t> test;  ///< Held-out evaluation samples.
+};
+UserSplit split_user_samples(const wemac::WemacDataset& dataset,
+                             std::size_t user_id, double ca_fraction,
+                             double ft_fraction);
+
+}  // namespace clear::core

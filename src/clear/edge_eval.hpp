@@ -1,0 +1,41 @@
+// Edge validation (Table II): deploy the per-fold CLEAR checkpoints onto the
+// simulated devices, re-run the cold-start evaluation at each device's
+// precision, fine-tune on-device, and estimate time / power with the cost
+// model.
+#pragma once
+
+#include "clear/evaluation.hpp"
+#include "edge/cost_model.hpp"
+
+namespace clear::core {
+
+struct EdgeEvalResult {
+  edge::DeviceKind device = edge::DeviceKind::kGpu;
+  Aggregate no_ft;    ///< Deployed accuracy without fine-tuning.
+  Aggregate rt;       ///< RT CLEAR at device precision.
+  Aggregate with_ft;  ///< After on-device fine-tuning.
+  edge::CostEstimate infer_cost;  ///< Per-map inference (MTC/MPC "Test").
+  edge::CostEstimate ft_cost;     ///< Per-session ("Re-training").
+};
+
+struct EdgeEvalOptions {
+  bool run_finetune = true;
+  /// Activation-calibration percentile for the int8 path.
+  double act_percentile = 99.5;
+  std::function<void(std::size_t fold, std::size_t total)> progress;
+};
+
+/// Re-evaluate the folds captured by run_clear_validation(keep_artifacts) on
+/// one device. The artifacts carry everything needed: normalizer, clustering,
+/// per-cluster checkpoints, and the V_x CA/FT/test splits.
+EdgeEvalResult run_edge_validation(const wemac::WemacDataset& dataset,
+                                   const ClearConfig& config,
+                                   const std::vector<ClearFoldArtifacts>& folds,
+                                   edge::DeviceKind device,
+                                   const EdgeEvalOptions& options = {});
+
+/// Build a model of the given architecture from checkpoint bytes.
+std::unique_ptr<nn::Sequential> model_from_checkpoint_bytes(
+    const nn::CnnLstmConfig& config, const std::string& bytes);
+
+}  // namespace clear::core

@@ -1,0 +1,266 @@
+#include "clear/evaluation.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "cluster/validity.hpp"
+
+namespace clear::core {
+
+void Aggregate::add(const nn::BinaryMetrics& m) {
+  add_percent(m.accuracy * 100.0, m.f1 * 100.0);
+}
+
+void Aggregate::add_percent(double acc_pct, double f1_pct) {
+  fold_accuracy.push_back(acc_pct);
+  fold_f1.push_back(f1_pct);
+}
+
+void Aggregate::finalize() {
+  accuracy = nn::mean_std(fold_accuracy);
+  f1 = nn::mean_std(fold_f1);
+}
+
+namespace {
+
+/// Train a model on `train_samples` and evaluate it on `test_samples`,
+/// normalizing with `normalizer` (fitted by the caller on training users).
+nn::BinaryMetrics train_and_test(const wemac::WemacDataset& dataset,
+                                 const features::FeatureNormalizer& normalizer,
+                                 const std::vector<std::size_t>& train_samples,
+                                 const std::vector<std::size_t>& test_samples,
+                                 const ClearConfig& config,
+                                 std::uint64_t seed_salt,
+                                 std::vector<Tensor>& normalized_storage,
+                                 std::unique_ptr<nn::Sequential>* model_out,
+                                 nn::ModelFactory factory = nn::build_cnn_lstm) {
+  normalized_storage = normalize_all_maps(dataset, normalizer);
+  const nn::MapDataset train_set =
+      make_map_dataset(dataset, normalized_storage, train_samples);
+  const nn::MapDataset test_set =
+      make_map_dataset(dataset, normalized_storage, test_samples);
+  Rng rng(config.seed ^ (seed_salt * 0xA24BAED4963EE407ull));
+  auto model = factory(config.model, rng);
+  nn::TrainConfig tc = config.train;
+  tc.seed = config.seed ^ seed_salt;
+  nn::train_classifier(*model, train_set, tc);
+  const nn::BinaryMetrics metrics = nn::evaluate(*model, test_set);
+  if (model_out) *model_out = std::move(model);
+  return metrics;
+}
+
+std::vector<std::size_t> samples_of_users(
+    const wemac::WemacDataset& dataset,
+    const std::vector<std::size_t>& users) {
+  std::vector<std::size_t> out;
+  for (const std::size_t u : users)
+    for (const std::size_t s : dataset.samples_of(u)) out.push_back(s);
+  return out;
+}
+
+}  // namespace
+
+std::size_t dominant_archetype(const wemac::WemacDataset& dataset,
+                               const std::vector<std::size_t>& fitted_users,
+                               const cluster::ClusterModel& cluster) {
+  std::vector<std::size_t> counts(wemac::kNumArchetypes, 0);
+  for (const std::size_t member : cluster.members) {
+    CLEAR_CHECK_MSG(member < fitted_users.size(),
+                    "cluster member index out of range");
+    const std::size_t user = fitted_users[member];
+    ++counts[dataset.volunteers()[user].archetype_id];
+  }
+  std::size_t best = 0;
+  for (std::size_t a = 1; a < counts.size(); ++a)
+    if (counts[a] > counts[best]) best = a;
+  return best;
+}
+
+ClValidationResult run_cl_validation(const wemac::WemacDataset& dataset,
+                                     const ClearConfig& config) {
+  ClValidationResult result;
+  const std::size_t n_users = dataset.n_volunteers();
+  std::vector<std::size_t> all_users(n_users);
+  for (std::size_t u = 0; u < n_users; ++u) all_users[u] = u;
+
+  // GC on the complete population (the paper's CL protocol).
+  const features::FeatureNormalizer normalizer =
+      fit_normalizer(dataset, all_users);
+  const std::vector<Tensor> normalized = normalize_all_maps(dataset, normalizer);
+  std::vector<std::vector<cluster::Point>> user_obs(n_users);
+  std::vector<cluster::Point> user_points(n_users);
+  for (std::size_t u = 0; u < n_users; ++u) {
+    user_obs[u] = map_observations(normalized, dataset.samples_of(u));
+    user_points[u] = cluster::user_representation(user_obs[u]);
+  }
+  Rng gc_rng(config.seed ^ 0xC1);
+  const cluster::GlobalClusteringResult gc =
+      cluster::global_clustering(user_obs, config.gc, gc_rng);
+  for (const auto& c : gc.clusters)
+    result.cluster_sizes.push_back(c.members.size());
+  result.silhouette =
+      cluster::silhouette(user_points, gc.user_cluster, config.gc.k);
+
+  // Intra-cluster LOSO.
+  for (std::size_t k = 0; k < config.gc.k; ++k) {
+    const std::vector<std::size_t>& members = gc.clusters[k].members;
+    if (members.size() < 2) {
+      CLEAR_WARN("cluster " << k << " too small for intra-cluster LOSO");
+      continue;
+    }
+    // Users outside this cluster, for the robustness test.
+    std::vector<std::size_t> outside;
+    for (std::size_t u = 0; u < n_users; ++u)
+      if (gc.user_cluster[u] != k) outside.push_back(u);
+    const std::vector<std::size_t> outside_samples =
+        samples_of_users(dataset, outside);
+
+    for (const std::size_t test_user : members) {
+      std::vector<std::size_t> train_users;
+      for (const std::size_t m : members)
+        if (m != test_user) train_users.push_back(m);
+      const features::FeatureNormalizer fold_norm =
+          fit_normalizer(dataset, train_users);
+      std::vector<Tensor> storage;
+      std::unique_ptr<nn::Sequential> model;
+      const nn::BinaryMetrics m = train_and_test(
+          dataset, fold_norm, samples_of_users(dataset, train_users),
+          std::vector<std::size_t>(dataset.samples_of(test_user)),
+          config, 0x10000 + k * 1000 + test_user, storage, &model);
+      result.cl.add(m);
+      // RT CL: same fold model on out-of-cluster users.
+      if (!outside_samples.empty()) {
+        const nn::MapDataset rt_set =
+            make_map_dataset(dataset, storage, outside_samples);
+        result.rt.add(nn::evaluate(*model, rt_set));
+      }
+    }
+  }
+  result.cl.finalize();
+  result.rt.finalize();
+  return result;
+}
+
+Aggregate run_general_model(const wemac::WemacDataset& dataset,
+                            const ClearConfig& config,
+                            nn::ModelFactory factory) {
+  Aggregate agg;
+  const std::size_t n_users = dataset.n_volunteers();
+  CLEAR_CHECK_MSG(config.general_model_users >= 2 &&
+                      config.general_model_users <= n_users,
+                  "bad general_model_users");
+  Rng rng(config.seed ^ 0x6E6E);
+  const std::vector<std::size_t> perm = rng.permutation(n_users);
+  std::vector<std::size_t> chosen(perm.begin(),
+                                  perm.begin() + config.general_model_users);
+  for (const std::size_t test_user : chosen) {
+    std::vector<std::size_t> train_users;
+    for (const std::size_t u : chosen)
+      if (u != test_user) train_users.push_back(u);
+    const features::FeatureNormalizer fold_norm =
+        fit_normalizer(dataset, train_users);
+    std::vector<Tensor> storage;
+    const nn::BinaryMetrics m = train_and_test(
+        dataset, fold_norm, samples_of_users(dataset, train_users),
+        std::vector<std::size_t>(dataset.samples_of(test_user)), config,
+        0x20000 + test_user, storage, nullptr, factory);
+    agg.add(m);
+  }
+  agg.finalize();
+  return agg;
+}
+
+ClearValidationResult run_clear_validation(const wemac::WemacDataset& dataset,
+                                           const ClearConfig& config,
+                                           const ClearOptions& options) {
+  ClearValidationResult result;
+  const std::size_t n_users = dataset.n_volunteers();
+  const std::size_t folds =
+      options.max_folds > 0 ? std::min(options.max_folds, n_users) : n_users;
+  std::size_t ca_matches = 0;
+
+  for (std::size_t vx = 0; vx < folds; ++vx) {
+    if (options.progress) options.progress(vx, folds);
+    // Fit the pipeline without V_x.
+    std::vector<std::size_t> train_users;
+    for (std::size_t u = 0; u < n_users; ++u)
+      if (u != vx) train_users.push_back(u);
+    ClearPipeline pipeline(config);
+    pipeline.fit(dataset, train_users, /*seed_salt=*/vx + 1);
+
+    // Cold-start split and unsupervised assignment.
+    const UserSplit split = split_user_samples(dataset, vx, config.ca_fraction,
+                                               config.ft_fraction);
+    const std::vector<Tensor> ca_maps =
+        pipeline.normalize_samples(dataset, split.ca);
+    std::vector<cluster::Point> ca_obs;
+    for (const Tensor& m : ca_maps)
+      ca_obs.push_back(features::feature_map_mean(m));
+    const cluster::AssignmentResult assignment =
+        pipeline.assign_observations(ca_obs, options.strategy);
+    const std::size_t k = assignment.cluster;
+
+    // CA consistency diagnostic (ground truth never feeds the algorithm).
+    const std::size_t truth = dataset.volunteers()[vx].archetype_id;
+    if (dominant_archetype(dataset, train_users,
+                           pipeline.clustering().clusters[k]) == truth)
+      ++ca_matches;
+
+    // CLEAR w/o FT.
+    result.no_ft.add(pipeline.evaluate_on(dataset, k, split.test));
+
+    // RT CLEAR: mean over the other clusters' models.
+    std::vector<double> rt_acc;
+    std::vector<double> rt_f1;
+    for (std::size_t other = 0; other < pipeline.n_clusters(); ++other) {
+      if (other == k) continue;
+      const nn::BinaryMetrics m = pipeline.evaluate_on(dataset, other,
+                                                       split.test);
+      rt_acc.push_back(m.accuracy * 100.0);
+      rt_f1.push_back(m.f1 * 100.0);
+    }
+    if (!rt_acc.empty())
+      result.rt.add_percent(nn::mean_std(rt_acc).mean,
+                            nn::mean_std(rt_f1).mean);
+
+    // CLEAR w FT.
+    if (options.run_finetune) {
+      std::unique_ptr<nn::Sequential> personal = pipeline.clone_cluster_model(k);
+      pipeline.fine_tune_on(*personal, dataset, split.ft,
+                            /*seed_salt=*/vx + 1);
+      const std::vector<Tensor> test_maps =
+          pipeline.normalize_samples(dataset, split.test);
+      nn::MapDataset test_set;
+      for (std::size_t i = 0; i < test_maps.size(); ++i) {
+        test_set.maps.push_back(&test_maps[i]);
+        test_set.labels.push_back(static_cast<std::size_t>(
+            dataset.samples()[split.test[i]].label));
+      }
+      result.with_ft.add(nn::evaluate(*personal, test_set));
+    }
+
+    if (options.keep_artifacts) {
+      ClearFoldArtifacts art;
+      art.test_user = vx;
+      art.assigned_cluster = k;
+      art.normalizer = pipeline.normalizer();
+      art.clustering = pipeline.clustering();
+      art.fitted_users = train_users;
+      for (std::size_t c = 0; c < pipeline.n_clusters(); ++c)
+        art.checkpoints.push_back(pipeline.serialize_cluster_model(c));
+      art.split = split;
+      result.artifacts.push_back(std::move(art));
+    }
+  }
+
+  result.no_ft.finalize();
+  result.rt.finalize();
+  result.with_ft.finalize();
+  result.ca_consistency =
+      folds ? static_cast<double>(ca_matches) / static_cast<double>(folds)
+            : 0.0;
+  return result;
+}
+
+}  // namespace clear::core

@@ -1,0 +1,93 @@
+// LOSO evaluation drivers reproducing Table I of the paper:
+//
+//   General model     — x randomly chosen users, no clustering, LOSO.
+//   CL validation     — GC on the complete population, intra-cluster LOSO.
+//   RT CL             — CL fold models tested on users *outside* the cluster.
+//   CLEAR w/o FT      — full pipeline LOSO: cluster+train without V_x, then
+//                       unsupervised cluster assignment, test on V_x.
+//   RT CLEAR          — V_x tested with the models of the *other* clusters.
+//   CLEAR w FT        — plus fine-tuning on a small labelled share of V_x.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "clear/pipeline.hpp"
+#include "cluster/assignment.hpp"
+#include "nn/metrics.hpp"
+
+namespace clear::core {
+
+/// Per-fold (accuracy, F1) pairs plus their mean/std, in percent.
+struct Aggregate {
+  std::vector<double> fold_accuracy;  ///< Percent.
+  std::vector<double> fold_f1;        ///< Percent.
+  nn::MeanStd accuracy;
+  nn::MeanStd f1;
+
+  void add(const nn::BinaryMetrics& m);
+  void add_percent(double acc_pct, double f1_pct);
+  void finalize();
+  std::size_t folds() const { return fold_accuracy.size(); }
+};
+
+// ---------------------------------------------------------------------------
+// CL validation (clustering on the full population + intra-cluster LOSO).
+struct ClValidationResult {
+  Aggregate cl;                          ///< "CL validation" row.
+  Aggregate rt;                          ///< "RT CL" row.
+  std::vector<std::size_t> cluster_sizes;
+  double silhouette = 0.0;               ///< GC quality diagnostic.
+};
+ClValidationResult run_cl_validation(const wemac::WemacDataset& dataset,
+                                     const ClearConfig& config);
+
+// ---------------------------------------------------------------------------
+// General model (no clustering): LOSO over x randomly selected users.
+// `factory` selects the architecture (default: the paper's CNN-LSTM); the
+// architecture ablation passes build_cnn_only / build_lstm_only here.
+Aggregate run_general_model(const wemac::WemacDataset& dataset,
+                            const ClearConfig& config,
+                            nn::ModelFactory factory = nn::build_cnn_lstm);
+
+// ---------------------------------------------------------------------------
+// Full CLEAR validation.
+struct ClearFoldArtifacts {
+  std::size_t test_user = 0;
+  std::size_t assigned_cluster = 0;
+  features::FeatureNormalizer normalizer;
+  cluster::GlobalClusteringResult clustering;
+  std::vector<std::size_t> fitted_users;   ///< Users the fold trained on.
+  std::vector<std::string> checkpoints;    ///< One blob per cluster.
+  UserSplit split;                         ///< CA / FT / test samples of V_x.
+};
+
+struct ClearValidationResult {
+  Aggregate no_ft;    ///< "CLEAR w/o FT" row.
+  Aggregate rt;       ///< "RT CLEAR" row.
+  Aggregate with_ft;  ///< "CLEAR w FT" row (empty if FT disabled).
+  /// Fraction of folds whose CA choice matches the cluster dominated by the
+  /// test user's ground-truth archetype (diagnostic; uses generator truth).
+  double ca_consistency = 0.0;
+  std::vector<ClearFoldArtifacts> artifacts;  ///< When keep_artifacts.
+};
+
+struct ClearOptions {
+  bool keep_artifacts = false;
+  bool run_finetune = true;
+  std::size_t max_folds = 0;  ///< 0 = every volunteer serves as V_x.
+  cluster::AssignStrategy strategy = cluster::AssignStrategy::kSubCentroidSum;
+  std::function<void(std::size_t fold, std::size_t total)> progress;
+};
+
+ClearValidationResult run_clear_validation(const wemac::WemacDataset& dataset,
+                                           const ClearConfig& config,
+                                           const ClearOptions& options = {});
+
+/// Majority ground-truth archetype among a cluster's member users (ties ->
+/// lowest id). Diagnostic helper shared with the benches.
+std::size_t dominant_archetype(const wemac::WemacDataset& dataset,
+                               const std::vector<std::size_t>& fitted_users,
+                               const cluster::ClusterModel& cluster);
+
+}  // namespace clear::core

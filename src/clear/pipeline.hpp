@@ -1,0 +1,104 @@
+// ClearPipeline — the public API of the paper's contribution.
+//
+// Cloud stage (fit): fit the feature normalizer on the initial user
+// population, run Global Clustering, and pre-train one CNN-LSTM per cluster.
+//
+// Edge stage: assign_user() solves the cold start for a new user from a
+// small unlabeled prefix of their data; clone_cluster_model() hands out a
+// copy of the cluster checkpoint that fine_tune_on() personalizes with a few
+// labelled maps.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clear/config.hpp"
+#include "clear/data_prep.hpp"
+#include "cluster/assignment.hpp"
+
+namespace clear::core {
+
+class ClearPipeline {
+ public:
+  explicit ClearPipeline(ClearConfig config);
+
+  /// Cloud stage over the given initial users. Deterministic in
+  /// config.seed + `seed_salt` (the LOSO harness salts per fold).
+  void fit(const wemac::WemacDataset& dataset,
+           const std::vector<std::size_t>& user_ids,
+           std::uint64_t seed_salt = 0);
+
+  bool fitted() const { return !models_.empty(); }
+  const ClearConfig& config() const { return config_; }
+  const features::FeatureNormalizer& normalizer() const { return normalizer_; }
+  const cluster::GlobalClusteringResult& clustering() const {
+    return clustering_;
+  }
+  std::size_t n_clusters() const { return models_.size(); }
+  nn::Sequential& cluster_model(std::size_t k);
+
+  /// Users the pipeline was fitted on.
+  const std::vector<std::size_t>& fitted_users() const { return users_; }
+
+  /// Cold-start assignment of a new user from the first `fraction` of their
+  /// samples (unlabeled — labels are never read).
+  cluster::AssignmentResult assign_user(
+      const wemac::WemacDataset& dataset, std::size_t user_id,
+      double fraction,
+      cluster::AssignStrategy strategy =
+          cluster::AssignStrategy::kSubCentroidSum) const;
+
+  /// Assignment from pre-normalized observations (library-level entry).
+  cluster::AssignmentResult assign_observations(
+      const std::vector<cluster::Point>& observations,
+      cluster::AssignStrategy strategy =
+          cluster::AssignStrategy::kSubCentroidSum) const;
+
+  /// Normalize the listed samples with the pipeline's normalizer.
+  std::vector<Tensor> normalize_samples(
+      const wemac::WemacDataset& dataset,
+      const std::vector<std::size_t>& sample_indices) const;
+
+  /// Evaluate cluster k's model on the listed samples.
+  nn::BinaryMetrics evaluate_on(const wemac::WemacDataset& dataset,
+                                std::size_t k,
+                                const std::vector<std::size_t>& sample_indices);
+
+  /// Fresh copy of cluster k's model (for fine-tuning without disturbing
+  /// the deployed checkpoint).
+  std::unique_ptr<nn::Sequential> clone_cluster_model(std::size_t k);
+
+  /// Fine-tune `model` on the listed labelled samples (freezes the conv
+  /// stack, per the paper's edge personalisation).
+  nn::TrainHistory fine_tune_on(nn::Sequential& model,
+                                const wemac::WemacDataset& dataset,
+                                const std::vector<std::size_t>& sample_indices,
+                                std::uint64_t seed_salt = 0) const;
+
+  /// Serialized checkpoint bytes of cluster k's model.
+  std::string serialize_cluster_model(std::size_t k);
+  /// Build a fresh model of the pipeline architecture from checkpoint bytes.
+  std::unique_ptr<nn::Sequential> model_from_bytes(const std::string& bytes) const;
+
+  /// Complete fitted state in serialized form (artifact persistence; see
+  /// clear/artifacts.hpp for the on-disk format).
+  struct State {
+    std::vector<std::size_t> users;
+    features::FeatureNormalizer normalizer;
+    cluster::GlobalClusteringResult clustering;
+    std::vector<std::string> checkpoints;  ///< One blob per cluster.
+  };
+  State export_state();
+  /// Restore a fitted pipeline from exported state (rebuilds the models).
+  void import_state(State state);
+
+ private:
+  ClearConfig config_;
+  std::vector<std::size_t> users_;
+  features::FeatureNormalizer normalizer_;
+  cluster::GlobalClusteringResult clustering_;
+  std::vector<std::unique_ptr<nn::Sequential>> models_;
+};
+
+}  // namespace clear::core

@@ -1,0 +1,64 @@
+#include "clear/pseudo_label.hpp"
+
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace clear::core {
+
+PseudoLabelResult pseudo_label_adapt(
+    nn::Sequential& model, const std::vector<const Tensor*>& unlabeled_maps,
+    const PseudoLabelConfig& config,
+    const std::vector<std::size_t>* true_labels) {
+  CLEAR_CHECK_MSG(!unlabeled_maps.empty(), "no unlabeled maps");
+  CLEAR_CHECK_MSG(config.confidence_threshold > 0.5 &&
+                      config.confidence_threshold < 1.0,
+                  "confidence threshold must lie in (0.5, 1)");
+  CLEAR_CHECK_MSG(config.rounds >= 1, "need at least one round");
+  if (true_labels) {
+    CLEAR_CHECK_MSG(true_labels->size() == unlabeled_maps.size(),
+                    "diagnostic label count mismatch");
+  }
+
+  PseudoLabelResult result;
+  nn::MapDataset probe;
+  probe.maps = unlabeled_maps;
+  probe.labels.assign(unlabeled_maps.size(), 0);  // Ignored by predict.
+
+  for (std::size_t round = 0; round < config.rounds; ++round) {
+    result.rounds_run = round + 1;
+    const Tensor proba = nn::predict_probabilities(model, probe);
+    // Select confidently predicted maps.
+    nn::MapDataset adopted;
+    std::vector<std::size_t> adopted_src;
+    bool has_class[2] = {false, false};
+    for (std::size_t i = 0; i < unlabeled_maps.size(); ++i) {
+      const float p1 = proba.at2(i, 1);
+      const float conf = std::max(p1, 1.0f - p1);
+      if (conf < static_cast<float>(config.confidence_threshold)) continue;
+      const std::size_t label = p1 > 0.5f ? 1 : 0;
+      adopted.maps.push_back(unlabeled_maps[i]);
+      adopted.labels.push_back(label);
+      adopted_src.push_back(i);
+      has_class[label] = true;
+    }
+    result.adopted_last_round = adopted.size();
+    if (true_labels) {
+      result.adopted_correct = 0;
+      for (std::size_t j = 0; j < adopted.size(); ++j)
+        if (adopted.labels[j] == (*true_labels)[adopted_src[j]])
+          ++result.adopted_correct;
+    }
+    if (adopted.size() < 2) break;
+    if (config.require_both_classes && !(has_class[0] && has_class[1])) break;
+
+    model.freeze_below(config.freeze_boundary);
+    nn::TrainConfig tc = config.train;
+    tc.seed ^= round + 1;
+    nn::train_classifier(model, adopted, tc);
+    model.freeze_below(0);
+    result.adapted = true;
+  }
+  return result;
+}
+
+}  // namespace clear::core

@@ -1,0 +1,47 @@
+// Pseudo-label self-training — the paper's future-work direction of
+// "further optimizing the personalisation process to reduce the need for
+// labelled data" (§V), implemented as an optional extension.
+//
+// After cold-start assignment, the cluster model itself labels the new
+// user's *unlabeled* maps; predictions above a confidence threshold become
+// pseudo-labels, and the head is fine-tuned on them exactly like the
+// supervised path. Repeating for a few rounds lets confidence grow as the
+// model adapts. No ground-truth label of the new user is ever consumed —
+// the optional `true_labels` argument is used purely to report pseudo-label
+// precision for the ablation bench.
+#pragma once
+
+#include <optional>
+
+#include "nn/trainer.hpp"
+
+namespace clear::core {
+
+struct PseudoLabelConfig {
+  /// Minimum softmax confidence for a map to be adopted as pseudo-labelled.
+  double confidence_threshold = 0.80;
+  /// Self-training rounds (predict -> select -> adapt).
+  std::size_t rounds = 2;
+  /// Require both classes among the adopted maps; single-class adaptation
+  /// sets are rejected (they would collapse the classifier).
+  bool require_both_classes = true;
+  nn::TrainConfig train;                 ///< Adaptation hyper-parameters.
+  std::size_t freeze_boundary = 7;       ///< nn::fine_tune_boundary().
+};
+
+struct PseudoLabelResult {
+  std::size_t rounds_run = 0;
+  std::size_t adopted_last_round = 0;   ///< Maps used in the final round.
+  std::size_t adopted_correct = 0;      ///< Of those, correctly labelled
+                                        ///< (only when true labels given).
+  bool adapted = false;                 ///< At least one round trained.
+};
+
+/// Adapt `model` on unlabeled maps via self-training. Maps must be
+/// normalized with the pipeline's normalizer (same as inference inputs).
+PseudoLabelResult pseudo_label_adapt(
+    nn::Sequential& model, const std::vector<const Tensor*>& unlabeled_maps,
+    const PseudoLabelConfig& config,
+    const std::vector<std::size_t>* true_labels_for_diagnostics = nullptr);
+
+}  // namespace clear::core

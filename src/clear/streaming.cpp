@@ -1,0 +1,91 @@
+#include "clear/streaming.hpp"
+
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace clear::core {
+
+StreamingDetector::StreamingDetector(nn::Sequential& model,
+                                     features::FeatureNormalizer normalizer,
+                                     const StreamingConfig& config)
+    : model_(model), normalizer_(std::move(normalizer)), config_(config) {
+  CLEAR_CHECK_MSG(config.window_seconds > 0, "window_seconds must be positive");
+  CLEAR_CHECK_MSG(config.map_windows >= 4,
+                  "need at least 4 windows per map (two 2x2 poolings)");
+  CLEAR_CHECK_MSG(normalizer_.fitted(), "normalizer must be fitted");
+  bvp_per_window_ =
+      static_cast<std::size_t>(config.window_seconds * config.bvp_hz);
+  gsr_per_window_ =
+      static_cast<std::size_t>(config.window_seconds * config.gsr_hz);
+  skt_per_window_ =
+      static_cast<std::size_t>(config.window_seconds * config.skt_hz);
+  CLEAR_CHECK_MSG(bvp_per_window_ >= 64 && gsr_per_window_ >= 8 &&
+                      skt_per_window_ >= 2,
+                  "window too short for the configured sample rates");
+}
+
+void StreamingDetector::push_bvp(std::span<const double> samples) {
+  bvp_.insert(bvp_.end(), samples.begin(), samples.end());
+}
+void StreamingDetector::push_gsr(std::span<const double> samples) {
+  gsr_.insert(gsr_.end(), samples.begin(), samples.end());
+}
+void StreamingDetector::push_skt(std::span<const double> samples) {
+  skt_.insert(skt_.end(), samples.begin(), samples.end());
+}
+
+bool StreamingDetector::window_ready() const {
+  return bvp_.size() >= bvp_per_window_ && gsr_.size() >= gsr_per_window_ &&
+         skt_.size() >= skt_per_window_;
+}
+
+void StreamingDetector::extract_one_window() {
+  features::PhysioWindow window;
+  window.bvp_rate = config_.bvp_hz;
+  window.gsr_rate = config_.gsr_hz;
+  window.skt_rate = config_.skt_hz;
+  window.bvp.assign(bvp_.begin(),
+                    bvp_.begin() + static_cast<std::ptrdiff_t>(bvp_per_window_));
+  window.gsr.assign(gsr_.begin(),
+                    gsr_.begin() + static_cast<std::ptrdiff_t>(gsr_per_window_));
+  window.skt.assign(skt_.begin(),
+                    skt_.begin() + static_cast<std::ptrdiff_t>(skt_per_window_));
+  bvp_.erase(bvp_.begin(),
+             bvp_.begin() + static_cast<std::ptrdiff_t>(bvp_per_window_));
+  gsr_.erase(gsr_.begin(),
+             gsr_.begin() + static_cast<std::ptrdiff_t>(gsr_per_window_));
+  skt_.erase(skt_.begin(),
+             skt_.begin() + static_cast<std::ptrdiff_t>(skt_per_window_));
+
+  std::vector<double> column = features::extract_window_features(window);
+  normalizer_.apply(column);
+  columns_.push_back(std::move(column));
+  while (columns_.size() > config_.map_windows) columns_.pop_front();
+  ++windows_seen_;
+  pending_detection_ = true;
+}
+
+std::optional<Detection> StreamingDetector::poll() {
+  while (window_ready()) extract_one_window();
+  if (!pending_detection_ || !warmed_up()) return std::nullopt;
+  pending_detection_ = false;
+
+  // Assemble the rolling map [F, W] (oldest column first).
+  const std::size_t f = columns_.front().size();
+  const std::size_t w = config_.map_windows;
+  Tensor batch({1, 1, f, w});
+  for (std::size_t c = 0; c < w; ++c)
+    for (std::size_t r = 0; r < f; ++r)
+      batch.at4(0, 0, r, c) = static_cast<float>(columns_[c][r]);
+
+  model_.set_training(false);
+  const Tensor logits = model_.forward(batch);
+  const Tensor proba = ops::softmax_rows(logits.reshaped(
+      {1, logits.numel()}));
+  Detection d;
+  d.fear_probability = proba.at2(0, 1);
+  d.window_index = windows_seen_ - 1;
+  return d;
+}
+
+}  // namespace clear::core

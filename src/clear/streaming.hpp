@@ -1,0 +1,76 @@
+// Real-time streaming detector (paper §I: "real-time detection when new
+// users are introduced to the system").
+//
+// The offline pipeline consumes whole trials; a deployed wearable instead
+// produces samples continuously. StreamingDetector buffers the three raw
+// channels, cuts a feature window whenever `window_seconds` of every channel
+// has accumulated, maintains a rolling feature map of the last W windows,
+// and emits a fear probability from the deployed model each time the map is
+// full — i.e. one detection per window period after a W-window warm-up,
+// exactly what an edge device would surface to the application layer.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "features/feature_map.hpp"
+#include "nn/sequential.hpp"
+
+namespace clear::core {
+
+struct StreamingConfig {
+  double window_seconds = 10.0;  ///< Analysis window length.
+  std::size_t map_windows = 12;  ///< W — columns per classified map.
+  double bvp_hz = 64.0;
+  double gsr_hz = 8.0;
+  double skt_hz = 4.0;
+};
+
+struct Detection {
+  double fear_probability = 0.0;
+  std::size_t window_index = 0;  ///< Index of the newest window in the map.
+};
+
+class StreamingDetector {
+ public:
+  /// The detector borrows the model (the deployed cluster checkpoint; must
+  /// outlive the detector) and copies the normalizer.
+  StreamingDetector(nn::Sequential& model,
+                    features::FeatureNormalizer normalizer,
+                    const StreamingConfig& config);
+
+  /// Feed raw samples (any chunk size, any interleaving across channels).
+  void push_bvp(std::span<const double> samples);
+  void push_gsr(std::span<const double> samples);
+  void push_skt(std::span<const double> samples);
+
+  /// Extract any newly completed windows and, once W windows are buffered,
+  /// return a detection for the newest window. Returns std::nullopt while
+  /// warming up or when no new window completed since the last poll.
+  std::optional<Detection> poll();
+
+  /// Windows extracted so far.
+  std::size_t windows_seen() const { return windows_seen_; }
+  /// True once enough windows are buffered to classify.
+  bool warmed_up() const { return columns_.size() >= config_.map_windows; }
+
+ private:
+  bool window_ready() const;
+  void extract_one_window();
+
+  nn::Sequential& model_;
+  features::FeatureNormalizer normalizer_;
+  StreamingConfig config_;
+  std::size_t bvp_per_window_;
+  std::size_t gsr_per_window_;
+  std::size_t skt_per_window_;
+
+  std::deque<double> bvp_;
+  std::deque<double> gsr_;
+  std::deque<double> skt_;
+  std::deque<std::vector<double>> columns_;  ///< Normalized feature columns.
+  std::size_t windows_seen_ = 0;
+  bool pending_detection_ = false;
+};
+
+}  // namespace clear::core

@@ -1,0 +1,78 @@
+#include "cluster/assignment.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace clear::cluster {
+
+namespace {
+
+double sub_centroid_score(const Point& x, const ClusterModel& model) {
+  CLEAR_CHECK_MSG(!model.sub_centroids.empty(), "cluster has no sub-centroids");
+  double total = 0.0;
+  for (const Point& c : model.sub_centroids) total += distance(x, c);
+  // Mean rather than raw sum so clusters with differing I_k compare fairly.
+  return total / static_cast<double>(model.sub_centroids.size());
+}
+
+}  // namespace
+
+AssignmentResult assign_new_user(const std::vector<Point>& observations,
+                                 const GlobalClusteringResult& clustering,
+                                 AssignStrategy strategy) {
+  CLEAR_CHECK_MSG(!observations.empty(), "new user has no observations");
+  CLEAR_CHECK_MSG(!clustering.clusters.empty(), "clustering has no clusters");
+  const std::size_t k = clustering.clusters.size();
+  AssignmentResult result;
+  result.scores.assign(k, 0.0);
+
+  switch (strategy) {
+    case AssignStrategy::kSubCentroidSum: {
+      const Point x = user_representation(observations);
+      for (std::size_t c = 0; c < k; ++c)
+        result.scores[c] = sub_centroid_score(x, clustering.clusters[c]);
+      break;
+    }
+    case AssignStrategy::kFlatCentroid: {
+      const Point x = user_representation(observations);
+      for (std::size_t c = 0; c < k; ++c)
+        result.scores[c] = distance(x, clustering.clusters[c].centroid);
+      break;
+    }
+    case AssignStrategy::kObservationVote: {
+      // Each observation votes for the cluster whose *nearest* sub-centroid
+      // is closest; score is the negative vote count (lower = better), with
+      // mean distance as tie-breaker encoded in a small fractional term.
+      std::vector<double> votes(k, 0.0);
+      std::vector<double> dist_sum(k, 0.0);
+      for (const Point& obs : observations) {
+        std::size_t best_c = 0;
+        double best_d = std::numeric_limits<double>::max();
+        for (std::size_t c = 0; c < k; ++c) {
+          double d = std::numeric_limits<double>::max();
+          for (const Point& sc : clustering.clusters[c].sub_centroids)
+            d = std::min(d, distance(obs, sc));
+          dist_sum[c] += d;
+          if (d < best_d) {
+            best_d = d;
+            best_c = c;
+          }
+        }
+        votes[best_c] += 1.0;
+      }
+      const double n = static_cast<double>(observations.size());
+      for (std::size_t c = 0; c < k; ++c)
+        result.scores[c] = -votes[c] + 1e-6 * dist_sum[c] / n;
+      break;
+    }
+  }
+
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < k; ++c)
+    if (result.scores[c] < result.scores[best]) best = c;
+  result.cluster = best;
+  return result;
+}
+
+}  // namespace clear::cluster

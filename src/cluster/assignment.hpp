@@ -1,0 +1,36 @@
+// Cold-start Cluster Assignment (CA) — paper §III-B-1.
+//
+// A new, unseen user provides a small amount of *unlabeled* data. The
+// assignment computes the distance from the user's representation to every
+// cluster's internal sub-cluster centroids C_{k,i} and picks the cluster
+// minimizing the overall summation of those distances. Two alternative
+// strategies (flat main-centroid distance, per-observation voting) are
+// provided for the ablation study.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/global_clustering.hpp"
+
+namespace clear::cluster {
+
+enum class AssignStrategy {
+  kSubCentroidSum,   ///< Paper method: argmin_k mean_i d(x, C_{k,i}).
+  kFlatCentroid,     ///< Baseline: argmin_k d(x, C_k).
+  kObservationVote,  ///< Each observation votes via its nearest sub-centroid.
+};
+
+struct AssignmentResult {
+  std::size_t cluster = 0;      ///< Chosen cluster.
+  std::vector<double> scores;   ///< Per-cluster score (lower is better).
+};
+
+/// Assign a new user from their unlabeled observations (normalized feature
+/// vectors of the initial data window, paper: 10 % of the recording).
+AssignmentResult assign_new_user(const std::vector<Point>& observations,
+                                 const GlobalClusteringResult& clustering,
+                                 AssignStrategy strategy =
+                                     AssignStrategy::kSubCentroidSum);
+
+}  // namespace clear::cluster

@@ -1,0 +1,127 @@
+#include "cluster/global_clustering.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace clear::cluster {
+
+Point user_representation(const std::vector<Point>& observations) {
+  CLEAR_CHECK_MSG(!observations.empty(), "user has no observations");
+  std::vector<const Point*> ptrs;
+  ptrs.reserve(observations.size());
+  for (const Point& p : observations) ptrs.push_back(&p);
+  return mean_point(ptrs);
+}
+
+namespace {
+
+/// Mean of a random subset (at least one element) of a user's observations.
+Point subsampled_representation(const std::vector<Point>& observations,
+                                double fraction, Rng& rng) {
+  const std::size_t n = observations.size();
+  const auto keep = std::max<std::size_t>(
+      1, static_cast<std::size_t>(fraction * static_cast<double>(n) + 0.5));
+  if (keep >= n) return user_representation(observations);
+  const std::vector<std::size_t> perm = rng.permutation(n);
+  std::vector<const Point*> ptrs;
+  ptrs.reserve(keep);
+  for (std::size_t i = 0; i < keep; ++i) ptrs.push_back(&observations[perm[i]]);
+  return mean_point(ptrs);
+}
+
+/// Centroids of the current assignment over the given user points. Empty
+/// clusters inherit their previous centroid.
+void recompute_centroids(const std::vector<Point>& user_points,
+                         const std::vector<std::size_t>& assignment,
+                         std::vector<Point>& centroids) {
+  const std::size_t k = centroids.size();
+  std::vector<std::vector<const Point*>> members(k);
+  for (std::size_t u = 0; u < user_points.size(); ++u)
+    members[assignment[u]].push_back(&user_points[u]);
+  for (std::size_t c = 0; c < k; ++c)
+    if (!members[c].empty()) centroids[c] = mean_point(members[c]);
+}
+
+}  // namespace
+
+GlobalClusteringResult global_clustering(
+    const std::vector<std::vector<Point>>& user_observations,
+    const GlobalClusteringConfig& config, Rng& rng) {
+  const std::size_t n_users = user_observations.size();
+  CLEAR_CHECK_MSG(n_users >= config.k,
+                  "need at least k users (" << n_users << " < " << config.k
+                                            << ")");
+  CLEAR_CHECK_MSG(config.subsample_fraction > 0.0 &&
+                      config.subsample_fraction <= 1.0,
+                  "subsample_fraction must lie in (0, 1]");
+
+  // Full-data user representations and the initial k-means partition.
+  std::vector<Point> full_points(n_users);
+  for (std::size_t u = 0; u < n_users; ++u)
+    full_points[u] = user_representation(user_observations[u]);
+  const KMeansResult init = kmeans(full_points, config.k, rng, config.kmeans);
+
+  GlobalClusteringResult result;
+  result.user_cluster = init.assignment;
+  std::vector<Point> centroids = init.centroids;
+
+  // Iterative refinement (paper: "training subsets of data are repeatedly
+  // sampled, and the centroids are recalculated; users are reassigned if
+  // their current cluster is no longer the closest").
+  for (std::size_t round = 0; round < config.refinement_rounds; ++round) {
+    result.rounds_run = round + 1;
+    std::vector<Point> round_points(n_users);
+    for (std::size_t u = 0; u < n_users; ++u)
+      round_points[u] = subsampled_representation(
+          user_observations[u], config.subsample_fraction, rng);
+    recompute_centroids(round_points, result.user_cluster, centroids);
+    bool changed = false;
+    for (std::size_t u = 0; u < n_users; ++u) {
+      // Reassignment is decided on the stable full-data representation so a
+      // single unlucky subsample cannot evict a well-placed user.
+      const std::size_t best = nearest_centroid(full_points[u], centroids);
+      if (best != result.user_cluster[u]) {
+        result.user_cluster[u] = best;
+        changed = true;
+      }
+    }
+    if (!changed) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // Final centroids over full representations.
+  recompute_centroids(full_points, result.user_cluster, centroids);
+
+  // Build cluster models with internal sub-cluster centroids over the pooled
+  // member observations.
+  result.clusters.resize(config.k);
+  for (std::size_t c = 0; c < config.k; ++c) {
+    ClusterModel& model = result.clusters[c];
+    model.centroid = centroids[c];
+    for (std::size_t u = 0; u < n_users; ++u)
+      if (result.user_cluster[u] == c) model.members.push_back(u);
+    std::vector<Point> pooled;
+    for (const std::size_t u : model.members)
+      pooled.insert(pooled.end(), user_observations[u].begin(),
+                    user_observations[u].end());
+    if (pooled.empty()) {
+      model.sub_centroids = {model.centroid};
+      continue;
+    }
+    const std::size_t ik = std::min(config.sub_clusters, pooled.size());
+    if (ik <= 1) {
+      model.sub_centroids = {user_representation(pooled)};
+    } else {
+      KMeansOptions sub_opts = config.kmeans;
+      sub_opts.restarts = std::max<std::size_t>(2, config.kmeans.restarts / 2);
+      const KMeansResult sub = kmeans(pooled, ik, rng, sub_opts);
+      model.sub_centroids = sub.centroids;
+    }
+  }
+  return result;
+}
+
+}  // namespace clear::cluster

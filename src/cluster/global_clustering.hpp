@@ -1,0 +1,55 @@
+// Global Clustering (GC) — paper §III-A-2, after Gutiérrez-Martín et al. 2024.
+//
+// Users are clustered by the similarity of their physiological responses:
+// each user is summarized by the mean of their (normalized) per-window
+// feature vectors, k-means produces an initial partition, and an iterative
+// refinement then repeatedly re-estimates user representations from random
+// subsets of their observations, recomputes centroids, and reassigns users
+// whose nearest centroid changed. The refinement makes the partition robust
+// to which part of a user's recording is considered.
+//
+// The result also carries, per cluster, the internal sub-cluster centroids
+// C_{k,i} over member observations that the cold-start Cluster Assignment
+// (src/cluster/assignment) relies on.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/kmeans.hpp"
+
+namespace clear::cluster {
+
+struct GlobalClusteringConfig {
+  std::size_t k = 4;                  ///< Number of clusters (paper: 4).
+  std::size_t refinement_rounds = 12; ///< Max subsample/reassign rounds.
+  double subsample_fraction = 0.7;    ///< Observations kept per round.
+  std::size_t sub_clusters = 3;       ///< I_k: internal centroids per cluster.
+  KMeansOptions kmeans;
+};
+
+/// One cluster of the final partition.
+struct ClusterModel {
+  Point centroid;                   ///< C_k over member user points.
+  std::vector<Point> sub_centroids; ///< C_{k,i} over member observations.
+  std::vector<std::size_t> members; ///< User indices in this cluster.
+};
+
+struct GlobalClusteringResult {
+  std::vector<std::size_t> user_cluster;  ///< Cluster id per user.
+  std::vector<ClusterModel> clusters;     ///< Size k.
+  std::size_t rounds_run = 0;             ///< Refinement rounds executed.
+  bool converged = false;                 ///< Assignment became stable.
+};
+
+/// Cluster `user_observations[u]` = the normalized feature vectors of user
+/// u's windows. Every user needs at least one observation; all observations
+/// share one dimension. Requires #users >= config.k.
+GlobalClusteringResult global_clustering(
+    const std::vector<std::vector<Point>>& user_observations,
+    const GlobalClusteringConfig& config, Rng& rng);
+
+/// Mean of a user's observations (the user's point in feature space).
+Point user_representation(const std::vector<Point>& observations);
+
+}  // namespace clear::cluster

@@ -1,0 +1,174 @@
+#include "cluster/kmeans.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace clear::cluster {
+
+double squared_distance(const Point& a, const Point& b) {
+  CLEAR_CHECK_MSG(a.size() == b.size(), "point dimension mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+double distance(const Point& a, const Point& b) {
+  return std::sqrt(squared_distance(a, b));
+}
+
+Point mean_point(const std::vector<const Point*>& points) {
+  CLEAR_CHECK_MSG(!points.empty(), "mean of empty point set");
+  const std::size_t dim = points.front()->size();
+  Point m(dim, 0.0);
+  for (const Point* p : points) {
+    CLEAR_CHECK_MSG(p->size() == dim, "point dimension mismatch in mean");
+    for (std::size_t i = 0; i < dim; ++i) m[i] += (*p)[i];
+  }
+  const double n = static_cast<double>(points.size());
+  for (double& v : m) v /= n;
+  return m;
+}
+
+std::size_t nearest_centroid(const Point& p,
+                             const std::vector<Point>& centroids) {
+  CLEAR_CHECK_MSG(!centroids.empty(), "no centroids");
+  std::size_t best = 0;
+  double best_d = squared_distance(p, centroids[0]);
+  for (std::size_t c = 1; c < centroids.size(); ++c) {
+    const double d = squared_distance(p, centroids[c]);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+/// k-means++ seeding.
+std::vector<Point> seed_plusplus(const std::vector<Point>& points,
+                                 std::size_t k, Rng& rng) {
+  std::vector<Point> centroids;
+  centroids.reserve(k);
+  centroids.push_back(points[rng.uniform_index(points.size())]);
+  std::vector<double> d2(points.size());
+  while (centroids.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::max();
+      for (const Point& c : centroids)
+        best = std::min(best, squared_distance(points[i], c));
+      d2[i] = best;
+      total += best;
+    }
+    if (total <= 1e-30) {
+      // All points coincide with centroids; duplicate one.
+      centroids.push_back(points[rng.uniform_index(points.size())]);
+      continue;
+    }
+    double r = rng.uniform() * total;
+    std::size_t pick = points.size() - 1;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      r -= d2[i];
+      if (r <= 0) {
+        pick = i;
+        break;
+      }
+    }
+    centroids.push_back(points[pick]);
+  }
+  return centroids;
+}
+
+struct SingleRun {
+  std::vector<Point> centroids;
+  std::vector<std::size_t> assignment;
+  double inertia = 0.0;
+  std::size_t iterations = 0;
+};
+
+SingleRun lloyd(const std::vector<Point>& points, std::size_t k, Rng& rng,
+                const KMeansOptions& options) {
+  SingleRun run;
+  run.centroids = seed_plusplus(points, k, rng);
+  run.assignment.assign(points.size(), 0);
+  double prev_inertia = std::numeric_limits<double>::max();
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    run.iterations = iter + 1;
+    // Assign.
+    double inertia = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      run.assignment[i] = nearest_centroid(points[i], run.centroids);
+      inertia += squared_distance(points[i], run.centroids[run.assignment[i]]);
+    }
+    run.inertia = inertia;
+    // Update.
+    const std::size_t dim = points.front().size();
+    std::vector<Point> sums(k, Point(dim, 0.0));
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const std::size_t c = run.assignment[i];
+      ++counts[c];
+      for (std::size_t d = 0; d < dim; ++d) sums[c][d] += points[i][d];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster from the point farthest from its centroid.
+        double worst = -1.0;
+        std::size_t worst_i = 0;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+          const double d =
+              squared_distance(points[i], run.centroids[run.assignment[i]]);
+          if (d > worst) {
+            worst = d;
+            worst_i = i;
+          }
+        }
+        run.centroids[c] = points[worst_i];
+        continue;
+      }
+      for (std::size_t d = 0; d < dim; ++d)
+        run.centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+    }
+    if (prev_inertia - inertia <=
+        options.tolerance * std::max(1.0, prev_inertia))
+      break;
+    prev_inertia = inertia;
+  }
+  return run;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const std::vector<Point>& points, std::size_t k, Rng& rng,
+                    const KMeansOptions& options) {
+  CLEAR_CHECK_MSG(k >= 1, "k must be >= 1");
+  CLEAR_CHECK_MSG(points.size() >= k,
+                  "k-means needs at least k points (" << points.size() << " < "
+                                                      << k << ")");
+  CLEAR_CHECK_MSG(options.restarts >= 1, "need at least one restart");
+  const std::size_t dim = points.front().size();
+  for (const Point& p : points)
+    CLEAR_CHECK_MSG(p.size() == dim, "inconsistent point dimensions");
+
+  SingleRun best;
+  best.inertia = std::numeric_limits<double>::max();
+  for (std::size_t r = 0; r < options.restarts; ++r) {
+    SingleRun run = lloyd(points, k, rng, options);
+    if (run.inertia < best.inertia) best = std::move(run);
+  }
+  KMeansResult result;
+  result.centroids = std::move(best.centroids);
+  result.assignment = std::move(best.assignment);
+  result.inertia = best.inertia;
+  result.iterations = best.iterations;
+  return result;
+}
+
+}  // namespace clear::cluster

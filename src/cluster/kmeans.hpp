@@ -1,0 +1,46 @@
+// Lloyd's k-means with k-means++ seeding and multi-restart, over dense
+// double vectors. This is the primitive beneath the paper's Global
+// Clustering (GC) and the per-cluster sub-cluster hierarchy used by the
+// cold-start Cluster Assignment (CA).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace clear::cluster {
+
+using Point = std::vector<double>;
+
+/// Squared Euclidean distance. Dimensions must match.
+double squared_distance(const Point& a, const Point& b);
+/// Euclidean distance.
+double distance(const Point& a, const Point& b);
+/// Component-wise mean of a non-empty set of points.
+Point mean_point(const std::vector<const Point*>& points);
+
+struct KMeansOptions {
+  std::size_t max_iterations = 100;
+  std::size_t restarts = 8;       ///< Independent k-means++ runs; best kept.
+  double tolerance = 1e-7;        ///< Relative inertia improvement to stop.
+};
+
+struct KMeansResult {
+  std::vector<Point> centroids;          ///< k centroids.
+  std::vector<std::size_t> assignment;   ///< Cluster id per input point.
+  double inertia = 0.0;                  ///< Sum of squared distances.
+  std::size_t iterations = 0;            ///< Iterations of the best run.
+};
+
+/// Run k-means on `points` (all same dimension, size >= k, k >= 1).
+/// Deterministic given `rng` state. Empty clusters are re-seeded from the
+/// point farthest from its centroid.
+KMeansResult kmeans(const std::vector<Point>& points, std::size_t k,
+                    Rng& rng, const KMeansOptions& options = {});
+
+/// Index of the nearest centroid to `p`.
+std::size_t nearest_centroid(const Point& p,
+                             const std::vector<Point>& centroids);
+
+}  // namespace clear::cluster

@@ -1,0 +1,113 @@
+#include "cluster/validity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace clear::cluster {
+
+double silhouette(const std::vector<Point>& points,
+                  const std::vector<std::size_t>& assignment, std::size_t k) {
+  CLEAR_CHECK_MSG(points.size() == assignment.size(),
+                  "assignment size mismatch");
+  CLEAR_CHECK_MSG(k >= 2, "silhouette requires k >= 2");
+  const std::size_t n = points.size();
+  std::vector<std::size_t> counts(k, 0);
+  for (const std::size_t a : assignment) {
+    CLEAR_CHECK_MSG(a < k, "assignment id out of range");
+    ++counts[a];
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t ci = assignment[i];
+    if (counts[ci] <= 1) continue;  // Singleton contributes 0.
+    // Mean distance to own cluster (a) and nearest other cluster (b).
+    std::vector<double> sums(k, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      sums[assignment[j]] += distance(points[i], points[j]);
+    }
+    const double a =
+        sums[ci] / static_cast<double>(counts[ci] - 1);
+    double b = std::numeric_limits<double>::max();
+    for (std::size_t c = 0; c < k; ++c) {
+      if (c == ci || counts[c] == 0) continue;
+      b = std::min(b, sums[c] / static_cast<double>(counts[c]));
+    }
+    if (b == std::numeric_limits<double>::max()) continue;
+    const double denom = std::max(a, b);
+    if (denom > 1e-12) total += (b - a) / denom;
+  }
+  return total / static_cast<double>(n);
+}
+
+double davies_bouldin(const std::vector<Point>& points,
+                      const std::vector<std::size_t>& assignment,
+                      std::size_t k) {
+  CLEAR_CHECK_MSG(points.size() == assignment.size(),
+                  "assignment size mismatch");
+  CLEAR_CHECK_MSG(k >= 2, "davies_bouldin requires k >= 2");
+  // Centroids and intra-cluster scatter.
+  std::vector<std::vector<const Point*>> members(k);
+  for (std::size_t i = 0; i < points.size(); ++i)
+    members[assignment[i]].push_back(&points[i]);
+  std::vector<Point> centroids(k);
+  std::vector<double> scatter(k, 0.0);
+  for (std::size_t c = 0; c < k; ++c) {
+    if (members[c].empty()) return 1e12;
+    centroids[c] = mean_point(members[c]);
+    for (const Point* p : members[c]) scatter[c] += distance(*p, centroids[c]);
+    scatter[c] /= static_cast<double>(members[c].size());
+  }
+  double db = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    double worst = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      if (i == j) continue;
+      const double sep = distance(centroids[i], centroids[j]);
+      if (sep < 1e-12) return 1e12;
+      worst = std::max(worst, (scatter[i] + scatter[j]) / sep);
+    }
+    db += worst;
+  }
+  return db / static_cast<double>(k);
+}
+
+double within_cluster_sse(const std::vector<Point>& points,
+                          const std::vector<std::size_t>& assignment,
+                          const std::vector<Point>& centroids) {
+  CLEAR_CHECK_MSG(points.size() == assignment.size(),
+                  "assignment size mismatch");
+  double sse = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    CLEAR_CHECK_MSG(assignment[i] < centroids.size(),
+                    "assignment id out of range");
+    sse += squared_distance(points[i], centroids[assignment[i]]);
+  }
+  return sse;
+}
+
+KSelection select_k(const std::vector<Point>& points, std::size_t k_min,
+                    std::size_t k_max, Rng& rng,
+                    const KMeansOptions& options) {
+  CLEAR_CHECK_MSG(k_min >= 2, "select_k requires k_min >= 2");
+  CLEAR_CHECK_MSG(k_max >= k_min, "select_k requires k_max >= k_min");
+  CLEAR_CHECK_MSG(points.size() > k_max, "need more points than k_max");
+  KSelection sel;
+  double best_sil = -2.0;
+  for (std::size_t k = k_min; k <= k_max; ++k) {
+    const KMeansResult r = kmeans(points, k, rng, options);
+    const double sil = silhouette(points, r.assignment, k);
+    sel.silhouettes.push_back(sil);
+    sel.inertias.push_back(r.inertia);
+    if (sil > best_sil) {
+      best_sil = sil;
+      sel.best_k = k;
+    }
+  }
+  return sel;
+}
+
+}  // namespace clear::cluster

@@ -1,0 +1,42 @@
+// Cluster validity indices used to select the number of clusters K
+// (paper §IV-A: "the optimal number of clusters K using standard
+// techniques"; K = 4 gave "the best balance between intra-cluster similarity
+// and inter-cluster separation").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/kmeans.hpp"
+
+namespace clear::cluster {
+
+/// Mean silhouette coefficient over all points. Requires >= 2 clusters with
+/// >= 1 member each; singleton points contribute 0. Range [-1, 1].
+double silhouette(const std::vector<Point>& points,
+                  const std::vector<std::size_t>& assignment, std::size_t k);
+
+/// Davies-Bouldin index (lower is better). Returns +inf-like large value
+/// when degenerate.
+double davies_bouldin(const std::vector<Point>& points,
+                      const std::vector<std::size_t>& assignment,
+                      std::size_t k);
+
+/// Within-cluster sum of squares for an elbow curve.
+double within_cluster_sse(const std::vector<Point>& points,
+                          const std::vector<std::size_t>& assignment,
+                          const std::vector<Point>& centroids);
+
+struct KSelection {
+  std::size_t best_k = 2;
+  std::vector<double> silhouettes;  ///< Indexed by k - k_min.
+  std::vector<double> inertias;     ///< Indexed by k - k_min.
+};
+
+/// Sweep k in [k_min, k_max], running k-means for each, and pick the k with
+/// the highest silhouette.
+KSelection select_k(const std::vector<Point>& points, std::size_t k_min,
+                    std::size_t k_max, Rng& rng,
+                    const KMeansOptions& options = {});
+
+}  // namespace clear::cluster

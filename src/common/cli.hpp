@@ -1,0 +1,36 @@
+// Tiny command-line parser for the bench harnesses, examples, and the CLI
+// tool. Accepts `--key=value` flags, `--flag` (boolean true), and bare
+// positional arguments (e.g. sub-command names).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace clear {
+
+class CliArgs {
+ public:
+  /// Parse argv; throws clear::Error on malformed arguments.
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Name of the binary (argv[0]).
+  const std::string& program() const { return program_; }
+
+  /// Bare (non --flag) arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace clear

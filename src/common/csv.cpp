@@ -1,0 +1,87 @@
+#include "common/csv.hpp"
+
+#include <charconv>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace clear::csv {
+
+Row parse_line(const std::string& line) {
+  Row fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(cur);
+      cur.clear();
+    } else if (c == '\r') {
+      // Tolerate CRLF.
+    } else {
+      cur += c;
+    }
+  }
+  fields.push_back(cur);
+  return fields;
+}
+
+std::string format_line(const Row& row) {
+  std::string out;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i) out += ',';
+    const std::string& f = row[i];
+    if (f.find_first_of(",\"") != std::string::npos) {
+      out += '"';
+      for (const char c : f) {
+        if (c == '"') out += '"';
+        out += c;
+      }
+      out += '"';
+    } else {
+      out += f;
+    }
+  }
+  return out;
+}
+
+std::vector<Row> read_file(const std::string& path) {
+  std::ifstream in(path);
+  CLEAR_CHECK_MSG(in.good(), "cannot open CSV file: " << path);
+  std::vector<Row> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    rows.push_back(parse_line(line));
+  }
+  return rows;
+}
+
+void write_file(const std::string& path, const std::vector<Row>& rows) {
+  std::ofstream out(path);
+  CLEAR_CHECK_MSG(out.good(), "cannot open CSV file for writing: " << path);
+  for (const Row& row : rows) out << format_line(row) << '\n';
+  CLEAR_CHECK_MSG(out.good(), "IO error writing CSV file: " << path);
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v,
+                                 std::chars_format::general, 17);
+  return std::string(buf, res.ptr);
+}
+
+}  // namespace clear::csv

@@ -1,0 +1,28 @@
+// Minimal CSV reading/writing used to persist feature matrices, experiment
+// results, and bench outputs. Supports quoted fields with embedded commas
+// and quotes; does not support embedded newlines (none of our data has them).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace clear::csv {
+
+using Row = std::vector<std::string>;
+
+/// Parse one CSV line into fields (handles "quoted, fields" and "" escapes).
+Row parse_line(const std::string& line);
+
+/// Serialize one row, quoting fields that contain commas or quotes.
+std::string format_line(const Row& row);
+
+/// Read a whole file. Throws clear::Error if the file cannot be opened.
+std::vector<Row> read_file(const std::string& path);
+
+/// Write rows to a file. Throws clear::Error on IO failure.
+void write_file(const std::string& path, const std::vector<Row>& rows);
+
+/// Convenience: format a double with enough digits to round-trip.
+std::string format_double(double v);
+
+}  // namespace clear::csv

@@ -1,0 +1,49 @@
+// Error handling primitives shared by every clear_* library.
+//
+// The libraries throw `clear::Error` (derived from std::runtime_error) for
+// all recoverable failure conditions: malformed input, shape mismatches,
+// invalid configuration. Programming errors (violated preconditions that
+// indicate a bug in the caller) use the same type so that tests can assert
+// on them uniformly.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace clear {
+
+/// Exception type thrown by all clear_* libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* cond, const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace clear
+
+/// CLEAR_CHECK(cond) / CLEAR_CHECK_MSG(cond, msg): throw clear::Error when
+/// `cond` is false. Active in all build types — these guard library
+/// invariants, not hot inner loops.
+#define CLEAR_CHECK(cond)                                             \
+  do {                                                                \
+    if (!(cond)) ::clear::detail::fail(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define CLEAR_CHECK_MSG(cond, msg)                                   \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      std::ostringstream os_;                                        \
+      os_ << msg;                                                    \
+      ::clear::detail::fail(#cond, __FILE__, __LINE__, os_.str());   \
+    }                                                                \
+  } while (0)

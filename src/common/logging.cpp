@@ -1,0 +1,37 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace clear::log {
+
+namespace {
+std::atomic<Level> g_level{Level::kInfo};
+std::mutex g_mutex;
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO ";
+    case Level::kWarn: return "WARN ";
+    case Level::kError: return "ERROR";
+    default: return "?????";
+  }
+}
+}  // namespace
+
+void set_level(Level level) { g_level.store(level); }
+Level level() { return g_level.load(); }
+
+void emit(Level lvl, const std::string& message) {
+  if (static_cast<int>(lvl) < static_cast<int>(level())) return;
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  const double t = std::chrono::duration<double>(Clock::now() - start).count();
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%9.3f] %s %s\n", t, level_name(lvl), message.c_str());
+}
+
+}  // namespace clear::log

@@ -1,0 +1,41 @@
+// Leveled stderr logging. Benches and examples use INFO for progress; the
+// libraries themselves stay silent below WARN so that library consumers
+// control their own output.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace clear::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Default: kInfo.
+void set_level(Level level);
+Level level();
+
+/// Emit a message (adds timestamp + level prefix, writes to stderr).
+void emit(Level level, const std::string& message);
+
+namespace detail {
+struct Sink {
+  Level level;
+  std::ostringstream os;
+  ~Sink() { emit(level, os.str()); }
+};
+}  // namespace detail
+
+}  // namespace clear::log
+
+#define CLEAR_LOG(lvl, expr)                                        \
+  do {                                                              \
+    if (static_cast<int>(lvl) >= static_cast<int>(clear::log::level())) { \
+      clear::log::detail::Sink sink_{lvl, {}};                      \
+      sink_.os << expr;                                             \
+    }                                                               \
+  } while (0)
+
+#define CLEAR_DEBUG(expr) CLEAR_LOG(clear::log::Level::kDebug, expr)
+#define CLEAR_INFO(expr) CLEAR_LOG(clear::log::Level::kInfo, expr)
+#define CLEAR_WARN(expr) CLEAR_LOG(clear::log::Level::kWarn, expr)
+#define CLEAR_ERROR(expr) CLEAR_LOG(clear::log::Level::kError, expr)

@@ -1,0 +1,67 @@
+// Deterministic, platform-independent random number generation.
+//
+// std::mt19937 + std::normal_distribution are not guaranteed to produce the
+// same streams across standard library implementations, which would make the
+// synthetic WEMAC dataset (and therefore every reproduced table) differ by
+// toolchain. We therefore ship our own xoshiro256** generator plus explicit
+// uniform/normal transforms, all defined in this header.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace clear {
+
+/// xoshiro256** generator seeded via SplitMix64. Deterministic everywhere.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller (cached spare).
+  double normal();
+
+  /// Normal with the given mean / standard deviation.
+  double normal(double mean, double stddev);
+
+  /// True with probability p.
+  bool bernoulli(double p);
+
+  /// Exponential with the given rate (mean 1/rate).
+  double exponential(double rate);
+
+  /// Gamma(shape, scale) via Marsaglia-Tsang. shape > 0.
+  double gamma(double shape, double scale);
+
+  /// Sample an index according to the given non-negative weights.
+  std::size_t categorical(const std::vector<double>& weights);
+
+  /// In-place Fisher-Yates shuffle of indices [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Fork a stream for a named sub-task so that adding draws to one consumer
+  /// does not perturb another. The child is seeded from this generator's
+  /// state mixed with `stream_id`.
+  Rng fork(std::uint64_t stream_id) const;
+
+ private:
+  std::uint64_t s_[4];
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace clear

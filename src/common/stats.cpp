@@ -1,0 +1,226 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace clear::stats {
+
+double sum(std::span<const double> v) {
+  double s = 0.0;
+  for (const double x : v) s += x;
+  return s;
+}
+
+double mean(std::span<const double> v) {
+  if (v.empty()) return 0.0;
+  return sum(v) / static_cast<double>(v.size());
+}
+
+double variance(std::span<const double> v) {
+  if (v.empty()) return 0.0;
+  const double m = mean(v);
+  double s = 0.0;
+  for (const double x : v) s += (x - m) * (x - m);
+  return s / static_cast<double>(v.size());
+}
+
+double sample_variance(std::span<const double> v) {
+  if (v.size() < 2) return 0.0;
+  const double m = mean(v);
+  double s = 0.0;
+  for (const double x : v) s += (x - m) * (x - m);
+  return s / static_cast<double>(v.size() - 1);
+}
+
+double stddev(std::span<const double> v) { return std::sqrt(variance(v)); }
+
+double sample_stddev(std::span<const double> v) {
+  return std::sqrt(sample_variance(v));
+}
+
+double min(std::span<const double> v) {
+  if (v.empty()) return 0.0;
+  return *std::min_element(v.begin(), v.end());
+}
+
+double max(std::span<const double> v) {
+  if (v.empty()) return 0.0;
+  return *std::max_element(v.begin(), v.end());
+}
+
+double range(std::span<const double> v) { return max(v) - min(v); }
+
+double rms(std::span<const double> v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (const double x : v) s += x * x;
+  return std::sqrt(s / static_cast<double>(v.size()));
+}
+
+double skewness(std::span<const double> v) {
+  if (v.size() < 2) return 0.0;
+  const double m = mean(v);
+  const double sd = stddev(v);
+  if (sd < 1e-12) return 0.0;
+  double s = 0.0;
+  for (const double x : v) {
+    const double z = (x - m) / sd;
+    s += z * z * z;
+  }
+  return s / static_cast<double>(v.size());
+}
+
+double kurtosis(std::span<const double> v) {
+  if (v.size() < 2) return 0.0;
+  const double m = mean(v);
+  const double sd = stddev(v);
+  if (sd < 1e-12) return 0.0;
+  double s = 0.0;
+  for (const double x : v) {
+    const double z = (x - m) / sd;
+    s += z * z * z * z;
+  }
+  return s / static_cast<double>(v.size()) - 3.0;
+}
+
+double percentile(std::span<const double> v, double p) {
+  if (v.empty()) return 0.0;
+  CLEAR_CHECK_MSG(p >= 0.0 && p <= 100.0, "percentile p out of range");
+  std::vector<double> s(v.begin(), v.end());
+  std::sort(s.begin(), s.end());
+  const double idx = p / 100.0 * static_cast<double>(s.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(idx));
+  const auto hi = static_cast<std::size_t>(std::ceil(idx));
+  const double frac = idx - static_cast<double>(lo);
+  return s[lo] * (1.0 - frac) + s[hi] * frac;
+}
+
+double median(std::span<const double> v) { return percentile(v, 50.0); }
+
+double iqr(std::span<const double> v) {
+  return percentile(v, 75.0) - percentile(v, 25.0);
+}
+
+double slope(std::span<const double> v) {
+  const std::size_t n = v.size();
+  if (n < 2) return 0.0;
+  // Closed-form least squares against x = 0..n-1.
+  const double nx = static_cast<double>(n);
+  const double mx = (nx - 1.0) / 2.0;
+  const double my = mean(v);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = static_cast<double>(i) - mx;
+    sxy += dx * (v[i] - my);
+    sxx += dx * dx;
+  }
+  return sxx > 0 ? sxy / sxx : 0.0;
+}
+
+std::vector<double> diff(std::span<const double> v) {
+  if (v.size() < 2) return {};
+  std::vector<double> d(v.size() - 1);
+  for (std::size_t i = 0; i + 1 < v.size(); ++i) d[i] = v[i + 1] - v[i];
+  return d;
+}
+
+double mean_abs_diff(std::span<const double> v) {
+  if (v.size() < 2) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i + 1 < v.size(); ++i) s += std::abs(v[i + 1] - v[i]);
+  return s / static_cast<double>(v.size() - 1);
+}
+
+std::size_t zero_crossings(std::span<const double> v) {
+  if (v.size() < 2) return 0;
+  const double m = mean(v);
+  std::size_t count = 0;
+  bool positive = v[0] >= m;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    const bool p = v[i] >= m;
+    if (p != positive) {
+      ++count;
+      positive = p;
+    }
+  }
+  return count;
+}
+
+double fraction_increasing(std::span<const double> v) {
+  if (v.size() < 2) return 0.0;
+  std::size_t inc = 0;
+  for (std::size_t i = 0; i + 1 < v.size(); ++i)
+    if (v[i + 1] > v[i]) ++inc;
+  return static_cast<double>(inc) / static_cast<double>(v.size() - 1);
+}
+
+double autocorrelation(std::span<const double> v, std::size_t lag) {
+  if (v.size() <= lag || v.size() < 2) return 0.0;
+  const double m = mean(v);
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) den += (v[i] - m) * (v[i] - m);
+  if (den < 1e-12) return 0.0;
+  for (std::size_t i = 0; i + lag < v.size(); ++i)
+    num += (v[i] - m) * (v[i + lag] - m);
+  return num / den;
+}
+
+double pearson(std::span<const double> a, std::span<const double> b) {
+  CLEAR_CHECK_MSG(a.size() == b.size(), "pearson requires equal lengths");
+  if (a.size() < 2) return 0.0;
+  const double ma = mean(a);
+  const double mb = mean(b);
+  double sab = 0.0;
+  double saa = 0.0;
+  double sbb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sab += (a[i] - ma) * (b[i] - mb);
+    saa += (a[i] - ma) * (a[i] - ma);
+    sbb += (b[i] - mb) * (b[i] - mb);
+  }
+  if (saa < 1e-12 || sbb < 1e-12) return 0.0;
+  return sab / std::sqrt(saa * sbb);
+}
+
+double histogram_entropy(std::span<const double> v, std::size_t bins) {
+  if (v.empty() || bins == 0) return 0.0;
+  const double lo = min(v);
+  const double hi = max(v);
+  if (hi - lo < 1e-12) return 0.0;
+  std::vector<std::size_t> counts(bins, 0);
+  for (const double x : v) {
+    auto b = static_cast<std::size_t>((x - lo) / (hi - lo) *
+                                      static_cast<double>(bins));
+    if (b >= bins) b = bins - 1;
+    ++counts[b];
+  }
+  double h = 0.0;
+  const double n = static_cast<double>(v.size());
+  for (const std::size_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / n;
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+Hjorth hjorth(std::span<const double> v) {
+  Hjorth h;
+  if (v.size() < 3) return h;
+  h.activity = variance(v);
+  const std::vector<double> d1 = diff(v);
+  const std::vector<double> d2 = diff(d1);
+  const double var_d1 = variance(d1);
+  const double var_d2 = variance(d2);
+  if (h.activity > 1e-12) h.mobility = std::sqrt(var_d1 / h.activity);
+  if (var_d1 > 1e-12 && h.mobility > 1e-12)
+    h.complexity = std::sqrt(var_d2 / var_d1) / h.mobility;
+  return h;
+}
+
+}  // namespace clear::stats

@@ -1,0 +1,60 @@
+// Descriptive statistics over contiguous double sequences.
+//
+// These are the scalar building blocks used both by the 123-feature extractor
+// (src/features) and by the evaluation harness (mean/std of fold metrics).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace clear::stats {
+
+double sum(std::span<const double> v);
+double mean(std::span<const double> v);
+/// Population variance (divide by n). Returns 0 for n < 1.
+double variance(std::span<const double> v);
+/// Sample variance (divide by n-1). Returns 0 for n < 2.
+double sample_variance(std::span<const double> v);
+double stddev(std::span<const double> v);
+double sample_stddev(std::span<const double> v);
+double min(std::span<const double> v);
+double max(std::span<const double> v);
+double range(std::span<const double> v);
+/// Root mean square.
+double rms(std::span<const double> v);
+/// Fisher skewness; 0 when the variance underflows.
+double skewness(std::span<const double> v);
+/// Excess kurtosis; 0 when the variance underflows.
+double kurtosis(std::span<const double> v);
+/// Linear interpolation percentile, p in [0, 100].
+double percentile(std::span<const double> v, double p);
+double median(std::span<const double> v);
+/// Interquartile range (P75 - P25).
+double iqr(std::span<const double> v);
+/// Least-squares slope of v against sample index 0..n-1.
+double slope(std::span<const double> v);
+/// First differences v[i+1] - v[i]; empty input yields empty output.
+std::vector<double> diff(std::span<const double> v);
+/// Mean of |diff|.
+double mean_abs_diff(std::span<const double> v);
+/// Number of sign changes of (v - mean(v)).
+std::size_t zero_crossings(std::span<const double> v);
+/// Fraction of strictly increasing consecutive pairs.
+double fraction_increasing(std::span<const double> v);
+/// Pearson autocorrelation at the given lag; 0 when undefined.
+double autocorrelation(std::span<const double> v, std::size_t lag);
+/// Pearson correlation; 0 when either side is constant.
+double pearson(std::span<const double> a, std::span<const double> b);
+/// Shannon entropy (nats) of a histogram of v with `bins` equal-width bins.
+double histogram_entropy(std::span<const double> v, std::size_t bins);
+
+/// Hjorth parameters (activity, mobility, complexity) of a signal.
+struct Hjorth {
+  double activity = 0.0;
+  double mobility = 0.0;
+  double complexity = 0.0;
+};
+Hjorth hjorth(std::span<const double> v);
+
+}  // namespace clear::stats

@@ -1,0 +1,84 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace clear {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  CLEAR_CHECK_MSG(!header_.empty(), "table header must not be empty");
+}
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+  CLEAR_CHECK_MSG(row.size() == header_.size(),
+                  "row arity " << row.size() << " != header arity "
+                               << header_.size());
+  Entry e;
+  e.cells = std::move(row);
+  entries_.push_back(std::move(e));
+}
+
+void AsciiTable::add_section(std::string label) {
+  Entry e;
+  e.is_section = true;
+  e.section = std::move(label);
+  entries_.push_back(std::move(e));
+}
+
+void AsciiTable::set_title(std::string title) { title_ = std::move(title); }
+
+std::string AsciiTable::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string AsciiTable::str() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const Entry& e : entries_) {
+    if (e.is_section) continue;
+    for (std::size_t c = 0; c < e.cells.size(); ++c)
+      widths[c] = std::max(widths[c], e.cells[c].size());
+  }
+  std::size_t total = header_.size() * 3 + 1;
+  for (const std::size_t w : widths) total += w;
+
+  auto rule = [&] { return std::string(total, '-') + "\n"; };
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::ostringstream os;
+    os << "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ';
+      os << cells[c];
+      os << std::string(widths[c] - cells[c].size(), ' ');
+      os << " |";
+    }
+    os << "\n";
+    return os.str();
+  };
+
+  std::ostringstream os;
+  if (!title_.empty()) os << title_ << "\n";
+  os << rule() << render_row(header_) << rule();
+  for (const Entry& e : entries_) {
+    if (e.is_section) {
+      os << "| " << e.section;
+      const std::size_t used = 2 + e.section.size();
+      if (used + 1 < total) os << std::string(total - used - 1, ' ');
+      os << "|\n" << rule();
+    } else {
+      os << render_row(e.cells);
+    }
+  }
+  os << rule();
+  return os.str();
+}
+
+void AsciiTable::print() const { std::fputs(str().c_str(), stdout); }
+
+}  // namespace clear

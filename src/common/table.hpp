@@ -1,0 +1,44 @@
+// ASCII table rendering for the bench harnesses: each reproduced paper table
+// is printed in a layout mirroring the publication, with a paper-reference
+// column next to the measured one.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace clear {
+
+/// Column-aligned ASCII table with an optional title and section separators.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  /// Append a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Append a full-width section label (rendered between rule lines).
+  void add_section(std::string label);
+
+  void set_title(std::string title);
+
+  /// Render to a string (trailing newline included).
+  std::string str() const;
+
+  /// Render to stdout.
+  void print() const;
+
+  /// Format helper: fixed-precision double.
+  static std::string num(double v, int precision = 2);
+
+ private:
+  struct Entry {
+    bool is_section = false;
+    std::string section;
+    std::vector<std::string> cells;
+  };
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace clear

@@ -1,0 +1,114 @@
+#include "edge/cost_model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace clear::edge {
+
+const char* device_name(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kGpu: return "GPU";
+    case DeviceKind::kCoralTpu: return "Coral TPU";
+    case DeviceKind::kPiNcs2: return "Pi + NCS2";
+  }
+  return "?";
+}
+
+DeviceSpec device_spec(DeviceKind kind) {
+  DeviceSpec s;
+  switch (kind) {
+    case DeviceKind::kGpu:
+      // Reference workstation; the paper reports no MTC/MPC for it.
+      s.name = device_name(kind);
+      s.precision = Precision::kFp32;
+      s.infer_macs_per_s = 2.0e11;
+      s.train_macs_per_s = 1.2e11;
+      s.invoke_overhead_s = 1.0e-3;
+      s.step_overhead_s = 2.0e-3;
+      s.session_overhead_s = 0.2;
+      s.idle_power_w = 25.0;
+      s.infer_power_w = 90.0;
+      s.train_power_w = 160.0;
+      break;
+    case DeviceKind::kCoralTpu:
+      // Edge TPU: int8 only; fast invoke, modest power.
+      // Calibrated against Table II: test 47.31 ms, re-train 32.48 s,
+      // powers 1.64 / 1.82 W over a 1.28 W idle floor.
+      s.name = device_name(kind);
+      s.precision = Precision::kInt8;
+      s.infer_macs_per_s = 1.1e8;
+      s.train_macs_per_s = 4.0e7;
+      s.invoke_overhead_s = 0.0430;
+      s.step_overhead_s = 1.07;
+      s.session_overhead_s = 2.0;
+      s.idle_power_w = 1.28;
+      s.infer_power_w = 1.64;
+      s.train_power_w = 1.82;
+      break;
+    case DeviceKind::kPiNcs2:
+      // Raspberry Pi + Movidius NCS2: fp16; USB transfer dominates invoke.
+      // Calibrated against Table II: test 239.70 ms, re-train 78.52 s,
+      // powers 3.43 / 3.78 W over a 2.76 W idle floor.
+      s.name = device_name(kind);
+      s.precision = Precision::kFp16;
+      s.infer_macs_per_s = 2.5e7;
+      s.train_macs_per_s = 1.1e7;
+      s.invoke_overhead_s = 0.2200;
+      s.step_overhead_s = 2.44;
+      s.session_overhead_s = 4.0;
+      s.idle_power_w = 2.76;
+      s.infer_power_w = 3.43;
+      s.train_power_w = 3.78;
+      break;
+  }
+  return s;
+}
+
+double model_inference_macs(const nn::CnnLstmConfig& c) {
+  const double f = static_cast<double>(c.feature_dim);
+  const double w = static_cast<double>(c.window_count);
+  // Conv1: out [c1, F, W], kernel 3x3 over 1 channel.
+  const double conv1 = c.conv1_channels * f * w * 9.0;
+  // Conv2: out [c2, F/2, W/2], kernel 3x3 over c1 channels.
+  const double conv2 = static_cast<double>(c.conv2_channels) *
+                       (f / 2.0) * (w / 2.0) * 9.0 *
+                       static_cast<double>(c.conv1_channels);
+  // LSTM: T steps of 4 gates over (D + H) inputs to H units.
+  const double t_steps = static_cast<double>(c.pooled_window_count());
+  const double d = static_cast<double>(c.lstm_input_dim());
+  const double h = static_cast<double>(c.lstm_hidden);
+  const double lstm = t_steps * 4.0 * (d + h) * h;
+  // Dense head.
+  const double dense = h * static_cast<double>(c.n_classes);
+  return conv1 + conv2 + lstm + dense;
+}
+
+CostEstimate estimate_inference(const DeviceSpec& spec, double macs) {
+  CLEAR_CHECK_MSG(macs > 0, "macs must be positive");
+  CostEstimate e;
+  e.seconds = spec.invoke_overhead_s + macs / spec.infer_macs_per_s;
+  e.power_w = spec.infer_power_w;
+  e.energy_j = e.seconds * e.power_w;
+  return e;
+}
+
+CostEstimate estimate_finetuning(const DeviceSpec& spec, double macs,
+                                 std::size_t n_samples, std::size_t epochs,
+                                 std::size_t batch_size) {
+  CLEAR_CHECK_MSG(macs > 0 && n_samples > 0 && epochs > 0 && batch_size > 0,
+                  "bad fine-tuning cost query");
+  const double steps_per_epoch = std::ceil(
+      static_cast<double>(n_samples) / static_cast<double>(batch_size));
+  const double steps = steps_per_epoch * static_cast<double>(epochs);
+  // Forward + backward ≈ 3x forward MACs.
+  const double compute_s = 3.0 * macs * static_cast<double>(n_samples) *
+                           static_cast<double>(epochs) / spec.train_macs_per_s;
+  CostEstimate e;
+  e.seconds = spec.session_overhead_s + steps * spec.step_overhead_s + compute_s;
+  e.power_w = spec.train_power_w;
+  e.energy_j = e.seconds * e.power_w;
+  return e;
+}
+
+}  // namespace clear::edge

@@ -1,0 +1,57 @@
+// Analytic latency / power cost model for the evaluated platforms.
+//
+// The paper measures mean time consumption (MTC) and mean power consumption
+// (MPC) on real hardware (Table II, bottom). This reproduction replaces the
+// hardware with per-device effective-throughput + overhead models whose
+// constants are calibrated so the *relative* picture of Table II holds: the
+// Coral TPU is markedly faster per inference and per fine-tuning session
+// than the Pi+NCS2 and draws less power; both have a non-trivial idle floor.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "edge/engine.hpp"
+#include "nn/model.hpp"
+
+namespace clear::edge {
+
+enum class DeviceKind { kGpu, kCoralTpu, kPiNcs2 };
+
+const char* device_name(DeviceKind kind);
+
+struct DeviceSpec {
+  std::string name;
+  Precision precision = Precision::kFp32;
+  double infer_macs_per_s = 1e9;   ///< Effective inference throughput.
+  double train_macs_per_s = 1e9;   ///< Effective throughput during backprop.
+  double invoke_overhead_s = 0.0;  ///< Fixed cost per inference call.
+  double step_overhead_s = 0.0;    ///< Fixed cost per optimizer step.
+  double session_overhead_s = 0.0; ///< Fixed cost per fine-tuning session.
+  double idle_power_w = 0.0;       ///< Baseline (nothing running).
+  double infer_power_w = 0.0;      ///< During inference.
+  double train_power_w = 0.0;      ///< During re-training.
+};
+
+/// Calibrated spec for one of the paper's platforms.
+DeviceSpec device_spec(DeviceKind kind);
+
+/// Multiply-accumulate count of one CNN-LSTM inference on a single map.
+double model_inference_macs(const nn::CnnLstmConfig& config);
+
+struct CostEstimate {
+  double seconds = 0.0;
+  double power_w = 0.0;   ///< Mean power while active.
+  double energy_j = 0.0;  ///< seconds * power.
+};
+
+/// Latency/energy of one inference call (one feature map).
+CostEstimate estimate_inference(const DeviceSpec& spec, double macs);
+
+/// Latency/energy of an on-device fine-tuning session: `epochs` passes over
+/// `n_samples` maps with the given batch size (backward ≈ 2x forward MACs).
+CostEstimate estimate_finetuning(const DeviceSpec& spec, double macs,
+                                 std::size_t n_samples, std::size_t epochs,
+                                 std::size_t batch_size);
+
+}  // namespace clear::edge

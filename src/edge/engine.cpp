@@ -1,0 +1,146 @@
+#include "edge/engine.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "nn/lstm.hpp"
+#include "tensor/ops.hpp"
+
+namespace clear::edge {
+
+const char* precision_name(Precision p) {
+  switch (p) {
+    case Precision::kFp32: return "fp32";
+    case Precision::kFp16: return "fp16";
+    case Precision::kInt8: return "int8";
+  }
+  return "?";
+}
+
+EdgeEngine::EdgeEngine(std::unique_ptr<nn::Sequential> model,
+                       EngineConfig config)
+    : model_(std::move(model)), config_(config) {
+  CLEAR_CHECK_MSG(model_ != nullptr, "null model");
+  model_->set_training(false);
+  apply_weight_transform();
+}
+
+void EdgeEngine::apply_weight_transform() {
+  switch (config_.precision) {
+    case Precision::kFp32:
+      break;
+    case Precision::kFp16:
+      for (nn::Param* p : model_->parameters()) fp16_inplace(p->value);
+      break;
+    case Precision::kInt8:
+      for (nn::Param* p : model_->parameters())
+        fake_quantize_inplace(p->value, calibrate_max_abs(p->value.flat()));
+      break;
+  }
+  // The recurrent state lives in the device's numeric format too: an
+  // int8-only accelerator re-quantizes h/c between steps (dynamic per-step
+  // scale), an fp16 device keeps them in half precision.
+  for (std::size_t i = 0; i < model_->size(); ++i) {
+    auto* lstm = dynamic_cast<nn::Lstm*>(&model_->layer(i));
+    if (!lstm) continue;
+    switch (config_.precision) {
+      case Precision::kFp32:
+        lstm->set_state_transform(nullptr);
+        break;
+      case Precision::kFp16:
+        lstm->set_state_transform([](Tensor& t) { fp16_inplace(t); });
+        break;
+      case Precision::kInt8:
+        lstm->set_state_transform([](Tensor& t) {
+          fake_quantize_inplace(t, calibrate_max_abs(t.flat()));
+        });
+        break;
+    }
+  }
+}
+
+void EdgeEngine::requantize_weights() { apply_weight_transform(); }
+
+void EdgeEngine::calibrate(const std::vector<const Tensor*>& maps) {
+  if (config_.precision != Precision::kInt8) return;
+  CLEAR_CHECK_MSG(!maps.empty(), "calibration needs at least one map");
+  model_->set_training(false);
+  // Collect per-stage activations over the calibration set.
+  std::vector<std::vector<float>> stage_values(model_->size() + 1);
+  std::vector<std::size_t> all(maps.size());
+  for (std::size_t i = 0; i < maps.size(); ++i) all[i] = i;
+  const Tensor batch = nn::stack_batch(maps, all);
+  Tensor x = batch;
+  auto collect = [&](std::size_t stage, const Tensor& t) {
+    auto& dst = stage_values[stage];
+    dst.insert(dst.end(), t.data(), t.data() + t.numel());
+  };
+  collect(0, x);
+  for (std::size_t i = 0; i < model_->size(); ++i) {
+    x = model_->layer(i).forward(x);
+    collect(i + 1, x);
+  }
+  act_params_.clear();
+  act_params_.reserve(stage_values.size());
+  for (const auto& vals : stage_values) {
+    act_params_.push_back(config_.act_percentile >= 100.0
+                              ? calibrate_max_abs(vals)
+                              : calibrate_percentile(vals,
+                                                     config_.act_percentile));
+  }
+}
+
+Tensor EdgeEngine::forward(const Tensor& batch) {
+  model_->set_training(false);
+  Tensor x = batch;
+  switch (config_.precision) {
+    case Precision::kFp32: {
+      x = model_->forward(x);
+      break;
+    }
+    case Precision::kFp16: {
+      fp16_inplace(x);
+      for (std::size_t i = 0; i < model_->size(); ++i) {
+        x = model_->layer(i).forward(x);
+        fp16_inplace(x);
+      }
+      break;
+    }
+    case Precision::kInt8: {
+      CLEAR_CHECK_MSG(calibrated(),
+                      "int8 engine used before activation calibration");
+      fake_quantize_inplace(x, act_params_[0]);
+      for (std::size_t i = 0; i < model_->size(); ++i) {
+        x = model_->layer(i).forward(x);
+        // The final logits stay float (the accelerator's last dequantize).
+        if (i + 1 < model_->size())
+          fake_quantize_inplace(x, act_params_[i + 1]);
+      }
+      break;
+    }
+  }
+  return x;
+}
+
+std::vector<std::size_t> EdgeEngine::predict(const nn::MapDataset& data,
+                                             std::size_t batch_size) {
+  std::vector<std::size_t> preds;
+  preds.reserve(data.size());
+  for (std::size_t start = 0; start < data.size(); start += batch_size) {
+    const std::size_t end = std::min(data.size(), start + batch_size);
+    std::vector<std::size_t> idx(end - start);
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = start + i;
+    const Tensor batch = nn::stack_batch(data.maps, idx);
+    const Tensor logits = forward(batch);
+    const std::vector<std::size_t> p = ops::argmax_rows(logits);
+    preds.insert(preds.end(), p.begin(), p.end());
+  }
+  return preds;
+}
+
+nn::BinaryMetrics EdgeEngine::evaluate(const nn::MapDataset& data,
+                                       std::size_t batch_size) {
+  return nn::binary_metrics(predict(data, batch_size), data.labels);
+}
+
+}  // namespace clear::edge

@@ -1,0 +1,38 @@
+#include "edge/finetune.hpp"
+
+#include "common/error.hpp"
+
+namespace clear::edge {
+
+nn::TrainHistory edge_finetune(EdgeEngine& engine, const nn::MapDataset& data,
+                               const EdgeFinetuneConfig& config) {
+  CLEAR_CHECK_MSG(data.size() >= 2, "fine-tuning needs at least two samples");
+  nn::Sequential& model = engine.model();
+  if (config.freeze_feature_extractor)
+    model.freeze_below(config.freeze_boundary);
+
+  nn::TrainConfig train = config.train;
+  const Precision precision = engine.precision();
+  if (precision != Precision::kFp32) {
+    train.post_step = [precision](nn::Sequential& m) {
+      for (nn::Param* p : m.parameters()) {
+        if (p->frozen) continue;
+        if (precision == Precision::kFp16) {
+          fp16_inplace(p->value);
+        } else {
+          fake_quantize_inplace(p->value,
+                                calibrate_max_abs(p->value.flat()));
+        }
+      }
+    };
+  }
+
+  nn::TrainHistory history = nn::train_classifier(model, data, train);
+  // Unfreeze so the model object is reusable, then re-apply the weight-side
+  // precision transform to whatever parameters best-epoch restoration chose.
+  model.freeze_below(0);
+  engine.requantize_weights();
+  return history;
+}
+
+}  // namespace clear::edge

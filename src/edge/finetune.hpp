@@ -1,0 +1,29 @@
+// On-device fine-tuning simulation (paper §III-B-2 + Table II bottom).
+//
+// Fine-tuning at the edge differs from cloud training in two ways this
+// module models explicitly:
+//   1. The convolutional feature extractor is frozen; only the recurrent
+//      head adapts (keeps the update cheap enough for the device).
+//   2. Every weight update is projected onto the device's numeric grid —
+//      int8 for the Coral TPU, fp16 for the NCS2 — i.e. quantization-aware
+//      fine-tuning. This is why the TPU recovers less accuracy than the
+//      GPU/NCS2 after personalization.
+#pragma once
+
+#include "edge/engine.hpp"
+#include "nn/trainer.hpp"
+
+namespace clear::edge {
+
+struct EdgeFinetuneConfig {
+  nn::TrainConfig train;                ///< epochs/lr/batch for adaptation.
+  bool freeze_feature_extractor = true; ///< Freeze layers below the LSTM.
+  std::size_t freeze_boundary = 7;      ///< nn::fine_tune_boundary().
+};
+
+/// Fine-tune the engine's model on labelled user data under the engine's
+/// precision constraints, then refresh the deployed weights.
+nn::TrainHistory edge_finetune(EdgeEngine& engine, const nn::MapDataset& data,
+                               const EdgeFinetuneConfig& config);
+
+}  // namespace clear::edge

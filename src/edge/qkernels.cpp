@@ -1,0 +1,114 @@
+#include "edge/qkernels.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace clear::edge {
+
+void int8_gemm(std::span<const std::int8_t> a, std::span<const std::int8_t> b,
+               std::size_t m, std::size_t k, std::size_t n,
+               std::span<std::int32_t> c) {
+  CLEAR_CHECK_MSG(a.size() == m * k && b.size() == k * n && c.size() == m * n,
+                  "int8_gemm size mismatch");
+  for (std::int32_t& v : c) v = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const std::int32_t av = a[i * k + kk];
+      if (av == 0) continue;
+      const std::int8_t* brow = b.data() + kk * n;
+      std::int32_t* crow = c.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j)
+        crow[j] += av * static_cast<std::int32_t>(brow[j]);
+    }
+  }
+}
+
+void dequantize_accum(std::span<const std::int32_t> acc, float scale_a,
+                      float scale_b, std::span<float> out) {
+  CLEAR_CHECK_MSG(acc.size() == out.size(), "dequantize size mismatch");
+  const float s = scale_a * scale_b;
+  for (std::size_t i = 0; i < acc.size(); ++i)
+    out[i] = static_cast<float>(acc[i]) * s;
+}
+
+QuantizedDense::QuantizedDense(const Tensor& weight, const Tensor& bias) {
+  CLEAR_CHECK_MSG(weight.rank() == 2 && bias.rank() == 1 &&
+                      bias.extent(0) == weight.extent(1),
+                  "QuantizedDense expects weight [in, out] and bias [out]");
+  in_ = weight.extent(0);
+  out_ = weight.extent(1);
+  w_params_ = calibrate_max_abs(weight.flat());
+  weight_q_ = quantize_tensor(weight, w_params_);
+  bias_.assign(bias.data(), bias.data() + bias.numel());
+}
+
+Tensor QuantizedDense::forward(const Tensor& x,
+                               const QuantParams& act_params) const {
+  CLEAR_CHECK_MSG(x.rank() == 2 && x.extent(1) == in_,
+                  "QuantizedDense input shape mismatch");
+  const std::size_t n = x.extent(0);
+  const std::vector<std::int8_t> xq = quantize_tensor(x, act_params);
+  std::vector<std::int32_t> acc(n * out_);
+  int8_gemm(xq, weight_q_, n, in_, out_, acc);
+  Tensor y({n, out_});
+  dequantize_accum(acc, act_params.scale, w_params_.scale, y.flat());
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < out_; ++j) y.at2(i, j) += bias_[j];
+  return y;
+}
+
+QuantizedConv2d::QuantizedConv2d(const Tensor& weight, const Tensor& bias,
+                                 std::size_t in_channels, std::size_t kh,
+                                 std::size_t kw, std::size_t stride,
+                                 std::size_t pad)
+    : in_ch_(in_channels),
+      out_ch_(weight.rank() == 2 ? weight.extent(0) : 0),
+      kh_(kh),
+      kw_(kw),
+      stride_(stride),
+      pad_(pad) {
+  CLEAR_CHECK_MSG(weight.rank() == 2 &&
+                      weight.extent(1) == in_channels * kh * kw,
+                  "QuantizedConv2d expects weight [out_ch, in_ch*kh*kw]");
+  CLEAR_CHECK_MSG(bias.rank() == 1 && bias.extent(0) == out_ch_,
+                  "QuantizedConv2d bias shape mismatch");
+  CLEAR_CHECK_MSG(stride_ >= 1 && kh_ >= 1 && kw_ >= 1, "bad conv geometry");
+  w_params_ = calibrate_max_abs(weight.flat());
+  weight_q_ = quantize_tensor(weight, w_params_);
+  bias_.assign(bias.data(), bias.data() + bias.numel());
+}
+
+Tensor QuantizedConv2d::forward(const Tensor& x,
+                                const QuantParams& act_params) const {
+  CLEAR_CHECK_MSG(x.rank() == 4 && x.extent(1) == in_ch_,
+                  "QuantizedConv2d input shape mismatch");
+  const std::size_t n = x.extent(0);
+  const std::size_t h = x.extent(2);
+  const std::size_t w = x.extent(3);
+  const std::size_t oh = ops::conv_out_extent(h, kh_, stride_, pad_);
+  const std::size_t ow = ops::conv_out_extent(w, kw_, stride_, pad_);
+  const std::size_t cols_rows = in_ch_ * kh_ * kw_;
+  Tensor y({n, out_ch_, oh, ow});
+  for (std::size_t b = 0; b < n; ++b) {
+    Tensor image({in_ch_, h, w});
+    const float* src = x.data() + b * in_ch_ * h * w;
+    std::copy(src, src + in_ch_ * h * w, image.data());
+    const Tensor cols = ops::im2col(image, kh_, kw_, stride_, pad_);
+    // Quantize the patch matrix with the activation scale; the zero padding
+    // quantizes to exactly 0, matching the float path.
+    const std::vector<std::int8_t> cols_q = quantize_tensor(cols, act_params);
+    std::vector<std::int32_t> acc(out_ch_ * oh * ow);
+    int8_gemm(weight_q_, cols_q, out_ch_, cols_rows, oh * ow, acc);
+    float* dst = y.data() + b * out_ch_ * oh * ow;
+    dequantize_accum(acc, w_params_.scale, act_params.scale,
+                     std::span<float>(dst, out_ch_ * oh * ow));
+    for (std::size_t oc = 0; oc < out_ch_; ++oc)
+      for (std::size_t i = 0; i < oh * ow; ++i)
+        dst[oc * oh * ow + i] += bias_[oc];
+  }
+  return y;
+}
+
+}  // namespace clear::edge

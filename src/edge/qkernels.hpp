@@ -1,0 +1,65 @@
+// True int8 compute kernels with int32 accumulation — the arithmetic an
+// Edge-TPU-class accelerator executes. The fake-quantization engine in
+// engine.hpp produces bit-identical results to these kernels (tested), but
+// these are the ones benchmarked for the int8-vs-fp32 kernel comparison.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "edge/quantize.hpp"
+
+namespace clear::edge {
+
+/// int8 GEMM: C[m,n] (int32) = A[m,k] (int8) * B[k,n] (int8).
+void int8_gemm(std::span<const std::int8_t> a, std::span<const std::int8_t> b,
+               std::size_t m, std::size_t k, std::size_t n,
+               std::span<std::int32_t> c);
+
+/// Dequantize an int32 accumulator to float: real = acc * scale_a * scale_b.
+void dequantize_accum(std::span<const std::int32_t> acc, float scale_a,
+                      float scale_b, std::span<float> out);
+
+/// A quantized dense layer: y = dequant(int8_gemm(q(x), qW)) + bias.
+class QuantizedDense {
+ public:
+  /// Quantize a float weight matrix [in, out] with max-abs calibration.
+  QuantizedDense(const Tensor& weight, const Tensor& bias);
+
+  /// x: [n, in] float; returns [n, out] float. Input is quantized with the
+  /// given activation params (calibrated offline).
+  Tensor forward(const Tensor& x, const QuantParams& act_params) const;
+
+  const QuantParams& weight_params() const { return w_params_; }
+
+ private:
+  std::size_t in_ = 0;
+  std::size_t out_ = 0;
+  std::vector<std::int8_t> weight_q_;  ///< [in, out], row-major.
+  std::vector<float> bias_;
+  QuantParams w_params_;
+};
+
+/// A quantized 2-D convolution: im2col + int8 GEMM with int32 accumulation,
+/// matching nn::Conv2d's [out_ch, in_ch*kh*kw] weight layout.
+class QuantizedConv2d {
+ public:
+  /// Quantize conv weights ([out_ch, in_ch*kh*kw]) with max-abs calibration.
+  QuantizedConv2d(const Tensor& weight, const Tensor& bias,
+                  std::size_t in_channels, std::size_t kh, std::size_t kw,
+                  std::size_t stride, std::size_t pad);
+
+  /// x: [n, in_ch, h, w] float; returns [n, out_ch, oh, ow] float.
+  Tensor forward(const Tensor& x, const QuantParams& act_params) const;
+
+  const QuantParams& weight_params() const { return w_params_; }
+
+ private:
+  std::size_t in_ch_, out_ch_, kh_, kw_, stride_, pad_;
+  std::vector<std::int8_t> weight_q_;  ///< [out_ch, in_ch*kh*kw].
+  std::vector<float> bias_;
+  QuantParams w_params_;
+};
+
+}  // namespace clear::edge

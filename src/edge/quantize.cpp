@@ -1,0 +1,134 @@
+#include "edge/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace clear::edge {
+
+QuantParams calibrate_max_abs(std::span<const float> data) {
+  CLEAR_CHECK_MSG(!data.empty(), "calibration on empty data");
+  float m = 0.0f;
+  for (const float v : data) m = std::max(m, std::abs(v));
+  QuantParams p;
+  p.scale = m > 0.0f ? m / 127.0f : 1.0f;
+  return p;
+}
+
+QuantParams calibrate_percentile(std::span<const float> data,
+                                 double percentile) {
+  CLEAR_CHECK_MSG(!data.empty(), "calibration on empty data");
+  CLEAR_CHECK_MSG(percentile > 0.0 && percentile <= 100.0,
+                  "percentile out of range");
+  std::vector<float> mags(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) mags[i] = std::abs(data[i]);
+  std::sort(mags.begin(), mags.end());
+  const double idx =
+      percentile / 100.0 * static_cast<double>(mags.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, mags.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  const double m = mags[lo] * (1.0 - frac) + mags[hi] * frac;
+  QuantParams p;
+  p.scale = m > 0.0 ? static_cast<float>(m / 127.0) : 1.0f;
+  return p;
+}
+
+std::int8_t quantize_value(float v, const QuantParams& params) {
+  const float q = std::nearbyint(v / params.scale);
+  return static_cast<std::int8_t>(std::clamp(q, -127.0f, 127.0f));
+}
+
+float dequantize_value(std::int8_t q, const QuantParams& params) {
+  return static_cast<float>(q) * params.scale;
+}
+
+std::vector<std::int8_t> quantize_tensor(const Tensor& t,
+                                         const QuantParams& params) {
+  std::vector<std::int8_t> q(t.numel());
+  const float* src = t.data();
+  for (std::size_t i = 0; i < q.size(); ++i)
+    q[i] = quantize_value(src[i], params);
+  return q;
+}
+
+void fake_quantize_inplace(Tensor& t, const QuantParams& params) {
+  for (float& v : t.flat())
+    v = dequantize_value(quantize_value(v, params), params);
+}
+
+float round_fp16(float v) {
+  // Software float32 -> float16 -> float32 round trip (RNE).
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  const std::uint32_t sign = (bits >> 16) & 0x8000u;
+  const std::int32_t exponent =
+      static_cast<std::int32_t>((bits >> 23) & 0xFF) - 127 + 15;
+  std::uint32_t mantissa = bits & 0x7FFFFFu;
+
+  std::uint16_t half;
+  if (((bits >> 23) & 0xFF) == 0xFF) {
+    // Inf / NaN.
+    half = static_cast<std::uint16_t>(sign | 0x7C00u | (mantissa ? 0x200u : 0));
+  } else if (exponent >= 31) {
+    half = static_cast<std::uint16_t>(sign | 0x7C00u);  // Overflow -> inf.
+  } else if (exponent <= 0) {
+    if (exponent < -10) {
+      half = static_cast<std::uint16_t>(sign);  // Underflow -> zero.
+    } else {
+      // Subnormal half.
+      mantissa |= 0x800000u;
+      const int shift = 14 - exponent;
+      std::uint32_t sub = mantissa >> shift;
+      const std::uint32_t rem = mantissa & ((1u << shift) - 1);
+      const std::uint32_t halfway = 1u << (shift - 1);
+      if (rem > halfway || (rem == halfway && (sub & 1))) ++sub;
+      half = static_cast<std::uint16_t>(sign | sub);
+    }
+  } else {
+    std::uint32_t m = mantissa >> 13;
+    const std::uint32_t rem = mantissa & 0x1FFFu;
+    if (rem > 0x1000u || (rem == 0x1000u && (m & 1))) ++m;
+    // Adding (not OR-ing) the mantissa lets a rounding carry propagate into
+    // the exponent field; 0x7C00 (inf) falls out naturally on overflow.
+    half = static_cast<std::uint16_t>(
+        sign + (static_cast<std::uint32_t>(exponent) << 10) + m);
+  }
+
+  // Half -> float.
+  const std::uint32_t h_sign = (half & 0x8000u) << 16;
+  const std::uint32_t h_exp = (half >> 10) & 0x1Fu;
+  const std::uint32_t h_man = half & 0x3FFu;
+  std::uint32_t out;
+  if (h_exp == 0) {
+    if (h_man == 0) {
+      out = h_sign;
+    } else {
+      // Subnormal half -> normalized float.
+      int e = -1;
+      std::uint32_t m = h_man;
+      while (!(m & 0x400u)) {
+        m <<= 1;
+        ++e;
+      }
+      m &= 0x3FFu;
+      out = h_sign | (static_cast<std::uint32_t>(127 - 15 - e) << 23) |
+            (m << 13);
+    }
+  } else if (h_exp == 31) {
+    out = h_sign | 0x7F800000u | (h_man << 13);
+  } else {
+    out = h_sign | ((h_exp - 15 + 127) << 23) | (h_man << 13);
+  }
+  float result;
+  std::memcpy(&result, &out, sizeof(result));
+  return result;
+}
+
+void fp16_inplace(Tensor& t) {
+  for (float& v : t.flat()) v = round_fp16(v);
+}
+
+}  // namespace clear::edge

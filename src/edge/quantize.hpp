@@ -1,0 +1,52 @@
+// Numeric precision emulation for the edge targets.
+//
+//  - int8: symmetric per-tensor quantization with percentile calibration
+//    (the Coral Edge TPU path — the paper attributes its accuracy loss to
+//    the TPU "only supporting 8-bit data").
+//  - fp16: IEEE half-precision rounding (the NCS2 path, which executes
+//    FP16 natively).
+//
+// quantize/dequantize round-trips ("fake quantization") reproduce the
+// numerical error of the integer pipeline inside the float graph; the true
+// int8 kernels in qkernels.hpp are bit-compatible with this scheme.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace clear::edge {
+
+/// Symmetric int8 quantization parameters: real = scale * q, q in [-127,127].
+struct QuantParams {
+  float scale = 1.0f;
+};
+
+/// Scale from the max-abs of the data (clips nothing).
+QuantParams calibrate_max_abs(std::span<const float> data);
+
+/// Scale from the `percentile`-th percentile of |data| (clips outliers; the
+/// standard post-training calibration trick). percentile in (0, 100].
+QuantParams calibrate_percentile(std::span<const float> data,
+                                 double percentile);
+
+/// Quantize one float to int8 under `params` (round-to-nearest, saturating).
+std::int8_t quantize_value(float v, const QuantParams& params);
+float dequantize_value(std::int8_t q, const QuantParams& params);
+
+/// Quantize a whole tensor to int8.
+std::vector<std::int8_t> quantize_tensor(const Tensor& t,
+                                         const QuantParams& params);
+
+/// Round-trip a tensor through int8 in place (fake quantization).
+void fake_quantize_inplace(Tensor& t, const QuantParams& params);
+
+/// Round a float through IEEE fp16 (round-to-nearest-even; overflow -> inf).
+float round_fp16(float v);
+
+/// Round-trip a tensor through fp16 in place.
+void fp16_inplace(Tensor& t);
+
+}  // namespace clear::edge

@@ -1,0 +1,244 @@
+#include "features/bvp_features.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "features/nonlinear.hpp"
+#include "signal/fft.hpp"
+#include "signal/filter.hpp"
+#include "signal/peaks.hpp"
+#include "signal/resample.hpp"
+
+namespace clear::features {
+
+const std::vector<std::string>& bvp_feature_names() {
+  static const std::vector<std::string> names = {
+      // -- time domain (20) --
+      "bvp_mean", "bvp_std", "bvp_min", "bvp_max", "bvp_range", "bvp_median",
+      "bvp_iqr", "bvp_rms", "bvp_skewness", "bvp_kurtosis", "bvp_mean_abs_d1",
+      "bvp_std_d1", "bvp_mean_abs_d2", "bvp_std_d2", "bvp_zero_cross",
+      "bvp_slope", "bvp_energy", "bvp_hjorth_activity", "bvp_hjorth_mobility",
+      "bvp_hjorth_complexity",
+      // -- HRV time domain (26) --
+      "ibi_mean", "ibi_std", "ibi_min", "ibi_max", "ibi_range", "ibi_median",
+      "ibi_iqr", "hrv_rmssd", "hrv_sdsd", "hrv_pnn20", "hrv_pnn50", "hr_mean",
+      "hr_std", "hr_min", "hr_max", "hr_range", "hrv_hti", "hrv_tinn",
+      "ibi_cv", "ibi_autocorr1", "ibi_autocorr2", "ibi_autocorr3",
+      "ibi_slope", "ibi_max_abs_diff", "ibi_mean_abs_diff", "bvp_n_beats",
+      // -- frequency domain (24) --
+      "hrv_vlf_power", "hrv_lf_power", "hrv_hf_power", "hrv_vlf_log",
+      "hrv_lf_log", "hrv_hf_log", "hrv_lf_norm", "hrv_hf_norm", "hrv_lf_hf",
+      "hrv_total_power", "hrv_vlf_peak", "hrv_lf_peak", "hrv_hf_peak",
+      "pw_spec_centroid", "pw_spec_spread", "pw_spec_entropy",
+      "pw_spec_rolloff85", "pw_peak_freq", "pw_band_cardiac", "pw_band_resp",
+      "pw_moment1", "pw_moment2", "pw_moment3", "pw_moment4",
+      // -- non-linear (14) --
+      "poincare_sd1", "poincare_sd2", "poincare_sd1_sd2", "poincare_area",
+      "ibi_sampen", "ibi_apen", "ibi_hist_entropy", "ibi_dfa_alpha1",
+      "bvp_hoc1", "bvp_hoc2", "bvp_hoc3", "hrv_csi", "hrv_cvi",
+      "ibi_recurrence",
+  };
+  return names;
+}
+
+std::vector<double> extract_bvp_features(std::span<const double> bvp,
+                                         double sample_rate) {
+  CLEAR_CHECK_MSG(sample_rate > 0, "BVP sample rate must be positive");
+  CLEAR_CHECK_MSG(static_cast<double>(bvp.size()) >= sample_rate,
+                  "BVP window must cover at least one second");
+  std::vector<double> f;
+  f.reserve(kBvpFeatureCount);
+
+  // ---- Time domain (20) ----
+  f.push_back(stats::mean(bvp));
+  f.push_back(stats::stddev(bvp));
+  f.push_back(stats::min(bvp));
+  f.push_back(stats::max(bvp));
+  f.push_back(stats::range(bvp));
+  f.push_back(stats::median(bvp));
+  f.push_back(stats::iqr(bvp));
+  f.push_back(stats::rms(bvp));
+  f.push_back(stats::skewness(bvp));
+  f.push_back(stats::kurtosis(bvp));
+  const std::vector<double> d1 = stats::diff(bvp);
+  const std::vector<double> d2 = stats::diff(d1);
+  f.push_back(stats::mean_abs_diff(bvp));
+  f.push_back(stats::stddev(d1));
+  f.push_back(stats::mean_abs_diff(d1));
+  f.push_back(stats::stddev(d2));
+  f.push_back(static_cast<double>(stats::zero_crossings(bvp)));
+  f.push_back(stats::slope(bvp));
+  double energy = 0.0;
+  for (const double v : bvp) energy += v * v;
+  f.push_back(energy / static_cast<double>(bvp.size()));
+  const stats::Hjorth hj = stats::hjorth(bvp);
+  f.push_back(hj.activity);
+  f.push_back(hj.mobility);
+  f.push_back(hj.complexity);
+
+  // ---- Beat detection ----
+  // Band-limit to the plausible cardiac band before peak picking.
+  const std::vector<dsp::Biquad> bp =
+      dsp::butterworth_bandpass(0.7, std::min(3.5, sample_rate / 2.5),
+                                sample_rate);
+  const std::vector<double> pulse = dsp::filtfilt(bp, bvp);
+  dsp::PeakOptions opt;
+  // 0.45x the band-limited pulse's sigma rejects noise bumps on the
+  // diastolic floor while keeping every systolic upstroke.
+  opt.min_prominence = 0.45 * stats::stddev(pulse);
+  // Refractory period ~ 0.45 s (max HR ~ 133 bpm). This must exceed the
+  // systolic-to-dicrotic peak separation at resting heart rates, otherwise
+  // the dicrotic notch is double-counted as a beat.
+  opt.min_distance =
+      std::max<std::size_t>(1, static_cast<std::size_t>(sample_rate / 2.2));
+  const std::vector<dsp::Peak> beats = dsp::find_peaks(pulse, opt);
+  const std::vector<double> ibi = dsp::peak_intervals(beats, sample_rate);
+
+  // ---- HRV time domain (26) ----
+  auto push_or_zero = [&f](bool ok, double v) { f.push_back(ok ? v : 0.0); };
+  const bool has_ibi = ibi.size() >= 2;
+  push_or_zero(has_ibi, stats::mean(ibi));
+  push_or_zero(has_ibi, stats::stddev(ibi));
+  push_or_zero(has_ibi, stats::min(ibi));
+  push_or_zero(has_ibi, stats::max(ibi));
+  push_or_zero(has_ibi, stats::range(ibi));
+  push_or_zero(has_ibi, stats::median(ibi));
+  push_or_zero(has_ibi, stats::iqr(ibi));
+  const std::vector<double> dibi = stats::diff(ibi);
+  double rmssd = 0.0;
+  double pnn20 = 0.0;
+  double pnn50 = 0.0;
+  double max_abs_dibi = 0.0;
+  if (!dibi.empty()) {
+    double s = 0.0;
+    std::size_t n20 = 0;
+    std::size_t n50 = 0;
+    for (const double v : dibi) {
+      s += v * v;
+      const double ms = std::abs(v) * 1000.0;
+      if (ms > 20.0) ++n20;
+      if (ms > 50.0) ++n50;
+      max_abs_dibi = std::max(max_abs_dibi, std::abs(v));
+    }
+    rmssd = std::sqrt(s / static_cast<double>(dibi.size()));
+    pnn20 = static_cast<double>(n20) / static_cast<double>(dibi.size());
+    pnn50 = static_cast<double>(n50) / static_cast<double>(dibi.size());
+  }
+  f.push_back(rmssd);
+  f.push_back(stats::stddev(dibi));
+  f.push_back(pnn20);
+  f.push_back(pnn50);
+  std::vector<double> hr(ibi.size());
+  for (std::size_t i = 0; i < ibi.size(); ++i)
+    hr[i] = ibi[i] > 1e-6 ? 60.0 / ibi[i] : 0.0;
+  push_or_zero(has_ibi, stats::mean(hr));
+  push_or_zero(has_ibi, stats::stddev(hr));
+  push_or_zero(has_ibi, stats::min(hr));
+  push_or_zero(has_ibi, stats::max(hr));
+  push_or_zero(has_ibi, stats::range(hr));
+  // HRV triangular index: N / max histogram bin (7.8125 ms bins).
+  double hti = 0.0;
+  double tinn = 0.0;
+  if (has_ibi) {
+    const double bin = 0.0078125;
+    const double lo = stats::min(ibi);
+    const double hi = stats::max(ibi);
+    const auto nbins =
+        static_cast<std::size_t>(std::max(1.0, std::ceil((hi - lo) / bin)));
+    std::vector<std::size_t> hist(nbins, 0);
+    for (const double v : ibi) {
+      auto b = static_cast<std::size_t>((v - lo) / bin);
+      if (b >= nbins) b = nbins - 1;
+      ++hist[b];
+    }
+    std::size_t mode = 0;
+    for (const std::size_t c : hist) mode = std::max(mode, c);
+    hti = mode ? static_cast<double>(ibi.size()) / static_cast<double>(mode)
+               : 0.0;
+    tinn = hi - lo;  // Baseline-width approximation of the TINN triangle.
+  }
+  f.push_back(hti);
+  f.push_back(tinn);
+  const double ibi_mean = stats::mean(ibi);
+  f.push_back(has_ibi && std::abs(ibi_mean) > 1e-9
+                  ? stats::stddev(ibi) / ibi_mean
+                  : 0.0);
+  f.push_back(stats::autocorrelation(ibi, 1));
+  f.push_back(stats::autocorrelation(ibi, 2));
+  f.push_back(stats::autocorrelation(ibi, 3));
+  push_or_zero(has_ibi, stats::slope(ibi));
+  f.push_back(max_abs_dibi);
+  f.push_back(stats::mean_abs_diff(ibi));
+  f.push_back(static_cast<double>(beats.size()));
+
+  // ---- Frequency domain (24) ----
+  // HRV spectrum: tachogram resampled to 4 Hz.
+  double vlf = 0.0, lf = 0.0, hf = 0.0;
+  double vlf_peak = 0.0, lf_peak = 0.0, hf_peak = 0.0;
+  if (ibi.size() >= 4) {
+    const std::vector<double> tach = dsp::resample_to_length(
+        ibi, std::max<std::size_t>(32, ibi.size() * 4));
+    const std::vector<double> tach_dt = dsp::detrend_linear(tach);
+    const dsp::Psd hpsd = dsp::welch(tach_dt, 4.0, tach_dt.size());
+    vlf = dsp::band_power(hpsd, 0.003, 0.04);
+    lf = dsp::band_power(hpsd, 0.04, 0.15);
+    hf = dsp::band_power(hpsd, 0.15, 0.4);
+    vlf_peak = dsp::peak_frequency(hpsd, 0.003, 0.04);
+    lf_peak = dsp::peak_frequency(hpsd, 0.04, 0.15);
+    hf_peak = dsp::peak_frequency(hpsd, 0.15, 0.4);
+  }
+  const double total = vlf + lf + hf;
+  auto safe_log = [](double v) { return std::log(v + 1e-12); };
+  f.push_back(vlf);
+  f.push_back(lf);
+  f.push_back(hf);
+  f.push_back(safe_log(vlf));
+  f.push_back(safe_log(lf));
+  f.push_back(safe_log(hf));
+  f.push_back(lf + hf > 1e-12 ? lf / (lf + hf) : 0.0);
+  f.push_back(lf + hf > 1e-12 ? hf / (lf + hf) : 0.0);
+  f.push_back(hf > 1e-12 ? lf / hf : 0.0);
+  f.push_back(total);
+  f.push_back(vlf_peak);
+  f.push_back(lf_peak);
+  f.push_back(hf_peak);
+  // Pulse-wave spectrum.
+  const dsp::Psd ppsd =
+      dsp::welch(bvp, sample_rate, std::min<std::size_t>(bvp.size(), 512));
+  f.push_back(dsp::spectral_centroid(ppsd));
+  f.push_back(dsp::spectral_spread(ppsd));
+  f.push_back(dsp::spectral_entropy(ppsd));
+  f.push_back(dsp::spectral_rolloff(ppsd, 0.85));
+  f.push_back(dsp::peak_frequency(ppsd, 0.5, 4.0));
+  f.push_back(dsp::band_power(ppsd, 0.8, 2.5));
+  f.push_back(dsp::band_power(ppsd, 0.15, 0.4));
+  f.push_back(dsp::spectral_moment(ppsd, 1));
+  f.push_back(dsp::spectral_moment(ppsd, 2));
+  f.push_back(dsp::spectral_moment(ppsd, 3));
+  f.push_back(dsp::spectral_moment(ppsd, 4));
+
+  // ---- Non-linear (14) ----
+  const Poincare pc = poincare(ibi);
+  f.push_back(pc.sd1);
+  f.push_back(pc.sd2);
+  f.push_back(pc.ratio);
+  f.push_back(pc.ellipse_area);
+  const double tol = 0.2 * stats::stddev(ibi);
+  f.push_back(sample_entropy(ibi, 2, tol));
+  f.push_back(approximate_entropy(ibi, 2, tol));
+  f.push_back(stats::histogram_entropy(ibi, 10));
+  f.push_back(dfa_alpha1(ibi));
+  f.push_back(static_cast<double>(higher_order_crossings(bvp, 1)));
+  f.push_back(static_cast<double>(higher_order_crossings(bvp, 2)));
+  f.push_back(static_cast<double>(higher_order_crossings(bvp, 3)));
+  f.push_back(pc.csi);
+  f.push_back(pc.cvi);
+  f.push_back(recurrence_rate(ibi, tol));
+
+  CLEAR_CHECK_MSG(f.size() == kBvpFeatureCount,
+                  "BVP feature count drifted: " << f.size());
+  return f;
+}
+
+}  // namespace clear::features

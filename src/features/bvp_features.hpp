@@ -1,0 +1,27 @@
+// Blood-volume-pulse feature block: 84 features per window, matching the
+// paper's count (Sun et al. feature-map recipe: 84 BVP).
+//
+// Sub-blocks:
+//   20 time-domain statistics of the pulse waveform,
+//   26 HRV time-domain features from detected beats,
+//   24 frequency-domain features (HRV band powers + pulse-wave spectrum),
+//   14 non-linear features (Poincaré, entropies, DFA, HOC, recurrence).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace clear::features {
+
+inline constexpr std::size_t kBvpFeatureCount = 84;
+
+/// Feature names, in extraction order. Size == kBvpFeatureCount.
+const std::vector<std::string>& bvp_feature_names();
+
+/// Extract the 84 BVP features from one window sampled at `sample_rate` Hz.
+/// The window must contain at least one second of data.
+std::vector<double> extract_bvp_features(std::span<const double> bvp,
+                                         double sample_rate);
+
+}  // namespace clear::features

@@ -1,0 +1,134 @@
+#include "features/feature_map.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "features/bvp_features.hpp"
+#include "features/gsr_features.hpp"
+#include "features/skt_features.hpp"
+
+namespace clear::features {
+
+const std::vector<std::string>& all_feature_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> all;
+    const auto& g = gsr_feature_names();
+    const auto& b = bvp_feature_names();
+    const auto& s = skt_feature_names();
+    all.insert(all.end(), g.begin(), g.end());
+    all.insert(all.end(), b.begin(), b.end());
+    all.insert(all.end(), s.begin(), s.end());
+    CLEAR_CHECK_MSG(all.size() == kTotalFeatureCount,
+                    "total feature count drifted: " << all.size());
+    return all;
+  }();
+  return names;
+}
+
+std::vector<double> extract_window_features(const PhysioWindow& window) {
+  std::vector<double> f = extract_gsr_features(window.gsr, window.gsr_rate);
+  const std::vector<double> b =
+      extract_bvp_features(window.bvp, window.bvp_rate);
+  const std::vector<double> s =
+      extract_skt_features(window.skt, window.skt_rate);
+  f.insert(f.end(), b.begin(), b.end());
+  f.insert(f.end(), s.begin(), s.end());
+  CLEAR_CHECK_MSG(f.size() == kTotalFeatureCount,
+                  "window feature count drifted: " << f.size());
+  return f;
+}
+
+Tensor build_feature_map(const std::vector<std::vector<double>>& columns) {
+  CLEAR_CHECK_MSG(!columns.empty(), "feature map needs at least one window");
+  const std::size_t f = columns.front().size();
+  const std::size_t w = columns.size();
+  Tensor map({f, w});
+  for (std::size_t c = 0; c < w; ++c) {
+    CLEAR_CHECK_MSG(columns[c].size() == f,
+                    "inconsistent feature vector length at window " << c);
+    for (std::size_t r = 0; r < f; ++r)
+      map.at2(r, c) = static_cast<float>(columns[c][r]);
+  }
+  return map;
+}
+
+std::vector<double> feature_map_mean(const Tensor& map) {
+  CLEAR_CHECK_MSG(map.rank() == 2, "feature_map_mean expects [F, W]");
+  const std::size_t f = map.extent(0);
+  const std::size_t w = map.extent(1);
+  std::vector<double> mean(f, 0.0);
+  for (std::size_t r = 0; r < f; ++r) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < w; ++c) s += map.at2(r, c);
+    mean[r] = s / static_cast<double>(w);
+  }
+  return mean;
+}
+
+void FeatureNormalizer::fit(const std::vector<std::vector<double>>& vectors) {
+  CLEAR_CHECK_MSG(!vectors.empty(), "normalizer fit needs data");
+  const std::size_t f = vectors.front().size();
+  mean_.assign(f, 0.0);
+  std_.assign(f, 0.0);
+  for (const auto& v : vectors) {
+    CLEAR_CHECK_MSG(v.size() == f, "inconsistent vector length in fit");
+    for (std::size_t i = 0; i < f; ++i) mean_[i] += v[i];
+  }
+  const double n = static_cast<double>(vectors.size());
+  for (double& m : mean_) m /= n;
+  for (const auto& v : vectors)
+    for (std::size_t i = 0; i < f; ++i)
+      std_[i] += (v[i] - mean_[i]) * (v[i] - mean_[i]);
+  for (double& s : std_) s = std::sqrt(s / n);
+}
+
+void FeatureNormalizer::fit_maps(const std::vector<Tensor>& maps) {
+  CLEAR_CHECK_MSG(!maps.empty(), "normalizer fit needs maps");
+  std::vector<std::vector<double>> columns;
+  for (const Tensor& m : maps) {
+    CLEAR_CHECK_MSG(m.rank() == 2, "fit_maps expects [F, W] maps");
+    const std::size_t f = m.extent(0);
+    const std::size_t w = m.extent(1);
+    for (std::size_t c = 0; c < w; ++c) {
+      std::vector<double> col(f);
+      for (std::size_t r = 0; r < f; ++r) col[r] = m.at2(r, c);
+      columns.push_back(std::move(col));
+    }
+  }
+  fit(columns);
+}
+
+FeatureNormalizer FeatureNormalizer::from_moments(std::vector<double> mean,
+                                                  std::vector<double> stddev) {
+  CLEAR_CHECK_MSG(!mean.empty() && mean.size() == stddev.size(),
+                  "from_moments requires matching non-empty mean/stddev");
+  FeatureNormalizer n;
+  n.mean_ = std::move(mean);
+  n.std_ = std::move(stddev);
+  return n;
+}
+
+void FeatureNormalizer::apply(std::vector<double>& v) const {
+  CLEAR_CHECK_MSG(fitted(), "normalizer not fitted");
+  CLEAR_CHECK_MSG(v.size() == mean_.size(), "normalizer dimension mismatch");
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const double s = std_[i] > 1e-9 ? std_[i] : 1.0;
+    v[i] = (v[i] - mean_[i]) / s;
+  }
+}
+
+void FeatureNormalizer::apply_map(Tensor& map) const {
+  CLEAR_CHECK_MSG(fitted(), "normalizer not fitted");
+  CLEAR_CHECK_MSG(map.rank() == 2 && map.extent(0) == mean_.size(),
+                  "normalizer/map dimension mismatch");
+  const std::size_t f = map.extent(0);
+  const std::size_t w = map.extent(1);
+  for (std::size_t r = 0; r < f; ++r) {
+    const double s = std_[r] > 1e-9 ? std_[r] : 1.0;
+    for (std::size_t c = 0; c < w; ++c)
+      map.at2(r, c) =
+          static_cast<float>((map.at2(r, c) - mean_[r]) / s);
+  }
+}
+
+}  // namespace clear::features

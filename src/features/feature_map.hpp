@@ -1,0 +1,75 @@
+// 2-D feature-map construction (paper §III-A-1).
+//
+// Raw multi-modal windows are reduced to 123-dimensional feature vectors
+// (34 GSR + 84 BVP + 5 SKT); W consecutive windows are stacked into a matrix
+// M ∈ R^{F×W} which downstream code treats as a one-channel image. A
+// FeatureNormalizer (z-score per feature, fitted on training users only)
+// makes the heterogeneous feature scales comparable before clustering and
+// CNN training.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace clear::features {
+
+inline constexpr std::size_t kTotalFeatureCount = 123;  // 34 + 84 + 5.
+
+/// One multi-modal analysis window of raw signals.
+struct PhysioWindow {
+  std::vector<double> bvp;  ///< Blood volume pulse samples.
+  std::vector<double> gsr;  ///< Galvanic skin response samples.
+  std::vector<double> skt;  ///< Skin temperature samples.
+  double bvp_rate = 64.0;   ///< [Hz]
+  double gsr_rate = 8.0;    ///< [Hz]
+  double skt_rate = 4.0;    ///< [Hz]
+};
+
+/// All 123 feature names in extraction order (GSR block, BVP block, SKT
+/// block).
+const std::vector<std::string>& all_feature_names();
+
+/// Extract the full 123-feature vector from one window.
+std::vector<double> extract_window_features(const PhysioWindow& window);
+
+/// Stack W per-window feature vectors (each length F) into M ∈ R^{F×W}.
+Tensor build_feature_map(const std::vector<std::vector<double>>& columns);
+
+/// Column-mean feature vector of a feature map (used for clustering, where
+/// each user/map is summarized by one F-dimensional point).
+std::vector<double> feature_map_mean(const Tensor& map);
+
+/// Per-feature z-score normalizer. Fit on training data; apply anywhere.
+class FeatureNormalizer {
+ public:
+  FeatureNormalizer() = default;
+
+  /// Fit from a set of feature vectors (each of identical length F).
+  void fit(const std::vector<std::vector<double>>& vectors);
+
+  /// Fit from feature maps (each [F, W]; every column is one observation).
+  void fit_maps(const std::vector<Tensor>& maps);
+
+  /// Reconstruct a normalizer from stored moments (artifact deserialization).
+  static FeatureNormalizer from_moments(std::vector<double> mean,
+                                        std::vector<double> stddev);
+
+  bool fitted() const { return !mean_.empty(); }
+  std::size_t dim() const { return mean_.size(); }
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& stddev() const { return std_; }
+
+  /// z-score one vector in place.
+  void apply(std::vector<double>& v) const;
+  /// z-score every column of a feature map in place.
+  void apply_map(Tensor& map) const;
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> std_;
+};
+
+}  // namespace clear::features

@@ -1,0 +1,118 @@
+#include "features/gsr_features.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "signal/fft.hpp"
+#include "signal/filter.hpp"
+#include "signal/peaks.hpp"
+
+namespace clear::features {
+
+const std::vector<std::string>& gsr_feature_names() {
+  static const std::vector<std::string> names = {
+      "gsr_mean",          "gsr_std",           "gsr_min",
+      "gsr_max",           "gsr_range",         "gsr_median",
+      "gsr_iqr",           "gsr_rms",           "gsr_skewness",
+      "gsr_kurtosis",      "gsr_mean_abs_d1",   "gsr_std_d1",
+      "gsr_mean_abs_d2",   "gsr_std_d2",        "gsr_frac_increasing",
+      "gsr_slope",         "gsr_tonic_mean",    "gsr_tonic_slope",
+      "gsr_phasic_mean",   "gsr_phasic_std",    "gsr_phasic_max",
+      "gsr_phasic_energy", "gsr_scr_count",     "gsr_scr_mean_amp",
+      "gsr_scr_max_amp",   "gsr_scr_mean_rise", "gsr_scr_sum_amp",
+      "gsr_band_0_01",     "gsr_band_01_02",    "gsr_band_02_03",
+      "gsr_band_03_04",    "gsr_spec_centroid", "gsr_spec_entropy",
+      "gsr_zero_cross_d1",
+  };
+  return names;
+}
+
+std::vector<double> extract_gsr_features(std::span<const double> gsr,
+                                         double sample_rate) {
+  CLEAR_CHECK_MSG(gsr.size() >= 8, "GSR window too short");
+  CLEAR_CHECK_MSG(sample_rate > 0, "GSR sample rate must be positive");
+  std::vector<double> f;
+  f.reserve(kGsrFeatureCount);
+
+  // Raw statistics.
+  f.push_back(stats::mean(gsr));
+  f.push_back(stats::stddev(gsr));
+  f.push_back(stats::min(gsr));
+  f.push_back(stats::max(gsr));
+  f.push_back(stats::range(gsr));
+  f.push_back(stats::median(gsr));
+  f.push_back(stats::iqr(gsr));
+  f.push_back(stats::rms(gsr));
+  f.push_back(stats::skewness(gsr));
+  f.push_back(stats::kurtosis(gsr));
+
+  // Difference dynamics.
+  const std::vector<double> d1 = stats::diff(gsr);
+  const std::vector<double> d2 = stats::diff(d1);
+  f.push_back(stats::mean_abs_diff(gsr));
+  f.push_back(stats::stddev(d1));
+  f.push_back(stats::mean_abs_diff(d1));
+  f.push_back(stats::stddev(d2));
+  f.push_back(stats::fraction_increasing(gsr));
+  f.push_back(stats::slope(gsr));
+
+  // Tonic / phasic split: tonic = slow drift below ~0.05 Hz.
+  const double tonic_cut = std::min(0.05, sample_rate / 4.0);
+  const dsp::Biquad lp = dsp::butterworth_lowpass(tonic_cut, sample_rate);
+  const dsp::Biquad sections[] = {lp};
+  const std::vector<double> tonic = dsp::filtfilt(sections, gsr);
+  std::vector<double> phasic(gsr.size());
+  for (std::size_t i = 0; i < gsr.size(); ++i) phasic[i] = gsr[i] - tonic[i];
+
+  f.push_back(stats::mean(tonic));
+  f.push_back(stats::slope(tonic));
+  f.push_back(stats::mean(phasic));
+  f.push_back(stats::stddev(phasic));
+  f.push_back(stats::max(phasic));
+  double phasic_energy = 0.0;
+  for (const double v : phasic) phasic_energy += v * v;
+  f.push_back(phasic_energy / static_cast<double>(phasic.size()));
+
+  // SCR events: peaks of the phasic component.
+  dsp::PeakOptions opt;
+  opt.min_prominence = std::max(0.01, 0.5 * stats::stddev(phasic));
+  opt.min_distance =
+      std::max<std::size_t>(1, static_cast<std::size_t>(sample_rate * 1.0));
+  const std::vector<dsp::Peak> scrs = dsp::find_peaks(phasic, opt);
+  f.push_back(static_cast<double>(scrs.size()));
+  double amp_sum = 0.0;
+  double amp_max = 0.0;
+  double rise_sum = 0.0;
+  for (const dsp::Peak& p : scrs) {
+    amp_sum += p.prominence;
+    amp_max = std::max(amp_max, p.prominence);
+    // Rise time: walk back to the local minimum preceding the peak.
+    std::size_t k = p.index;
+    while (k > 0 && phasic[k - 1] < phasic[k]) --k;
+    rise_sum += static_cast<double>(p.index - k) / sample_rate;
+  }
+  const double n_scr = scrs.empty() ? 1.0 : static_cast<double>(scrs.size());
+  f.push_back(amp_sum / n_scr);
+  f.push_back(amp_max);
+  f.push_back(rise_sum / n_scr);
+  f.push_back(amp_sum);
+
+  // Spectral shape of the phasic component.
+  const dsp::Psd psd = dsp::welch(phasic, sample_rate,
+                                  std::min<std::size_t>(phasic.size(), 128));
+  f.push_back(dsp::band_power(psd, 0.0, 0.1));
+  f.push_back(dsp::band_power(psd, 0.1, 0.2));
+  f.push_back(dsp::band_power(psd, 0.2, 0.3));
+  f.push_back(dsp::band_power(psd, 0.3, 0.4));
+  f.push_back(dsp::spectral_centroid(psd));
+  f.push_back(dsp::spectral_entropy(psd));
+
+  f.push_back(static_cast<double>(stats::zero_crossings(d1)));
+
+  CLEAR_CHECK_MSG(f.size() == kGsrFeatureCount,
+                  "GSR feature count drifted: " << f.size());
+  return f;
+}
+
+}  // namespace clear::features

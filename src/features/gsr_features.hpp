@@ -1,0 +1,26 @@
+// Electrodermal activity (GSR) feature block: 34 features per window,
+// matching the paper's count (Sun et al. feature-map recipe: 34 GSR).
+//
+// The block covers raw-signal statistics, first/second difference dynamics,
+// tonic/phasic decomposition (0.05 Hz low-pass split), SCR event statistics
+// from peak detection on the phasic component, and low-frequency band
+// energies of the phasic spectrum.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace clear::features {
+
+inline constexpr std::size_t kGsrFeatureCount = 34;
+
+/// Feature names, in extraction order. Size == kGsrFeatureCount.
+const std::vector<std::string>& gsr_feature_names();
+
+/// Extract the 34 GSR features from one window sampled at `sample_rate` Hz.
+/// The window must contain at least 8 samples.
+std::vector<double> extract_gsr_features(std::span<const double> gsr,
+                                         double sample_rate);
+
+}  // namespace clear::features

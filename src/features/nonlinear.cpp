@@ -1,0 +1,157 @@
+#include "features/nonlinear.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace clear::features {
+
+namespace {
+
+/// Count template matches of length m within tolerance r (Chebyshev metric)
+/// over the first `n` templates. Counts unordered pairs i < j.
+std::size_t count_matches(std::span<const double> x, std::size_t m, double r,
+                          std::size_t n) {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      bool match = true;
+      for (std::size_t k = 0; k < m; ++k) {
+        if (std::abs(x[i + k] - x[j + k]) > r) {
+          match = false;
+          break;
+        }
+      }
+      if (match) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+double sample_entropy(std::span<const double> x, std::size_t m, double r) {
+  if (x.size() < m + 2 || r <= 0) return 0.0;
+  // Standard SampEn: both template lengths use the same N - m templates, so
+  // a perfectly regular series yields A == B and entropy 0.
+  const std::size_t n_templates = x.size() - m;
+  const auto b = static_cast<double>(count_matches(x, m, r, n_templates));
+  const auto a = static_cast<double>(count_matches(x, m + 1, r, n_templates));
+  if (a <= 0 || b <= 0) return 0.0;
+  return -std::log(a / b);
+}
+
+double approximate_entropy(std::span<const double> x, std::size_t m,
+                           double r) {
+  if (x.size() < m + 2 || r <= 0) return 0.0;
+  auto phi = [&](std::size_t mm) {
+    const std::size_t n = x.size() - mm + 1;
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t count = 0;
+      for (std::size_t j = 0; j < n; ++j) {
+        bool match = true;
+        for (std::size_t k = 0; k < mm; ++k) {
+          if (std::abs(x[i + k] - x[j + k]) > r) {
+            match = false;
+            break;
+          }
+        }
+        if (match) ++count;  // Includes self-match, per ApEn definition.
+      }
+      total += std::log(static_cast<double>(count) / static_cast<double>(n));
+    }
+    return total / static_cast<double>(n);
+  };
+  return phi(m) - phi(m + 1);
+}
+
+double dfa_alpha1(std::span<const double> x) {
+  const std::size_t n = x.size();
+  if (n < 16) return 0.0;
+  // Integrated, mean-removed profile.
+  const double m = stats::mean(x);
+  std::vector<double> profile(n);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += x[i] - m;
+    profile[i] = acc;
+  }
+  std::vector<double> log_s;
+  std::vector<double> log_f;
+  const std::size_t max_box = std::min<std::size_t>(16, n / 4);
+  for (std::size_t box = 4; box <= max_box; ++box) {
+    const std::size_t nboxes = n / box;
+    if (nboxes < 2) break;
+    double fsum = 0.0;
+    for (std::size_t b = 0; b < nboxes; ++b) {
+      const std::span<const double> seg(profile.data() + b * box, box);
+      // Residual variance around the least-squares line in this box.
+      const double slope = stats::slope(seg);
+      const double mean_seg = stats::mean(seg);
+      const double mx = static_cast<double>(box - 1) / 2.0;
+      double rss = 0.0;
+      for (std::size_t i = 0; i < box; ++i) {
+        const double fit = mean_seg + slope * (static_cast<double>(i) - mx);
+        rss += (seg[i] - fit) * (seg[i] - fit);
+      }
+      fsum += rss / static_cast<double>(box);
+    }
+    const double f = std::sqrt(fsum / static_cast<double>(nboxes));
+    if (f <= 1e-12) continue;
+    log_s.push_back(std::log(static_cast<double>(box)));
+    log_f.push_back(std::log(f));
+  }
+  if (log_s.size() < 2) return 0.0;
+  // Slope of log F vs log s.
+  const double ms = stats::mean(log_s);
+  const double mf = stats::mean(log_f);
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < log_s.size(); ++i) {
+    num += (log_s[i] - ms) * (log_f[i] - mf);
+    den += (log_s[i] - ms) * (log_s[i] - ms);
+  }
+  return den > 1e-12 ? num / den : 0.0;
+}
+
+Poincare poincare(std::span<const double> ibi) {
+  Poincare p;
+  if (ibi.size() < 3) return p;
+  // SD1/SD2 from successive differences and total variance.
+  const std::vector<double> d = stats::diff(ibi);
+  const double var_d = stats::variance(d);
+  const double var_x = stats::variance(ibi);
+  p.sd1 = std::sqrt(var_d / 2.0);
+  const double sd2_sq = 2.0 * var_x - var_d / 2.0;
+  p.sd2 = sd2_sq > 0 ? std::sqrt(sd2_sq) : 0.0;
+  if (p.sd2 > 1e-12) p.ratio = p.sd1 / p.sd2;
+  p.ellipse_area = M_PI * p.sd1 * p.sd2;
+  if (p.sd1 > 1e-12) p.csi = p.sd2 / p.sd1;
+  const double prod = p.sd1 * p.sd2 * 16.0;
+  p.cvi = prod > 1e-12 ? std::log10(prod) : 0.0;
+  return p;
+}
+
+std::size_t higher_order_crossings(std::span<const double> x, std::size_t k) {
+  std::vector<double> v(x.begin(), x.end());
+  for (std::size_t i = 0; i < k; ++i) v = stats::diff(v);
+  return stats::zero_crossings(v);
+}
+
+double recurrence_rate(std::span<const double> x, double r) {
+  if (x.size() < 2 || r <= 0) return 0.0;
+  std::size_t close = 0;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    for (std::size_t j = i + 1; j < x.size(); ++j) {
+      ++total;
+      if (std::abs(x[i] - x[j]) <= r) ++close;
+    }
+  }
+  return total ? static_cast<double>(close) / static_cast<double>(total) : 0.0;
+}
+
+}  // namespace clear::features

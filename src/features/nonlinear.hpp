@@ -1,0 +1,42 @@
+// Non-linear dynamics descriptors used by the BVP/HRV feature block:
+// entropies, detrended fluctuation analysis, Poincaré geometry, and
+// higher-order crossings.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace clear::features {
+
+/// Sample entropy SampEn(m, r): -ln( A / B ) with template length m and
+/// tolerance r (absolute units). Returns 0 when undefined (too few samples
+/// or no matches).
+double sample_entropy(std::span<const double> x, std::size_t m, double r);
+
+/// Approximate entropy ApEn(m, r).
+double approximate_entropy(std::span<const double> x, std::size_t m, double r);
+
+/// Short-range detrended fluctuation analysis exponent (alpha-1), computed
+/// over box sizes 4..min(16, n/4). Returns 0 when the series is too short.
+double dfa_alpha1(std::span<const double> x);
+
+/// Poincaré plot descriptors of successive-difference geometry.
+struct Poincare {
+  double sd1 = 0.0;          ///< Short-term variability (perpendicular).
+  double sd2 = 0.0;          ///< Long-term variability (along identity).
+  double ratio = 0.0;        ///< SD1/SD2 (0 when SD2 underflows).
+  double ellipse_area = 0.0; ///< pi * SD1 * SD2.
+  double csi = 0.0;          ///< Cardiac sympathetic index (SD2/SD1).
+  double cvi = 0.0;          ///< Cardiac vagal index log10(SD1*SD2*16).
+};
+Poincare poincare(std::span<const double> ibi);
+
+/// Number of zero crossings of the k-th difference of the mean-removed
+/// series (higher-order crossings, k >= 0; k = 0 is plain zero crossings).
+std::size_t higher_order_crossings(std::span<const double> x, std::size_t k);
+
+/// Fraction of pairs of embedded points (m = 1) closer than r — a cheap
+/// recurrence-rate style statistic.
+double recurrence_rate(std::span<const double> x, double r);
+
+}  // namespace clear::features

@@ -1,0 +1,31 @@
+#include "features/skt_features.hpp"
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace clear::features {
+
+const std::vector<std::string>& skt_feature_names() {
+  static const std::vector<std::string> names = {
+      "skt_mean", "skt_std", "skt_slope", "skt_min", "skt_max",
+  };
+  return names;
+}
+
+std::vector<double> extract_skt_features(std::span<const double> skt,
+                                         double sample_rate) {
+  CLEAR_CHECK_MSG(skt.size() >= 2, "SKT window too short");
+  CLEAR_CHECK_MSG(sample_rate > 0, "SKT sample rate must be positive");
+  std::vector<double> f;
+  f.reserve(kSktFeatureCount);
+  f.push_back(stats::mean(skt));
+  f.push_back(stats::stddev(skt));
+  // Slope per second rather than per sample, so the feature is rate-invariant.
+  f.push_back(stats::slope(skt) * sample_rate);
+  f.push_back(stats::min(skt));
+  f.push_back(stats::max(skt));
+  CLEAR_CHECK_MSG(f.size() == kSktFeatureCount, "SKT feature count drifted");
+  return f;
+}
+
+}  // namespace clear::features

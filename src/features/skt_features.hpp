@@ -1,0 +1,19 @@
+// Skin-temperature feature block: 5 features per window (paper: 5 SKT).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace clear::features {
+
+inline constexpr std::size_t kSktFeatureCount = 5;
+
+/// Feature names, in extraction order. Size == kSktFeatureCount.
+const std::vector<std::string>& skt_feature_names();
+
+/// Extract {mean, std, slope, min, max} from one SKT window.
+std::vector<double> extract_skt_features(std::span<const double> skt,
+                                         double sample_rate);
+
+}  // namespace clear::features

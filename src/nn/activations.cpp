@@ -1,0 +1,99 @@
+#include "nn/activations.hpp"
+
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace clear::nn {
+
+Tensor ReLU::forward(const Tensor& input) {
+  mask_ = Tensor(input.shape());
+  Tensor out = input;
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    const bool on = input[i] > 0.0f;
+    mask_[i] = on ? 1.0f : 0.0f;
+    if (!on) out[i] = 0.0f;
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  CLEAR_CHECK_MSG(grad_output.same_shape(mask_), "ReLU backward shape mismatch");
+  return ops::mul(grad_output, mask_);
+}
+
+Dropout::Dropout(double rate, Rng& rng) : rate_(rate), rng_(rng.fork(0xD09)) {
+  CLEAR_CHECK_MSG(rate >= 0.0 && rate < 1.0, "dropout rate must be in [0,1)");
+}
+
+Tensor Dropout::forward(const Tensor& input) {
+  if (!training_ || rate_ == 0.0) {
+    identity_pass_ = true;
+    return input;
+  }
+  identity_pass_ = false;
+  mask_ = Tensor(input.shape());
+  const float keep_inv = 1.0f / static_cast<float>(1.0 - rate_);
+  Tensor out = input;
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    const bool keep = !rng_.bernoulli(rate_);
+    mask_[i] = keep ? keep_inv : 0.0f;
+    out[i] *= mask_[i];
+  }
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  if (identity_pass_) return grad_output;
+  CLEAR_CHECK_MSG(grad_output.same_shape(mask_),
+                  "Dropout backward shape mismatch");
+  return ops::mul(grad_output, mask_);
+}
+
+Tensor Flatten::forward(const Tensor& input) {
+  CLEAR_CHECK_MSG(input.rank() >= 2, "Flatten expects batched input");
+  cached_shape_ = input.shape();
+  const std::size_t n = input.extent(0);
+  return input.reshaped({n, input.numel() / n});
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  CLEAR_CHECK_MSG(!cached_shape_.empty(), "backward before forward");
+  return grad_output.reshaped(cached_shape_);
+}
+
+Tensor ToSequence::forward(const Tensor& input) {
+  CLEAR_CHECK_MSG(input.rank() == 4, "ToSequence expects [N, C, H, W]");
+  cached_shape_ = input.shape();
+  const std::size_t n = input.extent(0);
+  const std::size_t c = input.extent(1);
+  const std::size_t h = input.extent(2);
+  const std::size_t w = input.extent(3);
+  Tensor out({n, w, c * h});
+  for (std::size_t b = 0; b < n; ++b)
+    for (std::size_t ch = 0; ch < c; ++ch)
+      for (std::size_t i = 0; i < h; ++i)
+        for (std::size_t j = 0; j < w; ++j)
+          out.at3(b, j, ch * h + i) = input.at4(b, ch, i, j);
+  return out;
+}
+
+Tensor ToSequence::backward(const Tensor& grad_output) {
+  CLEAR_CHECK_MSG(!cached_shape_.empty(), "backward before forward");
+  const std::size_t n = cached_shape_[0];
+  const std::size_t c = cached_shape_[1];
+  const std::size_t h = cached_shape_[2];
+  const std::size_t w = cached_shape_[3];
+  CLEAR_CHECK_MSG(grad_output.rank() == 3 && grad_output.extent(0) == n &&
+                      grad_output.extent(1) == w &&
+                      grad_output.extent(2) == c * h,
+                  "ToSequence backward shape mismatch");
+  Tensor grad(cached_shape_);
+  for (std::size_t b = 0; b < n; ++b)
+    for (std::size_t ch = 0; ch < c; ++ch)
+      for (std::size_t i = 0; i < h; ++i)
+        for (std::size_t j = 0; j < w; ++j)
+          grad.at4(b, ch, i, j) = grad_output.at3(b, j, ch * h + i);
+  return grad;
+}
+
+}  // namespace clear::nn

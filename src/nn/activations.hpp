@@ -1,0 +1,58 @@
+// Stateless / mask-based layers: ReLU, Dropout, Flatten, and the
+// conv-to-sequence reshape feeding the LSTM.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace clear::nn {
+
+class ReLU : public Layer {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor mask_;  ///< 1 where input > 0.
+};
+
+/// Inverted dropout: active only in training mode.
+class Dropout : public Layer {
+ public:
+  Dropout(double rate, Rng& rng);
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Dropout"; }
+
+ private:
+  double rate_;
+  Rng rng_;
+  Tensor mask_;
+  bool identity_pass_ = true;
+};
+
+/// [N, ...] -> [N, prod(...)].
+class Flatten : public Layer {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Flatten"; }
+
+ private:
+  std::vector<std::size_t> cached_shape_;
+};
+
+/// [N, C, H, W] -> [N, W, C*H]: turns the conv feature maps into a sequence
+/// along the window axis (time) for the LSTM, each step carrying the full
+/// channel-by-feature column.
+class ToSequence : public Layer {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "ToSequence"; }
+
+ private:
+  std::vector<std::size_t> cached_shape_;
+};
+
+}  // namespace clear::nn

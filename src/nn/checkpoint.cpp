@@ -1,0 +1,74 @@
+#include "nn/checkpoint.hpp"
+
+#include <fstream>
+
+#include "common/error.hpp"
+#include "tensor/serialize.hpp"
+
+namespace clear::nn {
+
+namespace {
+constexpr std::uint64_t kCheckpointMagic = 0x434C454152434B50ull;  // "CLEARCKP"
+}
+
+void save_checkpoint(std::ostream& os, Sequential& model) {
+  const std::vector<Param*> params = model.parameters();
+  io::write_u64(os, kCheckpointMagic);
+  io::write_u64(os, params.size());
+  for (const Param* p : params) {
+    io::write_string(os, p->name);
+    io::write_tensor(os, p->value);
+  }
+}
+
+void save_checkpoint_file(const std::string& path, Sequential& model) {
+  std::ofstream os(path, std::ios::binary);
+  CLEAR_CHECK_MSG(os.good(), "cannot open checkpoint for writing: " << path);
+  save_checkpoint(os, model);
+  CLEAR_CHECK_MSG(os.good(), "IO error writing checkpoint: " << path);
+}
+
+void load_checkpoint(std::istream& is, Sequential& model) {
+  CLEAR_CHECK_MSG(io::read_u64(is) == kCheckpointMagic,
+                  "bad checkpoint magic");
+  const std::vector<Param*> params = model.parameters();
+  const std::uint64_t count = io::read_u64(is);
+  CLEAR_CHECK_MSG(count == params.size(),
+                  "checkpoint parameter count mismatch: file has "
+                      << count << ", model has " << params.size());
+  for (Param* p : params) {
+    const std::string name = io::read_string(is);
+    CLEAR_CHECK_MSG(name == p->name, "checkpoint parameter name mismatch: "
+                                         << name << " vs " << p->name);
+    Tensor t = io::read_tensor(is);
+    CLEAR_CHECK_MSG(t.same_shape(p->value),
+                    "checkpoint shape mismatch for " << name << ": "
+                        << t.shape_str() << " vs " << p->value.shape_str());
+    p->value = std::move(t);
+  }
+}
+
+void load_checkpoint_file(const std::string& path, Sequential& model) {
+  std::ifstream is(path, std::ios::binary);
+  CLEAR_CHECK_MSG(is.good(), "cannot open checkpoint: " << path);
+  load_checkpoint(is, model);
+}
+
+std::vector<Tensor> snapshot_parameters(Sequential& model) {
+  std::vector<Tensor> snap;
+  for (const Param* p : model.parameters()) snap.push_back(p->value);
+  return snap;
+}
+
+void restore_parameters(Sequential& model, const std::vector<Tensor>& snap) {
+  const std::vector<Param*> params = model.parameters();
+  CLEAR_CHECK_MSG(params.size() == snap.size(),
+                  "snapshot parameter count mismatch");
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    CLEAR_CHECK_MSG(snap[i].same_shape(params[i]->value),
+                    "snapshot shape mismatch");
+    params[i]->value = snap[i];
+  }
+}
+
+}  // namespace clear::nn

@@ -1,0 +1,29 @@
+// Checkpointing: save / restore the parameter values of a model.
+//
+// The format stores (name, tensor) pairs in parameter order. Loading
+// validates count, names, and shapes against the destination model, so a
+// checkpoint can only be restored into an architecturally identical network
+// — exactly the contract the CLEAR pipeline needs when shipping per-cluster
+// "best checkpoints" to the edge.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/sequential.hpp"
+
+namespace clear::nn {
+
+/// Serialize all parameter values of `model` to a binary stream/file.
+void save_checkpoint(std::ostream& os, Sequential& model);
+void save_checkpoint_file(const std::string& path, Sequential& model);
+
+/// Restore parameter values in place. Throws clear::Error on any mismatch.
+void load_checkpoint(std::istream& is, Sequential& model);
+void load_checkpoint_file(const std::string& path, Sequential& model);
+
+/// In-memory snapshot of parameter values (used to keep the best epoch).
+std::vector<Tensor> snapshot_parameters(Sequential& model);
+void restore_parameters(Sequential& model, const std::vector<Tensor>& snap);
+
+}  // namespace clear::nn

@@ -1,0 +1,100 @@
+#include "nn/conv.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace clear::nn {
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kh, std::size_t kw, std::size_t stride,
+               std::size_t pad, Rng& rng)
+    : in_ch_(in_channels),
+      out_ch_(out_channels),
+      kh_(kh),
+      kw_(kw),
+      stride_(stride),
+      pad_(pad),
+      weight_("conv.weight", Tensor({out_channels, in_channels * kh * kw})),
+      bias_("conv.bias", Tensor({out_channels})) {
+  CLEAR_CHECK_MSG(kh_ >= 1 && kw_ >= 1 && stride_ >= 1, "bad conv geometry");
+  const float fan_in = static_cast<float>(in_ch_ * kh_ * kw_);
+  const float bound = std::sqrt(6.0f / fan_in);
+  weight_.value.fill_uniform(rng, -bound, bound);
+  bias_.value.zero();
+}
+
+Tensor Conv2d::forward(const Tensor& input) {
+  CLEAR_CHECK_MSG(input.rank() == 4 && input.extent(1) == in_ch_,
+                  "Conv2d expects [N, " << in_ch_ << ", H, W], got "
+                                        << input.shape_str());
+  const std::size_t n = input.extent(0);
+  const std::size_t h = input.extent(2);
+  const std::size_t w = input.extent(3);
+  const std::size_t oh = ops::conv_out_extent(h, kh_, stride_, pad_);
+  const std::size_t ow = ops::conv_out_extent(w, kw_, stride_, pad_);
+  cached_in_shape_ = input.shape();
+  cached_cols_.clear();
+  cached_cols_.reserve(n);
+
+  Tensor out({n, out_ch_, oh, ow});
+  for (std::size_t b = 0; b < n; ++b) {
+    // View of sample b as [C, H, W] (contiguous slice).
+    Tensor image({in_ch_, h, w});
+    const float* src = input.data() + b * in_ch_ * h * w;
+    std::copy(src, src + in_ch_ * h * w, image.data());
+    Tensor cols = ops::im2col(image, kh_, kw_, stride_, pad_);
+    Tensor prod = ops::matmul(weight_.value, cols);  // [out_ch, oh*ow]
+    float* dst = out.data() + b * out_ch_ * oh * ow;
+    const float* ps = prod.data();
+    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+      const float bv = bias_.value[oc];
+      for (std::size_t i = 0; i < oh * ow; ++i)
+        dst[oc * oh * ow + i] = ps[oc * oh * ow + i] + bv;
+    }
+    cached_cols_.push_back(std::move(cols));
+  }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  CLEAR_CHECK_MSG(!cached_in_shape_.empty(), "backward before forward");
+  const std::size_t n = cached_in_shape_[0];
+  const std::size_t h = cached_in_shape_[2];
+  const std::size_t w = cached_in_shape_[3];
+  const std::size_t oh = ops::conv_out_extent(h, kh_, stride_, pad_);
+  const std::size_t ow = ops::conv_out_extent(w, kw_, stride_, pad_);
+  CLEAR_CHECK_MSG(grad_output.rank() == 4 && grad_output.extent(0) == n &&
+                      grad_output.extent(1) == out_ch_ &&
+                      grad_output.extent(2) == oh &&
+                      grad_output.extent(3) == ow,
+                  "Conv2d backward shape mismatch");
+
+  Tensor grad_input(cached_in_shape_);
+  const Tensor wt = ops::transpose2d(weight_.value);  // [ic*kh*kw, oc]
+  for (std::size_t b = 0; b < n; ++b) {
+    Tensor g({out_ch_, oh * ow});
+    const float* src = grad_output.data() + b * out_ch_ * oh * ow;
+    std::copy(src, src + out_ch_ * oh * ow, g.data());
+    // dW += g * cols^T.
+    const Tensor colsT = ops::transpose2d(cached_cols_[b]);
+    ops::matmul_accum(g, colsT, weight_.grad);
+    // db += row sums of g.
+    for (std::size_t oc = 0; oc < out_ch_; ++oc)
+      for (std::size_t i = 0; i < oh * ow; ++i)
+        bias_.grad[oc] += g.at2(oc, i);
+    // dx = col2im(W^T g).
+    const Tensor dcols = ops::matmul(wt, g);
+    const Tensor dimage =
+        ops::col2im(dcols, in_ch_, h, w, kh_, kw_, stride_, pad_);
+    float* dst = grad_input.data() + b * in_ch_ * h * w;
+    const float* ds = dimage.data();
+    for (std::size_t i = 0; i < in_ch_ * h * w; ++i) dst[i] += ds[i];
+  }
+  return grad_input;
+}
+
+std::vector<Param*> Conv2d::parameters() { return {&weight_, &bias_}; }
+
+}  // namespace clear::nn

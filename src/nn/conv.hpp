@@ -1,0 +1,31 @@
+// 2-D convolution over NCHW batches, implemented as im2col + GEMM.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace clear::nn {
+
+class Conv2d : public Layer {
+ public:
+  /// Square or rectangular kernel; He-uniform initialization.
+  Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t kh,
+         std::size_t kw, std::size_t stride, std::size_t pad, Rng& rng);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> parameters() override;
+  std::string name() const override { return "Conv2d"; }
+
+  std::size_t in_channels() const { return in_ch_; }
+  std::size_t out_channels() const { return out_ch_; }
+
+ private:
+  std::size_t in_ch_, out_ch_, kh_, kw_, stride_, pad_;
+  Param weight_;  ///< [out_ch, in_ch*kh*kw]
+  Param bias_;    ///< [out_ch]
+  // Cached per-sample im2col matrices and input geometry for backward.
+  std::vector<Tensor> cached_cols_;
+  std::vector<std::size_t> cached_in_shape_;
+};
+
+}  // namespace clear::nn

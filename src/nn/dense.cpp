@@ -1,0 +1,47 @@
+#include "nn/dense.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace clear::nn {
+
+Dense::Dense(std::size_t in_features, std::size_t out_features, Rng& rng)
+    : in_(in_features),
+      out_(out_features),
+      weight_("dense.weight", Tensor({in_features, out_features})),
+      bias_("dense.bias", Tensor({out_features})) {
+  const float bound = std::sqrt(6.0f / static_cast<float>(in_ + out_));
+  weight_.value.fill_uniform(rng, -bound, bound);
+  bias_.value.zero();
+}
+
+Tensor Dense::forward(const Tensor& input) {
+  CLEAR_CHECK_MSG(input.rank() == 2 && input.extent(1) == in_,
+                  "Dense expects [N, " << in_ << "], got "
+                                       << input.shape_str());
+  cached_input_ = input;
+  Tensor out = ops::matmul(input, weight_.value);
+  ops::add_row_bias_inplace(out, bias_.value);
+  return out;
+}
+
+Tensor Dense::backward(const Tensor& grad_output) {
+  CLEAR_CHECK_MSG(grad_output.rank() == 2 && grad_output.extent(1) == out_,
+                  "Dense backward shape mismatch");
+  CLEAR_CHECK_MSG(cached_input_.numel() > 0, "backward before forward");
+  // dW += x^T g ; db += sum_rows(g) ; dx = g W^T.
+  const Tensor xt = ops::transpose2d(cached_input_);
+  ops::matmul_accum(xt, grad_output, weight_.grad);
+  const std::size_t n = grad_output.extent(0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < out_; ++j)
+      bias_.grad[j] += grad_output.at2(i, j);
+  const Tensor wt = ops::transpose2d(weight_.value);
+  return ops::matmul(grad_output, wt);
+}
+
+std::vector<Param*> Dense::parameters() { return {&weight_, &bias_}; }
+
+}  // namespace clear::nn

@@ -1,0 +1,29 @@
+// Fully connected layer: y = x W + b over a [N, in] batch.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace clear::nn {
+
+class Dense : public Layer {
+ public:
+  /// Xavier/Glorot-uniform initialized dense layer.
+  Dense(std::size_t in_features, std::size_t out_features, Rng& rng);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> parameters() override;
+  std::string name() const override { return "Dense"; }
+
+  std::size_t in_features() const { return in_; }
+  std::size_t out_features() const { return out_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  Param weight_;  ///< [in, out]
+  Param bias_;    ///< [out]
+  Tensor cached_input_;
+};
+
+}  // namespace clear::nn

@@ -1,0 +1,9 @@
+#include "nn/layer.hpp"
+
+namespace clear::nn {
+
+void Layer::set_frozen(bool frozen) {
+  for (Param* p : parameters()) p->frozen = frozen;
+}
+
+}  // namespace clear::nn

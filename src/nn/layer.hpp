@@ -1,0 +1,64 @@
+// Layer abstraction for the training stack.
+//
+// Layers own their parameters (value + gradient pairs) and cache whatever
+// activations their backward pass needs. The contract is strict
+// forward-then-backward: backward(grad_out) must be called with the
+// gradient of the loss w.r.t. the most recent forward()'s output, and
+// returns the gradient w.r.t. that forward()'s input.
+//
+// Parameters can be frozen (set_frozen), which the optimizers honour — this
+// is the mechanism behind the paper's on-edge fine-tuning, where the
+// convolutional feature extractor stays fixed and only the LSTM head adapts.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace clear::nn {
+
+/// One trainable tensor with its gradient accumulator.
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+  bool frozen = false;
+
+  Param(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)), grad(value.shape()) {}
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Forward pass on a batch. Caches activations for backward.
+  virtual Tensor forward(const Tensor& input) = 0;
+
+  /// Backward pass: gradient w.r.t. the last forward input. Accumulates
+  /// parameter gradients (callers zero them via Optimizer::zero_grad).
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// All trainable parameters (empty for stateless layers).
+  virtual std::vector<Param*> parameters() { return {}; }
+
+  /// Human-readable layer type/name.
+  virtual std::string name() const = 0;
+
+  /// Training vs. inference mode (dropout etc.).
+  virtual void set_training(bool training) { training_ = training; }
+  bool training() const { return training_; }
+
+  /// Freeze/unfreeze every parameter of this layer.
+  void set_frozen(bool frozen);
+
+ protected:
+  bool training_ = true;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace clear::nn

@@ -1,0 +1,33 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace clear::nn {
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::size_t>& labels) {
+  CLEAR_CHECK_MSG(logits.rank() == 2, "logits must be [N, C]");
+  const std::size_t n = logits.extent(0);
+  const std::size_t c = logits.extent(1);
+  CLEAR_CHECK_MSG(labels.size() == n, "label count mismatch");
+
+  LossResult result;
+  result.probabilities = ops::softmax_rows(logits);
+  result.grad_logits = result.probabilities;
+  double total = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    CLEAR_CHECK_MSG(labels[i] < c, "label out of range");
+    const float p = result.probabilities.at2(i, labels[i]);
+    total -= std::log(std::max(p, 1e-12f));
+    result.grad_logits.at2(i, labels[i]) -= 1.0f;
+  }
+  for (float& g : result.grad_logits.flat()) g *= inv_n;
+  result.loss = total / static_cast<double>(n);
+  return result;
+}
+
+}  // namespace clear::nn

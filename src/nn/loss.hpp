@@ -1,0 +1,22 @@
+// Softmax cross-entropy with integer class labels.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace clear::nn {
+
+struct LossResult {
+  double loss = 0.0;     ///< Mean cross-entropy over the batch.
+  Tensor grad_logits;    ///< d(mean loss)/d(logits), [N, C].
+  Tensor probabilities;  ///< Softmax outputs, [N, C].
+};
+
+/// Compute softmax + cross-entropy + gradient for logits [N, C] and labels
+/// of length N with values < C.
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::size_t>& labels);
+
+}  // namespace clear::nn

@@ -1,0 +1,154 @@
+#include "nn/lstm.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace clear::nn {
+
+namespace {
+float sigmoidf(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+}  // namespace
+
+Lstm::Lstm(std::size_t input_dim, std::size_t hidden_dim, Rng& rng)
+    : in_(input_dim),
+      hidden_(hidden_dim),
+      wx_("lstm.wx", Tensor({input_dim, 4 * hidden_dim})),
+      wh_("lstm.wh", Tensor({hidden_dim, 4 * hidden_dim})),
+      b_("lstm.b", Tensor({4 * hidden_dim})) {
+  const float bx = std::sqrt(6.0f / static_cast<float>(in_ + 4 * hidden_));
+  const float bh = std::sqrt(6.0f / static_cast<float>(hidden_ + 4 * hidden_));
+  wx_.value.fill_uniform(rng, -bx, bx);
+  wh_.value.fill_uniform(rng, -bh, bh);
+  b_.value.zero();
+  // Forget-gate bias = 1 (gates packed i, f, g, o).
+  for (std::size_t j = hidden_; j < 2 * hidden_; ++j) b_.value[j] = 1.0f;
+}
+
+Tensor Lstm::forward(const Tensor& input) {
+  CLEAR_CHECK_MSG(input.rank() == 3 && input.extent(2) == in_,
+                  "Lstm expects [N, T, " << in_ << "], got "
+                                         << input.shape_str());
+  const std::size_t n = input.extent(0);
+  const std::size_t t_steps = input.extent(1);
+  CLEAR_CHECK_MSG(t_steps >= 1, "Lstm needs at least one time step");
+  cached_batch_ = n;
+  cached_time_ = t_steps;
+  steps_.clear();
+  steps_.resize(t_steps);
+
+  Tensor h({n, hidden_});
+  Tensor c({n, hidden_});
+  for (std::size_t t = 0; t < t_steps; ++t) {
+    StepCache& sc = steps_[t];
+    sc.x = Tensor({n, in_});
+    for (std::size_t b = 0; b < n; ++b)
+      for (std::size_t d = 0; d < in_; ++d)
+        sc.x.at2(b, d) = input.at3(b, t, d);
+    sc.h_prev = h;
+    sc.c_prev = c;
+
+    Tensor z = ops::matmul(sc.x, wx_.value);              // [N, 4H]
+    const Tensor zh = ops::matmul(sc.h_prev, wh_.value);  // [N, 4H]
+    ops::add_inplace(z, zh);
+    ops::add_row_bias_inplace(z, b_.value);
+
+    sc.i = Tensor({n, hidden_});
+    sc.f = Tensor({n, hidden_});
+    sc.g = Tensor({n, hidden_});
+    sc.o = Tensor({n, hidden_});
+    sc.c = Tensor({n, hidden_});
+    sc.tanh_c = Tensor({n, hidden_});
+    for (std::size_t b = 0; b < n; ++b) {
+      for (std::size_t j = 0; j < hidden_; ++j) {
+        const float zi = z.at2(b, j);
+        const float zf = z.at2(b, hidden_ + j);
+        const float zg = z.at2(b, 2 * hidden_ + j);
+        const float zo = z.at2(b, 3 * hidden_ + j);
+        const float iv = sigmoidf(zi);
+        const float fv = sigmoidf(zf);
+        const float gv = std::tanh(zg);
+        const float ov = sigmoidf(zo);
+        const float cv = fv * sc.c_prev.at2(b, j) + iv * gv;
+        sc.i.at2(b, j) = iv;
+        sc.f.at2(b, j) = fv;
+        sc.g.at2(b, j) = gv;
+        sc.o.at2(b, j) = ov;
+        sc.c.at2(b, j) = cv;
+        sc.tanh_c.at2(b, j) = std::tanh(cv);
+      }
+    }
+    c = sc.c;
+    h = Tensor({n, hidden_});
+    for (std::size_t b = 0; b < n; ++b)
+      for (std::size_t j = 0; j < hidden_; ++j)
+        h.at2(b, j) = sc.o.at2(b, j) * sc.tanh_c.at2(b, j);
+    if (state_transform_) {
+      state_transform_(h);
+      state_transform_(c);
+    }
+  }
+  return h;
+}
+
+Tensor Lstm::backward(const Tensor& grad_output) {
+  CLEAR_CHECK_MSG(!steps_.empty(), "backward before forward");
+  const std::size_t n = cached_batch_;
+  const std::size_t t_steps = cached_time_;
+  CLEAR_CHECK_MSG(grad_output.rank() == 2 && grad_output.extent(0) == n &&
+                      grad_output.extent(1) == hidden_,
+                  "Lstm backward shape mismatch");
+
+  Tensor grad_input({n, t_steps, in_});
+  Tensor dh = grad_output;        // Gradient flowing into h_t.
+  Tensor dc({n, hidden_});        // Gradient flowing into c_t.
+  const Tensor wxT = ops::transpose2d(wx_.value);
+  const Tensor whT = ops::transpose2d(wh_.value);
+
+  for (std::size_t t = t_steps; t-- > 0;) {
+    const StepCache& sc = steps_[t];
+    Tensor dz({n, 4 * hidden_});
+    Tensor dct({n, hidden_});
+    for (std::size_t b = 0; b < n; ++b) {
+      for (std::size_t j = 0; j < hidden_; ++j) {
+        const float iv = sc.i.at2(b, j);
+        const float fv = sc.f.at2(b, j);
+        const float gv = sc.g.at2(b, j);
+        const float ov = sc.o.at2(b, j);
+        const float tc = sc.tanh_c.at2(b, j);
+        const float dhv = dh.at2(b, j);
+        const float dov = dhv * tc;
+        const float dcv = dhv * ov * (1.0f - tc * tc) + dc.at2(b, j);
+        const float div = dcv * gv;
+        const float dfv = dcv * sc.c_prev.at2(b, j);
+        const float dgv = dcv * iv;
+        dz.at2(b, j) = div * iv * (1.0f - iv);
+        dz.at2(b, hidden_ + j) = dfv * fv * (1.0f - fv);
+        dz.at2(b, 2 * hidden_ + j) = dgv * (1.0f - gv * gv);
+        dz.at2(b, 3 * hidden_ + j) = dov * ov * (1.0f - ov);
+        dct.at2(b, j) = dcv * fv;  // Flows into c_{t-1}.
+      }
+    }
+    // Parameter gradients.
+    const Tensor xT = ops::transpose2d(sc.x);
+    ops::matmul_accum(xT, dz, wx_.grad);
+    const Tensor hT = ops::transpose2d(sc.h_prev);
+    ops::matmul_accum(hT, dz, wh_.grad);
+    for (std::size_t b = 0; b < n; ++b)
+      for (std::size_t j = 0; j < 4 * hidden_; ++j)
+        b_.grad[j] += dz.at2(b, j);
+    // Input and recurrent gradients.
+    const Tensor dx = ops::matmul(dz, wxT);  // [N, D]
+    for (std::size_t b = 0; b < n; ++b)
+      for (std::size_t d = 0; d < in_; ++d)
+        grad_input.at3(b, t, d) = dx.at2(b, d);
+    dh = ops::matmul(dz, whT);  // Gradient into h_{t-1}.
+    dc = dct;
+  }
+  return grad_input;
+}
+
+std::vector<Param*> Lstm::parameters() { return {&wx_, &wh_, &b_}; }
+
+}  // namespace clear::nn

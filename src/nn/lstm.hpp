@@ -1,0 +1,58 @@
+// Single-layer LSTM over [N, T, D] batches, returning the last hidden state
+// [N, H] (the classification head only needs the final summary, as in the
+// paper's CNN-LSTM of Fig. 2).
+//
+// Gate order in the packed weight matrices is (input, forget, cell, output).
+// The forget-gate bias is initialized to 1, the standard trick that prevents
+// early gradient vanishing on short sequences.
+#pragma once
+
+#include <functional>
+
+#include "nn/layer.hpp"
+
+namespace clear::nn {
+
+class Lstm : public Layer {
+ public:
+  Lstm(std::size_t input_dim, std::size_t hidden_dim, Rng& rng);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> parameters() override;
+  std::string name() const override { return "Lstm"; }
+
+  std::size_t input_dim() const { return in_; }
+  std::size_t hidden_dim() const { return hidden_; }
+
+  /// Optional transform applied to the hidden and cell state after every
+  /// step. The edge runtime uses this to emulate accelerators whose
+  /// recurrent state lives in a reduced numeric format (int8 / fp16);
+  /// backward treats it as straight-through (standard QAT practice).
+  void set_state_transform(std::function<void(Tensor&)> transform) {
+    state_transform_ = std::move(transform);
+  }
+
+ private:
+  std::size_t in_;
+  std::size_t hidden_;
+  Param wx_;  ///< [D, 4H]
+  Param wh_;  ///< [H, 4H]
+  Param b_;   ///< [4H]
+
+  // Forward caches (per step).
+  struct StepCache {
+    Tensor x;       ///< [N, D]
+    Tensor h_prev;  ///< [N, H]
+    Tensor c_prev;  ///< [N, H]
+    Tensor i, f, g, o;  ///< Gate activations, each [N, H].
+    Tensor c;       ///< [N, H]
+    Tensor tanh_c;  ///< [N, H]
+  };
+  std::vector<StepCache> steps_;
+  std::size_t cached_batch_ = 0;
+  std::size_t cached_time_ = 0;
+  std::function<void(Tensor&)> state_transform_;
+};
+
+}  // namespace clear::nn

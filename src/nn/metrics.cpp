@@ -1,0 +1,44 @@
+#include "nn/metrics.hpp"
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace clear::nn {
+
+BinaryMetrics binary_metrics(const std::vector<std::size_t>& predictions,
+                             const std::vector<std::size_t>& labels,
+                             std::size_t positive) {
+  CLEAR_CHECK_MSG(predictions.size() == labels.size(),
+                  "prediction/label count mismatch");
+  CLEAR_CHECK_MSG(!predictions.empty(), "empty prediction set");
+  BinaryMetrics m;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    const bool pred_pos = predictions[i] == positive;
+    const bool is_pos = labels[i] == positive;
+    if (pred_pos && is_pos) ++m.tp;
+    else if (pred_pos && !is_pos) ++m.fp;
+    else if (!pred_pos && is_pos) ++m.fn;
+    else ++m.tn;
+  }
+  const double n = static_cast<double>(m.count());
+  m.accuracy = static_cast<double>(m.tp + m.tn) / n;
+  m.precision = m.tp + m.fp > 0
+                    ? static_cast<double>(m.tp) / static_cast<double>(m.tp + m.fp)
+                    : 0.0;
+  m.recall = m.tp + m.fn > 0
+                 ? static_cast<double>(m.tp) / static_cast<double>(m.tp + m.fn)
+                 : 0.0;
+  m.f1 = m.precision + m.recall > 1e-12
+             ? 2.0 * m.precision * m.recall / (m.precision + m.recall)
+             : 0.0;
+  return m;
+}
+
+MeanStd mean_std(const std::vector<double>& values) {
+  MeanStd ms;
+  ms.mean = stats::mean(values);
+  ms.stddev = stats::sample_stddev(values);
+  return ms;
+}
+
+}  // namespace clear::nn

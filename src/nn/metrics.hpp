@@ -1,0 +1,34 @@
+// Classification metrics. The paper reports accuracy and F1-score of the
+// fear (positive) class, each with its standard deviation across LOSO folds.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace clear::nn {
+
+struct BinaryMetrics {
+  std::size_t tp = 0, tn = 0, fp = 0, fn = 0;
+  double accuracy = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  std::size_t count() const { return tp + tn + fp + fn; }
+};
+
+/// Compute binary metrics treating label `positive` (default 1 = fear) as
+/// the positive class. Predictions and labels must be equal-length and
+/// non-empty.
+BinaryMetrics binary_metrics(const std::vector<std::size_t>& predictions,
+                             const std::vector<std::size_t>& labels,
+                             std::size_t positive = 1);
+
+/// Aggregate per-fold values into (mean, standard deviation) pairs — the
+/// form every results table in the paper uses.
+struct MeanStd {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+MeanStd mean_std(const std::vector<double>& values);
+
+}  // namespace clear::nn

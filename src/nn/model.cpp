@@ -1,0 +1,81 @@
+#include "nn/model.hpp"
+
+#include "common/error.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv.hpp"
+#include "nn/dense.hpp"
+#include "nn/lstm.hpp"
+#include "nn/pool.hpp"
+
+namespace clear::nn {
+
+std::unique_ptr<Sequential> build_cnn_lstm(const CnnLstmConfig& config,
+                                           Rng& rng) {
+  CLEAR_CHECK_MSG(config.pooled_feature_dim() >= 1 &&
+                      config.pooled_window_count() >= 1,
+                  "feature map too small for two 2x2 poolings");
+  CLEAR_CHECK_MSG(config.n_classes >= 2, "need at least two classes");
+  auto model = std::make_unique<Sequential>();
+  // Feature extractor (frozen during fine-tuning): layers 0..6.
+  model->add(std::make_unique<Conv2d>(1, config.conv1_channels, 3, 3, 1, 1,
+                                      rng));          // 0
+  model->add(std::make_unique<ReLU>());               // 1
+  model->add(std::make_unique<MaxPool2d>(2, 2));      // 2
+  model->add(std::make_unique<Conv2d>(config.conv1_channels,
+                                      config.conv2_channels, 3, 3, 1, 1,
+                                      rng));          // 3
+  model->add(std::make_unique<ReLU>());               // 4
+  model->add(std::make_unique<MaxPool2d>(2, 2));      // 5
+  model->add(std::make_unique<Dropout>(config.dropout, rng));  // 6
+  // Recurrent head (re-trained during fine-tuning): layers 7..9.
+  model->add(std::make_unique<ToSequence>());         // 7
+  model->add(std::make_unique<Lstm>(config.lstm_input_dim(),
+                                    config.lstm_hidden, rng));  // 8
+  model->add(std::make_unique<Dense>(config.lstm_hidden, config.n_classes,
+                                     rng));           // 9
+  return model;
+}
+
+std::size_t fine_tune_boundary() { return 7; }
+
+std::unique_ptr<Sequential> build_cnn_only(const CnnLstmConfig& config,
+                                           Rng& rng) {
+  CLEAR_CHECK_MSG(config.pooled_feature_dim() >= 1 &&
+                      config.pooled_window_count() >= 1,
+                  "feature map too small for two 2x2 poolings");
+  auto model = std::make_unique<Sequential>();
+  model->add(std::make_unique<Conv2d>(1, config.conv1_channels, 3, 3, 1, 1,
+                                      rng));
+  model->add(std::make_unique<ReLU>());
+  model->add(std::make_unique<MaxPool2d>(2, 2));
+  model->add(std::make_unique<Conv2d>(config.conv1_channels,
+                                      config.conv2_channels, 3, 3, 1, 1,
+                                      rng));
+  model->add(std::make_unique<ReLU>());
+  model->add(std::make_unique<MaxPool2d>(2, 2));
+  model->add(std::make_unique<Dropout>(config.dropout, rng));
+  model->add(std::make_unique<Flatten>());
+  const std::size_t flat = config.conv2_channels *
+                           config.pooled_feature_dim() *
+                           config.pooled_window_count();
+  // Match the CNN-LSTM's head capacity for a fair comparison.
+  model->add(std::make_unique<Dense>(flat, config.lstm_hidden, rng));
+  model->add(std::make_unique<ReLU>());
+  model->add(std::make_unique<Dense>(config.lstm_hidden, config.n_classes,
+                                     rng));
+  return model;
+}
+
+std::unique_ptr<Sequential> build_lstm_only(const CnnLstmConfig& config,
+                                            Rng& rng) {
+  auto model = std::make_unique<Sequential>();
+  // [N, 1, F, W] -> [N, W, F]: each window column is one step.
+  model->add(std::make_unique<ToSequence>());
+  model->add(std::make_unique<Lstm>(config.feature_dim, config.lstm_hidden,
+                                    rng));
+  model->add(std::make_unique<Dense>(config.lstm_hidden, config.n_classes,
+                                     rng));
+  return model;
+}
+
+}  // namespace clear::nn

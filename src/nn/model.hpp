@@ -1,0 +1,59 @@
+// The paper's CNN-LSTM architecture (Fig. 2): two convolutional blocks over
+// the 2-D feature map, reshaped into a sequence along the window axis, an
+// LSTM summarizing the sequence, and a dense softmax head.
+#pragma once
+
+#include <memory>
+
+#include "nn/sequential.hpp"
+
+namespace clear::nn {
+
+struct CnnLstmConfig {
+  std::size_t feature_dim = 123;   ///< F — rows of the feature map.
+  std::size_t window_count = 12;   ///< W — columns of the feature map.
+  std::size_t conv1_channels = 6;
+  std::size_t conv2_channels = 12;
+  std::size_t lstm_hidden = 32;
+  std::size_t n_classes = 2;       ///< fear / non-fear.
+  double dropout = 0.15;
+
+  /// Feature rows after the two 2x2 poolings.
+  std::size_t pooled_feature_dim() const { return feature_dim / 2 / 2; }
+  /// Sequence length after the two 2x2 poolings.
+  std::size_t pooled_window_count() const { return window_count / 2 / 2; }
+  /// LSTM per-step input dimension.
+  std::size_t lstm_input_dim() const {
+    return conv2_channels * pooled_feature_dim();
+  }
+};
+
+/// Build the network. Input: [N, 1, F, W]; output logits: [N, n_classes].
+std::unique_ptr<Sequential> build_cnn_lstm(const CnnLstmConfig& config,
+                                           Rng& rng);
+
+/// Layer index separating the convolutional feature extractor from the
+/// recurrent head. Passing this to Sequential::freeze_below() freezes the
+/// conv stack for on-edge fine-tuning (paper §III-B-2).
+std::size_t fine_tune_boundary();
+
+/// Architecture baselines for the ablation of the paper's CNN-LSTM choice
+/// (§III-A-3: the CNN-LSTM "integrates the feature maps' global and
+/// sequential information").
+///
+/// CNN-only (the style of Sun et al. [18]): the same conv stack, but the
+/// pooled maps feed a dense head directly — no sequential modelling.
+std::unique_ptr<Sequential> build_cnn_only(const CnnLstmConfig& config,
+                                           Rng& rng);
+
+/// LSTM-only: the raw feature map is treated as a W-step sequence of
+/// F-dimensional columns — no spatial feature extraction.
+std::unique_ptr<Sequential> build_lstm_only(const CnnLstmConfig& config,
+                                            Rng& rng);
+
+/// Model-builder signature shared by the variants (strategy injection for
+/// the evaluation drivers).
+using ModelFactory =
+    std::unique_ptr<Sequential> (*)(const CnnLstmConfig&, Rng&);
+
+}  // namespace clear::nn

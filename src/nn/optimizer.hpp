@@ -1,0 +1,58 @@
+// First-order optimizers over a parameter set. Frozen parameters are
+// skipped by step() (their gradients are still zeroed), which implements
+// partial fine-tuning.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace clear::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Param*> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Apply one update from the accumulated gradients.
+  virtual void step() = 0;
+
+  /// Zero all gradient accumulators (frozen included).
+  void zero_grad();
+
+  /// Rescale gradients so their global L2 norm is at most `max_norm`.
+  /// Returns the pre-clip norm.
+  double clip_grad_norm(double max_norm);
+
+ protected:
+  std::vector<Param*> params_;
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Param*> params, double lr, double momentum = 0.0,
+      double weight_decay = 0.0);
+  void step() override;
+
+ private:
+  double lr_;
+  double momentum_;
+  double weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Param*> params, double lr, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8, double weight_decay = 0.0);
+  void step() override;
+
+ private:
+  double lr_, beta1_, beta2_, eps_, weight_decay_;
+  std::size_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace clear::nn

@@ -1,0 +1,63 @@
+#include "nn/pool.hpp"
+
+#include "common/error.hpp"
+
+namespace clear::nn {
+
+MaxPool2d::MaxPool2d(std::size_t kh, std::size_t kw) : kh_(kh), kw_(kw) {
+  CLEAR_CHECK_MSG(kh_ >= 1 && kw_ >= 1, "bad pool geometry");
+}
+
+Tensor MaxPool2d::forward(const Tensor& input) {
+  CLEAR_CHECK_MSG(input.rank() == 4, "MaxPool2d expects [N, C, H, W]");
+  const std::size_t n = input.extent(0);
+  const std::size_t c = input.extent(1);
+  const std::size_t h = input.extent(2);
+  const std::size_t w = input.extent(3);
+  const std::size_t oh = h / kh_;
+  const std::size_t ow = w / kw_;
+  CLEAR_CHECK_MSG(oh >= 1 && ow >= 1, "pool window larger than input");
+  cached_in_shape_ = input.shape();
+  Tensor out({n, c, oh, ow});
+  argmax_.assign(out.numel(), 0);
+  const float* src = input.data();
+  float* dst = out.data();
+  std::size_t o = 0;
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const std::size_t base = (b * c + ch) * h * w;
+      for (std::size_t oi = 0; oi < oh; ++oi) {
+        for (std::size_t oj = 0; oj < ow; ++oj, ++o) {
+          std::size_t best_idx = base + (oi * kh_) * w + oj * kw_;
+          float best = src[best_idx];
+          for (std::size_t ki = 0; ki < kh_; ++ki) {
+            for (std::size_t kj = 0; kj < kw_; ++kj) {
+              const std::size_t idx =
+                  base + (oi * kh_ + ki) * w + (oj * kw_ + kj);
+              if (src[idx] > best) {
+                best = src[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          dst[o] = best;
+          argmax_[o] = best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_output) {
+  CLEAR_CHECK_MSG(!cached_in_shape_.empty(), "backward before forward");
+  CLEAR_CHECK_MSG(grad_output.numel() == argmax_.size(),
+                  "MaxPool2d backward shape mismatch");
+  Tensor grad(cached_in_shape_);
+  const float* g = grad_output.data();
+  float* d = grad.data();
+  for (std::size_t o = 0; o < argmax_.size(); ++o) d[argmax_[o]] += g[o];
+  return grad;
+}
+
+}  // namespace clear::nn

@@ -1,0 +1,24 @@
+// Max pooling over NCHW batches. Non-overlapping windows (stride == kernel);
+// trailing rows/columns that do not fill a window are dropped, matching the
+// common "valid" pooling convention.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace clear::nn {
+
+class MaxPool2d : public Layer {
+ public:
+  MaxPool2d(std::size_t kh, std::size_t kw);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "MaxPool2d"; }
+
+ private:
+  std::size_t kh_, kw_;
+  std::vector<std::size_t> cached_in_shape_;
+  std::vector<std::size_t> argmax_;  ///< Flat input index per output element.
+};
+
+}  // namespace clear::nn

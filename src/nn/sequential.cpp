@@ -1,0 +1,62 @@
+#include "nn/sequential.hpp"
+
+#include "common/error.hpp"
+
+namespace clear::nn {
+
+Sequential& Sequential::add(LayerPtr layer) {
+  CLEAR_CHECK_MSG(layer != nullptr, "null layer");
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& input) {
+  CLEAR_CHECK_MSG(!layers_.empty(), "empty Sequential");
+  Tensor x = input;
+  for (const LayerPtr& l : layers_) x = l->forward(x);
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  CLEAR_CHECK_MSG(!layers_.empty(), "empty Sequential");
+  Tensor g = grad_output;
+  for (std::size_t i = layers_.size(); i-- > 0;) g = layers_[i]->backward(g);
+  return g;
+}
+
+std::vector<Param*> Sequential::parameters() {
+  std::vector<Param*> params;
+  for (const LayerPtr& l : layers_) {
+    const std::vector<Param*> p = l->parameters();
+    params.insert(params.end(), p.begin(), p.end());
+  }
+  return params;
+}
+
+void Sequential::set_training(bool training) {
+  Layer::set_training(training);
+  for (const LayerPtr& l : layers_) l->set_training(training);
+}
+
+Layer& Sequential::layer(std::size_t i) {
+  CLEAR_CHECK_MSG(i < layers_.size(), "layer index out of range");
+  return *layers_[i];
+}
+
+const Layer& Sequential::layer(std::size_t i) const {
+  CLEAR_CHECK_MSG(i < layers_.size(), "layer index out of range");
+  return *layers_[i];
+}
+
+void Sequential::freeze_below(std::size_t boundary) {
+  for (std::size_t i = 0; i < layers_.size(); ++i)
+    layers_[i]->set_frozen(i < boundary);
+}
+
+std::size_t Sequential::parameter_count() {
+  std::size_t total = 0;
+  for (Param* p : parameters()) total += p->value.numel();
+  return total;
+}
+
+}  // namespace clear::nn

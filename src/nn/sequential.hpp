@@ -1,0 +1,38 @@
+// Sequential container: a pipeline of layers trained end-to-end.
+#pragma once
+
+#include <memory>
+
+#include "nn/layer.hpp"
+
+namespace clear::nn {
+
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+
+  /// Append a layer; returns a reference for chaining.
+  Sequential& add(LayerPtr layer);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> parameters() override;
+  std::string name() const override { return "Sequential"; }
+  void set_training(bool training) override;
+
+  std::size_t size() const { return layers_.size(); }
+  Layer& layer(std::size_t i);
+  const Layer& layer(std::size_t i) const;
+
+  /// Freeze every layer whose index is < `boundary` (feature extractor) and
+  /// unfreeze the rest — the fine-tuning split used at the edge.
+  void freeze_below(std::size_t boundary);
+
+  /// Total number of scalar parameters.
+  std::size_t parameter_count();
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace clear::nn

@@ -1,0 +1,219 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "nn/checkpoint.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "tensor/ops.hpp"
+
+namespace clear::nn {
+
+Tensor stack_batch(const std::vector<const Tensor*>& maps,
+                   const std::vector<std::size_t>& indices) {
+  CLEAR_CHECK_MSG(!indices.empty(), "empty batch");
+  CLEAR_CHECK_MSG(indices[0] < maps.size(), "batch index out of range");
+  const Tensor& first = *maps[indices[0]];
+  CLEAR_CHECK_MSG(first.rank() == 2, "feature maps must be rank-2");
+  const std::size_t f = first.extent(0);
+  const std::size_t w = first.extent(1);
+  Tensor batch({indices.size(), 1, f, w});
+  float* dst = batch.data();
+  for (std::size_t b = 0; b < indices.size(); ++b) {
+    CLEAR_CHECK_MSG(indices[b] < maps.size(), "batch index out of range");
+    const Tensor& m = *maps[indices[b]];
+    CLEAR_CHECK_MSG(m.extent(0) == f && m.extent(1) == w,
+                    "inconsistent map shapes in batch");
+    std::copy(m.data(), m.data() + f * w, dst + b * f * w);
+  }
+  return batch;
+}
+
+namespace {
+
+/// Stratified split of indices into train/validation.
+void split_validation(const MapDataset& data, double fraction, Rng& rng,
+                      std::vector<std::size_t>& train_idx,
+                      std::vector<std::size_t>& val_idx) {
+  std::vector<std::size_t> by_class[2];
+  for (std::size_t i = 0; i < data.size(); ++i)
+    by_class[data.labels[i] > 0 ? 1 : 0].push_back(i);
+  for (auto& cls : by_class) {
+    const std::vector<std::size_t> perm = rng.permutation(cls.size());
+    const auto n_val = static_cast<std::size_t>(
+        fraction * static_cast<double>(cls.size()));
+    for (std::size_t i = 0; i < cls.size(); ++i) {
+      if (i < n_val) val_idx.push_back(cls[perm[i]]);
+      else train_idx.push_back(cls[perm[i]]);
+    }
+  }
+}
+
+double dataset_loss(Sequential& model, const MapDataset& data,
+                    const std::vector<std::size_t>& indices,
+                    std::size_t batch_size, double* accuracy_out) {
+  double total = 0.0;
+  std::size_t correct = 0;
+  std::size_t seen = 0;
+  for (std::size_t start = 0; start < indices.size(); start += batch_size) {
+    const std::size_t end = std::min(indices.size(), start + batch_size);
+    const std::vector<std::size_t> batch_idx(indices.begin() + start,
+                                             indices.begin() + end);
+    const Tensor batch = stack_batch(data.maps, batch_idx);
+    std::vector<std::size_t> labels(batch_idx.size());
+    for (std::size_t i = 0; i < batch_idx.size(); ++i)
+      labels[i] = data.labels[batch_idx[i]];
+    const Tensor logits = model.forward(batch);
+    const LossResult loss = softmax_cross_entropy(logits, labels);
+    total += loss.loss * static_cast<double>(batch_idx.size());
+    const std::vector<std::size_t> preds = ops::argmax_rows(logits);
+    for (std::size_t i = 0; i < preds.size(); ++i)
+      if (preds[i] == labels[i]) ++correct;
+    seen += batch_idx.size();
+  }
+  if (accuracy_out)
+    *accuracy_out =
+        seen ? static_cast<double>(correct) / static_cast<double>(seen) : 0.0;
+  return seen ? total / static_cast<double>(seen) : 0.0;
+}
+
+}  // namespace
+
+TrainHistory train_classifier(Sequential& model, const MapDataset& data,
+                              const TrainConfig& config) {
+  CLEAR_CHECK_MSG(data.size() >= 2, "training set too small");
+  CLEAR_CHECK_MSG(data.maps.size() == data.labels.size(),
+                  "map/label count mismatch");
+  CLEAR_CHECK_MSG(config.batch_size >= 1 && config.epochs >= 1,
+                  "bad training configuration");
+
+  Rng rng(config.seed);
+  std::vector<std::size_t> train_idx;
+  std::vector<std::size_t> val_idx;
+  if (config.validation_fraction > 0.0) {
+    split_validation(data, config.validation_fraction, rng, train_idx, val_idx);
+  } else {
+    train_idx.resize(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i) train_idx[i] = i;
+  }
+  CLEAR_CHECK_MSG(!train_idx.empty(), "validation split consumed all data");
+
+  std::unique_ptr<Optimizer> opt;
+  if (config.use_adam) {
+    opt = std::make_unique<Adam>(model.parameters(), config.lr, 0.9, 0.999,
+                                 1e-8, config.weight_decay);
+  } else {
+    opt = std::make_unique<Sgd>(model.parameters(), config.lr, config.momentum,
+                                config.weight_decay);
+  }
+
+  TrainHistory history;
+  double best_score = 1e300;
+  std::vector<Tensor> best_params;
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    model.set_training(true);
+    // Shuffle per epoch.
+    std::vector<std::size_t> order = train_idx;
+    const std::vector<std::size_t> perm = rng.permutation(order.size());
+    std::vector<std::size_t> shuffled(order.size());
+    for (std::size_t i = 0; i < order.size(); ++i) shuffled[i] = order[perm[i]];
+
+    double epoch_loss = 0.0;
+    std::size_t seen = 0;
+    for (std::size_t start = 0; start < shuffled.size();
+         start += config.batch_size) {
+      const std::size_t end =
+          std::min(shuffled.size(), start + config.batch_size);
+      const std::vector<std::size_t> batch_idx(shuffled.begin() + start,
+                                               shuffled.begin() + end);
+      const Tensor batch = stack_batch(data.maps, batch_idx);
+      std::vector<std::size_t> labels(batch_idx.size());
+      for (std::size_t i = 0; i < batch_idx.size(); ++i)
+        labels[i] = data.labels[batch_idx[i]];
+
+      opt->zero_grad();
+      const Tensor logits = model.forward(batch);
+      const LossResult loss = softmax_cross_entropy(logits, labels);
+      model.backward(loss.grad_logits);
+      if (config.grad_clip > 0) opt->clip_grad_norm(config.grad_clip);
+      opt->step();
+      if (config.post_step) config.post_step(model);
+      epoch_loss += loss.loss * static_cast<double>(batch_idx.size());
+      seen += batch_idx.size();
+    }
+    epoch_loss /= static_cast<double>(seen);
+    history.train_loss.push_back(epoch_loss);
+
+    double score = epoch_loss;
+    if (!val_idx.empty()) {
+      model.set_training(false);
+      double val_acc = 0.0;
+      const double val_loss =
+          dataset_loss(model, data, val_idx, config.batch_size, &val_acc);
+      history.val_loss.push_back(val_loss);
+      history.val_accuracy.push_back(val_acc);
+      score = val_loss;
+    }
+    if (config.keep_best && score < best_score) {
+      best_score = score;
+      best_params = snapshot_parameters(model);
+      history.best_epoch = epoch;
+    }
+    if (config.verbose) {
+      CLEAR_INFO("epoch " << epoch + 1 << "/" << config.epochs << " loss="
+                          << epoch_loss
+                          << (val_idx.empty()
+                                  ? ""
+                                  : " val_loss=" +
+                                        std::to_string(history.val_loss.back())));
+    }
+  }
+  if (config.keep_best && !best_params.empty())
+    restore_parameters(model, best_params);
+  model.set_training(false);
+  return history;
+}
+
+std::vector<std::size_t> predict_classes(Sequential& model,
+                                         const MapDataset& data,
+                                         std::size_t batch_size) {
+  const Tensor proba = predict_probabilities(model, data, batch_size);
+  return ops::argmax_rows(proba);
+}
+
+Tensor predict_probabilities(Sequential& model, const MapDataset& data,
+                             std::size_t batch_size) {
+  CLEAR_CHECK_MSG(data.size() >= 1, "empty dataset");
+  model.set_training(false);
+  Tensor all;
+  std::size_t n_classes = 0;
+  for (std::size_t start = 0; start < data.size(); start += batch_size) {
+    const std::size_t end = std::min(data.size(), start + batch_size);
+    std::vector<std::size_t> idx(end - start);
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = start + i;
+    const Tensor batch = stack_batch(data.maps, idx);
+    const Tensor logits = model.forward(batch);
+    const Tensor proba = ops::softmax_rows(logits);
+    if (start == 0) {
+      n_classes = proba.extent(1);
+      all = Tensor({data.size(), n_classes});
+    }
+    for (std::size_t i = 0; i < idx.size(); ++i)
+      for (std::size_t c = 0; c < n_classes; ++c)
+        all.at2(start + i, c) = proba.at2(i, c);
+  }
+  return all;
+}
+
+BinaryMetrics evaluate(Sequential& model, const MapDataset& data,
+                       std::size_t batch_size) {
+  const std::vector<std::size_t> preds =
+      predict_classes(model, data, batch_size);
+  return binary_metrics(preds, data.labels);
+}
+
+}  // namespace clear::nn

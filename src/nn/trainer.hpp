@@ -1,0 +1,72 @@
+// Mini-batch training loop for feature-map classifiers, plus batched
+// prediction/evaluation helpers. The trainer optionally holds out a
+// validation split and restores the best-validation-loss parameters at the
+// end — the "best-performing training checkpoints" the paper saves per
+// cluster.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "nn/metrics.hpp"
+#include "nn/sequential.hpp"
+
+namespace clear::nn {
+
+/// A labelled set of feature maps. Maps are borrowed (non-owning); each must
+/// be rank-2 [F, W] with identical shapes.
+struct MapDataset {
+  std::vector<const Tensor*> maps;
+  std::vector<std::size_t> labels;
+
+  std::size_t size() const { return maps.size(); }
+};
+
+struct TrainConfig {
+  std::size_t epochs = 12;
+  std::size_t batch_size = 16;
+  double lr = 1e-3;
+  double grad_clip = 5.0;
+  double weight_decay = 1e-4;
+  std::uint64_t seed = 1;
+  bool use_adam = true;
+  double momentum = 0.9;            ///< Used when use_adam == false.
+  double validation_fraction = 0.0; ///< >0: hold out a stratified val split.
+  bool keep_best = true;            ///< Restore best val-loss (or train-loss)
+                                    ///< parameters after the last epoch.
+  bool verbose = false;
+  /// Invoked after every optimizer step. The edge fine-tuning simulation
+  /// uses this to project updated weights onto the device's numeric grid
+  /// (int8 / fp16) — i.e. quantization-aware training.
+  std::function<void(Sequential&)> post_step;
+};
+
+struct TrainHistory {
+  std::vector<double> train_loss;    ///< Per epoch.
+  std::vector<double> val_loss;      ///< Per epoch (empty without val split).
+  std::vector<double> val_accuracy;  ///< Per epoch (empty without val split).
+  std::size_t best_epoch = 0;
+};
+
+/// Stack selected maps into a [n, 1, F, W] batch tensor.
+Tensor stack_batch(const std::vector<const Tensor*>& maps,
+                   const std::vector<std::size_t>& indices);
+
+/// Train `model` on `data`. Deterministic in config.seed.
+TrainHistory train_classifier(Sequential& model, const MapDataset& data,
+                              const TrainConfig& config);
+
+/// Class predictions for a whole dataset (inference mode, batched).
+std::vector<std::size_t> predict_classes(Sequential& model,
+                                         const MapDataset& data,
+                                         std::size_t batch_size = 32);
+
+/// Softmax probabilities [n, n_classes] for a whole dataset.
+Tensor predict_probabilities(Sequential& model, const MapDataset& data,
+                             std::size_t batch_size = 32);
+
+/// Accuracy/F1 of `model` on `data`.
+BinaryMetrics evaluate(Sequential& model, const MapDataset& data,
+                       std::size_t batch_size = 32);
+
+}  // namespace clear::nn

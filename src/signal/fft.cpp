@@ -1,0 +1,216 @@
+#include "signal/fft.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace clear::dsp {
+
+void fft(std::vector<std::complex<double>>& data, bool inverse) {
+  const std::size_t n = data.size();
+  CLEAR_CHECK_MSG(n > 0 && (n & (n - 1)) == 0, "FFT size must be a power of two");
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = 2.0 * M_PI / static_cast<double>(len) * (inverse ? 1 : -1);
+    const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv = 1.0 / static_cast<double>(n);
+    for (auto& x : data) x *= inv;
+  }
+}
+
+std::size_t next_pow2(std::size_t n) {
+  CLEAR_CHECK_MSG(n >= 1, "next_pow2 requires n >= 1");
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::vector<double> magnitude_spectrum(std::span<const double> signal) {
+  CLEAR_CHECK_MSG(!signal.empty(), "magnitude_spectrum of empty signal");
+  const std::size_t nfft = next_pow2(signal.size());
+  std::vector<std::complex<double>> buf(nfft, {0.0, 0.0});
+  for (std::size_t i = 0; i < signal.size(); ++i) buf[i] = signal[i];
+  fft(buf);
+  std::vector<double> mag(nfft / 2 + 1);
+  for (std::size_t i = 0; i < mag.size(); ++i) mag[i] = std::abs(buf[i]);
+  return mag;
+}
+
+namespace {
+// Hann-windowed one-sided PSD of one segment; accumulates into `accum`.
+void segment_psd(std::span<const double> seg, std::size_t nfft,
+                 std::vector<double>& accum) {
+  std::vector<std::complex<double>> buf(nfft, {0.0, 0.0});
+  double wsum_sq = 0.0;
+  const std::size_t n = seg.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w =
+        0.5 * (1.0 - std::cos(2.0 * M_PI * static_cast<double>(i) /
+                              static_cast<double>(n > 1 ? n - 1 : 1)));
+    buf[i] = seg[i] * w;
+    wsum_sq += w * w;
+  }
+  if (wsum_sq <= 0) wsum_sq = 1.0;
+  fft(buf);
+  for (std::size_t i = 0; i < accum.size(); ++i) {
+    double p = std::norm(buf[i]) / wsum_sq;
+    // One-sided: double everything except DC and Nyquist.
+    if (i != 0 && i != nfft / 2) p *= 2.0;
+    accum[i] += p;
+  }
+}
+}  // namespace
+
+Psd periodogram(std::span<const double> signal, double sample_rate) {
+  CLEAR_CHECK_MSG(!signal.empty(), "periodogram of empty signal");
+  CLEAR_CHECK_MSG(sample_rate > 0, "sample_rate must be positive");
+  const std::size_t nfft = next_pow2(signal.size());
+  Psd out;
+  out.power.assign(nfft / 2 + 1, 0.0);
+  segment_psd(signal, nfft, out.power);
+  // Normalize to density (per Hz).
+  for (double& p : out.power) p /= sample_rate;
+  out.freq.resize(out.power.size());
+  for (std::size_t i = 0; i < out.freq.size(); ++i)
+    out.freq[i] =
+        static_cast<double>(i) * sample_rate / static_cast<double>(nfft);
+  return out;
+}
+
+Psd welch(std::span<const double> signal, double sample_rate,
+          std::size_t segment_len) {
+  CLEAR_CHECK_MSG(!signal.empty(), "welch of empty signal");
+  CLEAR_CHECK_MSG(sample_rate > 0, "sample_rate must be positive");
+  CLEAR_CHECK_MSG(segment_len >= 8, "welch segment too short");
+  const std::size_t nfft = next_pow2(segment_len);
+  const std::size_t hop = nfft / 2;
+
+  Psd out;
+  out.power.assign(nfft / 2 + 1, 0.0);
+  std::size_t count = 0;
+  if (signal.size() <= nfft) {
+    segment_psd(signal, nfft, out.power);
+    count = 1;
+  } else {
+    for (std::size_t start = 0; start + nfft <= signal.size(); start += hop) {
+      segment_psd(signal.subspan(start, nfft), nfft, out.power);
+      ++count;
+    }
+  }
+  const double norm = 1.0 / (static_cast<double>(count) * sample_rate);
+  for (double& p : out.power) p *= norm;
+  out.freq.resize(out.power.size());
+  for (std::size_t i = 0; i < out.freq.size(); ++i)
+    out.freq[i] =
+        static_cast<double>(i) * sample_rate / static_cast<double>(nfft);
+  return out;
+}
+
+double band_power(const Psd& psd, double f_lo, double f_hi) {
+  CLEAR_CHECK_MSG(f_lo <= f_hi, "band_power requires f_lo <= f_hi");
+  double total = 0.0;
+  for (std::size_t i = 0; i + 1 < psd.freq.size(); ++i) {
+    const double f0 = psd.freq[i];
+    const double f1 = psd.freq[i + 1];
+    if (f1 <= f_lo || f0 >= f_hi) continue;
+    // Trapezoid clipped to the band.
+    const double lo = std::max(f0, f_lo);
+    const double hi = std::min(f1, f_hi);
+    const double frac0 = (lo - f0) / (f1 - f0);
+    const double frac1 = (hi - f0) / (f1 - f0);
+    const double p0 = psd.power[i] + frac0 * (psd.power[i + 1] - psd.power[i]);
+    const double p1 = psd.power[i] + frac1 * (psd.power[i + 1] - psd.power[i]);
+    total += 0.5 * (p0 + p1) * (hi - lo);
+  }
+  return total;
+}
+
+double spectral_centroid(const Psd& psd) {
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < psd.freq.size(); ++i) {
+    num += psd.freq[i] * psd.power[i];
+    den += psd.power[i];
+  }
+  return den > 1e-300 ? num / den : 0.0;
+}
+
+double spectral_spread(const Psd& psd) {
+  const double c = spectral_centroid(psd);
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < psd.freq.size(); ++i) {
+    num += (psd.freq[i] - c) * (psd.freq[i] - c) * psd.power[i];
+    den += psd.power[i];
+  }
+  return den > 1e-300 ? std::sqrt(num / den) : 0.0;
+}
+
+double spectral_entropy(const Psd& psd) {
+  double total = 0.0;
+  for (const double p : psd.power) total += p;
+  if (total <= 1e-300) return 0.0;
+  double h = 0.0;
+  for (const double p : psd.power) {
+    if (p <= 0) continue;
+    const double q = p / total;
+    h -= q * std::log(q);
+  }
+  return h;
+}
+
+double spectral_rolloff(const Psd& psd, double fraction) {
+  CLEAR_CHECK_MSG(fraction > 0 && fraction <= 1, "rolloff fraction in (0,1]");
+  double total = 0.0;
+  for (const double p : psd.power) total += p;
+  if (total <= 1e-300) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < psd.power.size(); ++i) {
+    acc += psd.power[i];
+    if (acc >= fraction * total) return psd.freq[i];
+  }
+  return psd.freq.back();
+}
+
+double peak_frequency(const Psd& psd, double f_lo, double f_hi) {
+  double best_p = -1.0;
+  double best_f = 0.0;
+  for (std::size_t i = 0; i < psd.freq.size(); ++i) {
+    if (psd.freq[i] < f_lo || psd.freq[i] >= f_hi) continue;
+    if (psd.power[i] > best_p) {
+      best_p = psd.power[i];
+      best_f = psd.freq[i];
+    }
+  }
+  return best_p < 0 ? 0.0 : best_f;
+}
+
+double spectral_moment(const Psd& psd, int n) {
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < psd.freq.size(); ++i) {
+    num += std::pow(psd.freq[i], n) * psd.power[i];
+    den += psd.power[i];
+  }
+  return den > 1e-300 ? num / den : 0.0;
+}
+
+}  // namespace clear::dsp

@@ -1,0 +1,54 @@
+// Spectral analysis: iterative radix-2 FFT, periodogram, and Welch power
+// spectral density. These feed the frequency-domain members of the
+// 123-feature extractor (GSR band energies, BVP/HRV band powers, spectral
+// shape descriptors).
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace clear::dsp {
+
+/// In-place iterative radix-2 Cooley-Tukey FFT. data.size() must be a power
+/// of two. inverse=true applies the conjugate transform and 1/N scaling.
+void fft(std::vector<std::complex<double>>& data, bool inverse = false);
+
+/// Next power of two >= n (n >= 1).
+std::size_t next_pow2(std::size_t n);
+
+/// Magnitude spectrum of a real signal, zero-padded to the next power of two.
+/// Returns nfft/2 + 1 bins (DC .. Nyquist).
+std::vector<double> magnitude_spectrum(std::span<const double> signal);
+
+/// One-sided periodogram PSD with a Hann window.
+/// Returns {psd, freqs} where freqs are in Hz given sample_rate.
+struct Psd {
+  std::vector<double> power;  ///< PSD estimate per bin.
+  std::vector<double> freq;   ///< Bin centre frequencies [Hz].
+};
+Psd periodogram(std::span<const double> signal, double sample_rate);
+
+/// Welch PSD: averaged Hann-windowed segments with 50 % overlap.
+/// segment_len is rounded up to a power of two; the signal is zero-padded if
+/// shorter than one segment.
+Psd welch(std::span<const double> signal, double sample_rate,
+          std::size_t segment_len);
+
+/// Integrate PSD power between [f_lo, f_hi) using trapezoidal summation.
+double band_power(const Psd& psd, double f_lo, double f_hi);
+
+/// Power-weighted mean frequency.
+double spectral_centroid(const Psd& psd);
+/// Power-weighted standard deviation around the centroid.
+double spectral_spread(const Psd& psd);
+/// Shannon entropy (nats) of the normalized PSD.
+double spectral_entropy(const Psd& psd);
+/// Frequency below which `fraction` of the total power lies.
+double spectral_rolloff(const Psd& psd, double fraction);
+/// Frequency of the highest-power bin within [f_lo, f_hi); 0 if band empty.
+double peak_frequency(const Psd& psd, double f_lo, double f_hi);
+/// n-th power-weighted spectral moment E[f^n].
+double spectral_moment(const Psd& psd, int n);
+
+}  // namespace clear::dsp

@@ -1,0 +1,137 @@
+#include "signal/filter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace clear::dsp {
+
+std::vector<double> Biquad::apply(std::span<const double> x) const {
+  std::vector<double> y(x.size());
+  if (x.empty()) return y;
+  // Steady-state initialization (the lfilter_zi trick): start the DF2T state
+  // as if the input had been x[0] forever. Without this, narrow low-pass
+  // sections (e.g. the 0.05 Hz GSR tonic split) produce an edge transient
+  // longer than the analysis window itself.
+  const double dc_gain = (b0 + b1 + b2) / (1.0 + a1 + a2);
+  double z1 = (dc_gain - b0) * x[0];
+  double z2 = (b2 - a2 * dc_gain) * x[0];
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double in = x[i];
+    const double out = b0 * in + z1;
+    z1 = b1 * in - a1 * out + z2;
+    z2 = b2 * in - a2 * out;
+    y[i] = out;
+  }
+  return y;
+}
+
+namespace {
+void check_cutoff(double cutoff_hz, double sample_rate) {
+  CLEAR_CHECK_MSG(sample_rate > 0, "sample_rate must be positive");
+  CLEAR_CHECK_MSG(cutoff_hz > 0 && cutoff_hz < sample_rate / 2,
+                  "cutoff " << cutoff_hz << " Hz outside (0, fs/2) for fs="
+                            << sample_rate);
+}
+}  // namespace
+
+Biquad butterworth_lowpass(double cutoff_hz, double sample_rate) {
+  check_cutoff(cutoff_hz, sample_rate);
+  const double wc = std::tan(M_PI * cutoff_hz / sample_rate);
+  const double k1 = std::sqrt(2.0) * wc;
+  const double k2 = wc * wc;
+  const double norm = 1.0 / (1.0 + k1 + k2);
+  Biquad f;
+  f.b0 = k2 * norm;
+  f.b1 = 2.0 * f.b0;
+  f.b2 = f.b0;
+  f.a1 = 2.0 * (k2 - 1.0) * norm;
+  f.a2 = (1.0 - k1 + k2) * norm;
+  return f;
+}
+
+Biquad butterworth_highpass(double cutoff_hz, double sample_rate) {
+  check_cutoff(cutoff_hz, sample_rate);
+  const double wc = std::tan(M_PI * cutoff_hz / sample_rate);
+  const double k1 = std::sqrt(2.0) * wc;
+  const double k2 = wc * wc;
+  const double norm = 1.0 / (1.0 + k1 + k2);
+  Biquad f;
+  f.b0 = norm;
+  f.b1 = -2.0 * norm;
+  f.b2 = norm;
+  f.a1 = 2.0 * (k2 - 1.0) * norm;
+  f.a2 = (1.0 - k1 + k2) * norm;
+  return f;
+}
+
+std::vector<Biquad> butterworth_bandpass(double lo_hz, double hi_hz,
+                                         double sample_rate) {
+  CLEAR_CHECK_MSG(lo_hz < hi_hz, "bandpass requires lo < hi");
+  return {butterworth_highpass(lo_hz, sample_rate),
+          butterworth_lowpass(hi_hz, sample_rate)};
+}
+
+std::vector<double> cascade(std::span<const Biquad> sections,
+                            std::span<const double> x) {
+  std::vector<double> y(x.begin(), x.end());
+  for (const Biquad& s : sections) y = s.apply(y);
+  return y;
+}
+
+std::vector<double> filtfilt(std::span<const Biquad> sections,
+                             std::span<const double> x) {
+  std::vector<double> y = cascade(sections, x);
+  std::reverse(y.begin(), y.end());
+  y = cascade(sections, y);
+  std::reverse(y.begin(), y.end());
+  return y;
+}
+
+std::vector<double> moving_average(std::span<const double> x, std::size_t w) {
+  CLEAR_CHECK_MSG(w >= 1, "moving_average window must be >= 1");
+  std::vector<double> y(x.size());
+  if (x.empty()) return y;
+  const std::size_t half = w / 2;
+  // Prefix sums for O(n).
+  std::vector<double> prefix(x.size() + 1, 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) prefix[i + 1] = prefix[i] + x[i];
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const std::size_t lo = i >= half ? i - half : 0;
+    const std::size_t hi = std::min(x.size() - 1, i + half);
+    y[i] = (prefix[hi + 1] - prefix[lo]) / static_cast<double>(hi - lo + 1);
+  }
+  return y;
+}
+
+std::vector<double> detrend_linear(std::span<const double> x) {
+  std::vector<double> y(x.begin(), x.end());
+  if (x.size() < 2) return y;
+  const double b = stats::slope(x);
+  const double m = stats::mean(x);
+  const double mx = static_cast<double>(x.size() - 1) / 2.0;
+  for (std::size_t i = 0; i < y.size(); ++i)
+    y[i] -= m + b * (static_cast<double>(i) - mx);
+  return y;
+}
+
+std::vector<double> detrend_mean(std::span<const double> x) {
+  std::vector<double> y(x.begin(), x.end());
+  const double m = stats::mean(x);
+  for (double& v : y) v -= m;
+  return y;
+}
+
+std::vector<double> cumsum(std::span<const double> x) {
+  std::vector<double> y(x.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    acc += x[i];
+    y[i] = acc;
+  }
+  return y;
+}
+
+}  // namespace clear::dsp

@@ -1,0 +1,55 @@
+// Time-domain filtering: biquad sections, 2nd-order Butterworth designs,
+// zero-phase filtering, moving averages and detrending.
+//
+// The feature extractor uses these to split GSR into tonic/phasic components
+// and to band-limit BVP before beat detection; the synthetic WEMAC generator
+// uses them to shape noise.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace clear::dsp {
+
+/// Direct-form-II-transposed biquad section: y = (b0 b1 b2)/(1 a1 a2).
+struct Biquad {
+  double b0 = 1.0, b1 = 0.0, b2 = 0.0;
+  double a1 = 0.0, a2 = 0.0;
+
+  /// Filter a whole signal. The internal state is initialized to the steady
+  /// state for a constant input x[0], suppressing start-up transients
+  /// (offline-filtering semantics, like scipy's filtfilt initial conditions).
+  std::vector<double> apply(std::span<const double> x) const;
+};
+
+/// 2nd-order Butterworth low-pass (bilinear transform). cutoff_hz must lie in
+/// (0, sample_rate/2).
+Biquad butterworth_lowpass(double cutoff_hz, double sample_rate);
+/// 2nd-order Butterworth high-pass.
+Biquad butterworth_highpass(double cutoff_hz, double sample_rate);
+/// Band-pass as HP(lo) ∘ LP(hi) cascade, returned as two sections.
+std::vector<Biquad> butterworth_bandpass(double lo_hz, double hi_hz,
+                                         double sample_rate);
+
+/// Apply a cascade of sections.
+std::vector<double> cascade(std::span<const Biquad> sections,
+                            std::span<const double> x);
+
+/// Zero-phase filtering: forward pass, reverse, forward again, reverse
+/// (filtfilt). Doubles the effective order and removes group delay.
+std::vector<double> filtfilt(std::span<const Biquad> sections,
+                             std::span<const double> x);
+
+/// Centered moving average with window `w` (odd preferred; edges shrink).
+std::vector<double> moving_average(std::span<const double> x, std::size_t w);
+
+/// Remove the least-squares line from the signal.
+std::vector<double> detrend_linear(std::span<const double> x);
+
+/// Remove the mean.
+std::vector<double> detrend_mean(std::span<const double> x);
+
+/// Cumulative sum.
+std::vector<double> cumsum(std::span<const double> x);
+
+}  // namespace clear::dsp

@@ -1,0 +1,92 @@
+#include "signal/peaks.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace clear::dsp {
+
+std::vector<Peak> find_peaks(std::span<const double> x,
+                             const PeakOptions& options) {
+  CLEAR_CHECK_MSG(options.min_distance >= 1, "min_distance must be >= 1");
+  std::vector<Peak> candidates;
+  const std::size_t n = x.size();
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    if (!(x[i] > x[i - 1])) continue;
+    // Walk plateaus: require a strict drop after the (possibly flat) top.
+    std::size_t j = i;
+    while (j + 1 < n && x[j + 1] == x[i]) ++j;
+    if (j + 1 >= n || !(x[j + 1] < x[i])) {
+      i = j;
+      continue;
+    }
+    const std::size_t peak_idx = (i + j) / 2;
+    if (x[peak_idx] < options.min_height) {
+      i = j;
+      continue;
+    }
+    // Prominence: descend left and right to the lowest point before a higher
+    // sample (or the signal edge) is met.
+    double left_min = x[peak_idx];
+    for (std::size_t k = peak_idx; k-- > 0;) {
+      if (x[k] > x[peak_idx]) break;
+      left_min = std::min(left_min, x[k]);
+    }
+    double right_min = x[peak_idx];
+    for (std::size_t k = j + 1; k < n; ++k) {
+      if (x[k] > x[peak_idx]) break;
+      right_min = std::min(right_min, x[k]);
+    }
+    Peak p;
+    p.index = peak_idx;
+    p.height = x[peak_idx];
+    p.prominence = x[peak_idx] - std::max(left_min, right_min);
+    if (p.prominence >= options.min_prominence) candidates.push_back(p);
+    i = j;
+  }
+
+  if (options.min_distance <= 1 || candidates.size() < 2) return candidates;
+
+  // Enforce min_distance, preferring higher peaks.
+  std::vector<std::size_t> order(candidates.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return candidates[a].height > candidates[b].height;
+  });
+  std::vector<bool> keep(candidates.size(), false);
+  std::vector<std::size_t> kept_indices;
+  for (const std::size_t ci : order) {
+    bool ok = true;
+    for (const std::size_t ki : kept_indices) {
+      const std::size_t a = candidates[ci].index;
+      const std::size_t b = candidates[ki].index;
+      const std::size_t d = a > b ? a - b : b - a;
+      if (d < options.min_distance) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      keep[ci] = true;
+      kept_indices.push_back(ci);
+    }
+  }
+  std::vector<Peak> result;
+  for (std::size_t i = 0; i < candidates.size(); ++i)
+    if (keep[i]) result.push_back(candidates[i]);
+  return result;
+}
+
+std::vector<double> peak_intervals(const std::vector<Peak>& peaks,
+                                   double sample_rate) {
+  CLEAR_CHECK_MSG(sample_rate > 0, "sample_rate must be positive");
+  if (peaks.size() < 2) return {};
+  std::vector<double> ibi(peaks.size() - 1);
+  for (std::size_t i = 0; i + 1 < peaks.size(); ++i) {
+    ibi[i] = static_cast<double>(peaks[i + 1].index - peaks[i].index) /
+             sample_rate;
+  }
+  return ibi;
+}
+
+}  // namespace clear::dsp

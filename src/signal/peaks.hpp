@@ -1,0 +1,31 @@
+// Peak detection for pulse (BVP) beats and electrodermal (SCR) events.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace clear::dsp {
+
+struct Peak {
+  std::size_t index = 0;   ///< Sample index of the local maximum.
+  double height = 0.0;     ///< Signal value at the peak.
+  double prominence = 0.0; ///< Height above the higher of the two flanking minima.
+};
+
+struct PeakOptions {
+  double min_height = -1e300;   ///< Absolute height threshold.
+  double min_prominence = 0.0;  ///< Prominence threshold.
+  std::size_t min_distance = 1; ///< Minimum samples between kept peaks.
+};
+
+/// Find local maxima satisfying the options; when two peaks violate
+/// min_distance the higher one is kept.
+std::vector<Peak> find_peaks(std::span<const double> x,
+                             const PeakOptions& options);
+
+/// Inter-beat intervals in seconds from peak indices at the given rate.
+std::vector<double> peak_intervals(const std::vector<Peak>& peaks,
+                                   double sample_rate);
+
+}  // namespace clear::dsp

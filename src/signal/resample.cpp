@@ -1,0 +1,39 @@
+#include "signal/resample.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace clear::dsp {
+
+std::vector<double> resample_to_length(std::span<const double> x,
+                                       std::size_t out_len) {
+  CLEAR_CHECK_MSG(!x.empty(), "resample of empty signal");
+  CLEAR_CHECK_MSG(out_len >= 1, "resample target length must be >= 1");
+  std::vector<double> y(out_len);
+  if (x.size() == 1 || out_len == 1) {
+    for (auto& v : y) v = x[0];
+    return y;
+  }
+  const double step = static_cast<double>(x.size() - 1) /
+                      static_cast<double>(out_len - 1);
+  for (std::size_t i = 0; i < out_len; ++i) {
+    const double pos = static_cast<double>(i) * step;
+    const auto lo = static_cast<std::size_t>(std::floor(pos));
+    const std::size_t hi = std::min(lo + 1, x.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    y[i] = x[lo] * (1.0 - frac) + x[hi] * frac;
+  }
+  return y;
+}
+
+std::vector<double> resample_rate(std::span<const double> x, double in_rate,
+                                  double out_rate) {
+  CLEAR_CHECK_MSG(in_rate > 0 && out_rate > 0, "rates must be positive");
+  const double duration = static_cast<double>(x.size()) / in_rate;
+  const auto out_len = static_cast<std::size_t>(
+      std::max(1.0, std::round(duration * out_rate)));
+  return resample_to_length(x, out_len);
+}
+
+}  // namespace clear::dsp

@@ -1,0 +1,19 @@
+// Linear-interpolation resampling. The three WEMAC modalities are recorded at
+// different native rates (BVP fast, GSR/SKT slow); windows are resampled to a
+// common grid before feature extraction where needed.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace clear::dsp {
+
+/// Resample to exactly `out_len` samples covering the same time span.
+std::vector<double> resample_to_length(std::span<const double> x,
+                                       std::size_t out_len);
+
+/// Resample from `in_rate` Hz to `out_rate` Hz.
+std::vector<double> resample_rate(std::span<const double> x, double in_rate,
+                                  double out_rate);
+
+}  // namespace clear::dsp

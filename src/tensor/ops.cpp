@@ -1,0 +1,333 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace clear::ops {
+
+namespace {
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  CLEAR_CHECK_MSG(a.same_shape(b), op << ": shape mismatch " << a.shape_str()
+                                      << " vs " << b.shape_str());
+}
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  add_inplace(out, b);
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  sub_inplace(out, b);
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  mul_inplace(out, b);
+  return out;
+}
+
+void add_inplace(Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add");
+  float* pa = a.data();
+  const float* pb = b.data();
+  for (std::size_t i = 0; i < a.numel(); ++i) pa[i] += pb[i];
+}
+
+void sub_inplace(Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "sub");
+  float* pa = a.data();
+  const float* pb = b.data();
+  for (std::size_t i = 0; i < a.numel(); ++i) pa[i] -= pb[i];
+}
+
+void mul_inplace(Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "mul");
+  float* pa = a.data();
+  const float* pb = b.data();
+  for (std::size_t i = 0; i < a.numel(); ++i) pa[i] *= pb[i];
+}
+
+void axpy_inplace(Tensor& a, float alpha, const Tensor& b) {
+  check_same_shape(a, b, "axpy");
+  float* pa = a.data();
+  const float* pb = b.data();
+  for (std::size_t i = 0; i < a.numel(); ++i) pa[i] += alpha * pb[i];
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor out = a;
+  scale_inplace(out, s);
+  return out;
+}
+
+void scale_inplace(Tensor& a, float s) {
+  for (float& x : a.flat()) x *= s;
+}
+
+Tensor add_scalar(const Tensor& a, float s) {
+  Tensor out = a;
+  for (float& x : out.flat()) x += s;
+  return out;
+}
+
+Tensor map(const Tensor& a, const std::function<float(float)>& f) {
+  Tensor out = a;
+  map_inplace(out, f);
+  return out;
+}
+
+void map_inplace(Tensor& a, const std::function<float(float)>& f) {
+  for (float& x : a.flat()) x = f(x);
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  CLEAR_CHECK_MSG(a.rank() == 2 && b.rank() == 2, "matmul requires rank-2");
+  const std::size_t m = a.extent(0);
+  const std::size_t k = a.extent(1);
+  CLEAR_CHECK_MSG(b.extent(0) == k, "matmul inner dimension mismatch: "
+                                        << a.shape_str() << " x "
+                                        << b.shape_str());
+  const std::size_t n = b.extent(1);
+  Tensor c({m, n});
+  matmul_accum(a, b, c);
+  return c;
+}
+
+void matmul_accum(const Tensor& a, const Tensor& b, Tensor& c) {
+  CLEAR_CHECK_MSG(a.rank() == 2 && b.rank() == 2 && c.rank() == 2,
+                  "matmul_accum requires rank-2 operands");
+  const std::size_t m = a.extent(0);
+  const std::size_t k = a.extent(1);
+  const std::size_t n = b.extent(1);
+  CLEAR_CHECK_MSG(b.extent(0) == k && c.extent(0) == m && c.extent(1) == n,
+                  "matmul_accum shape mismatch");
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // i-k-j ordering keeps the inner loop streaming over contiguous B/C rows.
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+Tensor transpose2d(const Tensor& a) {
+  CLEAR_CHECK_MSG(a.rank() == 2, "transpose2d requires rank-2");
+  const std::size_t m = a.extent(0);
+  const std::size_t n = a.extent(1);
+  Tensor out({n, m});
+  const float* pa = a.data();
+  float* po = out.data();
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) po[j * m + i] = pa[i * n + j];
+  return out;
+}
+
+Tensor matvec(const Tensor& a, const Tensor& x) {
+  CLEAR_CHECK_MSG(a.rank() == 2 && x.rank() == 1, "matvec requires [m,k]*[k]");
+  const std::size_t m = a.extent(0);
+  const std::size_t k = a.extent(1);
+  CLEAR_CHECK_MSG(x.extent(0) == k, "matvec dimension mismatch");
+  Tensor y({m});
+  const float* pa = a.data();
+  const float* px = x.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    float s = 0.0f;
+    const float* arow = pa + i * k;
+    for (std::size_t j = 0; j < k; ++j) s += arow[j] * px[j];
+    y[i] = s;
+  }
+  return y;
+}
+
+void add_row_bias_inplace(Tensor& a, const Tensor& bias) {
+  CLEAR_CHECK_MSG(a.rank() == 2 && bias.rank() == 1,
+                  "add_row_bias requires rank-2 tensor and rank-1 bias");
+  const std::size_t m = a.extent(0);
+  const std::size_t n = a.extent(1);
+  CLEAR_CHECK_MSG(bias.extent(0) == n, "bias length mismatch");
+  float* pa = a.data();
+  const float* pb = bias.data();
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) pa[i * n + j] += pb[j];
+}
+
+float sum(const Tensor& a) {
+  float s = 0.0f;
+  for (const float x : a.flat()) s += x;
+  return s;
+}
+
+float mean(const Tensor& a) {
+  CLEAR_CHECK_MSG(a.numel() > 0, "mean of empty tensor");
+  return sum(a) / static_cast<float>(a.numel());
+}
+
+float max_abs(const Tensor& a) {
+  float m = 0.0f;
+  for (const float x : a.flat()) m = std::max(m, std::abs(x));
+  return m;
+}
+
+float min_value(const Tensor& a) {
+  CLEAR_CHECK_MSG(a.numel() > 0, "min of empty tensor");
+  float m = a[0];
+  for (const float x : a.flat()) m = std::min(m, x);
+  return m;
+}
+
+float max_value(const Tensor& a) {
+  CLEAR_CHECK_MSG(a.numel() > 0, "max of empty tensor");
+  float m = a[0];
+  for (const float x : a.flat()) m = std::max(m, x);
+  return m;
+}
+
+float l2_norm(const Tensor& a) {
+  double s = 0.0;
+  for (const float x : a.flat()) s += static_cast<double>(x) * x;
+  return static_cast<float>(std::sqrt(s));
+}
+
+std::size_t argmax(const Tensor& a) {
+  CLEAR_CHECK_MSG(a.numel() > 0, "argmax of empty tensor");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < a.numel(); ++i)
+    if (a[i] > a[best]) best = i;
+  return best;
+}
+
+std::vector<std::size_t> argmax_rows(const Tensor& a) {
+  CLEAR_CHECK_MSG(a.rank() == 2, "argmax_rows requires rank-2");
+  const std::size_t m = a.extent(0);
+  const std::size_t n = a.extent(1);
+  std::vector<std::size_t> out(m, 0);
+  const float* pa = a.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* row = pa + i * n;
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < n; ++j)
+      if (row[j] > row[best]) best = j;
+    out[i] = best;
+  }
+  return out;
+}
+
+Tensor softmax_rows(const Tensor& a) {
+  CLEAR_CHECK_MSG(a.rank() == 2, "softmax_rows requires rank-2");
+  const std::size_t m = a.extent(0);
+  const std::size_t n = a.extent(1);
+  Tensor out = a;
+  float* po = out.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    float* row = po + i * n;
+    float mx = row[0];
+    for (std::size_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+    float s = 0.0f;
+    for (std::size_t j = 0; j < n; ++j) {
+      row[j] = std::exp(row[j] - mx);
+      s += row[j];
+    }
+    const float inv = 1.0f / s;
+    for (std::size_t j = 0; j < n; ++j) row[j] *= inv;
+  }
+  return out;
+}
+
+std::size_t conv_out_extent(std::size_t in, std::size_t k, std::size_t stride,
+                            std::size_t pad) {
+  CLEAR_CHECK_MSG(stride >= 1, "stride must be >= 1");
+  CLEAR_CHECK_MSG(in + 2 * pad >= k, "kernel larger than padded input");
+  return (in + 2 * pad - k) / stride + 1;
+}
+
+Tensor im2col(const Tensor& image, std::size_t kh, std::size_t kw,
+              std::size_t stride, std::size_t pad) {
+  CLEAR_CHECK_MSG(image.rank() == 3, "im2col expects [C,H,W]");
+  const std::size_t c = image.extent(0);
+  const std::size_t h = image.extent(1);
+  const std::size_t w = image.extent(2);
+  const std::size_t oh = conv_out_extent(h, kh, stride, pad);
+  const std::size_t ow = conv_out_extent(w, kw, stride, pad);
+  Tensor cols({c * kh * kw, oh * ow});
+  const float* src = image.data();
+  float* dst = cols.data();
+  const std::size_t ncols = oh * ow;
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    for (std::size_t ki = 0; ki < kh; ++ki) {
+      for (std::size_t kj = 0; kj < kw; ++kj) {
+        const std::size_t row = (ch * kh + ki) * kw + kj;
+        float* drow = dst + row * ncols;
+        for (std::size_t oi = 0; oi < oh; ++oi) {
+          const std::ptrdiff_t ii =
+              static_cast<std::ptrdiff_t>(oi * stride + ki) -
+              static_cast<std::ptrdiff_t>(pad);
+          for (std::size_t oj = 0; oj < ow; ++oj) {
+            const std::ptrdiff_t jj =
+                static_cast<std::ptrdiff_t>(oj * stride + kj) -
+                static_cast<std::ptrdiff_t>(pad);
+            float v = 0.0f;
+            if (ii >= 0 && ii < static_cast<std::ptrdiff_t>(h) && jj >= 0 &&
+                jj < static_cast<std::ptrdiff_t>(w)) {
+              v = src[(ch * h + static_cast<std::size_t>(ii)) * w +
+                      static_cast<std::size_t>(jj)];
+            }
+            drow[oi * ow + oj] = v;
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor col2im(const Tensor& cols, std::size_t channels, std::size_t height,
+              std::size_t width, std::size_t kh, std::size_t kw,
+              std::size_t stride, std::size_t pad) {
+  const std::size_t oh = conv_out_extent(height, kh, stride, pad);
+  const std::size_t ow = conv_out_extent(width, kw, stride, pad);
+  CLEAR_CHECK_MSG(cols.rank() == 2 && cols.extent(0) == channels * kh * kw &&
+                      cols.extent(1) == oh * ow,
+                  "col2im: cols shape does not match geometry");
+  Tensor image({channels, height, width});
+  float* dst = image.data();
+  const float* src = cols.data();
+  const std::size_t ncols = oh * ow;
+  for (std::size_t ch = 0; ch < channels; ++ch) {
+    for (std::size_t ki = 0; ki < kh; ++ki) {
+      for (std::size_t kj = 0; kj < kw; ++kj) {
+        const std::size_t row = (ch * kh + ki) * kw + kj;
+        const float* srow = src + row * ncols;
+        for (std::size_t oi = 0; oi < oh; ++oi) {
+          const std::ptrdiff_t ii =
+              static_cast<std::ptrdiff_t>(oi * stride + ki) -
+              static_cast<std::ptrdiff_t>(pad);
+          if (ii < 0 || ii >= static_cast<std::ptrdiff_t>(height)) continue;
+          for (std::size_t oj = 0; oj < ow; ++oj) {
+            const std::ptrdiff_t jj =
+                static_cast<std::ptrdiff_t>(oj * stride + kj) -
+                static_cast<std::ptrdiff_t>(pad);
+            if (jj < 0 || jj >= static_cast<std::ptrdiff_t>(width)) continue;
+            dst[(ch * height + static_cast<std::size_t>(ii)) * width +
+                static_cast<std::size_t>(jj)] += srow[oi * ow + oj];
+          }
+        }
+      }
+    }
+  }
+  return image;
+}
+
+}  // namespace clear::ops

@@ -1,0 +1,74 @@
+// Tensor operations used by the NN layers and the clustering code.
+//
+// All binary ops validate shapes eagerly. Functions returning a Tensor
+// allocate; the *_inplace variants mutate their first argument. matmul is a
+// straightforward blocked i-k-j loop — fast enough for the small CNN-LSTM
+// models this project trains, with no external BLAS dependency.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "tensor/tensor.hpp"
+
+namespace clear::ops {
+
+// -- Elementwise --------------------------------------------------------------
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+void add_inplace(Tensor& a, const Tensor& b);
+void sub_inplace(Tensor& a, const Tensor& b);
+void mul_inplace(Tensor& a, const Tensor& b);
+/// a += alpha * b  (axpy).
+void axpy_inplace(Tensor& a, float alpha, const Tensor& b);
+Tensor scale(const Tensor& a, float s);
+void scale_inplace(Tensor& a, float s);
+Tensor add_scalar(const Tensor& a, float s);
+/// Apply `f` elementwise.
+Tensor map(const Tensor& a, const std::function<float(float)>& f);
+void map_inplace(Tensor& a, const std::function<float(float)>& f);
+
+// -- Linear algebra -----------------------------------------------------------
+/// C[m,n] = A[m,k] * B[k,n]. Both inputs must be rank-2.
+Tensor matmul(const Tensor& a, const Tensor& b);
+/// C[m,n] += A[m,k] * B[k,n]  (accumulate into an existing tensor).
+void matmul_accum(const Tensor& a, const Tensor& b, Tensor& c);
+/// B[n,m] = A[m,n]^T.
+Tensor transpose2d(const Tensor& a);
+/// y[m] = A[m,k] * x[k]; x rank-1.
+Tensor matvec(const Tensor& a, const Tensor& x);
+/// Add a rank-1 bias to every row of a rank-2 tensor.
+void add_row_bias_inplace(Tensor& a, const Tensor& bias);
+
+// -- Reductions ---------------------------------------------------------------
+float sum(const Tensor& a);
+float mean(const Tensor& a);
+float max_abs(const Tensor& a);
+float min_value(const Tensor& a);
+float max_value(const Tensor& a);
+/// Frobenius / L2 norm of the flattened tensor.
+float l2_norm(const Tensor& a);
+/// Index of the maximum element in a rank-1 tensor.
+std::size_t argmax(const Tensor& a);
+/// Row-wise argmax of a rank-2 tensor.
+std::vector<std::size_t> argmax_rows(const Tensor& a);
+/// Row-wise softmax of a rank-2 tensor (numerically stabilized).
+Tensor softmax_rows(const Tensor& a);
+
+// -- Convolution support --------------------------------------------------------
+/// im2col for NCHW input. Output shape:
+/// [C*kh*kw, out_h*out_w] for one image [C,H,W].
+/// Padding is zero-padding of `pad` on each side; stride >= 1.
+Tensor im2col(const Tensor& image, std::size_t kh, std::size_t kw,
+              std::size_t stride, std::size_t pad);
+/// Inverse scatter-add of im2col (gradient path). `cols` must have the shape
+/// produced by im2col for the given geometry; result is [C,H,W].
+Tensor col2im(const Tensor& cols, std::size_t channels, std::size_t height,
+              std::size_t width, std::size_t kh, std::size_t kw,
+              std::size_t stride, std::size_t pad);
+/// Output spatial extent for a conv/pool dimension.
+std::size_t conv_out_extent(std::size_t in, std::size_t k, std::size_t stride,
+                            std::size_t pad);
+
+}  // namespace clear::ops

@@ -1,0 +1,31 @@
+// Binary tensor serialization, used by the checkpoint format (src/nn) and
+// the edge deployment artifacts (src/edge).
+//
+// Wire format (little-endian, matching every platform we target):
+//   u32 magic 'CTSR', u32 version, u64 rank, u64 extents[rank], f32 data[...]
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace clear::io {
+
+/// Write one tensor to a binary stream. Throws clear::Error on IO failure.
+void write_tensor(std::ostream& os, const Tensor& t);
+
+/// Read one tensor. Throws clear::Error on malformed input or IO failure.
+Tensor read_tensor(std::istream& is);
+
+/// Write a length-prefixed UTF-8 string.
+void write_string(std::ostream& os, const std::string& s);
+std::string read_string(std::istream& is);
+
+/// Scalar helpers for composite formats.
+void write_u64(std::ostream& os, std::uint64_t v);
+std::uint64_t read_u64(std::istream& is);
+void write_f64(std::ostream& os, double v);
+double read_f64(std::istream& is);
+
+}  // namespace clear::io

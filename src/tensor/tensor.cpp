@@ -1,0 +1,138 @@
+#include "tensor/tensor.hpp"
+
+#include <numeric>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace clear {
+
+namespace {
+std::size_t shape_product(const std::vector<std::size_t>& shape) {
+  std::size_t n = 1;
+  for (const std::size_t e : shape) {
+    CLEAR_CHECK_MSG(e > 0, "tensor extents must be positive");
+    n *= e;
+  }
+  return shape.empty() ? 0 : n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(shape_product(shape_), 0.0f) {}
+
+Tensor::Tensor(std::initializer_list<std::size_t> shape)
+    : Tensor(std::vector<std::size_t>(shape)) {}
+
+Tensor::Tensor(std::vector<std::size_t> shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  CLEAR_CHECK_MSG(data_.size() == shape_product(shape_),
+                  "data size " << data_.size() << " does not match shape "
+                               << shape_str());
+}
+
+std::size_t Tensor::extent(std::size_t dim) const {
+  CLEAR_CHECK_MSG(dim < shape_.size(), "extent dim out of range");
+  return shape_[dim];
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << ", ";
+    os << shape_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+Tensor Tensor::reshaped(std::vector<std::size_t> new_shape) const {
+  Tensor out = *this;
+  out.reshape(std::move(new_shape));
+  return out;
+}
+
+void Tensor::reshape(std::vector<std::size_t> new_shape) {
+  CLEAR_CHECK_MSG(shape_product(new_shape) == data_.size(),
+                  "reshape to incompatible element count");
+  shape_ = std::move(new_shape);
+}
+
+std::size_t Tensor::linear_index(std::span<const std::size_t> idx) const {
+  CLEAR_CHECK_MSG(idx.size() == shape_.size(),
+                  "index rank " << idx.size() << " != tensor rank "
+                                << shape_.size());
+  std::size_t lin = 0;
+  for (std::size_t d = 0; d < idx.size(); ++d) {
+    CLEAR_CHECK_MSG(idx[d] < shape_[d], "index out of bounds at dim " << d);
+    lin = lin * shape_[d] + idx[d];
+  }
+  return lin;
+}
+
+float& Tensor::at(std::span<const std::size_t> idx) {
+  return data_[linear_index(idx)];
+}
+
+float Tensor::at(std::span<const std::size_t> idx) const {
+  return data_[linear_index(idx)];
+}
+
+float& Tensor::at2(std::size_t i, std::size_t j) {
+  const std::size_t idx[] = {i, j};
+  return data_[linear_index(idx)];
+}
+float Tensor::at2(std::size_t i, std::size_t j) const {
+  const std::size_t idx[] = {i, j};
+  return data_[linear_index(idx)];
+}
+float& Tensor::at3(std::size_t i, std::size_t j, std::size_t k) {
+  const std::size_t idx[] = {i, j, k};
+  return data_[linear_index(idx)];
+}
+float Tensor::at3(std::size_t i, std::size_t j, std::size_t k) const {
+  const std::size_t idx[] = {i, j, k};
+  return data_[linear_index(idx)];
+}
+float& Tensor::at4(std::size_t i, std::size_t j, std::size_t k,
+                   std::size_t l) {
+  const std::size_t idx[] = {i, j, k, l};
+  return data_[linear_index(idx)];
+}
+float Tensor::at4(std::size_t i, std::size_t j, std::size_t k,
+                  std::size_t l) const {
+  const std::size_t idx[] = {i, j, k, l};
+  return data_[linear_index(idx)];
+}
+
+void Tensor::fill(float value) {
+  for (float& x : data_) x = value;
+}
+
+void Tensor::fill_normal(Rng& rng, float mean, float stddev) {
+  for (float& x : data_)
+    x = static_cast<float>(rng.normal(mean, stddev));
+}
+
+void Tensor::fill_uniform(Rng& rng, float lo, float hi) {
+  for (float& x : data_)
+    x = static_cast<float>(rng.uniform(lo, hi));
+}
+
+Tensor Tensor::zeros(std::vector<std::size_t> shape) {
+  return Tensor(std::move(shape));
+}
+
+Tensor Tensor::ones(std::vector<std::size_t> shape) {
+  return full(std::move(shape), 1.0f);
+}
+
+Tensor Tensor::full(std::vector<std::size_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+}  // namespace clear

@@ -1,0 +1,84 @@
+// Dense row-major float tensor.
+//
+// This is the storage type shared by the NN training stack (src/nn), the
+// quantized edge runtime (src/edge), and the clustering code (src/cluster).
+// It is deliberately simple: contiguous float32, no views, no broadcasting
+// beyond what the ops in ops.hpp provide. Shapes use std::size_t and are
+// validated eagerly so that dimension bugs surface at the call site.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace clear {
+
+class Rng;
+
+class Tensor {
+ public:
+  /// Empty (rank-0, zero elements) tensor.
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape. Every extent must be > 0.
+  explicit Tensor(std::vector<std::size_t> shape);
+  Tensor(std::initializer_list<std::size_t> shape);
+
+  /// Tensor with explicit contents; data.size() must equal the shape product.
+  Tensor(std::vector<std::size_t> shape, std::vector<float> data);
+
+  // -- Shape ----------------------------------------------------------------
+  const std::vector<std::size_t>& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t numel() const { return data_.size(); }
+  std::size_t extent(std::size_t dim) const;
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+  std::string shape_str() const;
+
+  /// Reinterpret as a new shape with the same element count.
+  Tensor reshaped(std::vector<std::size_t> new_shape) const;
+  void reshape(std::vector<std::size_t> new_shape);
+
+  // -- Element access -------------------------------------------------------
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> flat() { return data_; }
+  std::span<const float> flat() const { return data_; }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  float& at(std::span<const std::size_t> idx);
+  float at(std::span<const std::size_t> idx) const;
+
+  /// Rank-specific accessors (bounds-checked via CLEAR_CHECK in debug paths).
+  float& at2(std::size_t i, std::size_t j);
+  float at2(std::size_t i, std::size_t j) const;
+  float& at3(std::size_t i, std::size_t j, std::size_t k);
+  float at3(std::size_t i, std::size_t j, std::size_t k) const;
+  float& at4(std::size_t i, std::size_t j, std::size_t k, std::size_t l);
+  float at4(std::size_t i, std::size_t j, std::size_t k, std::size_t l) const;
+
+  // -- Fills ----------------------------------------------------------------
+  void fill(float value);
+  void zero() { fill(0.0f); }
+  /// iid N(mean, stddev).
+  void fill_normal(Rng& rng, float mean, float stddev);
+  /// iid U[lo, hi).
+  void fill_uniform(Rng& rng, float lo, float hi);
+
+  // -- Factories ------------------------------------------------------------
+  static Tensor zeros(std::vector<std::size_t> shape);
+  static Tensor ones(std::vector<std::size_t> shape);
+  static Tensor full(std::vector<std::size_t> shape, float value);
+
+ private:
+  std::size_t linear_index(std::span<const std::size_t> idx) const;
+
+  std::vector<std::size_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace clear

@@ -1,0 +1,105 @@
+#include "wemac/archetype.hpp"
+
+namespace clear::wemac {
+
+const std::array<ArchetypeParams, kNumArchetypes>& default_archetypes() {
+  static const std::array<ArchetypeParams, kNumArchetypes> archetypes = [] {
+    std::array<ArchetypeParams, kNumArchetypes> a{};
+
+    // Archetype 0: electrodermally reactive. Fear shows up mainly as dense,
+    // large SCR bursts; cardiac response moderate.
+    a[0].name = "electrodermal-reactive";
+    a[0].hr_base = 71.0;
+    a[0].hr_fear_delta = 8.0;
+    a[0].hr_arousal_delta = 5.0;
+    a[0].hrv_sd = 0.045;
+    a[0].hrv_fear_scale = 0.80;
+    a[0].resp_rate = 0.26;
+    a[0].bvp_amp = 1.00;
+    a[0].bvp_amp_fear_scale = 0.88;
+    a[0].scr_rate_base = 3.5;
+    a[0].scr_rate_fear = 10.0;
+    a[0].scr_amp = 0.40;
+    a[0].scr_amp_fear_scale = 1.9;
+    a[0].gsr_tonic = 6.5;
+    a[0].gsr_fear_slope = 0.030;
+    a[0].skt_base = 33.6;
+    a[0].skt_fear_drop = 0.35;
+
+    // Archetype 1: cardiac / sympathetic responder. Strong tachycardia and
+    // HRV suppression under fear; electrodermal channel comparatively quiet.
+    a[1].name = "cardiac-reactive";
+    a[1].hr_base = 78.0;
+    a[1].hr_fear_delta = 14.0;
+    a[1].hr_arousal_delta = 8.0;
+    a[1].hrv_sd = 0.050;
+    a[1].hrv_fear_scale = 0.55;
+    a[1].resp_rate = 0.30;
+    a[1].bvp_amp = 0.90;
+    a[1].bvp_amp_fear_scale = 0.72;
+    a[1].scr_rate_base = 3.0;
+    a[1].scr_rate_fear = 6.0;
+    a[1].scr_amp = 0.28;
+    a[1].scr_amp_fear_scale = 1.25;
+    a[1].gsr_tonic = 8.0;
+    a[1].gsr_fear_slope = 0.012;
+    a[1].skt_base = 33.2;
+    a[1].skt_fear_drop = 0.55;
+
+    // Archetype 2: blunted responder. Every channel moves, but weakly; the
+    // noise floor is relatively higher, making these users the hard cases.
+    a[2].name = "blunted";
+    a[2].hr_base = 67.0;
+    a[2].hr_fear_delta = 5.0;
+    a[2].hr_arousal_delta = 3.0;
+    a[2].hrv_sd = 0.035;
+    a[2].hrv_fear_scale = 0.90;
+    a[2].resp_rate = 0.22;
+    a[2].bvp_amp = 0.80;
+    a[2].bvp_amp_fear_scale = 0.95;
+    a[2].scr_rate_base = 2.0;
+    a[2].scr_rate_fear = 5.0;
+    a[2].scr_amp = 0.18;
+    a[2].scr_amp_fear_scale = 1.30;
+    a[2].gsr_tonic = 4.0;
+    a[2].gsr_fear_slope = 0.008;
+    a[2].skt_base = 34.0;
+    a[2].skt_fear_drop = 0.15;
+    a[2].bvp_noise = 0.09;
+    a[2].gsr_noise = 0.045;
+
+    // Archetype 3: vagal / freeze responder. Fear produces heart-rate
+    // *deceleration* with preserved-to-enhanced HF variability, together
+    // with a pronounced skin-temperature drop — the qualitative opposite of
+    // archetype 1, which is what breaks population-wide models.
+    a[3].name = "vagal-freeze";
+    a[3].hr_base = 74.0;
+    a[3].hr_fear_delta = -4.5;
+    a[3].hr_arousal_delta = 4.0;
+    a[3].hrv_sd = 0.060;
+    a[3].hrv_fear_scale = 1.20;
+    a[3].resp_rate = 0.18;
+    a[3].bvp_amp = 1.10;
+    a[3].bvp_amp_fear_scale = 0.90;
+    a[3].scr_rate_base = 3.0;
+    a[3].scr_rate_fear = 8.0;
+    a[3].scr_amp = 0.32;
+    a[3].scr_amp_fear_scale = 1.5;
+    a[3].gsr_tonic = 7.0;
+    a[3].gsr_fear_slope = 0.020;
+    a[3].skt_base = 33.0;
+    a[3].skt_fear_drop = 0.60;
+
+    return a;
+  }();
+  return archetypes;
+}
+
+const std::array<double, kNumArchetypes>& default_archetype_weights() {
+  // 17/13/7/7 of 44 ≈ 0.386/0.295/0.159/0.159.
+  static const std::array<double, kNumArchetypes> weights = {0.386, 0.295,
+                                                             0.159, 0.159};
+  return weights;
+}
+
+}  // namespace clear::wemac

@@ -1,0 +1,70 @@
+// Physiological response archetypes for the synthetic WEMAC substrate.
+//
+// The real WEMAC dataset is access-gated, so this module synthesizes a
+// population with the property the CLEAR methodology depends on: users fall
+// into a small number of groups with *qualitatively different* autonomic
+// responses to fear, while users within a group differ only by parameter
+// jitter. The four archetypes below are modeled on the affective-computing
+// literature: electrodermally reactive responders, cardiac (sympathetic)
+// responders, blunted responders, and vagal/"freeze" responders whose heart
+// rate *decelerates* under threat. The archetype identity is ground truth
+// for diagnostics only — no algorithm in src/clear ever reads it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace clear::wemac {
+
+inline constexpr std::size_t kNumArchetypes = 4;
+
+/// Population-level parameters of one response archetype. All per-user
+/// parameters are sampled as N(value, jitter * |value|) unless noted.
+struct ArchetypeParams {
+  std::string name;
+
+  // -- Cardiac --
+  double hr_base = 72.0;        ///< Resting heart rate [bpm].
+  double hr_fear_delta = 10.0;  ///< HR change at full fear arousal [bpm].
+  double hr_arousal_delta = 6.0;///< HR change for non-fear arousal [bpm].
+  double hrv_sd = 0.045;        ///< Beat-to-beat IBI modulation depth [s].
+  double hrv_fear_scale = 0.7;  ///< HRV multiplier under fear (<1 = suppress).
+  double resp_rate = 0.25;      ///< Respiratory rate [Hz] (HF component).
+  double bvp_amp = 1.0;         ///< Pulse amplitude [a.u.].
+  double bvp_amp_fear_scale = 0.85; ///< Peripheral vasoconstriction factor.
+
+  // -- Electrodermal --
+  double scr_rate_base = 3.0;   ///< Spontaneous SCR rate [events/min].
+  double scr_rate_fear = 9.0;   ///< SCR rate at full fear arousal [events/min].
+  double scr_amp = 0.35;        ///< Mean SCR amplitude [uS].
+  double scr_amp_fear_scale = 1.6; ///< SCR amplitude multiplier under fear.
+  double gsr_tonic = 6.0;       ///< Tonic skin conductance level [uS].
+  double gsr_fear_slope = 0.02; ///< Tonic drift under fear [uS/s].
+
+  // -- Thermal --
+  double skt_base = 33.5;       ///< Baseline skin temperature [C].
+  double skt_fear_drop = 0.5;   ///< Temperature drop at full fear [C].
+
+  // -- Noise --
+  double bvp_noise = 0.06;      ///< BVP additive noise sigma.
+  double gsr_noise = 0.03;      ///< GSR additive noise sigma [uS].
+  double skt_noise = 0.01;      ///< SKT additive noise sigma [C].
+
+  // -- Inter-user variability within the archetype --
+  double jitter = 0.12;         ///< Relative sigma for per-user sampling.
+  /// Log-normal sigma of the per-user, per-channel response gains (how
+  /// strongly this user's fear response expresses in the cardiac,
+  /// electrodermal, and thermal channels). This idiosyncratic re-weighting
+  /// is what gives on-user fine-tuning its headroom over the cluster model.
+  double channel_gain_sigma = 0.35;
+};
+
+/// The four default archetypes. Index is the ground-truth group id.
+const std::array<ArchetypeParams, kNumArchetypes>& default_archetypes();
+
+/// Mixture weights producing the paper's reported cluster sizes
+/// (17/13/7/7 of 44 users assigned, §IV-A).
+const std::array<double, kNumArchetypes>& default_archetype_weights();
+
+}  // namespace clear::wemac

@@ -1,0 +1,248 @@
+#include "wemac/dataset.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "features/feature_map.hpp"
+#include "tensor/serialize.hpp"
+#include "wemac/archetype.hpp"
+
+namespace clear::wemac {
+
+std::string WemacConfig::cache_key() const {
+  // kGeneratorVersion must be bumped whenever the synthesis code or the
+  // archetype tables change, so stale caches are never reused.
+  constexpr int kGeneratorVersion = 10;
+  std::ostringstream os;
+  os << "v" << kGeneratorVersion << "_s" << seed << "_n" << n_volunteers
+     << "_t" << trials_per_volunteer
+     << "_w" << windows_per_trial << "_sec" << window_seconds << "_ff"
+     << fear_fraction << "_r" << rates.bvp_hz << "-" << rates.gsr_hz << "-"
+     << rates.skt_hz;
+  return os.str();
+}
+
+WemacDataset::WemacDataset(WemacConfig config,
+                           std::vector<VolunteerMeta> volunteers,
+                           std::vector<Sample> samples)
+    : config_(std::move(config)),
+      volunteers_(std::move(volunteers)),
+      samples_(std::move(samples)) {
+  build_index();
+}
+
+void WemacDataset::build_index() {
+  by_volunteer_.assign(volunteers_.size(), {});
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    const std::size_t v = samples_[i].volunteer_id;
+    CLEAR_CHECK_MSG(v < volunteers_.size(), "sample has invalid volunteer id");
+    by_volunteer_[v].push_back(i);
+  }
+}
+
+const std::vector<std::size_t>& WemacDataset::samples_of(
+    std::size_t volunteer_id) const {
+  CLEAR_CHECK_MSG(volunteer_id < by_volunteer_.size(),
+                  "volunteer id out of range");
+  return by_volunteer_[volunteer_id];
+}
+
+std::size_t WemacDataset::feature_dim() const {
+  CLEAR_CHECK_MSG(!samples_.empty(), "empty dataset");
+  return samples_.front().feature_map.extent(0);
+}
+
+WemacDataset generate_wemac(const WemacConfig& config) {
+  CLEAR_CHECK_MSG(config.n_volunteers >= kNumArchetypes,
+                  "need at least one volunteer per archetype");
+  const auto& archetypes = default_archetypes();
+  const auto& weights = default_archetype_weights();
+  Rng master(config.seed);
+
+  // Assign archetypes: guarantee each archetype at least one member, then
+  // fill the rest by weighted sampling, so cluster structure always exists.
+  std::vector<std::size_t> assignment(config.n_volunteers);
+  for (std::size_t a = 0; a < kNumArchetypes; ++a) assignment[a] = a;
+  const std::vector<double> w(weights.begin(), weights.end());
+  for (std::size_t v = kNumArchetypes; v < config.n_volunteers; ++v)
+    assignment[v] = master.categorical(w);
+  // Shuffle so volunteer id carries no archetype information.
+  const std::vector<std::size_t> perm = master.permutation(config.n_volunteers);
+  std::vector<std::size_t> shuffled(config.n_volunteers);
+  for (std::size_t v = 0; v < config.n_volunteers; ++v)
+    shuffled[v] = assignment[perm[v]];
+
+  std::vector<VolunteerMeta> volunteers;
+  std::vector<Sample> samples;
+  volunteers.reserve(config.n_volunteers);
+  samples.reserve(config.n_volunteers * config.trials_per_volunteer);
+
+  for (std::size_t v = 0; v < config.n_volunteers; ++v) {
+    Rng vol_rng = master.fork(1000 + v);
+    const std::size_t arch = shuffled[v];
+    VolunteerMeta meta;
+    meta.id = v;
+    meta.archetype_id = arch;
+    meta.profile = sample_profile(archetypes[arch], v, arch, vol_rng);
+    const std::vector<Stimulus> schedule =
+        make_schedule(config.trials_per_volunteer, config.fear_fraction,
+                      config.trial_seconds(), vol_rng);
+    for (std::size_t trial = 0; trial < schedule.size(); ++trial) {
+      Rng trial_rng = vol_rng.fork(77000 + trial);
+      const TrialSignals signals = synthesize_trial(
+          meta.profile, schedule[trial], config.rates, trial_rng);
+      const std::vector<features::PhysioWindow> windows =
+          slice_windows(signals, config.window_seconds);
+      CLEAR_CHECK_MSG(windows.size() >= config.windows_per_trial,
+                      "trial produced too few windows");
+      std::vector<std::vector<double>> columns;
+      columns.reserve(config.windows_per_trial);
+      for (std::size_t wdx = 0; wdx < config.windows_per_trial; ++wdx)
+        columns.push_back(features::extract_window_features(windows[wdx]));
+      Sample s;
+      s.volunteer_id = v;
+      s.trial_id = trial;
+      s.emotion = schedule[trial].emotion;
+      s.label = is_fear(schedule[trial].emotion) ? 1 : 0;
+      s.feature_map = features::build_feature_map(columns);
+      samples.push_back(std::move(s));
+    }
+    volunteers.push_back(std::move(meta));
+  }
+  return WemacDataset(config, std::move(volunteers), std::move(samples));
+}
+
+namespace {
+constexpr std::uint64_t kDatasetMagic = 0x57454D4143763101ull;  // "WEMACv1".
+
+void write_profile(std::ostream& os, const VolunteerProfile& p) {
+  io::write_u64(os, p.volunteer_id);
+  io::write_u64(os, p.archetype_id);
+  for (const double v :
+       {p.hr_base, p.hr_fear_delta, p.hr_arousal_delta, p.hrv_sd,
+        p.hrv_fear_scale, p.resp_rate, p.bvp_amp, p.bvp_amp_fear_scale,
+        p.scr_rate_base, p.scr_rate_fear, p.scr_amp, p.scr_amp_fear_scale,
+        p.gsr_tonic, p.gsr_fear_slope, p.skt_base, p.skt_fear_drop,
+        p.bvp_noise, p.gsr_noise, p.skt_noise, p.cardiac_gain, p.gsr_gain,
+        p.skt_gain})
+    io::write_f64(os, v);
+}
+
+VolunteerProfile read_profile(std::istream& is) {
+  VolunteerProfile p;
+  p.volunteer_id = io::read_u64(is);
+  p.archetype_id = io::read_u64(is);
+  double* fields[] = {
+      &p.hr_base,         &p.hr_fear_delta,     &p.hr_arousal_delta,
+      &p.hrv_sd,          &p.hrv_fear_scale,    &p.resp_rate,
+      &p.bvp_amp,         &p.bvp_amp_fear_scale, &p.scr_rate_base,
+      &p.scr_rate_fear,   &p.scr_amp,           &p.scr_amp_fear_scale,
+      &p.gsr_tonic,       &p.gsr_fear_slope,    &p.skt_base,
+      &p.skt_fear_drop,   &p.bvp_noise,         &p.gsr_noise,
+      &p.skt_noise,       &p.cardiac_gain,      &p.gsr_gain,
+      &p.skt_gain};
+  for (double* f : fields) *f = io::read_f64(is);
+  return p;
+}
+}  // namespace
+
+void save_dataset(const WemacDataset& dataset, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  CLEAR_CHECK_MSG(os.good(), "cannot open dataset file for writing: " << path);
+  io::write_u64(os, kDatasetMagic);
+  io::write_string(os, dataset.config().cache_key());
+  const WemacConfig& c = dataset.config();
+  io::write_u64(os, c.seed);
+  io::write_u64(os, c.n_volunteers);
+  io::write_u64(os, c.trials_per_volunteer);
+  io::write_u64(os, c.windows_per_trial);
+  io::write_f64(os, c.window_seconds);
+  io::write_f64(os, c.fear_fraction);
+  io::write_f64(os, c.rates.bvp_hz);
+  io::write_f64(os, c.rates.gsr_hz);
+  io::write_f64(os, c.rates.skt_hz);
+  io::write_u64(os, dataset.volunteers().size());
+  for (const VolunteerMeta& m : dataset.volunteers()) {
+    io::write_u64(os, m.id);
+    io::write_u64(os, m.archetype_id);
+    write_profile(os, m.profile);
+  }
+  io::write_u64(os, dataset.samples().size());
+  for (const Sample& s : dataset.samples()) {
+    io::write_u64(os, s.volunteer_id);
+    io::write_u64(os, s.trial_id);
+    io::write_u64(os, static_cast<std::uint64_t>(s.emotion));
+    io::write_u64(os, static_cast<std::uint64_t>(s.label));
+    io::write_tensor(os, s.feature_map);
+  }
+  CLEAR_CHECK_MSG(os.good(), "IO error writing dataset: " << path);
+}
+
+WemacDataset load_dataset(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  CLEAR_CHECK_MSG(is.good(), "cannot open dataset file: " << path);
+  CLEAR_CHECK_MSG(io::read_u64(is) == kDatasetMagic, "bad dataset magic");
+  (void)io::read_string(is);  // cache key (informational)
+  WemacConfig c;
+  c.seed = io::read_u64(is);
+  c.n_volunteers = io::read_u64(is);
+  c.trials_per_volunteer = io::read_u64(is);
+  c.windows_per_trial = io::read_u64(is);
+  c.window_seconds = io::read_f64(is);
+  c.fear_fraction = io::read_f64(is);
+  c.rates.bvp_hz = io::read_f64(is);
+  c.rates.gsr_hz = io::read_f64(is);
+  c.rates.skt_hz = io::read_f64(is);
+  const std::uint64_t n_vol = io::read_u64(is);
+  CLEAR_CHECK_MSG(n_vol == c.n_volunteers, "dataset volunteer count mismatch");
+  std::vector<VolunteerMeta> volunteers(n_vol);
+  for (auto& m : volunteers) {
+    m.id = io::read_u64(is);
+    m.archetype_id = io::read_u64(is);
+    m.profile = read_profile(is);
+  }
+  const std::uint64_t n_samples = io::read_u64(is);
+  std::vector<Sample> samples(n_samples);
+  for (auto& s : samples) {
+    s.volunteer_id = io::read_u64(is);
+    s.trial_id = io::read_u64(is);
+    s.emotion = static_cast<Emotion>(io::read_u64(is));
+    s.label = static_cast<int>(io::read_u64(is));
+    s.feature_map = io::read_tensor(is);
+  }
+  return WemacDataset(std::move(c), std::move(volunteers), std::move(samples));
+}
+
+WemacDataset generate_or_load(const WemacConfig& config,
+                              const std::string& cache_dir) {
+  namespace fs = std::filesystem;
+  const fs::path dir(cache_dir);
+  const fs::path file = dir / ("wemac_" + config.cache_key() + ".bin");
+  if (fs::exists(file)) {
+    try {
+      WemacDataset d = load_dataset(file.string());
+      CLEAR_INFO("loaded cached WEMAC features from " << file.string());
+      return d;
+    } catch (const Error& e) {
+      CLEAR_WARN("dataset cache unreadable (" << e.what()
+                                              << "); regenerating");
+    }
+  }
+  WemacDataset d = generate_wemac(config);
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (!ec) {
+    try {
+      save_dataset(d, file.string());
+      CLEAR_INFO("cached WEMAC features at " << file.string());
+    } catch (const Error& e) {
+      CLEAR_WARN("could not write dataset cache: " << e.what());
+    }
+  }
+  return d;
+}
+
+}  // namespace clear::wemac

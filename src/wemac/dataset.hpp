@@ -1,0 +1,93 @@
+// Synthetic WEMAC dataset container and generator.
+//
+// generate_wemac() samples a population of volunteers from the response
+// archetypes, renders every trial's raw signals, extracts the 123-feature
+// windows, and stores one *unnormalized* feature map per trial. Feature
+// normalization is intentionally left to the evaluation pipeline so that it
+// can be fitted on training users only (no test-subject leakage in LOSO).
+//
+// Feature extraction over ~800 trials costs a few seconds, so a binary cache
+// (save/load) is provided; generate_or_load() keys the cache file on the
+// configuration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "wemac/synth.hpp"
+
+namespace clear::wemac {
+
+struct WemacConfig {
+  std::uint64_t seed = 42;
+  std::size_t n_volunteers = 47;       ///< Paper §IV-A: 47 usable volunteers.
+  std::size_t trials_per_volunteer = 17; ///< ~800 feature maps total.
+  std::size_t windows_per_trial = 12;  ///< W — columns of each feature map.
+  double window_seconds = 10.0;
+  double fear_fraction = 0.5;
+  SignalRates rates;
+
+  double trial_seconds() const {
+    return static_cast<double>(windows_per_trial) * window_seconds;
+  }
+  /// Stable identifier used to key the on-disk feature cache.
+  std::string cache_key() const;
+};
+
+/// One labelled feature map (= one video trial of one volunteer).
+struct Sample {
+  std::size_t volunteer_id = 0;
+  std::size_t trial_id = 0;
+  Emotion emotion = Emotion::kCalm;
+  int label = 0;       ///< 1 = fear, 0 = non-fear.
+  Tensor feature_map;  ///< [F, W], unnormalized.
+};
+
+/// Per-volunteer ground-truth metadata (diagnostics only).
+struct VolunteerMeta {
+  std::size_t id = 0;
+  std::size_t archetype_id = 0;
+  VolunteerProfile profile;
+};
+
+class WemacDataset {
+ public:
+  WemacDataset() = default;
+  WemacDataset(WemacConfig config, std::vector<VolunteerMeta> volunteers,
+               std::vector<Sample> samples);
+
+  const WemacConfig& config() const { return config_; }
+  std::size_t n_volunteers() const { return volunteers_.size(); }
+  const std::vector<VolunteerMeta>& volunteers() const { return volunteers_; }
+  const std::vector<Sample>& samples() const { return samples_; }
+
+  /// Indices into samples() belonging to one volunteer.
+  const std::vector<std::size_t>& samples_of(std::size_t volunteer_id) const;
+
+  /// Number of features per map (rows).
+  std::size_t feature_dim() const;
+
+ private:
+  void build_index();
+
+  WemacConfig config_;
+  std::vector<VolunteerMeta> volunteers_;
+  std::vector<Sample> samples_;
+  std::vector<std::vector<std::size_t>> by_volunteer_;
+};
+
+/// Generate the full synthetic dataset (deterministic in config.seed).
+WemacDataset generate_wemac(const WemacConfig& config);
+
+/// Binary (de)serialization of a generated dataset.
+void save_dataset(const WemacDataset& dataset, const std::string& path);
+WemacDataset load_dataset(const std::string& path);
+
+/// Load from `<cache_dir>/wemac_<key>.bin` when present, else generate and
+/// populate the cache. An unreadable/corrupt cache file is regenerated.
+WemacDataset generate_or_load(const WemacConfig& config,
+                              const std::string& cache_dir);
+
+}  // namespace clear::wemac

@@ -1,0 +1,67 @@
+#include "wemac/stimulus.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace clear::wemac {
+
+const std::string& emotion_name(Emotion e) {
+  static const std::vector<std::string> names = {
+      "fear",    "joy",      "hope", "sadness",   "anger",
+      "disgust", "surprise", "calm", "amusement", "tenderness",
+  };
+  const auto idx = static_cast<std::size_t>(e);
+  CLEAR_CHECK_MSG(idx < names.size(), "invalid emotion value");
+  return names[idx];
+}
+
+bool is_fear(Emotion e) { return e == Emotion::kFear; }
+
+double emotion_arousal(Emotion e) {
+  switch (e) {
+    case Emotion::kFear: return 1.00;
+    case Emotion::kAnger: return 0.80;
+    case Emotion::kSurprise: return 0.70;
+    case Emotion::kJoy: return 0.60;
+    case Emotion::kAmusement: return 0.55;
+    case Emotion::kDisgust: return 0.50;
+    case Emotion::kHope: return 0.40;
+    case Emotion::kSadness: return 0.30;
+    case Emotion::kTenderness: return 0.25;
+    case Emotion::kCalm: return 0.10;
+  }
+  return 0.0;
+}
+
+std::vector<Stimulus> make_schedule(std::size_t n_trials, double fear_fraction,
+                                    double trial_seconds, Rng& rng) {
+  CLEAR_CHECK_MSG(n_trials >= 2, "schedule needs at least 2 trials");
+  CLEAR_CHECK_MSG(fear_fraction > 0.0 && fear_fraction < 1.0,
+                  "fear_fraction must lie in (0, 1)");
+  CLEAR_CHECK_MSG(trial_seconds > 0, "trial_seconds must be positive");
+
+  const auto n_fear = std::max<std::size_t>(
+      1, static_cast<std::size_t>(fear_fraction * static_cast<double>(n_trials) +
+                                  0.5));
+  std::vector<Stimulus> schedule(n_trials);
+  for (std::size_t i = 0; i < n_trials; ++i) {
+    Stimulus s;
+    s.duration_s = trial_seconds;
+    if (i < n_fear) {
+      s.emotion = Emotion::kFear;
+    } else {
+      // Uniform over the nine non-fear emotions.
+      const auto pick = 1 + rng.uniform_index(kNumEmotions - 1);
+      s.emotion = static_cast<Emotion>(pick);
+    }
+    schedule[i] = s;
+  }
+  // Shuffle presentation order.
+  const std::vector<std::size_t> perm = rng.permutation(n_trials);
+  std::vector<Stimulus> shuffled(n_trials);
+  for (std::size_t i = 0; i < n_trials; ++i) shuffled[i] = schedule[perm[i]];
+  return shuffled;
+}
+
+}  // namespace clear::wemac

@@ -1,0 +1,52 @@
+// Stimulus model: emotions elicited by the video protocol and their mapping
+// to the binary fear / non-fear task (paper §IV-A: WEMAC is annotated with
+// ten emotional labels, evaluated as fear vs. non-fear).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace clear::wemac {
+
+/// The ten emotion labels of the WEMAC protocol.
+enum class Emotion : std::uint8_t {
+  kFear = 0,
+  kJoy,
+  kHope,
+  kSadness,
+  kAnger,
+  kDisgust,
+  kSurprise,
+  kCalm,
+  kAmusement,
+  kTenderness,
+};
+
+inline constexpr std::size_t kNumEmotions = 10;
+
+const std::string& emotion_name(Emotion e);
+
+/// Binary task label: fear = 1, everything else = 0.
+bool is_fear(Emotion e);
+
+/// Normalized arousal level in [0, 1] the stimulus elicits. Fear is maximal;
+/// several non-fear emotions are strongly arousing too, which is what makes
+/// the binary task non-trivial (arousal alone does not separate the classes).
+double emotion_arousal(Emotion e);
+
+/// One video stimulus shown to a volunteer.
+struct Stimulus {
+  Emotion emotion = Emotion::kCalm;
+  double duration_s = 120.0;
+};
+
+/// Generate a per-volunteer stimulus schedule of `n_trials` videos with a
+/// target fear fraction (the evaluation balances fear vs. non-fear).
+/// Non-fear emotions are drawn uniformly.
+std::vector<Stimulus> make_schedule(std::size_t n_trials, double fear_fraction,
+                                    double trial_seconds, Rng& rng);
+
+}  // namespace clear::wemac

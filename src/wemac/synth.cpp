@@ -1,0 +1,269 @@
+#include "wemac/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace clear::wemac {
+
+namespace {
+
+/// Jittered parameter: N(value, |value| * rel_sigma), clamped to keep the
+/// sign and at least 25 % of the nominal magnitude.
+double jittered(double value, double rel_sigma, Rng& rng) {
+  if (value == 0.0) return 0.0;
+  const double v = rng.normal(value, std::abs(value) * rel_sigma);
+  const double floor_mag = 0.25 * std::abs(value);
+  if (value > 0) return std::max(v, floor_mag);
+  return std::min(v, -floor_mag);
+}
+
+/// Arousal trajectory: first-order rise from resting level toward the
+/// stimulus target with tau ~ 8 s, plus slow wander.
+class ArousalTrack {
+ public:
+  ArousalTrack(double target, bool fear, Rng& rng)
+      : target_(target), fear_(fear), wander_rng_(rng.fork(0x41524f55)) {}
+
+  double level(double t) const {
+    const double rise = 1.0 - std::exp(-t / 8.0);
+    return 0.15 + (target_ - 0.15) * rise;
+  }
+  bool fear() const { return fear_; }
+
+ private:
+  double target_;
+  bool fear_;
+  Rng wander_rng_;
+};
+
+/// Asymmetric SCR kernel: fast exponential rise, slow decay.
+double scr_kernel(double dt, double rise_tau, double decay_tau) {
+  if (dt < 0) return 0.0;
+  return (1.0 - std::exp(-dt / rise_tau)) * std::exp(-dt / decay_tau);
+}
+
+}  // namespace
+
+VolunteerProfile sample_profile(const ArchetypeParams& a,
+                                std::size_t volunteer_id,
+                                std::size_t archetype_id, Rng& rng) {
+  VolunteerProfile p;
+  p.volunteer_id = volunteer_id;
+  p.archetype_id = archetype_id;
+  const double j = a.jitter;
+  p.hr_base = jittered(a.hr_base, j * 0.6, rng);
+  p.hr_fear_delta = jittered(a.hr_fear_delta, j * 1.5, rng);
+  p.hr_arousal_delta = jittered(a.hr_arousal_delta, j * 1.5, rng);
+  p.hrv_sd = jittered(a.hrv_sd, j, rng);
+  p.hrv_fear_scale = std::clamp(rng.normal(a.hrv_fear_scale, j * 0.5), 0.2, 2.0);
+  p.resp_rate = std::clamp(jittered(a.resp_rate, j, rng), 0.12, 0.45);
+  p.bvp_amp = jittered(a.bvp_amp, j, rng);
+  p.bvp_amp_fear_scale =
+      std::clamp(rng.normal(a.bvp_amp_fear_scale, j * 0.4), 0.4, 1.1);
+  p.scr_rate_base = jittered(a.scr_rate_base, j * 1.2, rng);
+  p.scr_rate_fear = jittered(a.scr_rate_fear, j * 1.2, rng);
+  p.scr_amp = jittered(a.scr_amp, j, rng);
+  p.scr_amp_fear_scale =
+      std::clamp(rng.normal(a.scr_amp_fear_scale, j * 0.5), 1.0, 3.0);
+  p.gsr_tonic = jittered(a.gsr_tonic, j, rng);
+  p.gsr_fear_slope = jittered(a.gsr_fear_slope, j * 1.5, rng);
+  p.skt_base = rng.normal(a.skt_base, 0.3);
+  p.skt_fear_drop = jittered(a.skt_fear_drop, j * 1.2, rng);
+  p.bvp_noise = jittered(a.bvp_noise, j, rng);
+  p.gsr_noise = jittered(a.gsr_noise, j, rng);
+  p.skt_noise = jittered(a.skt_noise, j, rng);
+  // Idiosyncratic per-channel response expression (log-normal around 1).
+  auto channel_gain = [&rng, &a] {
+    return std::clamp(std::exp(rng.normal(0.0, a.channel_gain_sigma)), 0.35,
+                      2.5);
+  };
+  p.cardiac_gain = channel_gain();
+  p.gsr_gain = channel_gain();
+  p.skt_gain = channel_gain();
+  return p;
+}
+
+TrialSignals synthesize_trial(const VolunteerProfile& p,
+                              const Stimulus& stimulus,
+                              const SignalRates& rates, Rng& rng) {
+  CLEAR_CHECK_MSG(stimulus.duration_s > 1.0, "trial too short");
+  TrialSignals out;
+  out.rates = rates;
+  const double dur = stimulus.duration_s;
+  const bool fear = is_fear(stimulus.emotion);
+  const double arousal_target = emotion_arousal(stimulus.emotion);
+  ArousalTrack arousal(arousal_target, fear, rng);
+  // Per-trial response gain: the same stimulus does not elicit the same
+  // response magnitude every time (habituation, attention, context). This
+  // overlap between weak fear trials and strong non-fear trials is the main
+  // source of task difficulty, mirroring real affective data.
+  const double gain = std::clamp(rng.normal(1.0, 0.45), 0.1, 2.2);
+  // Channel-specific effective gains: trial strength x the user's
+  // idiosyncratic per-channel expression.
+  const double cardiac_gain = gain * p.cardiac_gain;
+  const double electrodermal_gain = gain * p.gsr_gain;
+  const double thermal_gain = gain * p.skt_gain;
+
+  // ---- Beat schedule -------------------------------------------------------
+  // Instantaneous HR follows arousal. Fear applies its archetype-specific
+  // delta (possibly negative: vagal freeze); non-fear arousal applies the
+  // smaller generic delta. IBI modulation: LF (~0.1 Hz) + respiratory HF.
+  std::vector<double> beat_times;
+  std::vector<double> beat_amps;
+  Rng beat_rng = rng.fork(0xB417);
+  const double lf_freq = 0.095 + 0.01 * beat_rng.uniform();
+  const double lf_phase = beat_rng.uniform(0.0, 2.0 * M_PI);
+  const double hf_phase = beat_rng.uniform(0.0, 2.0 * M_PI);
+  double t = beat_rng.uniform(0.0, 0.5);
+  while (t < dur) {
+    const double a = cardiac_gain * arousal.level(t);
+    const double am = std::min(a, 1.2);  // Bounded for multiplicative factors.
+    const double hr =
+        p.hr_base + (fear ? p.hr_fear_delta * a : p.hr_arousal_delta * a);
+    const double hrv_depth =
+        p.hrv_sd * (fear ? 1.0 + (p.hrv_fear_scale - 1.0) * am : 1.0);
+    const double mod =
+        hrv_depth * (0.6 * std::sin(2.0 * M_PI * lf_freq * t + lf_phase) +
+                     0.8 * std::sin(2.0 * M_PI * p.resp_rate * t + hf_phase)) +
+        beat_rng.normal(0.0, hrv_depth * 0.35);
+    double ibi = 60.0 / std::max(35.0, hr) + mod;
+    ibi = std::clamp(ibi, 0.33, 1.8);
+    beat_times.push_back(t);
+    // Amplitude: respiratory modulation + fear vasoconstriction.
+    const double vaso = fear ? 1.0 + (p.bvp_amp_fear_scale - 1.0) * am : 1.0;
+    const double amp =
+        p.bvp_amp * vaso *
+        (1.0 + 0.12 * std::sin(2.0 * M_PI * p.resp_rate * t + hf_phase)) *
+        (1.0 + beat_rng.normal(0.0, 0.04));
+    beat_amps.push_back(std::max(0.05, amp));
+    t += ibi;
+  }
+
+  // ---- BVP rendering -------------------------------------------------------
+  const auto n_bvp = static_cast<std::size_t>(dur * rates.bvp_hz);
+  out.bvp.assign(n_bvp, 0.0);
+  Rng bvp_noise_rng = rng.fork(0xB4F0);
+  for (std::size_t b = 0; b < beat_times.size(); ++b) {
+    const double t0 = beat_times[b];
+    const double next =
+        b + 1 < beat_times.size() ? beat_times[b + 1] : dur + 1.0;
+    const double ibi = std::min(next - t0, 1.8);
+    // Render the pulse over [t0, t0 + ibi): systolic peak at 25 % of the
+    // cycle, dicrotic bump at 60 %.
+    const auto i_begin = static_cast<std::size_t>(
+        std::max(0.0, t0 * rates.bvp_hz));
+    const auto i_end = std::min(
+        n_bvp, static_cast<std::size_t>((t0 + ibi) * rates.bvp_hz) + 1);
+    for (std::size_t i = i_begin; i < i_end; ++i) {
+      const double phase =
+          (static_cast<double>(i) / rates.bvp_hz - t0) / ibi;
+      if (phase < 0.0 || phase >= 1.0) continue;
+      const double systolic = std::exp(-std::pow((phase - 0.25) / 0.11, 2.0));
+      const double dicrotic =
+          0.38 * std::exp(-std::pow((phase - 0.60) / 0.16, 2.0));
+      out.bvp[i] += beat_amps[b] * (systolic + dicrotic - 0.32);
+    }
+  }
+  // Baseline wander + measurement noise.
+  const double wander_f = 0.06;
+  const double wander_phase = bvp_noise_rng.uniform(0.0, 2.0 * M_PI);
+  for (std::size_t i = 0; i < n_bvp; ++i) {
+    const double ti = static_cast<double>(i) / rates.bvp_hz;
+    out.bvp[i] += 0.05 * p.bvp_amp *
+                      std::sin(2.0 * M_PI * wander_f * ti + wander_phase) +
+                  bvp_noise_rng.normal(0.0, p.bvp_noise);
+  }
+
+  // ---- GSR rendering -------------------------------------------------------
+  const auto n_gsr = static_cast<std::size_t>(dur * rates.gsr_hz);
+  out.gsr.assign(n_gsr, 0.0);
+  Rng gsr_rng = rng.fork(0x65B2);
+  // SCR event schedule via thinning of an inhomogeneous Poisson process.
+  std::vector<double> scr_times;
+  std::vector<double> scr_amps;
+  const double max_rate =
+      1.3 * std::max(p.scr_rate_base, p.scr_rate_fear) / 60.0 + 1e-9;
+  double te = 0.0;
+  while (te < dur) {
+    te += gsr_rng.exponential(max_rate);
+    if (te >= dur) break;
+    const double a = std::min(electrodermal_gain * arousal.level(te), 1.2);
+    const double rate =
+        (p.scr_rate_base +
+         (fear ? (p.scr_rate_fear - p.scr_rate_base) * a
+               : (0.55 * (p.scr_rate_fear - p.scr_rate_base)) * a)) /
+        60.0;
+    if (gsr_rng.uniform() * max_rate > rate) continue;  // Thinned out.
+    const double amp_scale = fear ? 1.0 + (p.scr_amp_fear_scale - 1.0) * a
+                                  : 1.0 + 0.4 * a;
+    scr_times.push_back(te);
+    scr_amps.push_back(gsr_rng.gamma(2.0, p.scr_amp * amp_scale / 2.0));
+  }
+  const double drift_phase = gsr_rng.uniform(0.0, 2.0 * M_PI);
+  for (std::size_t i = 0; i < n_gsr; ++i) {
+    const double ti = static_cast<double>(i) / rates.gsr_hz;
+    const double a = std::min(electrodermal_gain * arousal.level(ti), 1.2);
+    double v = p.gsr_tonic +
+               0.15 * std::sin(2.0 * M_PI * 0.01 * ti + drift_phase) +
+               (fear ? p.gsr_fear_slope * a * ti : 0.4 * p.gsr_fear_slope * a * ti);
+    for (std::size_t e = 0; e < scr_times.size(); ++e) {
+      const double dt = ti - scr_times[e];
+      if (dt < 0) break;  // Events are time-ordered.
+      if (dt > 25.0) continue;
+      v += scr_amps[e] * scr_kernel(dt, 0.7, 4.0);
+    }
+    out.gsr[i] = v + gsr_rng.normal(0.0, p.gsr_noise);
+  }
+
+  // ---- SKT rendering -------------------------------------------------------
+  const auto n_skt = static_cast<std::size_t>(dur * rates.skt_hz);
+  out.skt.assign(n_skt, 0.0);
+  Rng skt_rng = rng.fork(0x57C7);
+  double temp = p.skt_base + skt_rng.normal(0.0, 0.1);
+  const double dt_skt = 1.0 / rates.skt_hz;
+  for (std::size_t i = 0; i < n_skt; ++i) {
+    const double ti = static_cast<double>(i) / rates.skt_hz;
+    const double a = std::min(thermal_gain * arousal.level(ti), 1.2);
+    const double setpoint =
+        p.skt_base - (fear ? p.skt_fear_drop * a : 0.25 * p.skt_fear_drop * a);
+    // First-order approach with tau ~ 40 s plus a small random walk.
+    temp += (setpoint - temp) * (dt_skt / 40.0) +
+            skt_rng.normal(0.0, p.skt_noise * 0.3);
+    out.skt[i] = temp + skt_rng.normal(0.0, p.skt_noise);
+  }
+
+  return out;
+}
+
+std::vector<features::PhysioWindow> slice_windows(const TrialSignals& trial,
+                                                  double window_seconds) {
+  CLEAR_CHECK_MSG(window_seconds > 0, "window_seconds must be positive");
+  const auto n_bvp = static_cast<std::size_t>(window_seconds * trial.rates.bvp_hz);
+  const auto n_gsr = static_cast<std::size_t>(window_seconds * trial.rates.gsr_hz);
+  const auto n_skt = static_cast<std::size_t>(window_seconds * trial.rates.skt_hz);
+  CLEAR_CHECK_MSG(n_bvp >= 8 && n_gsr >= 8 && n_skt >= 2,
+                  "window too short for the configured rates");
+  const std::size_t n_windows =
+      std::min({trial.bvp.size() / n_bvp, trial.gsr.size() / n_gsr,
+                trial.skt.size() / n_skt});
+  std::vector<features::PhysioWindow> windows;
+  windows.reserve(n_windows);
+  for (std::size_t w = 0; w < n_windows; ++w) {
+    features::PhysioWindow win;
+    win.bvp_rate = trial.rates.bvp_hz;
+    win.gsr_rate = trial.rates.gsr_hz;
+    win.skt_rate = trial.rates.skt_hz;
+    win.bvp.assign(trial.bvp.begin() + static_cast<std::ptrdiff_t>(w * n_bvp),
+                   trial.bvp.begin() + static_cast<std::ptrdiff_t>((w + 1) * n_bvp));
+    win.gsr.assign(trial.gsr.begin() + static_cast<std::ptrdiff_t>(w * n_gsr),
+                   trial.gsr.begin() + static_cast<std::ptrdiff_t>((w + 1) * n_gsr));
+    win.skt.assign(trial.skt.begin() + static_cast<std::ptrdiff_t>(w * n_skt),
+                   trial.skt.begin() + static_cast<std::ptrdiff_t>((w + 1) * n_skt));
+    windows.push_back(std::move(win));
+  }
+  return windows;
+}
+
+}  // namespace clear::wemac

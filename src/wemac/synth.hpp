@@ -1,0 +1,92 @@
+// Raw physiological signal synthesis for the synthetic WEMAC substrate.
+//
+// Given a volunteer profile (sampled from an archetype) and a stimulus, this
+// renders the three wearable channels as continuous time series:
+//   BVP — a beat-by-beat pulse train. Beat times integrate an instantaneous
+//         heart rate that tracks arousal; each inter-beat interval is
+//         modulated by LF (~0.1 Hz baroreflex) and HF (respiratory) rhythms
+//         whose depth the fear response suppresses or enhances. Each beat is
+//         rendered as a systolic wave plus dicrotic notch; amplitude carries
+//         respiratory modulation and fear-driven vasoconstriction.
+//   GSR — tonic level with drift plus phasic skin-conductance responses:
+//         Poisson-arriving SCR events with exponential rise/decay kernels,
+//         whose rate and amplitude track arousal and fear.
+//   SKT — slow thermal dynamics: first-order drift toward a fear-dependent
+//         setpoint plus a small random walk.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "features/feature_map.hpp"
+#include "wemac/archetype.hpp"
+#include "wemac/stimulus.hpp"
+
+namespace clear::wemac {
+
+/// Per-user physiological parameters, sampled once per volunteer from an
+/// archetype. Field meanings mirror ArchetypeParams.
+struct VolunteerProfile {
+  std::size_t volunteer_id = 0;
+  std::size_t archetype_id = 0;  ///< Ground truth; never shown to algorithms.
+
+  double hr_base = 72.0;
+  double hr_fear_delta = 10.0;
+  double hr_arousal_delta = 6.0;
+  double hrv_sd = 0.045;
+  double hrv_fear_scale = 0.7;
+  double resp_rate = 0.25;
+  double bvp_amp = 1.0;
+  double bvp_amp_fear_scale = 0.85;
+  double scr_rate_base = 3.0;
+  double scr_rate_fear = 9.0;
+  double scr_amp = 0.35;
+  double scr_amp_fear_scale = 1.6;
+  double gsr_tonic = 6.0;
+  double gsr_fear_slope = 0.02;
+  double skt_base = 33.5;
+  double skt_fear_drop = 0.5;
+  double bvp_noise = 0.06;
+  double gsr_noise = 0.03;
+  double skt_noise = 0.01;
+
+  /// Per-user channel response gains (idiosyncratic expression strength of
+  /// the stimulus response in each modality; 1 = archetype-typical).
+  double cardiac_gain = 1.0;
+  double gsr_gain = 1.0;
+  double skt_gain = 1.0;
+};
+
+/// Sample a volunteer from an archetype (applies the archetype's relative
+/// jitter to every physiological parameter, with floors keeping the result
+/// physically plausible).
+VolunteerProfile sample_profile(const ArchetypeParams& archetype,
+                                std::size_t volunteer_id,
+                                std::size_t archetype_id, Rng& rng);
+
+/// Sample rates of the three channels.
+struct SignalRates {
+  double bvp_hz = 64.0;
+  double gsr_hz = 8.0;
+  double skt_hz = 4.0;
+};
+
+/// Continuous signals for one full trial.
+struct TrialSignals {
+  std::vector<double> bvp;
+  std::vector<double> gsr;
+  std::vector<double> skt;
+  SignalRates rates;
+};
+
+/// Render one trial of the given stimulus for a volunteer.
+TrialSignals synthesize_trial(const VolunteerProfile& profile,
+                              const Stimulus& stimulus,
+                              const SignalRates& rates, Rng& rng);
+
+/// Slice a trial into consecutive analysis windows of `window_seconds`.
+/// Trailing samples that do not fill a whole window are dropped.
+std::vector<features::PhysioWindow> slice_windows(const TrialSignals& trial,
+                                                  double window_seconds);
+
+}  // namespace clear::wemac

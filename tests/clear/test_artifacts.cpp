@@ -1,0 +1,153 @@
+#include "clear/artifacts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace clear::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+ClearConfig art_config() {
+  ClearConfig c = smoke_config();
+  c.data.seed = 51;
+  c.data.n_volunteers = 8;
+  c.data.trials_per_volunteer = 5;
+  c.train.epochs = 2;
+  c.finalize();
+  return c;
+}
+
+struct SharedFixture {
+  wemac::WemacDataset dataset;
+  ClearPipeline pipeline;
+  std::vector<std::size_t> users;
+
+  SharedFixture()
+      : dataset(wemac::generate_wemac(art_config().data)),
+        pipeline(art_config()) {
+    for (std::size_t u = 0; u + 1 < dataset.n_volunteers(); ++u)
+      users.push_back(u);
+    pipeline.fit(dataset, users);
+  }
+};
+
+SharedFixture& fixture() {
+  static SharedFixture f;
+  return f;
+}
+
+fs::path temp_dir(const char* name) {
+  const fs::path dir = fs::temp_directory_path() / name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+TEST(Artifacts, SaveCreatesExpectedFiles) {
+  auto& f = fixture();
+  const fs::path dir = temp_dir("clear_artifacts_files");
+  save_pipeline(f.pipeline, dir.string());
+  EXPECT_TRUE(fs::exists(dir / "pipeline.meta"));
+  for (std::size_t k = 0; k < f.pipeline.n_clusters(); ++k)
+    EXPECT_TRUE(fs::exists(dir / ("cluster_" + std::to_string(k) + ".ckpt")));
+  fs::remove_all(dir);
+}
+
+TEST(Artifacts, RoundTripPreservesAssignment) {
+  auto& f = fixture();
+  const fs::path dir = temp_dir("clear_artifacts_assign");
+  save_pipeline(f.pipeline, dir.string());
+  ClearPipeline restored = load_pipeline(dir.string());
+  EXPECT_TRUE(restored.fitted());
+  EXPECT_EQ(restored.n_clusters(), f.pipeline.n_clusters());
+  EXPECT_EQ(restored.fitted_users(), f.pipeline.fitted_users());
+  const std::size_t new_user = f.dataset.n_volunteers() - 1;
+  const auto a = f.pipeline.assign_user(f.dataset, new_user, 0.3);
+  const auto b = restored.assign_user(f.dataset, new_user, 0.3);
+  EXPECT_EQ(a.cluster, b.cluster);
+  ASSERT_EQ(a.scores.size(), b.scores.size());
+  for (std::size_t i = 0; i < a.scores.size(); ++i)
+    EXPECT_NEAR(a.scores[i], b.scores[i], 1e-9);
+  fs::remove_all(dir);
+}
+
+TEST(Artifacts, RoundTripPreservesPredictions) {
+  auto& f = fixture();
+  const fs::path dir = temp_dir("clear_artifacts_pred");
+  save_pipeline(f.pipeline, dir.string());
+  ClearPipeline restored = load_pipeline(dir.string());
+  const std::size_t new_user = f.dataset.n_volunteers() - 1;
+  const auto& samples = f.dataset.samples_of(new_user);
+  const std::vector<std::size_t> idx(samples.begin(), samples.end());
+  for (std::size_t k = 0; k < f.pipeline.n_clusters(); ++k) {
+    const nn::BinaryMetrics a = f.pipeline.evaluate_on(f.dataset, k, idx);
+    const nn::BinaryMetrics b = restored.evaluate_on(f.dataset, k, idx);
+    EXPECT_EQ(a.tp, b.tp);
+    EXPECT_EQ(a.fp, b.fp);
+    EXPECT_EQ(a.fn, b.fn);
+    EXPECT_EQ(a.tn, b.tn);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(Artifacts, RoundTripPreservesClustering) {
+  auto& f = fixture();
+  const fs::path dir = temp_dir("clear_artifacts_clust");
+  save_pipeline(f.pipeline, dir.string());
+  ClearPipeline restored = load_pipeline(dir.string());
+  const auto& a = f.pipeline.clustering();
+  const auto& b = restored.clustering();
+  EXPECT_EQ(a.user_cluster, b.user_cluster);
+  ASSERT_EQ(a.clusters.size(), b.clusters.size());
+  for (std::size_t k = 0; k < a.clusters.size(); ++k) {
+    EXPECT_EQ(a.clusters[k].members, b.clusters[k].members);
+    EXPECT_EQ(a.clusters[k].sub_centroids.size(),
+              b.clusters[k].sub_centroids.size());
+    for (std::size_t d = 0; d < a.clusters[k].centroid.size(); ++d)
+      EXPECT_DOUBLE_EQ(a.clusters[k].centroid[d], b.clusters[k].centroid[d]);
+  }
+  EXPECT_EQ(a.converged, b.converged);
+  EXPECT_EQ(a.rounds_run, b.rounds_run);
+}
+
+TEST(Artifacts, UnfittedPipelineRejected) {
+  ClearPipeline empty(art_config());
+  EXPECT_THROW(save_pipeline(empty, "/tmp/clear_should_not_exist"), Error);
+}
+
+TEST(Artifacts, MissingDirectoryRejected) {
+  EXPECT_THROW(load_pipeline("/nonexistent/artifact/dir"), Error);
+}
+
+TEST(Artifacts, CorruptMetaRejected) {
+  const fs::path dir = temp_dir("clear_artifacts_corrupt");
+  fs::create_directories(dir);
+  {
+    std::ofstream os(dir / "pipeline.meta", std::ios::binary);
+    os << "garbage";
+  }
+  EXPECT_THROW(load_pipeline(dir.string()), Error);
+  fs::remove_all(dir);
+}
+
+TEST(Artifacts, MissingCheckpointRejected) {
+  auto& f = fixture();
+  const fs::path dir = temp_dir("clear_artifacts_missing_ckpt");
+  save_pipeline(f.pipeline, dir.string());
+  fs::remove(dir / "cluster_0.ckpt");
+  EXPECT_THROW(load_pipeline(dir.string()), Error);
+  fs::remove_all(dir);
+}
+
+TEST(Artifacts, ImportStateValidation) {
+  ClearPipeline p(art_config());
+  ClearPipeline::State bad;
+  EXPECT_THROW(p.import_state(std::move(bad)), Error);
+}
+
+}  // namespace
+}  // namespace clear::core

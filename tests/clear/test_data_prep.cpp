@@ -1,0 +1,139 @@
+#include "clear/data_prep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include <set>
+
+namespace clear::core {
+namespace {
+
+/// Shared tiny dataset (generated once; generation costs ~100 ms).
+const wemac::WemacDataset& tiny_dataset() {
+  static const wemac::WemacDataset dataset = [] {
+    wemac::WemacConfig c;
+    c.seed = 11;
+    c.n_volunteers = 6;
+    c.trials_per_volunteer = 5;
+    c.windows_per_trial = 6;
+    c.window_seconds = 8.0;
+    return wemac::generate_wemac(c);
+  }();
+  return dataset;
+}
+
+TEST(DataPrep, NormalizerCentersTrainingUsers) {
+  const auto& d = tiny_dataset();
+  const features::FeatureNormalizer norm = fit_normalizer(d, {0, 1, 2, 3});
+  const std::vector<Tensor> maps = normalize_all_maps(d, norm);
+  ASSERT_EQ(maps.size(), d.samples().size());
+  // Mean over training-user columns ~ 0 per feature.
+  std::vector<double> acc(d.feature_dim(), 0.0);
+  std::size_t count = 0;
+  for (std::size_t u = 0; u < 4; ++u) {
+    for (const std::size_t s : d.samples_of(u)) {
+      const Tensor& m = maps[s];
+      for (std::size_t c = 0; c < m.extent(1); ++c)
+        for (std::size_t r = 0; r < m.extent(0); ++r) acc[r] += m.at2(r, c);
+      count += m.extent(1);
+    }
+  }
+  for (std::size_t r = 0; r < 20; ++r)
+    EXPECT_NEAR(acc[r] / static_cast<double>(count), 0.0, 1e-3) << "row " << r;
+}
+
+TEST(DataPrep, NormalizerLeavesTestUserShifted) {
+  // Held-out users generally do NOT have zero mean under the training
+  // normalizer — that's the distribution shift CLEAR exploits.
+  const auto& d = tiny_dataset();
+  const features::FeatureNormalizer norm = fit_normalizer(d, {0, 1, 2, 3});
+  const std::vector<Tensor> maps = normalize_all_maps(d, norm);
+  double shift = 0.0;
+  std::size_t n = 0;
+  for (const std::size_t s : d.samples_of(5)) {
+    const auto mean = features::feature_map_mean(maps[s]);
+    for (const double v : mean) shift += std::abs(v);
+    n += mean.size();
+  }
+  EXPECT_GT(shift / static_cast<double>(n), 0.05);
+}
+
+TEST(DataPrep, MapObservationsAreColumnMeans) {
+  const auto& d = tiny_dataset();
+  const features::FeatureNormalizer norm = fit_normalizer(d, {0, 1});
+  const std::vector<Tensor> maps = normalize_all_maps(d, norm);
+  const auto obs = map_observations(maps, {0, 3});
+  ASSERT_EQ(obs.size(), 2u);
+  EXPECT_EQ(obs[0].size(), d.feature_dim());
+  const auto direct = features::feature_map_mean(maps[3]);
+  for (std::size_t i = 0; i < direct.size(); ++i)
+    EXPECT_DOUBLE_EQ(obs[1][i], direct[i]);
+}
+
+TEST(DataPrep, MakeMapDatasetAlignsLabels) {
+  const auto& d = tiny_dataset();
+  const features::FeatureNormalizer norm = fit_normalizer(d, {0, 1});
+  const std::vector<Tensor> maps = normalize_all_maps(d, norm);
+  const std::vector<std::size_t> idx = {1, 4, 7};
+  const nn::MapDataset set = make_map_dataset(d, maps, idx);
+  ASSERT_EQ(set.size(), 3u);
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    EXPECT_EQ(set.maps[i], &maps[idx[i]]);
+    EXPECT_EQ(set.labels[i],
+              static_cast<std::size_t>(d.samples()[idx[i]].label));
+  }
+}
+
+TEST(DataPrep, SplitPartitionsUserSamples) {
+  const auto& d = tiny_dataset();
+  const UserSplit split = split_user_samples(d, 2, 0.2, 0.4);
+  const auto& all = d.samples_of(2);
+  EXPECT_EQ(split.ca.size() + split.ft.size() + split.test.size(), all.size());
+  // The three parts are disjoint and together cover the user's samples.
+  std::set<std::size_t> joined(split.ca.begin(), split.ca.end());
+  joined.insert(split.ft.begin(), split.ft.end());
+  joined.insert(split.test.begin(), split.test.end());
+  EXPECT_EQ(joined, std::set<std::size_t>(all.begin(), all.end()));
+  // CA is the unlabeled *prefix* (the user's initial data).
+  for (std::size_t i = 0; i < split.ca.size(); ++i)
+    EXPECT_EQ(split.ca[i], all[i]);
+}
+
+TEST(DataPrep, FtSplitIsStratifiedWhenPossible) {
+  const auto& d = tiny_dataset();
+  for (std::size_t u = 0; u < d.n_volunteers(); ++u) {
+    const UserSplit split = split_user_samples(d, u, 0.1, 0.4);
+    bool has_fear = false;
+    bool has_non = false;
+    for (const std::size_t s : split.ft) {
+      if (d.samples()[s].label == 1) has_fear = true;
+      else has_non = true;
+    }
+    // Post-CA pool of this tiny dataset always has both classes.
+    EXPECT_TRUE(has_fear) << "user " << u;
+    EXPECT_TRUE(has_non) << "user " << u;
+  }
+}
+
+TEST(DataPrep, SplitMinimumSizes) {
+  const auto& d = tiny_dataset();
+  const UserSplit split = split_user_samples(d, 0, 0.1, 0.2);
+  EXPECT_GE(split.ca.size(), 1u);
+  EXPECT_GE(split.ft.size(), 2u);
+  EXPECT_GE(split.test.size(), 1u);
+}
+
+TEST(DataPrep, SplitValidation) {
+  const auto& d = tiny_dataset();
+  EXPECT_THROW(split_user_samples(d, 0, 0.5, 0.5), Error);
+  EXPECT_THROW(split_user_samples(d, 0, 0.9, 0.05), Error);
+}
+
+TEST(DataPrep, FitNormalizerNeedsUsers) {
+  const auto& d = tiny_dataset();
+  EXPECT_THROW(fit_normalizer(d, {}), Error);
+}
+
+}  // namespace
+}  // namespace clear::core

@@ -1,0 +1,118 @@
+#include "clear/edge_eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace clear::core {
+namespace {
+
+ClearConfig edge_config() {
+  ClearConfig c = smoke_config();
+  c.data.seed = 41;
+  c.data.n_volunteers = 8;
+  c.data.trials_per_volunteer = 6;
+  c.train.epochs = 2;
+  c.finetune.epochs = 3;
+  c.finalize();
+  return c;
+}
+
+/// Fold artifacts computed once (each fold trains K models).
+struct SharedArtifacts {
+  ClearConfig config = edge_config();
+  wemac::WemacDataset dataset;
+  ClearValidationResult clear_result;
+
+  SharedArtifacts() : dataset(wemac::generate_wemac(edge_config().data)) {
+    ClearOptions options;
+    options.max_folds = 2;
+    options.keep_artifacts = true;
+    options.run_finetune = false;
+    clear_result = run_clear_validation(dataset, config, options);
+  }
+};
+
+SharedArtifacts& shared() {
+  static SharedArtifacts s;
+  return s;
+}
+
+TEST(EdgeEval, ModelFromCheckpointBytesRoundTrips) {
+  auto& s = shared();
+  const std::string& bytes = s.clear_result.artifacts[0].checkpoints[0];
+  auto model = model_from_checkpoint_bytes(s.config.model, bytes);
+  EXPECT_EQ(model->size(), 10u);
+  EXPECT_THROW(model_from_checkpoint_bytes(s.config.model, "junk"),
+               Error);
+}
+
+TEST(EdgeEval, GpuPrecisionReproducesClearNoFt) {
+  auto& s = shared();
+  EdgeEvalOptions options;
+  options.run_finetune = false;
+  const EdgeEvalResult r = run_edge_validation(
+      s.dataset, s.config, s.clear_result.artifacts, edge::DeviceKind::kGpu,
+      options);
+  ASSERT_EQ(r.no_ft.folds(), s.clear_result.no_ft.folds());
+  for (std::size_t i = 0; i < r.no_ft.folds(); ++i)
+    EXPECT_NEAR(r.no_ft.fold_accuracy[i],
+                s.clear_result.no_ft.fold_accuracy[i], 1e-9);
+}
+
+TEST(EdgeEval, AllDevicesProduceBoundedMetrics) {
+  auto& s = shared();
+  EdgeEvalOptions options;
+  options.run_finetune = true;
+  for (const auto device : {edge::DeviceKind::kCoralTpu,
+                            edge::DeviceKind::kPiNcs2}) {
+    const EdgeEvalResult r = run_edge_validation(
+        s.dataset, s.config, s.clear_result.artifacts, device, options);
+    EXPECT_EQ(r.no_ft.folds(), 2u);
+    EXPECT_EQ(r.rt.folds(), 2u);
+    EXPECT_EQ(r.with_ft.folds(), 2u);
+    for (const double v : r.no_ft.fold_accuracy) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 100.0);
+    }
+    EXPECT_GT(r.infer_cost.seconds, 0.0);
+    EXPECT_GT(r.ft_cost.seconds, 0.0);
+    EXPECT_GT(r.infer_cost.power_w, 0.0);
+  }
+}
+
+TEST(EdgeEval, TpuFasterAndLowerPowerThanNcs2) {
+  auto& s = shared();
+  EdgeEvalOptions options;
+  options.run_finetune = false;
+  const EdgeEvalResult tpu = run_edge_validation(
+      s.dataset, s.config, s.clear_result.artifacts,
+      edge::DeviceKind::kCoralTpu, options);
+  const EdgeEvalResult ncs2 = run_edge_validation(
+      s.dataset, s.config, s.clear_result.artifacts,
+      edge::DeviceKind::kPiNcs2, options);
+  EXPECT_LT(tpu.infer_cost.seconds, ncs2.infer_cost.seconds);
+  EXPECT_LT(tpu.ft_cost.seconds, ncs2.ft_cost.seconds);
+  EXPECT_LT(tpu.infer_cost.power_w, ncs2.infer_cost.power_w);
+}
+
+TEST(EdgeEval, RequiresArtifacts) {
+  auto& s = shared();
+  EXPECT_THROW(run_edge_validation(s.dataset, s.config, {},
+                                   edge::DeviceKind::kGpu),
+               Error);
+}
+
+TEST(EdgeEval, ProgressCallbackFires) {
+  auto& s = shared();
+  EdgeEvalOptions options;
+  options.run_finetune = false;
+  std::size_t calls = 0;
+  options.progress = [&calls](std::size_t, std::size_t) { ++calls; };
+  run_edge_validation(s.dataset, s.config, s.clear_result.artifacts,
+                      edge::DeviceKind::kGpu, options);
+  EXPECT_EQ(calls, 2u);
+}
+
+}  // namespace
+}  // namespace clear::core

@@ -1,0 +1,171 @@
+#include "clear/evaluation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace clear::core {
+namespace {
+
+ClearConfig eval_config() {
+  ClearConfig c = smoke_config();
+  c.data.seed = 31;
+  c.data.n_volunteers = 10;
+  c.data.trials_per_volunteer = 6;
+  c.train.epochs = 2;
+  c.finetune.epochs = 3;
+  c.general_model_users = 4;
+  c.finalize();
+  return c;
+}
+
+const wemac::WemacDataset& eval_dataset() {
+  static const wemac::WemacDataset d = wemac::generate_wemac(eval_config().data);
+  return d;
+}
+
+TEST(Aggregate, MeanStdOverFolds) {
+  Aggregate a;
+  a.add_percent(80.0, 70.0);
+  a.add_percent(90.0, 80.0);
+  a.finalize();
+  EXPECT_DOUBLE_EQ(a.accuracy.mean, 85.0);
+  EXPECT_DOUBLE_EQ(a.f1.mean, 75.0);
+  EXPECT_NEAR(a.accuracy.stddev, std::sqrt(50.0), 1e-9);
+  EXPECT_EQ(a.folds(), 2u);
+}
+
+TEST(Aggregate, AddConvertsToPercent) {
+  Aggregate a;
+  nn::BinaryMetrics m;
+  m.tp = 3;
+  m.tn = 1;
+  m.fp = 0;
+  m.fn = 0;
+  m.accuracy = 1.0;
+  m.f1 = 1.0;
+  a.add(m);
+  a.finalize();
+  EXPECT_DOUBLE_EQ(a.accuracy.mean, 100.0);
+}
+
+TEST(ClearValidation, SmokeRunProducesAllRows) {
+  ClearOptions options;
+  options.max_folds = 3;
+  options.run_finetune = true;
+  const ClearValidationResult r =
+      run_clear_validation(eval_dataset(), eval_config(), options);
+  EXPECT_EQ(r.no_ft.folds(), 3u);
+  EXPECT_EQ(r.rt.folds(), 3u);
+  EXPECT_EQ(r.with_ft.folds(), 3u);
+  for (const double acc : r.no_ft.fold_accuracy) {
+    EXPECT_GE(acc, 0.0);
+    EXPECT_LE(acc, 100.0);
+  }
+  EXPECT_GE(r.ca_consistency, 0.0);
+  EXPECT_LE(r.ca_consistency, 1.0);
+}
+
+TEST(ClearValidation, ArtifactsCaptureFoldState) {
+  ClearOptions options;
+  options.max_folds = 2;
+  options.keep_artifacts = true;
+  options.run_finetune = false;
+  const ClearConfig config = eval_config();
+  const ClearValidationResult r =
+      run_clear_validation(eval_dataset(), config, options);
+  ASSERT_EQ(r.artifacts.size(), 2u);
+  for (const ClearFoldArtifacts& a : r.artifacts) {
+    EXPECT_EQ(a.checkpoints.size(), config.gc.k);
+    EXPECT_LT(a.assigned_cluster, config.gc.k);
+    EXPECT_TRUE(a.normalizer.fitted());
+    EXPECT_EQ(a.fitted_users.size(), eval_dataset().n_volunteers() - 1);
+    // The test user is excluded from the fitted users.
+    for (const std::size_t u : a.fitted_users) EXPECT_NE(u, a.test_user);
+    EXPECT_FALSE(a.split.test.empty());
+    for (const std::string& blob : a.checkpoints)
+      EXPECT_GT(blob.size(), 100u);
+  }
+  EXPECT_EQ(r.artifacts[0].test_user, 0u);
+  EXPECT_EQ(r.artifacts[1].test_user, 1u);
+}
+
+TEST(ClearValidation, SkipFinetuneLeavesRowEmpty) {
+  ClearOptions options;
+  options.max_folds = 1;
+  options.run_finetune = false;
+  const ClearValidationResult r =
+      run_clear_validation(eval_dataset(), eval_config(), options);
+  EXPECT_EQ(r.with_ft.folds(), 0u);
+  EXPECT_EQ(r.no_ft.folds(), 1u);
+}
+
+TEST(ClearValidation, ProgressCallbackFires) {
+  ClearOptions options;
+  options.max_folds = 2;
+  options.run_finetune = false;
+  std::vector<std::size_t> seen;
+  options.progress = [&seen](std::size_t fold, std::size_t total) {
+    seen.push_back(fold);
+    EXPECT_EQ(total, 2u);
+  };
+  run_clear_validation(eval_dataset(), eval_config(), options);
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(ClearValidation, DeterministicAcrossRuns) {
+  ClearOptions options;
+  options.max_folds = 2;
+  options.run_finetune = false;
+  const auto a = run_clear_validation(eval_dataset(), eval_config(), options);
+  const auto b = run_clear_validation(eval_dataset(), eval_config(), options);
+  EXPECT_EQ(a.no_ft.fold_accuracy, b.no_ft.fold_accuracy);
+  EXPECT_EQ(a.rt.fold_accuracy, b.rt.fold_accuracy);
+}
+
+TEST(GeneralModel, RunsLosoOverChosenUsers) {
+  const Aggregate a = run_general_model(eval_dataset(), eval_config());
+  EXPECT_EQ(a.folds(), eval_config().general_model_users);
+  EXPECT_GE(a.accuracy.mean, 0.0);
+  EXPECT_LE(a.accuracy.mean, 100.0);
+}
+
+TEST(GeneralModel, ValidatesUserCount) {
+  ClearConfig bad = eval_config();
+  bad.general_model_users = 99;
+  EXPECT_THROW(run_general_model(eval_dataset(), bad), Error);
+}
+
+TEST(ClValidation, ProducesClustersAndMetrics) {
+  const ClValidationResult r = run_cl_validation(eval_dataset(), eval_config());
+  EXPECT_EQ(r.cluster_sizes.size(), eval_config().gc.k);
+  std::size_t total = 0;
+  for (const std::size_t s : r.cluster_sizes) total += s;
+  EXPECT_EQ(total, eval_dataset().n_volunteers());
+  // Intra-cluster LOSO: one fold per user in clusters of size >= 2.
+  EXPECT_GT(r.cl.folds(), 0u);
+  EXPECT_EQ(r.rt.folds(), r.cl.folds());
+  EXPECT_GE(r.silhouette, -1.0);
+  EXPECT_LE(r.silhouette, 1.0);
+}
+
+TEST(DominantArchetype, MatchesGroundTruthMajority) {
+  const auto& d = eval_dataset();
+  std::vector<std::size_t> fitted;
+  for (std::size_t u = 0; u < d.n_volunteers(); ++u) fitted.push_back(u);
+  cluster::ClusterModel fake;
+  fake.members = {0, 1, 2};
+  const std::size_t result = dominant_archetype(d, fitted, fake);
+  // Must be the archetype of one of the members.
+  std::vector<std::size_t> counts(wemac::kNumArchetypes, 0);
+  for (const std::size_t m : fake.members)
+    ++counts[d.volunteers()[m].archetype_id];
+  EXPECT_EQ(counts[result],
+            *std::max_element(counts.begin(), counts.end()));
+}
+
+}  // namespace
+}  // namespace clear::core

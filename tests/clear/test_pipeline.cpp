@@ -1,0 +1,177 @@
+#include "clear/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace clear::core {
+namespace {
+
+ClearConfig test_config() {
+  ClearConfig c = smoke_config();
+  c.data.seed = 21;
+  c.data.n_volunteers = 10;
+  c.data.trials_per_volunteer = 5;
+  c.train.epochs = 2;
+  c.finalize();
+  return c;
+}
+
+/// Dataset + fitted pipeline shared across tests (fitting trains 4 models).
+struct SharedFixture {
+  ClearConfig config = test_config();
+  wemac::WemacDataset dataset;
+  ClearPipeline pipeline;
+  std::vector<std::size_t> initial_users;
+
+  SharedFixture()
+      : dataset(wemac::generate_wemac(test_config().data)),
+        pipeline(test_config()) {
+    for (std::size_t u = 0; u + 1 < dataset.n_volunteers(); ++u)
+      initial_users.push_back(u);
+    pipeline.fit(dataset, initial_users);
+  }
+};
+
+SharedFixture& fixture() {
+  static SharedFixture f;
+  return f;
+}
+
+TEST(Pipeline, FitProducesKClustersAndModels) {
+  auto& f = fixture();
+  EXPECT_TRUE(f.pipeline.fitted());
+  EXPECT_EQ(f.pipeline.n_clusters(), f.config.gc.k);
+  EXPECT_EQ(f.pipeline.clustering().clusters.size(), f.config.gc.k);
+  std::size_t members = 0;
+  for (const auto& c : f.pipeline.clustering().clusters)
+    members += c.members.size();
+  EXPECT_EQ(members, f.initial_users.size());
+}
+
+TEST(Pipeline, FittedUsersRecorded) {
+  auto& f = fixture();
+  EXPECT_EQ(f.pipeline.fitted_users(), f.initial_users);
+}
+
+TEST(Pipeline, AssignUserReturnsValidCluster) {
+  auto& f = fixture();
+  const std::size_t new_user = f.dataset.n_volunteers() - 1;
+  const cluster::AssignmentResult r =
+      f.pipeline.assign_user(f.dataset, new_user, 0.2);
+  EXPECT_LT(r.cluster, f.config.gc.k);
+  EXPECT_EQ(r.scores.size(), f.config.gc.k);
+  // Chosen cluster has the minimal score.
+  for (const double s : r.scores) EXPECT_GE(s, r.scores[r.cluster]);
+}
+
+TEST(Pipeline, AssignmentStrategiesAllWork) {
+  auto& f = fixture();
+  const std::size_t new_user = f.dataset.n_volunteers() - 1;
+  for (const auto strategy :
+       {cluster::AssignStrategy::kSubCentroidSum,
+        cluster::AssignStrategy::kFlatCentroid,
+        cluster::AssignStrategy::kObservationVote}) {
+    const auto r = f.pipeline.assign_user(f.dataset, new_user, 0.3, strategy);
+    EXPECT_LT(r.cluster, f.config.gc.k);
+  }
+}
+
+TEST(Pipeline, EvaluateOnReturnsSaneMetrics) {
+  auto& f = fixture();
+  const std::size_t new_user = f.dataset.n_volunteers() - 1;
+  const auto& samples = f.dataset.samples_of(new_user);
+  const nn::BinaryMetrics m = f.pipeline.evaluate_on(
+      f.dataset, 0, std::vector<std::size_t>(samples.begin(), samples.end()));
+  EXPECT_EQ(m.count(), samples.size());
+  EXPECT_GE(m.accuracy, 0.0);
+  EXPECT_LE(m.accuracy, 1.0);
+}
+
+TEST(Pipeline, CloneIsIndependentCopy) {
+  auto& f = fixture();
+  auto clone = f.pipeline.clone_cluster_model(0);
+  // Same outputs initially.
+  const std::size_t user = f.dataset.n_volunteers() - 1;
+  const auto idx = f.dataset.samples_of(user);
+  const std::vector<Tensor> maps = f.pipeline.normalize_samples(
+      f.dataset, std::vector<std::size_t>(idx.begin(), idx.end()));
+  nn::MapDataset set;
+  for (std::size_t i = 0; i < maps.size(); ++i) {
+    set.maps.push_back(&maps[i]);
+    set.labels.push_back(
+        static_cast<std::size_t>(f.dataset.samples()[idx[i]].label));
+  }
+  clone->set_training(false);
+  f.pipeline.cluster_model(0).set_training(false);
+  const auto p_orig = nn::predict_classes(f.pipeline.cluster_model(0), set);
+  const auto p_clone = nn::predict_classes(*clone, set);
+  EXPECT_EQ(p_orig, p_clone);
+  // Mutating the clone leaves the original untouched.
+  clone->parameters()[0]->value.fill(0.0f);
+  EXPECT_NE(f.pipeline.cluster_model(0).parameters()[0]->value[0], 0.0f);
+}
+
+TEST(Pipeline, FineTuneImprovesOrMaintainsUserFit) {
+  auto& f = fixture();
+  const std::size_t user = f.dataset.n_volunteers() - 1;
+  const auto assignment = f.pipeline.assign_user(f.dataset, user, 0.2);
+  const UserSplit split = split_user_samples(f.dataset, user, 0.2, 0.4);
+  auto personal = f.pipeline.clone_cluster_model(assignment.cluster);
+  const nn::TrainHistory h =
+      f.pipeline.fine_tune_on(*personal, f.dataset, split.ft);
+  EXPECT_EQ(h.train_loss.size(), f.config.finetune.epochs);
+  // Fine-tuning must reduce loss on its own adaptation data.
+  EXPECT_LE(h.train_loss.back(), h.train_loss.front() + 0.1);
+  // All parameters unfrozen afterwards.
+  for (nn::Param* p : personal->parameters()) EXPECT_FALSE(p->frozen);
+}
+
+TEST(Pipeline, SerializeRoundTrip) {
+  auto& f = fixture();
+  const std::string bytes = f.pipeline.serialize_cluster_model(1);
+  EXPECT_GT(bytes.size(), 1000u);
+  auto restored = f.pipeline.model_from_bytes(bytes);
+  const auto pa = f.pipeline.cluster_model(1).parameters();
+  const auto pb = restored->parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    for (std::size_t j = 0; j < pa[i]->value.numel(); ++j)
+      EXPECT_EQ(pa[i]->value[j], pb[i]->value[j]);
+}
+
+TEST(Pipeline, UnfittedAccessorsThrow) {
+  ClearPipeline p(test_config());
+  EXPECT_FALSE(p.fitted());
+  EXPECT_THROW(p.assign_observations({{1.0}}), Error);
+  EXPECT_THROW(p.cluster_model(0), Error);
+}
+
+TEST(Pipeline, AssignFractionValidation) {
+  auto& f = fixture();
+  EXPECT_THROW(f.pipeline.assign_user(f.dataset, 0, 0.0), Error);
+  EXPECT_THROW(f.pipeline.assign_user(f.dataset, 0, 1.5), Error);
+}
+
+TEST(Pipeline, FitNeedsAtLeastKUsers) {
+  ClearPipeline p(test_config());
+  auto& f = fixture();
+  EXPECT_THROW(p.fit(f.dataset, {0, 1}), Error);
+}
+
+TEST(Pipeline, AutoKSelectsReasonableClusterCount) {
+  ClearConfig config = test_config();
+  config.gc.k = 0;  // Automatic silhouette-based selection.
+  config.train.epochs = 1;
+  ClearPipeline p(config);
+  auto& f = fixture();
+  p.fit(f.dataset, f.initial_users);
+  EXPECT_GE(p.n_clusters(), 2u);
+  EXPECT_LE(p.n_clusters(), 8u);
+  // Still usable end to end.
+  const auto r = p.assign_user(f.dataset, f.dataset.n_volunteers() - 1, 0.3);
+  EXPECT_LT(r.cluster, p.n_clusters());
+}
+
+}  // namespace
+}  // namespace clear::core

@@ -1,0 +1,151 @@
+#include "clear/pseudo_label.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "nn/model.hpp"
+
+namespace clear::core {
+namespace {
+
+nn::CnnLstmConfig tiny_model() {
+  nn::CnnLstmConfig c;
+  c.feature_dim = 16;
+  c.window_count = 8;
+  c.conv1_channels = 2;
+  c.conv2_channels = 3;
+  c.lstm_hidden = 6;
+  c.dropout = 0.0;
+  return c;
+}
+
+/// Separable task (class 1: higher top-half mean) with a train/adapt split.
+struct Fixture {
+  std::vector<Tensor> maps;
+  nn::MapDataset labelled;   // For pre-training.
+  std::vector<const Tensor*> unlabeled;
+  std::vector<std::size_t> hidden_labels;
+
+  explicit Fixture(std::size_t n_train, std::size_t n_unlabeled,
+                   std::uint64_t seed, double gap = 1.5) {
+    Rng rng(seed);
+    const std::size_t total = n_train + n_unlabeled;
+    for (std::size_t i = 0; i < total; ++i) {
+      const int label = static_cast<int>(i % 2);
+      Tensor m({16, 8});
+      for (std::size_t r = 0; r < 16; ++r)
+        for (std::size_t c = 0; c < 8; ++c)
+          m.at2(r, c) = static_cast<float>(
+              rng.normal(label && r < 8 ? gap : 0.0, 0.5));
+      maps.push_back(std::move(m));
+    }
+    for (std::size_t i = 0; i < n_train; ++i) {
+      labelled.maps.push_back(&maps[i]);
+      labelled.labels.push_back(i % 2);
+    }
+    for (std::size_t i = n_train; i < total; ++i) {
+      unlabeled.push_back(&maps[i]);
+      hidden_labels.push_back(i % 2);
+    }
+  }
+};
+
+std::unique_ptr<nn::Sequential> pretrained(const Fixture& f,
+                                           std::uint64_t seed) {
+  Rng rng(seed);
+  auto model = nn::build_cnn_lstm(tiny_model(), rng);
+  nn::TrainConfig tc;
+  tc.epochs = 16;
+  tc.batch_size = 8;
+  tc.lr = 2e-3;
+  nn::train_classifier(*model, f.labelled, tc);
+  return model;
+}
+
+PseudoLabelConfig pl_config() {
+  PseudoLabelConfig c;
+  c.confidence_threshold = 0.62;
+  c.rounds = 2;
+  c.train.epochs = 5;
+  c.train.batch_size = 4;
+  c.train.lr = 1e-3;
+  c.train.keep_best = false;
+  c.freeze_boundary = nn::fine_tune_boundary();
+  return c;
+}
+
+TEST(PseudoLabel, AdoptsConfidentMapsAndAdapts) {
+  Fixture f(32, 12, 1);
+  auto model = pretrained(f, 2);
+  const PseudoLabelResult r = pseudo_label_adapt(
+      *model, f.unlabeled, pl_config(), &f.hidden_labels);
+  EXPECT_TRUE(r.adapted);
+  EXPECT_GE(r.adopted_last_round, 2u);
+  // On a separable task, the adopted pseudo-labels are mostly right.
+  EXPECT_GE(static_cast<double>(r.adopted_correct),
+            0.8 * static_cast<double>(r.adopted_last_round));
+}
+
+TEST(PseudoLabel, DoesNotDegradeAccuracyOnSeparableTask) {
+  Fixture f(32, 16, 3);
+  auto model = pretrained(f, 4);
+  nn::MapDataset eval;
+  eval.maps = f.unlabeled;
+  eval.labels = f.hidden_labels;
+  const double before = nn::evaluate(*model, eval).accuracy;
+  pseudo_label_adapt(*model, f.unlabeled, pl_config());
+  const double after = nn::evaluate(*model, eval).accuracy;
+  EXPECT_GE(after, before - 0.10);
+}
+
+TEST(PseudoLabel, UntrainedModelAdoptsNothing) {
+  Fixture f(4, 10, 5);
+  Rng rng(6);
+  auto model = nn::build_cnn_lstm(tiny_model(), rng);  // Random weights.
+  PseudoLabelConfig config = pl_config();
+  config.confidence_threshold = 0.99;  // Nothing is this confident.
+  const PseudoLabelResult r = pseudo_label_adapt(*model, f.unlabeled, config);
+  EXPECT_FALSE(r.adapted);
+  EXPECT_EQ(r.rounds_run, 1u);
+}
+
+TEST(PseudoLabel, SingleClassAdoptionRejectedWhenRequired) {
+  // All unlabeled maps from one class: require_both_classes must refuse.
+  Fixture base(32, 0, 7);
+  auto model = pretrained(base, 8);
+  Fixture pool(0, 12, 9);
+  std::vector<const Tensor*> one_class;
+  for (std::size_t i = 0; i < pool.unlabeled.size(); ++i)
+    if (pool.hidden_labels[i] == 1) one_class.push_back(pool.unlabeled[i]);
+  PseudoLabelConfig config = pl_config();
+  config.confidence_threshold = 0.55;
+  const PseudoLabelResult r = pseudo_label_adapt(*model, one_class, config);
+  EXPECT_FALSE(r.adapted);
+}
+
+TEST(PseudoLabel, ModelLeftUnfrozen) {
+  Fixture f(32, 12, 10);
+  auto model = pretrained(f, 11);
+  pseudo_label_adapt(*model, f.unlabeled, pl_config());
+  for (nn::Param* p : model->parameters()) EXPECT_FALSE(p->frozen);
+}
+
+TEST(PseudoLabel, Validation) {
+  Fixture f(8, 4, 12);
+  auto model = pretrained(f, 13);
+  PseudoLabelConfig config = pl_config();
+  EXPECT_THROW(pseudo_label_adapt(*model, {}, config), Error);
+  config.confidence_threshold = 0.4;
+  EXPECT_THROW(pseudo_label_adapt(*model, f.unlabeled, config), Error);
+  config.confidence_threshold = 0.8;
+  config.rounds = 0;
+  EXPECT_THROW(pseudo_label_adapt(*model, f.unlabeled, config), Error);
+  config.rounds = 1;
+  std::vector<std::size_t> wrong_size = {1};
+  EXPECT_THROW(pseudo_label_adapt(*model, f.unlabeled, config, &wrong_size),
+               Error);
+}
+
+}  // namespace
+}  // namespace clear::core

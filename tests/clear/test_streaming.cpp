@@ -1,0 +1,185 @@
+#include "clear/streaming.hpp"
+
+#include <gtest/gtest.h>
+
+#include "clear/pipeline.hpp"
+#include "common/error.hpp"
+#include "wemac/synth.hpp"
+
+namespace clear::core {
+namespace {
+
+ClearConfig stream_config() {
+  ClearConfig c = smoke_config();
+  c.data.seed = 61;
+  c.data.n_volunteers = 8;
+  c.data.trials_per_volunteer = 5;
+  c.train.epochs = 2;
+  c.finalize();
+  return c;
+}
+
+struct SharedFixture {
+  ClearConfig config = stream_config();
+  wemac::WemacDataset dataset;
+  ClearPipeline pipeline;
+
+  SharedFixture()
+      : dataset(wemac::generate_wemac(stream_config().data)),
+        pipeline(stream_config()) {
+    std::vector<std::size_t> users;
+    for (std::size_t u = 0; u + 1 < dataset.n_volunteers(); ++u)
+      users.push_back(u);
+    pipeline.fit(dataset, users);
+  }
+
+  StreamingConfig streaming() const {
+    StreamingConfig sc;
+    sc.window_seconds = config.data.window_seconds;
+    sc.map_windows = config.data.windows_per_trial;
+    sc.bvp_hz = config.data.rates.bvp_hz;
+    sc.gsr_hz = config.data.rates.gsr_hz;
+    sc.skt_hz = config.data.rates.skt_hz;
+    return sc;
+  }
+
+  wemac::TrialSignals make_trial(wemac::Emotion emotion, double seconds,
+                                 std::uint64_t seed) const {
+    Rng rng(seed);
+    wemac::Stimulus stim;
+    stim.emotion = emotion;
+    stim.duration_s = seconds;
+    return wemac::synthesize_trial(
+        dataset.volunteers().back().profile, stim, config.data.rates, rng);
+  }
+};
+
+SharedFixture& fixture() {
+  static SharedFixture f;
+  return f;
+}
+
+TEST(Streaming, NoDetectionBeforeWarmup) {
+  auto& f = fixture();
+  StreamingDetector det(f.pipeline.cluster_model(0), f.pipeline.normalizer(),
+                        f.streaming());
+  // Feed W-1 windows worth of signal.
+  const double seconds =
+      f.streaming().window_seconds *
+      static_cast<double>(f.streaming().map_windows - 1);
+  const auto trial = f.make_trial(wemac::Emotion::kCalm, seconds + 1.0, 1);
+  det.push_bvp(trial.bvp);
+  det.push_gsr(trial.gsr);
+  det.push_skt(trial.skt);
+  EXPECT_EQ(det.poll(), std::nullopt);
+  EXPECT_FALSE(det.warmed_up());
+  EXPECT_EQ(det.windows_seen(), f.streaming().map_windows - 1);
+}
+
+TEST(Streaming, DetectsAfterWarmupAndPerWindowThereafter) {
+  auto& f = fixture();
+  StreamingDetector det(f.pipeline.cluster_model(0), f.pipeline.normalizer(),
+                        f.streaming());
+  const StreamingConfig sc = f.streaming();
+  const double warmup_s =
+      sc.window_seconds * static_cast<double>(sc.map_windows);
+  const auto trial = f.make_trial(wemac::Emotion::kFear, warmup_s + 1.0, 2);
+  det.push_bvp(trial.bvp);
+  det.push_gsr(trial.gsr);
+  det.push_skt(trial.skt);
+  const auto first = det.poll();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_GE(first->fear_probability, 0.0);
+  EXPECT_LE(first->fear_probability, 1.0);
+  EXPECT_TRUE(det.warmed_up());
+  // No new window -> no new detection.
+  EXPECT_EQ(det.poll(), std::nullopt);
+  // One more window of data -> exactly one more detection.
+  const auto more = f.make_trial(wemac::Emotion::kFear,
+                                 sc.window_seconds + 1.0, 3);
+  det.push_bvp(std::span<const double>(more.bvp.data(),
+                                       static_cast<std::size_t>(
+                                           sc.window_seconds * sc.bvp_hz)));
+  det.push_gsr(std::span<const double>(more.gsr.data(),
+                                       static_cast<std::size_t>(
+                                           sc.window_seconds * sc.gsr_hz)));
+  det.push_skt(std::span<const double>(more.skt.data(),
+                                       static_cast<std::size_t>(
+                                           sc.window_seconds * sc.skt_hz)));
+  const auto second = det.poll();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->window_index, first->window_index + 1);
+}
+
+TEST(Streaming, ChunkedFeedingEquivalentToBulk) {
+  auto& f = fixture();
+  const StreamingConfig sc = f.streaming();
+  const double warmup_s =
+      sc.window_seconds * static_cast<double>(sc.map_windows);
+  const auto trial = f.make_trial(wemac::Emotion::kJoy, warmup_s + 1.0, 4);
+
+  StreamingDetector bulk(f.pipeline.cluster_model(1), f.pipeline.normalizer(),
+                         sc);
+  bulk.push_bvp(trial.bvp);
+  bulk.push_gsr(trial.gsr);
+  bulk.push_skt(trial.skt);
+  const auto a = bulk.poll();
+
+  StreamingDetector chunked(f.pipeline.cluster_model(1),
+                            f.pipeline.normalizer(), sc);
+  // Feed in awkward chunk sizes.
+  for (std::size_t i = 0; i < trial.bvp.size(); i += 97)
+    chunked.push_bvp(std::span<const double>(
+        trial.bvp.data() + i, std::min<std::size_t>(97, trial.bvp.size() - i)));
+  for (std::size_t i = 0; i < trial.gsr.size(); i += 13)
+    chunked.push_gsr(std::span<const double>(
+        trial.gsr.data() + i, std::min<std::size_t>(13, trial.gsr.size() - i)));
+  for (std::size_t i = 0; i < trial.skt.size(); i += 5)
+    chunked.push_skt(std::span<const double>(
+        trial.skt.data() + i, std::min<std::size_t>(5, trial.skt.size() - i)));
+  const auto b = chunked.poll();
+
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_DOUBLE_EQ(a->fear_probability, b->fear_probability);
+  EXPECT_EQ(a->window_index, b->window_index);
+}
+
+TEST(Streaming, RollingMapSlidesWindowByWindow) {
+  auto& f = fixture();
+  const StreamingConfig sc = f.streaming();
+  StreamingDetector det(f.pipeline.cluster_model(0), f.pipeline.normalizer(),
+                        sc);
+  const double long_s =
+      sc.window_seconds * static_cast<double>(sc.map_windows + 3);
+  const auto trial = f.make_trial(wemac::Emotion::kFear, long_s + 1.0, 5);
+  det.push_bvp(trial.bvp);
+  det.push_gsr(trial.gsr);
+  det.push_skt(trial.skt);
+  // All windows extracted in one poll; only the newest detection returned.
+  const auto d = det.poll();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->window_index, det.windows_seen() - 1);
+  EXPECT_GE(det.windows_seen(), sc.map_windows + 3);
+}
+
+TEST(Streaming, ConfigValidation) {
+  auto& f = fixture();
+  StreamingConfig bad = f.streaming();
+  bad.window_seconds = 0.0;
+  EXPECT_THROW(StreamingDetector(f.pipeline.cluster_model(0),
+                                 f.pipeline.normalizer(), bad),
+               Error);
+  bad = f.streaming();
+  bad.map_windows = 2;
+  EXPECT_THROW(StreamingDetector(f.pipeline.cluster_model(0),
+                                 f.pipeline.normalizer(), bad),
+               Error);
+  features::FeatureNormalizer unfitted;
+  EXPECT_THROW(StreamingDetector(f.pipeline.cluster_model(0), unfitted,
+                                 f.streaming()),
+               Error);
+}
+
+}  // namespace
+}  // namespace clear::core

@@ -1,0 +1,110 @@
+#include "cluster/assignment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace clear::cluster {
+namespace {
+
+/// A clustering result with two clusters around (0,0) and (10,0), each with
+/// two sub-centroids straddling the main centroid.
+GlobalClusteringResult two_cluster_fixture() {
+  GlobalClusteringResult r;
+  r.user_cluster = {0, 0, 1, 1};
+  ClusterModel a;
+  a.centroid = {0.0, 0.0};
+  a.sub_centroids = {{-1.0, 0.0}, {1.0, 0.0}};
+  a.members = {0, 1};
+  ClusterModel b;
+  b.centroid = {10.0, 0.0};
+  b.sub_centroids = {{9.0, 0.0}, {11.0, 0.0}};
+  b.members = {2, 3};
+  r.clusters = {a, b};
+  return r;
+}
+
+TEST(Assignment, SubCentroidSumPicksNearbyCluster) {
+  const auto clustering = two_cluster_fixture();
+  const AssignmentResult near_a =
+      assign_new_user({{0.5, 0.2}}, clustering,
+                      AssignStrategy::kSubCentroidSum);
+  EXPECT_EQ(near_a.cluster, 0u);
+  const AssignmentResult near_b =
+      assign_new_user({{9.6, -0.3}}, clustering,
+                      AssignStrategy::kSubCentroidSum);
+  EXPECT_EQ(near_b.cluster, 1u);
+}
+
+TEST(Assignment, ScoresOrderedByDistance) {
+  const auto clustering = two_cluster_fixture();
+  const AssignmentResult r =
+      assign_new_user({{2.0, 0.0}}, clustering,
+                      AssignStrategy::kSubCentroidSum);
+  ASSERT_EQ(r.scores.size(), 2u);
+  EXPECT_LT(r.scores[0], r.scores[1]);
+}
+
+TEST(Assignment, MultipleObservationsAveraged) {
+  const auto clustering = two_cluster_fixture();
+  // Individually ambiguous observations whose mean is clearly in cluster 1.
+  const std::vector<Point> obs = {{8.0, 0.0}, {12.0, 0.0}, {10.0, 1.0}};
+  const AssignmentResult r =
+      assign_new_user(obs, clustering, AssignStrategy::kSubCentroidSum);
+  EXPECT_EQ(r.cluster, 1u);
+}
+
+TEST(Assignment, FlatCentroidAgreesOnEasyCases) {
+  const auto clustering = two_cluster_fixture();
+  for (const double x : {0.0, 1.0, 9.0, 10.5}) {
+    const AssignmentResult sub =
+        assign_new_user({{x, 0.0}}, clustering,
+                        AssignStrategy::kSubCentroidSum);
+    const AssignmentResult flat =
+        assign_new_user({{x, 0.0}}, clustering, AssignStrategy::kFlatCentroid);
+    EXPECT_EQ(sub.cluster, flat.cluster) << "x=" << x;
+  }
+}
+
+TEST(Assignment, SubCentroidsBeatFlatOnElongatedCluster) {
+  // Cluster 0 is elongated: sub-centroids capture structure the single
+  // centroid misses. A point near an extreme sub-centroid must still go to
+  // cluster 0 even though cluster 1's *main* centroid is closer.
+  GlobalClusteringResult r;
+  ClusterModel a;
+  a.centroid = {0.0, 0.0};
+  a.sub_centroids = {{-6.0, 0.0}, {0.0, 0.0}, {6.0, 0.0}};
+  a.members = {0};
+  ClusterModel b;
+  b.centroid = {9.0, 6.0};
+  b.sub_centroids = {{9.0, 6.0}};
+  b.members = {1};
+  r.clusters = {a, b};
+  r.user_cluster = {0, 1};
+
+  const Point probe = {7.0, 1.0};  // d(main a)=7.07, d(main b)=5.39.
+  const AssignmentResult flat =
+      assign_new_user({probe}, r, AssignStrategy::kFlatCentroid);
+  EXPECT_EQ(flat.cluster, 1u);
+  const AssignmentResult vote =
+      assign_new_user({probe}, r, AssignStrategy::kObservationVote);
+  EXPECT_EQ(vote.cluster, 0u);  // Nearest sub-centroid (6,0) is 1.41 away.
+}
+
+TEST(Assignment, ObservationVoteMajorityWins) {
+  const auto clustering = two_cluster_fixture();
+  const std::vector<Point> obs = {{0.0, 0.0}, {0.5, 0.0}, {10.0, 0.0}};
+  const AssignmentResult r =
+      assign_new_user(obs, clustering, AssignStrategy::kObservationVote);
+  EXPECT_EQ(r.cluster, 0u);  // Two of three votes.
+}
+
+TEST(Assignment, Validation) {
+  const auto clustering = two_cluster_fixture();
+  EXPECT_THROW(assign_new_user({}, clustering), Error);
+  GlobalClusteringResult empty;
+  EXPECT_THROW(assign_new_user({{1.0, 1.0}}, empty), Error);
+}
+
+}  // namespace
+}  // namespace clear::cluster

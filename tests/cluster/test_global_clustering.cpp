@@ -1,0 +1,149 @@
+#include "cluster/global_clustering.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace clear::cluster {
+namespace {
+
+/// Users drawn from `n_groups` latent groups; each user contributes several
+/// noisy observations around their group center.
+std::vector<std::vector<Point>> synthetic_users(
+    std::size_t n_groups, std::size_t users_per_group,
+    std::size_t obs_per_user, double noise, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> centers;
+  for (std::size_t g = 0; g < n_groups; ++g)
+    centers.push_back({static_cast<double>(g) * 8.0,
+                       static_cast<double>(g % 2) * 8.0});
+  std::vector<std::vector<Point>> users;
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    for (std::size_t u = 0; u < users_per_group; ++u) {
+      const Point user_center = {centers[g][0] + rng.normal(0.0, 0.8),
+                                 centers[g][1] + rng.normal(0.0, 0.8)};
+      std::vector<Point> obs;
+      for (std::size_t o = 0; o < obs_per_user; ++o)
+        obs.push_back({user_center[0] + rng.normal(0.0, noise),
+                       user_center[1] + rng.normal(0.0, noise)});
+      users.push_back(std::move(obs));
+    }
+  }
+  return users;
+}
+
+TEST(UserRepresentation, MeansObservations) {
+  const Point r = user_representation({{0, 0}, {2, 4}});
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.0);
+  EXPECT_THROW(user_representation({}), Error);
+}
+
+TEST(GlobalClustering, RecoversLatentGroups) {
+  const auto users = synthetic_users(3, 6, 10, 0.5, 1);
+  GlobalClusteringConfig config;
+  config.k = 3;
+  Rng rng(2);
+  const GlobalClusteringResult r = global_clustering(users, config, rng);
+  // Same-group users share a cluster id.
+  for (std::size_t g = 0; g < 3; ++g) {
+    const std::size_t first = r.user_cluster[g * 6];
+    for (std::size_t u = 0; u < 6; ++u)
+      EXPECT_EQ(r.user_cluster[g * 6 + u], first) << "group " << g;
+  }
+}
+
+TEST(GlobalClustering, ConvergesOnCleanData) {
+  const auto users = synthetic_users(2, 8, 8, 0.3, 3);
+  GlobalClusteringConfig config;
+  config.k = 2;
+  Rng rng(4);
+  const GlobalClusteringResult r = global_clustering(users, config, rng);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.rounds_run, config.refinement_rounds);
+}
+
+TEST(GlobalClustering, MembersConsistentWithAssignment) {
+  const auto users = synthetic_users(3, 5, 6, 0.6, 5);
+  GlobalClusteringConfig config;
+  config.k = 3;
+  Rng rng(6);
+  const GlobalClusteringResult r = global_clustering(users, config, rng);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < config.k; ++c) {
+    for (const std::size_t u : r.clusters[c].members)
+      EXPECT_EQ(r.user_cluster[u], c);
+    total += r.clusters[c].members.size();
+  }
+  EXPECT_EQ(total, users.size());
+}
+
+TEST(GlobalClustering, SubCentroidCountBounded) {
+  const auto users = synthetic_users(2, 4, 5, 0.5, 7);
+  GlobalClusteringConfig config;
+  config.k = 2;
+  config.sub_clusters = 3;
+  Rng rng(8);
+  const GlobalClusteringResult r = global_clustering(users, config, rng);
+  for (const ClusterModel& c : r.clusters) {
+    EXPECT_GE(c.sub_centroids.size(), 1u);
+    EXPECT_LE(c.sub_centroids.size(), 3u);
+    for (const Point& sc : c.sub_centroids) EXPECT_EQ(sc.size(), 2u);
+  }
+}
+
+TEST(GlobalClustering, CentroidNearMemberMean) {
+  const auto users = synthetic_users(2, 6, 10, 0.4, 9);
+  GlobalClusteringConfig config;
+  config.k = 2;
+  Rng rng(10);
+  const GlobalClusteringResult r = global_clustering(users, config, rng);
+  for (const ClusterModel& c : r.clusters) {
+    ASSERT_FALSE(c.members.empty());
+    Point mean(2, 0.0);
+    for (const std::size_t u : c.members) {
+      const Point rep = user_representation(users[u]);
+      mean[0] += rep[0];
+      mean[1] += rep[1];
+    }
+    mean[0] /= static_cast<double>(c.members.size());
+    mean[1] /= static_cast<double>(c.members.size());
+    EXPECT_LT(distance(mean, c.centroid), 1e-9);
+  }
+}
+
+TEST(GlobalClustering, DeterministicGivenSeed) {
+  const auto users = synthetic_users(3, 4, 6, 0.8, 11);
+  GlobalClusteringConfig config;
+  config.k = 3;
+  Rng r1(12), r2(12);
+  const auto a = global_clustering(users, config, r1);
+  const auto b = global_clustering(users, config, r2);
+  EXPECT_EQ(a.user_cluster, b.user_cluster);
+}
+
+TEST(GlobalClustering, SubsampleFractionOneStillWorks) {
+  const auto users = synthetic_users(2, 4, 5, 0.5, 13);
+  GlobalClusteringConfig config;
+  config.k = 2;
+  config.subsample_fraction = 1.0;
+  Rng rng(14);
+  const auto r = global_clustering(users, config, rng);
+  EXPECT_EQ(r.user_cluster.size(), users.size());
+}
+
+TEST(GlobalClustering, Validation) {
+  GlobalClusteringConfig config;
+  config.k = 4;
+  Rng rng(15);
+  const auto users = synthetic_users(1, 2, 3, 0.5, 16);  // Only 2 users.
+  EXPECT_THROW(global_clustering(users, config, rng), Error);
+  GlobalClusteringConfig bad = config;
+  bad.k = 1;
+  bad.subsample_fraction = 0.0;
+  const auto enough = synthetic_users(2, 3, 3, 0.5, 17);
+  EXPECT_THROW(global_clustering(enough, bad, rng), Error);
+}
+
+}  // namespace
+}  // namespace clear::cluster

@@ -1,0 +1,143 @@
+#include "cluster/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace clear::cluster {
+namespace {
+
+/// Three well-separated Gaussian blobs in 2-D.
+std::vector<Point> blobs(std::size_t per_blob, std::uint64_t seed,
+                         double spread = 0.3) {
+  Rng rng(seed);
+  const std::vector<Point> centers = {{0, 0}, {10, 0}, {0, 10}};
+  std::vector<Point> points;
+  for (const Point& c : centers)
+    for (std::size_t i = 0; i < per_blob; ++i)
+      points.push_back({c[0] + rng.normal(0.0, spread),
+                        c[1] + rng.normal(0.0, spread)});
+  return points;
+}
+
+TEST(Distance, KnownValues) {
+  EXPECT_DOUBLE_EQ(squared_distance({0, 0}, {3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_THROW(squared_distance({1}, {1, 2}), Error);
+}
+
+TEST(MeanPoint, Averages) {
+  const Point a = {0, 2};
+  const Point b = {4, 6};
+  const Point m = mean_point({&a, &b});
+  EXPECT_DOUBLE_EQ(m[0], 2.0);
+  EXPECT_DOUBLE_EQ(m[1], 4.0);
+  EXPECT_THROW(mean_point({}), Error);
+}
+
+TEST(KMeans, RecoversWellSeparatedBlobs) {
+  const auto points = blobs(20, 1);
+  Rng rng(2);
+  const KMeansResult r = kmeans(points, 3, rng);
+  // All points of one blob share one label, and the three labels differ.
+  std::set<std::size_t> labels;
+  for (std::size_t b = 0; b < 3; ++b) {
+    const std::size_t first = r.assignment[b * 20];
+    labels.insert(first);
+    for (std::size_t i = 0; i < 20; ++i)
+      EXPECT_EQ(r.assignment[b * 20 + i], first);
+  }
+  EXPECT_EQ(labels.size(), 3u);
+}
+
+TEST(KMeans, CentroidsNearTrueCenters) {
+  const auto points = blobs(50, 3, 0.2);
+  Rng rng(4);
+  const KMeansResult r = kmeans(points, 3, rng);
+  const std::vector<Point> truth = {{0, 0}, {10, 0}, {0, 10}};
+  for (const Point& t : truth) {
+    double best = 1e18;
+    for (const Point& c : r.centroids) best = std::min(best, distance(t, c));
+    EXPECT_LT(best, 0.5);
+  }
+}
+
+TEST(KMeans, InertiaDecreasesWithMoreClusters) {
+  const auto points = blobs(20, 5, 1.0);
+  Rng rng(6);
+  const double i2 = kmeans(points, 2, rng).inertia;
+  const double i3 = kmeans(points, 3, rng).inertia;
+  const double i6 = kmeans(points, 6, rng).inertia;
+  EXPECT_GT(i2, i3);
+  EXPECT_GT(i3, i6);
+}
+
+TEST(KMeans, KEqualsOneGivesGrandMean) {
+  const std::vector<Point> points = {{0, 0}, {2, 2}, {4, 4}};
+  Rng rng(7);
+  const KMeansResult r = kmeans(points, 1, rng);
+  EXPECT_DOUBLE_EQ(r.centroids[0][0], 2.0);
+  EXPECT_DOUBLE_EQ(r.centroids[0][1], 2.0);
+}
+
+TEST(KMeans, KEqualsNPutsEachPointAlone) {
+  const std::vector<Point> points = {{0, 0}, {5, 0}, {0, 5}};
+  Rng rng(8);
+  const KMeansResult r = kmeans(points, 3, rng);
+  std::set<std::size_t> labels(r.assignment.begin(), r.assignment.end());
+  EXPECT_EQ(labels.size(), 3u);
+  EXPECT_NEAR(r.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeans, HandlesDuplicatePoints) {
+  std::vector<Point> points(10, Point{1.0, 1.0});
+  points.push_back({5.0, 5.0});
+  Rng rng(9);
+  const KMeansResult r = kmeans(points, 2, rng);
+  EXPECT_EQ(r.assignment.size(), points.size());
+  // The duplicates end up together.
+  for (std::size_t i = 1; i < 10; ++i)
+    EXPECT_EQ(r.assignment[i], r.assignment[0]);
+}
+
+TEST(KMeans, Validation) {
+  Rng rng(10);
+  EXPECT_THROW(kmeans({}, 1, rng), Error);
+  EXPECT_THROW(kmeans({{1.0}}, 2, rng), Error);
+  EXPECT_THROW(kmeans({{1.0}, {2.0}}, 0, rng), Error);
+  EXPECT_THROW(kmeans({{1.0}, {1.0, 2.0}}, 1, rng), Error);  // Ragged.
+}
+
+TEST(KMeans, DeterministicGivenSeed) {
+  const auto points = blobs(15, 11);
+  Rng r1(12), r2(12);
+  const KMeansResult a = kmeans(points, 3, r1);
+  const KMeansResult b = kmeans(points, 3, r2);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeans, MoreRestartsNeverWorse) {
+  const auto points = blobs(10, 13, 2.0);
+  Rng r1(14), r2(14);
+  KMeansOptions one;
+  one.restarts = 1;
+  KMeansOptions many;
+  many.restarts = 10;
+  const double i1 = kmeans(points, 3, r1, one).inertia;
+  const double i10 = kmeans(points, 3, r2, many).inertia;
+  EXPECT_LE(i10, i1 + 1e-9);
+}
+
+TEST(NearestCentroid, PicksClosest) {
+  const std::vector<Point> centroids = {{0, 0}, {10, 10}};
+  EXPECT_EQ(nearest_centroid({1, 1}, centroids), 0u);
+  EXPECT_EQ(nearest_centroid({9, 9}, centroids), 1u);
+  EXPECT_THROW(nearest_centroid({1, 1}, {}), Error);
+}
+
+}  // namespace
+}  // namespace clear::cluster

@@ -1,0 +1,103 @@
+#include "cluster/validity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace clear::cluster {
+namespace {
+
+std::vector<Point> two_blobs(double separation, std::size_t per_blob,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> points;
+  for (std::size_t i = 0; i < per_blob; ++i)
+    points.push_back({rng.normal(0.0, 0.4), rng.normal(0.0, 0.4)});
+  for (std::size_t i = 0; i < per_blob; ++i)
+    points.push_back(
+        {separation + rng.normal(0.0, 0.4), rng.normal(0.0, 0.4)});
+  return points;
+}
+
+std::vector<std::size_t> true_labels(std::size_t per_blob, std::size_t blobs) {
+  std::vector<std::size_t> labels;
+  for (std::size_t b = 0; b < blobs; ++b)
+    labels.insert(labels.end(), per_blob, b);
+  return labels;
+}
+
+TEST(Silhouette, HighForSeparatedLowForOverlapping) {
+  const auto separated = two_blobs(10.0, 20, 1);
+  const auto overlapping = two_blobs(0.5, 20, 2);
+  const auto labels = true_labels(20, 2);
+  const double s_sep = silhouette(separated, labels, 2);
+  const double s_ovl = silhouette(overlapping, labels, 2);
+  EXPECT_GT(s_sep, 0.8);
+  EXPECT_LT(s_ovl, 0.4);
+  EXPECT_GT(s_sep, s_ovl);
+}
+
+TEST(Silhouette, WrongLabelsScoreNegative) {
+  const auto points = two_blobs(10.0, 10, 3);
+  // Deliberately shuffle half the labels across blobs.
+  std::vector<std::size_t> wrong = true_labels(10, 2);
+  for (std::size_t i = 0; i < 10; i += 2) std::swap(wrong[i], wrong[10 + i]);
+  EXPECT_LT(silhouette(points, wrong, 2),
+            silhouette(points, true_labels(10, 2), 2));
+}
+
+TEST(Silhouette, Validation) {
+  const std::vector<Point> p = {{0, 0}, {1, 1}};
+  EXPECT_THROW(silhouette(p, {0}, 2), Error);        // Size mismatch.
+  EXPECT_THROW(silhouette(p, {0, 1}, 1), Error);     // k < 2.
+  EXPECT_THROW(silhouette(p, {0, 5}, 2), Error);     // Label out of range.
+}
+
+TEST(DaviesBouldin, LowerForBetterSeparation) {
+  const auto separated = two_blobs(10.0, 20, 4);
+  const auto overlapping = two_blobs(1.0, 20, 5);
+  const auto labels = true_labels(20, 2);
+  EXPECT_LT(davies_bouldin(separated, labels, 2),
+            davies_bouldin(overlapping, labels, 2));
+}
+
+TEST(DaviesBouldin, DegenerateEmptyCluster) {
+  const std::vector<Point> p = {{0, 0}, {1, 1}};
+  // Cluster 1 empty (all labelled 0) -> large sentinel.
+  EXPECT_GT(davies_bouldin(p, {0, 0}, 2), 1e10);
+}
+
+TEST(WithinClusterSse, MatchesManualComputation) {
+  const std::vector<Point> p = {{0, 0}, {2, 0}, {10, 0}};
+  const std::vector<std::size_t> a = {0, 0, 1};
+  const std::vector<Point> c = {{1, 0}, {10, 0}};
+  EXPECT_DOUBLE_EQ(within_cluster_sse(p, a, c), 2.0);
+}
+
+TEST(SelectK, FindsTrueNumberOfBlobs) {
+  Rng rng(6);
+  std::vector<Point> points;
+  const std::vector<Point> centers = {{0, 0}, {12, 0}, {0, 12}, {12, 12}};
+  for (const Point& c : centers)
+    for (std::size_t i = 0; i < 15; ++i)
+      points.push_back({c[0] + rng.normal(0.0, 0.5),
+                        c[1] + rng.normal(0.0, 0.5)});
+  Rng krng(7);
+  const KSelection sel = select_k(points, 2, 7, krng);
+  EXPECT_EQ(sel.best_k, 4u);
+  EXPECT_EQ(sel.silhouettes.size(), 6u);
+  // Inertia must be monotonically non-increasing in k.
+  for (std::size_t i = 1; i < sel.inertias.size(); ++i)
+    EXPECT_LE(sel.inertias[i], sel.inertias[i - 1] + 1e-6);
+}
+
+TEST(SelectK, Validation) {
+  Rng rng(8);
+  const std::vector<Point> p = {{0, 0}, {1, 1}, {2, 2}};
+  EXPECT_THROW(select_k(p, 1, 2, rng), Error);
+  EXPECT_THROW(select_k(p, 3, 2, rng), Error);
+  EXPECT_THROW(select_k(p, 2, 3, rng), Error);  // Needs > k_max points.
+}
+
+}  // namespace
+}  // namespace clear::cluster

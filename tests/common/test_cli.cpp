@@ -1,0 +1,77 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace clear {
+namespace {
+
+CliArgs make(std::vector<const char*> argv) {
+  return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, ParsesKeyValue) {
+  const CliArgs args = make({"prog", "--alpha=5", "--name=test"});
+  EXPECT_TRUE(args.has("alpha"));
+  EXPECT_EQ(args.get("name", ""), "test");
+  EXPECT_EQ(args.get_int("alpha", 0), 5);
+}
+
+TEST(Cli, BareFlagIsTrue) {
+  const CliArgs args = make({"prog", "--verbose"});
+  EXPECT_TRUE(args.get_bool("verbose", false));
+}
+
+TEST(Cli, FallbacksWhenAbsent) {
+  const CliArgs args = make({"prog"});
+  EXPECT_FALSE(args.has("x"));
+  EXPECT_EQ(args.get("x", "dflt"), "dflt");
+  EXPECT_EQ(args.get_int("x", 42), 42);
+  EXPECT_DOUBLE_EQ(args.get_double("x", 2.5), 2.5);
+  EXPECT_TRUE(args.get_bool("x", true));
+}
+
+TEST(Cli, ParsesDoubles) {
+  const CliArgs args = make({"prog", "--frac=0.25"});
+  EXPECT_DOUBLE_EQ(args.get_double("frac", 0.0), 0.25);
+}
+
+TEST(Cli, BooleanSpellings) {
+  const CliArgs args = make({"prog", "--a=true", "--b=0", "--c=yes"});
+  EXPECT_TRUE(args.get_bool("a", false));
+  EXPECT_FALSE(args.get_bool("b", true));
+  EXPECT_TRUE(args.get_bool("c", false));
+}
+
+TEST(Cli, PositionalArgumentsCollectedInOrder) {
+  const CliArgs args = make({"prog", "train", "--epochs=3", "extra"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "train");
+  EXPECT_EQ(args.positional()[1], "extra");
+  EXPECT_EQ(args.get_int("epochs", 0), 3);
+}
+
+TEST(Cli, NoPositionalsByDefault) {
+  EXPECT_TRUE(make({"prog", "--a=1"}).positional().empty());
+}
+
+TEST(Cli, RejectsSingleDashArgument) {
+  EXPECT_THROW(make({"prog", "-x=1"}), Error);
+  EXPECT_THROW(make({"prog", "-v"}), Error);
+}
+
+TEST(Cli, RejectsBadNumericValues) {
+  const CliArgs args = make({"prog", "--n=abc", "--f=1.2.3", "--b=maybe"});
+  EXPECT_THROW(args.get_int("n", 0), Error);
+  EXPECT_THROW(args.get_double("f", 0.0), Error);
+  EXPECT_THROW(args.get_bool("b", false), Error);
+}
+
+TEST(Cli, ProgramName) {
+  const CliArgs args = make({"myprog"});
+  EXPECT_EQ(args.program(), "myprog");
+}
+
+}  // namespace
+}  // namespace clear

@@ -1,0 +1,76 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/error.hpp"
+
+namespace clear::csv {
+namespace {
+
+TEST(Csv, ParseSimpleLine) {
+  const Row r = parse_line("a,b,c");
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0], "a");
+  EXPECT_EQ(r[2], "c");
+}
+
+TEST(Csv, ParseEmptyFields) {
+  const Row r = parse_line("a,,c,");
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_EQ(r[1], "");
+  EXPECT_EQ(r[3], "");
+}
+
+TEST(Csv, ParseQuotedComma) {
+  const Row r = parse_line("a,\"b,c\",d");
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[1], "b,c");
+}
+
+TEST(Csv, ParseEscapedQuote) {
+  const Row r = parse_line("\"he said \"\"hi\"\"\",x");
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0], "he said \"hi\"");
+}
+
+TEST(Csv, ParseToleratesCrlf) {
+  const Row r = parse_line("a,b\r");
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[1], "b");
+}
+
+TEST(Csv, FormatQuotesWhenNeeded) {
+  EXPECT_EQ(format_line({"a", "b,c", "d\"e"}), "a,\"b,c\",\"d\"\"e\"");
+  EXPECT_EQ(format_line({"plain"}), "plain");
+}
+
+TEST(Csv, RoundTripThroughFormatAndParse) {
+  const Row original = {"x", "with,comma", "with\"quote", ""};
+  const Row parsed = parse_line(format_line(original));
+  EXPECT_EQ(parsed, original);
+}
+
+TEST(Csv, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "clear_csv_test.csv").string();
+  const std::vector<Row> rows = {{"h1", "h2"}, {"1", "a,b"}, {"2", "z"}};
+  write_file(path, rows);
+  const std::vector<Row> read = read_file(path);
+  EXPECT_EQ(read, rows);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ReadMissingFileThrows) {
+  EXPECT_THROW(read_file("/nonexistent/path/x.csv"), Error);
+}
+
+TEST(Csv, FormatDoubleRoundTrips) {
+  const double v = 0.1234567890123456789;
+  EXPECT_DOUBLE_EQ(std::stod(format_double(v)), v);
+}
+
+}  // namespace
+}  // namespace clear::csv

@@ -1,0 +1,89 @@
+#include "common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace clear {
+namespace {
+
+/// RAII guard restoring the global log level after each test.
+struct LevelGuard {
+  log::Level saved = log::level();
+  ~LevelGuard() { log::set_level(saved); }
+};
+
+TEST(Logging, LevelRoundTrips) {
+  LevelGuard guard;
+  log::set_level(log::Level::kWarn);
+  EXPECT_EQ(log::level(), log::Level::kWarn);
+  log::set_level(log::Level::kDebug);
+  EXPECT_EQ(log::level(), log::Level::kDebug);
+}
+
+TEST(Logging, MacroDoesNotEvaluateBelowThreshold) {
+  LevelGuard guard;
+  log::set_level(log::Level::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return "message";
+  };
+  CLEAR_DEBUG(expensive());
+  CLEAR_INFO(expensive());
+  CLEAR_WARN(expensive());
+  EXPECT_EQ(evaluations, 0);
+  CLEAR_ERROR(expensive());
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Logging, EmitIsSafeAtEveryLevel) {
+  LevelGuard guard;
+  log::set_level(log::Level::kDebug);
+  // Must not crash or throw for any level / content.
+  log::emit(log::Level::kDebug, "debug message");
+  log::emit(log::Level::kInfo, "");
+  log::emit(log::Level::kWarn, std::string(1000, 'x'));
+  log::emit(log::Level::kError, "with % format chars %s %d");
+}
+
+TEST(Logging, OffSilencesEverything) {
+  LevelGuard guard;
+  log::set_level(log::Level::kOff);
+  int evaluations = 0;
+  CLEAR_ERROR([&evaluations] {
+    ++evaluations;
+    return "x";
+  }());
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(ErrorMacros, CheckPassesOnTrue) {
+  EXPECT_NO_THROW(CLEAR_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(CLEAR_CHECK_MSG(true, "never shown"));
+}
+
+TEST(ErrorMacros, CheckThrowsWithLocationAndMessage) {
+  try {
+    CLEAR_CHECK_MSG(false, "the answer is " << 42);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("the answer is 42"), std::string::npos);
+    EXPECT_NE(what.find("test_logging.cpp"), std::string::npos);
+    EXPECT_NE(what.find("false"), std::string::npos);
+  }
+}
+
+TEST(ErrorMacros, ConditionEvaluatedExactlyOnce) {
+  int count = 0;
+  auto once = [&count] {
+    ++count;
+    return true;
+  };
+  CLEAR_CHECK(once());
+  EXPECT_EQ(count, 1);
+}
+
+}  // namespace
+}  // namespace clear

@@ -1,0 +1,150 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace clear::stats {
+namespace {
+
+const std::vector<double> kSimple = {1.0, 2.0, 3.0, 4.0, 5.0};
+
+TEST(Stats, MeanAndSum) {
+  EXPECT_DOUBLE_EQ(sum(kSimple), 15.0);
+  EXPECT_DOUBLE_EQ(mean(kSimple), 3.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, Variance) {
+  EXPECT_DOUBLE_EQ(variance(kSimple), 2.0);
+  EXPECT_DOUBLE_EQ(sample_variance(kSimple), 2.5);
+  EXPECT_DOUBLE_EQ(stddev(kSimple), std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(sample_stddev(kSimple), std::sqrt(2.5));
+}
+
+TEST(Stats, VarianceDegenerateCases) {
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(sample_variance(std::vector<double>{4.0}), 0.0);
+}
+
+TEST(Stats, MinMaxRange) {
+  EXPECT_DOUBLE_EQ(min(kSimple), 1.0);
+  EXPECT_DOUBLE_EQ(max(kSimple), 5.0);
+  EXPECT_DOUBLE_EQ(range(kSimple), 4.0);
+}
+
+TEST(Stats, Rms) {
+  const std::vector<double> v = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(rms(v), std::sqrt(12.5));
+}
+
+TEST(Stats, SkewnessSymmetricIsZero) {
+  EXPECT_NEAR(skewness(kSimple), 0.0, 1e-12);
+}
+
+TEST(Stats, SkewnessRightTailPositive) {
+  const std::vector<double> v = {1, 1, 1, 1, 10};
+  EXPECT_GT(skewness(v), 0.5);
+}
+
+TEST(Stats, KurtosisOfConstantIsZero) {
+  const std::vector<double> v = {2, 2, 2, 2};
+  EXPECT_DOUBLE_EQ(kurtosis(v), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  EXPECT_DOUBLE_EQ(percentile(kSimple, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(kSimple, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(kSimple, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(kSimple, 25.0), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(kSimple, 12.5), 1.5);
+}
+
+TEST(Stats, MedianAndIqr) {
+  EXPECT_DOUBLE_EQ(median(kSimple), 3.0);
+  EXPECT_DOUBLE_EQ(iqr(kSimple), 2.0);
+}
+
+TEST(Stats, SlopeOfLine) {
+  const std::vector<double> v = {1.0, 3.0, 5.0, 7.0};
+  EXPECT_NEAR(slope(v), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(slope(std::vector<double>{5.0}), 0.0);
+}
+
+TEST(Stats, SlopeOfConstantIsZero) {
+  const std::vector<double> v = {4.0, 4.0, 4.0};
+  EXPECT_NEAR(slope(v), 0.0, 1e-12);
+}
+
+TEST(Stats, Diff) {
+  const auto d = diff(kSimple);
+  ASSERT_EQ(d.size(), 4u);
+  for (const double x : d) EXPECT_DOUBLE_EQ(x, 1.0);
+  EXPECT_TRUE(diff(std::vector<double>{1.0}).empty());
+}
+
+TEST(Stats, MeanAbsDiff) {
+  const std::vector<double> v = {0.0, 2.0, -1.0};
+  EXPECT_DOUBLE_EQ(mean_abs_diff(v), 2.5);
+}
+
+TEST(Stats, ZeroCrossings) {
+  const std::vector<double> v = {1.0, -1.0, 1.0, -1.0};
+  EXPECT_EQ(zero_crossings(v), 3u);
+  const std::vector<double> flat = {1.0, 1.0, 1.0};
+  EXPECT_EQ(zero_crossings(flat), 0u);
+}
+
+TEST(Stats, FractionIncreasing) {
+  const std::vector<double> v = {1.0, 2.0, 1.5, 3.0};
+  EXPECT_NEAR(fraction_increasing(v), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Stats, AutocorrelationLagOneOfAlternating) {
+  const std::vector<double> v = {1, -1, 1, -1, 1, -1, 1, -1};
+  EXPECT_LT(autocorrelation(v, 1), -0.7);
+  EXPECT_GT(autocorrelation(v, 2), 0.6);
+}
+
+TEST(Stats, AutocorrelationDegenerate) {
+  EXPECT_DOUBLE_EQ(autocorrelation(std::vector<double>{1.0, 1.0}, 5), 0.0);
+  EXPECT_DOUBLE_EQ(autocorrelation(std::vector<double>{2.0, 2.0, 2.0}, 1), 0.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> a = {1, 2, 3, 4};
+  const std::vector<double> b = {2, 4, 6, 8};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+  const std::vector<double> c = {8, 6, 4, 2};
+  EXPECT_NEAR(pearson(a, c), -1.0, 1e-12);
+}
+
+TEST(Stats, HistogramEntropyUniformVsPeaked) {
+  std::vector<double> uniform;
+  for (int i = 0; i < 100; ++i) uniform.push_back(i);
+  std::vector<double> peaked(100, 1.0);
+  peaked[0] = 0.0;  // Keep a non-zero range.
+  EXPECT_GT(histogram_entropy(uniform, 10), histogram_entropy(peaked, 10));
+  EXPECT_DOUBLE_EQ(histogram_entropy(std::vector<double>(5, 2.0), 10), 0.0);
+}
+
+TEST(Stats, HjorthOfSine) {
+  std::vector<double> sine(512);
+  for (std::size_t i = 0; i < sine.size(); ++i)
+    sine[i] = std::sin(2.0 * M_PI * 8.0 * i / 512.0);
+  const Hjorth h = hjorth(sine);
+  EXPECT_NEAR(h.activity, 0.5, 0.01);
+  // Mobility of a pure sine approximates its angular frequency.
+  EXPECT_NEAR(h.mobility, 2.0 * M_PI * 8.0 / 512.0, 0.005);
+  // Complexity of a pure sine is ~1.
+  EXPECT_NEAR(h.complexity, 1.0, 0.05);
+}
+
+TEST(Stats, HjorthDegenerate) {
+  const Hjorth h = hjorth(std::vector<double>{1.0, 2.0});
+  EXPECT_DOUBLE_EQ(h.mobility, 0.0);
+}
+
+}  // namespace
+}  // namespace clear::stats

@@ -1,0 +1,67 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace clear {
+namespace {
+
+TEST(AsciiTable, RendersHeaderAndRows) {
+  AsciiTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+}
+
+TEST(AsciiTable, RejectsArityMismatch) {
+  AsciiTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), Error);
+}
+
+TEST(AsciiTable, RejectsEmptyHeader) {
+  EXPECT_THROW(AsciiTable({}), Error);
+}
+
+TEST(AsciiTable, SectionsAppearInOutput) {
+  AsciiTable t({"x"});
+  t.add_section("My Section");
+  t.add_row({"1"});
+  EXPECT_NE(t.str().find("My Section"), std::string::npos);
+}
+
+TEST(AsciiTable, TitleAppearsFirst) {
+  AsciiTable t({"x"});
+  t.set_title("The Title");
+  EXPECT_EQ(t.str().rfind("The Title", 0), 0u);
+}
+
+TEST(AsciiTable, ColumnsAlign) {
+  AsciiTable t({"a", "b"});
+  t.add_row({"short", "x"});
+  t.add_row({"much-longer-cell", "y"});
+  const std::string s = t.str();
+  // Every rendered line has the same width.
+  std::size_t first_len = std::string::npos;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t eol = s.find('\n', pos);
+    const std::size_t len = eol - pos;
+    if (first_len == std::string::npos) first_len = len;
+    // Title absent; all lines should match the rule width.
+    EXPECT_EQ(len, first_len);
+    pos = eol + 1;
+  }
+}
+
+TEST(AsciiTable, NumFormatsFixedPrecision) {
+  EXPECT_EQ(AsciiTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(AsciiTable::num(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace clear

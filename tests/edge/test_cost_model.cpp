@@ -1,0 +1,124 @@
+#include "edge/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace clear::edge {
+namespace {
+
+nn::CnnLstmConfig paper_model() {
+  nn::CnnLstmConfig c;
+  c.feature_dim = 123;
+  c.window_count = 12;
+  c.conv1_channels = 6;
+  c.conv2_channels = 12;
+  c.lstm_hidden = 32;
+  return c;
+}
+
+TEST(CostModel, DeviceNames) {
+  EXPECT_STREQ(device_name(DeviceKind::kGpu), "GPU");
+  EXPECT_STREQ(device_name(DeviceKind::kCoralTpu), "Coral TPU");
+  EXPECT_STREQ(device_name(DeviceKind::kPiNcs2), "Pi + NCS2");
+}
+
+TEST(CostModel, DevicePrecisionsMatchPaper) {
+  EXPECT_EQ(device_spec(DeviceKind::kGpu).precision, Precision::kFp32);
+  EXPECT_EQ(device_spec(DeviceKind::kCoralTpu).precision, Precision::kInt8);
+  EXPECT_EQ(device_spec(DeviceKind::kPiNcs2).precision, Precision::kFp16);
+}
+
+TEST(CostModel, MacCountPositiveAndScalesWithModel) {
+  const double base = model_inference_macs(paper_model());
+  EXPECT_GT(base, 1e5);
+  nn::CnnLstmConfig bigger = paper_model();
+  bigger.conv2_channels *= 2;
+  EXPECT_GT(model_inference_macs(bigger), base);
+  nn::CnnLstmConfig wider = paper_model();
+  wider.lstm_hidden *= 2;
+  EXPECT_GT(model_inference_macs(wider), base);
+}
+
+TEST(CostModel, InferenceLatencyOrdering) {
+  // Table II: TPU test 47 ms << NCS2 test 240 ms; GPU far below both.
+  const double macs = model_inference_macs(paper_model());
+  const double gpu = estimate_inference(device_spec(DeviceKind::kGpu), macs).seconds;
+  const double tpu =
+      estimate_inference(device_spec(DeviceKind::kCoralTpu), macs).seconds;
+  const double ncs2 =
+      estimate_inference(device_spec(DeviceKind::kPiNcs2), macs).seconds;
+  EXPECT_LT(gpu, tpu);
+  EXPECT_LT(tpu, ncs2);
+  EXPECT_GT(ncs2 / tpu, 3.0);
+}
+
+TEST(CostModel, InferenceLatencyNearPaperValues) {
+  const double macs = model_inference_macs(paper_model());
+  const double tpu_ms =
+      estimate_inference(device_spec(DeviceKind::kCoralTpu), macs).seconds * 1e3;
+  const double ncs2_ms =
+      estimate_inference(device_spec(DeviceKind::kPiNcs2), macs).seconds * 1e3;
+  EXPECT_NEAR(tpu_ms, 47.31, 15.0);
+  EXPECT_NEAR(ncs2_ms, 239.70, 60.0);
+}
+
+TEST(CostModel, FinetuningLatencyOrderingAndMagnitude) {
+  const double macs = model_inference_macs(paper_model());
+  // The paper's FT protocol: ~4 labelled maps, 25 epochs, batch 4.
+  const auto tpu = estimate_finetuning(device_spec(DeviceKind::kCoralTpu),
+                                       macs, 4, 25, 4);
+  const auto ncs2 = estimate_finetuning(device_spec(DeviceKind::kPiNcs2),
+                                        macs, 4, 25, 4);
+  EXPECT_LT(tpu.seconds, ncs2.seconds);
+  EXPECT_NEAR(tpu.seconds, 32.48, 12.0);
+  EXPECT_NEAR(ncs2.seconds, 78.52, 25.0);
+}
+
+TEST(CostModel, PowerOrderingMatchesPaper) {
+  const DeviceSpec tpu = device_spec(DeviceKind::kCoralTpu);
+  const DeviceSpec ncs2 = device_spec(DeviceKind::kPiNcs2);
+  // Idle < inference < training on each device.
+  EXPECT_LT(tpu.idle_power_w, tpu.infer_power_w);
+  EXPECT_LT(tpu.infer_power_w, tpu.train_power_w);
+  EXPECT_LT(ncs2.idle_power_w, ncs2.infer_power_w);
+  EXPECT_LT(ncs2.infer_power_w, ncs2.train_power_w);
+  // TPU draws less than the Pi+NCS2 stack across the board.
+  EXPECT_LT(tpu.idle_power_w, ncs2.idle_power_w);
+  EXPECT_LT(tpu.train_power_w, ncs2.train_power_w);
+}
+
+TEST(CostModel, PaperPowerValues) {
+  const DeviceSpec tpu = device_spec(DeviceKind::kCoralTpu);
+  EXPECT_NEAR(tpu.idle_power_w, 1.28, 1e-9);
+  EXPECT_NEAR(tpu.infer_power_w, 1.64, 1e-9);
+  EXPECT_NEAR(tpu.train_power_w, 1.82, 1e-9);
+  const DeviceSpec ncs2 = device_spec(DeviceKind::kPiNcs2);
+  EXPECT_NEAR(ncs2.idle_power_w, 2.76, 1e-9);
+  EXPECT_NEAR(ncs2.infer_power_w, 3.43, 1e-9);
+  EXPECT_NEAR(ncs2.train_power_w, 3.78, 1e-9);
+}
+
+TEST(CostModel, EnergyIsPowerTimesTime) {
+  const auto e = estimate_inference(device_spec(DeviceKind::kCoralTpu), 1e6);
+  EXPECT_NEAR(e.energy_j, e.seconds * e.power_w, 1e-12);
+}
+
+TEST(CostModel, FinetuningScalesWithEpochs) {
+  const double macs = 1e6;
+  const DeviceSpec spec = device_spec(DeviceKind::kCoralTpu);
+  const double t10 = estimate_finetuning(spec, macs, 4, 10, 4).seconds;
+  const double t20 = estimate_finetuning(spec, macs, 4, 20, 4).seconds;
+  EXPECT_GT(t20, t10 * 1.5);
+}
+
+TEST(CostModel, Validation) {
+  const DeviceSpec spec = device_spec(DeviceKind::kGpu);
+  EXPECT_THROW(estimate_inference(spec, 0.0), Error);
+  EXPECT_THROW(estimate_finetuning(spec, 1e6, 0, 1, 1), Error);
+  EXPECT_THROW(estimate_finetuning(spec, 1e6, 1, 0, 1), Error);
+  EXPECT_THROW(estimate_finetuning(spec, 1e6, 1, 1, 0), Error);
+}
+
+}  // namespace
+}  // namespace clear::edge

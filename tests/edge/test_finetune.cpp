@@ -1,0 +1,150 @@
+#include "edge/finetune.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "nn/model.hpp"
+
+namespace clear::edge {
+namespace {
+
+nn::CnnLstmConfig tiny_config() {
+  nn::CnnLstmConfig c;
+  c.feature_dim = 16;
+  c.window_count = 8;
+  c.conv1_channels = 2;
+  c.conv2_channels = 3;
+  c.lstm_hidden = 5;
+  c.dropout = 0.0;
+  return c;
+}
+
+struct Fixture {
+  std::vector<Tensor> maps;
+  nn::MapDataset data;
+
+  explicit Fixture(std::size_t n, std::uint64_t seed, double gap = 1.5) {
+    Rng rng(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+      Tensor m({16, 8});
+      const int label = static_cast<int>(i % 2);
+      for (std::size_t r = 0; r < 16; ++r)
+        for (std::size_t c = 0; c < 8; ++c)
+          m.at2(r, c) = static_cast<float>(
+              rng.normal(label && r < 8 ? gap : 0.0, 0.5));
+      maps.push_back(std::move(m));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      data.maps.push_back(&maps[i]);
+      data.labels.push_back(i % 2);
+    }
+  }
+};
+
+EdgeEngine make_engine(Precision precision, std::uint64_t seed,
+                       const Fixture& calib) {
+  Rng rng(seed);
+  auto model = nn::build_cnn_lstm(tiny_config(), rng);
+  EngineConfig ec;
+  ec.precision = precision;
+  EdgeEngine engine(std::move(model), ec);
+  if (precision == Precision::kInt8) engine.calibrate(calib.data.maps);
+  return engine;
+}
+
+EdgeFinetuneConfig ft_config() {
+  EdgeFinetuneConfig fc;
+  fc.train.epochs = 10;
+  fc.train.batch_size = 4;
+  fc.train.lr = 2e-3;
+  fc.train.keep_best = false;
+  fc.train.validation_fraction = 0.0;
+  return fc;
+}
+
+TEST(EdgeFinetune, ImprovesAccuracyOnDeviceData) {
+  Fixture f(24, 1);
+  EdgeEngine engine = make_engine(Precision::kFp32, 2, f);
+  const double before = engine.evaluate(f.data).accuracy;
+  edge_finetune(engine, f.data, ft_config());
+  const double after = engine.evaluate(f.data).accuracy;
+  EXPECT_GE(after, before);
+  EXPECT_GT(after, 0.8);
+}
+
+TEST(EdgeFinetune, FrozenConvStackUnchanged) {
+  Fixture f(16, 3);
+  EdgeEngine engine = make_engine(Precision::kFp32, 4, f);
+  const Tensor conv_before = engine.model().parameters()[0]->value;
+  edge_finetune(engine, f.data, ft_config());
+  const Tensor& conv_after = engine.model().parameters()[0]->value;
+  for (std::size_t i = 0; i < conv_before.numel(); ++i)
+    EXPECT_EQ(conv_after[i], conv_before[i]);
+}
+
+TEST(EdgeFinetune, HeadActuallyMoves) {
+  Fixture f(16, 5);
+  EdgeEngine engine = make_engine(Precision::kFp32, 6, f);
+  const auto params = engine.model().parameters();
+  const Tensor head_before = params.back()->value;
+  edge_finetune(engine, f.data, ft_config());
+  const Tensor& head_after = engine.model().parameters().back()->value;
+  bool moved = false;
+  for (std::size_t i = 0; i < head_before.numel(); ++i)
+    if (head_before[i] != head_after[i]) moved = true;
+  EXPECT_TRUE(moved);
+}
+
+TEST(EdgeFinetune, Int8WeightsStayOnQuantGrid) {
+  Fixture f(16, 7);
+  EdgeEngine engine = make_engine(Precision::kInt8, 8, f);
+  edge_finetune(engine, f.data, ft_config());
+  // Every trainable tensor must hold at most 255 distinct values.
+  for (nn::Param* p : engine.model().parameters()) {
+    std::set<float> distinct(p->value.flat().begin(), p->value.flat().end());
+    EXPECT_LE(distinct.size(), 255u) << p->name;
+  }
+}
+
+TEST(EdgeFinetune, Fp16WeightsAreHalfRepresentable) {
+  Fixture f(16, 9);
+  EdgeEngine engine = make_engine(Precision::kFp16, 10, f);
+  edge_finetune(engine, f.data, ft_config());
+  for (nn::Param* p : engine.model().parameters()) {
+    for (const float v : p->value.flat())
+      EXPECT_EQ(v, round_fp16(v)) << p->name;
+  }
+}
+
+TEST(EdgeFinetune, ModelUnfrozenAfterSession) {
+  Fixture f(16, 11);
+  EdgeEngine engine = make_engine(Precision::kFp32, 12, f);
+  edge_finetune(engine, f.data, ft_config());
+  for (nn::Param* p : engine.model().parameters()) EXPECT_FALSE(p->frozen);
+}
+
+TEST(EdgeFinetune, FullFinetuneWhenUnfrozen) {
+  Fixture f(16, 13);
+  EdgeEngine engine = make_engine(Precision::kFp32, 14, f);
+  EdgeFinetuneConfig fc = ft_config();
+  fc.freeze_feature_extractor = false;
+  const Tensor conv_before = engine.model().parameters()[0]->value;
+  edge_finetune(engine, f.data, fc);
+  bool moved = false;
+  const Tensor& conv_after = engine.model().parameters()[0]->value;
+  for (std::size_t i = 0; i < conv_before.numel(); ++i)
+    if (conv_before[i] != conv_after[i]) moved = true;
+  EXPECT_TRUE(moved);
+}
+
+TEST(EdgeFinetune, RejectsTooFewSamples) {
+  Fixture f(1, 15);
+  EdgeEngine engine = make_engine(Precision::kFp32, 16, f);
+  EXPECT_THROW(edge_finetune(engine, f.data, ft_config()), Error);
+}
+
+}  // namespace
+}  // namespace clear::edge

@@ -1,0 +1,166 @@
+#include "edge/qkernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace clear::edge {
+namespace {
+
+TEST(Int8Gemm, KnownValues) {
+  const std::vector<std::int8_t> a = {1, 2, 3, 4};     // 2x2
+  const std::vector<std::int8_t> b = {5, 6, 7, 8};     // 2x2
+  std::vector<std::int32_t> c(4);
+  int8_gemm(a, b, 2, 2, 2, c);
+  EXPECT_EQ(c[0], 19);
+  EXPECT_EQ(c[1], 22);
+  EXPECT_EQ(c[2], 43);
+  EXPECT_EQ(c[3], 50);
+}
+
+TEST(Int8Gemm, AccumulatorHandlesExtremes) {
+  // 127 * 127 * k must not overflow int32 for realistic k.
+  const std::size_t k = 1024;
+  std::vector<std::int8_t> a(k, 127);
+  std::vector<std::int8_t> b(k, 127);
+  std::vector<std::int32_t> c(1);
+  int8_gemm(a, b, 1, k, 1, c);
+  EXPECT_EQ(c[0], 127 * 127 * static_cast<std::int32_t>(k));
+}
+
+TEST(Int8Gemm, SizeValidation) {
+  std::vector<std::int8_t> a(4), b(4);
+  std::vector<std::int32_t> c(3);  // Wrong.
+  EXPECT_THROW(int8_gemm(a, b, 2, 2, 2, c), Error);
+}
+
+TEST(DequantizeAccum, AppliesCombinedScale) {
+  const std::vector<std::int32_t> acc = {100, -50};
+  std::vector<float> out(2);
+  dequantize_accum(acc, 0.1f, 0.2f, out);
+  EXPECT_FLOAT_EQ(out[0], 2.0f);
+  EXPECT_FLOAT_EQ(out[1], -1.0f);
+}
+
+TEST(QuantizedDense, MatchesFloatDenseWithinQuantError) {
+  Rng rng(1);
+  Tensor w({8, 4});
+  w.fill_normal(rng, 0.0f, 0.5f);
+  Tensor bias({4});
+  bias.fill_normal(rng, 0.0f, 0.1f);
+  Tensor x({3, 8});
+  x.fill_normal(rng, 0.0f, 1.0f);
+
+  const QuantizedDense qd(w, bias);
+  const QuantParams act = calibrate_max_abs(x.flat());
+  const Tensor yq = qd.forward(x, act);
+
+  Tensor yf = ops::matmul(x, w);
+  ops::add_row_bias_inplace(yf, bias);
+
+  // Error bound: ~k * (step_x*|w| + step_w*|x|) — loose empirical bound.
+  for (std::size_t i = 0; i < yf.numel(); ++i)
+    EXPECT_NEAR(yq[i], yf[i], 0.15f);
+}
+
+TEST(QuantizedDense, BitCompatibleWithFakeQuantization) {
+  // int8 kernel == float path on QDQ'd operands (exactness of the scheme).
+  Rng rng(2);
+  Tensor w({6, 3});
+  w.fill_normal(rng, 0.0f, 0.5f);
+  const Tensor bias = Tensor::zeros({3});
+  Tensor x({2, 6});
+  x.fill_normal(rng, 0.0f, 1.0f);
+
+  const QuantizedDense qd(w, bias);
+  const QuantParams act = calibrate_max_abs(x.flat());
+  const Tensor y_int8 = qd.forward(x, act);
+
+  Tensor wq = w;
+  fake_quantize_inplace(wq, qd.weight_params());
+  Tensor xq = x;
+  fake_quantize_inplace(xq, act);
+  const Tensor y_fake = ops::matmul(xq, wq);
+
+  for (std::size_t i = 0; i < y_int8.numel(); ++i)
+    EXPECT_NEAR(y_int8[i], y_fake[i], 2e-5f);
+}
+
+TEST(QuantizedConv2d, MatchesFakeQuantFloatConv) {
+  // int8 conv == float conv on QDQ'd weights and QDQ'd im2col patches.
+  Rng rng(4);
+  const std::size_t in_ch = 2, out_ch = 3, kh = 3, kw = 3;
+  Tensor w({out_ch, in_ch * kh * kw});
+  w.fill_normal(rng, 0.0f, 0.5f);
+  Tensor bias({out_ch});
+  bias.fill_normal(rng, 0.0f, 0.1f);
+  Tensor x({2, in_ch, 6, 5});
+  x.fill_normal(rng, 0.0f, 1.0f);
+
+  const QuantizedConv2d qconv(w, bias, in_ch, kh, kw, 1, 1);
+  const QuantParams act = calibrate_max_abs(x.flat());
+  const Tensor y_int8 = qconv.forward(x, act);
+
+  // Reference: fake-quantized float path through im2col + matmul.
+  Tensor wq = w;
+  fake_quantize_inplace(wq, qconv.weight_params());
+  Tensor y_ref({2, out_ch, 6, 5});
+  for (std::size_t b = 0; b < 2; ++b) {
+    Tensor image({in_ch, 6, 5});
+    std::copy(x.data() + b * in_ch * 30, x.data() + (b + 1) * in_ch * 30,
+              image.data());
+    Tensor cols = ops::im2col(image, kh, kw, 1, 1);
+    fake_quantize_inplace(cols, act);
+    const Tensor prod = ops::matmul(wq, cols);
+    for (std::size_t oc = 0; oc < out_ch; ++oc)
+      for (std::size_t i = 0; i < 30; ++i)
+        y_ref.data()[b * out_ch * 30 + oc * 30 + i] =
+            prod[oc * 30 + i] + bias[oc];
+  }
+  for (std::size_t i = 0; i < y_int8.numel(); ++i)
+    EXPECT_NEAR(y_int8[i], y_ref[i], 5e-5f);
+}
+
+TEST(QuantizedConv2d, CloseToFloatConvWithinQuantError) {
+  Rng rng(5);
+  Tensor w({2, 1 * 3 * 3});
+  w.fill_normal(rng, 0.0f, 0.5f);
+  const Tensor bias = Tensor::zeros({2});
+  Tensor x({1, 1, 8, 8});
+  x.fill_normal(rng, 0.0f, 1.0f);
+  const QuantizedConv2d qconv(w, bias, 1, 3, 3, 1, 1);
+  const Tensor y = qconv.forward(x, calibrate_max_abs(x.flat()));
+  // Float reference.
+  const Tensor cols = ops::im2col(x.reshaped({1, 8, 8}), 3, 3, 1, 1);
+  const Tensor ref = ops::matmul(w, cols);
+  for (std::size_t i = 0; i < ref.numel(); ++i)
+    EXPECT_NEAR(y[i], ref[i], 0.2f);
+}
+
+TEST(QuantizedConv2d, Validation) {
+  Rng rng(6);
+  Tensor w({2, 9});
+  w.fill_normal(rng, 0.0f, 1.0f);
+  EXPECT_THROW(QuantizedConv2d(w, Tensor::zeros({3}), 1, 3, 3, 1, 1),
+               Error);  // Bias mismatch.
+  EXPECT_THROW(QuantizedConv2d(w, Tensor::zeros({2}), 2, 3, 3, 1, 1),
+               Error);  // in_ch*kh*kw mismatch.
+  const QuantizedConv2d ok(w, Tensor::zeros({2}), 1, 3, 3, 1, 1);
+  QuantParams act;
+  EXPECT_THROW(ok.forward(Tensor({1, 2, 4, 4}), act), Error);
+}
+
+TEST(QuantizedDense, InputValidation) {
+  Rng rng(3);
+  Tensor w({4, 2});
+  w.fill_normal(rng, 0.0f, 1.0f);
+  const QuantizedDense qd(w, Tensor::zeros({2}));
+  QuantParams act;
+  EXPECT_THROW(qd.forward(Tensor({1, 3}), act), Error);
+  EXPECT_THROW(QuantizedDense(w, Tensor::zeros({3})), Error);
+}
+
+}  // namespace
+}  // namespace clear::edge

@@ -1,0 +1,142 @@
+#include "edge/quantize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace clear::edge {
+namespace {
+
+TEST(Quantize, MaxAbsCalibration) {
+  const std::vector<float> data = {-2.0f, 1.0f, 0.5f};
+  const QuantParams p = calibrate_max_abs(data);
+  EXPECT_FLOAT_EQ(p.scale, 2.0f / 127.0f);
+}
+
+TEST(Quantize, MaxAbsOfZerosIsUnitScale) {
+  const std::vector<float> zeros(10, 0.0f);
+  EXPECT_FLOAT_EQ(calibrate_max_abs(zeros).scale, 1.0f);
+}
+
+TEST(Quantize, PercentileClipsOutliers) {
+  std::vector<float> data(1000, 0.1f);
+  data[0] = 100.0f;  // One huge outlier.
+  const QuantParams pct = calibrate_percentile(data, 99.0);
+  const QuantParams max = calibrate_max_abs(data);
+  EXPECT_LT(pct.scale, max.scale / 100.0f);
+}
+
+TEST(Quantize, CalibrationValidation) {
+  EXPECT_THROW(calibrate_max_abs({}), Error);
+  const std::vector<float> d = {1.0f};
+  EXPECT_THROW(calibrate_percentile(d, 0.0), Error);
+  EXPECT_THROW(calibrate_percentile(d, 101.0), Error);
+}
+
+TEST(Quantize, ValueRoundTripWithinHalfStep) {
+  QuantParams p;
+  p.scale = 0.1f;
+  for (const float v : {0.0f, 0.05f, -0.32f, 1.0f, -12.0f}) {
+    const float rt = dequantize_value(quantize_value(v, p), p);
+    EXPECT_NEAR(rt, v, 0.05f + 1e-6f);
+  }
+}
+
+TEST(Quantize, SaturatesAtInt8Range) {
+  QuantParams p;
+  p.scale = 0.1f;
+  EXPECT_EQ(quantize_value(1000.0f, p), 127);
+  EXPECT_EQ(quantize_value(-1000.0f, p), -127);
+}
+
+TEST(Quantize, TensorRoundTripErrorBounded) {
+  Rng rng(1);
+  Tensor t({1000});
+  t.fill_normal(rng, 0.0f, 1.0f);
+  const QuantParams p = calibrate_max_abs(t.flat());
+  Tensor q = t;
+  fake_quantize_inplace(q, p);
+  for (std::size_t i = 0; i < t.numel(); ++i)
+    EXPECT_NEAR(q[i], t[i], p.scale / 2.0f + 1e-6f);
+}
+
+TEST(Quantize, FakeQuantIsIdempotent) {
+  Rng rng(2);
+  Tensor t({100});
+  t.fill_normal(rng, 0.0f, 1.0f);
+  const QuantParams p = calibrate_max_abs(t.flat());
+  Tensor once = t;
+  fake_quantize_inplace(once, p);
+  Tensor twice = once;
+  fake_quantize_inplace(twice, p);
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(once[i], twice[i]);
+}
+
+TEST(Quantize, QuantizeTensorMatchesScalarPath) {
+  const Tensor t({3}, {0.5f, -0.25f, 1.0f});
+  QuantParams p;
+  p.scale = 1.0f / 127.0f;
+  const auto q = quantize_tensor(t, p);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_EQ(q[i], quantize_value(t[i], p));
+}
+
+TEST(Fp16, ExactValuesSurvive) {
+  for (const float v : {0.0f, 1.0f, -1.0f, 0.5f, 2048.0f, -0.125f}) {
+    EXPECT_EQ(round_fp16(v), v);
+  }
+}
+
+TEST(Fp16, RoundingErrorBounded) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = static_cast<float>(rng.normal(0.0, 10.0));
+    const float r = round_fp16(v);
+    // Half precision: ~2^-11 relative error.
+    EXPECT_NEAR(r, v, std::abs(v) * 1.0e-3f + 1e-7f);
+  }
+}
+
+TEST(Fp16, SubnormalsHandled) {
+  const float tiny = 3.0e-5f;  // Below the fp16 normal range (6.1e-5).
+  const float r = round_fp16(tiny);
+  EXPECT_GE(r, 0.0f);
+  EXPECT_NEAR(r, tiny, 6e-8f + tiny * 0.05f);
+}
+
+TEST(Fp16, UnderflowToZero) {
+  EXPECT_EQ(round_fp16(1.0e-9f), 0.0f);
+}
+
+TEST(Fp16, OverflowToInfinity) {
+  EXPECT_TRUE(std::isinf(round_fp16(1.0e6f)));
+  EXPECT_TRUE(std::isinf(round_fp16(-1.0e6f)));
+  EXPECT_LT(round_fp16(-1.0e6f), 0.0f);
+}
+
+TEST(Fp16, MaxHalfValueSurvives) {
+  EXPECT_EQ(round_fp16(65504.0f), 65504.0f);
+}
+
+TEST(Fp16, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and the next half value
+  // 1 + 2^-10; RNE rounds to the even mantissa (1.0).
+  const float halfway = 1.0f + std::pow(2.0f, -11.0f);
+  EXPECT_EQ(round_fp16(halfway), 1.0f);
+}
+
+TEST(Fp16, TensorInplace) {
+  Rng rng(4);
+  Tensor t({100});
+  t.fill_normal(rng, 0.0f, 1.0f);
+  Tensor ref = t;
+  fp16_inplace(t);
+  for (std::size_t i = 0; i < t.numel(); ++i)
+    EXPECT_NEAR(t[i], ref[i], std::abs(ref[i]) * 1e-3f + 1e-7f);
+}
+
+}  // namespace
+}  // namespace clear::edge

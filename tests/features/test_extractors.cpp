@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "features/bvp_features.hpp"
+#include "features/gsr_features.hpp"
+#include "features/skt_features.hpp"
+
+namespace clear::features {
+namespace {
+
+std::vector<double> synthetic_gsr(std::size_t n, double fs, double scr_every_s,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n, 5.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = i / fs;
+    // SCR events at fixed cadence.
+    for (double t0 = 2.0; t0 < t; t0 += scr_every_s) {
+      const double dt = t - t0;
+      if (dt < 20.0)
+        x[i] += 0.5 * (1.0 - std::exp(-dt / 0.7)) * std::exp(-dt / 4.0);
+    }
+    x[i] += rng.normal(0.0, 0.01);
+  }
+  return x;
+}
+
+std::vector<double> synthetic_bvp(std::size_t n, double fs, double hr_hz) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double phase = std::fmod(hr_hz * i / fs, 1.0);
+    x[i] = std::exp(-std::pow((phase - 0.25) / 0.11, 2.0)) +
+           0.38 * std::exp(-std::pow((phase - 0.6) / 0.16, 2.0)) - 0.3;
+  }
+  return x;
+}
+
+TEST(GsrFeatures, CountMatchesContract) {
+  EXPECT_EQ(gsr_feature_names().size(), kGsrFeatureCount);
+  const auto x = synthetic_gsr(160, 8.0, 5.0, 1);
+  EXPECT_EQ(extract_gsr_features(x, 8.0).size(), kGsrFeatureCount);
+}
+
+TEST(GsrFeatures, NamesAreUniqueAndPrefixed) {
+  const auto& names = gsr_feature_names();
+  std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), names.size());
+  for (const auto& n : names) EXPECT_EQ(n.rfind("gsr_", 0), 0u);
+}
+
+TEST(GsrFeatures, MeanFeatureMatchesSignalMean) {
+  const std::vector<double> flat(80, 4.0);
+  const auto f = extract_gsr_features(flat, 8.0);
+  EXPECT_NEAR(f[0], 4.0, 1e-9);  // gsr_mean.
+  EXPECT_NEAR(f[1], 0.0, 1e-9);  // gsr_std.
+}
+
+TEST(GsrFeatures, ScrCountTracksEventDensity) {
+  const auto sparse = synthetic_gsr(800, 8.0, 20.0, 2);
+  const auto dense = synthetic_gsr(800, 8.0, 4.0, 2);
+  const auto idx = 22u;  // gsr_scr_count.
+  EXPECT_EQ(gsr_feature_names()[idx], "gsr_scr_count");
+  const double sparse_count = extract_gsr_features(sparse, 8.0)[idx];
+  const double dense_count = extract_gsr_features(dense, 8.0)[idx];
+  EXPECT_GT(dense_count, sparse_count);
+}
+
+TEST(GsrFeatures, RejectsTooShortOrBadRate) {
+  EXPECT_THROW(extract_gsr_features(std::vector<double>(4, 1.0), 8.0), Error);
+  EXPECT_THROW(extract_gsr_features(std::vector<double>(80, 1.0), 0.0), Error);
+}
+
+TEST(BvpFeatures, CountMatchesContract) {
+  EXPECT_EQ(bvp_feature_names().size(), kBvpFeatureCount);
+  const auto x = synthetic_bvp(640, 64.0, 1.2);
+  EXPECT_EQ(extract_bvp_features(x, 64.0).size(), kBvpFeatureCount);
+}
+
+TEST(BvpFeatures, NamesAreUnique) {
+  const auto& names = bvp_feature_names();
+  std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), names.size());
+}
+
+TEST(BvpFeatures, RecoversHeartRate) {
+  const double hr_hz = 1.25;  // 75 bpm.
+  const auto x = synthetic_bvp(64 * 15, 64.0, hr_hz);
+  const auto f = extract_bvp_features(x, 64.0);
+  const auto& names = bvp_feature_names();
+  const auto hr_idx = static_cast<std::size_t>(
+      std::find(names.begin(), names.end(), "hr_mean") - names.begin());
+  EXPECT_NEAR(f[hr_idx], hr_hz * 60.0, 4.0);
+  const auto ibi_idx = static_cast<std::size_t>(
+      std::find(names.begin(), names.end(), "ibi_mean") - names.begin());
+  EXPECT_NEAR(f[ibi_idx], 1.0 / hr_hz, 0.05);
+}
+
+TEST(BvpFeatures, BeatCountScalesWithRate) {
+  const auto slow = synthetic_bvp(64 * 15, 64.0, 1.0);
+  const auto fast = synthetic_bvp(64 * 15, 64.0, 1.6);
+  const auto& names = bvp_feature_names();
+  const auto idx = static_cast<std::size_t>(
+      std::find(names.begin(), names.end(), "bvp_n_beats") - names.begin());
+  EXPECT_GT(extract_bvp_features(fast, 64.0)[idx],
+            extract_bvp_features(slow, 64.0)[idx]);
+}
+
+TEST(BvpFeatures, HandlesFlatlineWithoutCrashing) {
+  // Pathological input: no detectable beats. Everything HRV-ish becomes 0.
+  const std::vector<double> flat(640, 0.5);
+  const auto f = extract_bvp_features(flat, 64.0);
+  EXPECT_EQ(f.size(), kBvpFeatureCount);
+  for (const double v : f) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(BvpFeatures, RejectsSubSecondWindow) {
+  EXPECT_THROW(extract_bvp_features(std::vector<double>(30, 1.0), 64.0),
+               Error);
+}
+
+TEST(SktFeatures, CountAndValues) {
+  EXPECT_EQ(skt_feature_names().size(), kSktFeatureCount);
+  std::vector<double> x(40);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = 33.0 + 0.01 * static_cast<double>(i);
+  const auto f = extract_skt_features(x, 4.0);
+  ASSERT_EQ(f.size(), kSktFeatureCount);
+  EXPECT_NEAR(f[0], 33.0 + 0.01 * 19.5, 1e-9);  // mean
+  EXPECT_NEAR(f[2], 0.01 * 4.0, 1e-9);          // slope per second
+  EXPECT_NEAR(f[3], 33.0, 1e-9);                // min
+  EXPECT_NEAR(f[4], 33.0 + 0.39, 1e-9);         // max
+}
+
+TEST(SktFeatures, RejectsDegenerate) {
+  EXPECT_THROW(extract_skt_features(std::vector<double>{1.0}, 4.0), Error);
+  EXPECT_THROW(extract_skt_features(std::vector<double>{1.0, 2.0}, 0.0),
+               Error);
+}
+
+}  // namespace
+}  // namespace clear::features

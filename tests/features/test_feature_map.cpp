@@ -1,0 +1,141 @@
+#include "features/feature_map.hpp"
+
+#include "features/bvp_features.hpp"
+#include "features/gsr_features.hpp"
+#include "features/skt_features.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace clear::features {
+namespace {
+
+PhysioWindow make_window(std::uint64_t seed) {
+  Rng rng(seed);
+  PhysioWindow w;
+  w.bvp_rate = 64.0;
+  w.gsr_rate = 8.0;
+  w.skt_rate = 4.0;
+  w.bvp.resize(640);
+  for (std::size_t i = 0; i < w.bvp.size(); ++i)
+    w.bvp[i] = std::sin(2.0 * M_PI * 1.2 * i / 64.0) + rng.normal(0.0, 0.05);
+  w.gsr.resize(80);
+  for (auto& v : w.gsr) v = 5.0 + rng.normal(0.0, 0.1);
+  w.skt.resize(40);
+  for (auto& v : w.skt) v = 33.0 + rng.normal(0.0, 0.02);
+  return w;
+}
+
+TEST(FeatureMap, TotalFeatureCountIs123) {
+  EXPECT_EQ(kTotalFeatureCount, 123u);
+  EXPECT_EQ(all_feature_names().size(), 123u);
+  EXPECT_EQ(kGsrFeatureCount + kBvpFeatureCount + kSktFeatureCount, 123u);
+}
+
+TEST(FeatureMap, AllNamesUnique) {
+  const auto& names = all_feature_names();
+  std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), names.size());
+}
+
+TEST(FeatureMap, ExtractWindowProducesFiniteVector) {
+  const auto f = extract_window_features(make_window(1));
+  ASSERT_EQ(f.size(), kTotalFeatureCount);
+  for (const double v : f) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(FeatureMap, BlockOrderIsGsrBvpSkt) {
+  const auto& names = all_feature_names();
+  EXPECT_EQ(names.front().rfind("gsr_", 0), 0u);
+  EXPECT_EQ(names[kGsrFeatureCount].rfind("bvp_", 0), 0u);
+  EXPECT_EQ(names.back().rfind("skt_", 0), 0u);
+}
+
+TEST(FeatureMap, BuildMapShapeAndLayout) {
+  std::vector<std::vector<double>> cols = {{1, 2, 3}, {4, 5, 6}};
+  const Tensor m = build_feature_map(cols);
+  EXPECT_EQ(m.extent(0), 3u);  // F rows.
+  EXPECT_EQ(m.extent(1), 2u);  // W columns.
+  EXPECT_EQ(m.at2(0, 0), 1.0f);
+  EXPECT_EQ(m.at2(0, 1), 4.0f);
+  EXPECT_EQ(m.at2(2, 1), 6.0f);
+}
+
+TEST(FeatureMap, BuildMapRejectsRaggedColumns) {
+  EXPECT_THROW(build_feature_map({{1, 2}, {1, 2, 3}}), Error);
+  EXPECT_THROW(build_feature_map({}), Error);
+}
+
+TEST(FeatureMap, MapMeanAveragesColumns) {
+  const Tensor m = build_feature_map({{1, 2}, {3, 4}});
+  const auto mean = feature_map_mean(m);
+  ASSERT_EQ(mean.size(), 2u);
+  EXPECT_DOUBLE_EQ(mean[0], 2.0);
+  EXPECT_DOUBLE_EQ(mean[1], 3.0);
+}
+
+TEST(Normalizer, ZeroMeanUnitVariance) {
+  std::vector<std::vector<double>> data = {{1, 10}, {3, 30}, {5, 50}};
+  FeatureNormalizer norm;
+  norm.fit(data);
+  EXPECT_TRUE(norm.fitted());
+  std::vector<double> v = {3.0, 30.0};
+  norm.apply(v);
+  EXPECT_NEAR(v[0], 0.0, 1e-9);
+  EXPECT_NEAR(v[1], 0.0, 1e-9);
+  std::vector<double> hi = {5.0, 50.0};
+  norm.apply(hi);
+  EXPECT_NEAR(hi[0], std::sqrt(3.0 / 2.0), 1e-9);
+}
+
+TEST(Normalizer, ConstantFeatureDoesNotExplode) {
+  std::vector<std::vector<double>> data = {{2.0}, {2.0}, {2.0}};
+  FeatureNormalizer norm;
+  norm.fit(data);
+  std::vector<double> v = {7.0};
+  norm.apply(v);
+  EXPECT_NEAR(v[0], 5.0, 1e-9);  // (7 - 2) / 1 (std floor).
+}
+
+TEST(Normalizer, FitMapsUsesEveryColumn) {
+  const Tensor m1 = build_feature_map({{0.0}, {10.0}});
+  const Tensor m2 = build_feature_map({{20.0}, {30.0}});
+  FeatureNormalizer norm;
+  norm.fit_maps({m1, m2});
+  EXPECT_DOUBLE_EQ(norm.mean()[0], 15.0);
+}
+
+TEST(Normalizer, ApplyMapNormalizesInPlace) {
+  Tensor m = build_feature_map({{0.0}, {2.0}});
+  FeatureNormalizer norm;
+  norm.fit({{0.0}, {2.0}});
+  norm.apply_map(m);
+  EXPECT_NEAR(m.at2(0, 0), -1.0, 1e-6);
+  EXPECT_NEAR(m.at2(0, 1), 1.0, 1e-6);
+}
+
+TEST(Normalizer, DimensionMismatchThrows) {
+  FeatureNormalizer norm;
+  norm.fit({{1.0, 2.0}});
+  std::vector<double> v = {1.0};
+  EXPECT_THROW(norm.apply(v), Error);
+  FeatureNormalizer unfitted;
+  EXPECT_THROW(unfitted.apply(v), Error);
+}
+
+TEST(FeatureMap, DifferentSignalsGiveDifferentFeatures) {
+  const auto f1 = extract_window_features(make_window(1));
+  const auto f2 = extract_window_features(make_window(99));
+  std::size_t differing = 0;
+  for (std::size_t i = 0; i < f1.size(); ++i)
+    if (std::abs(f1[i] - f2[i]) > 1e-12) ++differing;
+  EXPECT_GT(differing, 40u);
+}
+
+}  // namespace
+}  // namespace clear::features

@@ -1,0 +1,126 @@
+#include "features/nonlinear.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace clear::features {
+namespace {
+
+std::vector<double> white_noise(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.normal();
+  return x;
+}
+
+std::vector<double> sine(std::size_t n, double period) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = std::sin(2.0 * M_PI * i / period);
+  return x;
+}
+
+TEST(SampleEntropy, NoiseMoreEntropicThanSine) {
+  const auto noise = white_noise(200, 1);
+  const auto regular = sine(200, 20.0);
+  const double r_noise = 0.2 * stats::stddev(noise);
+  const double r_sine = 0.2 * stats::stddev(regular);
+  EXPECT_GT(sample_entropy(noise, 2, r_noise),
+            sample_entropy(regular, 2, r_sine));
+}
+
+TEST(SampleEntropy, DegenerateInputsReturnZero) {
+  EXPECT_DOUBLE_EQ(sample_entropy(std::vector<double>{1, 2}, 2, 0.1), 0.0);
+  EXPECT_DOUBLE_EQ(sample_entropy(white_noise(50, 2), 2, 0.0), 0.0);
+}
+
+TEST(SampleEntropy, ConstantSeriesIsZeroEntropy) {
+  const std::vector<double> c(50, 1.0);
+  // All templates match: A == B -> -ln(1) == 0.
+  EXPECT_NEAR(sample_entropy(c, 2, 0.1), 0.0, 1e-12);
+}
+
+TEST(ApproximateEntropy, NoiseMoreEntropicThanSine) {
+  const auto noise = white_noise(150, 3);
+  const auto regular = sine(150, 15.0);
+  EXPECT_GT(approximate_entropy(noise, 2, 0.2 * stats::stddev(noise)),
+            approximate_entropy(regular, 2, 0.2 * stats::stddev(regular)));
+}
+
+TEST(Dfa, WhiteNoiseAlphaNearHalf) {
+  const auto noise = white_noise(2000, 5);
+  EXPECT_NEAR(dfa_alpha1(noise), 0.5, 0.12);
+}
+
+TEST(Dfa, IntegratedNoiseAlphaNearOnePointFive) {
+  const auto noise = white_noise(2000, 7);
+  std::vector<double> walk(noise.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < noise.size(); ++i) {
+    acc += noise[i];
+    walk[i] = acc;
+  }
+  EXPECT_GT(dfa_alpha1(walk), 1.1);
+}
+
+TEST(Dfa, TooShortReturnsZero) {
+  EXPECT_DOUBLE_EQ(dfa_alpha1(std::vector<double>(10, 1.0)), 0.0);
+}
+
+TEST(Poincare, KnownRelationToVariances) {
+  const auto x = white_noise(500, 9);
+  const Poincare p = poincare(x);
+  const auto d = stats::diff(x);
+  EXPECT_NEAR(p.sd1, std::sqrt(stats::variance(d) / 2.0), 1e-9);
+  EXPECT_GT(p.sd2, 0.0);
+  EXPECT_NEAR(p.ratio, p.sd1 / p.sd2, 1e-9);
+  EXPECT_NEAR(p.ellipse_area, M_PI * p.sd1 * p.sd2, 1e-9);
+  EXPECT_NEAR(p.csi * p.ratio, 1.0, 1e-6);
+}
+
+TEST(Poincare, SmoothSeriesHasLowSd1OverSd2) {
+  // A slow sine: successive differences tiny relative to overall spread.
+  const auto x = sine(300, 100.0);
+  const Poincare p = poincare(x);
+  EXPECT_LT(p.ratio, 0.2);
+}
+
+TEST(Poincare, DegenerateReturnsZeros) {
+  const Poincare p = poincare(std::vector<double>{1.0, 2.0});
+  EXPECT_DOUBLE_EQ(p.sd1, 0.0);
+  EXPECT_DOUBLE_EQ(p.sd2, 0.0);
+}
+
+TEST(HigherOrderCrossings, IncreaseWithOrderForNoise) {
+  const auto noise = white_noise(1000, 11);
+  const auto h0 = higher_order_crossings(noise, 0);
+  const auto h2 = higher_order_crossings(noise, 2);
+  EXPECT_GT(h2, h0);
+}
+
+TEST(HigherOrderCrossings, SineCrossingCountMatchesPeriod) {
+  const auto x = sine(1000, 100.0);  // 10 periods -> ~20 crossings.
+  EXPECT_NEAR(static_cast<double>(higher_order_crossings(x, 0)), 20.0, 2.0);
+}
+
+TEST(RecurrenceRate, ConstantIsFullyRecurrent) {
+  EXPECT_DOUBLE_EQ(recurrence_rate(std::vector<double>(20, 3.0), 0.1), 1.0);
+}
+
+TEST(RecurrenceRate, SpreadSeriesLessRecurrent) {
+  std::vector<double> spread(50);
+  for (std::size_t i = 0; i < spread.size(); ++i) spread[i] = i * 10.0;
+  EXPECT_LT(recurrence_rate(spread, 0.5), 0.05);
+}
+
+TEST(RecurrenceRate, DegenerateReturnsZero) {
+  EXPECT_DOUBLE_EQ(recurrence_rate(std::vector<double>{1.0}, 0.1), 0.0);
+  EXPECT_DOUBLE_EQ(recurrence_rate(std::vector<double>{1.0, 2.0}, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace clear::features

@@ -1,0 +1,84 @@
+// Numerical gradient checking for Layer implementations.
+//
+// For a random linear functional L(y) = <p, y> of the layer output, the
+// analytic gradients produced by backward() are compared against central
+// finite differences of L w.r.t. every input element and every parameter
+// element. Layers under test must be deterministic between forward calls
+// (Dropout is checked in eval mode).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "nn/layer.hpp"
+#include "tensor/ops.hpp"
+
+namespace clear::nn::testing {
+
+inline double projected_loss(Layer& layer, const Tensor& input,
+                             const Tensor& projection) {
+  const Tensor out = layer.forward(input);
+  double loss = 0.0;
+  for (std::size_t i = 0; i < out.numel(); ++i)
+    loss += static_cast<double>(out[i]) * projection[i];
+  return loss;
+}
+
+/// Check d<L>/d<input> and d<L>/d<params> against finite differences.
+inline void check_layer_gradients(Layer& layer, Tensor input,
+                                  std::uint64_t seed, float eps = 2e-2f,
+                                  double tolerance = 4e-2) {
+  Rng rng(seed);
+  // Forward once to size the projection.
+  const Tensor out0 = layer.forward(input);
+  Tensor projection(out0.shape());
+  projection.fill_uniform(rng, -1.0f, 1.0f);
+
+  // Analytic gradients.
+  for (Param* p : layer.parameters()) p->grad.zero();
+  (void)layer.forward(input);
+  const Tensor grad_input = layer.backward(projection);
+  ASSERT_TRUE(grad_input.same_shape(input));
+
+  auto compare = [&](double analytic, double numeric, const char* what,
+                     std::size_t idx) {
+    const double scale =
+        std::max({std::abs(analytic), std::abs(numeric), 1.0});
+    EXPECT_NEAR(analytic, numeric, tolerance * scale)
+        << what << " element " << idx;
+  };
+
+  // Input gradient.
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    const float saved = input[i];
+    input[i] = saved + eps;
+    const double lp = projected_loss(layer, input, projection);
+    input[i] = saved - eps;
+    const double lm = projected_loss(layer, input, projection);
+    input[i] = saved;
+    compare(grad_input[i], (lp - lm) / (2.0 * eps), "input", i);
+  }
+
+  // Parameter gradients (snapshot analytic grads first: forward calls above
+  // may not touch them, but backward accumulated into them already).
+  std::vector<Tensor> analytic_grads;
+  for (Param* p : layer.parameters()) analytic_grads.push_back(p->grad);
+  std::size_t pi = 0;
+  for (Param* p : layer.parameters()) {
+    for (std::size_t i = 0; i < p->value.numel(); ++i) {
+      const float saved = p->value[i];
+      p->value[i] = saved + eps;
+      const double lp = projected_loss(layer, input, projection);
+      p->value[i] = saved - eps;
+      const double lm = projected_loss(layer, input, projection);
+      p->value[i] = saved;
+      compare(analytic_grads[pi][i], (lp - lm) / (2.0 * eps),
+              p->name.c_str(), i);
+    }
+    ++pi;
+  }
+}
+
+}  // namespace clear::nn::testing

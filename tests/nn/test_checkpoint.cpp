@@ -1,0 +1,113 @@
+#include "nn/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "nn/model.hpp"
+
+namespace clear::nn {
+namespace {
+
+CnnLstmConfig tiny_model_config() {
+  CnnLstmConfig c;
+  c.feature_dim = 16;
+  c.window_count = 8;
+  c.conv1_channels = 2;
+  c.conv2_channels = 3;
+  c.lstm_hidden = 4;
+  return c;
+}
+
+TEST(Checkpoint, StreamRoundTripRestoresWeights) {
+  Rng r1(1), r2(2);
+  auto a = build_cnn_lstm(tiny_model_config(), r1);
+  auto b = build_cnn_lstm(tiny_model_config(), r2);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  save_checkpoint(ss, *a);
+  load_checkpoint(ss, *b);
+  const auto pa = a->parameters();
+  const auto pb = b->parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    for (std::size_t j = 0; j < pa[i]->value.numel(); ++j)
+      EXPECT_EQ(pa[i]->value[j], pb[i]->value[j]);
+}
+
+TEST(Checkpoint, RestoredModelGivesIdenticalOutputs) {
+  Rng r1(3), r2(4), rx(5);
+  auto a = build_cnn_lstm(tiny_model_config(), r1);
+  auto b = build_cnn_lstm(tiny_model_config(), r2);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  save_checkpoint(ss, *a);
+  load_checkpoint(ss, *b);
+  a->set_training(false);
+  b->set_training(false);
+  Tensor x({2, 1, 16, 8});
+  x.fill_normal(rx, 0.0f, 1.0f);
+  const Tensor ya = a->forward(x);
+  const Tensor yb = b->forward(x);
+  for (std::size_t i = 0; i < ya.numel(); ++i) EXPECT_EQ(ya[i], yb[i]);
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+  namespace fs = std::filesystem;
+  Rng r1(6), r2(7);
+  auto a = build_cnn_lstm(tiny_model_config(), r1);
+  auto b = build_cnn_lstm(tiny_model_config(), r2);
+  const std::string path =
+      (fs::temp_directory_path() / "clear_ckpt_test.bin").string();
+  save_checkpoint_file(path, *a);
+  load_checkpoint_file(path, *b);
+  EXPECT_EQ(a->parameters()[0]->value[0], b->parameters()[0]->value[0]);
+  fs::remove(path);
+}
+
+TEST(Checkpoint, ArchitectureMismatchRejected) {
+  Rng r1(8), r2(9);
+  auto a = build_cnn_lstm(tiny_model_config(), r1);
+  CnnLstmConfig other = tiny_model_config();
+  other.lstm_hidden = 5;  // Different shape.
+  auto b = build_cnn_lstm(other, r2);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  save_checkpoint(ss, *a);
+  EXPECT_THROW(load_checkpoint(ss, *b), Error);
+}
+
+TEST(Checkpoint, GarbageStreamRejected) {
+  Rng rng(10);
+  auto m = build_cnn_lstm(tiny_model_config(), rng);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  ss << "definitely not a checkpoint";
+  EXPECT_THROW(load_checkpoint(ss, *m), Error);
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  Rng rng(11);
+  auto m = build_cnn_lstm(tiny_model_config(), rng);
+  EXPECT_THROW(load_checkpoint_file("/nonexistent/ckpt.bin", *m), Error);
+}
+
+TEST(Snapshot, RestoreBringsWeightsBack) {
+  Rng rng(12);
+  auto m = build_cnn_lstm(tiny_model_config(), rng);
+  const std::vector<Tensor> snap = snapshot_parameters(*m);
+  // Clobber all weights.
+  for (Param* p : m->parameters()) p->value.fill(9.0f);
+  restore_parameters(*m, snap);
+  const auto params = m->parameters();
+  for (std::size_t i = 0; i < params.size(); ++i)
+    for (std::size_t j = 0; j < params[i]->value.numel(); ++j)
+      EXPECT_EQ(params[i]->value[j], snap[i][j]);
+}
+
+TEST(Snapshot, SizeMismatchRejected) {
+  Rng rng(13);
+  auto m = build_cnn_lstm(tiny_model_config(), rng);
+  EXPECT_THROW(restore_parameters(*m, {}), Error);
+}
+
+}  // namespace
+}  // namespace clear::nn

@@ -1,0 +1,336 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "gradcheck.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv.hpp"
+#include "nn/dense.hpp"
+#include "nn/pool.hpp"
+#include "nn/sequential.hpp"
+
+namespace clear::nn {
+namespace {
+
+Tensor random_tensor(std::vector<std::size_t> shape, std::uint64_t seed,
+                     float lo = -1.0f, float hi = 1.0f) {
+  Rng rng(seed);
+  Tensor t(std::move(shape));
+  t.fill_uniform(rng, lo, hi);
+  return t;
+}
+
+// ---- Dense -----------------------------------------------------------------
+
+TEST(Dense, ForwardMatchesManualMatmul) {
+  Rng rng(1);
+  Dense layer(3, 2, rng);
+  const Tensor x = random_tensor({4, 3}, 2);
+  const Tensor y = layer.forward(x);
+  EXPECT_EQ(y.extent(0), 4u);
+  EXPECT_EQ(y.extent(1), 2u);
+}
+
+TEST(Dense, GradCheck) {
+  Rng rng(3);
+  Dense layer(4, 3, rng);
+  testing::check_layer_gradients(layer, random_tensor({3, 4}, 4), 5);
+}
+
+TEST(Dense, RejectsWrongInputWidth) {
+  Rng rng(5);
+  Dense layer(3, 2, rng);
+  EXPECT_THROW(layer.forward(Tensor({2, 4})), Error);
+}
+
+TEST(Dense, BackwardBeforeForwardThrows) {
+  Rng rng(6);
+  Dense layer(3, 2, rng);
+  EXPECT_THROW(layer.backward(Tensor({1, 2})), Error);
+}
+
+TEST(Dense, ParametersExposeWeightAndBias) {
+  Rng rng(7);
+  Dense layer(3, 2, rng);
+  const auto params = layer.parameters();
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0]->value.numel(), 6u);
+  EXPECT_EQ(params[1]->value.numel(), 2u);
+}
+
+// ---- ReLU ------------------------------------------------------------------
+
+TEST(ReLU, ClampsNegatives) {
+  ReLU relu;
+  const Tensor x({4}, {-1.0f, 0.0f, 0.5f, 2.0f});
+  const Tensor y = relu.forward(x);
+  EXPECT_EQ(y[0], 0.0f);
+  EXPECT_EQ(y[1], 0.0f);
+  EXPECT_EQ(y[2], 0.5f);
+  EXPECT_EQ(y[3], 2.0f);
+}
+
+TEST(ReLU, BackwardMasksGradient) {
+  ReLU relu;
+  const Tensor x({3}, {-1.0f, 1.0f, 2.0f});
+  (void)relu.forward(x);
+  const Tensor g = relu.backward(Tensor({3}, {5.0f, 5.0f, 5.0f}));
+  EXPECT_EQ(g[0], 0.0f);
+  EXPECT_EQ(g[1], 5.0f);
+  EXPECT_EQ(g[2], 5.0f);
+}
+
+TEST(ReLU, GradCheckAwayFromKink) {
+  ReLU relu;
+  Tensor x = random_tensor({2, 5}, 8);
+  // Push values away from zero so finite differences are clean.
+  for (float& v : x.flat()) v += (v >= 0 ? 0.5f : -0.5f);
+  testing::check_layer_gradients(relu, x, 9);
+}
+
+// ---- Dropout ---------------------------------------------------------------
+
+TEST(Dropout, IdentityInEvalMode) {
+  Rng rng(10);
+  Dropout drop(0.5, rng);
+  drop.set_training(false);
+  const Tensor x = random_tensor({4, 4}, 11);
+  const Tensor y = drop.forward(x);
+  for (std::size_t i = 0; i < x.numel(); ++i) EXPECT_EQ(y[i], x[i]);
+}
+
+TEST(Dropout, TrainingZerosRoughlyRateFraction) {
+  Rng rng(12);
+  Dropout drop(0.3, rng);
+  drop.set_training(true);
+  const Tensor x = Tensor::ones({10000});
+  const Tensor y = drop.forward(x);
+  std::size_t zeros = 0;
+  for (const float v : y.flat())
+    if (v == 0.0f) ++zeros;
+  EXPECT_NEAR(static_cast<double>(zeros) / 10000.0, 0.3, 0.03);
+}
+
+TEST(Dropout, SurvivorsScaledToPreserveExpectation) {
+  Rng rng(13);
+  Dropout drop(0.25, rng);
+  drop.set_training(true);
+  const Tensor x = Tensor::ones({10000});
+  const Tensor y = drop.forward(x);
+  double sum = 0.0;
+  for (const float v : y.flat()) sum += v;
+  EXPECT_NEAR(sum / 10000.0, 1.0, 0.05);
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  Rng rng(14);
+  Dropout drop(0.5, rng);
+  drop.set_training(true);
+  const Tensor x = Tensor::ones({100});
+  const Tensor y = drop.forward(x);
+  const Tensor g = drop.backward(Tensor::ones({100}));
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(g[i], y[i]);
+}
+
+TEST(Dropout, RejectsBadRate) {
+  Rng rng(15);
+  EXPECT_THROW(Dropout(1.0, rng), Error);
+  EXPECT_THROW(Dropout(-0.1, rng), Error);
+}
+
+// ---- Flatten / ToSequence -----------------------------------------------------
+
+TEST(Flatten, ShapeRoundTrip) {
+  Flatten flat;
+  const Tensor x = random_tensor({2, 3, 4}, 16);
+  const Tensor y = flat.forward(x);
+  EXPECT_EQ(y.extent(0), 2u);
+  EXPECT_EQ(y.extent(1), 12u);
+  const Tensor g = flat.backward(y);
+  EXPECT_TRUE(g.same_shape(x));
+}
+
+TEST(ToSequence, LayoutIsTimeMajor) {
+  ToSequence seq;
+  Tensor x({1, 2, 3, 4});  // [N=1, C=2, H=3, W=4]
+  for (std::size_t i = 0; i < x.numel(); ++i) x[i] = static_cast<float>(i);
+  const Tensor y = seq.forward(x);
+  EXPECT_EQ(y.extent(0), 1u);
+  EXPECT_EQ(y.extent(1), 4u);  // T = W.
+  EXPECT_EQ(y.extent(2), 6u);  // D = C*H.
+  // y[0, t, c*H + h] == x[0, c, h, t].
+  for (std::size_t t = 0; t < 4; ++t)
+    for (std::size_t c = 0; c < 2; ++c)
+      for (std::size_t h = 0; h < 3; ++h)
+        EXPECT_EQ(y.at3(0, t, c * 3 + h), x.at4(0, c, h, t));
+}
+
+TEST(ToSequence, BackwardInvertsForward) {
+  ToSequence seq;
+  const Tensor x = random_tensor({2, 3, 5, 4}, 17);
+  const Tensor y = seq.forward(x);
+  const Tensor back = seq.backward(y);
+  for (std::size_t i = 0; i < x.numel(); ++i) EXPECT_EQ(back[i], x[i]);
+}
+
+// ---- Conv2d ----------------------------------------------------------------
+
+TEST(Conv2d, OutputShapeWithPadding) {
+  Rng rng(18);
+  Conv2d conv(2, 4, 3, 3, 1, 1, rng);
+  const Tensor x = random_tensor({3, 2, 8, 6}, 19);
+  const Tensor y = conv.forward(x);
+  EXPECT_EQ(y.extent(0), 3u);
+  EXPECT_EQ(y.extent(1), 4u);
+  EXPECT_EQ(y.extent(2), 8u);
+  EXPECT_EQ(y.extent(3), 6u);
+}
+
+TEST(Conv2d, IdentityKernelReproducesInput) {
+  Rng rng(20);
+  Conv2d conv(1, 1, 1, 1, 1, 0, rng);
+  // Set the 1x1 kernel weight to 1, bias to 0.
+  conv.parameters()[0]->value[0] = 1.0f;
+  conv.parameters()[1]->value[0] = 0.0f;
+  const Tensor x = random_tensor({2, 1, 4, 4}, 21);
+  const Tensor y = conv.forward(x);
+  for (std::size_t i = 0; i < x.numel(); ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(Conv2d, BiasShiftsAllOutputs) {
+  Rng rng(22);
+  Conv2d conv(1, 1, 3, 3, 1, 1, rng);
+  const Tensor x = Tensor::zeros({1, 1, 4, 4});
+  conv.parameters()[1]->value[0] = 2.5f;
+  const Tensor y = conv.forward(x);
+  for (const float v : y.flat()) EXPECT_FLOAT_EQ(v, 2.5f);
+}
+
+TEST(Conv2d, GradCheck) {
+  Rng rng(23);
+  Conv2d conv(2, 3, 3, 3, 1, 1, rng);
+  testing::check_layer_gradients(conv, random_tensor({2, 2, 5, 4}, 24), 25);
+}
+
+TEST(Conv2d, GradCheckStride2NoPad) {
+  Rng rng(26);
+  Conv2d conv(1, 2, 3, 3, 2, 0, rng);
+  testing::check_layer_gradients(conv, random_tensor({1, 1, 7, 7}, 27), 28);
+}
+
+TEST(Conv2d, RejectsWrongChannelCount) {
+  Rng rng(29);
+  Conv2d conv(2, 4, 3, 3, 1, 1, rng);
+  EXPECT_THROW(conv.forward(Tensor({1, 3, 5, 5})), Error);
+}
+
+// ---- MaxPool2d -------------------------------------------------------------
+
+TEST(MaxPool2d, PicksWindowMaxima) {
+  MaxPool2d pool(2, 2);
+  Tensor x({1, 1, 2, 4}, {1, 5, 2, 0, 3, 4, 1, 7});
+  const Tensor y = pool.forward(x);
+  EXPECT_EQ(y.extent(2), 1u);
+  EXPECT_EQ(y.extent(3), 2u);
+  EXPECT_EQ(y.at4(0, 0, 0, 0), 5.0f);
+  EXPECT_EQ(y.at4(0, 0, 0, 1), 7.0f);
+}
+
+TEST(MaxPool2d, DropsPartialWindows) {
+  MaxPool2d pool(2, 2);
+  const Tensor x = random_tensor({1, 1, 5, 7}, 30);
+  const Tensor y = pool.forward(x);
+  EXPECT_EQ(y.extent(2), 2u);
+  EXPECT_EQ(y.extent(3), 3u);
+}
+
+TEST(MaxPool2d, BackwardRoutesToArgmax) {
+  MaxPool2d pool(2, 2);
+  Tensor x({1, 1, 2, 2}, {1, 4, 2, 3});
+  (void)pool.forward(x);
+  const Tensor g = pool.backward(Tensor({1, 1, 1, 1}, {10.0f}));
+  EXPECT_EQ(g[0], 0.0f);
+  EXPECT_EQ(g[1], 10.0f);
+  EXPECT_EQ(g[2], 0.0f);
+  EXPECT_EQ(g[3], 0.0f);
+}
+
+TEST(MaxPool2d, GradCheck) {
+  MaxPool2d pool(2, 2);
+  // Distinct values avoid argmax ties under perturbation.
+  Tensor x({1, 2, 4, 4});
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    x[i] = static_cast<float>(i % 7) + 0.13f * static_cast<float>(i);
+  testing::check_layer_gradients(pool, x, 31);
+}
+
+TEST(MaxPool2d, PoolLargerThanInputThrows) {
+  MaxPool2d pool(4, 4);
+  EXPECT_THROW(pool.forward(Tensor({1, 1, 2, 2})), Error);
+}
+
+// ---- Sequential ----------------------------------------------------------------
+
+TEST(Sequential, ComposesLayers) {
+  Rng rng(32);
+  Sequential model;
+  model.add(std::make_unique<Dense>(4, 8, rng));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<Dense>(8, 2, rng));
+  const Tensor y = model.forward(random_tensor({3, 4}, 33));
+  EXPECT_EQ(y.extent(1), 2u);
+  EXPECT_EQ(model.size(), 3u);
+  EXPECT_EQ(model.parameters().size(), 4u);
+}
+
+TEST(Sequential, GradCheckThroughStack) {
+  Rng rng(34);
+  Sequential model;
+  model.add(std::make_unique<Dense>(3, 5, rng));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<Dense>(5, 2, rng));
+  Tensor x = random_tensor({2, 3}, 35);
+  for (float& v : x.flat()) v += (v >= 0 ? 0.5f : -0.5f);
+  // Small eps: a large perturbation would flip dead ReLU units, making the
+  // finite difference disagree with the (correct) zero analytic gradient.
+  testing::check_layer_gradients(model, x, 36, /*eps=*/3e-3f,
+                                 /*tolerance=*/5e-2);
+}
+
+TEST(Sequential, FreezeBelowMarksPrefix) {
+  Rng rng(37);
+  Sequential model;
+  model.add(std::make_unique<Dense>(2, 2, rng));
+  model.add(std::make_unique<Dense>(2, 2, rng));
+  model.freeze_below(1);
+  const auto params = model.parameters();
+  EXPECT_TRUE(params[0]->frozen);
+  EXPECT_TRUE(params[1]->frozen);
+  EXPECT_FALSE(params[2]->frozen);
+  EXPECT_FALSE(params[3]->frozen);
+  model.freeze_below(0);
+  for (const Param* p : model.parameters()) EXPECT_FALSE(p->frozen);
+}
+
+TEST(Sequential, SetTrainingPropagates) {
+  Rng rng(38);
+  Sequential model;
+  model.add(std::make_unique<Dropout>(0.5, rng));
+  model.set_training(false);
+  EXPECT_FALSE(model.layer(0).training());
+}
+
+TEST(Sequential, ParameterCount) {
+  Rng rng(39);
+  Sequential model;
+  model.add(std::make_unique<Dense>(3, 4, rng));
+  EXPECT_EQ(model.parameter_count(), 3u * 4u + 4u);
+}
+
+TEST(Sequential, EmptyThrows) {
+  Sequential model;
+  EXPECT_THROW(model.forward(Tensor({1, 1})), Error);
+  EXPECT_THROW(model.layer(0), Error);
+}
+
+}  // namespace
+}  // namespace clear::nn

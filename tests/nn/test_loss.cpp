@@ -1,0 +1,94 @@
+#include "nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace clear::nn {
+namespace {
+
+TEST(Loss, UniformLogitsGiveLogC) {
+  const Tensor logits = Tensor::zeros({4, 3});
+  const LossResult r = softmax_cross_entropy(logits, {0, 1, 2, 0});
+  EXPECT_NEAR(r.loss, std::log(3.0), 1e-6);
+}
+
+TEST(Loss, ConfidentCorrectIsNearZero) {
+  Tensor logits({1, 2}, {20.0f, -20.0f});
+  const LossResult r = softmax_cross_entropy(logits, {0});
+  EXPECT_LT(r.loss, 1e-6);
+}
+
+TEST(Loss, ConfidentWrongIsLarge) {
+  Tensor logits({1, 2}, {20.0f, -20.0f});
+  const LossResult r = softmax_cross_entropy(logits, {1});
+  EXPECT_GT(r.loss, 10.0);
+}
+
+TEST(Loss, ProbabilitiesAreSoftmax) {
+  Tensor logits({1, 3}, {1.0f, 2.0f, 3.0f});
+  const LossResult r = softmax_cross_entropy(logits, {0});
+  float total = 0.0f;
+  for (std::size_t j = 0; j < 3; ++j) total += r.probabilities.at2(0, j);
+  EXPECT_NEAR(total, 1.0f, 1e-6f);
+  EXPECT_GT(r.probabilities.at2(0, 2), r.probabilities.at2(0, 0));
+}
+
+TEST(Loss, GradientIsPMinusYOverN) {
+  Tensor logits({2, 2}, {0.0f, 0.0f, 0.0f, 0.0f});
+  const LossResult r = softmax_cross_entropy(logits, {0, 1});
+  // p = 0.5 everywhere; grad = (p - onehot)/N.
+  EXPECT_NEAR(r.grad_logits.at2(0, 0), (0.5f - 1.0f) / 2.0f, 1e-6f);
+  EXPECT_NEAR(r.grad_logits.at2(0, 1), 0.5f / 2.0f, 1e-6f);
+  EXPECT_NEAR(r.grad_logits.at2(1, 1), (0.5f - 1.0f) / 2.0f, 1e-6f);
+}
+
+TEST(Loss, GradientRowsSumToZero) {
+  Rng rng(1);
+  Tensor logits({5, 4});
+  logits.fill_normal(rng, 0.0f, 2.0f);
+  const LossResult r = softmax_cross_entropy(logits, {0, 1, 2, 3, 0});
+  for (std::size_t i = 0; i < 5; ++i) {
+    float s = 0.0f;
+    for (std::size_t j = 0; j < 4; ++j) s += r.grad_logits.at2(i, j);
+    EXPECT_NEAR(s, 0.0f, 1e-6f);
+  }
+}
+
+TEST(Loss, NumericalGradientMatches) {
+  Rng rng(2);
+  Tensor logits({3, 3});
+  logits.fill_normal(rng, 0.0f, 1.0f);
+  const std::vector<std::size_t> labels = {0, 2, 1};
+  const LossResult r = softmax_cross_entropy(logits, labels);
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    Tensor lp = logits;
+    lp[i] += eps;
+    Tensor lm = logits;
+    lm[i] -= eps;
+    const double numeric = (softmax_cross_entropy(lp, labels).loss -
+                            softmax_cross_entropy(lm, labels).loss) /
+                           (2.0 * eps);
+    EXPECT_NEAR(r.grad_logits[i], numeric, 1e-3);
+  }
+}
+
+TEST(Loss, ExtremeLogitsStayFinite) {
+  Tensor logits({1, 2}, {1000.0f, -1000.0f});
+  const LossResult r = softmax_cross_entropy(logits, {1});
+  EXPECT_TRUE(std::isfinite(r.loss));
+  EXPECT_TRUE(std::isfinite(r.grad_logits[0]));
+}
+
+TEST(Loss, Validation) {
+  EXPECT_THROW(softmax_cross_entropy(Tensor({2, 2}), {0}), Error);
+  EXPECT_THROW(softmax_cross_entropy(Tensor({1, 2}), {5}), Error);
+  EXPECT_THROW(softmax_cross_entropy(Tensor({4}), {0}), Error);
+}
+
+}  // namespace
+}  // namespace clear::nn

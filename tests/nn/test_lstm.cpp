@@ -1,0 +1,134 @@
+#include "nn/lstm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "gradcheck.hpp"
+
+namespace clear::nn {
+namespace {
+
+Tensor random_tensor(std::vector<std::size_t> shape, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(std::move(shape));
+  t.fill_uniform(rng, -1.0f, 1.0f);
+  return t;
+}
+
+TEST(Lstm, OutputShapeIsLastHidden) {
+  Rng rng(1);
+  Lstm lstm(4, 3, rng);
+  const Tensor y = lstm.forward(random_tensor({5, 7, 4}, 2));
+  EXPECT_EQ(y.extent(0), 5u);
+  EXPECT_EQ(y.extent(1), 3u);
+}
+
+TEST(Lstm, HiddenStateBounded) {
+  Rng rng(3);
+  Lstm lstm(4, 6, rng);
+  Tensor x = random_tensor({2, 10, 4}, 4);
+  for (float& v : x.flat()) v *= 10.0f;  // Large inputs.
+  const Tensor y = lstm.forward(x);
+  // h = o * tanh(c): |h| < 1 always.
+  for (const float v : y.flat()) {
+    EXPECT_LT(std::abs(v), 1.0f);
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(Lstm, ForgetBiasInitializedToOne) {
+  Rng rng(5);
+  Lstm lstm(2, 4, rng);
+  const auto params = lstm.parameters();
+  const Tensor& b = params[2]->value;  // wx, wh, b.
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(b[j], 0.0f);           // input gate
+    EXPECT_EQ(b[4 + j], 1.0f);       // forget gate
+    EXPECT_EQ(b[8 + j], 0.0f);       // cell
+    EXPECT_EQ(b[12 + j], 0.0f);      // output gate
+  }
+}
+
+TEST(Lstm, SingleStepMatchesManualCell) {
+  Rng rng(6);
+  Lstm lstm(1, 1, rng);
+  const auto params = lstm.parameters();
+  // wx = [0.5, -0.3, 0.8, 0.2] (i, f, g, o), wh irrelevant (h0 = 0), b = 0.
+  params[0]->value = Tensor({1, 4}, {0.5f, -0.3f, 0.8f, 0.2f});
+  params[1]->value = Tensor({1, 4}, {0.9f, 0.9f, 0.9f, 0.9f});
+  params[2]->value = Tensor({4}, {0.0f, 0.0f, 0.0f, 0.0f});
+  const float xv = 0.7f;
+  const Tensor y = lstm.forward(Tensor({1, 1, 1}, {xv}));
+  auto sigmoid = [](float v) { return 1.0f / (1.0f + std::exp(-v)); };
+  const float i = sigmoid(0.5f * xv);
+  const float g = std::tanh(0.8f * xv);
+  const float o = sigmoid(0.2f * xv);
+  const float c = i * g;  // f * c_prev = 0.
+  EXPECT_NEAR(y[0], o * std::tanh(c), 1e-6f);
+}
+
+TEST(Lstm, GradCheckSingleStep) {
+  Rng rng(7);
+  Lstm lstm(3, 2, rng);
+  testing::check_layer_gradients(lstm, random_tensor({2, 1, 3}, 8), 9);
+}
+
+TEST(Lstm, GradCheckMultiStep) {
+  Rng rng(10);
+  Lstm lstm(3, 3, rng);
+  testing::check_layer_gradients(lstm, random_tensor({2, 4, 3}, 11), 12);
+}
+
+TEST(Lstm, GradCheckLongerSequence) {
+  Rng rng(13);
+  Lstm lstm(2, 2, rng);
+  testing::check_layer_gradients(lstm, random_tensor({1, 7, 2}, 14), 15);
+}
+
+TEST(Lstm, OrderSensitivity) {
+  // An LSTM must distinguish the order of inputs — that is the point of
+  // using it over pooled statistics (paper §III-A-3).
+  Rng rng(16);
+  Lstm lstm(1, 4, rng);
+  Tensor ramp_up({1, 6, 1}, {0.1f, 0.2f, 0.4f, 0.6f, 0.8f, 1.0f});
+  Tensor ramp_down({1, 6, 1}, {1.0f, 0.8f, 0.6f, 0.4f, 0.2f, 0.1f});
+  const Tensor a = lstm.forward(ramp_up);
+  const Tensor b = lstm.forward(ramp_down);
+  float diff = 0.0f;
+  for (std::size_t i = 0; i < a.numel(); ++i) diff += std::abs(a[i] - b[i]);
+  EXPECT_GT(diff, 1e-3f);
+}
+
+TEST(Lstm, DeterministicForward) {
+  Rng rng(17);
+  Lstm lstm(3, 3, rng);
+  const Tensor x = random_tensor({2, 5, 3}, 18);
+  const Tensor a = lstm.forward(x);
+  const Tensor b = lstm.forward(x);
+  for (std::size_t i = 0; i < a.numel(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Lstm, RejectsWrongInputDim) {
+  Rng rng(19);
+  Lstm lstm(3, 2, rng);
+  EXPECT_THROW(lstm.forward(Tensor({1, 4, 5})), Error);
+  EXPECT_THROW(lstm.forward(Tensor({2, 3})), Error);
+  EXPECT_THROW(lstm.backward(Tensor({1, 2})), Error);
+}
+
+TEST(Lstm, ParameterShapes) {
+  Rng rng(20);
+  Lstm lstm(5, 7, rng);
+  const auto params = lstm.parameters();
+  ASSERT_EQ(params.size(), 3u);
+  EXPECT_EQ(params[0]->value.extent(0), 5u);
+  EXPECT_EQ(params[0]->value.extent(1), 28u);
+  EXPECT_EQ(params[1]->value.extent(0), 7u);
+  EXPECT_EQ(params[1]->value.extent(1), 28u);
+  EXPECT_EQ(params[2]->value.extent(0), 28u);
+}
+
+}  // namespace
+}  // namespace clear::nn

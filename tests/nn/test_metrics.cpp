@@ -1,0 +1,82 @@
+#include "nn/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace clear::nn {
+namespace {
+
+TEST(Metrics, PerfectPrediction) {
+  const BinaryMetrics m = binary_metrics({1, 0, 1, 0}, {1, 0, 1, 0});
+  EXPECT_DOUBLE_EQ(m.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+  EXPECT_EQ(m.tp, 2u);
+  EXPECT_EQ(m.tn, 2u);
+}
+
+TEST(Metrics, AllWrong) {
+  const BinaryMetrics m = binary_metrics({0, 1}, {1, 0});
+  EXPECT_DOUBLE_EQ(m.accuracy, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+  EXPECT_EQ(m.fp, 1u);
+  EXPECT_EQ(m.fn, 1u);
+}
+
+TEST(Metrics, KnownConfusionMatrix) {
+  // preds:  1 1 1 0 0 0 0 1
+  // labels: 1 1 0 0 0 1 1 0
+  const BinaryMetrics m =
+      binary_metrics({1, 1, 1, 0, 0, 0, 0, 1}, {1, 1, 0, 0, 0, 1, 1, 0});
+  EXPECT_EQ(m.tp, 2u);
+  EXPECT_EQ(m.fp, 2u);
+  EXPECT_EQ(m.fn, 2u);
+  EXPECT_EQ(m.tn, 2u);
+  EXPECT_DOUBLE_EQ(m.accuracy, 0.5);
+  EXPECT_DOUBLE_EQ(m.precision, 0.5);
+  EXPECT_DOUBLE_EQ(m.recall, 0.5);
+  EXPECT_DOUBLE_EQ(m.f1, 0.5);
+}
+
+TEST(Metrics, F1IsHarmonicMean) {
+  // precision 1.0 (1 TP, 0 FP), recall 0.5 (1 TP, 1 FN).
+  const BinaryMetrics m = binary_metrics({1, 0, 0}, {1, 1, 0});
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.5);
+  EXPECT_DOUBLE_EQ(m.f1, 2.0 * 1.0 * 0.5 / 1.5);
+}
+
+TEST(Metrics, NoPositivePredictionsZeroPrecision) {
+  const BinaryMetrics m = binary_metrics({0, 0}, {1, 0});
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+TEST(Metrics, CustomPositiveClass) {
+  const BinaryMetrics m = binary_metrics({2, 0, 2}, {2, 2, 0}, /*positive=*/2);
+  EXPECT_EQ(m.tp, 1u);
+  EXPECT_EQ(m.fp, 1u);
+  EXPECT_EQ(m.fn, 1u);
+}
+
+TEST(Metrics, Validation) {
+  EXPECT_THROW(binary_metrics({1}, {1, 0}), Error);
+  EXPECT_THROW(binary_metrics({}, {}), Error);
+}
+
+TEST(MeanStd, KnownValues) {
+  const MeanStd ms = mean_std({2.0, 4.0, 6.0});
+  EXPECT_DOUBLE_EQ(ms.mean, 4.0);
+  EXPECT_DOUBLE_EQ(ms.stddev, 2.0);  // Sample stddev.
+}
+
+TEST(MeanStd, SingleValueHasZeroStd) {
+  const MeanStd ms = mean_std({5.0});
+  EXPECT_DOUBLE_EQ(ms.mean, 5.0);
+  EXPECT_DOUBLE_EQ(ms.stddev, 0.0);
+}
+
+}  // namespace
+}  // namespace clear::nn

@@ -1,0 +1,156 @@
+#include "nn/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace clear::nn {
+namespace {
+
+/// Minimize f(w) = 0.5 * ||w - target||^2 whose gradient is (w - target).
+void quadratic_grad(Param& p, const Tensor& target) {
+  for (std::size_t i = 0; i < p.value.numel(); ++i)
+    p.grad[i] = p.value[i] - target[i];
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  Param p("w", Tensor({3}, {5.0f, -3.0f, 1.0f}));
+  const Tensor target({3}, {1.0f, 2.0f, -1.0f});
+  Sgd opt({&p}, 0.1);
+  for (int i = 0; i < 200; ++i) {
+    opt.zero_grad();
+    quadratic_grad(p, target);
+    opt.step();
+  }
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(p.value[i], target[i], 1e-4f);
+}
+
+TEST(Sgd, MomentumAcceleratesDescent) {
+  Param plain("w", Tensor({1}, {10.0f}));
+  Param mom("w", Tensor({1}, {10.0f}));
+  const Tensor target({1}, {0.0f});
+  Sgd opt_plain({&plain}, 0.01);
+  Sgd opt_mom({&mom}, 0.01, 0.9);
+  for (int i = 0; i < 50; ++i) {
+    opt_plain.zero_grad();
+    quadratic_grad(plain, target);
+    opt_plain.step();
+    opt_mom.zero_grad();
+    quadratic_grad(mom, target);
+    opt_mom.step();
+  }
+  EXPECT_LT(std::abs(mom.value[0]), std::abs(plain.value[0]));
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+  Param p("w", Tensor({1}, {1.0f}));
+  Sgd opt({&p}, 0.1, 0.0, 0.5);
+  opt.zero_grad();  // Zero gradient: only decay acts.
+  opt.step();
+  EXPECT_NEAR(p.value[0], 1.0f - 0.1f * 0.5f, 1e-6f);
+}
+
+TEST(Sgd, FrozenParamUntouched) {
+  Param p("w", Tensor({1}, {3.0f}));
+  p.frozen = true;
+  p.grad[0] = 100.0f;
+  Sgd opt({&p}, 0.1);
+  opt.step();
+  EXPECT_EQ(p.value[0], 3.0f);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Param p("w", Tensor({3}, {5.0f, -3.0f, 1.0f}));
+  const Tensor target({3}, {1.0f, 2.0f, -1.0f});
+  Adam opt({&p}, 0.1);
+  for (int i = 0; i < 300; ++i) {
+    opt.zero_grad();
+    quadratic_grad(p, target);
+    opt.step();
+  }
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(p.value[i], target[i], 1e-3f);
+}
+
+TEST(Adam, FirstStepSizeIsLearningRate) {
+  // With bias correction, the very first Adam step is ~lr * sign(grad).
+  Param p("w", Tensor({1}, {0.0f}));
+  Adam opt({&p}, 0.01);
+  opt.zero_grad();
+  p.grad[0] = 123.0f;  // Any positive gradient.
+  opt.step();
+  EXPECT_NEAR(p.value[0], -0.01f, 1e-4f);
+}
+
+TEST(Adam, FrozenParamUntouched) {
+  Param p("w", Tensor({1}, {3.0f}));
+  p.frozen = true;
+  p.grad[0] = 1.0f;
+  Adam opt({&p}, 0.1);
+  opt.step();
+  EXPECT_EQ(p.value[0], 3.0f);
+}
+
+TEST(Adam, HandlesSparseZeroGradients) {
+  Param p("w", Tensor({2}, {1.0f, 1.0f}));
+  Adam opt({&p}, 0.1);
+  for (int i = 0; i < 10; ++i) {
+    opt.zero_grad();
+    p.grad[0] = 1.0f;  // Only element 0 has gradient.
+    opt.step();
+  }
+  EXPECT_LT(p.value[0], 1.0f);
+  EXPECT_EQ(p.value[1], 1.0f);
+}
+
+TEST(Optimizer, ZeroGradClearsAll) {
+  Param a("a", Tensor({2}, {1.0f, 2.0f}));
+  Param b("b", Tensor({1}, {3.0f}));
+  a.grad.fill(5.0f);
+  b.grad.fill(7.0f);
+  Sgd opt({&a, &b}, 0.1);
+  opt.zero_grad();
+  EXPECT_EQ(a.grad[0], 0.0f);
+  EXPECT_EQ(b.grad[0], 0.0f);
+}
+
+TEST(Optimizer, ClipGradNormScalesDown) {
+  Param p("w", Tensor({2}, {0.0f, 0.0f}));
+  p.grad = Tensor({2}, {3.0f, 4.0f});  // Norm 5.
+  Sgd opt({&p}, 0.1);
+  const double pre = opt.clip_grad_norm(1.0);
+  EXPECT_NEAR(pre, 5.0, 1e-6);
+  EXPECT_NEAR(std::hypot(p.grad[0], p.grad[1]), 1.0, 1e-5);
+}
+
+TEST(Optimizer, ClipGradNormNoOpWhenSmall) {
+  Param p("w", Tensor({2}, {0.0f, 0.0f}));
+  p.grad = Tensor({2}, {0.3f, 0.4f});
+  Sgd opt({&p}, 0.1);
+  opt.clip_grad_norm(10.0);
+  EXPECT_FLOAT_EQ(p.grad[0], 0.3f);
+}
+
+TEST(Optimizer, ClipIgnoresFrozenParams) {
+  Param frozen("f", Tensor({1}, {0.0f}));
+  frozen.frozen = true;
+  frozen.grad[0] = 1000.0f;
+  Param live("l", Tensor({1}, {0.0f}));
+  live.grad[0] = 3.0f;
+  Sgd opt({&frozen, &live}, 0.1);
+  const double pre = opt.clip_grad_norm(1.0);
+  EXPECT_NEAR(pre, 3.0, 1e-6);        // Frozen grad not counted...
+  EXPECT_EQ(frozen.grad[0], 1000.0f); // ...and not scaled.
+  EXPECT_NEAR(live.grad[0], 1.0f, 1e-5f);
+}
+
+TEST(Optimizer, ClipValidation) {
+  Param p("w", Tensor({1}));
+  Sgd opt({&p}, 0.1);
+  EXPECT_THROW(opt.clip_grad_norm(0.0), Error);
+}
+
+}  // namespace
+}  // namespace clear::nn

@@ -1,0 +1,197 @@
+#include "nn/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "nn/model.hpp"
+
+namespace clear::nn {
+namespace {
+
+/// A separable synthetic task: class-1 maps have a higher mean in the top
+/// half of the feature rows.
+struct Fixture {
+  std::vector<Tensor> maps;
+  MapDataset data;
+  CnnLstmConfig model_config;
+
+  explicit Fixture(std::size_t n, std::uint64_t seed, double gap = 1.0) {
+    model_config.feature_dim = 16;
+    model_config.window_count = 8;
+    model_config.conv1_channels = 2;
+    model_config.conv2_channels = 3;
+    model_config.lstm_hidden = 6;
+    Rng rng(seed);
+    maps.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const int label = static_cast<int>(i % 2);
+      Tensor m({16, 8});
+      for (std::size_t r = 0; r < 16; ++r)
+        for (std::size_t c = 0; c < 8; ++c) {
+          double v = rng.normal(0.0, 0.5);
+          if (label == 1 && r < 8) v += gap;
+          m.at2(r, c) = static_cast<float>(v);
+        }
+      maps.push_back(std::move(m));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      data.maps.push_back(&maps[i]);
+      data.labels.push_back(i % 2);
+    }
+  }
+};
+
+TEST(StackBatch, ShapeAndContents) {
+  Fixture f(4, 1);
+  const Tensor batch = stack_batch(f.data.maps, {0, 2});
+  EXPECT_EQ(batch.extent(0), 2u);
+  EXPECT_EQ(batch.extent(1), 1u);
+  EXPECT_EQ(batch.extent(2), 16u);
+  EXPECT_EQ(batch.extent(3), 8u);
+  EXPECT_EQ(batch.at4(1, 0, 3, 5), f.maps[2].at2(3, 5));
+}
+
+TEST(StackBatch, Validation) {
+  Fixture f(2, 2);
+  EXPECT_THROW(stack_batch(f.data.maps, {}), Error);
+  EXPECT_THROW(stack_batch(f.data.maps, {7}), Error);
+}
+
+TEST(Trainer, LossDecreasesOnSeparableTask) {
+  Fixture f(40, 3);
+  Rng rng(4);
+  auto model = build_cnn_lstm(f.model_config, rng);
+  TrainConfig tc;
+  tc.epochs = 8;
+  tc.batch_size = 8;
+  tc.lr = 2e-3;
+  tc.keep_best = false;
+  const TrainHistory h = train_classifier(*model, f.data, tc);
+  ASSERT_EQ(h.train_loss.size(), 8u);
+  EXPECT_LT(h.train_loss.back(), h.train_loss.front());
+}
+
+TEST(Trainer, LearnsSeparableTaskToHighAccuracy) {
+  Fixture f(60, 5);
+  Rng rng(6);
+  auto model = build_cnn_lstm(f.model_config, rng);
+  TrainConfig tc;
+  tc.epochs = 15;
+  tc.batch_size = 8;
+  tc.lr = 2e-3;
+  train_classifier(*model, f.data, tc);
+  const BinaryMetrics m = evaluate(*model, f.data);
+  EXPECT_GT(m.accuracy, 0.9);
+  EXPECT_GT(m.f1, 0.9);
+}
+
+TEST(Trainer, DeterministicGivenSeed) {
+  Fixture f(20, 7);
+  Rng r1(8), r2(8);
+  auto m1 = build_cnn_lstm(f.model_config, r1);
+  auto m2 = build_cnn_lstm(f.model_config, r2);
+  TrainConfig tc;
+  tc.epochs = 3;
+  tc.seed = 99;
+  const TrainHistory h1 = train_classifier(*m1, f.data, tc);
+  const TrainHistory h2 = train_classifier(*m2, f.data, tc);
+  ASSERT_EQ(h1.train_loss.size(), h2.train_loss.size());
+  for (std::size_t i = 0; i < h1.train_loss.size(); ++i)
+    EXPECT_DOUBLE_EQ(h1.train_loss[i], h2.train_loss[i]);
+}
+
+TEST(Trainer, ValidationSplitTracksMetrics) {
+  Fixture f(40, 9);
+  Rng rng(10);
+  auto model = build_cnn_lstm(f.model_config, rng);
+  TrainConfig tc;
+  tc.epochs = 5;
+  tc.validation_fraction = 0.25;
+  const TrainHistory h = train_classifier(*model, f.data, tc);
+  EXPECT_EQ(h.val_loss.size(), 5u);
+  EXPECT_EQ(h.val_accuracy.size(), 5u);
+  EXPECT_LE(h.best_epoch, 4u);
+}
+
+TEST(Trainer, KeepBestRestoresBestEpoch) {
+  Fixture f(40, 11);
+  Rng rng(12);
+  auto model = build_cnn_lstm(f.model_config, rng);
+  TrainConfig tc;
+  tc.epochs = 6;
+  tc.validation_fraction = 0.25;
+  tc.keep_best = true;
+  tc.seed = 13;
+  const TrainHistory h = train_classifier(*model, f.data, tc);
+  // The restored parameters must reproduce the best epoch's val loss.
+  const double best_val = h.val_loss[h.best_epoch];
+  for (const double v : h.val_loss) EXPECT_GE(v, best_val - 1e-9);
+}
+
+TEST(Trainer, PostStepHookRuns) {
+  Fixture f(16, 14);
+  Rng rng(15);
+  auto model = build_cnn_lstm(f.model_config, rng);
+  TrainConfig tc;
+  tc.epochs = 2;
+  tc.batch_size = 4;
+  std::size_t calls = 0;
+  tc.post_step = [&calls](Sequential&) { ++calls; };
+  train_classifier(*model, f.data, tc);
+  EXPECT_EQ(calls, 2u * 4u);  // 16 samples / batch 4 = 4 steps per epoch.
+}
+
+TEST(Trainer, FrozenLayersDoNotMove) {
+  Fixture f(20, 16);
+  Rng rng(17);
+  auto model = build_cnn_lstm(f.model_config, rng);
+  model->freeze_below(fine_tune_boundary());
+  const Tensor conv_before = model->parameters()[0]->value;
+  TrainConfig tc;
+  tc.epochs = 3;
+  train_classifier(*model, f.data, tc);
+  const Tensor& conv_after = model->parameters()[0]->value;
+  for (std::size_t i = 0; i < conv_before.numel(); ++i)
+    EXPECT_EQ(conv_after[i], conv_before[i]);
+}
+
+TEST(Trainer, Validation) {
+  Fixture f(4, 18);
+  Rng rng(19);
+  auto model = build_cnn_lstm(f.model_config, rng);
+  MapDataset tiny;
+  tiny.maps = {f.data.maps[0]};
+  tiny.labels = {0};
+  TrainConfig tc;
+  EXPECT_THROW(train_classifier(*model, tiny, tc), Error);
+  MapDataset mismatched = f.data;
+  mismatched.labels.pop_back();
+  EXPECT_THROW(train_classifier(*model, mismatched, tc), Error);
+}
+
+TEST(Predict, ProbabilitiesRowsSumToOne) {
+  Fixture f(10, 20);
+  Rng rng(21);
+  auto model = build_cnn_lstm(f.model_config, rng);
+  const Tensor proba = predict_probabilities(*model, f.data, 4);
+  EXPECT_EQ(proba.extent(0), 10u);
+  EXPECT_EQ(proba.extent(1), 2u);
+  for (std::size_t i = 0; i < 10; ++i)
+    EXPECT_NEAR(proba.at2(i, 0) + proba.at2(i, 1), 1.0f, 1e-5f);
+}
+
+TEST(Predict, ClassesConsistentWithProbabilities) {
+  Fixture f(10, 22);
+  Rng rng(23);
+  auto model = build_cnn_lstm(f.model_config, rng);
+  const Tensor proba = predict_probabilities(*model, f.data, 3);
+  const auto classes = predict_classes(*model, f.data, 3);
+  for (std::size_t i = 0; i < 10; ++i) {
+    const std::size_t expected = proba.at2(i, 1) > proba.at2(i, 0) ? 1 : 0;
+    EXPECT_EQ(classes[i], expected);
+  }
+}
+
+}  // namespace
+}  // namespace clear::nn

@@ -1,0 +1,132 @@
+// Parameterized clustering properties: blob recovery across dimensions and
+// cluster counts, assignment consistency, and silhouette monotonicity in
+// separation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/assignment.hpp"
+#include "cluster/validity.hpp"
+
+namespace clear::cluster {
+namespace {
+
+struct BlobCase {
+  std::size_t dim, k, per_blob;
+};
+
+std::vector<Point> make_blobs(const BlobCase& c, double spread,
+                              std::uint64_t seed,
+                              std::vector<Point>* centers_out = nullptr) {
+  Rng rng(seed);
+  std::vector<Point> centers;
+  for (std::size_t b = 0; b < c.k; ++b) {
+    Point center(c.dim, 0.0);
+    for (std::size_t d = 0; d < c.dim; ++d)
+      center[d] = (d % c.k == b) ? 10.0 : 0.0;
+    center[0] += static_cast<double>(b) * 10.0;  // Guarantee separation.
+    centers.push_back(center);
+  }
+  std::vector<Point> points;
+  for (std::size_t b = 0; b < c.k; ++b)
+    for (std::size_t i = 0; i < c.per_blob; ++i) {
+      Point p = centers[b];
+      for (double& v : p) v += rng.normal(0.0, spread);
+      points.push_back(std::move(p));
+    }
+  if (centers_out) *centers_out = centers;
+  return points;
+}
+
+class BlobSweep : public ::testing::TestWithParam<BlobCase> {};
+
+TEST_P(BlobSweep, KMeansRecoversPartition) {
+  const BlobCase c = GetParam();
+  const auto points = make_blobs(c, 0.4, c.dim * 100 + c.k);
+  Rng rng(c.k * 17 + c.dim);
+  const KMeansResult r = kmeans(points, c.k, rng);
+  std::set<std::size_t> labels;
+  for (std::size_t b = 0; b < c.k; ++b) {
+    const std::size_t first = r.assignment[b * c.per_blob];
+    labels.insert(first);
+    for (std::size_t i = 0; i < c.per_blob; ++i)
+      EXPECT_EQ(r.assignment[b * c.per_blob + i], first)
+          << "dim=" << c.dim << " k=" << c.k;
+  }
+  EXPECT_EQ(labels.size(), c.k);
+}
+
+TEST_P(BlobSweep, GlobalClusteringAgreesWithStructure) {
+  const BlobCase c = GetParam();
+  // Users = blobs members, each user contributing several observations.
+  Rng rng(c.dim * 7 + c.k * 3);
+  std::vector<std::vector<Point>> users;
+  std::vector<Point> centers;
+  make_blobs(c, 0.0, 0, &centers);
+  for (std::size_t b = 0; b < c.k; ++b) {
+    for (std::size_t u = 0; u < c.per_blob; ++u) {
+      std::vector<Point> obs;
+      for (std::size_t o = 0; o < 6; ++o) {
+        Point p = centers[b];
+        for (double& v : p) v += rng.normal(0.0, 0.5);
+        obs.push_back(std::move(p));
+      }
+      users.push_back(std::move(obs));
+    }
+  }
+  GlobalClusteringConfig gc;
+  gc.k = c.k;
+  Rng gc_rng(c.k * 91 + c.dim);
+  const GlobalClusteringResult r = global_clustering(users, gc, gc_rng);
+  for (std::size_t b = 0; b < c.k; ++b) {
+    const std::size_t first = r.user_cluster[b * c.per_blob];
+    for (std::size_t u = 0; u < c.per_blob; ++u)
+      EXPECT_EQ(r.user_cluster[b * c.per_blob + u], first);
+  }
+  // And a brand-new user drawn from blob b is assigned with its peers.
+  for (std::size_t b = 0; b < c.k; ++b) {
+    std::vector<Point> obs;
+    for (std::size_t o = 0; o < 4; ++o) {
+      Point p = centers[b];
+      for (double& v : p) v += gc_rng.normal(0.0, 0.5);
+      obs.push_back(std::move(p));
+    }
+    const AssignmentResult a = assign_new_user(obs, r);
+    EXPECT_EQ(a.cluster, r.user_cluster[b * c.per_blob]) << "blob " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, BlobSweep,
+                         ::testing::Values(BlobCase{2, 2, 8},
+                                           BlobCase{2, 4, 6},
+                                           BlobCase{5, 3, 7},
+                                           BlobCase{16, 4, 5},
+                                           BlobCase{123, 4, 6}));
+
+// ---- Silhouette grows with separation -------------------------------------------
+
+class SeparationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SeparationSweep, SilhouetteMonotoneInSeparation) {
+  const double sep = GetParam();
+  Rng rng(static_cast<std::uint64_t>(sep * 10));
+  auto blobs = [&](double s) {
+    std::vector<Point> pts;
+    for (int i = 0; i < 20; ++i)
+      pts.push_back({rng.normal(0.0, 0.5), rng.normal(0.0, 0.5)});
+    for (int i = 0; i < 20; ++i)
+      pts.push_back({s + rng.normal(0.0, 0.5), rng.normal(0.0, 0.5)});
+    return pts;
+  };
+  std::vector<std::size_t> labels(40, 0);
+  for (std::size_t i = 20; i < 40; ++i) labels[i] = 1;
+  const double sil_near = silhouette(blobs(sep), labels, 2);
+  const double sil_far = silhouette(blobs(sep * 3.0), labels, 2);
+  EXPECT_GT(sil_far, sil_near - 0.02) << "sep=" << sep;
+}
+
+INSTANTIATE_TEST_SUITE_P(Separations, SeparationSweep,
+                         ::testing::Values(1.0, 2.0, 4.0, 8.0));
+
+}  // namespace
+}  // namespace clear::cluster

@@ -1,0 +1,113 @@
+// Parameterized dataset-generation properties: structural invariants of the
+// synthetic WEMAC substrate across population sizes and trial geometries.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "features/feature_map.hpp"
+#include "wemac/dataset.hpp"
+
+namespace clear::wemac {
+namespace {
+
+struct ShapeCase {
+  std::size_t volunteers, trials, windows;
+  double window_seconds;
+};
+
+class DatasetShapeSweep : public ::testing::TestWithParam<ShapeCase> {};
+
+WemacConfig config_for(const ShapeCase& c, std::uint64_t seed = 5) {
+  WemacConfig cfg;
+  cfg.seed = seed;
+  cfg.n_volunteers = c.volunteers;
+  cfg.trials_per_volunteer = c.trials;
+  cfg.windows_per_trial = c.windows;
+  cfg.window_seconds = c.window_seconds;
+  return cfg;
+}
+
+TEST_P(DatasetShapeSweep, CountsAndShapesHold) {
+  const ShapeCase c = GetParam();
+  const WemacDataset d = generate_wemac(config_for(c));
+  EXPECT_EQ(d.n_volunteers(), c.volunteers);
+  EXPECT_EQ(d.samples().size(), c.volunteers * c.trials);
+  for (const Sample& s : d.samples()) {
+    EXPECT_EQ(s.feature_map.extent(0), features::kTotalFeatureCount);
+    EXPECT_EQ(s.feature_map.extent(1), c.windows);
+  }
+}
+
+TEST_P(DatasetShapeSweep, EveryValueFinite) {
+  const ShapeCase c = GetParam();
+  const WemacDataset d = generate_wemac(config_for(c));
+  for (const Sample& s : d.samples())
+    for (const float v : s.feature_map.flat())
+      EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST_P(DatasetShapeSweep, ClassBalanceMatchesScheduleContract) {
+  const ShapeCase c = GetParam();
+  const WemacDataset d = generate_wemac(config_for(c));
+  std::size_t fear = 0;
+  for (const Sample& s : d.samples()) fear += static_cast<std::size_t>(s.label);
+  // make_schedule puts exactly max(1, round(ff * trials)) fear trials in
+  // every volunteer's schedule, so the population share is deterministic.
+  const auto fear_per_user = std::max<std::size_t>(
+      1, static_cast<std::size_t>(0.5 * static_cast<double>(c.trials) + 0.5));
+  EXPECT_EQ(fear, fear_per_user * c.volunteers);
+}
+
+TEST_P(DatasetShapeSweep, VolunteerIndexPartitionsSamples) {
+  const ShapeCase c = GetParam();
+  const WemacDataset d = generate_wemac(config_for(c));
+  std::set<std::size_t> seen;
+  for (std::size_t v = 0; v < d.n_volunteers(); ++v) {
+    for (const std::size_t s : d.samples_of(v)) {
+      EXPECT_TRUE(seen.insert(s).second) << "sample listed twice";
+      EXPECT_EQ(d.samples()[s].volunteer_id, v);
+    }
+  }
+  EXPECT_EQ(seen.size(), d.samples().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, DatasetShapeSweep,
+                         ::testing::Values(ShapeCase{4, 3, 4, 6.0},
+                                           ShapeCase{6, 4, 8, 8.0},
+                                           ShapeCase{8, 6, 6, 10.0},
+                                           ShapeCase{12, 3, 12, 5.0}));
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, SeedFullyDeterminesDataset) {
+  const std::uint64_t seed = GetParam();
+  const ShapeCase c{5, 3, 6, 8.0};
+  const WemacDataset a = generate_wemac(config_for(c, seed));
+  const WemacDataset b = generate_wemac(config_for(c, seed));
+  ASSERT_EQ(a.samples().size(), b.samples().size());
+  for (std::size_t i = 0; i < a.samples().size(); ++i) {
+    EXPECT_EQ(a.samples()[i].label, b.samples()[i].label);
+    const Tensor& ma = a.samples()[i].feature_map;
+    const Tensor& mb = b.samples()[i].feature_map;
+    for (std::size_t j = 0; j < ma.numel(); ++j)
+      ASSERT_EQ(ma[j], mb[j]) << "seed=" << seed;
+  }
+  for (std::size_t v = 0; v < a.n_volunteers(); ++v)
+    EXPECT_EQ(a.volunteers()[v].archetype_id, b.volunteers()[v].archetype_id);
+}
+
+TEST_P(SeedSweep, ArchetypeMixCoversAllGroups) {
+  const std::uint64_t seed = GetParam();
+  const WemacDataset d = generate_wemac(config_for({6, 3, 4, 6.0}, seed));
+  std::set<std::size_t> archetypes;
+  for (const VolunteerMeta& m : d.volunteers())
+    archetypes.insert(m.archetype_id);
+  EXPECT_EQ(archetypes.size(), kNumArchetypes) << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99999u));
+
+}  // namespace
+}  // namespace clear::wemac

@@ -1,0 +1,219 @@
+// Parameterized property sweeps over the DSP substrate: invariants that
+// must hold for *every* size / frequency / cutoff in the supported range,
+// not just the hand-picked cases of the unit tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "signal/fft.hpp"
+#include "signal/filter.hpp"
+#include "signal/peaks.hpp"
+#include "signal/resample.hpp"
+
+namespace clear::dsp {
+namespace {
+
+// ---- FFT: round-trip + Parseval for every power-of-two size -----------------
+
+class FftSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizeSweep, RoundTripIsIdentity) {
+  const std::size_t n = GetParam();
+  Rng rng(n);
+  std::vector<std::complex<double>> data(n);
+  for (auto& c : data) c = {rng.normal(), rng.normal()};
+  const auto original = data;
+  fft(data);
+  fft(data, true);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(std::abs(data[i] - original[i]), 0.0, 1e-9) << "n=" << n;
+}
+
+TEST_P(FftSizeSweep, ParsevalEnergyConserved) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 31);
+  std::vector<std::complex<double>> data(n);
+  double time_energy = 0.0;
+  for (auto& c : data) {
+    c = {rng.normal(), 0.0};
+    time_energy += std::norm(c);
+  }
+  fft(data);
+  double freq_energy = 0.0;
+  for (const auto& c : data) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n) / time_energy, 1.0, 1e-9);
+}
+
+TEST_P(FftSizeSweep, LinearityHolds) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 7);
+  std::vector<std::complex<double>> a(n), b(n), sum(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = {rng.normal(), 0.0};
+    b[i] = {rng.normal(), 0.0};
+    sum[i] = a[i] + 2.0 * b[i];
+  }
+  fft(a);
+  fft(b);
+  fft(sum);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(std::abs(sum[i] - (a[i] + 2.0 * b[i])), 0.0, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftSizeSweep,
+                         ::testing::Values(8, 16, 32, 64, 128, 256, 512, 1024,
+                                           4096));
+
+// ---- Welch: tone localization across the band --------------------------------
+
+class ToneSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ToneSweep, WelchLocatesTone) {
+  const double freq = GetParam();
+  const double fs = 64.0;
+  std::vector<double> x(2048);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = std::sin(2.0 * M_PI * freq * static_cast<double>(i) / fs);
+  const Psd psd = welch(x, fs, 512);
+  EXPECT_NEAR(peak_frequency(psd, 0.3, 31.0), freq, fs / 512.0 + 1e-9);
+  EXPECT_NEAR(spectral_centroid(psd), freq, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Frequencies, ToneSweep,
+                         ::testing::Values(0.5, 1.0, 2.5, 5.0, 8.0, 12.0, 20.0,
+                                           28.0));
+
+// ---- Welch: the PSD integral equals the signal variance ----------------------
+
+class PsdCalibrationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PsdCalibrationSweep, NoisePowerIsConserved) {
+  const double sigma = GetParam();
+  Rng rng(static_cast<std::uint64_t>(sigma * 100));
+  std::vector<double> x(8192);
+  for (auto& v : x) v = rng.normal(0.0, sigma);
+  const Psd psd = welch(x, 64.0, 512);
+  const double integral = band_power(psd, 0.0, 32.0);
+  EXPECT_NEAR(integral / stats::variance(x), 1.0, 0.05) << "sigma=" << sigma;
+}
+
+TEST_P(PsdCalibrationSweep, TonePowerIsConserved) {
+  const double amp = GetParam();
+  std::vector<double> x(8192);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = amp * std::sin(2.0 * M_PI * 8.0 * static_cast<double>(i) / 64.0);
+  const Psd psd = welch(x, 64.0, 512);
+  // A sine of amplitude A carries power A^2/2.
+  EXPECT_NEAR(band_power(psd, 0.0, 32.0), amp * amp / 2.0,
+              0.02 * amp * amp);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, PsdCalibrationSweep,
+                         ::testing::Values(0.1, 1.0, 3.0, 25.0));
+
+// ---- Butterworth: gain contract across cutoffs --------------------------------
+
+class CutoffSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CutoffSweep, LowpassGainContract) {
+  const double fc = GetParam();
+  const double fs = 64.0;
+  auto rms_tail = [](const std::vector<double>& v) {
+    return stats::rms(std::span<const double>(v.data() + 512, v.size() - 512));
+  };
+  const Biquad lp = butterworth_lowpass(fc, fs);
+  // Deep passband (fc/4): gain ~ 1.
+  std::vector<double> pass(4096);
+  for (std::size_t i = 0; i < pass.size(); ++i)
+    pass[i] = std::sin(2.0 * M_PI * (fc / 4.0) * i / fs);
+  EXPECT_NEAR(rms_tail(lp.apply(pass)) / rms_tail(pass), 1.0, 0.05)
+      << "fc=" << fc;
+  // Deep stopband (4*fc): attenuation > 20 dB.
+  if (4.0 * fc < fs / 2.0) {
+    std::vector<double> stop(4096);
+    for (std::size_t i = 0; i < stop.size(); ++i)
+      stop[i] = std::sin(2.0 * M_PI * (4.0 * fc) * i / fs);
+    EXPECT_LT(rms_tail(lp.apply(stop)) / rms_tail(stop), 0.1) << "fc=" << fc;
+  }
+}
+
+TEST_P(CutoffSweep, HighpassMirrorsLowpass) {
+  const double fc = GetParam();
+  const double fs = 64.0;
+  const Biquad hp = butterworth_highpass(fc, fs);
+  const std::vector<double> dc(2048, 1.0);
+  const auto out = hp.apply(dc);
+  EXPECT_NEAR(out.back(), 0.0, 1e-6) << "fc=" << fc;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cutoffs, CutoffSweep,
+                         ::testing::Values(0.5, 1.0, 2.0, 4.0, 7.0));
+
+// ---- Resampling: structural properties across ratios -------------------------
+
+class ResampleSweep
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(ResampleSweep, EndpointsAndMonotonicityPreserved) {
+  const auto [in_len, out_len] = GetParam();
+  std::vector<double> ramp(in_len);
+  for (std::size_t i = 0; i < in_len; ++i) ramp[i] = static_cast<double>(i);
+  const auto out = resample_to_length(ramp, out_len);
+  ASSERT_EQ(out.size(), out_len);
+  EXPECT_NEAR(out.front(), ramp.front(), 1e-9);
+  if (out_len > 1)
+    EXPECT_NEAR(out.back(), ramp.back(), 1e-9);
+  for (std::size_t i = 1; i < out.size(); ++i)
+    EXPECT_GE(out[i], out[i - 1] - 1e-9);
+}
+
+TEST_P(ResampleSweep, ValuesStayWithinInputRange) {
+  const auto [in_len, out_len] = GetParam();
+  Rng rng(in_len * 1000 + out_len);
+  std::vector<double> x(in_len);
+  for (auto& v : x) v = rng.normal();
+  const double lo = stats::min(x);
+  const double hi = stats::max(x);
+  for (const double v : resample_to_length(x, out_len)) {
+    EXPECT_GE(v, lo - 1e-9);
+    EXPECT_LE(v, hi + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ratios, ResampleSweep,
+    ::testing::Values(std::make_pair<std::size_t, std::size_t>(100, 100),
+                      std::make_pair<std::size_t, std::size_t>(100, 37),
+                      std::make_pair<std::size_t, std::size_t>(37, 100),
+                      std::make_pair<std::size_t, std::size_t>(640, 80),
+                      std::make_pair<std::size_t, std::size_t>(11, 1000),
+                      std::make_pair<std::size_t, std::size_t>(2, 2)));
+
+// ---- Peak detection: count tracks the pulse rate ------------------------------
+
+class PulseRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PulseRateSweep, BeatCountMatchesRate) {
+  const double hz = GetParam();
+  const double fs = 64.0;
+  const double duration = 30.0;
+  std::vector<double> x(static_cast<std::size_t>(duration * fs));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double phase = std::fmod(hz * static_cast<double>(i) / fs, 1.0);
+    x[i] = std::exp(-std::pow((phase - 0.3) / 0.08, 2.0));
+  }
+  PeakOptions opt;
+  opt.min_prominence = 0.4;
+  opt.min_distance = static_cast<std::size_t>(fs / (hz * 1.5));
+  const auto peaks = find_peaks(x, opt);
+  EXPECT_NEAR(static_cast<double>(peaks.size()), duration * hz, 2.0)
+      << "hz=" << hz;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, PulseRateSweep,
+                         ::testing::Values(0.8, 1.0, 1.2, 1.5, 1.9));
+
+}  // namespace
+}  // namespace clear::dsp

@@ -1,0 +1,151 @@
+// Parameterized feature-extraction properties: well-defined behaviour of the
+// 123-feature recipe under input transformations (offsets, gains, window
+// lengths) and the stimulus-response monotonicity the task relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "features/feature_map.hpp"
+#include "features/gsr_features.hpp"
+#include "features/skt_features.hpp"
+#include "wemac/synth.hpp"
+
+namespace clear::features {
+namespace {
+
+std::vector<double> noisy_gsr(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n, 5.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / 8.0;
+    for (double t0 = 1.5; t0 < t; t0 += 6.0) {
+      const double dt = t - t0;
+      if (dt < 20.0)
+        x[i] += 0.4 * (1.0 - std::exp(-dt / 0.7)) * std::exp(-dt / 4.0);
+    }
+    x[i] += rng.normal(0.0, 0.02);
+  }
+  return x;
+}
+
+// ---- GSR: offset invariance of dispersion/dynamics features -------------------
+
+class OffsetSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(OffsetSweep, GsrDispersionFeaturesOffsetInvariant) {
+  const double offset = GetParam();
+  const auto base = noisy_gsr(400, 3);
+  std::vector<double> shifted = base;
+  for (double& v : shifted) v += offset;
+  const auto f0 = extract_gsr_features(base, 8.0);
+  const auto f1 = extract_gsr_features(shifted, 8.0);
+  const auto& names = gsr_feature_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const std::string& n = names[i];
+    // Location features shift by exactly the offset...
+    if (n == "gsr_mean" || n == "gsr_min" || n == "gsr_max" ||
+        n == "gsr_median" || n == "gsr_tonic_mean") {
+      EXPECT_NEAR(f1[i] - f0[i], offset, 0.05 + 1e-3 * std::abs(offset)) << n;
+    }
+    // ...while dispersion/dynamics/event features are offset-invariant.
+    if (n == "gsr_std" || n == "gsr_iqr" || n == "gsr_range" ||
+        n == "gsr_std_d1" || n == "gsr_scr_count" || n == "gsr_slope" ||
+        n == "gsr_phasic_std") {
+      EXPECT_NEAR(f1[i], f0[i], 0.05 + 0.02 * std::abs(f0[i])) << n;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, OffsetSweep,
+                         ::testing::Values(-3.0, -0.5, 0.5, 2.0, 10.0));
+
+// ---- SKT: exact affine behaviour ------------------------------------------------
+
+class SktGainSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SktGainSweep, FeaturesScaleLinearly) {
+  const double gain = GetParam();
+  Rng rng(7);
+  std::vector<double> x(64);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = 33.0 + 0.005 * static_cast<double>(i) + rng.normal(0.0, 0.01);
+  std::vector<double> scaled = x;
+  for (double& v : scaled) v *= gain;
+  const auto f0 = extract_skt_features(x, 4.0);
+  const auto f1 = extract_skt_features(scaled, 4.0);
+  // All five SKT features (mean, std, slope, min, max) are homogeneous of
+  // degree 1 under positive gains.
+  for (std::size_t i = 0; i < f0.size(); ++i)
+    EXPECT_NEAR(f1[i], f0[i] * gain, 1e-6 * std::abs(f0[i] * gain) + 1e-9)
+        << skt_feature_names()[i];
+}
+
+INSTANTIATE_TEST_SUITE_P(Gains, SktGainSweep,
+                         ::testing::Values(0.5, 1.0, 2.0, 10.0));
+
+// ---- Window length: every supported length yields finite 123-vectors ----------
+
+class WindowLengthSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(WindowLengthSweep, FullVectorFiniteAtEveryLength) {
+  const double seconds = GetParam();
+  Rng prof_rng(11);
+  const wemac::VolunteerProfile profile = wemac::sample_profile(
+      wemac::default_archetypes()[1], 0, 1, prof_rng);
+  wemac::Stimulus stim;
+  stim.emotion = wemac::Emotion::kFear;
+  stim.duration_s = std::max(seconds + 1.0, 12.0);
+  Rng rng(13);
+  const wemac::TrialSignals trial =
+      wemac::synthesize_trial(profile, stim, {}, rng);
+  const auto windows = wemac::slice_windows(trial, seconds);
+  ASSERT_FALSE(windows.empty());
+  const auto f = extract_window_features(windows[0]);
+  ASSERT_EQ(f.size(), kTotalFeatureCount);
+  for (std::size_t i = 0; i < f.size(); ++i)
+    EXPECT_TRUE(std::isfinite(f[i])) << all_feature_names()[i];
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, WindowLengthSweep,
+                         ::testing::Values(2.0, 5.0, 10.0, 20.0, 30.0));
+
+// ---- Stimulus monotonicity: stronger fear -> larger electrodermal response -----
+
+class ArousalSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ArousalSweep, PhasicEnergyGrowsWithFearRate) {
+  // Note: the *count* of detected SCRs saturates at high event rates
+  // (overlapping responses merge), so the monotone observable is the
+  // phasic energy, which keeps integrating every event.
+  const double rate_scale = GetParam();
+  const auto idx = 21u;  // gsr_phasic_energy.
+  ASSERT_EQ(gsr_feature_names()[idx], "gsr_phasic_energy");
+  auto total_count = [&](double scale) {
+    Rng prof_rng(17);
+    wemac::VolunteerProfile p = wemac::sample_profile(
+        wemac::default_archetypes()[0], 0, 0, prof_rng);
+    p.gsr_gain = 1.0;
+    p.scr_rate_fear = p.scr_rate_base + scale * 8.0;
+    wemac::Stimulus fear;
+    fear.emotion = wemac::Emotion::kFear;
+    fear.duration_s = 120.0;
+    double count = 0.0;
+    for (std::uint64_t s = 0; s < 6; ++s) {
+      Rng rng(700 + s);
+      const auto trial = wemac::synthesize_trial(p, fear, {}, rng);
+      for (const auto& w : wemac::slice_windows(trial, 30.0))
+        count += extract_gsr_features(w.gsr, w.gsr_rate)[idx];
+    }
+    return count;
+  };
+  // Doubling the fear-driven SCR rate must not reduce the detected count.
+  EXPECT_GE(total_count(rate_scale * 2.0), total_count(rate_scale) * 0.9)
+      << "scale=" << rate_scale;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, ArousalSweep,
+                         ::testing::Values(0.25, 0.75, 1.5));
+
+}  // namespace
+}  // namespace clear::features

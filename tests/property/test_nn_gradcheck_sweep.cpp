@@ -1,0 +1,114 @@
+// Parameterized gradient-check sweeps: analytic backward == numeric
+// gradient for every convolution geometry and LSTM shape the CLEAR models
+// can instantiate (not just the single configuration of the paper).
+#include <gtest/gtest.h>
+
+#include "../nn/gradcheck.hpp"
+#include "nn/conv.hpp"
+#include "nn/dense.hpp"
+#include "nn/lstm.hpp"
+#include "nn/pool.hpp"
+
+namespace clear::nn {
+namespace {
+
+Tensor random_tensor(std::vector<std::size_t> shape, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(std::move(shape));
+  t.fill_uniform(rng, -1.0f, 1.0f);
+  return t;
+}
+
+// ---- Conv2d geometry sweep ----------------------------------------------------
+
+struct ConvCase {
+  std::size_t in_ch, out_ch, kh, kw, stride, pad, h, w;
+};
+
+class ConvGradSweep : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvGradSweep, AnalyticMatchesNumeric) {
+  const ConvCase& c = GetParam();
+  Rng rng(c.in_ch * 100 + c.out_ch * 10 + c.kh);
+  Conv2d conv(c.in_ch, c.out_ch, c.kh, c.kw, c.stride, c.pad, rng);
+  testing::check_layer_gradients(
+      conv, random_tensor({2, c.in_ch, c.h, c.w}, c.h * 7 + c.w), 99);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvGradSweep,
+    ::testing::Values(ConvCase{1, 1, 1, 1, 1, 0, 4, 4},    // Pointwise.
+                      ConvCase{1, 2, 3, 3, 1, 1, 6, 5},    // Paper-style.
+                      ConvCase{2, 3, 3, 3, 1, 1, 5, 4},    // Multi-channel.
+                      ConvCase{1, 2, 3, 3, 2, 0, 7, 7},    // Strided.
+                      ConvCase{2, 2, 5, 3, 1, 2, 8, 6},    // Rectangular.
+                      ConvCase{3, 1, 1, 3, 1, 1, 4, 6}));  // Row kernel.
+
+// ---- LSTM shape sweep -----------------------------------------------------------
+
+struct LstmCase {
+  std::size_t batch, time, dim, hidden;
+};
+
+class LstmGradSweep : public ::testing::TestWithParam<LstmCase> {};
+
+TEST_P(LstmGradSweep, AnalyticMatchesNumeric) {
+  const LstmCase& c = GetParam();
+  Rng rng(c.batch * 1000 + c.time * 100 + c.dim * 10 + c.hidden);
+  Lstm lstm(c.dim, c.hidden, rng);
+  testing::check_layer_gradients(
+      lstm, random_tensor({c.batch, c.time, c.dim}, c.time * 17 + c.dim), 98);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, LstmGradSweep,
+                         ::testing::Values(LstmCase{1, 1, 1, 1},
+                                           LstmCase{1, 2, 3, 2},
+                                           LstmCase{2, 3, 2, 4},
+                                           LstmCase{3, 5, 4, 3},
+                                           LstmCase{1, 8, 2, 2}));
+
+// ---- Dense shape sweep ------------------------------------------------------------
+
+class DenseGradSweep
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(DenseGradSweep, AnalyticMatchesNumeric) {
+  const auto [in, out] = GetParam();
+  Rng rng(in * 31 + out);
+  Dense dense(in, out, rng);
+  testing::check_layer_gradients(dense,
+                                 random_tensor({3, in}, in * 13 + out), 97);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DenseGradSweep,
+    ::testing::Values(std::make_pair<std::size_t, std::size_t>(1, 1),
+                      std::make_pair<std::size_t, std::size_t>(4, 2),
+                      std::make_pair<std::size_t, std::size_t>(2, 8),
+                      std::make_pair<std::size_t, std::size_t>(16, 16)));
+
+// ---- MaxPool window sweep -----------------------------------------------------------
+
+class PoolGradSweep
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(PoolGradSweep, AnalyticMatchesNumeric) {
+  const auto [kh, kw] = GetParam();
+  MaxPool2d pool(kh, kw);
+  // Distinct values prevent argmax ties under perturbation.
+  Tensor x({2, 2, 6, 6});
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    x[i] = 0.37f * static_cast<float>(i % 13) +
+           0.011f * static_cast<float>(i);
+  testing::check_layer_gradients(pool, x, 96);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Windows, PoolGradSweep,
+    ::testing::Values(std::make_pair<std::size_t, std::size_t>(2, 2),
+                      std::make_pair<std::size_t, std::size_t>(3, 2),
+                      std::make_pair<std::size_t, std::size_t>(2, 3),
+                      std::make_pair<std::size_t, std::size_t>(3, 3)));
+
+}  // namespace
+}  // namespace clear::nn

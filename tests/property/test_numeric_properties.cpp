@@ -1,0 +1,153 @@
+// Parameterized numeric-emulation properties: quantization error bounds and
+// fp16 relative-error bounds must hold across magnitudes and distributions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "edge/qkernels.hpp"
+#include "edge/quantize.hpp"
+#include "tensor/ops.hpp"
+
+namespace clear::edge {
+namespace {
+
+// ---- int8: |x - dequant(quant(x))| <= scale/2 inside the clip range ----------
+
+class QuantScaleSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantScaleSweep, RoundTripErrorHalfStepBound) {
+  const double magnitude = GetParam();
+  Rng rng(static_cast<std::uint64_t>(magnitude * 1000));
+  Tensor t({2000});
+  t.fill_normal(rng, 0.0f, static_cast<float>(magnitude));
+  const QuantParams p = calibrate_max_abs(t.flat());
+  Tensor q = t;
+  fake_quantize_inplace(q, p);
+  for (std::size_t i = 0; i < t.numel(); ++i)
+    EXPECT_NEAR(q[i], t[i], p.scale / 2.0f + 1e-7f) << "mag=" << magnitude;
+}
+
+TEST_P(QuantScaleSweep, QuantizationPreservesOrderOfWellSeparatedValues) {
+  const double magnitude = GetParam();
+  Rng rng(static_cast<std::uint64_t>(magnitude * 999) + 3);
+  Tensor t({512});
+  t.fill_normal(rng, 0.0f, static_cast<float>(magnitude));
+  const QuantParams p = calibrate_max_abs(t.flat());
+  Tensor q = t;
+  fake_quantize_inplace(q, p);
+  for (std::size_t i = 0; i + 1 < t.numel(); ++i) {
+    if (t[i + 1] - t[i] > 2.0f * p.scale) EXPECT_LT(q[i], q[i + 1]);
+    if (t[i] - t[i + 1] > 2.0f * p.scale) EXPECT_GT(q[i], q[i + 1]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, QuantScaleSweep,
+                         ::testing::Values(1e-3, 0.1, 1.0, 10.0, 1e3));
+
+// ---- int8 GEMM == fake-quant float GEMM for arbitrary shapes ------------------
+
+struct GemmCase {
+  std::size_t m, k, n;
+};
+
+class QGemmSweep : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(QGemmSweep, IntKernelMatchesFakeQuantFloat) {
+  const GemmCase& c = GetParam();
+  Rng rng(c.m * 100 + c.k * 10 + c.n);
+  Tensor a({c.m, c.k});
+  a.fill_normal(rng, 0.0f, 1.0f);
+  Tensor b({c.k, c.n});
+  b.fill_normal(rng, 0.0f, 1.0f);
+  const QuantParams pa = calibrate_max_abs(a.flat());
+  const QuantParams pb = calibrate_max_abs(b.flat());
+  const auto qa = quantize_tensor(a, pa);
+  const auto qb = quantize_tensor(b, pb);
+  std::vector<std::int32_t> acc(c.m * c.n);
+  int8_gemm(qa, qb, c.m, c.k, c.n, acc);
+  Tensor out({c.m, c.n});
+  dequantize_accum(acc, pa.scale, pb.scale, out.flat());
+
+  Tensor fa = a;
+  fake_quantize_inplace(fa, pa);
+  Tensor fb = b;
+  fake_quantize_inplace(fb, pb);
+  const Tensor ref = ops::matmul(fa, fb);
+  const float tol =
+      1e-5f * static_cast<float>(c.k);  // Float accumulation slack.
+  for (std::size_t i = 0; i < ref.numel(); ++i)
+    EXPECT_NEAR(out[i], ref[i], tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, QGemmSweep,
+                         ::testing::Values(GemmCase{1, 1, 1},
+                                           GemmCase{2, 8, 3},
+                                           GemmCase{5, 32, 5},
+                                           GemmCase{3, 128, 7},
+                                           GemmCase{16, 64, 16}));
+
+// ---- fp16: relative error <= 2^-11 across the normal exponent range -----------
+
+class Fp16ExponentSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(Fp16ExponentSweep, RelativeErrorBound) {
+  const int exponent = GetParam();
+  const double base = std::pow(2.0, exponent);
+  Rng rng(static_cast<std::uint64_t>(exponent + 40));
+  for (int i = 0; i < 500; ++i) {
+    const float v = static_cast<float>(base * rng.uniform(1.0, 2.0) *
+                                       (rng.bernoulli(0.5) ? 1.0 : -1.0));
+    const float r = round_fp16(v);
+    EXPECT_NEAR(r, v, std::abs(v) * std::pow(2.0f, -11.0f) + 1e-24f)
+        << "exp=" << exponent;
+  }
+}
+
+TEST_P(Fp16ExponentSweep, Idempotent) {
+  const int exponent = GetParam();
+  const double base = std::pow(2.0, exponent);
+  Rng rng(static_cast<std::uint64_t>(exponent + 80));
+  for (int i = 0; i < 200; ++i) {
+    const float v = static_cast<float>(base * rng.uniform(1.0, 2.0));
+    const float once = round_fp16(v);
+    EXPECT_EQ(round_fp16(once), once);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, Fp16ExponentSweep,
+                         ::testing::Values(-13, -8, -4, 0, 4, 8, 12, 15));
+
+// ---- softmax invariants across shapes ------------------------------------------
+
+class SoftmaxShapeSweep
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(SoftmaxShapeSweep, RowsSumToOneAndShiftInvariant) {
+  const auto [rows, cols] = GetParam();
+  Rng rng(rows * 10 + cols);
+  Tensor logits({rows, cols});
+  logits.fill_normal(rng, 0.0f, 3.0f);
+  const Tensor s1 = ops::softmax_rows(logits);
+  const Tensor shifted = ops::add_scalar(logits, 100.0f);
+  const Tensor s2 = ops::softmax_rows(shifted);
+  for (std::size_t r = 0; r < rows; ++r) {
+    float total = 0.0f;
+    for (std::size_t c = 0; c < cols; ++c) {
+      total += s1.at2(r, c);
+      EXPECT_NEAR(s1.at2(r, c), s2.at2(r, c), 1e-5f);
+      EXPECT_GE(s1.at2(r, c), 0.0f);
+    }
+    EXPECT_NEAR(total, 1.0f, 1e-5f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SoftmaxShapeSweep,
+    ::testing::Values(std::make_pair<std::size_t, std::size_t>(1, 2),
+                      std::make_pair<std::size_t, std::size_t>(4, 2),
+                      std::make_pair<std::size_t, std::size_t>(7, 5),
+                      std::make_pair<std::size_t, std::size_t>(32, 10)));
+
+}  // namespace
+}  // namespace clear::edge

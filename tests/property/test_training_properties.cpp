@@ -1,0 +1,132 @@
+// Parameterized end-to-end training properties: across model widths and
+// task difficulties, the training loop must reduce loss, determinism must
+// hold, and the edge precisions must track the fp32 reference.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "edge/engine.hpp"
+#include "nn/checkpoint.hpp"
+#include "nn/model.hpp"
+
+namespace clear::nn {
+namespace {
+
+struct TaskCase {
+  std::size_t conv1, conv2, hidden;
+  double gap;  // Class separation; larger = easier.
+};
+
+struct Fixture {
+  std::vector<Tensor> maps;
+  MapDataset data;
+
+  Fixture(std::size_t n, std::uint64_t seed, double gap) {
+    Rng rng(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+      const int label = static_cast<int>(i % 2);
+      Tensor m({16, 8});
+      for (std::size_t r = 0; r < 16; ++r)
+        for (std::size_t c = 0; c < 8; ++c)
+          m.at2(r, c) = static_cast<float>(
+              rng.normal(label && r < 8 ? gap : 0.0, 0.5));
+      maps.push_back(std::move(m));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      data.maps.push_back(&maps[i]);
+      data.labels.push_back(i % 2);
+    }
+  }
+};
+
+CnnLstmConfig model_for(const TaskCase& t) {
+  CnnLstmConfig c;
+  c.feature_dim = 16;
+  c.window_count = 8;
+  c.conv1_channels = t.conv1;
+  c.conv2_channels = t.conv2;
+  c.lstm_hidden = t.hidden;
+  c.dropout = 0.0;
+  return c;
+}
+
+class TrainSweep : public ::testing::TestWithParam<TaskCase> {};
+
+TEST_P(TrainSweep, LossDecreasesForEveryWidth) {
+  const TaskCase t = GetParam();
+  Fixture f(32, t.conv1 * 100 + t.hidden, t.gap);
+  Rng rng(t.conv2 * 7 + 1);
+  auto model = build_cnn_lstm(model_for(t), rng);
+  TrainConfig tc;
+  tc.epochs = 6;
+  tc.batch_size = 8;
+  tc.lr = 2e-3;
+  tc.keep_best = false;
+  const TrainHistory h = train_classifier(*model, f.data, tc);
+  EXPECT_LT(h.train_loss.back(), h.train_loss.front())
+      << "conv=" << t.conv1 << "/" << t.conv2 << " hidden=" << t.hidden;
+}
+
+TEST_P(TrainSweep, DeterministicAcrossRuns) {
+  const TaskCase t = GetParam();
+  Fixture f(16, t.conv1 * 55 + t.hidden, t.gap);
+  auto run = [&] {
+    Rng rng(t.hidden * 3 + 2);
+    auto model = build_cnn_lstm(model_for(t), rng);
+    TrainConfig tc;
+    tc.epochs = 2;
+    tc.seed = 42;
+    return train_classifier(*model, f.data, tc).train_loss;
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST_P(TrainSweep, EdgePrecisionsTrackFp32Predictions) {
+  const TaskCase t = GetParam();
+  Fixture f(24, t.conv2 * 77 + 5, t.gap);
+  Rng rng(t.conv1 * 13 + 3);
+  auto reference = build_cnn_lstm(model_for(t), rng);
+  TrainConfig tc;
+  tc.epochs = 8;
+  tc.batch_size = 8;
+  tc.lr = 2e-3;
+  train_classifier(*reference, f.data, tc);
+  const std::vector<std::size_t> ref_preds = predict_classes(*reference, f.data);
+
+  // Copy weights into fresh models per precision via checkpoint round-trip.
+  for (const auto precision :
+       {edge::Precision::kFp16, edge::Precision::kInt8}) {
+    Rng rng2(1);
+    auto copy = build_cnn_lstm(model_for(t), rng2);
+    {
+      std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+      save_checkpoint(ss, *reference);
+      load_checkpoint(ss, *copy);
+    }
+    edge::EngineConfig ec;
+    ec.precision = precision;
+    edge::EdgeEngine engine(std::move(copy), ec);
+    engine.calibrate(f.data.maps);
+    const std::vector<std::size_t> preds = engine.predict(f.data);
+    std::size_t agree = 0;
+    for (std::size_t i = 0; i < preds.size(); ++i)
+      if (preds[i] == ref_preds[i]) ++agree;
+    // Reduced precision may flip borderline samples but must track the
+    // reference on a clear majority.
+    EXPECT_GE(agree * 4, preds.size() * 3)
+        << edge::precision_name(precision);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, TrainSweep,
+                         ::testing::Values(TaskCase{2, 3, 4, 1.5},
+                                           TaskCase{4, 6, 8, 1.2},
+                                           TaskCase{6, 12, 16, 1.0},
+                                           TaskCase{1, 2, 2, 2.0}));
+
+}  // namespace
+}  // namespace clear::nn

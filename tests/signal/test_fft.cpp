@@ -1,0 +1,160 @@
+#include "signal/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace clear::dsp {
+namespace {
+
+TEST(Fft, ForwardInverseRoundTrip) {
+  Rng rng(1);
+  std::vector<std::complex<double>> data(256);
+  for (auto& c : data) c = {rng.normal(), rng.normal()};
+  const auto original = data;
+  fft(data);
+  fft(data, /*inverse=*/true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-10);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft, DeltaFunctionIsFlat) {
+  std::vector<std::complex<double>> data(64, {0.0, 0.0});
+  data[0] = 1.0;
+  fft(data);
+  for (const auto& c : data) EXPECT_NEAR(std::abs(c), 1.0, 1e-12);
+}
+
+TEST(Fft, PureToneLandsInOneBin) {
+  const std::size_t n = 128;
+  std::vector<std::complex<double>> data(n);
+  const std::size_t bin = 9;
+  for (std::size_t i = 0; i < n; ++i)
+    data[i] = std::cos(2.0 * M_PI * bin * i / static_cast<double>(n));
+  fft(data);
+  EXPECT_NEAR(std::abs(data[bin]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(data[n - bin]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(data[bin + 2]), 0.0, 1e-9);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> data(100);
+  EXPECT_THROW(fft(data), Error);
+}
+
+TEST(Fft, ParsevalHolds) {
+  Rng rng(2);
+  std::vector<std::complex<double>> data(256);
+  double time_energy = 0.0;
+  for (auto& c : data) {
+    c = {rng.normal(), 0.0};
+    time_energy += std::norm(c);
+  }
+  fft(data);
+  double freq_energy = 0.0;
+  for (const auto& c : data) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy / data.size(), time_energy, 1e-8);
+}
+
+TEST(Fft, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+  EXPECT_THROW(next_pow2(0), Error);
+}
+
+TEST(Fft, MagnitudeSpectrumSize) {
+  const std::vector<double> sig(100, 1.0);
+  const auto mag = magnitude_spectrum(sig);
+  EXPECT_EQ(mag.size(), 128 / 2 + 1);
+}
+
+std::vector<double> make_tone(double freq, double fs, std::size_t n,
+                              double amp = 1.0) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = amp * std::sin(2.0 * M_PI * freq * i / fs);
+  return x;
+}
+
+TEST(Fft, PeriodogramFindsToneFrequency) {
+  const double fs = 64.0;
+  const auto x = make_tone(8.0, fs, 512);
+  const Psd psd = periodogram(x, fs);
+  EXPECT_NEAR(peak_frequency(psd, 1.0, 30.0), 8.0, fs / 512.0 + 1e-9);
+}
+
+TEST(Fft, WelchFindsToneFrequency) {
+  const double fs = 64.0;
+  const auto x = make_tone(8.0, fs, 1024);
+  const Psd psd = welch(x, fs, 256);
+  EXPECT_NEAR(peak_frequency(psd, 1.0, 30.0), 8.0, fs / 256.0 + 1e-9);
+}
+
+TEST(Fft, WelchHandlesShortSignal) {
+  const auto x = make_tone(4.0, 32.0, 40);  // Shorter than one segment.
+  const Psd psd = welch(x, 32.0, 64);
+  EXPECT_EQ(psd.power.size(), psd.freq.size());
+  EXPECT_GT(psd.power.size(), 0u);
+}
+
+TEST(Fft, BandPowerConcentratedAroundTone) {
+  const double fs = 64.0;
+  const auto x = make_tone(8.0, fs, 2048);
+  const Psd psd = welch(x, fs, 512);
+  const double in_band = band_power(psd, 7.0, 9.0);
+  const double out_band = band_power(psd, 15.0, 30.0);
+  EXPECT_GT(in_band, 100.0 * std::max(out_band, 1e-12));
+}
+
+TEST(Fft, BandPowerScalesWithAmplitudeSquared) {
+  const double fs = 64.0;
+  const Psd p1 = welch(make_tone(8.0, fs, 2048, 1.0), fs, 512);
+  const Psd p2 = welch(make_tone(8.0, fs, 2048, 2.0), fs, 512);
+  const double r = band_power(p2, 7.0, 9.0) / band_power(p1, 7.0, 9.0);
+  EXPECT_NEAR(r, 4.0, 0.1);
+}
+
+TEST(Fft, SpectralCentroidOfTone) {
+  const double fs = 64.0;
+  const auto x = make_tone(10.0, fs, 2048);
+  const Psd psd = welch(x, fs, 512);
+  EXPECT_NEAR(spectral_centroid(psd), 10.0, 0.5);
+  EXPECT_LT(spectral_spread(psd), 2.0);
+}
+
+TEST(Fft, SpectralEntropyOrdersByBandwidth) {
+  Rng rng(7);
+  const double fs = 64.0;
+  const auto tone = make_tone(10.0, fs, 2048);
+  std::vector<double> noise(2048);
+  for (auto& v : noise) v = rng.normal();
+  const double h_tone = spectral_entropy(welch(tone, fs, 512));
+  const double h_noise = spectral_entropy(welch(noise, fs, 512));
+  EXPECT_LT(h_tone, h_noise);
+}
+
+TEST(Fft, RolloffMonotoneInFraction) {
+  Rng rng(8);
+  std::vector<double> noise(2048);
+  for (auto& v : noise) v = rng.normal();
+  const Psd psd = welch(noise, 64.0, 512);
+  EXPECT_LE(spectral_rolloff(psd, 0.5), spectral_rolloff(psd, 0.95));
+  EXPECT_THROW(spectral_rolloff(psd, 0.0), clear::Error);
+}
+
+TEST(Fft, SpectralMomentsOfTone) {
+  const double fs = 64.0;
+  const Psd psd = welch(make_tone(10.0, fs, 4096), fs, 1024);
+  EXPECT_NEAR(spectral_moment(psd, 1), 10.0, 0.5);
+  EXPECT_NEAR(spectral_moment(psd, 2), 100.0, 10.0);
+}
+
+}  // namespace
+}  // namespace clear::dsp

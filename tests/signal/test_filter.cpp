@@ -1,0 +1,138 @@
+#include "signal/filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "signal/fft.hpp"
+
+namespace clear::dsp {
+namespace {
+
+std::vector<double> tone(double freq, double fs, std::size_t n) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = std::sin(2.0 * M_PI * freq * i / fs);
+  return x;
+}
+
+double rms_of(const std::vector<double>& x, std::size_t skip = 200) {
+  std::vector<double> tail(x.begin() + static_cast<std::ptrdiff_t>(skip),
+                           x.end());
+  return stats::rms(tail);
+}
+
+TEST(Filter, LowpassPassesLowBlocksHigh) {
+  const double fs = 64.0;
+  const Biquad lp = butterworth_lowpass(2.0, fs);
+  const auto low = lp.apply(tone(0.5, fs, 2048));
+  const auto high = lp.apply(tone(16.0, fs, 2048));
+  EXPECT_GT(rms_of(low), 0.6);   // ~0.707 of a unit sine.
+  EXPECT_LT(rms_of(high), 0.05);
+}
+
+TEST(Filter, HighpassPassesHighBlocksLow) {
+  const double fs = 64.0;
+  const Biquad hp = butterworth_highpass(4.0, fs);
+  const auto low = hp.apply(tone(0.25, fs, 2048));
+  const auto high = hp.apply(tone(16.0, fs, 2048));
+  EXPECT_LT(rms_of(low), 0.05);
+  EXPECT_GT(rms_of(high), 0.6);
+}
+
+TEST(Filter, LowpassUnityDcGain) {
+  const Biquad lp = butterworth_lowpass(2.0, 64.0);
+  const std::vector<double> dc(1024, 1.0);
+  const auto out = lp.apply(dc);
+  EXPECT_NEAR(out.back(), 1.0, 1e-6);
+}
+
+TEST(Filter, HighpassKillsDc) {
+  const Biquad hp = butterworth_highpass(2.0, 64.0);
+  const std::vector<double> dc(1024, 1.0);
+  const auto out = hp.apply(dc);
+  EXPECT_NEAR(out.back(), 0.0, 1e-6);
+}
+
+TEST(Filter, CutoffValidation) {
+  EXPECT_THROW(butterworth_lowpass(0.0, 64.0), Error);
+  EXPECT_THROW(butterworth_lowpass(32.0, 64.0), Error);
+  EXPECT_THROW(butterworth_highpass(-1.0, 64.0), Error);
+  EXPECT_THROW(butterworth_bandpass(4.0, 2.0, 64.0), Error);
+}
+
+TEST(Filter, BandpassSelectsBand) {
+  const double fs = 64.0;
+  const auto bp = butterworth_bandpass(1.0, 4.0, fs);
+  EXPECT_LT(rms_of(cascade(bp, tone(0.1, fs, 4096))), 0.1);
+  EXPECT_GT(rms_of(cascade(bp, tone(2.0, fs, 4096))), 0.5);
+  EXPECT_LT(rms_of(cascade(bp, tone(20.0, fs, 4096))), 0.1);
+}
+
+TEST(Filter, FiltfiltHasNoPhaseShift) {
+  const double fs = 64.0;
+  const double f = 1.0;
+  const auto x = tone(f, fs, 2048);
+  const Biquad lp = butterworth_lowpass(8.0, fs);
+  const Biquad sections[] = {lp};
+  const auto y = filtfilt(sections, x);
+  // Zero-phase: the filtered passband tone stays aligned with the input.
+  double dot = 0.0;
+  double nx = 0.0;
+  double ny = 0.0;
+  for (std::size_t i = 300; i + 300 < x.size(); ++i) {
+    dot += x[i] * y[i];
+    nx += x[i] * x[i];
+    ny += y[i] * y[i];
+  }
+  EXPECT_GT(dot / std::sqrt(nx * ny), 0.999);
+}
+
+TEST(Filter, MovingAverageSmoothsNoise) {
+  Rng rng(5);
+  std::vector<double> x(1000);
+  for (auto& v : x) v = rng.normal();
+  const auto y = moving_average(x, 21);
+  EXPECT_LT(stats::stddev(y), stats::stddev(x) * 0.4);
+}
+
+TEST(Filter, MovingAveragePreservesConstant) {
+  const std::vector<double> x(50, 3.0);
+  const auto y = moving_average(x, 7);
+  for (const double v : y) EXPECT_NEAR(v, 3.0, 1e-12);
+}
+
+TEST(Filter, MovingAverageWindowOne) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const auto y = moving_average(x, 1);
+  EXPECT_EQ(y, x);
+  EXPECT_THROW(moving_average(x, 0), Error);
+}
+
+TEST(Filter, DetrendLinearRemovesLine) {
+  std::vector<double> x(100);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = 3.0 + 0.5 * i;
+  const auto y = detrend_linear(x);
+  EXPECT_NEAR(stats::mean(y), 0.0, 1e-9);
+  EXPECT_NEAR(stats::slope(y), 0.0, 1e-9);
+}
+
+TEST(Filter, DetrendMean) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const auto y = detrend_mean(x);
+  EXPECT_NEAR(stats::mean(y), 0.0, 1e-12);
+  EXPECT_NEAR(y[0], -1.0, 1e-12);
+}
+
+TEST(Filter, Cumsum) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const auto y = cumsum(x);
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[2], 6.0);
+}
+
+}  // namespace
+}  // namespace clear::dsp

@@ -1,0 +1,106 @@
+#include "signal/peaks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace clear::dsp {
+namespace {
+
+TEST(Peaks, FindsSimpleMaxima) {
+  const std::vector<double> x = {0, 1, 0, 2, 0, 3, 0};
+  const auto peaks = find_peaks(x, {});
+  ASSERT_EQ(peaks.size(), 3u);
+  EXPECT_EQ(peaks[0].index, 1u);
+  EXPECT_EQ(peaks[1].index, 3u);
+  EXPECT_EQ(peaks[2].index, 5u);
+  EXPECT_DOUBLE_EQ(peaks[2].height, 3.0);
+}
+
+TEST(Peaks, NoPeaksInMonotone) {
+  const std::vector<double> x = {0, 1, 2, 3, 4};
+  EXPECT_TRUE(find_peaks(x, {}).empty());
+}
+
+TEST(Peaks, EdgesAreNotPeaks) {
+  const std::vector<double> x = {5, 1, 1, 1, 5};
+  EXPECT_TRUE(find_peaks(x, {}).empty());
+}
+
+TEST(Peaks, PlateauYieldsSinglePeak) {
+  const std::vector<double> x = {0, 2, 2, 2, 0};
+  const auto peaks = find_peaks(x, {});
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0].index, 2u);  // Centre of the plateau.
+}
+
+TEST(Peaks, MinHeightFilters) {
+  const std::vector<double> x = {0, 1, 0, 5, 0};
+  PeakOptions opt;
+  opt.min_height = 2.0;
+  const auto peaks = find_peaks(x, opt);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0].index, 3u);
+}
+
+TEST(Peaks, ProminenceOfNestedPeaks) {
+  // Small bump riding on the shoulder of a big peak.
+  const std::vector<double> x = {0, 10, 8, 8.5, 8, 0};
+  const auto peaks = find_peaks(x, {});
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_DOUBLE_EQ(peaks[0].prominence, 10.0);
+  EXPECT_DOUBLE_EQ(peaks[1].prominence, 0.5);
+}
+
+TEST(Peaks, MinProminenceFilters) {
+  const std::vector<double> x = {0, 10, 8, 8.5, 8, 0};
+  PeakOptions opt;
+  opt.min_prominence = 1.0;
+  const auto peaks = find_peaks(x, opt);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0].index, 1u);
+}
+
+TEST(Peaks, MinDistanceKeepsHigher) {
+  const std::vector<double> x = {0, 3, 0, 5, 0};
+  PeakOptions opt;
+  opt.min_distance = 4;
+  const auto peaks = find_peaks(x, opt);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0].index, 3u);
+}
+
+TEST(Peaks, MinDistanceZeroRejected) {
+  PeakOptions opt;
+  opt.min_distance = 0;
+  EXPECT_THROW(find_peaks(std::vector<double>{0, 1, 0}, opt), Error);
+}
+
+TEST(Peaks, RecoversBeatRateOfSyntheticPulse) {
+  // 1.2 Hz pulse train at 64 Hz sampling -> IBI of ~0.833 s.
+  const double fs = 64.0;
+  const double hr_hz = 1.2;
+  std::vector<double> x(static_cast<std::size_t>(20 * fs));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double phase = std::fmod(hr_hz * i / fs, 1.0);
+    x[i] = std::exp(-std::pow((phase - 0.3) / 0.08, 2.0));
+  }
+  PeakOptions opt;
+  opt.min_prominence = 0.3;
+  opt.min_distance = static_cast<std::size_t>(fs / 3.0);
+  const auto peaks = find_peaks(x, opt);
+  const auto ibi = peak_intervals(peaks, fs);
+  ASSERT_GT(ibi.size(), 15u);
+  for (const double v : ibi) EXPECT_NEAR(v, 1.0 / hr_hz, 0.03);
+}
+
+TEST(Peaks, PeakIntervalsRequirePositiveRate) {
+  EXPECT_THROW(peak_intervals({}, 0.0), Error);
+  EXPECT_TRUE(peak_intervals({}, 64.0).empty());
+}
+
+}  // namespace
+}  // namespace clear::dsp

@@ -1,0 +1,76 @@
+#include "signal/resample.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace clear::dsp {
+namespace {
+
+TEST(Resample, IdentityWhenSameLength) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const auto y = resample_to_length(x, 4);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(y[i], x[i], 1e-12);
+}
+
+TEST(Resample, UpsampleLinearInterpolates) {
+  const std::vector<double> x = {0.0, 2.0};
+  const auto y = resample_to_length(x, 5);
+  ASSERT_EQ(y.size(), 5u);
+  EXPECT_NEAR(y[0], 0.0, 1e-12);
+  EXPECT_NEAR(y[2], 1.0, 1e-12);
+  EXPECT_NEAR(y[4], 2.0, 1e-12);
+}
+
+TEST(Resample, DownsamplePreservesEndpoints) {
+  std::vector<double> x(100);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<double>(i);
+  const auto y = resample_to_length(x, 10);
+  EXPECT_NEAR(y.front(), 0.0, 1e-12);
+  EXPECT_NEAR(y.back(), 99.0, 1e-12);
+}
+
+TEST(Resample, SingleSampleBroadcasts) {
+  const std::vector<double> x = {7.0};
+  const auto y = resample_to_length(x, 5);
+  for (const double v : y) EXPECT_DOUBLE_EQ(v, 7.0);
+}
+
+TEST(Resample, TargetLengthOne) {
+  const std::vector<double> x = {1.0, 5.0};
+  const auto y = resample_to_length(x, 1);
+  ASSERT_EQ(y.size(), 1u);
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+}
+
+TEST(Resample, RejectsEmptyOrZero) {
+  EXPECT_THROW(resample_to_length({}, 5), Error);
+  EXPECT_THROW(resample_to_length(std::vector<double>{1.0}, 0), Error);
+}
+
+TEST(Resample, SineSurvivesRateConversion) {
+  const double fs = 64.0;
+  std::vector<double> x(640);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = std::sin(2.0 * M_PI * 1.0 * i / fs);
+  const auto y = resample_rate(x, fs, 32.0);
+  EXPECT_NEAR(static_cast<double>(y.size()), 320.0, 1.0);
+  // Each output sample interpolates the sine at the endpoint-preserving
+  // remapped time t_i = i * (N_in-1) / (fs_in * (N_out-1)).
+  const double step = (static_cast<double>(x.size()) - 1.0) /
+                      (fs * (static_cast<double>(y.size()) - 1.0));
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const double expected = std::sin(2.0 * M_PI * 1.0 * i * step);
+    EXPECT_NEAR(y[i], expected, 0.01);
+  }
+}
+
+TEST(Resample, RateValidation) {
+  EXPECT_THROW(resample_rate(std::vector<double>{1.0}, 0.0, 1.0), Error);
+  EXPECT_THROW(resample_rate(std::vector<double>{1.0}, 1.0, -2.0), Error);
+}
+
+}  // namespace
+}  // namespace clear::dsp

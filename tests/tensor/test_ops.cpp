@@ -1,0 +1,230 @@
+#include "tensor/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace clear::ops {
+namespace {
+
+TEST(Ops, ElementwiseAddSubMul) {
+  const Tensor a({2}, {1, 2});
+  const Tensor b({2}, {3, 5});
+  EXPECT_EQ(add(a, b)[1], 7.0f);
+  EXPECT_EQ(sub(b, a)[0], 2.0f);
+  EXPECT_EQ(mul(a, b)[1], 10.0f);
+}
+
+TEST(Ops, ShapeMismatchThrows) {
+  const Tensor a({2});
+  const Tensor b({3});
+  EXPECT_THROW(add(a, b), Error);
+  Tensor c = a;
+  EXPECT_THROW(axpy_inplace(c, 1.0f, b), Error);
+}
+
+TEST(Ops, Axpy) {
+  Tensor a({2}, {1, 1});
+  const Tensor b({2}, {2, 4});
+  axpy_inplace(a, 0.5f, b);
+  EXPECT_EQ(a[0], 2.0f);
+  EXPECT_EQ(a[1], 3.0f);
+}
+
+TEST(Ops, ScaleAndAddScalar) {
+  const Tensor a({2}, {2, 4});
+  EXPECT_EQ(scale(a, 0.5f)[1], 2.0f);
+  EXPECT_EQ(add_scalar(a, 1.0f)[0], 3.0f);
+}
+
+TEST(Ops, Map) {
+  const Tensor a({3}, {-1, 0, 2});
+  const Tensor r = map(a, [](float v) { return v * v; });
+  EXPECT_EQ(r[0], 1.0f);
+  EXPECT_EQ(r[2], 4.0f);
+}
+
+TEST(Ops, MatmulKnownValues) {
+  const Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  const Tensor c = matmul(a, b);
+  EXPECT_EQ(c.at2(0, 0), 58.0f);
+  EXPECT_EQ(c.at2(0, 1), 64.0f);
+  EXPECT_EQ(c.at2(1, 0), 139.0f);
+  EXPECT_EQ(c.at2(1, 1), 154.0f);
+}
+
+TEST(Ops, MatmulInnerMismatchThrows) {
+  EXPECT_THROW(matmul(Tensor({2, 3}), Tensor({2, 2})), Error);
+}
+
+TEST(Ops, MatmulIdentity) {
+  Rng rng(3);
+  Tensor a({4, 4});
+  a.fill_normal(rng, 0.0f, 1.0f);
+  Tensor eye({4, 4});
+  for (std::size_t i = 0; i < 4; ++i) eye.at2(i, i) = 1.0f;
+  const Tensor c = matmul(a, eye);
+  for (std::size_t i = 0; i < a.numel(); ++i) EXPECT_FLOAT_EQ(c[i], a[i]);
+}
+
+TEST(Ops, MatmulAccumAddsIntoExisting) {
+  const Tensor a({1, 1}, {2});
+  const Tensor b({1, 1}, {3});
+  Tensor c({1, 1}, {10});
+  matmul_accum(a, b, c);
+  EXPECT_EQ(c[0], 16.0f);
+}
+
+TEST(Ops, Transpose2d) {
+  const Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor t = transpose2d(a);
+  EXPECT_EQ(t.extent(0), 3u);
+  EXPECT_EQ(t.at2(0, 1), 4.0f);
+  EXPECT_EQ(t.at2(2, 0), 3.0f);
+}
+
+TEST(Ops, TransposeTwiceIsIdentity) {
+  Rng rng(9);
+  Tensor a({5, 7});
+  a.fill_normal(rng, 0.0f, 1.0f);
+  const Tensor tt = transpose2d(transpose2d(a));
+  for (std::size_t i = 0; i < a.numel(); ++i) EXPECT_EQ(tt[i], a[i]);
+}
+
+TEST(Ops, Matvec) {
+  const Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor x({3}, {1, 0, -1});
+  const Tensor y = matvec(a, x);
+  EXPECT_EQ(y[0], -2.0f);
+  EXPECT_EQ(y[1], -2.0f);
+}
+
+TEST(Ops, AddRowBias) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  const Tensor bias({2}, {10, 20});
+  add_row_bias_inplace(a, bias);
+  EXPECT_EQ(a.at2(0, 0), 11.0f);
+  EXPECT_EQ(a.at2(1, 1), 24.0f);
+}
+
+TEST(Ops, Reductions) {
+  const Tensor a({4}, {-3, 1, 2, 4});
+  EXPECT_EQ(sum(a), 4.0f);
+  EXPECT_EQ(mean(a), 1.0f);
+  EXPECT_EQ(max_abs(a), 4.0f);
+  EXPECT_EQ(min_value(a), -3.0f);
+  EXPECT_EQ(max_value(a), 4.0f);
+  EXPECT_FLOAT_EQ(l2_norm(a), std::sqrt(30.0f));
+}
+
+TEST(Ops, Argmax) {
+  const Tensor a({4}, {1, 5, 3, 5});
+  EXPECT_EQ(argmax(a), 1u);  // First maximum wins.
+  const Tensor m({2, 3}, {1, 9, 2, 8, 3, 4});
+  const auto rows = argmax_rows(m);
+  EXPECT_EQ(rows[0], 1u);
+  EXPECT_EQ(rows[1], 0u);
+}
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  const Tensor a({2, 3}, {1, 2, 3, -1, 0, 1});
+  const Tensor s = softmax_rows(a);
+  for (std::size_t i = 0; i < 2; ++i) {
+    float total = 0.0f;
+    for (std::size_t j = 0; j < 3; ++j) total += s.at2(i, j);
+    EXPECT_NEAR(total, 1.0f, 1e-6f);
+  }
+  EXPECT_GT(s.at2(0, 2), s.at2(0, 0));
+}
+
+TEST(Ops, SoftmaxNumericallyStable) {
+  const Tensor a({1, 2}, {1000.0f, 1001.0f});
+  const Tensor s = softmax_rows(a);
+  EXPECT_FALSE(std::isnan(s[0]));
+  EXPECT_NEAR(s[0] + s[1], 1.0f, 1e-6f);
+}
+
+TEST(Ops, ConvOutExtent) {
+  EXPECT_EQ(conv_out_extent(5, 3, 1, 0), 3u);
+  EXPECT_EQ(conv_out_extent(5, 3, 1, 1), 5u);
+  EXPECT_EQ(conv_out_extent(6, 2, 2, 0), 3u);
+  EXPECT_THROW(conv_out_extent(2, 5, 1, 0), Error);
+}
+
+TEST(Ops, Im2colIdentityKernel) {
+  // 1x1 kernel: im2col is just a reshape.
+  const Tensor img({1, 2, 2}, {1, 2, 3, 4});
+  const Tensor cols = im2col(img, 1, 1, 1, 0);
+  EXPECT_EQ(cols.extent(0), 1u);
+  EXPECT_EQ(cols.extent(1), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(cols[i], img[i]);
+}
+
+TEST(Ops, Im2colWithPaddingZeros) {
+  const Tensor img({1, 1, 1}, {5});
+  const Tensor cols = im2col(img, 3, 3, 1, 1);
+  EXPECT_EQ(cols.extent(0), 9u);
+  EXPECT_EQ(cols.extent(1), 1u);
+  // Only the centre tap sees the pixel.
+  for (std::size_t r = 0; r < 9; ++r)
+    EXPECT_EQ(cols.at2(r, 0), r == 4 ? 5.0f : 0.0f);
+}
+
+TEST(Ops, Im2colMatchesDirectConvolution) {
+  Rng rng(11);
+  Tensor img({2, 5, 4});
+  img.fill_normal(rng, 0.0f, 1.0f);
+  Tensor kernel({1, 2 * 3 * 3});
+  kernel.fill_normal(rng, 0.0f, 1.0f);
+  const Tensor cols = im2col(img, 3, 3, 1, 1);
+  const Tensor out = matmul(kernel, cols);  // [1, 5*4]
+  // Direct convolution at a few positions.
+  auto direct = [&](std::size_t oi, std::size_t oj) {
+    float s = 0.0f;
+    for (std::size_t c = 0; c < 2; ++c)
+      for (int ki = 0; ki < 3; ++ki)
+        for (int kj = 0; kj < 3; ++kj) {
+          const int ii = static_cast<int>(oi) + ki - 1;
+          const int jj = static_cast<int>(oj) + kj - 1;
+          if (ii < 0 || ii >= 5 || jj < 0 || jj >= 4) continue;
+          s += kernel[(c * 3 + ki) * 3 + kj] *
+               img.at3(c, static_cast<std::size_t>(ii),
+                       static_cast<std::size_t>(jj));
+        }
+    return s;
+  };
+  EXPECT_NEAR(out[0], direct(0, 0), 1e-4f);
+  EXPECT_NEAR(out.at2(0, 2 * 4 + 3), direct(2, 3), 1e-4f);
+  EXPECT_NEAR(out.at2(0, 4 * 4 + 3), direct(4, 3), 1e-4f);
+}
+
+TEST(Ops, Col2imIsAdjointOfIm2col) {
+  // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining property
+  // of the gradient scatter.
+  Rng rng(13);
+  Tensor x({2, 4, 4});
+  x.fill_normal(rng, 0.0f, 1.0f);
+  const Tensor cols = im2col(x, 3, 3, 1, 1);
+  Tensor y(cols.shape());
+  y.fill_normal(rng, 0.0f, 1.0f);
+  const Tensor back = col2im(y, 2, 4, 4, 3, 3, 1, 1);
+  double lhs = 0.0;
+  for (std::size_t i = 0; i < cols.numel(); ++i)
+    lhs += static_cast<double>(cols[i]) * y[i];
+  double rhs = 0.0;
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    rhs += static_cast<double>(x[i]) * back[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(Ops, Col2imRejectsWrongGeometry) {
+  const Tensor cols({9, 4});
+  EXPECT_THROW(col2im(cols, 2, 4, 4, 3, 3, 1, 1), Error);
+}
+
+}  // namespace
+}  // namespace clear::ops

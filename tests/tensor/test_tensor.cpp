@@ -1,0 +1,116 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace clear {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.rank(), 0u);
+  EXPECT_EQ(t.numel(), 0u);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6u);
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, ConstructWithData) {
+  Tensor t({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at2(0, 0), 1.0f);
+  EXPECT_EQ(t.at2(0, 1), 2.0f);
+  EXPECT_EQ(t.at2(1, 0), 3.0f);
+  EXPECT_EQ(t.at2(1, 1), 4.0f);
+}
+
+TEST(Tensor, RejectsDataSizeMismatch) {
+  EXPECT_THROW(Tensor({2, 2}, {1, 2, 3}), Error);
+}
+
+TEST(Tensor, RejectsZeroExtent) {
+  EXPECT_THROW(Tensor({2, 0}), Error);
+}
+
+TEST(Tensor, RowMajorLayout) {
+  Tensor t({2, 3});
+  t.at2(1, 2) = 7.0f;
+  EXPECT_EQ(t[5], 7.0f);
+  Tensor u({2, 2, 2});
+  u.at3(1, 0, 1) = 3.0f;
+  EXPECT_EQ(u[5], 3.0f);
+}
+
+TEST(Tensor, At4Layout) {
+  Tensor t({2, 3, 4, 5});
+  t.at4(1, 2, 3, 4) = 9.0f;
+  EXPECT_EQ(t[1 * 60 + 2 * 20 + 3 * 5 + 4], 9.0f);
+}
+
+TEST(Tensor, BoundsChecked) {
+  Tensor t({2, 3});
+  EXPECT_THROW(t.at2(2, 0), Error);
+  EXPECT_THROW(t.at2(0, 3), Error);
+  const std::size_t idx[] = {0};
+  EXPECT_THROW(t.at(idx), Error);  // Rank mismatch.
+}
+
+TEST(Tensor, Reshape) {
+  Tensor t({2, 6});
+  t.reshape({3, 4});
+  EXPECT_EQ(t.extent(0), 3u);
+  EXPECT_EQ(t.extent(1), 4u);
+  EXPECT_THROW(t.reshape({5, 5}), Error);
+}
+
+TEST(Tensor, ReshapedPreservesData) {
+  Tensor t({2, 2}, {1, 2, 3, 4});
+  const Tensor u = t.reshaped({4});
+  EXPECT_EQ(u.rank(), 1u);
+  EXPECT_EQ(u[3], 4.0f);
+  EXPECT_EQ(t.rank(), 2u);  // Original untouched.
+}
+
+TEST(Tensor, FillAndFactories) {
+  Tensor t = Tensor::full({3}, 2.5f);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(t[i], 2.5f);
+  const Tensor ones = Tensor::ones({2, 2});
+  EXPECT_EQ(ones[3], 1.0f);
+  t.zero();
+  EXPECT_EQ(t[0], 0.0f);
+}
+
+TEST(Tensor, FillNormalHasRightMoments) {
+  Rng rng(5);
+  Tensor t({10000});
+  t.fill_normal(rng, 1.0f, 2.0f);
+  double sum = 0.0;
+  for (const float v : t.flat()) sum += v;
+  EXPECT_NEAR(sum / 10000.0, 1.0, 0.1);
+}
+
+TEST(Tensor, FillUniformRespectsBounds) {
+  Rng rng(5);
+  Tensor t({1000});
+  t.fill_uniform(rng, -1.0f, 1.0f);
+  for (const float v : t.flat()) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(Tensor, SameShape) {
+  EXPECT_TRUE(Tensor({2, 3}).same_shape(Tensor({2, 3})));
+  EXPECT_FALSE(Tensor({2, 3}).same_shape(Tensor({3, 2})));
+}
+
+TEST(Tensor, ShapeStr) {
+  EXPECT_EQ(Tensor({2, 3}).shape_str(), "[2, 3]");
+}
+
+}  // namespace
+}  // namespace clear

@@ -1,0 +1,180 @@
+#include "wemac/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "common/error.hpp"
+#include "features/feature_map.hpp"
+
+namespace clear::wemac {
+namespace {
+
+WemacConfig tiny_config(std::uint64_t seed = 1) {
+  WemacConfig c;
+  c.seed = seed;
+  c.n_volunteers = 6;
+  c.trials_per_volunteer = 4;
+  c.windows_per_trial = 6;
+  c.window_seconds = 8.0;
+  return c;
+}
+
+TEST(Dataset, GeneratesExpectedCounts) {
+  const WemacDataset d = generate_wemac(tiny_config());
+  EXPECT_EQ(d.n_volunteers(), 6u);
+  EXPECT_EQ(d.samples().size(), 24u);
+  EXPECT_EQ(d.feature_dim(), features::kTotalFeatureCount);
+  for (const Sample& s : d.samples()) {
+    EXPECT_EQ(s.feature_map.extent(0), 123u);
+    EXPECT_EQ(s.feature_map.extent(1), 6u);
+  }
+}
+
+TEST(Dataset, PerVolunteerIndexConsistent) {
+  const WemacDataset d = generate_wemac(tiny_config());
+  std::size_t total = 0;
+  for (std::size_t v = 0; v < d.n_volunteers(); ++v) {
+    const auto& idx = d.samples_of(v);
+    EXPECT_EQ(idx.size(), 4u);
+    for (const std::size_t s : idx)
+      EXPECT_EQ(d.samples()[s].volunteer_id, v);
+    total += idx.size();
+  }
+  EXPECT_EQ(total, d.samples().size());
+}
+
+TEST(Dataset, LabelsMatchEmotions) {
+  const WemacDataset d = generate_wemac(tiny_config());
+  for (const Sample& s : d.samples())
+    EXPECT_EQ(s.label, is_fear(s.emotion) ? 1 : 0);
+}
+
+TEST(Dataset, BothClassesPresentPerVolunteer) {
+  const WemacDataset d = generate_wemac(tiny_config());
+  for (std::size_t v = 0; v < d.n_volunteers(); ++v) {
+    bool has_fear = false;
+    bool has_non = false;
+    for (const std::size_t s : d.samples_of(v)) {
+      if (d.samples()[s].label == 1) has_fear = true;
+      else has_non = true;
+    }
+    EXPECT_TRUE(has_fear);
+    EXPECT_TRUE(has_non);
+  }
+}
+
+TEST(Dataset, EveryArchetypeRepresented) {
+  const WemacDataset d = generate_wemac(tiny_config());
+  std::set<std::size_t> archetypes;
+  for (const VolunteerMeta& m : d.volunteers())
+    archetypes.insert(m.archetype_id);
+  EXPECT_EQ(archetypes.size(), kNumArchetypes);
+}
+
+TEST(Dataset, DeterministicInSeed) {
+  const WemacDataset a = generate_wemac(tiny_config(7));
+  const WemacDataset b = generate_wemac(tiny_config(7));
+  ASSERT_EQ(a.samples().size(), b.samples().size());
+  for (std::size_t i = 0; i < a.samples().size(); ++i) {
+    const Tensor& ma = a.samples()[i].feature_map;
+    const Tensor& mb = b.samples()[i].feature_map;
+    for (std::size_t j = 0; j < ma.numel(); ++j) EXPECT_EQ(ma[j], mb[j]);
+  }
+}
+
+TEST(Dataset, DifferentSeedsDiffer) {
+  const WemacDataset a = generate_wemac(tiny_config(1));
+  const WemacDataset b = generate_wemac(tiny_config(2));
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.samples().size() && !any_diff; ++i) {
+    const Tensor& ma = a.samples()[i].feature_map;
+    const Tensor& mb = b.samples()[i].feature_map;
+    for (std::size_t j = 0; j < ma.numel(); ++j)
+      if (ma[j] != mb[j]) {
+        any_diff = true;
+        break;
+      }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Dataset, SaveLoadRoundTrip) {
+  namespace fs = std::filesystem;
+  const WemacDataset d = generate_wemac(tiny_config(3));
+  const std::string path =
+      (fs::temp_directory_path() / "clear_dataset_test.bin").string();
+  save_dataset(d, path);
+  const WemacDataset loaded = load_dataset(path);
+  EXPECT_EQ(loaded.n_volunteers(), d.n_volunteers());
+  ASSERT_EQ(loaded.samples().size(), d.samples().size());
+  for (std::size_t i = 0; i < d.samples().size(); ++i) {
+    EXPECT_EQ(loaded.samples()[i].label, d.samples()[i].label);
+    EXPECT_EQ(loaded.samples()[i].volunteer_id, d.samples()[i].volunteer_id);
+    const Tensor& ma = d.samples()[i].feature_map;
+    const Tensor& mb = loaded.samples()[i].feature_map;
+    ASSERT_TRUE(ma.same_shape(mb));
+    for (std::size_t j = 0; j < ma.numel(); ++j) EXPECT_EQ(ma[j], mb[j]);
+  }
+  // Volunteer metadata survives too.
+  for (std::size_t v = 0; v < d.n_volunteers(); ++v) {
+    EXPECT_EQ(loaded.volunteers()[v].archetype_id,
+              d.volunteers()[v].archetype_id);
+    EXPECT_DOUBLE_EQ(loaded.volunteers()[v].profile.hr_base,
+                     d.volunteers()[v].profile.hr_base);
+  }
+  fs::remove(path);
+}
+
+TEST(Dataset, GenerateOrLoadUsesCache) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "clear_cache_test";
+  fs::remove_all(dir);
+  const WemacConfig c = tiny_config(4);
+  const WemacDataset first = generate_or_load(c, dir.string());
+  const fs::path file = dir / ("wemac_" + c.cache_key() + ".bin");
+  EXPECT_TRUE(fs::exists(file));
+  const WemacDataset second = generate_or_load(c, dir.string());
+  EXPECT_EQ(second.samples().size(), first.samples().size());
+  fs::remove_all(dir);
+}
+
+TEST(Dataset, CorruptCacheRegenerates) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "clear_cache_corrupt";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const WemacConfig c = tiny_config(5);
+  const fs::path file = dir / ("wemac_" + c.cache_key() + ".bin");
+  {
+    std::ofstream os(file);
+    os << "not a dataset";
+  }
+  const WemacDataset d = generate_or_load(c, dir.string());
+  EXPECT_EQ(d.n_volunteers(), c.n_volunteers);
+  fs::remove_all(dir);
+}
+
+TEST(Dataset, LoadMissingFileThrows) {
+  EXPECT_THROW(load_dataset("/nonexistent/dataset.bin"), Error);
+}
+
+TEST(Dataset, CacheKeyEncodesConfig) {
+  WemacConfig a = tiny_config(1);
+  WemacConfig b = tiny_config(2);
+  EXPECT_NE(a.cache_key(), b.cache_key());
+  b = tiny_config(1);
+  b.windows_per_trial = 99;
+  EXPECT_NE(a.cache_key(), b.cache_key());
+}
+
+TEST(Dataset, RejectsTooFewVolunteers) {
+  WemacConfig c = tiny_config();
+  c.n_volunteers = 2;
+  EXPECT_THROW(generate_wemac(c), Error);
+}
+
+}  // namespace
+}  // namespace clear::wemac

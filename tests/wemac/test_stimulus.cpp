@@ -1,0 +1,89 @@
+#include "wemac/stimulus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace clear::wemac {
+namespace {
+
+TEST(Stimulus, TenEmotionsNamed) {
+  EXPECT_EQ(kNumEmotions, 10u);
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < kNumEmotions; ++i)
+    names.insert(emotion_name(static_cast<Emotion>(i)));
+  EXPECT_EQ(names.size(), kNumEmotions);
+  EXPECT_EQ(emotion_name(Emotion::kFear), "fear");
+}
+
+TEST(Stimulus, OnlyFearIsFear) {
+  EXPECT_TRUE(is_fear(Emotion::kFear));
+  for (std::size_t i = 1; i < kNumEmotions; ++i)
+    EXPECT_FALSE(is_fear(static_cast<Emotion>(i)));
+}
+
+TEST(Stimulus, FearHasMaximalArousal) {
+  const double fear = emotion_arousal(Emotion::kFear);
+  EXPECT_DOUBLE_EQ(fear, 1.0);
+  for (std::size_t i = 1; i < kNumEmotions; ++i) {
+    const double a = emotion_arousal(static_cast<Emotion>(i));
+    EXPECT_GT(a, 0.0);
+    EXPECT_LT(a, fear);
+  }
+}
+
+TEST(Stimulus, NonFearEmotionsOverlapFearArousal) {
+  // The binary task must not be solvable by arousal alone: at least one
+  // non-fear emotion is strongly arousing.
+  EXPECT_GE(emotion_arousal(Emotion::kAnger), 0.7);
+}
+
+TEST(Stimulus, ScheduleRespectsFearFraction) {
+  Rng rng(1);
+  const auto schedule = make_schedule(20, 0.5, 120.0, rng);
+  ASSERT_EQ(schedule.size(), 20u);
+  std::size_t fear = 0;
+  for (const Stimulus& s : schedule)
+    if (is_fear(s.emotion)) ++fear;
+  EXPECT_EQ(fear, 10u);
+}
+
+TEST(Stimulus, ScheduleCoversNonFearVariety) {
+  Rng rng(3);
+  const auto schedule = make_schedule(60, 0.3, 60.0, rng);
+  std::set<Emotion> seen;
+  for (const Stimulus& s : schedule)
+    if (!is_fear(s.emotion)) seen.insert(s.emotion);
+  EXPECT_GE(seen.size(), 5u);
+}
+
+TEST(Stimulus, ScheduleIsShuffled) {
+  Rng rng(5);
+  const auto schedule = make_schedule(40, 0.5, 60.0, rng);
+  // Fear trials must not all be at the front.
+  bool fear_after_middle = false;
+  for (std::size_t i = schedule.size() / 2; i < schedule.size(); ++i)
+    if (is_fear(schedule[i].emotion)) fear_after_middle = true;
+  EXPECT_TRUE(fear_after_middle);
+}
+
+TEST(Stimulus, ScheduleSetsDuration) {
+  Rng rng(7);
+  const auto schedule = make_schedule(5, 0.4, 90.0, rng);
+  for (const Stimulus& s : schedule) EXPECT_DOUBLE_EQ(s.duration_s, 90.0);
+}
+
+TEST(Stimulus, ScheduleValidation) {
+  Rng rng(9);
+  EXPECT_THROW(make_schedule(1, 0.5, 60.0, rng), Error);
+  EXPECT_THROW(make_schedule(10, 0.0, 60.0, rng), Error);
+  EXPECT_THROW(make_schedule(10, 1.0, 60.0, rng), Error);
+  EXPECT_THROW(make_schedule(10, 0.5, 0.0, rng), Error);
+}
+
+TEST(Stimulus, InvalidEmotionNameThrows) {
+  EXPECT_THROW(emotion_name(static_cast<Emotion>(99)), Error);
+}
+
+}  // namespace
+}  // namespace clear::wemac

@@ -1,0 +1,180 @@
+#include "wemac/synth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "signal/filter.hpp"
+#include "signal/peaks.hpp"
+#include "wemac/archetype.hpp"
+
+namespace clear::wemac {
+namespace {
+
+VolunteerProfile profile_for(std::size_t archetype, std::uint64_t seed) {
+  Rng rng(seed);
+  return sample_profile(default_archetypes()[archetype], 0, archetype, rng);
+}
+
+Stimulus stim(Emotion e, double dur = 120.0) {
+  Stimulus s;
+  s.emotion = e;
+  s.duration_s = dur;
+  return s;
+}
+
+double mean_hr(const TrialSignals& t) {
+  // Same pipeline as the BVP feature extractor: band-limit to the cardiac
+  // band before peak picking, so diastolic-floor noise is not counted.
+  const auto bp = dsp::butterworth_bandpass(0.7, 3.5, t.rates.bvp_hz);
+  const auto pulse = dsp::filtfilt(bp, t.bvp);
+  dsp::PeakOptions opt;
+  opt.min_prominence = 0.45 * stats::stddev(pulse);
+  opt.min_distance = static_cast<std::size_t>(t.rates.bvp_hz / 2.2);
+  const auto peaks = dsp::find_peaks(pulse, opt);
+  const auto ibi = dsp::peak_intervals(peaks, t.rates.bvp_hz);
+  if (ibi.empty()) return 0.0;
+  return 60.0 / stats::mean(ibi);
+}
+
+TEST(Synth, ProfileSamplingPreservesSigns) {
+  for (std::size_t a = 0; a < kNumArchetypes; ++a) {
+    for (std::uint64_t s = 0; s < 20; ++s) {
+      const VolunteerProfile p = profile_for(a, s);
+      EXPECT_GT(p.hr_base, 0.0);
+      EXPECT_GT(p.hrv_sd, 0.0);
+      EXPECT_GT(p.scr_amp, 0.0);
+      EXPECT_GT(p.gsr_tonic, 0.0);
+      // The vagal archetype's negative fear delta must stay negative.
+      const double nominal = default_archetypes()[a].hr_fear_delta;
+      EXPECT_EQ(p.hr_fear_delta > 0, nominal > 0);
+    }
+  }
+}
+
+TEST(Synth, SignalLengthsMatchRates) {
+  Rng rng(1);
+  const VolunteerProfile p = profile_for(0, 1);
+  const SignalRates rates;
+  const TrialSignals t = synthesize_trial(p, stim(Emotion::kCalm, 60.0),
+                                          rates, rng);
+  EXPECT_EQ(t.bvp.size(), static_cast<std::size_t>(60.0 * rates.bvp_hz));
+  EXPECT_EQ(t.gsr.size(), static_cast<std::size_t>(60.0 * rates.gsr_hz));
+  EXPECT_EQ(t.skt.size(), static_cast<std::size_t>(60.0 * rates.skt_hz));
+}
+
+TEST(Synth, AllSamplesFinite) {
+  Rng rng(2);
+  const VolunteerProfile p = profile_for(1, 2);
+  const TrialSignals t = synthesize_trial(p, stim(Emotion::kFear), {}, rng);
+  for (const double v : t.bvp) EXPECT_TRUE(std::isfinite(v));
+  for (const double v : t.gsr) EXPECT_TRUE(std::isfinite(v));
+  for (const double v : t.skt) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Synth, HeartRateNearProfileBaseAtRest) {
+  // Average over several calm trials (per-trial gain adds variance).
+  const VolunteerProfile p = profile_for(0, 3);
+  std::vector<double> hrs;
+  for (std::uint64_t s = 0; s < 6; ++s) {
+    Rng rng(100 + s);
+    hrs.push_back(mean_hr(synthesize_trial(p, stim(Emotion::kCalm), {}, rng)));
+  }
+  EXPECT_NEAR(stats::mean(hrs), p.hr_base, 6.0);
+}
+
+TEST(Synth, FearRaisesHrForCardiacArchetype) {
+  const VolunteerProfile p = profile_for(1, 4);
+  std::vector<double> calm_hr, fear_hr;
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    Rng r1(200 + s), r2(300 + s);
+    calm_hr.push_back(mean_hr(synthesize_trial(p, stim(Emotion::kCalm), {}, r1)));
+    fear_hr.push_back(mean_hr(synthesize_trial(p, stim(Emotion::kFear), {}, r2)));
+  }
+  EXPECT_GT(stats::mean(fear_hr), stats::mean(calm_hr) + 3.0);
+}
+
+TEST(Synth, FearLowersHrForVagalArchetype) {
+  const VolunteerProfile p = profile_for(3, 5);
+  std::vector<double> calm_hr, fear_hr;
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    Rng r1(400 + s), r2(500 + s);
+    calm_hr.push_back(mean_hr(synthesize_trial(p, stim(Emotion::kCalm), {}, r1)));
+    fear_hr.push_back(mean_hr(synthesize_trial(p, stim(Emotion::kFear), {}, r2)));
+  }
+  EXPECT_LT(stats::mean(fear_hr), stats::mean(calm_hr) - 1.0);
+}
+
+TEST(Synth, FearIncreasesElectrodermalActivity) {
+  const VolunteerProfile p = profile_for(0, 6);
+  double calm_var = 0.0, fear_var = 0.0;
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    Rng r1(600 + s), r2(700 + s);
+    const auto calm = synthesize_trial(p, stim(Emotion::kCalm), {}, r1);
+    const auto fear = synthesize_trial(p, stim(Emotion::kFear), {}, r2);
+    calm_var += stats::variance(calm.gsr);
+    fear_var += stats::variance(fear.gsr);
+  }
+  EXPECT_GT(fear_var, calm_var * 1.3);
+}
+
+TEST(Synth, FearCoolsSkin) {
+  const VolunteerProfile p = profile_for(1, 7);
+  std::vector<double> calm_end, fear_end;
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    Rng r1(800 + s), r2(900 + s);
+    const auto calm = synthesize_trial(p, stim(Emotion::kCalm), {}, r1);
+    const auto fear = synthesize_trial(p, stim(Emotion::kFear), {}, r2);
+    // Mean of the final quarter, after thermal dynamics settle.
+    const std::size_t q = calm.skt.size() / 4;
+    calm_end.push_back(stats::mean(
+        std::span<const double>(calm.skt.data() + 3 * q, q)));
+    fear_end.push_back(stats::mean(
+        std::span<const double>(fear.skt.data() + 3 * q, q)));
+  }
+  EXPECT_LT(stats::mean(fear_end), stats::mean(calm_end));
+}
+
+TEST(Synth, DeterministicGivenSameRngState) {
+  const VolunteerProfile p = profile_for(2, 8);
+  Rng r1(42), r2(42);
+  const auto a = synthesize_trial(p, stim(Emotion::kJoy), {}, r1);
+  const auto b = synthesize_trial(p, stim(Emotion::kJoy), {}, r2);
+  ASSERT_EQ(a.bvp.size(), b.bvp.size());
+  for (std::size_t i = 0; i < a.bvp.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.bvp[i], b.bvp[i]);
+}
+
+TEST(Synth, SliceWindowsGeometry) {
+  Rng rng(9);
+  const VolunteerProfile p = profile_for(0, 9);
+  const TrialSignals t = synthesize_trial(p, stim(Emotion::kCalm, 60.0), {},
+                                          rng);
+  const auto windows = slice_windows(t, 10.0);
+  ASSERT_EQ(windows.size(), 6u);
+  for (const auto& w : windows) {
+    EXPECT_EQ(w.bvp.size(), 640u);
+    EXPECT_EQ(w.gsr.size(), 80u);
+    EXPECT_EQ(w.skt.size(), 40u);
+  }
+}
+
+TEST(Synth, SliceWindowsDropsPartialTail) {
+  Rng rng(10);
+  const VolunteerProfile p = profile_for(0, 10);
+  const TrialSignals t = synthesize_trial(p, stim(Emotion::kCalm, 25.0), {},
+                                          rng);
+  EXPECT_EQ(slice_windows(t, 10.0).size(), 2u);
+}
+
+TEST(Synth, ShortTrialRejected) {
+  Rng rng(11);
+  const VolunteerProfile p = profile_for(0, 11);
+  EXPECT_THROW(synthesize_trial(p, stim(Emotion::kCalm, 0.5), {}, rng),
+               clear::Error);
+}
+
+}  // namespace
+}  // namespace clear::wemac

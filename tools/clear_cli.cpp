@@ -1,0 +1,226 @@
+// clear-cli — command-line front end to the CLEAR library.
+//
+// The tool walks through the whole life cycle of the system on the
+// synthetic WEMAC substrate:
+//
+//   clear-cli generate  --cache-dir=DIR [--volunteers=N --trials=N --seed=S]
+//       Generate (and cache) the synthetic dataset; print a summary.
+//
+//   clear-cli train     --artifacts=DIR [--holdout=N] [dataset flags]
+//       Cloud stage: fit the pipeline on all volunteers except the last
+//       `holdout` ones and save the deployment artifacts.
+//
+//   clear-cli info      --artifacts=DIR
+//       Describe saved artifacts (clusters, sizes, model).
+//
+//   clear-cli assign    --artifacts=DIR --user=N [--fraction=0.1]
+//       Cold-start: assign a (held-out) user from unlabeled data.
+//
+//   clear-cli evaluate  --artifacts=DIR --user=N
+//       Evaluate every cluster model on a user's maps.
+//
+//   clear-cli personalize --artifacts=DIR --user=N [--ft-fraction=0.2]
+//       Assign, fine-tune on the labelled share, and report before/after.
+#include <cstdio>
+
+#include "clear/artifacts.hpp"
+#include "clear/evaluation.hpp"
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/table.hpp"
+
+using namespace clear;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: clear-cli <generate|train|info|assign|evaluate|"
+               "personalize> [--flags]\n"
+               "run with a command name for details (see tool header).\n");
+  return 2;
+}
+
+core::ClearConfig config_from(const CliArgs& args) {
+  core::ClearConfig config = core::default_config();
+  config.data.seed = static_cast<std::uint64_t>(
+      args.get_int("seed", static_cast<std::int64_t>(config.data.seed)));
+  config.data.n_volunteers = static_cast<std::size_t>(args.get_int(
+      "volunteers", static_cast<std::int64_t>(config.data.n_volunteers)));
+  config.data.trials_per_volunteer = static_cast<std::size_t>(args.get_int(
+      "trials", static_cast<std::int64_t>(config.data.trials_per_volunteer)));
+  config.train.epochs = static_cast<std::size_t>(
+      args.get_int("epochs", static_cast<std::int64_t>(config.train.epochs)));
+  config.gc.k = static_cast<std::size_t>(
+      args.get_int("k", static_cast<std::int64_t>(config.gc.k)));
+  config.finalize();
+  return config;
+}
+
+wemac::WemacDataset dataset_from(const core::ClearConfig& config,
+                                 const CliArgs& args) {
+  return wemac::generate_or_load(config.data,
+                                 args.get("cache-dir", "wemac_cache"));
+}
+
+int cmd_generate(const CliArgs& args) {
+  const core::ClearConfig config = config_from(args);
+  const wemac::WemacDataset d = dataset_from(config, args);
+  std::printf("volunteers: %zu\n", d.n_volunteers());
+  std::printf("feature maps: %zu (%zu features x %zu windows)\n",
+              d.samples().size(), d.feature_dim(),
+              config.data.windows_per_trial);
+  std::size_t fear = 0;
+  for (const wemac::Sample& s : d.samples()) fear += s.label;
+  std::printf("fear share: %.1f%%\n",
+              100.0 * static_cast<double>(fear) /
+                  static_cast<double>(d.samples().size()));
+  std::vector<std::size_t> arch(wemac::kNumArchetypes, 0);
+  for (const auto& v : d.volunteers()) ++arch[v.archetype_id];
+  std::printf("archetype mix:");
+  for (std::size_t a = 0; a < arch.size(); ++a)
+    std::printf(" %s=%zu", wemac::default_archetypes()[a].name.c_str(),
+                arch[a]);
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_train(const CliArgs& args) {
+  const std::string out = args.get("artifacts", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "train requires --artifacts=DIR\n");
+    return 2;
+  }
+  const core::ClearConfig config = config_from(args);
+  const wemac::WemacDataset d = dataset_from(config, args);
+  const auto holdout = static_cast<std::size_t>(args.get_int("holdout", 1));
+  if (holdout + 4 > d.n_volunteers()) {
+    std::fprintf(stderr, "holdout leaves too few training users\n");
+    return 2;
+  }
+  std::vector<std::size_t> users;
+  for (std::size_t u = 0; u + holdout < d.n_volunteers(); ++u)
+    users.push_back(u);
+  std::printf("fitting pipeline on %zu users (%zu held out)...\n",
+              users.size(), holdout);
+  core::ClearPipeline pipeline(config);
+  pipeline.fit(d, users);
+  for (std::size_t k = 0; k < pipeline.n_clusters(); ++k)
+    std::printf("  cluster %zu: %zu users\n", k,
+                pipeline.clustering().clusters[k].members.size());
+  core::save_pipeline(pipeline, out);
+  std::printf("artifacts written to %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_info(const CliArgs& args) {
+  core::ClearPipeline pipeline =
+      core::load_pipeline(args.get("artifacts", "clear_artifacts"));
+  const auto& config = pipeline.config();
+  std::printf("clusters: %zu\n", pipeline.n_clusters());
+  for (std::size_t k = 0; k < pipeline.n_clusters(); ++k) {
+    const auto& c = pipeline.clustering().clusters[k];
+    std::printf("  cluster %zu: %zu users, %zu sub-centroids\n", k,
+                c.members.size(), c.sub_centroids.size());
+  }
+  std::printf("model: %zux%zu map, conv %zu->%zu, LSTM %zu, %zu params\n",
+              config.model.feature_dim, config.model.window_count,
+              config.model.conv1_channels, config.model.conv2_channels,
+              config.model.lstm_hidden,
+              pipeline.cluster_model(0).parameter_count());
+  std::printf("fitted users: %zu\n", pipeline.fitted_users().size());
+  return 0;
+}
+
+int cmd_assign(const CliArgs& args) {
+  const core::ClearConfig config = config_from(args);
+  const wemac::WemacDataset d = dataset_from(config, args);
+  core::ClearPipeline pipeline =
+      core::load_pipeline(args.get("artifacts", "clear_artifacts"));
+  const auto user = static_cast<std::size_t>(args.get_int("user",
+      static_cast<std::int64_t>(d.n_volunteers() - 1)));
+  const double fraction = args.get_double("fraction", 0.1);
+  const cluster::AssignmentResult r =
+      pipeline.assign_user(d, user, fraction);
+  std::printf("user %zu -> cluster %zu (from %.0f%% unlabeled data)\n", user,
+              r.cluster, fraction * 100.0);
+  for (std::size_t k = 0; k < r.scores.size(); ++k)
+    std::printf("  cluster %zu score: %.4f%s\n", k, r.scores[k],
+                k == r.cluster ? "  <-- assigned" : "");
+  return 0;
+}
+
+int cmd_evaluate(const CliArgs& args) {
+  const core::ClearConfig config = config_from(args);
+  const wemac::WemacDataset d = dataset_from(config, args);
+  core::ClearPipeline pipeline =
+      core::load_pipeline(args.get("artifacts", "clear_artifacts"));
+  const auto user = static_cast<std::size_t>(args.get_int("user",
+      static_cast<std::int64_t>(d.n_volunteers() - 1)));
+  const auto& samples = d.samples_of(user);
+  const std::vector<std::size_t> idx(samples.begin(), samples.end());
+  AsciiTable table({"cluster", "accuracy", "F1"});
+  table.set_title("user " + std::to_string(user) + " on every cluster model");
+  for (std::size_t k = 0; k < pipeline.n_clusters(); ++k) {
+    const nn::BinaryMetrics m = pipeline.evaluate_on(d, k, idx);
+    table.add_row({std::to_string(k),
+                   AsciiTable::num(m.accuracy * 100.0, 1) + "%",
+                   AsciiTable::num(m.f1 * 100.0, 1) + "%"});
+  }
+  table.print();
+  return 0;
+}
+
+int cmd_personalize(const CliArgs& args) {
+  core::ClearConfig config = config_from(args);
+  config.ft_fraction = args.get_double("ft-fraction", config.ft_fraction);
+  const wemac::WemacDataset d = dataset_from(config, args);
+  core::ClearPipeline pipeline =
+      core::load_pipeline(args.get("artifacts", "clear_artifacts"));
+  const auto user = static_cast<std::size_t>(args.get_int("user",
+      static_cast<std::int64_t>(d.n_volunteers() - 1)));
+  const auto assignment = pipeline.assign_user(d, user, config.ca_fraction);
+  const core::UserSplit split = core::split_user_samples(
+      d, user, config.ca_fraction, config.ft_fraction);
+  const nn::BinaryMetrics before =
+      pipeline.evaluate_on(d, assignment.cluster, split.test);
+  auto personal = pipeline.clone_cluster_model(assignment.cluster);
+  pipeline.fine_tune_on(*personal, d, split.ft);
+  const std::vector<Tensor> test_maps = pipeline.normalize_samples(d, split.test);
+  nn::MapDataset test_set;
+  for (std::size_t i = 0; i < test_maps.size(); ++i) {
+    test_set.maps.push_back(&test_maps[i]);
+    test_set.labels.push_back(
+        static_cast<std::size_t>(d.samples()[split.test[i]].label));
+  }
+  const nn::BinaryMetrics after = nn::evaluate(*personal, test_set);
+  std::printf("user %zu (cluster %zu, %zu labelled maps):\n", user,
+              assignment.cluster, split.ft.size());
+  std::printf("  before fine-tuning: %.1f%% accuracy / %.1f%% F1\n",
+              before.accuracy * 100.0, before.f1 * 100.0);
+  std::printf("  after fine-tuning:  %.1f%% accuracy / %.1f%% F1\n",
+              after.accuracy * 100.0, after.f1 * 100.0);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliArgs args(argc, argv);
+    if (args.positional().empty()) return usage();
+    const std::string& command = args.positional()[0];
+    if (command == "generate") return cmd_generate(args);
+    if (command == "train") return cmd_train(args);
+    if (command == "info") return cmd_info(args);
+    if (command == "assign") return cmd_assign(args);
+    if (command == "evaluate") return cmd_evaluate(args);
+    if (command == "personalize") return cmd_personalize(args);
+    std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+    return usage();
+  } catch (const clear::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,27 @@
+#!/bin/sh
+# End-to-end workflow test for clear-cli: generate -> train -> info ->
+# assign -> evaluate -> personalize on a tiny synthetic population.
+# Usage: cli_workflow_test.sh <path-to-clear-cli>
+set -eu
+
+CLI="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+cd "$WORK"
+
+COMMON="--volunteers=8 --trials=5 --epochs=2 --seed=7 --cache-dir=cache"
+
+"$CLI" generate $COMMON | grep -q "volunteers: 8"
+"$CLI" train --artifacts=art $COMMON | grep -q "artifacts written"
+test -f art/pipeline.meta
+test -f art/cluster_0.ckpt
+"$CLI" info --artifacts=art | grep -q "clusters: 4"
+"$CLI" assign --artifacts=art $COMMON --user=7 | grep -q "assigned"
+"$CLI" evaluate --artifacts=art $COMMON --user=7 | grep -q "cluster"
+"$CLI" personalize --artifacts=art $COMMON --user=7 | grep -q "after fine-tuning"
+
+# Error paths: unknown command and missing artifacts must fail cleanly.
+if "$CLI" frobnicate 2>/dev/null; then exit 1; fi
+if "$CLI" info --artifacts=/nonexistent 2>/dev/null; then exit 1; fi
+
+echo "cli workflow OK"
