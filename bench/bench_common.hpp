@@ -7,7 +7,9 @@
 
 #include "clear/config.hpp"
 #include "common/cli.hpp"
+#include "common/error.hpp"
 #include "common/logging.hpp"
+#include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "wemac/dataset.hpp"
 
@@ -15,11 +17,18 @@ namespace clear::bench {
 
 /// Build the experiment configuration from common CLI flags:
 ///   --seed=N --volunteers=N --trials=N --epochs=N --ft-epochs=N
+///   --threads=N (0 = all hardware threads; results are thread-count
+///   invariant, so this only changes wall-clock time)
 ///   --quick (small preset for a fast sanity pass)
 inline core::ClearConfig config_from_args(const CliArgs& args) {
   core::ClearConfig config =
       args.get_bool("quick", false) ? core::smoke_config()
                                     : core::default_config();
+  if (args.has("threads")) {
+    const std::int64_t threads = args.get_int("threads", 1);
+    CLEAR_CHECK_MSG(threads >= 0, "--threads must be >= 0");
+    set_num_threads(static_cast<std::size_t>(threads));
+  }
   config.data.seed =
       static_cast<std::uint64_t>(args.get_int("seed", static_cast<std::int64_t>(config.data.seed)));
   config.data.n_volunteers = static_cast<std::size_t>(

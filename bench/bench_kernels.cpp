@@ -1,8 +1,20 @@
 // Micro-benchmarks (google-benchmark): the op-level kernels behind the
 // tables — fp32 GEMM vs int8 GEMM, conv/LSTM forward+backward, end-to-end
 // CNN-LSTM inference at each precision, and the 123-feature extraction.
+//
+// The binary first prints a thread-count sweep (1/2/4/hardware) for the two
+// parallelized hot kernels — fp32 GEMM and k-means — with speedups relative
+// to 1 thread, then runs the google-benchmark suite (pass --benchmark_filter
+// etc. as usual).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "cluster/kmeans.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "edge/engine.hpp"
 #include "edge/qkernels.hpp"
@@ -193,6 +205,116 @@ void BM_FakeQuantize(benchmark::State& state) {
 }
 BENCHMARK(BM_FakeQuantize);
 
+void BM_MatmulF32Threads(benchmark::State& state) {
+  const NumThreadsGuard guard(static_cast<std::size_t>(state.range(1)));
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Tensor a = random_tensor({n, n}, 1);
+  const Tensor b = random_tensor({n, n}, 2);
+  for (auto _ : state) {
+    Tensor c = ops::matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_MatmulF32Threads)->Apply([](benchmark::internal::Benchmark* b) {
+  for (const std::size_t t : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                              hardware_threads()})
+    b->Args({256, static_cast<std::int64_t>(t)});
+});
+
+void BM_KMeansThreads(benchmark::State& state) {
+  const NumThreadsGuard guard(static_cast<std::size_t>(state.range(0)));
+  Rng data_rng(31);
+  std::vector<cluster::Point> points;
+  for (std::size_t i = 0; i < 2000; ++i) {
+    cluster::Point p(16);
+    const double center = static_cast<double>(i % 8) * 4.0;
+    for (double& v : p) v = center + data_rng.normal(0.0, 1.0);
+    points.push_back(std::move(p));
+  }
+  for (auto _ : state) {
+    Rng rng(7);
+    const cluster::KMeansResult r = cluster::kmeans(points, 8, rng);
+    benchmark::DoNotOptimize(r.inertia);
+  }
+}
+BENCHMARK(BM_KMeansThreads)->Apply([](benchmark::internal::Benchmark* b) {
+  for (const std::size_t t : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                              hardware_threads()})
+    b->Args({static_cast<std::int64_t>(t)});
+});
+
+// ---------------------------------------------------------------------------
+// Thread-count sweep printed before the google-benchmark suite: wall-clock
+// and speedup vs 1 thread for the two parallel kernels. Results are
+// bit-identical at every row (checked for k-means inertia here; the full
+// guarantee is covered by test_parallel_determinism).
+
+double time_best_of(int reps, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best,
+                    std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+void print_thread_sweep() {
+  std::vector<std::size_t> counts = {1, 2, 4, hardware_threads()};
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+
+  const Tensor a = random_tensor({384, 384}, 1);
+  const Tensor b = random_tensor({384, 384}, 2);
+  Rng data_rng(31);
+  std::vector<cluster::Point> points;
+  for (std::size_t i = 0; i < 2000; ++i) {
+    cluster::Point p(16);
+    const double center = static_cast<double>(i % 8) * 4.0;
+    for (double& v : p) v = center + data_rng.normal(0.0, 1.0);
+    points.push_back(std::move(p));
+  }
+
+  std::printf("thread sweep (best of 5, ms; speedup vs 1 thread)\n");
+  std::printf("%8s %14s %14s\n", "threads", "gemm 384^3", "kmeans 2000x16");
+  double gemm_base = 0.0;
+  double km_base = 0.0;
+  double km_inertia_base = 0.0;
+  for (const std::size_t t : counts) {
+    const NumThreadsGuard guard(t);
+    const double gemm_ms = time_best_of(5, [&] {
+      Tensor c = ops::matmul(a, b);
+      benchmark::DoNotOptimize(c.data());
+    });
+    double inertia = 0.0;
+    const double km_ms = time_best_of(5, [&] {
+      Rng rng(7);
+      inertia = cluster::kmeans(points, 8, rng).inertia;
+    });
+    if (t == 1) {
+      gemm_base = gemm_ms;
+      km_base = km_ms;
+      km_inertia_base = inertia;
+    } else if (inertia != km_inertia_base) {
+      std::printf("WARNING: k-means inertia drifted at %zu threads\n", t);
+    }
+    std::printf("%8zu %9.2f %4.2fx %9.2f %4.2fx\n", t, gemm_ms,
+                gemm_base / gemm_ms, km_ms, km_base / km_ms);
+  }
+  std::printf("\n");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  print_thread_sweep();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

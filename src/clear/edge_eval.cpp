@@ -1,8 +1,10 @@
 #include "clear/edge_eval.hpp"
 
+#include <mutex>
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "edge/finetune.hpp"
 #include "nn/checkpoint.hpp"
 
@@ -92,44 +94,74 @@ EdgeEvalResult run_edge_validation(const wemac::WemacDataset& dataset,
   result.device = device;
   const edge::DeviceSpec spec = edge::device_spec(device);
 
-  std::size_t fold_idx = 0;
-  for (const ClearFoldArtifacts& fold : folds) {
-    if (options.progress) options.progress(fold_idx++, folds.size());
-    const std::size_t k = fold.assigned_cluster;
-    OwnedSet test = make_owned_set(dataset, fold.normalizer, fold.split.test);
+  // Folds rebuild their engines from checkpoint bytes and salt the
+  // fine-tuning seed with the fold's test user, so they are independent and
+  // run concurrently; outcomes are merged in fold order below so aggregates
+  // match the serial loop bit for bit at any thread count.
+  struct FoldOutcome {
+    nn::BinaryMetrics no_ft;
+    bool has_rt = false;
+    double rt_acc = 0.0;
+    double rt_f1 = 0.0;
+    bool has_ft = false;
+    nn::BinaryMetrics with_ft;
+  };
+  std::vector<FoldOutcome> outcomes(folds.size());
+  std::mutex progress_mutex;
 
-    // Deployed accuracy without fine-tuning.
-    edge::EdgeEngine engine = make_engine(dataset, config, fold, k,
-                                          spec.precision,
-                                          options.act_percentile);
-    result.no_ft.add(engine.evaluate(test.set));
+  parallel_for(0, folds.size(), 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t f = lo; f < hi; ++f) {
+      if (options.progress) {
+        const std::lock_guard<std::mutex> lock(progress_mutex);
+        options.progress(f, folds.size());
+      }
+      const ClearFoldArtifacts& fold = folds[f];
+      FoldOutcome& out = outcomes[f];
+      const std::size_t k = fold.assigned_cluster;
+      OwnedSet test = make_owned_set(dataset, fold.normalizer, fold.split.test);
 
-    // RT at device precision: other clusters' deployed models.
-    std::vector<double> rt_acc;
-    std::vector<double> rt_f1;
-    for (std::size_t other = 0; other < fold.checkpoints.size(); ++other) {
-      if (other == k) continue;
-      edge::EdgeEngine rt_engine = make_engine(dataset, config, fold, other,
-                                               spec.precision,
-                                               options.act_percentile);
-      const nn::BinaryMetrics m = rt_engine.evaluate(test.set);
-      rt_acc.push_back(m.accuracy * 100.0);
-      rt_f1.push_back(m.f1 * 100.0);
+      // Deployed accuracy without fine-tuning.
+      edge::EdgeEngine engine = make_engine(dataset, config, fold, k,
+                                            spec.precision,
+                                            options.act_percentile);
+      out.no_ft = engine.evaluate(test.set);
+
+      // RT at device precision: other clusters' deployed models.
+      std::vector<double> rt_acc;
+      std::vector<double> rt_f1;
+      for (std::size_t other = 0; other < fold.checkpoints.size(); ++other) {
+        if (other == k) continue;
+        edge::EdgeEngine rt_engine = make_engine(dataset, config, fold, other,
+                                                 spec.precision,
+                                                 options.act_percentile);
+        const nn::BinaryMetrics m = rt_engine.evaluate(test.set);
+        rt_acc.push_back(m.accuracy * 100.0);
+        rt_f1.push_back(m.f1 * 100.0);
+      }
+      if (!rt_acc.empty()) {
+        out.has_rt = true;
+        out.rt_acc = nn::mean_std(rt_acc).mean;
+        out.rt_f1 = nn::mean_std(rt_f1).mean;
+      }
+
+      // On-device fine-tuning.
+      if (options.run_finetune) {
+        OwnedSet ft = make_owned_set(dataset, fold.normalizer, fold.split.ft);
+        edge::EdgeFinetuneConfig fc;
+        fc.train = config.finetune;
+        fc.train.seed = config.seed ^ 0xED6E ^ fold.test_user;
+        fc.freeze_boundary = nn::fine_tune_boundary();
+        edge::edge_finetune(engine, ft.set, fc);
+        out.has_ft = true;
+        out.with_ft = engine.evaluate(test.set);
+      }
     }
-    if (!rt_acc.empty())
-      result.rt.add_percent(nn::mean_std(rt_acc).mean,
-                            nn::mean_std(rt_f1).mean);
+  });
 
-    // On-device fine-tuning.
-    if (options.run_finetune) {
-      OwnedSet ft = make_owned_set(dataset, fold.normalizer, fold.split.ft);
-      edge::EdgeFinetuneConfig fc;
-      fc.train = config.finetune;
-      fc.train.seed = config.seed ^ 0xED6E ^ fold.test_user;
-      fc.freeze_boundary = nn::fine_tune_boundary();
-      edge::edge_finetune(engine, ft.set, fc);
-      result.with_ft.add(engine.evaluate(test.set));
-    }
+  for (const FoldOutcome& out : outcomes) {
+    result.no_ft.add(out.no_ft);
+    if (out.has_rt) result.rt.add_percent(out.rt_acc, out.rt_f1);
+    if (out.has_ft) result.with_ft.add(out.with_ft);
   }
 
   result.no_ft.finalize();

@@ -1,9 +1,11 @@
 #include "clear/evaluation.hpp"
 
 #include <algorithm>
+#include <mutex>
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "common/parallel.hpp"
 #include "cluster/validity.hpp"
 
 namespace clear::core {
@@ -102,7 +104,19 @@ ClValidationResult run_cl_validation(const wemac::WemacDataset& dataset,
   result.silhouette =
       cluster::silhouette(user_points, gc.user_cluster, config.gc.k);
 
-  // Intra-cluster LOSO.
+  // Intra-cluster LOSO. Folds are independent — each derives its RNG from
+  // config.seed and a fold-specific salt — so they can run concurrently.
+  // Flatten the (cluster, test_user) pairs first, then merge outcomes in
+  // the original fold order so aggregates match the serial sweep bit for
+  // bit at any thread count.
+  struct ClFold {
+    std::size_t k = 0;
+    std::size_t test_user = 0;
+    const std::vector<std::size_t>* members = nullptr;
+    const std::vector<std::size_t>* outside_samples = nullptr;
+  };
+  std::vector<std::vector<std::size_t>> outside_by_cluster(config.gc.k);
+  std::vector<ClFold> fold_list;
   for (std::size_t k = 0; k < config.gc.k; ++k) {
     const std::vector<std::size_t>& members = gc.clusters[k].members;
     if (members.size() < 2) {
@@ -113,29 +127,44 @@ ClValidationResult run_cl_validation(const wemac::WemacDataset& dataset,
     std::vector<std::size_t> outside;
     for (std::size_t u = 0; u < n_users; ++u)
       if (gc.user_cluster[u] != k) outside.push_back(u);
-    const std::vector<std::size_t> outside_samples =
-        samples_of_users(dataset, outside);
+    outside_by_cluster[k] = samples_of_users(dataset, outside);
+    for (const std::size_t test_user : members)
+      fold_list.push_back(
+          {k, test_user, &members, &outside_by_cluster[k]});
+  }
 
-    for (const std::size_t test_user : members) {
+  struct ClOutcome {
+    nn::BinaryMetrics cl;
+    bool has_rt = false;
+    nn::BinaryMetrics rt;
+  };
+  std::vector<ClOutcome> outcomes(fold_list.size());
+  parallel_for(0, fold_list.size(), 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t f = lo; f < hi; ++f) {
+      const ClFold& fold = fold_list[f];
       std::vector<std::size_t> train_users;
-      for (const std::size_t m : members)
-        if (m != test_user) train_users.push_back(m);
+      for (const std::size_t m : *fold.members)
+        if (m != fold.test_user) train_users.push_back(m);
       const features::FeatureNormalizer fold_norm =
           fit_normalizer(dataset, train_users);
       std::vector<Tensor> storage;
       std::unique_ptr<nn::Sequential> model;
-      const nn::BinaryMetrics m = train_and_test(
+      outcomes[f].cl = train_and_test(
           dataset, fold_norm, samples_of_users(dataset, train_users),
-          std::vector<std::size_t>(dataset.samples_of(test_user)),
-          config, 0x10000 + k * 1000 + test_user, storage, &model);
-      result.cl.add(m);
+          std::vector<std::size_t>(dataset.samples_of(fold.test_user)),
+          config, 0x10000 + fold.k * 1000 + fold.test_user, storage, &model);
       // RT CL: same fold model on out-of-cluster users.
-      if (!outside_samples.empty()) {
+      if (!fold.outside_samples->empty()) {
         const nn::MapDataset rt_set =
-            make_map_dataset(dataset, storage, outside_samples);
-        result.rt.add(nn::evaluate(*model, rt_set));
+            make_map_dataset(dataset, storage, *fold.outside_samples);
+        outcomes[f].rt = nn::evaluate(*model, rt_set);
+        outcomes[f].has_rt = true;
       }
     }
+  });
+  for (const ClOutcome& o : outcomes) {
+    result.cl.add(o.cl);
+    if (o.has_rt) result.rt.add(o.rt);
   }
   result.cl.finalize();
   result.rt.finalize();
@@ -154,19 +183,24 @@ Aggregate run_general_model(const wemac::WemacDataset& dataset,
   const std::vector<std::size_t> perm = rng.permutation(n_users);
   std::vector<std::size_t> chosen(perm.begin(),
                                   perm.begin() + config.general_model_users);
-  for (const std::size_t test_user : chosen) {
-    std::vector<std::size_t> train_users;
-    for (const std::size_t u : chosen)
-      if (u != test_user) train_users.push_back(u);
-    const features::FeatureNormalizer fold_norm =
-        fit_normalizer(dataset, train_users);
-    std::vector<Tensor> storage;
-    const nn::BinaryMetrics m = train_and_test(
-        dataset, fold_norm, samples_of_users(dataset, train_users),
-        std::vector<std::size_t>(dataset.samples_of(test_user)), config,
-        0x20000 + test_user, storage, nullptr, factory);
-    agg.add(m);
-  }
+  // Independent folds (per-user seed salts); merge in the original order.
+  std::vector<nn::BinaryMetrics> outcomes(chosen.size());
+  parallel_for(0, chosen.size(), 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t f = lo; f < hi; ++f) {
+      const std::size_t test_user = chosen[f];
+      std::vector<std::size_t> train_users;
+      for (const std::size_t u : chosen)
+        if (u != test_user) train_users.push_back(u);
+      const features::FeatureNormalizer fold_norm =
+          fit_normalizer(dataset, train_users);
+      std::vector<Tensor> storage;
+      outcomes[f] = train_and_test(
+          dataset, fold_norm, samples_of_users(dataset, train_users),
+          std::vector<std::size_t>(dataset.samples_of(test_user)), config,
+          0x20000 + test_user, storage, nullptr, factory);
+    }
+  });
+  for (const nn::BinaryMetrics& m : outcomes) agg.add(m);
   agg.finalize();
   return agg;
 }
@@ -178,80 +212,119 @@ ClearValidationResult run_clear_validation(const wemac::WemacDataset& dataset,
   const std::size_t n_users = dataset.n_volunteers();
   const std::size_t folds =
       options.max_folds > 0 ? std::min(options.max_folds, n_users) : n_users;
-  std::size_t ca_matches = 0;
 
-  for (std::size_t vx = 0; vx < folds; ++vx) {
-    if (options.progress) options.progress(vx, folds);
-    // Fit the pipeline without V_x.
-    std::vector<std::size_t> train_users;
-    for (std::size_t u = 0; u < n_users; ++u)
-      if (u != vx) train_users.push_back(u);
-    ClearPipeline pipeline(config);
-    pipeline.fit(dataset, train_users, /*seed_salt=*/vx + 1);
+  // Per-fold outcomes, filled concurrently (every fold salts its RNGs with
+  // vx + 1, so fold results never depend on execution order) and merged
+  // below in ascending fold order — aggregates are bit-identical to the
+  // serial sweep at any thread count. With multiple threads the progress
+  // callback may fire out of fold order; it is serialized by a mutex.
+  struct FoldOutcome {
+    nn::BinaryMetrics no_ft;
+    bool has_rt = false;
+    double rt_acc = 0.0;
+    double rt_f1 = 0.0;
+    bool has_ft = false;
+    nn::BinaryMetrics with_ft;
+    bool ca_match = false;
+    ClearFoldArtifacts artifacts;
+  };
+  std::vector<FoldOutcome> outcomes(folds);
+  std::mutex progress_mutex;
 
-    // Cold-start split and unsupervised assignment.
-    const UserSplit split = split_user_samples(dataset, vx, config.ca_fraction,
-                                               config.ft_fraction);
-    const std::vector<Tensor> ca_maps =
-        pipeline.normalize_samples(dataset, split.ca);
-    std::vector<cluster::Point> ca_obs;
-    for (const Tensor& m : ca_maps)
-      ca_obs.push_back(features::feature_map_mean(m));
-    const cluster::AssignmentResult assignment =
-        pipeline.assign_observations(ca_obs, options.strategy);
-    const std::size_t k = assignment.cluster;
-
-    // CA consistency diagnostic (ground truth never feeds the algorithm).
-    const std::size_t truth = dataset.volunteers()[vx].archetype_id;
-    if (dominant_archetype(dataset, train_users,
-                           pipeline.clustering().clusters[k]) == truth)
-      ++ca_matches;
-
-    // CLEAR w/o FT.
-    result.no_ft.add(pipeline.evaluate_on(dataset, k, split.test));
-
-    // RT CLEAR: mean over the other clusters' models.
-    std::vector<double> rt_acc;
-    std::vector<double> rt_f1;
-    for (std::size_t other = 0; other < pipeline.n_clusters(); ++other) {
-      if (other == k) continue;
-      const nn::BinaryMetrics m = pipeline.evaluate_on(dataset, other,
-                                                       split.test);
-      rt_acc.push_back(m.accuracy * 100.0);
-      rt_f1.push_back(m.f1 * 100.0);
-    }
-    if (!rt_acc.empty())
-      result.rt.add_percent(nn::mean_std(rt_acc).mean,
-                            nn::mean_std(rt_f1).mean);
-
-    // CLEAR w FT.
-    if (options.run_finetune) {
-      std::unique_ptr<nn::Sequential> personal = pipeline.clone_cluster_model(k);
-      pipeline.fine_tune_on(*personal, dataset, split.ft,
-                            /*seed_salt=*/vx + 1);
-      const std::vector<Tensor> test_maps =
-          pipeline.normalize_samples(dataset, split.test);
-      nn::MapDataset test_set;
-      for (std::size_t i = 0; i < test_maps.size(); ++i) {
-        test_set.maps.push_back(&test_maps[i]);
-        test_set.labels.push_back(static_cast<std::size_t>(
-            dataset.samples()[split.test[i]].label));
+  parallel_for(0, folds, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t vx = lo; vx < hi; ++vx) {
+      if (options.progress) {
+        const std::lock_guard<std::mutex> lock(progress_mutex);
+        options.progress(vx, folds);
       }
-      result.with_ft.add(nn::evaluate(*personal, test_set));
-    }
+      FoldOutcome& out = outcomes[vx];
+      // Fit the pipeline without V_x.
+      std::vector<std::size_t> train_users;
+      for (std::size_t u = 0; u < n_users; ++u)
+        if (u != vx) train_users.push_back(u);
+      ClearPipeline pipeline(config);
+      pipeline.fit(dataset, train_users, /*seed_salt=*/vx + 1);
 
-    if (options.keep_artifacts) {
-      ClearFoldArtifacts art;
-      art.test_user = vx;
-      art.assigned_cluster = k;
-      art.normalizer = pipeline.normalizer();
-      art.clustering = pipeline.clustering();
-      art.fitted_users = train_users;
-      for (std::size_t c = 0; c < pipeline.n_clusters(); ++c)
-        art.checkpoints.push_back(pipeline.serialize_cluster_model(c));
-      art.split = split;
-      result.artifacts.push_back(std::move(art));
+      // Cold-start split and unsupervised assignment.
+      const UserSplit split = split_user_samples(
+          dataset, vx, config.ca_fraction, config.ft_fraction);
+      const std::vector<Tensor> ca_maps =
+          pipeline.normalize_samples(dataset, split.ca);
+      std::vector<cluster::Point> ca_obs;
+      for (const Tensor& m : ca_maps)
+        ca_obs.push_back(features::feature_map_mean(m));
+      const cluster::AssignmentResult assignment =
+          pipeline.assign_observations(ca_obs, options.strategy);
+      const std::size_t k = assignment.cluster;
+
+      // CA consistency diagnostic (ground truth never feeds the algorithm).
+      const std::size_t truth = dataset.volunteers()[vx].archetype_id;
+      out.ca_match = dominant_archetype(dataset, train_users,
+                                        pipeline.clustering().clusters[k]) ==
+                     truth;
+
+      // CLEAR w/o FT.
+      out.no_ft = pipeline.evaluate_on(dataset, k, split.test);
+
+      // RT CLEAR: mean over the other clusters' models.
+      std::vector<double> rt_acc;
+      std::vector<double> rt_f1;
+      for (std::size_t other = 0; other < pipeline.n_clusters(); ++other) {
+        if (other == k) continue;
+        const nn::BinaryMetrics m =
+            pipeline.evaluate_on(dataset, other, split.test);
+        rt_acc.push_back(m.accuracy * 100.0);
+        rt_f1.push_back(m.f1 * 100.0);
+      }
+      if (!rt_acc.empty()) {
+        out.has_rt = true;
+        out.rt_acc = nn::mean_std(rt_acc).mean;
+        out.rt_f1 = nn::mean_std(rt_f1).mean;
+      }
+
+      // CLEAR w FT.
+      if (options.run_finetune) {
+        std::unique_ptr<nn::Sequential> personal =
+            pipeline.clone_cluster_model(k);
+        pipeline.fine_tune_on(*personal, dataset, split.ft,
+                              /*seed_salt=*/vx + 1);
+        const std::vector<Tensor> test_maps =
+            pipeline.normalize_samples(dataset, split.test);
+        nn::MapDataset test_set;
+        for (std::size_t i = 0; i < test_maps.size(); ++i) {
+          test_set.maps.push_back(&test_maps[i]);
+          test_set.labels.push_back(static_cast<std::size_t>(
+              dataset.samples()[split.test[i]].label));
+        }
+        out.has_ft = true;
+        out.with_ft = nn::evaluate(*personal, test_set);
+      }
+
+      if (options.keep_artifacts) {
+        ClearFoldArtifacts art;
+        art.test_user = vx;
+        art.assigned_cluster = k;
+        art.normalizer = pipeline.normalizer();
+        art.clustering = pipeline.clustering();
+        art.fitted_users = train_users;
+        for (std::size_t c = 0; c < pipeline.n_clusters(); ++c)
+          art.checkpoints.push_back(pipeline.serialize_cluster_model(c));
+        art.split = split;
+        out.artifacts = std::move(art);
+      }
     }
+  });
+
+  // Ordered merge.
+  std::size_t ca_matches = 0;
+  for (std::size_t vx = 0; vx < folds; ++vx) {
+    FoldOutcome& out = outcomes[vx];
+    if (out.ca_match) ++ca_matches;
+    result.no_ft.add(out.no_ft);
+    if (out.has_rt) result.rt.add_percent(out.rt_acc, out.rt_f1);
+    if (out.has_ft) result.with_ft.add(out.with_ft);
+    if (options.keep_artifacts)
+      result.artifacts.push_back(std::move(out.artifacts));
   }
 
   result.no_ft.finalize();

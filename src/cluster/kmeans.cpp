@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace clear::cluster {
 
@@ -93,30 +94,57 @@ struct SingleRun {
   std::size_t iterations = 0;
 };
 
+/// Points per parallel chunk. Fixed (never derived from the thread count) so
+/// the chunked partial sums below associate identically at 1 or N threads.
+constexpr std::size_t kPointGrain = 64;
+
 SingleRun lloyd(const std::vector<Point>& points, std::size_t k, Rng& rng,
                 const KMeansOptions& options) {
   SingleRun run;
   run.centroids = seed_plusplus(points, k, rng);
   run.assignment.assign(points.size(), 0);
   double prev_inertia = std::numeric_limits<double>::max();
+  const std::size_t n = points.size();
+  const std::size_t dim = points.front().size();
+  const std::size_t n_chunks = (n + kPointGrain - 1) / kPointGrain;
+  // Per-chunk partials, merged in ascending chunk order (the ordered-
+  // reduction contract): same chunk layout and merge order at every thread
+  // count, so the fit is bit-identical serial vs parallel.
+  std::vector<double> chunk_inertia(n_chunks);
+  std::vector<std::vector<Point>> chunk_sums(n_chunks);
+  std::vector<std::vector<std::size_t>> chunk_counts(n_chunks);
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
     run.iterations = iter + 1;
-    // Assign.
+    // Assign points and accumulate per-chunk centroid partials in one pass.
+    parallel_for_chunks(
+        0, n, kPointGrain,
+        [&](std::size_t c, std::size_t lo, std::size_t hi) {
+          double local_inertia = 0.0;
+          std::vector<Point> sums(k, Point(dim, 0.0));
+          std::vector<std::size_t> counts(k, 0);
+          for (std::size_t i = lo; i < hi; ++i) {
+            const std::size_t best = nearest_centroid(points[i], run.centroids);
+            run.assignment[i] = best;
+            local_inertia += squared_distance(points[i], run.centroids[best]);
+            ++counts[best];
+            for (std::size_t d = 0; d < dim; ++d) sums[best][d] += points[i][d];
+          }
+          chunk_inertia[c] = local_inertia;
+          chunk_sums[c] = std::move(sums);
+          chunk_counts[c] = std::move(counts);
+        });
     double inertia = 0.0;
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      run.assignment[i] = nearest_centroid(points[i], run.centroids);
-      inertia += squared_distance(points[i], run.centroids[run.assignment[i]]);
-    }
-    run.inertia = inertia;
-    // Update.
-    const std::size_t dim = points.front().size();
     std::vector<Point> sums(k, Point(dim, 0.0));
     std::vector<std::size_t> counts(k, 0);
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      const std::size_t c = run.assignment[i];
-      ++counts[c];
-      for (std::size_t d = 0; d < dim; ++d) sums[c][d] += points[i][d];
+    for (std::size_t c = 0; c < n_chunks; ++c) {
+      inertia += chunk_inertia[c];
+      for (std::size_t cc = 0; cc < k; ++cc) {
+        counts[cc] += chunk_counts[c][cc];
+        for (std::size_t d = 0; d < dim; ++d)
+          sums[cc][d] += chunk_sums[c][cc][d];
+      }
     }
+    run.inertia = inertia;
     for (std::size_t c = 0; c < k; ++c) {
       if (counts[c] == 0) {
         // Re-seed an empty cluster from the point farthest from its centroid.

@@ -11,6 +11,7 @@ class ReLU : public Layer {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string name() const override { return "ReLU"; }
+  LayerPtr clone() const override { return std::make_unique<ReLU>(*this); }
 
  private:
   Tensor mask_;  ///< 1 where input > 0.
@@ -23,6 +24,7 @@ class Dropout : public Layer {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string name() const override { return "Dropout"; }
+  LayerPtr clone() const override { return std::make_unique<Dropout>(*this); }
 
  private:
   double rate_;
@@ -37,6 +39,7 @@ class Flatten : public Layer {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string name() const override { return "Flatten"; }
+  LayerPtr clone() const override { return std::make_unique<Flatten>(*this); }
 
  private:
   std::vector<std::size_t> cached_shape_;
@@ -50,6 +53,9 @@ class ToSequence : public Layer {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string name() const override { return "ToSequence"; }
+  LayerPtr clone() const override {
+    return std::make_unique<ToSequence>(*this);
+  }
 
  private:
   std::vector<std::size_t> cached_shape_;

@@ -15,6 +15,7 @@ class Conv2d : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Param*> parameters() override;
   std::string name() const override { return "Conv2d"; }
+  LayerPtr clone() const override { return std::make_unique<Conv2d>(*this); }
 
   std::size_t in_channels() const { return in_ch_; }
   std::size_t out_channels() const { return out_ch_; }

@@ -14,6 +14,7 @@ class Dense : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Param*> parameters() override;
   std::string name() const override { return "Dense"; }
+  LayerPtr clone() const override { return std::make_unique<Dense>(*this); }
 
   std::size_t in_features() const { return in_; }
   std::size_t out_features() const { return out_; }

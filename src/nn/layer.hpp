@@ -45,6 +45,12 @@ class Layer {
   /// All trainable parameters (empty for stateless layers).
   virtual std::vector<Param*> parameters() { return {}; }
 
+  /// Deep copy of this layer (parameters, config, and RNG state). Used by
+  /// the batched-inference paths to give every worker thread its own
+  /// activation caches. Layers that cannot be copied return nullptr, which
+  /// makes callers fall back to serial execution.
+  virtual std::unique_ptr<Layer> clone() const { return nullptr; }
+
   /// Human-readable layer type/name.
   virtual std::string name() const = 0;
 

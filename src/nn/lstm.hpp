@@ -21,6 +21,7 @@ class Lstm : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Param*> parameters() override;
   std::string name() const override { return "Lstm"; }
+  LayerPtr clone() const override { return std::make_unique<Lstm>(*this); }
 
   std::size_t input_dim() const { return in_; }
   std::size_t hidden_dim() const { return hidden_; }

@@ -14,6 +14,9 @@ class MaxPool2d : public Layer {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string name() const override { return "MaxPool2d"; }
+  LayerPtr clone() const override {
+    return std::make_unique<MaxPool2d>(*this);
+  }
 
  private:
   std::size_t kh_, kw_;

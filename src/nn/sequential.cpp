@@ -59,4 +59,17 @@ std::size_t Sequential::parameter_count() {
   return total;
 }
 
+std::unique_ptr<Sequential> Sequential::clone_sequential() const {
+  auto copy = std::make_unique<Sequential>();
+  for (const LayerPtr& l : layers_) {
+    LayerPtr layer_copy = l->clone();
+    if (!layer_copy) return nullptr;
+    copy->layers_.push_back(std::move(layer_copy));
+  }
+  copy->training_ = training_;
+  return copy;
+}
+
+LayerPtr Sequential::clone() const { return clone_sequential(); }
+
 }  // namespace clear::nn

@@ -19,6 +19,12 @@ class Sequential : public Layer {
   std::vector<Param*> parameters() override;
   std::string name() const override { return "Sequential"; }
   void set_training(bool training) override;
+  LayerPtr clone() const override;
+
+  /// Deep copy preserving layer order, parameters, RNG state, and the
+  /// training flag. Returns nullptr if any contained layer cannot clone
+  /// itself (callers fall back to serial single-model execution).
+  std::unique_ptr<Sequential> clone_sequential() const;
 
   std::size_t size() const { return layers_.size(); }
   Layer& layer(std::size_t i);

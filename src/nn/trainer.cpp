@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "nn/checkpoint.hpp"
 #include "nn/loss.hpp"
@@ -52,13 +53,43 @@ void split_validation(const MapDataset& data, double fraction, Rng& rng,
   }
 }
 
+/// One eval-mode deep copy of `model` per parallel worker, so each thread
+/// forwards batches through its own activation caches. Empty when the
+/// parallel path is unavailable (single-threaded, nested inside another
+/// parallel region, or a layer that cannot clone) — callers then run the
+/// plain serial loop. Eval-mode forward is a pure function of parameters
+/// and input, so replica outputs are bit-identical to the main model's.
+std::vector<std::unique_ptr<Sequential>> eval_replicas(
+    const Sequential& model, std::size_t n_batches) {
+  std::vector<std::unique_ptr<Sequential>> replicas;
+  if (n_batches < 2 || num_threads() <= 1 || in_parallel_region())
+    return replicas;
+  replicas.reserve(parallel_workers());
+  for (std::size_t w = 0; w < parallel_workers(); ++w) {
+    auto r = model.clone_sequential();
+    if (!r) {
+      replicas.clear();
+      return replicas;
+    }
+    r->set_training(false);
+    replicas.push_back(std::move(r));
+  }
+  return replicas;
+}
+
 double dataset_loss(Sequential& model, const MapDataset& data,
                     const std::vector<std::size_t>& indices,
                     std::size_t batch_size, double* accuracy_out) {
-  double total = 0.0;
-  std::size_t correct = 0;
-  std::size_t seen = 0;
-  for (std::size_t start = 0; start < indices.size(); start += batch_size) {
+  const std::size_t n_batches =
+      indices.empty() ? 0 : (indices.size() + batch_size - 1) / batch_size;
+  struct BatchPartial {
+    double loss = 0.0;
+    std::size_t correct = 0;
+    std::size_t seen = 0;
+  };
+  std::vector<BatchPartial> partials(n_batches);
+  const auto eval_batch = [&](Sequential& m, std::size_t b) {
+    const std::size_t start = b * batch_size;
     const std::size_t end = std::min(indices.size(), start + batch_size);
     const std::vector<std::size_t> batch_idx(indices.begin() + start,
                                              indices.begin() + end);
@@ -66,13 +97,35 @@ double dataset_loss(Sequential& model, const MapDataset& data,
     std::vector<std::size_t> labels(batch_idx.size());
     for (std::size_t i = 0; i < batch_idx.size(); ++i)
       labels[i] = data.labels[batch_idx[i]];
-    const Tensor logits = model.forward(batch);
+    const Tensor logits = m.forward(batch);
     const LossResult loss = softmax_cross_entropy(logits, labels);
-    total += loss.loss * static_cast<double>(batch_idx.size());
+    BatchPartial& p = partials[b];
+    p.loss = loss.loss * static_cast<double>(batch_idx.size());
     const std::vector<std::size_t> preds = ops::argmax_rows(logits);
     for (std::size_t i = 0; i < preds.size(); ++i)
-      if (preds[i] == labels[i]) ++correct;
-    seen += batch_idx.size();
+      if (preds[i] == labels[i]) ++p.correct;
+    p.seen = batch_idx.size();
+  };
+  const auto replicas = eval_replicas(model, n_batches);
+  if (!replicas.empty()) {
+    parallel_for_workers(0, n_batches, 1,
+                         [&](std::size_t worker, std::size_t lo,
+                             std::size_t hi) {
+                           for (std::size_t b = lo; b < hi; ++b)
+                             eval_batch(*replicas[worker], b);
+                         });
+  } else {
+    for (std::size_t b = 0; b < n_batches; ++b) eval_batch(model, b);
+  }
+  // Merge in ascending batch order — the same association as the serial
+  // loop, so the reported loss is bit-identical at any thread count.
+  double total = 0.0;
+  std::size_t correct = 0;
+  std::size_t seen = 0;
+  for (const BatchPartial& p : partials) {
+    total += p.loss;
+    correct += p.correct;
+    seen += p.seen;
   }
   if (accuracy_out)
     *accuracy_out =
@@ -122,6 +175,12 @@ TrainHistory train_classifier(Sequential& model, const MapDataset& data,
     std::vector<std::size_t> shuffled(order.size());
     for (std::size_t i = 0; i < order.size(); ++i) shuffled[i] = order[perm[i]];
 
+    // The step loop is intentionally serial at the batch level: SGD steps
+    // are sequentially dependent, and Dropout advances an internal RNG per
+    // forward call, so reordering batches would change the numbers. The
+    // parallelism lives underneath — forward/backward GEMMs and im2col are
+    // row-blocked (disjoint writes), which keeps every gradient bit-identical
+    // to single-threaded execution at any thread count.
     double epoch_loss = 0.0;
     std::size_t seen = 0;
     for (std::size_t start = 0; start < shuffled.size();
@@ -189,22 +248,38 @@ Tensor predict_probabilities(Sequential& model, const MapDataset& data,
                              std::size_t batch_size) {
   CLEAR_CHECK_MSG(data.size() >= 1, "empty dataset");
   model.set_training(false);
+  const std::size_t n_batches = (data.size() + batch_size - 1) / batch_size;
   Tensor all;
   std::size_t n_classes = 0;
-  for (std::size_t start = 0; start < data.size(); start += batch_size) {
+  const auto run_batch = [&](Sequential& m, std::size_t b) {
+    const std::size_t start = b * batch_size;
     const std::size_t end = std::min(data.size(), start + batch_size);
     std::vector<std::size_t> idx(end - start);
     for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = start + i;
     const Tensor batch = stack_batch(data.maps, idx);
-    const Tensor logits = model.forward(batch);
+    const Tensor logits = m.forward(batch);
     const Tensor proba = ops::softmax_rows(logits);
-    if (start == 0) {
+    if (b == 0) {
       n_classes = proba.extent(1);
       all = Tensor({data.size(), n_classes});
     }
     for (std::size_t i = 0; i < idx.size(); ++i)
       for (std::size_t c = 0; c < n_classes; ++c)
         all.at2(start + i, c) = proba.at2(i, c);
+  };
+  // Batch 0 runs first on the main model so the output tensor is sized
+  // before workers write their (disjoint) row ranges.
+  run_batch(model, 0);
+  const auto replicas = eval_replicas(model, n_batches);
+  if (!replicas.empty()) {
+    parallel_for_workers(1, n_batches, 1,
+                         [&](std::size_t worker, std::size_t lo,
+                             std::size_t hi) {
+                           for (std::size_t b = lo; b < hi; ++b)
+                             run_batch(*replicas[worker], b);
+                         });
+  } else {
+    for (std::size_t b = 1; b < n_batches; ++b) run_batch(model, b);
   }
   return all;
 }

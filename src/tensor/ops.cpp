@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace clear::ops {
 
@@ -12,6 +13,11 @@ void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
   CLEAR_CHECK_MSG(a.same_shape(b), op << ": shape mismatch " << a.shape_str()
                                       << " vs " << b.shape_str());
 }
+
+/// Minimum multiply-adds before a kernel fans out to the pool; below this
+/// the dispatch overhead dominates. Parallel or serial, each output row is
+/// written by exactly one thread, so results are bit-identical either way.
+constexpr std::size_t kParallelFlopThreshold = 1 << 18;
 }  // namespace
 
 Tensor add(const Tensor& a, const Tensor& b) {
@@ -111,15 +117,28 @@ void matmul_accum(const Tensor& a, const Tensor& b, Tensor& c) {
   const float* pb = b.data();
   float* pc = c.data();
   // i-k-j ordering keeps the inner loop streaming over contiguous B/C rows.
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    float* crow = pc + i * n;
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  const auto row_block = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const float* arow = pa + i * k;
+      float* crow = pc + i * n;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        if (av == 0.0f) continue;
+        const float* brow = pb + kk * n;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
     }
+  };
+  // Row-blocked parallelism: each thread owns a disjoint block of C rows, so
+  // the result is bit-identical to the serial loop at any thread count.
+  const std::size_t row_flops = k * n;
+  if (m >= 2 && num_threads() > 1 && !in_parallel_region() &&
+      m * row_flops >= kParallelFlopThreshold) {
+    const std::size_t grain = std::max<std::size_t>(
+        1, kParallelFlopThreshold / (8 * std::max<std::size_t>(1, row_flops)));
+    parallel_for(0, m, grain, row_block);
+  } else {
+    row_block(0, m);
   }
 }
 
@@ -265,30 +284,41 @@ Tensor im2col(const Tensor& image, std::size_t kh, std::size_t kw,
   const float* src = image.data();
   float* dst = cols.data();
   const std::size_t ncols = oh * ow;
-  for (std::size_t ch = 0; ch < c; ++ch) {
-    for (std::size_t ki = 0; ki < kh; ++ki) {
-      for (std::size_t kj = 0; kj < kw; ++kj) {
-        const std::size_t row = (ch * kh + ki) * kw + kj;
-        float* drow = dst + row * ncols;
-        for (std::size_t oi = 0; oi < oh; ++oi) {
-          const std::ptrdiff_t ii =
-              static_cast<std::ptrdiff_t>(oi * stride + ki) -
+  // Each flattened (channel, ki, kj) row fills a disjoint slice of `cols`,
+  // so row blocks can run on any thread with bit-identical output.
+  const std::size_t n_rows = c * kh * kw;
+  const auto fill_rows = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t row = lo; row < hi; ++row) {
+      const std::size_t kj = row % kw;
+      const std::size_t ki = (row / kw) % kh;
+      const std::size_t ch = row / (kh * kw);
+      float* drow = dst + row * ncols;
+      for (std::size_t oi = 0; oi < oh; ++oi) {
+        const std::ptrdiff_t ii =
+            static_cast<std::ptrdiff_t>(oi * stride + ki) -
+            static_cast<std::ptrdiff_t>(pad);
+        for (std::size_t oj = 0; oj < ow; ++oj) {
+          const std::ptrdiff_t jj =
+              static_cast<std::ptrdiff_t>(oj * stride + kj) -
               static_cast<std::ptrdiff_t>(pad);
-          for (std::size_t oj = 0; oj < ow; ++oj) {
-            const std::ptrdiff_t jj =
-                static_cast<std::ptrdiff_t>(oj * stride + kj) -
-                static_cast<std::ptrdiff_t>(pad);
-            float v = 0.0f;
-            if (ii >= 0 && ii < static_cast<std::ptrdiff_t>(h) && jj >= 0 &&
-                jj < static_cast<std::ptrdiff_t>(w)) {
-              v = src[(ch * h + static_cast<std::size_t>(ii)) * w +
-                      static_cast<std::size_t>(jj)];
-            }
-            drow[oi * ow + oj] = v;
+          float v = 0.0f;
+          if (ii >= 0 && ii < static_cast<std::ptrdiff_t>(h) && jj >= 0 &&
+              jj < static_cast<std::ptrdiff_t>(w)) {
+            v = src[(ch * h + static_cast<std::size_t>(ii)) * w +
+                    static_cast<std::size_t>(jj)];
           }
+          drow[oi * ow + oj] = v;
         }
       }
     }
+  };
+  if (n_rows >= 2 && num_threads() > 1 && !in_parallel_region() &&
+      n_rows * ncols >= kParallelFlopThreshold) {
+    const std::size_t grain = std::max<std::size_t>(
+        1, kParallelFlopThreshold / (8 * std::max<std::size_t>(1, ncols)));
+    parallel_for(0, n_rows, grain, fill_rows);
+  } else {
+    fill_rows(0, n_rows);
   }
   return cols;
 }

@@ -116,6 +116,45 @@ TEST(ClearValidation, ProgressCallbackFires) {
   EXPECT_EQ(seen, (std::vector<std::size_t>{0, 1}));
 }
 
+// Golden per-fold metrics for the fixed seed above (printed with %.17g from
+// a reference run). Pins the full numeric pipeline — dataset synthesis,
+// normalization, clustering, training, evaluation — so that any change to
+// reduction order or chunking that silently shifts results fails here, at
+// any thread count (the parallel runtime guarantees thread-count-invariant
+// numbers; see DESIGN.md "Threading model & determinism").
+TEST(ClearValidation, PerFoldMetricsMatchGoldenSeed) {
+  ClearOptions options;
+  options.max_folds = 3;
+  options.run_finetune = false;
+  const ClearValidationResult r =
+      run_clear_validation(eval_dataset(), eval_config(), options);
+  const std::vector<double> golden_acc = {33.333333333333329, 100.0,
+                                          33.333333333333329};
+  const std::vector<double> golden_f1 = {0.0, 100.0, 50.0};
+  EXPECT_EQ(r.no_ft.fold_accuracy, golden_acc);
+  EXPECT_EQ(r.no_ft.fold_f1, golden_f1);
+  EXPECT_EQ(r.ca_consistency, 1.0);
+}
+
+// A shorter sweep must be an exact prefix of a longer one: folds are
+// self-contained (per-fold seed salts), so fold i's numbers cannot depend
+// on how many folds run after it.
+TEST(ClearValidation, ShorterSweepIsPrefixOfLonger) {
+  ClearOptions short_opts;
+  short_opts.max_folds = 2;
+  short_opts.run_finetune = false;
+  ClearOptions long_opts;
+  long_opts.max_folds = 3;
+  long_opts.run_finetune = false;
+  const auto s = run_clear_validation(eval_dataset(), eval_config(), short_opts);
+  const auto l = run_clear_validation(eval_dataset(), eval_config(), long_opts);
+  ASSERT_EQ(s.no_ft.fold_accuracy.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(s.no_ft.fold_accuracy[i], l.no_ft.fold_accuracy[i]);
+    EXPECT_EQ(s.no_ft.fold_f1[i], l.no_ft.fold_f1[i]);
+  }
+}
+
 TEST(ClearValidation, DeterministicAcrossRuns) {
   ClearOptions options;
   options.max_folds = 2;

@@ -1,0 +1,174 @@
+// Bit-identical parallelism: every pipeline stage must produce exactly the
+// same numbers at 1 thread and at N threads. These are EXPECT_EQ comparisons
+// on doubles/floats on purpose — the ordered-reduction contract (DESIGN.md)
+// promises bitwise equality, not tolerance-level agreement.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "clear/evaluation.hpp"
+#include "cluster/kmeans.hpp"
+#include "common/parallel.hpp"
+#include "nn/checkpoint.hpp"
+#include "nn/model.hpp"
+#include "nn/trainer.hpp"
+
+namespace clear {
+namespace {
+
+// ---------------------------------------------------------------------------
+// k-means
+
+std::vector<cluster::Point> blob_points(std::size_t n, std::size_t dim,
+                                        std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<cluster::Point> points;
+  for (std::size_t i = 0; i < n; ++i) {
+    cluster::Point p(dim);
+    const double center = static_cast<double>(i % 3) * 5.0;
+    for (double& v : p) v = center + rng.normal(0.0, 1.0);
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+cluster::KMeansResult fit_kmeans(std::size_t threads) {
+  const NumThreadsGuard guard(threads);
+  const auto points = blob_points(200, 6, 77);
+  Rng rng(123);
+  return cluster::kmeans(points, 3, rng);
+}
+
+TEST(ParallelDeterminism, KMeansFitBitIdentical) {
+  const cluster::KMeansResult serial = fit_kmeans(1);
+  const cluster::KMeansResult threaded = fit_kmeans(4);
+  EXPECT_EQ(threaded.assignment, serial.assignment);
+  EXPECT_EQ(threaded.iterations, serial.iterations);
+  EXPECT_EQ(threaded.inertia, serial.inertia);
+  ASSERT_EQ(threaded.centroids.size(), serial.centroids.size());
+  for (std::size_t c = 0; c < serial.centroids.size(); ++c)
+    EXPECT_EQ(threaded.centroids[c], serial.centroids[c]) << "centroid " << c;
+}
+
+// ---------------------------------------------------------------------------
+// trainer
+
+struct TrainFixture {
+  std::vector<Tensor> maps;
+  nn::MapDataset data;
+
+  explicit TrainFixture(std::size_t n) {
+    Rng rng(9);
+    for (std::size_t i = 0; i < n; ++i) {
+      const int label = static_cast<int>(i % 2);
+      Tensor m({16, 8});
+      for (std::size_t r = 0; r < 16; ++r)
+        for (std::size_t c = 0; c < 8; ++c)
+          m.at2(r, c) =
+              static_cast<float>(rng.normal(label && r < 8 ? 1.2 : 0.0, 0.5));
+      maps.push_back(std::move(m));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      data.maps.push_back(&maps[i]);
+      data.labels.push_back(i % 2);
+    }
+  }
+};
+
+nn::CnnLstmConfig small_model() {
+  nn::CnnLstmConfig c;
+  c.feature_dim = 16;
+  c.window_count = 8;
+  c.conv1_channels = 2;
+  c.conv2_channels = 4;
+  c.lstm_hidden = 4;
+  return c;
+}
+
+struct EpochResult {
+  std::vector<Tensor> params;
+  std::vector<double> train_loss;
+  std::vector<double> val_loss;
+  Tensor proba;
+};
+
+EpochResult train_one_epoch(const TrainFixture& f, std::size_t threads) {
+  const NumThreadsGuard guard(threads);
+  Rng rng(5);
+  auto model = nn::build_cnn_lstm(small_model(), rng);
+  nn::TrainConfig tc;
+  tc.epochs = 1;
+  tc.batch_size = 8;
+  tc.seed = 17;
+  tc.validation_fraction = 0.25;
+  const nn::TrainHistory h = nn::train_classifier(*model, f.data, tc);
+  EpochResult r;
+  r.params = nn::snapshot_parameters(*model);
+  r.train_loss = h.train_loss;
+  r.val_loss = h.val_loss;
+  r.proba = nn::predict_probabilities(*model, f.data, 8);
+  return r;
+}
+
+TEST(ParallelDeterminism, TrainerEpochBitIdentical) {
+  const TrainFixture f(32);
+  const EpochResult serial = train_one_epoch(f, 1);
+  const EpochResult threaded = train_one_epoch(f, 4);
+  EXPECT_EQ(threaded.train_loss, serial.train_loss);
+  EXPECT_EQ(threaded.val_loss, serial.val_loss);
+  ASSERT_EQ(threaded.params.size(), serial.params.size());
+  for (std::size_t p = 0; p < serial.params.size(); ++p) {
+    const Tensor& a = serial.params[p];
+    const Tensor& b = threaded.params[p];
+    ASSERT_EQ(a.numel(), b.numel());
+    for (std::size_t i = 0; i < a.numel(); ++i)
+      ASSERT_EQ(b.data()[i], a.data()[i]) << "param " << p << " elem " << i;
+  }
+  ASSERT_EQ(threaded.proba.numel(), serial.proba.numel());
+  for (std::size_t i = 0; i < serial.proba.numel(); ++i)
+    ASSERT_EQ(threaded.proba.data()[i], serial.proba.data()[i]);
+}
+
+// ---------------------------------------------------------------------------
+// LOSO sweep
+
+core::ClearConfig loso_config() {
+  core::ClearConfig c = core::smoke_config();
+  c.data.seed = 47;
+  c.data.n_volunteers = 6;
+  c.data.trials_per_volunteer = 4;
+  c.train.epochs = 1;
+  c.finetune.epochs = 1;
+  c.finalize();
+  return c;
+}
+
+const wemac::WemacDataset& loso_dataset() {
+  static const wemac::WemacDataset d =
+      wemac::generate_wemac(loso_config().data);
+  return d;
+}
+
+core::ClearValidationResult run_loso(std::size_t threads) {
+  const NumThreadsGuard guard(threads);
+  core::ClearOptions options;
+  options.run_finetune = true;
+  return core::run_clear_validation(loso_dataset(), loso_config(), options);
+}
+
+TEST(ParallelDeterminism, LosoSweepBitIdentical) {
+  const core::ClearValidationResult serial = run_loso(1);
+  const core::ClearValidationResult threaded = run_loso(4);
+  EXPECT_EQ(threaded.no_ft.fold_accuracy, serial.no_ft.fold_accuracy);
+  EXPECT_EQ(threaded.no_ft.fold_f1, serial.no_ft.fold_f1);
+  EXPECT_EQ(threaded.rt.fold_accuracy, serial.rt.fold_accuracy);
+  EXPECT_EQ(threaded.rt.fold_f1, serial.rt.fold_f1);
+  EXPECT_EQ(threaded.with_ft.fold_accuracy, serial.with_ft.fold_accuracy);
+  EXPECT_EQ(threaded.with_ft.fold_f1, serial.with_ft.fold_f1);
+  EXPECT_EQ(threaded.ca_consistency, serial.ca_consistency);
+  EXPECT_EQ(threaded.no_ft.accuracy.mean, serial.no_ft.accuracy.mean);
+  EXPECT_EQ(threaded.no_ft.accuracy.stddev, serial.no_ft.accuracy.stddev);
+}
+
+}  // namespace
+}  // namespace clear

@@ -21,6 +21,10 @@
 //
 //   clear-cli personalize --artifacts=DIR --user=N [--ft-fraction=0.2]
 //       Assign, fine-tune on the labelled share, and report before/after.
+//
+// Every command accepts --threads=N (0 = all hardware threads; default 1,
+// or the CLEAR_NUM_THREADS environment variable when set). Results are
+// bit-identical at any thread count.
 #include <cstdio>
 
 #include "clear/artifacts.hpp"
@@ -28,6 +32,7 @@
 #include "common/cli.hpp"
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "common/parallel.hpp"
 #include "common/table.hpp"
 
 using namespace clear;
@@ -38,6 +43,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: clear-cli <generate|train|info|assign|evaluate|"
                "personalize> [--flags]\n"
+               "common flags: --threads=N (0 = all cores; default 1)\n"
                "run with a command name for details (see tool header).\n");
   return 2;
 }
@@ -209,6 +215,11 @@ int cmd_personalize(const CliArgs& args) {
 int main(int argc, char** argv) {
   try {
     const CliArgs args(argc, argv);
+    if (args.has("threads")) {
+      const std::int64_t threads = args.get_int("threads", 1);
+      CLEAR_CHECK_MSG(threads >= 0, "--threads must be >= 0");
+      set_num_threads(static_cast<std::size_t>(threads));
+    }
     if (args.positional().empty()) return usage();
     const std::string& command = args.positional()[0];
     if (command == "generate") return cmd_generate(args);

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Build and run the concurrency-sensitive test binaries under
+# ThreadSanitizer. Uses a dedicated build directory (build-tsan) so the
+# instrumented objects never mix with the regular build.
+#
+#   tools/run_tsan_tests.sh [build-dir]
+#
+# Exits non-zero on the first data race (halt_on_error=1) or test failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . -DCLEAR_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j --target test_parallel test_cluster
+
+export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+# Force the pool onto multiple threads even on small machines so the
+# scheduler actually interleaves workers.
+export CLEAR_NUM_THREADS=4
+
+echo "== test_parallel (TSAN) =="
+"$BUILD_DIR/tests/test_parallel"
+echo "== test_cluster (TSAN) =="
+"$BUILD_DIR/tests/test_cluster"
+echo "TSAN run clean."
