@@ -6,8 +6,17 @@
 // videos. The demo prints the rolling fear probability next to the ground
 // truth, showing the detector tracking the emotional state in real time.
 //
+// Midway through, the GSR electrode "lifts off" for a few seconds (its
+// samples turn NaN). The self-healing detector gap-fills the dropout, keeps
+// emitting detections, and annotates each with a SignalQuality report — the
+// affected rows show a reduced ok-fraction and the DEGRADED flag until the
+// repaired samples age out of the rolling map.
+//
 // Run:  ./streaming_monitor [--volunteers=12] [--seed=42]
+#include <cmath>
 #include <cstdio>
+#include <limits>
+#include <vector>
 
 #include "clear/pipeline.hpp"
 #include "clear/streaming.hpp"
@@ -53,17 +62,28 @@ int main(int argc, char** argv) {
   sc.bvp_hz = config.data.rates.bvp_hz;
   sc.gsr_hz = config.data.rates.gsr_hz;
   sc.skt_hz = config.data.rates.skt_hz;
+  // Self-healing policy: hold the last good sample across gaps, and flag a
+  // detection degraded once >2% of its map's samples needed repair.
+  sc.gap_fill = fault::GapFill::kHoldLast;
+  sc.degraded_threshold = 0.02;
   core::StreamingDetector detector(*personal, pipeline.normalizer(), sc);
 
-  // Live session: alternating stimuli streamed in ~1-second chunks.
+  // Live session: alternating stimuli streamed in ~1-second chunks. During
+  // the middle (joy) segment the GSR channel drops out for a few seconds.
   const wemac::Emotion session[] = {
       wemac::Emotion::kCalm, wemac::Emotion::kFear, wemac::Emotion::kJoy,
       wemac::Emotion::kFear, wemac::Emotion::kCalm};
+  // Two full windows of dark GSR: enough repaired samples that maps built
+  // over both windows cross the 2% threshold and flag DEGR, then recover.
+  const std::size_t dropout_segment = 2;
+  const std::size_t dropout_first_chunk = 3, dropout_chunks = 16;
   const double seg_seconds =
       sc.window_seconds * static_cast<double>(sc.map_windows);
   Rng rng(config.data.seed ^ 0x57);
-  std::printf("%-8s %-10s %s\n", "t [s]", "stimulus", "fear probability");
+  std::printf("%-8s %-10s %-7s %-5s %s\n", "t [s]", "stimulus", "quality",
+              "flags", "fear probability");
   double t0 = 0.0;
+  std::size_t seg_index = 0;
   for (const wemac::Emotion emotion : session) {
     wemac::Stimulus stim;
     stim.emotion = emotion;
@@ -82,22 +102,48 @@ int main(int argc, char** argv) {
         return std::span<const double>(v.data() + begin, len);
       };
       detector.push_bvp(chunk(seg.bvp, sc.bvp_hz));
-      detector.push_gsr(chunk(seg.gsr, sc.gsr_hz));
+      const bool electrode_off =
+          seg_index == dropout_segment && c >= dropout_first_chunk &&
+          c < dropout_first_chunk + dropout_chunks;
+      if (electrode_off) {
+        // Electrode lift-off: this second of GSR arrives as NaN.
+        const auto gsr = chunk(seg.gsr, sc.gsr_hz);
+        const std::vector<double> dark(
+            gsr.size(), std::numeric_limits<double>::quiet_NaN());
+        detector.push_gsr(dark);
+        if (c == dropout_first_chunk)
+          std::printf("%7.0f  -- GSR electrode off for %zu s --\n",
+                      t0 + static_cast<double>(c),
+                      dropout_chunks);
+      } else {
+        detector.push_gsr(chunk(seg.gsr, sc.gsr_hz));
+      }
       detector.push_skt(chunk(seg.skt, sc.skt_hz));
       if (const auto d = detector.poll()) {
         const double t = t0 + static_cast<double>(c + 1);
         const int bars = static_cast<int>(d->fear_probability * 30.0);
-        std::printf("%7.0f  %-10s %.2f |%.*s\n", t,
+        std::printf("%7.0f  %-10s %5.1f%%  %-5s %.2f |%.*s\n", t,
                     wemac::emotion_name(emotion).c_str(),
+                    100.0 * d->quality.ok_fraction(),
+                    d->degraded ? "DEGR" : "ok",
                     d->fear_probability, bars,
                     "##############################");
       }
     }
     t0 += seg_seconds;
+    ++seg_index;
   }
+  const core::SignalQuality& health = detector.health();
   std::printf(
-      "\n(one detection per %.0f s window after a %zu-window warm-up;\n"
-      " the rolling map mixes the last %zu windows, so transitions lag)\n",
+      "\nsession health: %zu of %zu samples repaired "
+      "(bvp %zu, gsr %zu, skt %zu); %.2f%% clean\n",
+      health.repaired(), health.total(), health.bvp.repaired(),
+      health.gsr.repaired(), health.skt.repaired(),
+      100.0 * health.ok_fraction());
+  std::printf(
+      "(one detection per %.0f s window after a %zu-window warm-up;\n"
+      " the rolling map mixes the last %zu windows, so transitions lag and\n"
+      " the DEGR flag persists until repaired samples age out of the map)\n",
       sc.window_seconds, sc.map_windows, sc.map_windows);
   return 0;
 }

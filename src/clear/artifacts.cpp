@@ -2,8 +2,12 @@
 
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
+#include "common/crc32.hpp"
 #include "common/error.hpp"
+#include "common/fault.hpp"
+#include "common/logging.hpp"
 #include "tensor/serialize.hpp"
 
 namespace clear::core {
@@ -13,7 +17,10 @@ namespace {
 namespace fs = std::filesystem;
 
 constexpr std::uint64_t kMetaMagic = 0x434C4541524D4554ull;  // "CLEARMET"
-constexpr std::uint64_t kMetaVersion = 1;
+// v1: raw field stream after the version word (no integrity check).
+// v2: u64 payload length + payload + u64 CRC-32 of the payload. Same field
+//     layout inside the payload, so the parser is shared.
+constexpr std::uint64_t kMetaVersion = 2;
 
 void write_point(std::ostream& os, const cluster::Point& p) {
   io::write_u64(os, p.size());
@@ -63,6 +70,102 @@ nn::CnnLstmConfig read_model_config(std::istream& is) {
   return c;
 }
 
+void write_meta_payload(std::ostream& os, const ClearConfig& config,
+                        const ClearPipeline::State& state) {
+  // Configuration needed to rebuild models and reproduce assignment.
+  write_model_config(os, config.model);
+  io::write_u64(os, config.gc.k);
+  io::write_u64(os, config.gc.sub_clusters);
+  io::write_f64(os, config.ca_fraction);
+  io::write_f64(os, config.ft_fraction);
+  io::write_u64(os, config.seed);
+  io::write_u64(os, config.finetune.epochs);
+  io::write_f64(os, config.finetune.lr);
+  io::write_u64(os, config.finetune.batch_size);
+  // Fitted users.
+  write_index_vector(os, state.users);
+  // Normalizer moments.
+  write_point(os, state.normalizer.mean());
+  write_point(os, state.normalizer.stddev());
+  // Clustering.
+  write_index_vector(os, state.clustering.user_cluster);
+  io::write_u64(os, state.clustering.clusters.size());
+  for (const cluster::ClusterModel& c : state.clustering.clusters) {
+    write_point(os, c.centroid);
+    io::write_u64(os, c.sub_centroids.size());
+    for (const cluster::Point& sc : c.sub_centroids) write_point(os, sc);
+    write_index_vector(os, c.members);
+  }
+  io::write_u64(os, state.clustering.rounds_run);
+  io::write_u64(os, state.clustering.converged ? 1 : 0);
+}
+
+void read_meta_payload(std::istream& is, ClearConfig& config,
+                       ClearPipeline::State& state) {
+  config.model = read_model_config(is);
+  config.gc.k = io::read_u64(is);
+  config.gc.sub_clusters = io::read_u64(is);
+  config.ca_fraction = io::read_f64(is);
+  config.ft_fraction = io::read_f64(is);
+  config.seed = io::read_u64(is);
+  config.finetune.epochs = io::read_u64(is);
+  config.finetune.lr = io::read_f64(is);
+  config.finetune.batch_size = io::read_u64(is);
+  // Keep the persisted model geometry (finalize() would overwrite it from
+  // the default data config).
+  config.data.windows_per_trial = config.model.window_count;
+
+  state.users = read_index_vector(is);
+  cluster::Point mean = read_point(is);
+  cluster::Point stddev = read_point(is);
+  state.normalizer = features::FeatureNormalizer::from_moments(
+      std::move(mean), std::move(stddev));
+  state.clustering.user_cluster = read_index_vector(is);
+  const std::uint64_t n_clusters = io::read_u64(is);
+  CLEAR_CHECK_MSG(n_clusters >= 1 && n_clusters < 256,
+                  "implausible cluster count");
+  for (std::uint64_t k = 0; k < n_clusters; ++k) {
+    cluster::ClusterModel c;
+    c.centroid = read_point(is);
+    const std::uint64_t n_sub = io::read_u64(is);
+    CLEAR_CHECK_MSG(n_sub >= 1 && n_sub < 1024,
+                    "implausible sub-cluster count");
+    for (std::uint64_t i = 0; i < n_sub; ++i)
+      c.sub_centroids.push_back(read_point(is));
+    c.members = read_index_vector(is);
+    state.clustering.clusters.push_back(std::move(c));
+  }
+  state.clustering.rounds_run = io::read_u64(is);
+  state.clustering.converged = io::read_u64(is) != 0;
+}
+
+/// Write `bytes` to `path` atomically: temp file first, then rename. The
+/// rename is the commit point; an injected IO failure before it simulates a
+/// crashed writer leaving only the stale `.tmp` behind.
+void atomic_write(const fs::path& path, const std::string& bytes) {
+  const fs::path tmp = path.string() + ".tmp";
+  fault::maybe_fail_io("artifact write");
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    CLEAR_CHECK_MSG(os.good(), "cannot write " << tmp.string());
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    CLEAR_CHECK_MSG(os.good(), "IO error writing " << tmp.string());
+  }
+  fault::maybe_fail_io("artifact rename");
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  CLEAR_CHECK_MSG(!ec, "cannot commit " << path.string() << ": "
+                                        << ec.message());
+}
+
+/// Read a whole file, or return "" when it does not exist / cannot open.
+std::string read_file_bytes(const fs::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) return {};
+  return std::string((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+}
+
 }  // namespace
 
 void save_pipeline(ClearPipeline& pipeline, const std::string& directory) {
@@ -75,46 +178,22 @@ void save_pipeline(ClearPipeline& pipeline, const std::string& directory) {
   ClearPipeline::State state = pipeline.export_state();
   const ClearConfig& config = pipeline.config();
 
-  std::ofstream meta(dir / "pipeline.meta", std::ios::binary);
-  CLEAR_CHECK_MSG(meta.good(), "cannot write pipeline.meta");
-  io::write_u64(meta, kMetaMagic);
-  io::write_u64(meta, kMetaVersion);
-  // Configuration needed to rebuild models and reproduce assignment.
-  write_model_config(meta, config.model);
-  io::write_u64(meta, config.gc.k);
-  io::write_u64(meta, config.gc.sub_clusters);
-  io::write_f64(meta, config.ca_fraction);
-  io::write_f64(meta, config.ft_fraction);
-  io::write_u64(meta, config.seed);
-  io::write_u64(meta, config.finetune.epochs);
-  io::write_f64(meta, config.finetune.lr);
-  io::write_u64(meta, config.finetune.batch_size);
-  // Fitted users.
-  write_index_vector(meta, state.users);
-  // Normalizer moments.
-  write_point(meta, state.normalizer.mean());
-  write_point(meta, state.normalizer.stddev());
-  // Clustering.
-  write_index_vector(meta, state.clustering.user_cluster);
-  io::write_u64(meta, state.clustering.clusters.size());
-  for (const cluster::ClusterModel& c : state.clustering.clusters) {
-    write_point(meta, c.centroid);
-    io::write_u64(meta, c.sub_centroids.size());
-    for (const cluster::Point& sc : c.sub_centroids) write_point(meta, sc);
-    write_index_vector(meta, c.members);
-  }
-  io::write_u64(meta, state.clustering.rounds_run);
-  io::write_u64(meta, state.clustering.converged ? 1 : 0);
-  CLEAR_CHECK_MSG(meta.good(), "IO error writing pipeline.meta");
+  std::ostringstream payload_os(std::ios::binary);
+  write_meta_payload(payload_os, config, state);
+  const std::string payload = payload_os.str();
+  std::ostringstream meta_os(std::ios::binary);
+  io::write_u64(meta_os, kMetaMagic);
+  io::write_u64(meta_os, kMetaVersion);
+  io::write_u64(meta_os, payload.size());
+  meta_os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  io::write_u64(meta_os, crc32(payload));
+  atomic_write(dir / "pipeline.meta", meta_os.str());
 
-  for (std::size_t k = 0; k < state.checkpoints.size(); ++k) {
-    const fs::path file = dir / ("cluster_" + std::to_string(k) + ".ckpt");
-    std::ofstream os(file, std::ios::binary);
-    CLEAR_CHECK_MSG(os.good(), "cannot write " << file.string());
-    os.write(state.checkpoints[k].data(),
-             static_cast<std::streamsize>(state.checkpoints[k].size()));
-    CLEAR_CHECK_MSG(os.good(), "IO error writing " << file.string());
-  }
+  for (std::size_t k = 0; k < state.checkpoints.size(); ++k)
+    atomic_write(dir / ("cluster_" + std::to_string(k) + ".ckpt"),
+                 state.checkpoints[k]);
+  if (!state.general_checkpoint.empty())
+    atomic_write(dir / "general.ckpt", state.general_checkpoint);
 }
 
 ClearPipeline load_pipeline(const std::string& directory) {
@@ -123,58 +202,55 @@ ClearPipeline load_pipeline(const std::string& directory) {
   CLEAR_CHECK_MSG(meta.good(),
                   "cannot open " << (dir / "pipeline.meta").string());
   CLEAR_CHECK_MSG(io::read_u64(meta) == kMetaMagic, "bad pipeline.meta magic");
-  CLEAR_CHECK_MSG(io::read_u64(meta) == kMetaVersion,
-                  "unsupported pipeline.meta version");
+  const std::uint64_t version = io::read_u64(meta);
 
   ClearConfig config = default_config();
-  config.model = read_model_config(meta);
-  config.gc.k = io::read_u64(meta);
-  config.gc.sub_clusters = io::read_u64(meta);
-  config.ca_fraction = io::read_f64(meta);
-  config.ft_fraction = io::read_f64(meta);
-  config.seed = io::read_u64(meta);
-  config.finetune.epochs = io::read_u64(meta);
-  config.finetune.lr = io::read_f64(meta);
-  config.finetune.batch_size = io::read_u64(meta);
-  // Keep the persisted model geometry (finalize() would overwrite it from
-  // the default data config).
-  config.data.windows_per_trial = config.model.window_count;
-
   ClearPipeline::State state;
-  state.users = read_index_vector(meta);
-  cluster::Point mean = read_point(meta);
-  cluster::Point stddev = read_point(meta);
-  state.normalizer =
-      features::FeatureNormalizer::from_moments(std::move(mean),
-                                                std::move(stddev));
-  state.clustering.user_cluster = read_index_vector(meta);
-  const std::uint64_t n_clusters = io::read_u64(meta);
-  CLEAR_CHECK_MSG(n_clusters >= 1 && n_clusters < 256,
-                  "implausible cluster count");
-  for (std::uint64_t k = 0; k < n_clusters; ++k) {
-    cluster::ClusterModel c;
-    c.centroid = read_point(meta);
-    const std::uint64_t n_sub = io::read_u64(meta);
-    CLEAR_CHECK_MSG(n_sub >= 1 && n_sub < 1024, "implausible sub-cluster count");
-    for (std::uint64_t i = 0; i < n_sub; ++i)
-      c.sub_centroids.push_back(read_point(meta));
-    c.members = read_index_vector(meta);
-    state.clustering.clusters.push_back(std::move(c));
+  if (version == 1) {
+    // Legacy format: raw field stream, no CRC. Parse errors are the only
+    // corruption signal available.
+    read_meta_payload(meta, config, state);
+  } else {
+    CLEAR_CHECK_MSG(version == kMetaVersion,
+                    "unsupported pipeline.meta version " << version);
+    const std::uint64_t length = io::read_u64(meta);
+    CLEAR_CHECK_MSG(length < (1ull << 32),
+                    "implausible pipeline.meta payload length " << length);
+    std::string payload(length, '\0');
+    meta.read(payload.data(), static_cast<std::streamsize>(length));
+    const auto got = static_cast<std::uint64_t>(meta.gcount());
+    CLEAR_CHECK_MSG(got == length, "truncated pipeline.meta: payload has "
+                                       << got << " of " << length
+                                       << " bytes");
+    unsigned char footer[8];
+    meta.read(reinterpret_cast<char*>(footer), 8);
+    CLEAR_CHECK_MSG(meta.gcount() == 8,
+                    "truncated pipeline.meta: missing CRC footer");
+    std::uint64_t stored = 0;
+    for (int i = 0; i < 8; ++i)
+      stored |= std::uint64_t(footer[i]) << (8 * i);
+    const std::uint32_t computed = crc32(payload);
+    CLEAR_CHECK_MSG(stored == computed,
+                    "pipeline.meta CRC mismatch: stored "
+                        << stored << ", computed " << computed
+                        << " (corrupted metadata)");
+    std::istringstream payload_is(payload, std::ios::binary);
+    read_meta_payload(payload_is, config, state);
   }
-  state.clustering.rounds_run = io::read_u64(meta);
-  state.clustering.converged = io::read_u64(meta) != 0;
 
-  for (std::uint64_t k = 0; k < n_clusters; ++k) {
-    const fs::path file = dir / ("cluster_" + std::to_string(k) + ".ckpt");
-    std::ifstream is(file, std::ios::binary);
-    CLEAR_CHECK_MSG(is.good(), "cannot open " << file.string());
-    std::string bytes((std::istreambuf_iterator<char>(is)),
-                      std::istreambuf_iterator<char>());
-    state.checkpoints.push_back(std::move(bytes));
-  }
+  // Checkpoint blobs. A missing/unreadable file becomes an empty blob;
+  // import_state() degrades it to the general fallback or throws.
+  for (std::size_t k = 0; k < state.clustering.clusters.size(); ++k)
+    state.checkpoints.push_back(
+        read_file_bytes(dir / ("cluster_" + std::to_string(k) + ".ckpt")));
+  state.general_checkpoint = read_file_bytes(dir / "general.ckpt");
 
   ClearPipeline pipeline(config);
   pipeline.import_state(std::move(state));
+  if (!pipeline.fallback_clusters().empty())
+    CLEAR_WARN("loaded " << directory << " degraded: "
+                         << pipeline.fallback_clusters().size()
+                         << " cluster(s) running the general model");
   return pipeline;
 }
 

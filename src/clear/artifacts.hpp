@@ -1,11 +1,21 @@
 // On-disk deployment artifacts for a fitted ClearPipeline.
 //
 // Directory layout (what the paper's cloud stage ships to the edge):
-//   <dir>/pipeline.meta   — config, fitted users, normalizer, clustering
+//   <dir>/pipeline.meta    — config, fitted users, normalizer, clustering
 //   <dir>/cluster_<k>.ckpt — one CNN-LSTM checkpoint per cluster
+//   <dir>/general.ckpt     — population-general fallback model (optional)
 //
 // load_pipeline() restores an equivalent pipeline: same assignments, same
 // predictions, without access to the training data.
+//
+// Integrity & degradation: every file is written atomically (temp + rename)
+// and carries a CRC-32 (the meta via its own v2 envelope, the checkpoints
+// via the v2 checkpoint format). Corruption of pipeline.meta fails loudly
+// with a CRC-specific error; corruption or loss of a cluster checkpoint
+// degrades that cluster to the general fallback model when general.ckpt is
+// present (reported by ClearPipeline::fallback_clusters()) and fails
+// otherwise. Wrong weights are never loaded silently. Legacy v1 artifacts
+// (no CRC, no general.ckpt) still load.
 #pragma once
 
 #include <string>

@@ -23,6 +23,12 @@ struct ClearConfig {
   double ca_fraction = 0.10;   ///< Unlabeled share for cluster assignment.
   double ft_fraction = 0.20;   ///< Labeled share for fine-tuning.
   std::size_t general_model_users = 11;  ///< x for the General baseline.
+  /// Also pre-train a population-general model during fit() and ship it in
+  /// the artifacts as `general.ckpt`. When a cluster checkpoint is missing
+  /// or fails its CRC at load time, the pipeline degrades to this model
+  /// instead of refusing to start (see DESIGN.md §10). Trained on an
+  /// independent RNG stream, so enabling it never changes cluster weights.
+  bool general_fallback = true;
   std::uint64_t seed = 7;
 
   /// Consistency fix-ups (model geometry follows the data geometry).

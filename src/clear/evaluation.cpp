@@ -238,11 +238,16 @@ ClearValidationResult run_clear_validation(const wemac::WemacDataset& dataset,
         options.progress(vx, folds);
       }
       FoldOutcome& out = outcomes[vx];
-      // Fit the pipeline without V_x.
+      // Fit the pipeline without V_x. The general fallback model is a
+      // deployment artifact, not part of the Table I protocol — skip it
+      // (its training runs on independent RNG streams, so the metrics
+      // would be bit-identical either way; this only saves time).
+      ClearConfig fold_config = config;
+      fold_config.general_fallback = false;
       std::vector<std::size_t> train_users;
       for (std::size_t u = 0; u < n_users; ++u)
         if (u != vx) train_users.push_back(u);
-      ClearPipeline pipeline(config);
+      ClearPipeline pipeline(fold_config);
       pipeline.fit(dataset, train_users, /*seed_salt=*/vx + 1);
 
       // Cold-start split and unsupervised assignment.

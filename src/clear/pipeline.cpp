@@ -70,11 +70,41 @@ void ClearPipeline::fit(const wemac::WemacDataset& dataset,
     }
     models_.push_back(std::move(model));
   }
+
+  // 4. Optional population-general fallback model over all training users.
+  //    Uses fresh RNG streams (fork() never advances the parent), so the
+  //    cluster models above are bit-identical whether or not this runs.
+  general_model_.reset();
+  fallback_clusters_.clear();
+  if (config_.general_fallback) {
+    std::vector<std::size_t> all_samples;
+    for (const std::size_t user : users_)
+      for (const std::size_t s : dataset.samples_of(user))
+        all_samples.push_back(s);
+    Rng general_rng = rng.fork(0x9E0);
+    auto general = nn::build_cnn_lstm(config_.model, general_rng);
+    if (all_samples.size() >= 4) {
+      const nn::MapDataset train_set =
+          make_map_dataset(dataset, normalized, all_samples);
+      nn::TrainConfig tc = config_.train;
+      tc.seed = config_.seed ^ (seed_salt << 8) ^ 0x9E9E9E9Full;
+      nn::train_classifier(*general, train_set, tc);
+    } else {
+      CLEAR_WARN("too few maps for the general fallback model; "
+                 "keeping it untrained");
+    }
+    general_model_ = std::move(general);
+  }
 }
 
 nn::Sequential& ClearPipeline::cluster_model(std::size_t k) {
   CLEAR_CHECK_MSG(k < models_.size(), "cluster index out of range");
   return *models_[k];
+}
+
+nn::Sequential& ClearPipeline::general_model() {
+  CLEAR_CHECK_MSG(general_model_ != nullptr, "no general fallback model");
+  return *general_model_;
 }
 
 cluster::AssignmentResult ClearPipeline::assign_user(
@@ -159,6 +189,13 @@ std::string ClearPipeline::serialize_cluster_model(std::size_t k) {
   return os.str();
 }
 
+std::string ClearPipeline::serialize_general_model() {
+  if (!has_general_model()) return {};
+  std::ostringstream os(std::ios::binary);
+  nn::save_checkpoint(os, *general_model_);
+  return os.str();
+}
+
 std::unique_ptr<nn::Sequential> ClearPipeline::model_from_bytes(
     const std::string& bytes) const {
   Rng rng(1);  // Weights are overwritten by the checkpoint.
@@ -176,6 +213,7 @@ ClearPipeline::State ClearPipeline::export_state() {
   state.clustering = clustering_;
   for (std::size_t k = 0; k < models_.size(); ++k)
     state.checkpoints.push_back(serialize_cluster_model(k));
+  state.general_checkpoint = serialize_general_model();
   return state;
 }
 
@@ -184,12 +222,55 @@ void ClearPipeline::import_state(State state) {
   CLEAR_CHECK_MSG(state.clustering.clusters.size() == state.checkpoints.size(),
                   "state cluster/checkpoint count mismatch");
   CLEAR_CHECK_MSG(state.normalizer.fitted(), "state normalizer not fitted");
+
+  // Validate the general fallback blob first: a corrupt fallback must never
+  // be silently substituted for anything, so it is dropped with a warning.
+  std::unique_ptr<nn::Sequential> general;
+  if (!state.general_checkpoint.empty()) {
+    try {
+      general = model_from_bytes(state.general_checkpoint);
+    } catch (const Error& e) {
+      CLEAR_WARN("general fallback checkpoint unusable (" << e.what()
+                                                          << "); dropping it");
+      state.general_checkpoint.clear();
+    }
+  }
+
+  std::vector<std::unique_ptr<nn::Sequential>> models;
+  std::vector<std::size_t> fallbacks;
+  for (std::size_t k = 0; k < state.checkpoints.size(); ++k) {
+    const std::string& bytes = state.checkpoints[k];
+    if (!bytes.empty()) {
+      try {
+        models.push_back(model_from_bytes(bytes));
+        continue;
+      } catch (const Error& e) {
+        CLEAR_CHECK_MSG(general != nullptr,
+                        "cluster " << k << " checkpoint unusable ("
+                                   << e.what()
+                                   << ") and no general fallback available");
+        CLEAR_WARN("cluster " << k << " checkpoint unusable (" << e.what()
+                              << "); degrading to the general model");
+      }
+    } else {
+      CLEAR_CHECK_MSG(general != nullptr,
+                      "cluster " << k
+                                 << " checkpoint missing and no general "
+                                    "fallback available");
+      CLEAR_WARN("cluster " << k
+                            << " checkpoint missing; degrading to the "
+                               "general model");
+    }
+    models.push_back(model_from_bytes(state.general_checkpoint));
+    fallbacks.push_back(k);
+  }
+
   users_ = std::move(state.users);
   normalizer_ = std::move(state.normalizer);
   clustering_ = std::move(state.clustering);
-  models_.clear();
-  for (const std::string& bytes : state.checkpoints)
-    models_.push_back(model_from_bytes(bytes));
+  models_ = std::move(models);
+  general_model_ = std::move(general);
+  fallback_clusters_ = std::move(fallbacks);
 }
 
 }  // namespace clear::core

@@ -38,6 +38,17 @@ class ClearPipeline {
   std::size_t n_clusters() const { return models_.size(); }
   nn::Sequential& cluster_model(std::size_t k);
 
+  /// Population-general fallback model (trained when
+  /// config.general_fallback; restored from general.ckpt).
+  bool has_general_model() const { return general_model_ != nullptr; }
+  nn::Sequential& general_model();
+
+  /// Clusters whose own checkpoint was missing/corrupt at import time and
+  /// now run the general fallback model instead (degraded deployment).
+  const std::vector<std::size_t>& fallback_clusters() const {
+    return fallback_clusters_;
+  }
+
   /// Users the pipeline was fitted on.
   const std::vector<std::size_t>& fitted_users() const { return users_; }
 
@@ -78,6 +89,8 @@ class ClearPipeline {
 
   /// Serialized checkpoint bytes of cluster k's model.
   std::string serialize_cluster_model(std::size_t k);
+  /// Serialized checkpoint bytes of the general fallback model ("" if none).
+  std::string serialize_general_model();
   /// Build a fresh model of the pipeline architecture from checkpoint bytes.
   std::unique_ptr<nn::Sequential> model_from_bytes(const std::string& bytes) const;
 
@@ -87,10 +100,14 @@ class ClearPipeline {
     std::vector<std::size_t> users;
     features::FeatureNormalizer normalizer;
     cluster::GlobalClusteringResult clustering;
-    std::vector<std::string> checkpoints;  ///< One blob per cluster.
+    std::vector<std::string> checkpoints;  ///< One blob per cluster ("" = lost).
+    std::string general_checkpoint;        ///< Fallback blob ("" = none).
   };
   State export_state();
   /// Restore a fitted pipeline from exported state (rebuilds the models).
+  /// A cluster whose blob is empty or fails to parse/CRC-verify degrades to
+  /// the general checkpoint when one is present (recorded in
+  /// fallback_clusters()); without a usable fallback the import throws.
   void import_state(State state);
 
  private:
@@ -99,6 +116,8 @@ class ClearPipeline {
   features::FeatureNormalizer normalizer_;
   cluster::GlobalClusteringResult clustering_;
   std::vector<std::unique_ptr<nn::Sequential>> models_;
+  std::unique_ptr<nn::Sequential> general_model_;
+  std::vector<std::size_t> fallback_clusters_;
 };
 
 }  // namespace clear::core

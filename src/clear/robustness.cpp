@@ -1,0 +1,55 @@
+#include "clear/robustness.hpp"
+
+#include "common/error.hpp"
+
+namespace clear::core {
+
+std::vector<RobustnessPoint> run_robustness_sweep(
+    const ClearConfig& config, const RobustnessOptions& options) {
+  CLEAR_CHECK_MSG(!options.dropout_rates.empty() &&
+                      !options.corrupt_rates.empty(),
+                  "robustness sweep needs at least one rate per axis");
+  for (const double r : options.dropout_rates)
+    CLEAR_CHECK_MSG(r >= 0.0 && r <= 1.0, "dropout rate out of [0, 1]");
+  for (const double r : options.corrupt_rates)
+    CLEAR_CHECK_MSG(r >= 0.0 && r <= 1.0, "corrupt rate out of [0, 1]");
+
+  const std::size_t total =
+      options.dropout_rates.size() * options.corrupt_rates.size();
+  std::vector<RobustnessPoint> points;
+  points.reserve(total);
+  std::size_t cell = 0;
+  for (const double dropout : options.dropout_rates) {
+    for (const double corrupt : options.corrupt_rates) {
+      RobustnessPoint point;
+      point.dropout_rate = dropout;
+      point.corrupt_rate = corrupt;
+      if (options.progress) options.progress(cell, total, point);
+      ++cell;
+
+      fault::FaultSpec spec;
+      spec.seed = options.fault_seed;
+      spec.dropout_rate = dropout;
+      spec.corrupt_rate = corrupt;
+      spec.jitter_rate = options.jitter_rate;
+      // A zero-rate spec leaves the generator untouched, so the (0, 0)
+      // cell reproduces the clean LOSO numbers bit for bit.
+      const wemac::WemacDataset dataset =
+          generate_wemac(config.data, spec, &point.faults);
+
+      ClearOptions eval;
+      eval.run_finetune = false;
+      eval.max_folds = options.max_folds;
+      eval.strategy = options.strategy;
+      const ClearValidationResult r =
+          run_clear_validation(dataset, config, eval);
+      point.no_ft = r.no_ft;
+      point.rt = r.rt;
+      point.ca_consistency = r.ca_consistency;
+      points.push_back(std::move(point));
+    }
+  }
+  return points;
+}
+
+}  // namespace clear::core

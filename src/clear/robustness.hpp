@@ -1,0 +1,54 @@
+// Robustness sweep: the fault-injected analogue of Table I.
+//
+// For every (dropout rate, corruption rate) pair, the synthetic WEMAC
+// substrate is regenerated with deterministic fault injection (see
+// common/fault.hpp and the faulted generate_wemac overload) and the full
+// CLEAR LOSO protocol runs on the degraded data. The result is an
+// accuracy-vs-fault-rate table answering the deployment question the paper
+// leaves open: how much sensor failure can the clustered cold-start
+// pipeline absorb before its advantage over chance evaporates?
+//
+// Determinism: fault decisions are stateless hashes and the LOSO harness is
+// thread-count invariant, so every cell of the table is bit-identical across
+// runs and thread counts — and the (0, 0) cell is bit-identical to the
+// clean golden-seed LOSO results.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "clear/evaluation.hpp"
+#include "common/fault.hpp"
+
+namespace clear::core {
+
+/// One cell of the accuracy-vs-fault-rate table.
+struct RobustnessPoint {
+  double dropout_rate = 0.0;
+  double corrupt_rate = 0.0;
+  fault::FaultStats faults;   ///< Injection counters over the raw streams.
+  Aggregate no_ft;            ///< "CLEAR w/o FT" under these fault rates.
+  Aggregate rt;               ///< "RT CLEAR" under these fault rates.
+  double ca_consistency = 0.0;
+};
+
+struct RobustnessOptions {
+  std::vector<double> dropout_rates = {0.0, 0.05, 0.10};
+  std::vector<double> corrupt_rates = {0.0, 0.01};
+  std::size_t max_folds = 0;      ///< 0 = every volunteer serves as V_x.
+  std::uint64_t fault_seed = 1;   ///< Seed of the fault streams.
+  double jitter_rate = 0.0;       ///< Optional clock-jitter rate for all cells.
+  cluster::AssignStrategy strategy =
+      cluster::AssignStrategy::kSubCentroidSum;
+  /// Called before each cell runs: (cell index, total cells, point with the
+  /// rates filled in).
+  std::function<void(std::size_t, std::size_t, const RobustnessPoint&)>
+      progress;
+};
+
+/// Run the LOSO harness over the cross product of the rate lists. Rows are
+/// ordered dropout-major, matching the option lists.
+std::vector<RobustnessPoint> run_robustness_sweep(
+    const ClearConfig& config, const RobustnessOptions& options = {});
+
+}  // namespace clear::core

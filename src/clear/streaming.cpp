@@ -1,5 +1,8 @@
 #include "clear/streaming.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/error.hpp"
 #include "tensor/ops.hpp"
 
@@ -13,6 +16,13 @@ StreamingDetector::StreamingDetector(nn::Sequential& model,
   CLEAR_CHECK_MSG(config.map_windows >= 4,
                   "need at least 4 windows per map (two 2x2 poolings)");
   CLEAR_CHECK_MSG(normalizer_.fitted(), "normalizer must be fitted");
+  CLEAR_CHECK_MSG(config.bvp_limits.lo < config.bvp_limits.hi &&
+                      config.gsr_limits.lo < config.gsr_limits.hi &&
+                      config.skt_limits.lo < config.skt_limits.hi,
+                  "channel limits must satisfy lo < hi");
+  CLEAR_CHECK_MSG(config.degraded_threshold >= 0.0 &&
+                      config.degraded_threshold <= 1.0,
+                  "degraded_threshold must lie in [0, 1]");
   bvp_per_window_ =
       static_cast<std::size_t>(config.window_seconds * config.bvp_hz);
   gsr_per_window_ =
@@ -24,19 +34,88 @@ StreamingDetector::StreamingDetector(nn::Sequential& model,
                   "window too short for the configured sample rates");
 }
 
+void StreamingDetector::push_channel(Channel& ch, ChannelQuality& health,
+                                     const ChannelLimits& limits,
+                                     std::span<const double> samples) {
+  for (const double v : samples) {
+    if (!std::isfinite(v)) {
+      if (config_.gap_fill == fault::GapFill::kLinearInterp) {
+        // Withhold the gap; it is rendered when the next good sample lands.
+        ++ch.pending_gap;
+        continue;
+      }
+      // Hold-last: repair immediately with the last good sample (0 before
+      // the first good one), clamped into the channel limits.
+      const double fill = std::clamp(ch.has_good ? ch.last_good : 0.0,
+                                     limits.lo, limits.hi);
+      ch.samples.push_back(fill);
+      ch.flags.push_back(1);
+      ++health.total;
+      ++health.filled;
+      continue;
+    }
+    double x = v;
+    std::uint8_t flag = 0;
+    if (x < limits.lo) {
+      x = limits.lo;
+      flag = 2;
+    } else if (x > limits.hi) {
+      x = limits.hi;
+      flag = 2;
+    }
+    if (ch.pending_gap > 0) {
+      // Linear interpolation between the surrounding good samples; a
+      // leading gap (no previous good sample) back-fills with this one.
+      const double a = ch.has_good ? ch.last_good : x;
+      const double span = static_cast<double>(ch.pending_gap + 1);
+      for (std::size_t k = 1; k <= ch.pending_gap; ++k) {
+        ch.samples.push_back(a + (x - a) * static_cast<double>(k) / span);
+        ch.flags.push_back(1);
+        ++health.total;
+        ++health.filled;
+      }
+      ch.pending_gap = 0;
+    }
+    ch.samples.push_back(x);
+    ch.flags.push_back(flag);
+    ++health.total;
+    if (flag == 2) ++health.clamped;
+    ch.last_good = x;
+    ch.has_good = true;
+  }
+}
+
 void StreamingDetector::push_bvp(std::span<const double> samples) {
-  bvp_.insert(bvp_.end(), samples.begin(), samples.end());
+  push_channel(bvp_, health_.bvp, config_.bvp_limits, samples);
 }
 void StreamingDetector::push_gsr(std::span<const double> samples) {
-  gsr_.insert(gsr_.end(), samples.begin(), samples.end());
+  push_channel(gsr_, health_.gsr, config_.gsr_limits, samples);
 }
 void StreamingDetector::push_skt(std::span<const double> samples) {
-  skt_.insert(skt_.end(), samples.begin(), samples.end());
+  push_channel(skt_, health_.skt, config_.skt_limits, samples);
 }
 
 bool StreamingDetector::window_ready() const {
-  return bvp_.size() >= bvp_per_window_ && gsr_.size() >= gsr_per_window_ &&
-         skt_.size() >= skt_per_window_;
+  return bvp_.samples.size() >= bvp_per_window_ &&
+         gsr_.samples.size() >= gsr_per_window_ &&
+         skt_.samples.size() >= skt_per_window_;
+}
+
+ChannelQuality StreamingDetector::take_window(Channel& ch, std::size_t n,
+                                              std::vector<double>& out) {
+  out.assign(ch.samples.begin(),
+             ch.samples.begin() + static_cast<std::ptrdiff_t>(n));
+  ChannelQuality q;
+  q.total = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ch.flags[i] == 1) ++q.filled;
+    else if (ch.flags[i] == 2) ++q.clamped;
+  }
+  ch.samples.erase(ch.samples.begin(),
+                   ch.samples.begin() + static_cast<std::ptrdiff_t>(n));
+  ch.flags.erase(ch.flags.begin(),
+                 ch.flags.begin() + static_cast<std::ptrdiff_t>(n));
+  return q;
 }
 
 void StreamingDetector::extract_one_window() {
@@ -44,23 +123,19 @@ void StreamingDetector::extract_one_window() {
   window.bvp_rate = config_.bvp_hz;
   window.gsr_rate = config_.gsr_hz;
   window.skt_rate = config_.skt_hz;
-  window.bvp.assign(bvp_.begin(),
-                    bvp_.begin() + static_cast<std::ptrdiff_t>(bvp_per_window_));
-  window.gsr.assign(gsr_.begin(),
-                    gsr_.begin() + static_cast<std::ptrdiff_t>(gsr_per_window_));
-  window.skt.assign(skt_.begin(),
-                    skt_.begin() + static_cast<std::ptrdiff_t>(skt_per_window_));
-  bvp_.erase(bvp_.begin(),
-             bvp_.begin() + static_cast<std::ptrdiff_t>(bvp_per_window_));
-  gsr_.erase(gsr_.begin(),
-             gsr_.begin() + static_cast<std::ptrdiff_t>(gsr_per_window_));
-  skt_.erase(skt_.begin(),
-             skt_.begin() + static_cast<std::ptrdiff_t>(skt_per_window_));
+  SignalQuality quality;
+  quality.bvp = take_window(bvp_, bvp_per_window_, window.bvp);
+  quality.gsr = take_window(gsr_, gsr_per_window_, window.gsr);
+  quality.skt = take_window(skt_, skt_per_window_, window.skt);
 
   std::vector<double> column = features::extract_window_features(window);
   normalizer_.apply(column);
   columns_.push_back(std::move(column));
-  while (columns_.size() > config_.map_windows) columns_.pop_front();
+  column_quality_.push_back(quality);
+  while (columns_.size() > config_.map_windows) {
+    columns_.pop_front();
+    column_quality_.pop_front();
+  }
   ++windows_seen_;
   pending_detection_ = true;
 }
@@ -85,6 +160,8 @@ std::optional<Detection> StreamingDetector::poll() {
   Detection d;
   d.fear_probability = proba.at2(0, 1);
   d.window_index = windows_seen_ - 1;
+  for (const SignalQuality& q : column_quality_) d.quality.merge(q);
+  d.degraded = d.quality.ok_fraction() < 1.0 - config_.degraded_threshold;
   return d;
 }
 

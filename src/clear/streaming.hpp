@@ -8,15 +8,32 @@
 // and emits a fear probability from the deployed model each time the map is
 // full — i.e. one detection per window period after a W-window warm-up,
 // exactly what an edge device would surface to the application layer.
+//
+// Self-healing: real wearable streams drop out and glitch. Every incoming
+// sample is sanitized — non-finite values are gap-filled (hold-last or
+// linear interpolation, configurable) and out-of-range values clamped to
+// the per-channel limits — and every repair is tracked per channel. Each
+// Detection carries a SignalQuality report over the samples that produced
+// its map, so callers gate on confidence instead of consuming garbage
+// probabilities. A clean in-range stream passes through bit-identically.
 #pragma once
 
 #include <deque>
+#include <limits>
 #include <optional>
 
+#include "common/fault.hpp"
 #include "features/feature_map.hpp"
 #include "nn/sequential.hpp"
 
 namespace clear::core {
+
+/// Physically plausible range of one channel; samples outside are clamped.
+/// The defaults accept everything (no clamping).
+struct ChannelLimits {
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+};
 
 struct StreamingConfig {
   double window_seconds = 10.0;  ///< Analysis window length.
@@ -24,11 +41,65 @@ struct StreamingConfig {
   double bvp_hz = 64.0;
   double gsr_hz = 8.0;
   double skt_hz = 4.0;
+
+  /// How non-finite samples are repaired. kHoldLast repairs immediately;
+  /// kLinearInterp withholds the gap until the next good sample arrives
+  /// (mid-gap samples count as "not yet delivered").
+  fault::GapFill gap_fill = fault::GapFill::kHoldLast;
+  ChannelLimits bvp_limits;
+  ChannelLimits gsr_limits;
+  ChannelLimits skt_limits;
+  /// A detection is flagged degraded when the repaired-sample fraction of
+  /// its map exceeds this (0 = any repair degrades).
+  double degraded_threshold = 0.0;
+};
+
+/// Repair counters for one channel over some span of samples.
+struct ChannelQuality {
+  std::size_t total = 0;    ///< Samples delivered.
+  std::size_t filled = 0;   ///< Gap-filled (were non-finite).
+  std::size_t clamped = 0;  ///< Clamped into the channel limits.
+
+  std::size_t repaired() const { return filled + clamped; }
+  double ok_fraction() const {
+    return total == 0 ? 1.0
+                      : 1.0 - static_cast<double>(repaired()) /
+                                  static_cast<double>(total);
+  }
+  void merge(const ChannelQuality& o) {
+    total += o.total;
+    filled += o.filled;
+    clamped += o.clamped;
+  }
+};
+
+/// Signal-quality report across the three channels.
+struct SignalQuality {
+  ChannelQuality bvp;
+  ChannelQuality gsr;
+  ChannelQuality skt;
+
+  std::size_t total() const { return bvp.total + gsr.total + skt.total; }
+  std::size_t repaired() const {
+    return bvp.repaired() + gsr.repaired() + skt.repaired();
+  }
+  double ok_fraction() const {
+    return total() == 0 ? 1.0
+                        : 1.0 - static_cast<double>(repaired()) /
+                                    static_cast<double>(total());
+  }
+  void merge(const SignalQuality& o) {
+    bvp.merge(o.bvp);
+    gsr.merge(o.gsr);
+    skt.merge(o.skt);
+  }
 };
 
 struct Detection {
   double fear_probability = 0.0;
   std::size_t window_index = 0;  ///< Index of the newest window in the map.
+  SignalQuality quality;         ///< Over the samples behind this map.
+  bool degraded = false;         ///< Repair fraction above the threshold.
 };
 
 class StreamingDetector {
@@ -40,6 +111,7 @@ class StreamingDetector {
                     const StreamingConfig& config);
 
   /// Feed raw samples (any chunk size, any interleaving across channels).
+  /// Non-finite and out-of-range samples are repaired, never consumed raw.
   void push_bvp(std::span<const double> samples);
   void push_gsr(std::span<const double> samples);
   void push_skt(std::span<const double> samples);
@@ -53,8 +125,24 @@ class StreamingDetector {
   std::size_t windows_seen() const { return windows_seen_; }
   /// True once enough windows are buffered to classify.
   bool warmed_up() const { return columns_.size() >= config_.map_windows; }
+  /// Cumulative per-channel repair counters since construction.
+  const SignalQuality& health() const { return health_; }
 
  private:
+  /// One buffered channel plus its sanitizer state.
+  struct Channel {
+    std::deque<double> samples;
+    std::deque<std::uint8_t> flags;  ///< 0 = ok, 1 = filled, 2 = clamped.
+    double last_good = 0.0;
+    bool has_good = false;
+    std::size_t pending_gap = 0;  ///< Interp-mode NaNs awaiting a good sample.
+  };
+
+  void push_channel(Channel& ch, ChannelQuality& health,
+                    const ChannelLimits& limits,
+                    std::span<const double> samples);
+  static ChannelQuality take_window(Channel& ch, std::size_t n,
+                                    std::vector<double>& out);
   bool window_ready() const;
   void extract_one_window();
 
@@ -65,10 +153,12 @@ class StreamingDetector {
   std::size_t gsr_per_window_;
   std::size_t skt_per_window_;
 
-  std::deque<double> bvp_;
-  std::deque<double> gsr_;
-  std::deque<double> skt_;
+  Channel bvp_;
+  Channel gsr_;
+  Channel skt_;
+  SignalQuality health_;
   std::deque<std::vector<double>> columns_;  ///< Normalized feature columns.
+  std::deque<SignalQuality> column_quality_;  ///< Per-window repair report.
   std::size_t windows_seen_ = 0;
   bool pending_detection_ = false;
 };

@@ -1,5 +1,6 @@
 #include "cluster/assignment.hpp"
 
+#include <cmath>
 #include <limits>
 
 #include "common/error.hpp"
@@ -23,6 +24,14 @@ AssignmentResult assign_new_user(const std::vector<Point>& observations,
                                  AssignStrategy strategy) {
   CLEAR_CHECK_MSG(!observations.empty(), "new user has no observations");
   CLEAR_CHECK_MSG(!clustering.clusters.empty(), "clustering has no clusters");
+  // A single NaN would poison every centroid distance and silently send the
+  // user to cluster 0; reject the observation set up front instead.
+  for (std::size_t i = 0; i < observations.size(); ++i)
+    for (std::size_t d = 0; d < observations[i].size(); ++d)
+      CLEAR_CHECK_MSG(std::isfinite(observations[i][d]),
+                      "non-finite value in new-user observation "
+                          << i << ", dimension " << d
+                          << "; sanitize the signal before assignment");
   const std::size_t k = clustering.clusters.size();
   AssignmentResult result;
   result.scores.assign(k, 0.0);

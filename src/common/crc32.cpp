@@ -1,0 +1,41 @@
+#include "common/crc32.hpp"
+
+#include <array>
+
+namespace clear {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit)
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& table() {
+  static const std::array<std::uint32_t, 256> t = make_table();
+  return t;
+}
+
+}  // namespace
+
+void Crc32::update(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const auto& t = table();
+  std::uint32_t c = state_;
+  for (std::size_t i = 0; i < n; ++i) c = t[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  state_ = c;
+}
+
+std::uint32_t crc32(const void* data, std::size_t n) {
+  Crc32 c;
+  c.update(data, n);
+  return c.value();
+}
+
+}  // namespace clear

@@ -1,0 +1,37 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the integrity
+// check stamped on every checkpoint and artifact blob.
+//
+// The incremental `Crc32` accumulator lets writers checksum a payload while
+// streaming it out; the one-shot helpers cover in-memory buffers. The
+// implementation is the classic 256-entry table variant: fast enough for
+// multi-megabyte checkpoints, tiny enough for the edge targets.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace clear {
+
+class Crc32 {
+ public:
+  /// Feed `n` bytes into the running checksum.
+  void update(const void* data, std::size_t n);
+  void update(const std::string& s) { update(s.data(), s.size()); }
+
+  /// Finalized checksum of everything fed so far (does not reset).
+  std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+
+  void reset() { state_ = 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// One-shot CRC-32 of a buffer.
+std::uint32_t crc32(const void* data, std::size_t n);
+inline std::uint32_t crc32(const std::string& s) {
+  return crc32(s.data(), s.size());
+}
+
+}  // namespace clear

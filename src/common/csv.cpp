@@ -1,16 +1,33 @@
 #include "common/csv.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <fstream>
 
 #include "common/error.hpp"
 
 namespace clear::csv {
 
-Row parse_line(const std::string& line) {
+namespace {
+
+/// "row 3, column 2" / "row 3" / "column 2" / "" — whatever is known.
+std::string cell_address(std::size_t row, std::size_t col) {
+  std::string s;
+  if (row > 0) s += "row " + std::to_string(row);
+  if (col > 0) {
+    if (!s.empty()) s += ", ";
+    s += "column " + std::to_string(col);
+  }
+  return s;
+}
+
+}  // namespace
+
+Row parse_line(const std::string& line, std::size_t row) {
   Row fields;
   std::string cur;
   bool in_quotes = false;
+  bool closed_quote = false;  // Cell ended with a closing quote.
   for (std::size_t i = 0; i < line.size(); ++i) {
     const char c = line[i];
     if (in_quotes) {
@@ -20,21 +37,31 @@ Row parse_line(const std::string& line) {
           ++i;
         } else {
           in_quotes = false;
+          closed_quote = true;
         }
       } else {
         cur += c;
       }
-    } else if (c == '"') {
-      in_quotes = true;
     } else if (c == ',') {
       fields.push_back(cur);
       cur.clear();
+      closed_quote = false;
     } else if (c == '\r') {
       // Tolerate CRLF.
+    } else if (closed_quote) {
+      CLEAR_CHECK_MSG(false, "malformed CSV ("
+                                 << cell_address(row, fields.size() + 1)
+                                 << "): unexpected '" << c
+                                 << "' after closing quote");
+    } else if (c == '"') {
+      in_quotes = true;
     } else {
       cur += c;
     }
   }
+  CLEAR_CHECK_MSG(!in_quotes, "malformed CSV ("
+                                  << cell_address(row, fields.size() + 1)
+                                  << "): unterminated quoted field");
   fields.push_back(cur);
   return fields;
 }
@@ -63,9 +90,11 @@ std::vector<Row> read_file(const std::string& path) {
   CLEAR_CHECK_MSG(in.good(), "cannot open CSV file: " << path);
   std::vector<Row> rows;
   std::string line;
+  std::size_t line_no = 0;
   while (std::getline(in, line)) {
+    ++line_no;
     if (line.empty()) continue;
-    rows.push_back(parse_line(line));
+    rows.push_back(parse_line(line, line_no));
   }
   return rows;
 }
@@ -75,6 +104,46 @@ void write_file(const std::string& path, const std::vector<Row>& rows) {
   CLEAR_CHECK_MSG(out.good(), "cannot open CSV file for writing: " << path);
   for (const Row& row : rows) out << format_line(row) << '\n';
   CLEAR_CHECK_MSG(out.good(), "IO error writing CSV file: " << path);
+}
+
+double parse_double(const std::string& cell, std::size_t row,
+                    std::size_t col) {
+  // Skip the leading/trailing whitespace hand-written files tend to carry.
+  std::size_t begin = 0;
+  std::size_t end = cell.size();
+  while (begin < end && (cell[begin] == ' ' || cell[begin] == '\t')) ++begin;
+  while (end > begin && (cell[end - 1] == ' ' || cell[end - 1] == '\t'))
+    --end;
+  double v = 0.0;
+  const auto res = std::from_chars(cell.data() + begin, cell.data() + end, v);
+  CLEAR_CHECK_MSG(res.ec == std::errc() && res.ptr == cell.data() + end &&
+                      begin < end,
+                  "cannot parse '" << cell << "' as a number ("
+                                   << cell_address(row, col) << ")");
+  CLEAR_CHECK_MSG(std::isfinite(v), "non-finite number '"
+                                        << cell << "' ("
+                                        << cell_address(row, col) << ")");
+  return v;
+}
+
+std::vector<std::vector<double>> to_numeric(const std::vector<Row>& rows,
+                                            bool skip_header) {
+  std::vector<std::vector<double>> out;
+  const std::size_t first = skip_header ? 1 : 0;
+  if (rows.size() <= first) return out;
+  const std::size_t cols = rows[first].size();
+  out.reserve(rows.size() - first);
+  for (std::size_t r = first; r < rows.size(); ++r) {
+    CLEAR_CHECK_MSG(rows[r].size() == cols,
+                    "ragged CSV: row " << r + 1 << " has " << rows[r].size()
+                                       << " columns, expected " << cols);
+    std::vector<double> vals;
+    vals.reserve(cols);
+    for (std::size_t c = 0; c < cols; ++c)
+      vals.push_back(parse_double(rows[r][c], r + 1, c + 1));
+    out.push_back(std::move(vals));
+  }
+  return out;
 }
 
 std::string format_double(double v) {

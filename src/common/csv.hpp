@@ -1,6 +1,11 @@
 // Minimal CSV reading/writing used to persist feature matrices, experiment
 // results, and bench outputs. Supports quoted fields with embedded commas
 // and quotes; does not support embedded newlines (none of our data has them).
+//
+// Malformed input never misparses silently: unterminated quotes, garbage
+// after a closing quote, ragged column counts, and non-numeric cells all
+// raise clear::Error with the offending row and column spelled out
+// (1-based, matching what an editor shows).
 #pragma once
 
 #include <string>
@@ -11,16 +16,32 @@ namespace clear::csv {
 using Row = std::vector<std::string>;
 
 /// Parse one CSV line into fields (handles "quoted, fields" and "" escapes).
-Row parse_line(const std::string& line);
+/// Throws clear::Error on an unterminated quote or trailing garbage after a
+/// closing quote; `row` is the 1-based line number used in the message
+/// (0 = unknown).
+Row parse_line(const std::string& line, std::size_t row = 0);
 
 /// Serialize one row, quoting fields that contain commas or quotes.
 std::string format_line(const Row& row);
 
-/// Read a whole file. Throws clear::Error if the file cannot be opened.
+/// Read a whole file. Throws clear::Error if the file cannot be opened or
+/// any line is malformed (the error names the offending line).
 std::vector<Row> read_file(const std::string& path);
 
 /// Write rows to a file. Throws clear::Error on IO failure.
 void write_file(const std::string& path, const std::vector<Row>& rows);
+
+/// Parse one cell as a finite double. Throws clear::Error naming the cell
+/// ("row R, column C") on empty cells, trailing garbage ("1.5x"), overflow,
+/// or non-numeric text.
+double parse_double(const std::string& cell, std::size_t row,
+                    std::size_t col);
+
+/// Convert parsed rows into a numeric matrix. Every row must have the same
+/// column count as the first (ragged rows raise a row-addressed error);
+/// every cell must be numeric. `skip_header` drops the first row first.
+std::vector<std::vector<double>> to_numeric(const std::vector<Row>& rows,
+                                            bool skip_header = false);
 
 /// Convenience: format a double with enough digits to round-trip.
 std::string format_double(double v);

@@ -1,0 +1,189 @@
+#include "common/fault.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace clear::fault {
+
+namespace {
+
+// Fault-kind tags keep the decision streams for dropout / corruption /
+// jitter independent even at identical indices.
+constexpr std::uint64_t kKindDropout = 0xD0;
+constexpr std::uint64_t kKindCorrupt = 0xC0;
+constexpr std::uint64_t kKindJitter = 0x11;
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t mix(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                  std::uint64_t d) {
+  std::uint64_t h = splitmix64(a);
+  h = splitmix64(h ^ b);
+  h = splitmix64(h ^ c);
+  h = splitmix64(h ^ d);
+  return h;
+}
+
+double uniform01(std::uint64_t h) {
+  // Top 53 bits — the full double mantissa.
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+FaultStats inject(std::vector<double>& samples, double rate_hz,
+                  std::uint64_t stream_id, const FaultSpec& spec) {
+  FaultStats stats;
+  stats.total_samples = samples.size();
+  if (samples.empty() || !spec.any()) return stats;
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+  // Rails for saturation/spikes come from the clean signal's own range, so
+  // the corruption scales with whatever units the channel uses.
+  double lo = samples[0];
+  double hi = samples[0];
+  for (const double v : samples) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double range = std::max(hi - lo, 1e-9);
+  const double rail_lo = lo - 3.0 * range;
+  const double rail_hi = hi + 3.0 * range;
+
+  // 1. Clock jitter: a slipped sample clock re-delivers the previous
+  //    reading. Applied first — it perturbs otherwise-clean values.
+  if (spec.jitter_rate > 0.0) {
+    for (std::size_t i = 1; i < samples.size(); ++i) {
+      const std::uint64_t h = mix(spec.seed, stream_id, kKindJitter, i);
+      if (uniform01(h) < spec.jitter_rate) {
+        samples[i] = samples[i - 1];
+        ++stats.jittered;
+      }
+    }
+  }
+
+  // 2. Per-sample value corruption: NaN, rail saturation, or a spike.
+  if (spec.corrupt_rate > 0.0) {
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const std::uint64_t h = mix(spec.seed, stream_id, kKindCorrupt, i);
+      if (uniform01(h) >= spec.corrupt_rate) continue;
+      ++stats.corrupted;
+      switch ((h >> 32) % 3) {
+        case 0:
+          samples[i] = kNaN;
+          break;
+        case 1:
+          samples[i] = (h >> 34) & 1 ? rail_hi : rail_lo;
+          break;
+        default:
+          // Symmetric spike of up to ±8 signal ranges.
+          samples[i] += range * 16.0 * (uniform01(splitmix64(h)) - 0.5);
+          break;
+      }
+    }
+  }
+
+  // 3. Channel dropout: whole blocks of `dropout_seconds` go dark (NaN),
+  //    the radio-link failure mode. Blanking last means a dropped block
+  //    stays dropped no matter what the earlier passes did to it.
+  if (spec.dropout_rate > 0.0) {
+    const auto block = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::llround(spec.dropout_seconds *
+                                                 rate_hz)));
+    for (std::size_t start = 0; start < samples.size(); start += block) {
+      const std::uint64_t h =
+          mix(spec.seed, stream_id, kKindDropout, start / block);
+      if (uniform01(h) >= spec.dropout_rate) continue;
+      const std::size_t end = std::min(samples.size(), start + block);
+      for (std::size_t i = start; i < end; ++i) samples[i] = kNaN;
+      stats.dropped += end - start;
+    }
+  }
+  return stats;
+}
+
+SanitizeStats sanitize(std::vector<double>& samples, GapFill policy,
+                       double lo, double hi) {
+  SanitizeStats stats;
+  const std::size_t n = samples.size();
+  std::size_t i = 0;
+  while (i < n) {
+    if (std::isfinite(samples[i])) {
+      ++i;
+      continue;
+    }
+    // Found a gap [i, j).
+    std::size_t j = i;
+    while (j < n && !std::isfinite(samples[j])) ++j;
+    const bool has_prev = i > 0;
+    const bool has_next = j < n;
+    if (!has_prev && !has_next) {
+      // Nothing finite anywhere: define the signal as flat zero.
+      std::fill(samples.begin(), samples.end(), 0.0);
+      stats.filled += n;
+      return stats;
+    }
+    if (!has_prev) {
+      // Leading gap: back-fill from the first good sample.
+      std::fill(samples.begin() + static_cast<std::ptrdiff_t>(i),
+                samples.begin() + static_cast<std::ptrdiff_t>(j), samples[j]);
+    } else if (!has_next || policy == GapFill::kHoldLast) {
+      std::fill(samples.begin() + static_cast<std::ptrdiff_t>(i),
+                samples.begin() + static_cast<std::ptrdiff_t>(j),
+                samples[i - 1]);
+    } else {
+      // Linear interpolation between the surrounding good samples.
+      const double a = samples[i - 1];
+      const double b = samples[j];
+      const double span = static_cast<double>(j - (i - 1));
+      for (std::size_t k = i; k < j; ++k)
+        samples[k] = a + (b - a) * static_cast<double>(k - (i - 1)) / span;
+    }
+    stats.filled += j - i;
+    i = j;
+  }
+  for (double& v : samples) {
+    if (v < lo) {
+      v = lo;
+      ++stats.clamped;
+    } else if (v > hi) {
+      v = hi;
+      ++stats.clamped;
+    }
+  }
+  return stats;
+}
+
+namespace {
+// -1 = disarmed. Atomic so concurrent save paths can share the guard; the
+// tests that arm it run the guarded operation on a single thread.
+std::atomic<std::int64_t> g_io_countdown{-1};
+}  // namespace
+
+void arm_io_failure(std::uint64_t countdown) {
+  CLEAR_CHECK_MSG(countdown >= 1, "IO failure countdown must be >= 1");
+  g_io_countdown.store(static_cast<std::int64_t>(countdown));
+}
+
+void disarm_io_failure() { g_io_countdown.store(-1); }
+
+bool io_failure_armed() { return g_io_countdown.load() > 0; }
+
+void maybe_fail_io(const char* site) {
+  if (g_io_countdown.load() < 0) return;
+  if (g_io_countdown.fetch_sub(1) == 1) {
+    g_io_countdown.store(-1);
+    CLEAR_CHECK_MSG(false, "injected IO failure at " << site);
+  }
+}
+
+}  // namespace clear::fault

@@ -1,0 +1,119 @@
+// Deterministic, seeded fault-injection runtime.
+//
+// The paper targets wearables streaming into edge boards, where the failure
+// modes are well known: a Bluetooth link drops a channel for half a second,
+// an ADC saturates or glitches single samples, a sensor clock slips and
+// repeats a reading, and flash storage truncates or bit-flips a checkpoint
+// mid-write. This module makes every one of those faults *reproducible*:
+//
+//   * Signal faults are pure functions of (spec.seed, stream_id, fault
+//     kind, sample/block index) through a splitmix64-style mixer — no
+//     sequential RNG state. The same spec therefore produces bit-identical
+//     faulted streams regardless of injection order or thread count, and a
+//     spec with all rates at zero modifies nothing at all (the zero-fault
+//     row of a robustness sweep is bit-identical to the clean run).
+//   * IO faults are an armed countdown: the Nth guarded filesystem
+//     operation throws, simulating a writer crashing mid-save (and leaving
+//     its temp file behind for the loader to cope with).
+//
+// sanitize() is the matching device-side recovery: gap-fill non-finite
+// samples (hold-last or linear interpolation) and clamp out-of-range ones,
+// returning counters so callers can report signal quality honestly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace clear::fault {
+
+/// Fault rates for one injection pass. All rates are probabilities in
+/// [0, 1]; the default spec injects nothing.
+struct FaultSpec {
+  std::uint64_t seed = 1;        ///< Fault stream seed (independent of data seed).
+  double dropout_rate = 0.0;     ///< P(a dropout block is blanked to NaN).
+  double dropout_seconds = 0.5;  ///< Length of one dropout block.
+  double corrupt_rate = 0.0;     ///< Per-sample P(NaN / saturation / spike).
+  double jitter_rate = 0.0;      ///< Per-sample P(clock slip repeats a reading).
+
+  /// True when any fault can fire. An all-zero spec leaves inputs untouched.
+  bool any() const {
+    return dropout_rate > 0.0 || corrupt_rate > 0.0 || jitter_rate > 0.0;
+  }
+};
+
+/// Counters from one or more injection passes.
+struct FaultStats {
+  std::size_t total_samples = 0;
+  std::size_t dropped = 0;    ///< Samples blanked by dropout blocks.
+  std::size_t corrupted = 0;  ///< NaN / saturation / spike corruptions.
+  std::size_t jittered = 0;   ///< Stuck-clock sample repeats.
+
+  void merge(const FaultStats& o) {
+    total_samples += o.total_samples;
+    dropped += o.dropped;
+    corrupted += o.corrupted;
+    jittered += o.jittered;
+  }
+  std::size_t faulted() const { return dropped + corrupted + jittered; }
+  double faulted_fraction() const {
+    return total_samples == 0
+               ? 0.0
+               : static_cast<double>(faulted()) /
+                     static_cast<double>(total_samples);
+  }
+};
+
+/// Stateless decision hash: splitmix64 finalizer over the four words.
+/// Exposed so tests can pin the decision function.
+std::uint64_t mix(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                  std::uint64_t d);
+/// Map a hash to [0, 1).
+double uniform01(std::uint64_t h);
+
+/// Inject faults into one raw channel in place. `stream_id` must uniquely
+/// identify the stream (e.g. hash of volunteer, trial, and channel), so
+/// different channels draw independent fault decisions from one spec.
+/// Saturation rails and spike magnitudes are derived from the clean
+/// signal's own range — no per-channel tuning constants.
+FaultStats inject(std::vector<double>& samples, double rate_hz,
+                  std::uint64_t stream_id, const FaultSpec& spec);
+
+// ---------------------------------------------------------------------------
+// Sanitization — the recovery half of the fault model.
+
+/// Gap-fill policy for non-finite samples.
+enum class GapFill {
+  kHoldLast,      ///< Repeat the last good sample (zero-delay).
+  kLinearInterp,  ///< Interpolate across the gap (needs the next good sample).
+};
+
+struct SanitizeStats {
+  std::size_t filled = 0;   ///< Non-finite samples replaced by gap-fill.
+  std::size_t clamped = 0;  ///< Finite samples clamped into [lo, hi].
+};
+
+/// Replace every non-finite sample and clamp finite ones into [lo, hi].
+/// Leading non-finite runs are back-filled from the first good sample; an
+/// all-bad signal becomes all zeros. Returns what was repaired. A clean
+/// in-range signal is left bit-identical.
+SanitizeStats sanitize(std::vector<double>& samples, GapFill policy,
+                       double lo, double hi);
+
+// ---------------------------------------------------------------------------
+// Injectable IO failures.
+
+/// Arm the IO fault: the `countdown`-th subsequent guarded IO operation
+/// (1 = the very next one) throws clear::Error. Used by tests to simulate
+/// a writer crashing between its temp file and the atomic rename.
+void arm_io_failure(std::uint64_t countdown);
+/// Disarm any pending IO fault (the normal state).
+void disarm_io_failure();
+/// True while an IO fault is armed and has not fired yet.
+bool io_failure_armed();
+/// Guard, called by checkpoint/artifact writers at their IO sites. Throws
+/// clear::Error("injected IO failure at <site>") when the countdown fires;
+/// a no-op when disarmed.
+void maybe_fail_io(const char* site);
+
+}  // namespace clear::fault

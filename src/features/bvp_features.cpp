@@ -47,6 +47,12 @@ std::vector<double> extract_bvp_features(std::span<const double> bvp,
   CLEAR_CHECK_MSG(sample_rate > 0, "BVP sample rate must be positive");
   CLEAR_CHECK_MSG(static_cast<double>(bvp.size()) >= sample_rate,
                   "BVP window must cover at least one second");
+  // A single NaN/Inf sample would silently poison most of the 84 features;
+  // fail loudly and point at the sample instead.
+  for (std::size_t i = 0; i < bvp.size(); ++i)
+    CLEAR_CHECK_MSG(std::isfinite(bvp[i]),
+                    "BVP window has non-finite sample at index "
+                        << i << "; sanitize the stream before extraction");
   std::vector<double> f;
   f.reserve(kBvpFeatureCount);
 

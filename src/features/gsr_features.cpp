@@ -32,6 +32,12 @@ std::vector<double> extract_gsr_features(std::span<const double> gsr,
                                          double sample_rate) {
   CLEAR_CHECK_MSG(gsr.size() >= 8, "GSR window too short");
   CLEAR_CHECK_MSG(sample_rate > 0, "GSR sample rate must be positive");
+  // A single NaN/Inf sample would silently poison most of the 34 features;
+  // fail loudly and point at the sample instead.
+  for (std::size_t i = 0; i < gsr.size(); ++i)
+    CLEAR_CHECK_MSG(std::isfinite(gsr[i]),
+                    "GSR window has non-finite sample at index "
+                        << i << "; sanitize the stream before extraction");
   std::vector<double> f;
   f.reserve(kGsrFeatureCount);
 

@@ -1,5 +1,7 @@
 #include "features/skt_features.hpp"
 
+#include <cmath>
+
 #include "common/error.hpp"
 #include "common/stats.hpp"
 
@@ -16,6 +18,10 @@ std::vector<double> extract_skt_features(std::span<const double> skt,
                                          double sample_rate) {
   CLEAR_CHECK_MSG(skt.size() >= 2, "SKT window too short");
   CLEAR_CHECK_MSG(sample_rate > 0, "SKT sample rate must be positive");
+  for (std::size_t i = 0; i < skt.size(); ++i)
+    CLEAR_CHECK_MSG(std::isfinite(skt[i]),
+                    "SKT window has non-finite sample at index "
+                        << i << "; sanitize the stream before extraction");
   std::vector<double> f;
   f.reserve(kSktFeatureCount);
   f.push_back(stats::mean(skt));

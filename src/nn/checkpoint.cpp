@@ -1,19 +1,23 @@
 #include "nn/checkpoint.hpp"
 
+#include <filesystem>
 #include <fstream>
+#include <sstream>
 
+#include "common/crc32.hpp"
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "tensor/serialize.hpp"
 
 namespace clear::nn {
 
 namespace {
-constexpr std::uint64_t kCheckpointMagic = 0x434C454152434B50ull;  // "CLEARCKP"
-}
+constexpr std::uint64_t kCheckpointMagicV1 = 0x434C454152434B50ull;  // "CLEARCKP"
+constexpr std::uint64_t kCheckpointMagicV2 = 0x434C454152434B32ull;  // "CLEARCK2"
+constexpr std::uint64_t kCheckpointVersion = 2;
 
-void save_checkpoint(std::ostream& os, Sequential& model) {
+void write_payload(std::ostream& os, Sequential& model) {
   const std::vector<Param*> params = model.parameters();
-  io::write_u64(os, kCheckpointMagic);
   io::write_u64(os, params.size());
   for (const Param* p : params) {
     io::write_string(os, p->name);
@@ -21,16 +25,7 @@ void save_checkpoint(std::ostream& os, Sequential& model) {
   }
 }
 
-void save_checkpoint_file(const std::string& path, Sequential& model) {
-  std::ofstream os(path, std::ios::binary);
-  CLEAR_CHECK_MSG(os.good(), "cannot open checkpoint for writing: " << path);
-  save_checkpoint(os, model);
-  CLEAR_CHECK_MSG(os.good(), "IO error writing checkpoint: " << path);
-}
-
-void load_checkpoint(std::istream& is, Sequential& model) {
-  CLEAR_CHECK_MSG(io::read_u64(is) == kCheckpointMagic,
-                  "bad checkpoint magic");
+void read_payload(std::istream& is, Sequential& model) {
   const std::vector<Param*> params = model.parameters();
   const std::uint64_t count = io::read_u64(is);
   CLEAR_CHECK_MSG(count == params.size(),
@@ -46,6 +41,79 @@ void load_checkpoint(std::istream& is, Sequential& model) {
                         << t.shape_str() << " vs " << p->value.shape_str());
     p->value = std::move(t);
   }
+}
+
+}  // namespace
+
+void save_checkpoint(std::ostream& os, Sequential& model,
+                     CheckpointFormat format) {
+  if (format == CheckpointFormat::kLegacyV1) {
+    io::write_u64(os, kCheckpointMagicV1);
+    write_payload(os, model);
+    return;
+  }
+  std::ostringstream payload_os(std::ios::binary);
+  write_payload(payload_os, model);
+  const std::string payload = payload_os.str();
+  io::write_u64(os, kCheckpointMagicV2);
+  io::write_u64(os, kCheckpointVersion);
+  io::write_u64(os, payload.size());
+  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  io::write_u64(os, crc32(payload));
+}
+
+void save_checkpoint_file(const std::string& path, Sequential& model) {
+  namespace fs = std::filesystem;
+  const std::string tmp = path + ".tmp";
+  fault::maybe_fail_io("checkpoint open");
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    CLEAR_CHECK_MSG(os.good(), "cannot open checkpoint for writing: " << tmp);
+    save_checkpoint(os, model);
+    CLEAR_CHECK_MSG(os.good(), "IO error writing checkpoint: " << tmp);
+  }
+  // The guarded rename is the commit point: an injected failure here
+  // simulates a crash that leaves only the temp file behind.
+  fault::maybe_fail_io("checkpoint rename");
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  CLEAR_CHECK_MSG(!ec, "cannot commit checkpoint " << path << ": "
+                                                   << ec.message());
+}
+
+void load_checkpoint(std::istream& is, Sequential& model) {
+  const std::uint64_t magic = io::read_u64(is);
+  if (magic == kCheckpointMagicV1) {
+    // Pre-integrity format: no length, no CRC. Parse errors are the only
+    // corruption signal we can give.
+    read_payload(is, model);
+    return;
+  }
+  CLEAR_CHECK_MSG(magic == kCheckpointMagicV2, "bad checkpoint magic");
+  const std::uint64_t version = io::read_u64(is);
+  CLEAR_CHECK_MSG(version == kCheckpointVersion,
+                  "unsupported checkpoint version " << version);
+  const std::uint64_t length = io::read_u64(is);
+  CLEAR_CHECK_MSG(length < (1ull << 32),
+                  "implausible checkpoint payload length " << length);
+  std::string payload(length, '\0');
+  is.read(payload.data(), static_cast<std::streamsize>(length));
+  const auto got = static_cast<std::uint64_t>(is.gcount());
+  CLEAR_CHECK_MSG(got == length, "truncated checkpoint: payload has "
+                                     << got << " of " << length << " bytes");
+  unsigned char footer[8];
+  is.read(reinterpret_cast<char*>(footer), 8);
+  CLEAR_CHECK_MSG(is.gcount() == 8,
+                  "truncated checkpoint: missing CRC footer");
+  std::uint64_t stored = 0;
+  for (int i = 0; i < 8; ++i) stored |= std::uint64_t(footer[i]) << (8 * i);
+  const std::uint32_t computed = crc32(payload);
+  CLEAR_CHECK_MSG(stored == computed,
+                  "checkpoint CRC mismatch: stored " << stored << ", computed "
+                                                     << computed
+                                                     << " (corrupted blob)");
+  std::istringstream payload_is(payload, std::ios::binary);
+  read_payload(payload_is, model);
 }
 
 void load_checkpoint_file(const std::string& path, Sequential& model) {

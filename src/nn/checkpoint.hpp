@@ -5,6 +5,16 @@
 // checkpoint can only be restored into an architecturally identical network
 // — exactly the contract the CLEAR pipeline needs when shipping per-cluster
 // "best checkpoints" to the edge.
+//
+// Integrity (format v2, the default): the (name, tensor) payload is wrapped
+// in a versioned header with its byte length and a CRC-32 footer, so storage
+// faults surface as precise errors instead of silently wrong weights:
+//   * short file            -> "truncated checkpoint"
+//   * bit flip anywhere     -> "checkpoint CRC mismatch" (or a header error)
+//   * wrong architecture    -> name/shape/count mismatch (payload parse)
+// Legacy v1 checkpoints (unversioned, no CRC) still load. File saves are
+// atomic: the blob is written to `<path>.tmp` and renamed into place, so a
+// crashed writer can never leave a half-written checkpoint at `path`.
 #pragma once
 
 #include <iosfwd>
@@ -14,11 +24,17 @@
 
 namespace clear::nn {
 
+/// On-disk checkpoint flavor. kCrcV2 is the default; kLegacyV1 exists so
+/// tests can produce pre-integrity-era files.
+enum class CheckpointFormat { kLegacyV1, kCrcV2 };
+
 /// Serialize all parameter values of `model` to a binary stream/file.
-void save_checkpoint(std::ostream& os, Sequential& model);
+void save_checkpoint(std::ostream& os, Sequential& model,
+                     CheckpointFormat format = CheckpointFormat::kCrcV2);
 void save_checkpoint_file(const std::string& path, Sequential& model);
 
-/// Restore parameter values in place. Throws clear::Error on any mismatch.
+/// Restore parameter values in place (accepts v1 and v2 blobs). Throws
+/// clear::Error on any mismatch, truncation, or CRC failure.
 void load_checkpoint(std::istream& is, Sequential& model);
 void load_checkpoint_file(const std::string& path, Sequential& model);
 

@@ -1,5 +1,6 @@
 #include "wemac/dataset.hpp"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -55,7 +56,32 @@ std::size_t WemacDataset::feature_dim() const {
   return samples_.front().feature_map.extent(0);
 }
 
-WemacDataset generate_wemac(const WemacConfig& config) {
+namespace {
+
+/// Inject faults into one channel and repair it the way an edge device
+/// would: hold-last gap fill plus clamping to rails derived from the clean
+/// signal's range (legitimate dynamics survive, saturation and spikes get
+/// pinned back). Called only when the spec can fire, so the clean path is
+/// byte-for-byte the historical generator.
+void fault_and_sanitize(std::vector<double>& signal, double rate_hz,
+                        std::uint64_t stream_id,
+                        const fault::FaultSpec& faults,
+                        fault::FaultStats* stats) {
+  double lo = signal.empty() ? 0.0 : signal[0];
+  double hi = lo;
+  for (const double v : signal) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double margin = 0.5 * std::max(hi - lo, 1e-9);
+  const fault::FaultStats s = fault::inject(signal, rate_hz, stream_id, faults);
+  if (stats) stats->merge(s);
+  fault::sanitize(signal, fault::GapFill::kHoldLast, lo - margin, hi + margin);
+}
+
+WemacDataset generate_wemac_impl(const WemacConfig& config,
+                                 const fault::FaultSpec* faults,
+                                 fault::FaultStats* stats) {
   CLEAR_CHECK_MSG(config.n_volunteers >= kNumArchetypes,
                   "need at least one volunteer per archetype");
   const auto& archetypes = default_archetypes();
@@ -92,8 +118,18 @@ WemacDataset generate_wemac(const WemacConfig& config) {
                       config.trial_seconds(), vol_rng);
     for (std::size_t trial = 0; trial < schedule.size(); ++trial) {
       Rng trial_rng = vol_rng.fork(77000 + trial);
-      const TrialSignals signals = synthesize_trial(
+      TrialSignals signals = synthesize_trial(
           meta.profile, schedule[trial], config.rates, trial_rng);
+      if (faults != nullptr && faults->any()) {
+        // Stream ids mix (volunteer, trial, channel) so every channel of
+        // every trial draws independent fault decisions from one spec.
+        fault_and_sanitize(signals.bvp, config.rates.bvp_hz,
+                           fault::mix(0x57454D, v, trial, 1), *faults, stats);
+        fault_and_sanitize(signals.gsr, config.rates.gsr_hz,
+                           fault::mix(0x57454D, v, trial, 2), *faults, stats);
+        fault_and_sanitize(signals.skt, config.rates.skt_hz,
+                           fault::mix(0x57454D, v, trial, 3), *faults, stats);
+      }
       const std::vector<features::PhysioWindow> windows =
           slice_windows(signals, config.window_seconds);
       CLEAR_CHECK_MSG(windows.size() >= config.windows_per_trial,
@@ -113,6 +149,18 @@ WemacDataset generate_wemac(const WemacConfig& config) {
     volunteers.push_back(std::move(meta));
   }
   return WemacDataset(config, std::move(volunteers), std::move(samples));
+}
+
+}  // namespace
+
+WemacDataset generate_wemac(const WemacConfig& config) {
+  return generate_wemac_impl(config, nullptr, nullptr);
+}
+
+WemacDataset generate_wemac(const WemacConfig& config,
+                            const fault::FaultSpec& faults,
+                            fault::FaultStats* stats) {
+  return generate_wemac_impl(config, &faults, stats);
 }
 
 namespace {

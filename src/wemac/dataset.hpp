@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.hpp"
 #include "tensor/tensor.hpp"
 #include "wemac/synth.hpp"
 
@@ -80,6 +81,19 @@ class WemacDataset {
 
 /// Generate the full synthetic dataset (deterministic in config.seed).
 WemacDataset generate_wemac(const WemacConfig& config);
+
+/// Same generator, but each trial's raw channels pass through deterministic
+/// fault injection (dropout / corruption / jitter per `faults`) followed by
+/// the device-side sanitizer (hold-last gap fill + clamping to rails
+/// derived from the clean signal) before feature extraction — the data an
+/// edge deployment would actually see. Fault decisions are pure functions
+/// of (faults.seed, volunteer, trial, channel, sample index), so the result
+/// is bit-identical across runs and thread counts; a spec with all rates at
+/// zero yields a dataset bit-identical to the clean generator. Injection
+/// counters accumulate into `stats` when given.
+WemacDataset generate_wemac(const WemacConfig& config,
+                            const fault::FaultSpec& faults,
+                            fault::FaultStats* stats = nullptr);
 
 /// Binary (de)serialization of a generated dataset.
 void save_dataset(const WemacDataset& dataset, const std::string& path);

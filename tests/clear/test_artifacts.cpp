@@ -4,8 +4,11 @@
 
 #include <filesystem>
 #include <fstream>
+#include <string>
+#include <vector>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 
 namespace clear::core {
 namespace {
@@ -134,12 +137,186 @@ TEST(Artifacts, CorruptMetaRejected) {
   fs::remove_all(dir);
 }
 
-TEST(Artifacts, MissingCheckpointRejected) {
+TEST(Artifacts, MissingCheckpointRejectedWithoutFallback) {
   auto& f = fixture();
   const fs::path dir = temp_dir("clear_artifacts_missing_ckpt");
   save_pipeline(f.pipeline, dir.string());
+  // With both the cluster checkpoint and the general fallback gone there is
+  // nothing left to run this cluster on — the load must refuse.
   fs::remove(dir / "cluster_0.ckpt");
-  EXPECT_THROW(load_pipeline(dir.string()), Error);
+  fs::remove(dir / "general.ckpt");
+  try {
+    load_pipeline(dir.string());
+    FAIL() << "expected load to refuse";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("no general fallback"),
+              std::string::npos)
+        << "actual error: " << e.what();
+  }
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Graceful degradation: a damaged cluster checkpoint falls back to the
+// general model; damaged metadata is a hard, CRC-specific error.
+
+void flip_byte(const fs::path& file, std::size_t offset) {
+  std::fstream io(file, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(io.good()) << file;
+  io.seekg(0, std::ios::end);
+  const auto size = static_cast<std::size_t>(io.tellg());
+  ASSERT_LT(offset, size) << file;
+  io.seekg(static_cast<std::streamoff>(offset));
+  char c = 0;
+  io.read(&c, 1);
+  c = static_cast<char>(c ^ 0x40);
+  io.seekp(static_cast<std::streamoff>(offset));
+  io.write(&c, 1);
+}
+
+TEST(Artifacts, SaveWritesGeneralFallback) {
+  auto& f = fixture();
+  const fs::path dir = temp_dir("clear_artifacts_general");
+  save_pipeline(f.pipeline, dir.string());
+  EXPECT_TRUE(fs::exists(dir / "general.ckpt"));
+  ClearPipeline restored = load_pipeline(dir.string());
+  EXPECT_TRUE(restored.has_general_model());
+  EXPECT_TRUE(restored.fallback_clusters().empty());
+  fs::remove_all(dir);
+}
+
+TEST(Artifacts, MissingClusterCheckpointFallsBackToGeneral) {
+  auto& f = fixture();
+  const fs::path dir = temp_dir("clear_artifacts_fallback_missing");
+  save_pipeline(f.pipeline, dir.string());
+  fs::remove(dir / "cluster_0.ckpt");
+  ClearPipeline restored = load_pipeline(dir.string());
+  EXPECT_EQ(restored.fallback_clusters(), std::vector<std::size_t>{0});
+  // The degraded cluster still predicts (with the general weights).
+  const auto& samples = f.dataset.samples_of(f.dataset.n_volunteers() - 1);
+  const std::vector<std::size_t> idx(samples.begin(), samples.end());
+  EXPECT_NO_THROW(restored.evaluate_on(f.dataset, 0, idx));
+  fs::remove_all(dir);
+}
+
+TEST(Artifacts, CorruptClusterCheckpointFallsBackToGeneral) {
+  auto& f = fixture();
+  const fs::path dir = temp_dir("clear_artifacts_fallback_corrupt");
+  save_pipeline(f.pipeline, dir.string());
+  const fs::path ckpt = dir / "cluster_0.ckpt";
+  flip_byte(ckpt, fs::file_size(ckpt) / 2);
+  ClearPipeline restored = load_pipeline(dir.string());
+  EXPECT_EQ(restored.fallback_clusters(), std::vector<std::size_t>{0});
+  fs::remove_all(dir);
+}
+
+TEST(Artifacts, CorruptGeneralCheckpointIsDroppedNotSubstituted) {
+  auto& f = fixture();
+  const fs::path dir = temp_dir("clear_artifacts_general_corrupt");
+  save_pipeline(f.pipeline, dir.string());
+  const fs::path ckpt = dir / "general.ckpt";
+  flip_byte(ckpt, fs::file_size(ckpt) / 2);
+  // All cluster checkpoints are intact, so the load succeeds — but the
+  // damaged fallback must never be silently kept.
+  ClearPipeline restored = load_pipeline(dir.string());
+  EXPECT_FALSE(restored.has_general_model());
+  EXPECT_TRUE(restored.fallback_clusters().empty());
+  fs::remove_all(dir);
+}
+
+TEST(Artifacts, CorruptMetaReportsCrcMismatch) {
+  auto& f = fixture();
+  const fs::path dir = temp_dir("clear_artifacts_meta_crc");
+  save_pipeline(f.pipeline, dir.string());
+  const fs::path meta = dir / "pipeline.meta";
+  flip_byte(meta, fs::file_size(meta) / 2);
+  try {
+    load_pipeline(dir.string());
+    FAIL() << "expected CRC error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("CRC mismatch"), std::string::npos)
+        << "actual error: " << e.what();
+  }
+  fs::remove_all(dir);
+}
+
+TEST(Artifacts, TruncatedMetaReportsTruncation) {
+  auto& f = fixture();
+  const fs::path dir = temp_dir("clear_artifacts_meta_trunc");
+  save_pipeline(f.pipeline, dir.string());
+  const fs::path meta = dir / "pipeline.meta";
+  fs::resize_file(meta, fs::file_size(meta) / 2);
+  try {
+    load_pipeline(dir.string());
+    FAIL() << "expected truncation error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated pipeline.meta"),
+              std::string::npos)
+        << "actual error: " << e.what();
+  }
+  fs::remove_all(dir);
+}
+
+TEST(Artifacts, FlippedBytesNeverLoadSilentlyWrong) {
+  // The acceptance bar of the fault model: corrupt any byte of any file in
+  // a saved pipeline directory and the load either degrades loudly
+  // (fallback / dropped general) or throws — never runs damaged weights.
+  auto& f = fixture();
+  const fs::path dir = temp_dir("clear_artifacts_flip_sweep");
+  save_pipeline(f.pipeline, dir.string());
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir))
+    files.push_back(entry.path());
+  for (const fs::path& file : files) {
+    const std::size_t size = fs::file_size(file);
+    // Sample offsets across the file: header, early payload, middle, tail.
+    for (const std::size_t offset :
+         {std::size_t{0}, std::size_t{9}, std::size_t{17}, size / 3,
+          size / 2, size - 5, size - 1}) {
+      const fs::path backup = file.string() + ".bak";
+      fs::copy_file(file, backup);
+      flip_byte(file, offset);
+      const std::string name = file.filename().string();
+      if (name == "pipeline.meta") {
+        EXPECT_THROW(load_pipeline(dir.string()), Error)
+            << name << " offset " << offset;
+      } else {
+        // Checkpoint damage: the load must either throw (nothing to fall
+        // back on would be a bug here — general.ckpt is intact unless the
+        // flip hit it) or record the degradation.
+        try {
+          ClearPipeline restored = load_pipeline(dir.string());
+          if (name == "general.ckpt") {
+            EXPECT_FALSE(restored.has_general_model())
+                << name << " offset " << offset;
+          } else {
+            EXPECT_FALSE(restored.fallback_clusters().empty())
+                << name << " offset " << offset;
+          }
+        } catch (const Error&) {
+          // A hard refusal is also acceptable — just never silence.
+        }
+      }
+      fs::remove(file);
+      fs::rename(backup, file);
+    }
+  }
+  fs::remove_all(dir);
+}
+
+TEST(Artifacts, InjectedCrashDuringSaveLeavesLoadableOldState) {
+  auto& f = fixture();
+  const fs::path dir = temp_dir("clear_artifacts_crash");
+  save_pipeline(f.pipeline, dir.string());
+  // Crash the *second* save at its first guarded IO site: every file is
+  // written to a temp name and renamed, so the committed state stays the
+  // complete previous generation.
+  fault::arm_io_failure(1);
+  EXPECT_THROW(save_pipeline(f.pipeline, dir.string()), Error);
+  fault::disarm_io_failure();
+  ClearPipeline restored = load_pipeline(dir.string());
+  EXPECT_TRUE(restored.fitted());
+  EXPECT_TRUE(restored.fallback_clusters().empty());
   fs::remove_all(dir);
 }
 

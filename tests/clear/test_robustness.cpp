@@ -1,0 +1,114 @@
+#include "clear/robustness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace clear::core {
+namespace {
+
+ClearConfig robust_config() {
+  // Mirrors the golden-seed LOSO fixture in test_evaluation.cpp: the
+  // zero-fault cell below must reproduce those exact numbers.
+  ClearConfig c = smoke_config();
+  c.data.seed = 31;
+  c.data.n_volunteers = 10;
+  c.data.trials_per_volunteer = 6;
+  c.train.epochs = 2;
+  c.finetune.epochs = 3;
+  c.general_model_users = 4;
+  c.finalize();
+  return c;
+}
+
+TEST(Robustness, ZeroFaultCellMatchesGoldenSeedBitForBit) {
+  RobustnessOptions opt;
+  opt.dropout_rates = {0.0};
+  opt.corrupt_rates = {0.0};
+  opt.max_folds = 3;
+  const auto points = run_robustness_sweep(robust_config(), opt);
+  ASSERT_EQ(points.size(), 1u);
+  const std::vector<double> golden_acc = {33.333333333333329, 100.0,
+                                          33.333333333333329};
+  const std::vector<double> golden_f1 = {0.0, 100.0, 50.0};
+  EXPECT_EQ(points[0].no_ft.fold_accuracy, golden_acc);
+  EXPECT_EQ(points[0].no_ft.fold_f1, golden_f1);
+  EXPECT_EQ(points[0].ca_consistency, 1.0);
+  EXPECT_EQ(points[0].faults.faulted(), 0u);
+}
+
+TEST(Robustness, FaultedSweepCompletesWithFiniteMetrics) {
+  // The acceptance bar: a LOSO sweep at 10% dropout + 1% corruption runs
+  // end to end without throwing — sanitization keeps every feature map
+  // finite through clustering, training, and evaluation.
+  RobustnessOptions opt;
+  opt.dropout_rates = {0.0, 0.10};
+  opt.corrupt_rates = {0.0, 0.01};
+  opt.max_folds = 2;
+  const auto points = run_robustness_sweep(robust_config(), opt);
+  ASSERT_EQ(points.size(), 4u);
+  for (const RobustnessPoint& p : points) {
+    EXPECT_EQ(p.no_ft.folds(), 2u);
+    EXPECT_TRUE(std::isfinite(p.no_ft.accuracy.mean));
+    EXPECT_TRUE(std::isfinite(p.no_ft.f1.mean));
+    EXPECT_GE(p.ca_consistency, 0.0);
+    EXPECT_LE(p.ca_consistency, 1.0);
+    if (p.dropout_rate == 0.0 && p.corrupt_rate == 0.0)
+      EXPECT_EQ(p.faults.faulted(), 0u);
+    else
+      EXPECT_GT(p.faults.faulted(), 0u);
+  }
+  // Dropout-major ordering matches the option lists.
+  EXPECT_EQ(points[0].dropout_rate, 0.0);
+  EXPECT_EQ(points[0].corrupt_rate, 0.0);
+  EXPECT_EQ(points[1].corrupt_rate, 0.01);
+  EXPECT_EQ(points[2].dropout_rate, 0.10);
+}
+
+TEST(Robustness, CellsAreDeterministicAcrossRuns) {
+  RobustnessOptions opt;
+  opt.dropout_rates = {0.10};
+  opt.corrupt_rates = {0.01};
+  opt.max_folds = 2;
+  const auto a = run_robustness_sweep(robust_config(), opt);
+  const auto b = run_robustness_sweep(robust_config(), opt);
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(a[0].no_ft.fold_accuracy, b[0].no_ft.fold_accuracy);
+  EXPECT_EQ(a[0].no_ft.fold_f1, b[0].no_ft.fold_f1);
+  EXPECT_EQ(a[0].faults.dropped, b[0].faults.dropped);
+  EXPECT_EQ(a[0].faults.corrupted, b[0].faults.corrupted);
+}
+
+TEST(Robustness, ProgressCallbackSeesEveryCell) {
+  RobustnessOptions opt;
+  opt.dropout_rates = {0.0, 0.05};
+  opt.corrupt_rates = {0.0};
+  opt.max_folds = 1;
+  std::size_t calls = 0;
+  opt.progress = [&](std::size_t cell, std::size_t total,
+                     const RobustnessPoint& p) {
+    EXPECT_EQ(cell, calls);
+    EXPECT_EQ(total, 2u);
+    EXPECT_EQ(p.dropout_rate, opt.dropout_rates[cell]);
+    ++calls;
+  };
+  run_robustness_sweep(robust_config(), opt);
+  EXPECT_EQ(calls, 2u);
+}
+
+TEST(Robustness, RejectsOutOfRangeRates) {
+  RobustnessOptions opt;
+  opt.dropout_rates = {1.5};
+  EXPECT_THROW(run_robustness_sweep(robust_config(), opt), Error);
+  opt.dropout_rates = {0.1};
+  opt.corrupt_rates = {-0.1};
+  EXPECT_THROW(run_robustness_sweep(robust_config(), opt), Error);
+  opt.corrupt_rates = {};
+  EXPECT_THROW(run_robustness_sweep(robust_config(), opt), Error);
+}
+
+}  // namespace
+}  // namespace clear::core

@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "clear/pipeline.hpp"
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "wemac/synth.hpp"
 
 namespace clear::core {
@@ -161,6 +165,235 @@ TEST(Streaming, RollingMapSlidesWindowByWindow) {
   ASSERT_TRUE(d.has_value());
   EXPECT_EQ(d->window_index, det.windows_seen() - 1);
   EXPECT_GE(det.windows_seen(), sc.map_windows + 3);
+}
+
+// ---------------------------------------------------------------------------
+// Self-healing: dropout gaps, glitches, and out-of-range samples are
+// repaired, counted, and reported — never consumed raw.
+
+TEST(StreamingQuality, CleanStreamReportsFullQuality) {
+  auto& f = fixture();
+  const StreamingConfig sc = f.streaming();
+  StreamingDetector det(f.pipeline.cluster_model(0), f.pipeline.normalizer(),
+                        sc);
+  const double warmup_s =
+      sc.window_seconds * static_cast<double>(sc.map_windows);
+  const auto trial = f.make_trial(wemac::Emotion::kCalm, warmup_s + 1.0, 11);
+  det.push_bvp(trial.bvp);
+  det.push_gsr(trial.gsr);
+  det.push_skt(trial.skt);
+  const auto d = det.poll();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->quality.repaired(), 0u);
+  EXPECT_DOUBLE_EQ(d->quality.ok_fraction(), 1.0);
+  EXPECT_FALSE(d->degraded);
+  EXPECT_EQ(det.health().repaired(), 0u);
+}
+
+TEST(StreamingQuality, DropoutIsGapFilledAndCounted) {
+  auto& f = fixture();
+  const StreamingConfig sc = f.streaming();
+  StreamingDetector det(f.pipeline.cluster_model(0), f.pipeline.normalizer(),
+                        sc);
+  const double warmup_s =
+      sc.window_seconds * static_cast<double>(sc.map_windows);
+  auto trial = f.make_trial(wemac::Emotion::kFear, warmup_s + 1.0, 12);
+  // Blank half a second of BVP mid-stream — the radio-dropout failure mode.
+  const auto gap_len = static_cast<std::size_t>(0.5 * sc.bvp_hz);
+  const std::size_t gap_at = trial.bvp.size() / 2;
+  for (std::size_t i = 0; i < gap_len; ++i)
+    trial.bvp[gap_at + i] = std::nan("");
+  det.push_bvp(trial.bvp);
+  det.push_gsr(trial.gsr);
+  det.push_skt(trial.skt);
+  const auto d = det.poll();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(std::isfinite(d->fear_probability));
+  EXPECT_EQ(det.health().bvp.filled, gap_len);
+  EXPECT_EQ(det.health().gsr.filled, 0u);
+  EXPECT_LT(det.health().ok_fraction(), 1.0);
+}
+
+TEST(StreamingQuality, DegradedFlagFollowsThreshold) {
+  auto& f = fixture();
+  StreamingConfig sc = f.streaming();
+  sc.degraded_threshold = 0.0;  // Any repair in the map degrades.
+  StreamingDetector strict(f.pipeline.cluster_model(0),
+                           f.pipeline.normalizer(), sc);
+  sc.degraded_threshold = 0.9;  // Tolerates up to 90% repaired samples.
+  StreamingDetector lax(f.pipeline.cluster_model(0), f.pipeline.normalizer(),
+                        sc);
+  const double warmup_s =
+      sc.window_seconds * static_cast<double>(sc.map_windows);
+  auto trial = f.make_trial(wemac::Emotion::kFear, warmup_s + 1.0, 13);
+  trial.bvp[trial.bvp.size() / 2] = std::nan("");
+  for (StreamingDetector* det : {&strict, &lax}) {
+    det->push_bvp(trial.bvp);
+    det->push_gsr(trial.gsr);
+    det->push_skt(trial.skt);
+  }
+  const auto ds = strict.poll();
+  const auto dl = lax.poll();
+  ASSERT_TRUE(ds.has_value());
+  ASSERT_TRUE(dl.has_value());
+  EXPECT_TRUE(ds->degraded);
+  EXPECT_FALSE(dl->degraded);
+  // The repaired data is identical either way — only the flag differs.
+  EXPECT_DOUBLE_EQ(ds->fear_probability, dl->fear_probability);
+}
+
+TEST(StreamingQuality, ClampingCountsOutOfRangeSamples) {
+  auto& f = fixture();
+  StreamingConfig sc = f.streaming();
+  sc.skt_limits = {20.0, 45.0};  // Physiological skin-temperature rails.
+  StreamingDetector det(f.pipeline.cluster_model(0), f.pipeline.normalizer(),
+                        sc);
+  const double warmup_s =
+      sc.window_seconds * static_cast<double>(sc.map_windows);
+  auto trial = f.make_trial(wemac::Emotion::kCalm, warmup_s + 1.0, 14);
+  trial.skt[10] = 500.0;  // ADC saturation glitch.
+  trial.skt[11] = -40.0;
+  det.push_bvp(trial.bvp);
+  det.push_gsr(trial.gsr);
+  det.push_skt(trial.skt);
+  const auto d = det.poll();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(det.health().skt.clamped, 2u);
+  EXPECT_TRUE(std::isfinite(d->fear_probability));
+}
+
+TEST(StreamingQuality, HoldLastAndInterpBothRecoverFromDropout) {
+  auto& f = fixture();
+  const double warmup_s = f.streaming().window_seconds *
+                          static_cast<double>(f.streaming().map_windows);
+  auto trial = f.make_trial(wemac::Emotion::kFear, warmup_s + 1.0, 15);
+  const std::size_t gap_at = trial.gsr.size() / 3;
+  for (std::size_t i = 0; i < 8; ++i) trial.gsr[gap_at + i] = std::nan("");
+  for (const fault::GapFill policy :
+       {fault::GapFill::kHoldLast, fault::GapFill::kLinearInterp}) {
+    StreamingConfig sc = f.streaming();
+    sc.gap_fill = policy;
+    StreamingDetector det(f.pipeline.cluster_model(0),
+                          f.pipeline.normalizer(), sc);
+    det.push_bvp(trial.bvp);
+    det.push_gsr(trial.gsr);
+    det.push_skt(trial.skt);
+    const auto d = det.poll();
+    ASSERT_TRUE(d.has_value());
+    EXPECT_TRUE(std::isfinite(d->fear_probability));
+    EXPECT_EQ(det.health().gsr.filled, 8u);
+  }
+}
+
+TEST(StreamingQuality, InterpolationDefersTrailingGap) {
+  auto& f = fixture();
+  StreamingConfig sc = f.streaming();
+  sc.gap_fill = fault::GapFill::kLinearInterp;
+  StreamingDetector det(f.pipeline.cluster_model(0), f.pipeline.normalizer(),
+                        sc);
+  // A trailing NaN run cannot be interpolated yet: those samples must not
+  // count as delivered until the next good sample closes the gap.
+  det.push_skt(std::vector<double>{30.0, 31.0});
+  const std::size_t before = det.health().skt.total;
+  det.push_skt(std::vector<double>{std::nan(""), std::nan("")});
+  EXPECT_EQ(det.health().skt.total, before);  // Withheld, not delivered.
+  det.push_skt(std::vector<double>{34.0});
+  EXPECT_EQ(det.health().skt.total, before + 3);
+  EXPECT_EQ(det.health().skt.filled, 2u);
+}
+
+TEST(StreamingQuality, DetectionRecoversAfterTotalChannelDropout) {
+  // Dropout-recovery: a full window of one channel goes dark, the detector
+  // keeps emitting (degraded), and quality returns to clean afterwards.
+  auto& f = fixture();
+  const StreamingConfig sc = f.streaming();
+  StreamingDetector det(f.pipeline.cluster_model(0), f.pipeline.normalizer(),
+                        sc);
+  const double warmup_s =
+      sc.window_seconds * static_cast<double>(sc.map_windows);
+  const auto n_bvp = static_cast<std::size_t>(sc.window_seconds * sc.bvp_hz);
+  const auto n_gsr = static_cast<std::size_t>(sc.window_seconds * sc.gsr_hz);
+  const auto n_skt = static_cast<std::size_t>(sc.window_seconds * sc.skt_hz);
+  // Push exactly W windows so the buffers are empty at each window edge.
+  const auto trial = f.make_trial(wemac::Emotion::kFear, warmup_s + 1.0, 16);
+  det.push_bvp(std::span<const double>(trial.bvp.data(),
+                                       n_bvp * sc.map_windows));
+  det.push_gsr(std::span<const double>(trial.gsr.data(),
+                                       n_gsr * sc.map_windows));
+  det.push_skt(std::span<const double>(trial.skt.data(),
+                                       n_skt * sc.map_windows));
+  ASSERT_TRUE(det.poll().has_value());
+
+  // One whole window where GSR is dark.
+  const auto more = f.make_trial(wemac::Emotion::kFear,
+                                 2.0 * sc.window_seconds + 1.0, 17);
+  det.push_bvp(std::span<const double>(more.bvp.data(), n_bvp));
+  const std::vector<double> dark(n_gsr, std::nan(""));
+  det.push_gsr(dark);
+  det.push_skt(std::span<const double>(more.skt.data(), n_skt));
+  const auto during = det.poll();
+  ASSERT_TRUE(during.has_value());
+  EXPECT_TRUE(std::isfinite(during->fear_probability));
+  EXPECT_TRUE(during->degraded);
+  EXPECT_EQ(during->quality.gsr.filled, n_gsr);
+
+  // Next window: the link is back. The *new* window is clean even though
+  // the rolling map still contains the dark window.
+  det.push_bvp(std::span<const double>(more.bvp.data() + n_bvp, n_bvp));
+  det.push_gsr(std::span<const double>(more.gsr.data() + n_gsr, n_gsr));
+  det.push_skt(std::span<const double>(more.skt.data() + n_skt, n_skt));
+  const auto after = det.poll();
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->quality.gsr.filled, n_gsr);  // Map still spans the gap.
+  EXPECT_EQ(det.health().gsr.filled, n_gsr);    // But no new repairs.
+}
+
+TEST(StreamingQuality, SanitizedStreamMatchesPreSanitizedStream) {
+  // Feeding a faulty stream must equal feeding the stream the detector's
+  // own sanitizer would have produced — repairs happen at ingest, once.
+  auto& f = fixture();
+  const StreamingConfig sc = f.streaming();
+  const double warmup_s =
+      sc.window_seconds * static_cast<double>(sc.map_windows);
+  auto faulty = f.make_trial(wemac::Emotion::kFear, warmup_s + 1.0, 18);
+  for (std::size_t i = 200; i < 230; ++i) faulty.bvp[i] = std::nan("");
+  std::vector<double> repaired = faulty.bvp;
+  fault::sanitize(repaired, fault::GapFill::kHoldLast,
+                  -std::numeric_limits<double>::infinity(),
+                  std::numeric_limits<double>::infinity());
+
+  StreamingDetector a(f.pipeline.cluster_model(0), f.pipeline.normalizer(),
+                      sc);
+  a.push_bvp(faulty.bvp);
+  a.push_gsr(faulty.gsr);
+  a.push_skt(faulty.skt);
+  StreamingDetector b(f.pipeline.cluster_model(0), f.pipeline.normalizer(),
+                      sc);
+  b.push_bvp(repaired);
+  b.push_gsr(faulty.gsr);
+  b.push_skt(faulty.skt);
+  const auto da = a.poll();
+  const auto db = b.poll();
+  ASSERT_TRUE(da.has_value());
+  ASSERT_TRUE(db.has_value());
+  EXPECT_DOUBLE_EQ(da->fear_probability, db->fear_probability);
+  // Only the quality report knows the difference.
+  EXPECT_EQ(da->quality.bvp.filled, 30u);
+  EXPECT_EQ(db->quality.bvp.filled, 0u);
+}
+
+TEST(StreamingQuality, LimitValidation) {
+  auto& f = fixture();
+  StreamingConfig bad = f.streaming();
+  bad.gsr_limits = {5.0, -5.0};  // lo > hi.
+  EXPECT_THROW(StreamingDetector(f.pipeline.cluster_model(0),
+                                 f.pipeline.normalizer(), bad),
+               Error);
+  bad = f.streaming();
+  bad.degraded_threshold = 1.5;
+  EXPECT_THROW(StreamingDetector(f.pipeline.cluster_model(0),
+                                 f.pipeline.normalizer(), bad),
+               Error);
 }
 
 TEST(Streaming, ConfigValidation) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "common/error.hpp"
 
 namespace clear::cluster {
@@ -104,6 +107,32 @@ TEST(Assignment, Validation) {
   EXPECT_THROW(assign_new_user({}, clustering), Error);
   GlobalClusteringResult empty;
   EXPECT_THROW(assign_new_user({{1.0, 1.0}}, empty), Error);
+}
+
+TEST(Assignment, RejectsNonFiniteObservations) {
+  // A NaN would make every centroid distance NaN and silently assign
+  // cluster 0; the observation set must be rejected up front instead.
+  const auto clustering = two_cluster_fixture();
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const AssignStrategy strategy :
+       {AssignStrategy::kSubCentroidSum, AssignStrategy::kFlatCentroid,
+        AssignStrategy::kObservationVote}) {
+    EXPECT_THROW(assign_new_user({{nan, 0.0}}, clustering, strategy), Error);
+    EXPECT_THROW(assign_new_user({{0.0, inf}}, clustering, strategy), Error);
+    EXPECT_THROW(
+        assign_new_user({{1.0, 1.0}, {2.0, -inf}}, clustering, strategy),
+        Error);
+  }
+  try {
+    assign_new_user({{1.0, 1.0}, {nan, 2.0}}, clustering);
+    FAIL() << "expected rejection";
+  } catch (const Error& e) {
+    // The error names the offending observation and dimension.
+    EXPECT_NE(std::string(e.what()).find("observation 1, dimension 0"),
+              std::string::npos)
+        << "actual error: " << e.what();
+  }
 }
 
 }  // namespace

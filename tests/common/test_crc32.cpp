@@ -1,0 +1,65 @@
+#include "common/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace clear {
+namespace {
+
+// Published IEEE 802.3 check value: CRC-32 of "123456789".
+TEST(Crc32, MatchesKnownCheckValue) {
+  EXPECT_EQ(crc32(std::string("123456789")), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyInputIsZero) { EXPECT_EQ(crc32(std::string()), 0u); }
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const std::string payload = "the quick brown fox jumps over the lazy dog";
+  Crc32 acc;
+  for (const char c : payload) acc.update(&c, 1);
+  EXPECT_EQ(acc.value(), crc32(payload));
+}
+
+TEST(Crc32, SplitPointsDoNotMatter) {
+  const std::string payload(1000, 'x');
+  for (const std::size_t split : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{500}, std::size_t{999}}) {
+    Crc32 acc;
+    acc.update(payload.substr(0, split));
+    acc.update(payload.substr(split));
+    EXPECT_EQ(acc.value(), crc32(payload));
+  }
+}
+
+TEST(Crc32, SingleBitFlipChangesValue) {
+  std::string payload(64, '\0');
+  const std::uint32_t clean = crc32(payload);
+  for (std::size_t byte = 0; byte < payload.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = payload;
+      flipped[byte] = static_cast<char>(flipped[byte] ^ (1 << bit));
+      EXPECT_NE(crc32(flipped), clean)
+          << "flip of byte " << byte << " bit " << bit << " went undetected";
+    }
+  }
+}
+
+TEST(Crc32, ResetStartsFresh) {
+  Crc32 acc;
+  acc.update(std::string("garbage"));
+  acc.reset();
+  acc.update(std::string("123456789"));
+  EXPECT_EQ(acc.value(), 0xCBF43926u);
+}
+
+TEST(Crc32, ValueDoesNotConsume) {
+  Crc32 acc;
+  acc.update(std::string("1234"));
+  (void)acc.value();
+  acc.update(std::string("56789"));
+  EXPECT_EQ(acc.value(), 0xCBF43926u);
+}
+
+}  // namespace
+}  // namespace clear

@@ -4,6 +4,8 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <functional>
 
 #include "common/error.hpp"
 
@@ -70,6 +72,82 @@ TEST(Csv, ReadMissingFileThrows) {
 TEST(Csv, FormatDoubleRoundTrips) {
   const double v = 0.1234567890123456789;
   EXPECT_DOUBLE_EQ(std::stod(format_double(v)), v);
+}
+
+// ---------------------------------------------------------------------------
+// Hardening: malformed input raises row/column-addressed errors instead of
+// silently misparsing.
+
+void expect_csv_error(const std::function<void()>& fn,
+                      const std::string& needle) {
+  try {
+    fn();
+    FAIL() << "expected error containing '" << needle << "'";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "actual error: " << e.what();
+  }
+}
+
+TEST(CsvHardened, UnterminatedQuoteNamesRow) {
+  expect_csv_error([] { parse_line("a,\"unclosed", 7); },
+                   "row 7, column 2");
+  expect_csv_error([] { parse_line("a,\"unclosed", 7); },
+                   "unterminated quoted field");
+}
+
+TEST(CsvHardened, GarbageAfterClosingQuoteNamesCell) {
+  expect_csv_error([] { parse_line("\"ok\"garbage,b", 3); },
+                   "after closing quote");
+  expect_csv_error([] { parse_line("\"ok\"garbage,b", 3); }, "row 3");
+  // A comma directly after the closing quote is fine.
+  const Row r = parse_line("\"ok\",b");
+  EXPECT_EQ(r, (Row{"ok", "b"}));
+}
+
+TEST(CsvHardened, ParseDoubleAcceptsPlainNumbers) {
+  EXPECT_DOUBLE_EQ(parse_double("1.5", 1, 1), 1.5);
+  EXPECT_DOUBLE_EQ(parse_double("-2e3", 1, 1), -2000.0);
+  EXPECT_DOUBLE_EQ(parse_double(" 42 ", 1, 1), 42.0);  // Tolerates padding.
+}
+
+TEST(CsvHardened, ParseDoubleRejectsBadCells) {
+  expect_csv_error([] { parse_double("", 2, 3); }, "row 2, column 3");
+  expect_csv_error([] { parse_double("abc", 2, 3); }, "cannot parse 'abc'");
+  expect_csv_error([] { parse_double("1.5x", 4, 1); }, "row 4, column 1");
+  expect_csv_error([] { parse_double("1e999", 1, 1); }, "");  // Overflow.
+  expect_csv_error([] { parse_double("nan", 1, 2); }, "non-finite");
+  expect_csv_error([] { parse_double("inf", 1, 2); }, "non-finite");
+}
+
+TEST(CsvHardened, ToNumericConvertsUniformRows) {
+  const std::vector<Row> rows = {{"a", "b"}, {"1", "2"}, {"3", "4"}};
+  const auto m = to_numeric(rows, /*skip_header=*/true);
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_EQ(m[0], (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(m[1], (std::vector<double>{3.0, 4.0}));
+  EXPECT_TRUE(to_numeric({}, true).empty());
+}
+
+TEST(CsvHardened, ToNumericRejectsRaggedRows) {
+  const std::vector<Row> rows = {{"1", "2"}, {"3"}};
+  expect_csv_error([&] { to_numeric(rows); }, "ragged CSV: row 2");
+}
+
+TEST(CsvHardened, ToNumericNamesBadCell) {
+  const std::vector<Row> rows = {{"1", "2"}, {"3", "oops"}};
+  expect_csv_error([&] { to_numeric(rows); }, "row 2, column 2");
+}
+
+TEST(CsvHardened, ReadFileReportsOffendingLine) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "clear_csv_bad.csv").string();
+  {
+    std::ofstream os(path);
+    os << "good,line\n\"broken\n";
+  }
+  expect_csv_error([&] { read_file(path); }, "row 2");
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,252 @@
+#include "common/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+
+namespace clear::fault {
+namespace {
+
+std::vector<double> ramp(std::size_t n) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<double>(i) * 0.01;
+  return v;
+}
+
+TEST(FaultSpec, DefaultInjectsNothing) {
+  FaultSpec spec;
+  EXPECT_FALSE(spec.any());
+  std::vector<double> x = ramp(256);
+  const std::vector<double> clean = x;
+  const FaultStats s = inject(x, 64.0, 42, spec);
+  EXPECT_EQ(x, clean);  // Bit-identical, not just close.
+  EXPECT_EQ(s.faulted(), 0u);
+  EXPECT_EQ(s.total_samples, 256u);
+}
+
+TEST(FaultInject, DeterministicAcrossCalls) {
+  FaultSpec spec;
+  spec.seed = 7;
+  spec.dropout_rate = 0.1;
+  spec.corrupt_rate = 0.05;
+  spec.jitter_rate = 0.02;
+  std::vector<double> a = ramp(512);
+  std::vector<double> b = ramp(512);
+  const FaultStats sa = inject(a, 64.0, 3, spec);
+  const FaultStats sb = inject(b, 64.0, 3, spec);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::isnan(a[i]))
+      EXPECT_TRUE(std::isnan(b[i])) << "at " << i;
+    else
+      EXPECT_EQ(a[i], b[i]) << "at " << i;
+  }
+  EXPECT_EQ(sa.dropped, sb.dropped);
+  EXPECT_EQ(sa.corrupted, sb.corrupted);
+  EXPECT_EQ(sa.jittered, sb.jittered);
+}
+
+TEST(FaultInject, DeterministicAcrossThreadCounts) {
+  // Decisions are pure hashes of (seed, stream, kind, index), so injecting
+  // many streams in parallel must match the serial result exactly.
+  FaultSpec spec;
+  spec.seed = 11;
+  spec.dropout_rate = 0.1;
+  spec.corrupt_rate = 0.02;
+  constexpr std::size_t kStreams = 16;
+  auto run_with_threads = [&](std::size_t threads) {
+    NumThreadsGuard guard(threads);
+    std::vector<std::vector<double>> streams(kStreams, ramp(256));
+    parallel_for(0, kStreams, 1, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t s = begin; s < end; ++s)
+        inject(streams[s], 64.0, s, spec);
+    });
+    return streams;
+  };
+  const auto serial = run_with_threads(1);
+  const auto threaded = run_with_threads(8);
+  for (std::size_t s = 0; s < kStreams; ++s)
+    for (std::size_t i = 0; i < serial[s].size(); ++i) {
+      if (std::isnan(serial[s][i]))
+        EXPECT_TRUE(std::isnan(threaded[s][i]));
+      else
+        EXPECT_EQ(serial[s][i], threaded[s][i]);
+    }
+}
+
+TEST(FaultInject, StreamsAreIndependent) {
+  FaultSpec spec;
+  spec.corrupt_rate = 0.2;
+  std::vector<double> a = ramp(256);
+  std::vector<double> b = ramp(256);
+  inject(a, 64.0, 1, spec);
+  inject(b, 64.0, 2, spec);
+  EXPECT_NE(a, b);  // Different stream ids draw different decisions.
+}
+
+TEST(FaultInject, DropoutBlanksWholeBlocks) {
+  FaultSpec spec;
+  spec.dropout_rate = 1.0;  // Every block drops.
+  spec.dropout_seconds = 0.25;
+  std::vector<double> x = ramp(256);
+  const FaultStats s = inject(x, 64.0, 5, spec);
+  EXPECT_EQ(s.dropped, 256u);
+  for (const double v : x) EXPECT_TRUE(std::isnan(v));
+}
+
+TEST(FaultInject, CorruptionRateIsRoughlyHonored) {
+  FaultSpec spec;
+  spec.corrupt_rate = 0.10;
+  std::vector<double> x = ramp(20000);
+  const FaultStats s = inject(x, 64.0, 9, spec);
+  const double frac =
+      static_cast<double>(s.corrupted) / static_cast<double>(x.size());
+  EXPECT_NEAR(frac, 0.10, 0.02);
+}
+
+TEST(FaultInject, JitterRepeatsPreviousSample) {
+  FaultSpec spec;
+  spec.jitter_rate = 1.0;
+  std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const FaultStats s = inject(x, 4.0, 1, spec);
+  EXPECT_EQ(s.jittered, 3u);  // Sample 0 has no predecessor.
+  for (const double v : x) EXPECT_EQ(v, 1.0);
+}
+
+TEST(FaultStats, MergeAndFractions) {
+  FaultStats a;
+  a.total_samples = 100;
+  a.dropped = 5;
+  FaultStats b;
+  b.total_samples = 100;
+  b.corrupted = 10;
+  b.jittered = 5;
+  a.merge(b);
+  EXPECT_EQ(a.total_samples, 200u);
+  EXPECT_EQ(a.faulted(), 20u);
+  EXPECT_DOUBLE_EQ(a.faulted_fraction(), 0.1);
+  EXPECT_DOUBLE_EQ(FaultStats{}.faulted_fraction(), 0.0);
+}
+
+TEST(Sanitize, CleanSignalUntouched) {
+  std::vector<double> x = ramp(64);
+  const std::vector<double> clean = x;
+  const SanitizeStats s = sanitize(x, GapFill::kHoldLast, -100.0, 100.0);
+  EXPECT_EQ(x, clean);
+  EXPECT_EQ(s.filled, 0u);
+  EXPECT_EQ(s.clamped, 0u);
+}
+
+TEST(Sanitize, HoldLastFillsGap) {
+  const double nan = std::nan("");
+  std::vector<double> x = {1.0, 2.0, nan, nan, 5.0};
+  const SanitizeStats s = sanitize(x, GapFill::kHoldLast, -10.0, 10.0);
+  EXPECT_EQ(x, (std::vector<double>{1.0, 2.0, 2.0, 2.0, 5.0}));
+  EXPECT_EQ(s.filled, 2u);
+}
+
+TEST(Sanitize, LinearInterpBridgesGap) {
+  const double nan = std::nan("");
+  std::vector<double> x = {1.0, nan, nan, 4.0};
+  sanitize(x, GapFill::kLinearInterp, -10.0, 10.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+  EXPECT_DOUBLE_EQ(x[2], 3.0);
+}
+
+TEST(Sanitize, LeadingGapBackfills) {
+  const double nan = std::nan("");
+  std::vector<double> x = {nan, nan, 3.0, 4.0};
+  sanitize(x, GapFill::kLinearInterp, -10.0, 10.0);
+  EXPECT_EQ(x, (std::vector<double>{3.0, 3.0, 3.0, 4.0}));
+}
+
+TEST(Sanitize, TrailingGapHoldsEvenUnderInterp) {
+  const double nan = std::nan("");
+  std::vector<double> x = {1.0, 2.0, nan, nan};
+  sanitize(x, GapFill::kLinearInterp, -10.0, 10.0);
+  EXPECT_EQ(x, (std::vector<double>{1.0, 2.0, 2.0, 2.0}));
+}
+
+TEST(Sanitize, AllBadBecomesZeros) {
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> x = {std::nan(""), inf, -inf};
+  const SanitizeStats s = sanitize(x, GapFill::kHoldLast, -1.0, 1.0);
+  EXPECT_EQ(x, (std::vector<double>{0.0, 0.0, 0.0}));
+  EXPECT_EQ(s.filled, 3u);
+}
+
+TEST(Sanitize, ClampsOutOfRange) {
+  std::vector<double> x = {-50.0, 0.5, 50.0};
+  const SanitizeStats s = sanitize(x, GapFill::kHoldLast, -1.0, 1.0);
+  EXPECT_EQ(x, (std::vector<double>{-1.0, 0.5, 1.0}));
+  EXPECT_EQ(s.clamped, 2u);
+}
+
+TEST(Sanitize, InjectThenSanitizeLeavesFiniteInRange) {
+  FaultSpec spec;
+  spec.dropout_rate = 0.2;
+  spec.corrupt_rate = 0.1;
+  std::vector<double> x = ramp(1024);
+  inject(x, 64.0, 77, spec);
+  sanitize(x, GapFill::kHoldLast, -5.0, 15.0);
+  for (const double v : x) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, -5.0);
+    EXPECT_LE(v, 15.0);
+  }
+}
+
+TEST(IoFailure, CountdownFiresOnNthOperation) {
+  disarm_io_failure();
+  EXPECT_FALSE(io_failure_armed());
+  arm_io_failure(3);
+  EXPECT_TRUE(io_failure_armed());
+  EXPECT_NO_THROW(maybe_fail_io("op1"));
+  EXPECT_NO_THROW(maybe_fail_io("op2"));
+  try {
+    maybe_fail_io("op3");
+    FAIL() << "expected injected IO failure";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("injected IO failure at op3"),
+              std::string::npos);
+  }
+  // Fires once, then self-disarms.
+  EXPECT_FALSE(io_failure_armed());
+  EXPECT_NO_THROW(maybe_fail_io("op4"));
+}
+
+TEST(IoFailure, DisarmCancels) {
+  arm_io_failure(1);
+  disarm_io_failure();
+  EXPECT_NO_THROW(maybe_fail_io("op"));
+}
+
+TEST(MixAndUniform, StableAndWellDistributed) {
+  // Pin the decision function: changing it would silently re-roll every
+  // recorded robustness sweep.
+  EXPECT_EQ(mix(1, 2, 3, 4), mix(1, 2, 3, 4));
+  EXPECT_NE(mix(1, 2, 3, 4), mix(1, 2, 3, 5));
+  EXPECT_NE(mix(1, 2, 3, 4), mix(2, 1, 3, 4));
+  double lo = 1.0;
+  double hi = 0.0;
+  double sum = 0.0;
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = uniform01(mix(1, 2, 3, static_cast<std::uint64_t>(i)));
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+    sum += u;
+  }
+  EXPECT_LT(lo, 0.01);
+  EXPECT_GT(hi, 0.99);
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace clear::fault

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <limits>
 #include <set>
 
 #include "common/error.hpp"
@@ -140,6 +142,78 @@ TEST(SktFeatures, RejectsDegenerate) {
   EXPECT_THROW(extract_skt_features(std::vector<double>{1.0}, 4.0), Error);
   EXPECT_THROW(extract_skt_features(std::vector<double>{1.0, 2.0}, 0.0),
                Error);
+}
+
+// ---------------------------------------------------------------------------
+// NaN/Inf audit (fault model): degenerate-but-finite windows must produce
+// all-finite features, and non-finite samples must be rejected loudly with
+// the sample index — never consumed into NaN-poisoned features.
+
+void expect_all_finite(const std::vector<double>& f,
+                       const std::vector<std::string>& names,
+                       const char* input) {
+  ASSERT_EQ(f.size(), names.size());
+  for (std::size_t i = 0; i < f.size(); ++i)
+    EXPECT_TRUE(std::isfinite(f[i]))
+        << names[i] << " on " << input << " input = " << f[i];
+}
+
+TEST(ExtractorAudit, DegenerateWindowsStayFinite) {
+  struct Case {
+    const char* name;
+    std::vector<double> v;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"constant", std::vector<double>(512, 5.0)});
+  cases.push_back({"zeros", std::vector<double>(512, 0.0)});
+  {
+    // One huge spike on a flat floor: zero variance everywhere else, no
+    // plausible peaks, rails stressed.
+    std::vector<double> s(512, 0.0);
+    s[100] = 1e6;
+    cases.push_back({"spike", s});
+  }
+  {
+    // Amplitudes near the double denormal floor.
+    std::vector<double> a(512);
+    for (std::size_t i = 0; i < a.size(); ++i)
+      a[i] = (i % 2 != 0) ? 1e-15 : -1e-15;
+    cases.push_back({"tiny", a});
+  }
+  for (const Case& c : cases) {
+    expect_all_finite(extract_bvp_features(c.v, 64.0), bvp_feature_names(),
+                      c.name);
+    expect_all_finite(extract_gsr_features(c.v, 4.0), gsr_feature_names(),
+                      c.name);
+    expect_all_finite(extract_skt_features(c.v, 4.0), skt_feature_names(),
+                      c.name);
+  }
+}
+
+TEST(ExtractorAudit, NonFiniteSamplesRejectedWithIndex) {
+  std::vector<double> v(128, 1.0);
+  v[37] = std::nan("");
+  for (const auto& fn : {std::function<void()>([&] {
+                           extract_bvp_features(v, 64.0);
+                         }),
+                         std::function<void()>([&] {
+                           extract_gsr_features(v, 4.0);
+                         }),
+                         std::function<void()>([&] {
+                           extract_skt_features(v, 4.0);
+                         })}) {
+    try {
+      fn();
+      FAIL() << "expected rejection of the NaN sample";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("index 37"), std::string::npos)
+          << "actual error: " << e.what();
+    }
+  }
+  v[37] = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(extract_bvp_features(v, 64.0), Error);
+  EXPECT_THROW(extract_gsr_features(v, 4.0), Error);
+  EXPECT_THROW(extract_skt_features(v, 4.0), Error);
 }
 
 }  // namespace

@@ -122,5 +122,34 @@ TEST(RecurrenceRate, DegenerateReturnsZero) {
   EXPECT_DOUBLE_EQ(recurrence_rate(std::vector<double>{1.0, 2.0}, 0.0), 0.0);
 }
 
+// NaN/Inf audit (fault model): constant and zero-variance series are exactly
+// what a long gap-filled dropout produces downstream; every non-linear
+// feature must stay finite on them.
+TEST(NonlinearAudit, ConstantSeriesStaysFinite) {
+  for (const double level : {0.0, 5.0, -3.0}) {
+    const std::vector<double> x(128, level);
+    EXPECT_DOUBLE_EQ(sample_entropy(x, 2, 0.2), 0.0);
+    EXPECT_TRUE(std::isfinite(approximate_entropy(x, 2, 0.2)));
+    EXPECT_DOUBLE_EQ(dfa_alpha1(x), 0.0);
+    EXPECT_TRUE(std::isfinite(recurrence_rate(x, 0.2)));
+    const Poincare p = poincare(x);
+    for (const double v : {p.sd1, p.sd2, p.ratio, p.ellipse_area, p.csi,
+                           p.cvi})
+      EXPECT_TRUE(std::isfinite(v)) << "level " << level;
+    EXPECT_TRUE(std::isfinite(
+        static_cast<double>(higher_order_crossings(x, 2))));
+  }
+}
+
+TEST(NonlinearAudit, ZeroToleranceIsGuarded) {
+  std::vector<double> x(64);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = std::sin(static_cast<double>(i));
+  // r = 0 (the constant-series tolerance 0.2 * stddev = 0) short-circuits.
+  EXPECT_DOUBLE_EQ(sample_entropy(x, 2, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(approximate_entropy(x, 2, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(recurrence_rate(x, 0.0), 0.0);
+}
+
 }  // namespace
 }  // namespace clear::features

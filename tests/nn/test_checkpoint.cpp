@@ -2,10 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "nn/model.hpp"
 
 namespace clear::nn {
@@ -88,6 +90,133 @@ TEST(Checkpoint, MissingFileThrows) {
   Rng rng(11);
   auto m = build_cnn_lstm(tiny_model_config(), rng);
   EXPECT_THROW(load_checkpoint_file("/nonexistent/ckpt.bin", *m), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Corruption taxonomy: every way a checkpoint file can rot must produce a
+// distinct, descriptive error — never silently wrong weights.
+
+std::string serialized_checkpoint(Sequential& model,
+                                  CheckpointFormat format) {
+  std::ostringstream os(std::ios::binary);
+  save_checkpoint(os, model, format);
+  return os.str();
+}
+
+void expect_load_error(const std::string& bytes, Sequential& model,
+                       const std::string& needle) {
+  std::istringstream is(bytes, std::ios::binary);
+  try {
+    load_checkpoint(is, model);
+    FAIL() << "expected error containing '" << needle << "'";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "actual error: " << e.what();
+  }
+}
+
+TEST(CheckpointIntegrity, LegacyV1StillLoads) {
+  Rng r1(20), r2(21);
+  auto a = build_cnn_lstm(tiny_model_config(), r1);
+  auto b = build_cnn_lstm(tiny_model_config(), r2);
+  const std::string bytes =
+      serialized_checkpoint(*a, CheckpointFormat::kLegacyV1);
+  std::istringstream is(bytes, std::ios::binary);
+  load_checkpoint(is, *b);
+  EXPECT_EQ(a->parameters()[0]->value[0], b->parameters()[0]->value[0]);
+}
+
+TEST(CheckpointIntegrity, EveryFlippedByteIsCaught) {
+  Rng r1(22), r2(23);
+  auto a = build_cnn_lstm(tiny_model_config(), r1);
+  auto b = build_cnn_lstm(tiny_model_config(), r2);
+  const std::string bytes =
+      serialized_checkpoint(*a, CheckpointFormat::kCrcV2);
+  // Flipping any byte anywhere in the file must throw — magic, version,
+  // length, payload, or CRC footer. Stride keeps the test fast while still
+  // covering every region, and the first 32 header bytes are covered densely.
+  for (std::size_t i = 0; i < bytes.size();
+       i += (i < 32 ? 1 : std::max<std::size_t>(1, bytes.size() / 97))) {
+    std::string bad = bytes;
+    bad[i] = static_cast<char>(bad[i] ^ 0x40);
+    std::istringstream is(bad, std::ios::binary);
+    EXPECT_THROW(load_checkpoint(is, *b), Error) << "flip at byte " << i;
+  }
+  // And the undamaged bytes still load (the model was never half-written).
+  std::istringstream is(bytes, std::ios::binary);
+  load_checkpoint(is, *b);
+  EXPECT_EQ(a->parameters()[0]->value[0], b->parameters()[0]->value[0]);
+}
+
+TEST(CheckpointIntegrity, PayloadBitFlipReportsCrcMismatch) {
+  Rng r1(24), r2(25);
+  auto a = build_cnn_lstm(tiny_model_config(), r1);
+  auto b = build_cnn_lstm(tiny_model_config(), r2);
+  std::string bytes = serialized_checkpoint(*a, CheckpointFormat::kCrcV2);
+  bytes[bytes.size() / 2] ^= 0x01;  // Single bit, middle of the weights.
+  expect_load_error(bytes, *b, "CRC mismatch");
+}
+
+TEST(CheckpointIntegrity, TruncationReportsTruncation) {
+  Rng r1(26), r2(27);
+  auto a = build_cnn_lstm(tiny_model_config(), r1);
+  auto b = build_cnn_lstm(tiny_model_config(), r2);
+  const std::string bytes =
+      serialized_checkpoint(*a, CheckpointFormat::kCrcV2);
+  // Cut inside the payload.
+  expect_load_error(bytes.substr(0, bytes.size() / 2), *b,
+                    "truncated checkpoint");
+  // Cut inside the CRC footer.
+  expect_load_error(bytes.substr(0, bytes.size() - 3), *b,
+                    "missing CRC footer");
+}
+
+TEST(CheckpointIntegrity, WrongVersionReportsVersion) {
+  Rng r1(28), r2(29);
+  auto a = build_cnn_lstm(tiny_model_config(), r1);
+  auto b = build_cnn_lstm(tiny_model_config(), r2);
+  std::string bytes = serialized_checkpoint(*a, CheckpointFormat::kCrcV2);
+  bytes[8] = 99;  // Version field follows the 8-byte magic.
+  expect_load_error(bytes, *b, "unsupported checkpoint version");
+}
+
+TEST(CheckpointIntegrity, InjectedCrashLeavesOnlyStaleTempFile) {
+  namespace fs = std::filesystem;
+  Rng r1(30), r2(31);
+  auto a = build_cnn_lstm(tiny_model_config(), r1);
+  auto b = build_cnn_lstm(tiny_model_config(), r2);
+  const std::string path =
+      (fs::temp_directory_path() / "clear_ckpt_crash.bin").string();
+  fs::remove(path);
+  fs::remove(path + ".tmp");
+  // Crash at the commit point: temp file written, rename never happens.
+  fault::arm_io_failure(2);  // 1 = open guard, 2 = rename guard.
+  EXPECT_THROW(save_checkpoint_file(path, *a), Error);
+  fault::disarm_io_failure();
+  EXPECT_FALSE(fs::exists(path));  // Never committed...
+  ASSERT_TRUE(fs::exists(path + ".tmp"));  // ...but the temp file remains.
+  // The stale temp file itself is a complete v2 blob, so a recovery tool
+  // may load it; the *final* path simply does not exist.
+  EXPECT_THROW(load_checkpoint_file(path, *b), Error);
+  load_checkpoint_file(path + ".tmp", *b);
+  EXPECT_EQ(a->parameters()[0]->value[0], b->parameters()[0]->value[0]);
+  fs::remove(path + ".tmp");
+}
+
+TEST(CheckpointIntegrity, SaveRetriesCleanlyAfterInjectedFailure) {
+  namespace fs = std::filesystem;
+  Rng r1(32), r2(33);
+  auto a = build_cnn_lstm(tiny_model_config(), r1);
+  auto b = build_cnn_lstm(tiny_model_config(), r2);
+  const std::string path =
+      (fs::temp_directory_path() / "clear_ckpt_retry.bin").string();
+  fault::arm_io_failure(1);  // Fail the open itself.
+  EXPECT_THROW(save_checkpoint_file(path, *a), Error);
+  fault::disarm_io_failure();
+  save_checkpoint_file(path, *a);  // Retry succeeds.
+  load_checkpoint_file(path, *b);
+  EXPECT_EQ(a->parameters()[0]->value[0], b->parameters()[0]->value[0]);
+  fs::remove(path);
 }
 
 TEST(Snapshot, RestoreBringsWeightsBack) {

@@ -22,6 +22,13 @@
 //   clear-cli personalize --artifacts=DIR --user=N [--ft-fraction=0.2]
 //       Assign, fine-tune on the labelled share, and report before/after.
 //
+//   clear-cli robustness [--dropout=0,0.05,0.1] [--corrupt=0,0.01]
+//                        [--jitter=0] [--folds=0] [--fault-seed=1]
+//       Fault-injection sweep: rerun the CLEAR LOSO protocol on datasets
+//       degraded with every (dropout, corruption) pair and print the
+//       accuracy-vs-fault-rate table. The zero-fault row is bit-identical
+//       to the clean `evaluate` results.
+//
 // Every command accepts --threads=N (0 = all hardware threads; default 1,
 // or the CLEAR_NUM_THREADS environment variable when set). Results are
 // bit-identical at any thread count.
@@ -29,7 +36,9 @@
 
 #include "clear/artifacts.hpp"
 #include "clear/evaluation.hpp"
+#include "clear/robustness.hpp"
 #include "common/cli.hpp"
+#include "common/csv.hpp"
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/parallel.hpp"
@@ -42,7 +51,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: clear-cli <generate|train|info|assign|evaluate|"
-               "personalize> [--flags]\n"
+               "personalize|robustness> [--flags]\n"
                "common flags: --threads=N (0 = all cores; default 1)\n"
                "run with a command name for details (see tool header).\n");
   return 2;
@@ -210,6 +219,64 @@ int cmd_personalize(const CliArgs& args) {
   return 0;
 }
 
+std::vector<double> rate_list(const CliArgs& args, const std::string& flag,
+                              std::vector<double> fallback) {
+  const std::string raw = args.get(flag, "");
+  if (raw.empty()) return fallback;
+  std::vector<double> rates;
+  std::size_t start = 0;
+  while (start <= raw.size()) {
+    const std::size_t comma = raw.find(',', start);
+    const std::string cell =
+        raw.substr(start, comma == std::string::npos ? std::string::npos
+                                                     : comma - start);
+    rates.push_back(csv::parse_double(cell, 0, rates.size()));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  CLEAR_CHECK_MSG(!rates.empty(), "--" << flag << " needs at least one rate");
+  return rates;
+}
+
+int cmd_robustness(const CliArgs& args) {
+  const core::ClearConfig config = config_from(args);
+  core::RobustnessOptions options;
+  options.dropout_rates = rate_list(args, "dropout", {0.0, 0.05, 0.10});
+  options.corrupt_rates = rate_list(args, "corrupt", {0.0, 0.01});
+  options.jitter_rate = args.get_double("jitter", 0.0);
+  options.max_folds = static_cast<std::size_t>(args.get_int("folds", 0));
+  options.fault_seed =
+      static_cast<std::uint64_t>(args.get_int("fault-seed", 1));
+  options.progress = [](std::size_t cell, std::size_t total,
+                        const core::RobustnessPoint& p) {
+    std::printf("[%zu/%zu] dropout=%.3f corrupt=%.3f ...\n", cell + 1, total,
+                p.dropout_rate, p.corrupt_rate);
+    std::fflush(stdout);
+  };
+
+  const std::vector<core::RobustnessPoint> points =
+      core::run_robustness_sweep(config, options);
+
+  AsciiTable table({"dropout", "corrupt", "faulted", "w/o FT acc",
+                    "w/o FT F1", "RT acc", "CA cons"});
+  table.set_title("CLEAR accuracy vs fault rate (LOSO, fault seed " +
+                  std::to_string(options.fault_seed) + ")");
+  for (const core::RobustnessPoint& p : points) {
+    table.add_row({AsciiTable::num(p.dropout_rate * 100.0, 1) + "%",
+                   AsciiTable::num(p.corrupt_rate * 100.0, 1) + "%",
+                   AsciiTable::num(p.faults.faulted_fraction() * 100.0, 2) +
+                       "%",
+                   AsciiTable::num(p.no_ft.accuracy.mean, 1) + "±" +
+                       AsciiTable::num(p.no_ft.accuracy.stddev, 1),
+                   AsciiTable::num(p.no_ft.f1.mean, 1) + "±" +
+                       AsciiTable::num(p.no_ft.f1.stddev, 1),
+                   AsciiTable::num(p.rt.accuracy.mean, 1),
+                   AsciiTable::num(p.ca_consistency, 2)});
+  }
+  table.print();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -228,6 +295,7 @@ int main(int argc, char** argv) {
     if (command == "assign") return cmd_assign(args);
     if (command == "evaluate") return cmd_evaluate(args);
     if (command == "personalize") return cmd_personalize(args);
+    if (command == "robustness") return cmd_robustness(args);
     std::fprintf(stderr, "unknown command: %s\n", command.c_str());
     return usage();
   } catch (const clear::Error& e) {

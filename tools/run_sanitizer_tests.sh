@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Build and run the sensitive test binaries under the configured sanitizers.
+# Supersedes run_tsan_tests.sh (kept as a thin TSAN-only wrapper): this
+# script also covers the fault-injection / integrity suites under
+# UndefinedBehaviorSanitizer, where bit-twiddling CRC code, byte-flip
+# corruption paths, and NaN-heavy sanitization are most likely to trip UB.
+#
+#   tools/run_sanitizer_tests.sh [thread|undefined|all] [build-dir-prefix]
+#
+# Each sanitizer gets its own build directory (<prefix>-<sanitizer>) so the
+# instrumented objects never mix. Exits non-zero on the first report
+# (halt_on_error=1) or test failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+MODE="${1:-all}"
+PREFIX="${2:-build}"
+
+run_tsan() {
+  local dir="${PREFIX}-tsan"
+  cmake -B "$dir" -S . -DCLEAR_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$dir" -j --target test_parallel test_cluster test_fault
+  export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+  # Force the pool onto multiple threads even on small machines so the
+  # scheduler actually interleaves workers.
+  export CLEAR_NUM_THREADS=4
+  echo "== test_parallel (TSAN) =="
+  "$dir/tests/test_parallel"
+  echo "== test_cluster (TSAN) =="
+  "$dir/tests/test_cluster"
+  echo "== test_fault (TSAN) =="
+  "$dir/tests/test_fault"
+}
+
+run_ubsan() {
+  local dir="${PREFIX}-ubsan"
+  cmake -B "$dir" -S . -DCLEAR_SANITIZE=undefined -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$dir" -j --target test_fault test_common test_nn test_features
+  export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
+  echo "== test_fault (UBSAN) =="
+  "$dir/tests/test_fault"
+  echo "== test_common (UBSAN) =="
+  "$dir/tests/test_common"
+  echo "== test_nn (UBSAN, checkpoint corruption paths) =="
+  "$dir/tests/test_nn" --gtest_filter='Checkpoint*'
+  echo "== test_features (UBSAN, NaN audit paths) =="
+  "$dir/tests/test_features" --gtest_filter='*Audit*:Nonlinear*'
+}
+
+case "$MODE" in
+  thread)    run_tsan ;;
+  undefined) run_ubsan ;;
+  all)       run_tsan; run_ubsan ;;
+  *) echo "usage: $0 [thread|undefined|all] [build-dir-prefix]" >&2; exit 2 ;;
+esac
+echo "Sanitizer run clean."

@@ -1,26 +1,10 @@
 #!/usr/bin/env bash
-# Build and run the concurrency-sensitive test binaries under
-# ThreadSanitizer. Uses a dedicated build directory (build-tsan) so the
-# instrumented objects never mix with the regular build.
+# Back-compat wrapper: the sanitizer flow moved to run_sanitizer_tests.sh,
+# which also covers UBSAN. This entry point keeps the original TSAN-only
+# invocation working ("build-tsan" remains the default build directory; a
+# trailing "-tsan" on a custom directory argument is normalized away).
 #
 #   tools/run_tsan_tests.sh [build-dir]
-#
-# Exits non-zero on the first data race (halt_on_error=1) or test failure.
 set -euo pipefail
-
-cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build-tsan}"
-
-cmake -B "$BUILD_DIR" -S . -DCLEAR_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" -j --target test_parallel test_cluster
-
-export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
-# Force the pool onto multiple threads even on small machines so the
-# scheduler actually interleaves workers.
-export CLEAR_NUM_THREADS=4
-
-echo "== test_parallel (TSAN) =="
-"$BUILD_DIR/tests/test_parallel"
-echo "== test_cluster (TSAN) =="
-"$BUILD_DIR/tests/test_cluster"
-echo "TSAN run clean."
+DIR="${1:-build-tsan}"
+exec "$(dirname "$0")/run_sanitizer_tests.sh" thread "${DIR%-tsan}"
