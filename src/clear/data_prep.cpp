@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/obs.hpp"
 
 namespace clear::core {
 
@@ -23,6 +24,8 @@ features::FeatureNormalizer fit_normalizer(
 std::vector<Tensor> normalize_all_maps(
     const wemac::WemacDataset& dataset,
     const features::FeatureNormalizer& normalizer) {
+  CLEAR_OBS_SPAN("normalize.maps");
+  CLEAR_OBS_COUNT("data.maps_normalized", dataset.samples().size());
   std::vector<Tensor> maps;
   maps.reserve(dataset.samples().size());
   for (const wemac::Sample& s : dataset.samples()) {

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <mutex>
+#include <optional>
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "common/obs.hpp"
 #include "common/parallel.hpp"
 #include "cluster/validity.hpp"
 
@@ -233,6 +235,8 @@ ClearValidationResult run_clear_validation(const wemac::WemacDataset& dataset,
 
   parallel_for(0, folds, 1, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t vx = lo; vx < hi; ++vx) {
+      CLEAR_OBS_SPAN("fold");
+      CLEAR_OBS_COUNT("loso.folds", 1);
       if (options.progress) {
         const std::lock_guard<std::mutex> lock(progress_mutex);
         options.progress(vx, folds);
@@ -248,9 +252,13 @@ ClearValidationResult run_clear_validation(const wemac::WemacDataset& dataset,
       for (std::size_t u = 0; u < n_users; ++u)
         if (u != vx) train_users.push_back(u);
       ClearPipeline pipeline(fold_config);
-      pipeline.fit(dataset, train_users, /*seed_salt=*/vx + 1);
+      {
+        // Phase CL: cluster + per-cluster pre-training on everyone but V_x.
+        CLEAR_OBS_SPAN("phase.cl");
+        pipeline.fit(dataset, train_users, /*seed_salt=*/vx + 1);
+      }
 
-      // Cold-start split and unsupervised assignment.
+      // Cold-start split and unsupervised assignment (phase CA).
       const UserSplit split = split_user_samples(
           dataset, vx, config.ca_fraction, config.ft_fraction);
       const std::vector<Tensor> ca_maps =
@@ -258,8 +266,12 @@ ClearValidationResult run_clear_validation(const wemac::WemacDataset& dataset,
       std::vector<cluster::Point> ca_obs;
       for (const Tensor& m : ca_maps)
         ca_obs.push_back(features::feature_map_mean(m));
-      const cluster::AssignmentResult assignment =
-          pipeline.assign_observations(ca_obs, options.strategy);
+      std::optional<cluster::AssignmentResult> ca_result;
+      {
+        CLEAR_OBS_SPAN("phase.ca");
+        ca_result = pipeline.assign_observations(ca_obs, options.strategy);
+      }
+      const cluster::AssignmentResult& assignment = *ca_result;
       const std::size_t k = assignment.cluster;
 
       // CA consistency diagnostic (ground truth never feeds the algorithm).
@@ -287,8 +299,9 @@ ClearValidationResult run_clear_validation(const wemac::WemacDataset& dataset,
         out.rt_f1 = nn::mean_std(rt_f1).mean;
       }
 
-      // CLEAR w FT.
+      // CLEAR w FT (phase FT).
       if (options.run_finetune) {
+        CLEAR_OBS_SPAN("phase.ft");
         std::unique_ptr<nn::Sequential> personal =
             pipeline.clone_cluster_model(k);
         pipeline.fine_tune_on(*personal, dataset, split.ft,

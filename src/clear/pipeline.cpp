@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "common/obs.hpp"
 #include "cluster/validity.hpp"
 #include "nn/checkpoint.hpp"
 
@@ -16,6 +17,8 @@ ClearPipeline::ClearPipeline(ClearConfig config) : config_(std::move(config)) {
 void ClearPipeline::fit(const wemac::WemacDataset& dataset,
                         const std::vector<std::size_t>& user_ids,
                         std::uint64_t seed_salt) {
+  CLEAR_OBS_SPAN("pipeline.fit");
+  CLEAR_OBS_COUNT("pipeline.fits", 1);
   CLEAR_CHECK_MSG(user_ids.size() >= 4, "need at least 4 users to fit");
   users_ = user_ids;
   Rng rng(config_.seed ^ (seed_salt * 0x9E3779B97F4A7C15ull));
@@ -50,25 +53,28 @@ void ClearPipeline::fit(const wemac::WemacDataset& dataset,
   clustering_ = cluster::global_clustering(user_obs, gc, gc_rng);
 
   // 3. Per-cluster pre-training.
-  models_.clear();
-  for (std::size_t k = 0; k < clustering_.clusters.size(); ++k) {
-    std::vector<std::size_t> sample_indices;
-    for (const std::size_t member : clustering_.clusters[k].members)
-      for (const std::size_t s : dataset.samples_of(users_[member]))
-        sample_indices.push_back(s);
-    Rng model_rng = rng.fork(0x300 + k);
-    auto model = nn::build_cnn_lstm(config_.model, model_rng);
-    if (sample_indices.size() >= 4) {
-      const nn::MapDataset train_set =
-          make_map_dataset(dataset, normalized, sample_indices);
-      nn::TrainConfig tc = config_.train;
-      tc.seed = config_.seed ^ (seed_salt << 8) ^ (k + 1);
-      nn::train_classifier(*model, train_set, tc);
-    } else {
-      CLEAR_WARN("cluster " << k << " has only " << sample_indices.size()
-                            << " maps; keeping untrained model");
+  {
+    CLEAR_OBS_SPAN("pretrain");
+    models_.clear();
+    for (std::size_t k = 0; k < clustering_.clusters.size(); ++k) {
+      std::vector<std::size_t> sample_indices;
+      for (const std::size_t member : clustering_.clusters[k].members)
+        for (const std::size_t s : dataset.samples_of(users_[member]))
+          sample_indices.push_back(s);
+      Rng model_rng = rng.fork(0x300 + k);
+      auto model = nn::build_cnn_lstm(config_.model, model_rng);
+      if (sample_indices.size() >= 4) {
+        const nn::MapDataset train_set =
+            make_map_dataset(dataset, normalized, sample_indices);
+        nn::TrainConfig tc = config_.train;
+        tc.seed = config_.seed ^ (seed_salt << 8) ^ (k + 1);
+        nn::train_classifier(*model, train_set, tc);
+      } else {
+        CLEAR_WARN("cluster " << k << " has only " << sample_indices.size()
+                              << " maps; keeping untrained model");
+      }
+      models_.push_back(std::move(model));
     }
-    models_.push_back(std::move(model));
   }
 
   // 4. Optional population-general fallback model over all training users.
@@ -168,6 +174,9 @@ nn::TrainHistory ClearPipeline::fine_tune_on(
     nn::Sequential& model, const wemac::WemacDataset& dataset,
     const std::vector<std::size_t>& sample_indices,
     std::uint64_t seed_salt) const {
+  CLEAR_OBS_SPAN("finetune");
+  CLEAR_OBS_COUNT("finetune.runs", 1);
+  CLEAR_OBS_COUNT("finetune.samples", sample_indices.size());
   const std::vector<Tensor> maps = normalize_samples(dataset, sample_indices);
   nn::MapDataset set;
   for (std::size_t i = 0; i < maps.size(); ++i) {

@@ -4,25 +4,54 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/obs.hpp"
 #include "tensor/ops.hpp"
 
 namespace clear::core {
+
+namespace {
+
+void check_rate(const char* channel, double hz) {
+  CLEAR_CHECK_MSG(std::isfinite(hz) && hz > 0.0,
+                  "StreamingConfig." << channel << "_hz must be a positive "
+                                     << "finite sample rate (got " << hz
+                                     << ")");
+}
+
+void check_limits(const char* channel, const ChannelLimits& limits) {
+  CLEAR_CHECK_MSG(!(limits.lo > limits.hi),
+                  "StreamingConfig." << channel << "_limits inverted: lo ("
+                                     << limits.lo << ") > hi (" << limits.hi
+                                     << ")");
+}
+
+}  // namespace
+
+void StreamingConfig::validate() const {
+  CLEAR_CHECK_MSG(std::isfinite(window_seconds) && window_seconds > 0.0,
+                  "StreamingConfig.window_seconds must be positive and finite "
+                  "(got " << window_seconds << ")");
+  CLEAR_CHECK_MSG(map_windows != 0,
+                  "StreamingConfig.map_windows must be at least 1");
+  check_rate("bvp", bvp_hz);
+  check_rate("gsr", gsr_hz);
+  check_rate("skt", skt_hz);
+  check_limits("bvp", bvp_limits);
+  check_limits("gsr", gsr_limits);
+  check_limits("skt", skt_limits);
+  CLEAR_CHECK_MSG(degraded_threshold >= 0.0 && degraded_threshold <= 1.0,
+                  "StreamingConfig.degraded_threshold must lie in [0, 1] "
+                  "(got " << degraded_threshold << ")");
+}
 
 StreamingDetector::StreamingDetector(nn::Sequential& model,
                                      features::FeatureNormalizer normalizer,
                                      const StreamingConfig& config)
     : model_(model), normalizer_(std::move(normalizer)), config_(config) {
-  CLEAR_CHECK_MSG(config.window_seconds > 0, "window_seconds must be positive");
+  config.validate();
   CLEAR_CHECK_MSG(config.map_windows >= 4,
                   "need at least 4 windows per map (two 2x2 poolings)");
   CLEAR_CHECK_MSG(normalizer_.fitted(), "normalizer must be fitted");
-  CLEAR_CHECK_MSG(config.bvp_limits.lo < config.bvp_limits.hi &&
-                      config.gsr_limits.lo < config.gsr_limits.hi &&
-                      config.skt_limits.lo < config.skt_limits.hi,
-                  "channel limits must satisfy lo < hi");
-  CLEAR_CHECK_MSG(config.degraded_threshold >= 0.0 &&
-                      config.degraded_threshold <= 1.0,
-                  "degraded_threshold must lie in [0, 1]");
   bvp_per_window_ =
       static_cast<std::size_t>(config.window_seconds * config.bvp_hz);
   gsr_per_window_ =
@@ -128,6 +157,8 @@ void StreamingDetector::extract_one_window() {
   quality.gsr = take_window(gsr_, gsr_per_window_, window.gsr);
   quality.skt = take_window(skt_, skt_per_window_, window.skt);
 
+  CLEAR_OBS_COUNT("streaming.windows", 1);
+  CLEAR_OBS_COUNT("streaming.repaired_samples", quality.repaired());
   std::vector<double> column = features::extract_window_features(window);
   normalizer_.apply(column);
   columns_.push_back(std::move(column));
@@ -154,14 +185,20 @@ std::optional<Detection> StreamingDetector::poll() {
       batch.at4(0, 0, r, c) = static_cast<float>(columns_[c][r]);
 
   model_.set_training(false);
-  const Tensor logits = model_.forward(batch);
-  const Tensor proba = ops::softmax_rows(logits.reshaped(
-      {1, logits.numel()}));
+  std::optional<Tensor> logits;
+  {
+    CLEAR_OBS_SPAN("streaming.detect");
+    logits = model_.forward(batch);
+  }
+  const Tensor proba = ops::softmax_rows(logits->reshaped(
+      {1, logits->numel()}));
   Detection d;
   d.fear_probability = proba.at2(0, 1);
   d.window_index = windows_seen_ - 1;
   for (const SignalQuality& q : column_quality_) d.quality.merge(q);
   d.degraded = d.quality.ok_fraction() < 1.0 - config_.degraded_threshold;
+  CLEAR_OBS_COUNT("streaming.detections", 1);
+  if (d.degraded) CLEAR_OBS_COUNT("streaming.degraded_detections", 1);
   return d;
 }
 

@@ -52,6 +52,14 @@ struct StreamingConfig {
   /// A detection is flagged degraded when the repaired-sample fraction of
   /// its map exceeds this (0 = any repair degrades).
   double degraded_threshold = 0.0;
+
+  /// Throws clear::Error with an addressed message on the first invalid
+  /// field: non-positive/non-finite window length or sample rates,
+  /// map_windows == 0, inverted (lo > hi) channel limits, or a
+  /// degraded_threshold outside [0, 1]. Called by StreamingDetector's
+  /// constructor, so a misconfigured detector fails loudly instead of
+  /// emitting nonsense detections.
+  void validate() const;
 };
 
 /// Repair counters for one channel over some span of samples.

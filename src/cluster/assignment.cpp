@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "common/obs.hpp"
 
 namespace clear::cluster {
 
@@ -22,6 +23,9 @@ double sub_centroid_score(const Point& x, const ClusterModel& model) {
 AssignmentResult assign_new_user(const std::vector<Point>& observations,
                                  const GlobalClusteringResult& clustering,
                                  AssignStrategy strategy) {
+  CLEAR_OBS_SPAN("assign");
+  CLEAR_OBS_COUNT("assign.users", 1);
+  CLEAR_OBS_COUNT("assign.observations", observations.size());
   CLEAR_CHECK_MSG(!observations.empty(), "new user has no observations");
   CLEAR_CHECK_MSG(!clustering.clusters.empty(), "clustering has no clusters");
   // A single NaN would poison every centroid distance and silently send the

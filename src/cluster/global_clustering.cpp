@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/obs.hpp"
 
 namespace clear::cluster {
 
@@ -48,7 +49,10 @@ void recompute_centroids(const std::vector<Point>& user_points,
 GlobalClusteringResult global_clustering(
     const std::vector<std::vector<Point>>& user_observations,
     const GlobalClusteringConfig& config, Rng& rng) {
+  CLEAR_OBS_SPAN("cluster");
   const std::size_t n_users = user_observations.size();
+  CLEAR_OBS_COUNT("cluster.fits", 1);
+  CLEAR_OBS_COUNT("cluster.users", n_users);
   CLEAR_CHECK_MSG(n_users >= config.k,
                   "need at least k users (" << n_users << " < " << config.k
                                             << ")");
@@ -91,6 +95,7 @@ GlobalClusteringResult global_clustering(
       break;
     }
   }
+  CLEAR_OBS_COUNT("cluster.refinement_rounds", result.rounds_run);
 
   // Final centroids over full representations.
   recompute_centroids(full_points, result.user_cluster, centroids);

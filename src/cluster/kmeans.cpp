@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "common/obs.hpp"
 #include "common/parallel.hpp"
 
 namespace clear::cluster {
@@ -55,6 +56,9 @@ namespace {
 /// k-means++ seeding.
 std::vector<Point> seed_plusplus(const std::vector<Point>& points,
                                  std::size_t k, Rng& rng) {
+  // Without this guard the weighted-pick fallback below would compute
+  // points.size() - 1 == SIZE_MAX and index out of bounds.
+  CLEAR_CHECK_MSG(!points.empty(), "k-means++ seeding needs at least 1 point");
   std::vector<Point> centroids;
   centroids.reserve(k);
   centroids.push_back(points[rng.uniform_index(points.size())]);
@@ -69,18 +73,29 @@ std::vector<Point> seed_plusplus(const std::vector<Point>& points,
       total += best;
     }
     if (total <= 1e-30) {
-      // All points coincide with centroids; duplicate one.
+      // Zero total weight (all points coincide with existing centroids):
+      // every point is an equally good seed, so pick uniformly instead of
+      // biasing toward any particular index.
       centroids.push_back(points[rng.uniform_index(points.size())]);
       continue;
     }
     double r = rng.uniform() * total;
-    std::size_t pick = points.size() - 1;
+    std::size_t pick = points.size();
     for (std::size_t i = 0; i < points.size(); ++i) {
       r -= d2[i];
       if (r <= 0) {
         pick = i;
         break;
       }
+    }
+    if (pick == points.size()) {
+      // Floating-point residue left r marginally positive after consuming
+      // every weight. The draw semantically landed in the final non-empty
+      // slot of the weighted partition — take the last point with positive
+      // weight rather than silently biasing toward the last index (which
+      // may have zero weight, i.e. already be a centroid).
+      pick = points.size() - 1;
+      while (pick > 0 && d2[pick] <= 0.0) --pick;
     }
     centroids.push_back(points[pick]);
   }
@@ -147,6 +162,7 @@ SingleRun lloyd(const std::vector<Point>& points, std::size_t k, Rng& rng,
     run.inertia = inertia;
     for (std::size_t c = 0; c < k; ++c) {
       if (counts[c] == 0) {
+        CLEAR_OBS_COUNT("kmeans.empty_cluster_reseeds", 1);
         // Re-seed an empty cluster from the point farthest from its centroid.
         double worst = -1.0;
         std::size_t worst_i = 0;
@@ -185,10 +201,15 @@ KMeansResult kmeans(const std::vector<Point>& points, std::size_t k, Rng& rng,
   for (const Point& p : points)
     CLEAR_CHECK_MSG(p.size() == dim, "inconsistent point dimensions");
 
+  CLEAR_OBS_SPAN("kmeans");
+  CLEAR_OBS_COUNT("kmeans.fits", 1);
+  CLEAR_OBS_COUNT("kmeans.points", points.size());
   SingleRun best;
   best.inertia = std::numeric_limits<double>::max();
   for (std::size_t r = 0; r < options.restarts; ++r) {
     SingleRun run = lloyd(points, k, rng, options);
+    CLEAR_OBS_COUNT("kmeans.restarts", 1);
+    CLEAR_OBS_COUNT("kmeans.iterations", run.iterations);
     if (run.inertia < best.inertia) best = std::move(run);
   }
   KMeansResult result;

@@ -1,0 +1,379 @@
+#include "common/obs.hpp"
+
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/error.hpp"
+
+namespace clear::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+/// Trace epoch: fixed at first use so every timestamp in one process shares
+/// one origin regardless of when recording was switched on.
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+/// Dense thread ids in order of first span completion (0, 1, 2, ...).
+std::uint32_t dense_thread_id() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+constexpr std::size_t kTraceCapacity = 1 << 20;
+
+struct Registry {
+  std::mutex mutex;
+  // std::map: references handed out must stay valid forever, and export
+  // wants deterministic (sorted) key order.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+
+  std::mutex trace_mutex;
+  std::vector<TraceEvent> trace;
+  std::uint64_t trace_dropped = 0;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // never destroyed: call sites may
+  return *r;                            // record during static teardown
+}
+
+template <typename T>
+T& lookup(std::map<std::string, std::unique_ptr<T>, std::less<>>& table,
+          std::string_view name) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  auto it = table.find(name);
+  if (it == table.end())
+    it = table.emplace(std::string(name), std::make_unique<T>()).first;
+  return *it->second;
+}
+
+/// CAS-accumulate `v` into an atomic double stored as bits.
+void atomic_add_double(std::atomic<std::uint64_t>& bits, double v) {
+  std::uint64_t old = bits.load(std::memory_order_relaxed);
+  while (true) {
+    const double cur = std::bit_cast<double>(old);
+    const std::uint64_t want = std::bit_cast<std::uint64_t>(cur + v);
+    if (bits.compare_exchange_weak(old, want, std::memory_order_relaxed))
+      return;
+  }
+}
+
+void atomic_min_double(std::atomic<std::uint64_t>& bits, double v) {
+  std::uint64_t old = bits.load(std::memory_order_relaxed);
+  while (std::bit_cast<double>(old) > v) {
+    if (bits.compare_exchange_weak(old, std::bit_cast<std::uint64_t>(v),
+                                   std::memory_order_relaxed))
+      return;
+  }
+}
+
+void atomic_max_double(std::atomic<std::uint64_t>& bits, double v) {
+  std::uint64_t old = bits.load(std::memory_order_relaxed);
+  while (std::bit_cast<double>(old) < v) {
+    if (bits.compare_exchange_weak(old, std::bit_cast<std::uint64_t>(v),
+                                   std::memory_order_relaxed))
+      return;
+  }
+}
+
+/// Minimal JSON string escaping (names are dotted identifiers, but a bad
+/// name must not corrupt the file).
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string format_double(double v) {
+  if (!std::isfinite(v)) return "0";  // JSON has no inf/nan
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  if (on) trace_epoch();  // pin the epoch before the first span
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - trace_epoch())
+          .count());
+}
+
+void reset() {
+  Registry& r = registry();
+  {
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    for (auto& [name, c] : r.counters) c->reset();
+    for (auto& [name, g] : r.gauges) g->reset();
+    for (auto& [name, h] : r.histograms) h->reset();
+  }
+  const std::lock_guard<std::mutex> lock(r.trace_mutex);
+  r.trace.clear();
+  r.trace_dropped = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+// ---------------------------------------------------------------------------
+
+void Gauge::set(double v) {
+  bits_.store(std::bit_cast<std::uint64_t>(v), std::memory_order_relaxed);
+}
+
+double Gauge::value() const {
+  return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram()
+    : min_bits_(std::bit_cast<std::uint64_t>(
+          std::numeric_limits<double>::infinity())),
+      max_bits_(std::bit_cast<std::uint64_t>(
+          -std::numeric_limits<double>::infinity())) {}
+
+std::size_t Histogram::bucket_index(double v) {
+  if (!(v >= 1.0)) return 0;  // <1, negative, and NaN all land in bucket 0
+  const int e = std::ilogb(v);  // floor(log2(v)) for finite v >= 1
+  const std::size_t b = static_cast<std::size_t>(e) + 1;
+  return b < kBuckets ? b : kBuckets - 1;
+}
+
+double Histogram::bucket_limit(std::size_t b) {
+  return std::ldexp(1.0, static_cast<int>(b));
+}
+
+void Histogram::record(double v) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_bits_, v);
+  atomic_min_double(min_bits_, v);
+  atomic_max_double(max_bits_, v);
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+}
+
+double Histogram::sum() const {
+  return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::min() const {
+  return count() == 0
+             ? 0.0
+             : std::bit_cast<double>(min_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::max() const {
+  return count() == 0
+             ? 0.0
+             : std::bit_cast<double>(max_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+  min_bits_.store(std::bit_cast<std::uint64_t>(
+                      std::numeric_limits<double>::infinity()),
+                  std::memory_order_relaxed);
+  max_bits_.store(std::bit_cast<std::uint64_t>(
+                      -std::numeric_limits<double>::infinity()),
+                  std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Registry lookups
+// ---------------------------------------------------------------------------
+
+Counter& counter(std::string_view name) {
+  return lookup(registry().counters, name);
+}
+
+Gauge& gauge(std::string_view name) { return lookup(registry().gauges, name); }
+
+Histogram& histogram(std::string_view name) {
+  return lookup(registry().histograms, name);
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+void ScopedSpan::begin(const char* name) {
+  name_ = name;
+  start_us_ = now_us();
+  active_ = true;
+}
+
+void ScopedSpan::end() {
+  active_ = false;
+  const std::uint64_t end_us = now_us();
+  const std::uint64_t dur = end_us - start_us_;
+  // Duration histogram regardless of trace-buffer pressure.
+  histogram(std::string("span.") + name_ + "_us")
+      .record(static_cast<double>(dur));
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.trace_mutex);
+  if (r.trace.size() >= kTraceCapacity) {
+    ++r.trace_dropped;
+    return;
+  }
+  TraceEvent e;
+  e.name = name_;
+  e.ts_us = start_us_;
+  e.dur_us = dur;
+  e.tid = dense_thread_id();
+  r.trace.push_back(std::move(e));
+}
+
+std::vector<TraceEvent> trace_events() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.trace_mutex);
+  return r.trace;
+}
+
+std::size_t trace_capacity() { return kTraceCapacity; }
+
+std::uint64_t dropped_trace_events() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.trace_mutex);
+  return r.trace_dropped;
+}
+
+// ---------------------------------------------------------------------------
+// Export
+// ---------------------------------------------------------------------------
+
+std::string snapshot_json() {
+  Registry& r = registry();
+  std::string out;
+  out.reserve(1 << 16);
+  out += "{\n  \"traceEvents\": [";
+  {
+    const std::lock_guard<std::mutex> lock(r.trace_mutex);
+    for (std::size_t i = 0; i < r.trace.size(); ++i) {
+      const TraceEvent& e = r.trace[i];
+      out += i == 0 ? "\n" : ",\n";
+      out += "    {\"name\": ";
+      append_escaped(out, e.name);
+      out += ", \"cat\": \"clear\", \"ph\": \"X\", \"pid\": 1, \"tid\": ";
+      out += std::to_string(e.tid);
+      out += ", \"ts\": ";
+      out += std::to_string(e.ts_us);
+      out += ", \"dur\": ";
+      out += std::to_string(e.dur_us);
+      out += "}";
+    }
+  }
+  out += "\n  ],\n  \"displayTimeUnit\": \"ms\",\n";
+
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  out += "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : r.counters) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_escaped(out, name);
+    out += ": ";
+    out += std::to_string(c->value());
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : r.gauges) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_escaped(out, name);
+    out += ": ";
+    out += format_double(g->value());
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : r.histograms) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_escaped(out, name);
+    out += ": {\"count\": " + std::to_string(h->count());
+    out += ", \"sum\": " + format_double(h->sum());
+    out += ", \"min\": " + format_double(h->min());
+    out += ", \"max\": " + format_double(h->max());
+    out += ", \"mean\": " + format_double(h->mean());
+    out += ", \"buckets\": [";
+    // Only emit up to the highest non-empty bucket; the layout is fixed, so
+    // omitted trailing buckets are unambiguously zero.
+    std::size_t top = 0;
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b)
+      if (h->bucket(b) > 0) top = b + 1;
+    for (std::size_t b = 0; b < top; ++b) {
+      if (b > 0) out += ", ";
+      out += "{\"le\": " + format_double(Histogram::bucket_limit(b));
+      out += ", \"count\": " + std::to_string(h->bucket(b)) + "}";
+    }
+    out += "]}";
+  }
+  out += "\n  },\n  \"droppedTraceEvents\": ";
+  {
+    const std::lock_guard<std::mutex> tlock(r.trace_mutex);
+    out += std::to_string(r.trace_dropped);
+  }
+  out += "\n}\n";
+  return out;
+}
+
+void write_snapshot(const std::string& path) {
+  const std::string json = snapshot_json();
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  CLEAR_CHECK_MSG(f != nullptr, "cannot open metrics file " << tmp);
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = written == json.size() && std::fclose(f) == 0;
+  CLEAR_CHECK_MSG(ok, "short write to metrics file " << tmp);
+  CLEAR_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+                  "cannot rename " << tmp << " to " << path);
+}
+
+}  // namespace clear::obs

@@ -1,0 +1,250 @@
+// Process-wide observability: counters, gauges, histograms, trace spans.
+//
+// This is the measurement substrate for every performance claim the repro
+// makes (paper Table II: per-platform re-training and inference cost). It is
+// deliberately *not* a statistics library — values are monotonic counters,
+// last-write gauges, fixed log-scale histograms, and wall-clock trace spans,
+// all exportable as one JSON object that doubles as a Chrome trace-event
+// file (chrome://tracing / Perfetto accept an object with a "traceEvents"
+// key and ignore the sibling metric keys).
+//
+// Determinism contract: metrics are strictly *observational*. Nothing in the
+// library reads a metric to make a decision, so enabling or disabling
+// observability never changes a numeric result — only timings and counts are
+// collected, and they live outside the golden-seed outputs.
+//
+// Overhead contract: the registry is disabled by default. Every
+// instrumentation macro guards on one relaxed atomic load
+// (`clear::obs::enabled()`) before doing any work — no clock reads, no
+// allocation, no registry lookup on the disabled path. Defining
+// CLEAR_OBS_DISABLED at compile time removes even that branch (the macros
+// expand to nothing; the registry API itself stays available so exporters
+// still link).
+//
+// Thread safety: all recording operations are safe to call from parallel
+// runtime workers. Counters/gauges/histogram cells are lock-free atomics;
+// the trace-event buffer takes a mutex per completed span (spans are coarse
+// — phases, epochs, batched forwards — never per-element work).
+//
+// Span naming convention (DESIGN.md §11): the paper's pipeline phases use
+// their table names verbatim — "feature-extract", "cluster", "assign",
+// "finetune", "eval" — so traces line up with Table I/II rows. Everything
+// else is dotted lowercase, `<subsystem>.<operation>` (e.g. "train.epoch",
+// "edge.forward.int8"). Counter/gauge/histogram names follow the same
+// dotted scheme; duration histograms end in "_us".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace clear::obs {
+
+/// True while the registry is recording. One relaxed atomic load.
+bool enabled();
+
+/// Turn recording on/off process-wide. Off is the default.
+void set_enabled(bool on);
+
+/// Reset every metric value and drop all buffered trace events. Registered
+/// metric objects stay valid (pointers held by call sites never dangle).
+void reset();
+
+/// Microseconds since the process-wide trace epoch (first registry use).
+std::uint64_t now_us();
+
+// ---------------------------------------------------------------------------
+// Metric kinds
+// ---------------------------------------------------------------------------
+
+/// Monotonic event count. `add` is unconditional — call sites guard with
+/// `enabled()` (the CLEAR_OBS_* macros do this for you).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written value (e.g. current thread count, buffered windows).
+class Gauge {
+ public:
+  void set(double v);
+  double value() const;
+  void reset() { set(0.0); }
+
+ private:
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+/// Histogram over fixed log-scale buckets. Bucket b holds values in
+/// [2^(b-1), 2^b) with bucket 0 catching everything below 1.0 — the layout
+/// is a pure function of the value, never of the data seen so far, so two
+/// runs that record the same values produce identical bucket vectors.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 48;
+
+  void record(double v);
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  double min() const;
+  double max() const;
+  double mean() const;
+  std::uint64_t bucket(std::size_t b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+  /// Upper bound (exclusive) of bucket b: 2^b, with bucket 0 = [0, 1).
+  static double bucket_limit(std::size_t b);
+  /// Deterministic bucket index for a value.
+  static std::size_t bucket_index(double v);
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_bits_{0};   // double bits, CAS-accumulated
+  std::atomic<std::uint64_t> min_bits_;      // init in ctor
+  std::atomic<std::uint64_t> max_bits_;
+  std::atomic<std::uint64_t> buckets_[kBuckets]{};
+
+ public:
+  Histogram();
+};
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// Look up (creating on first use) the named metric. Returned references
+/// stay valid for the process lifetime; hot call sites cache them in a
+/// function-local static. Names are stable identifiers, not display text.
+Counter& counter(std::string_view name);
+Gauge& gauge(std::string_view name);
+Histogram& histogram(std::string_view name);
+
+// ---------------------------------------------------------------------------
+// Trace spans
+// ---------------------------------------------------------------------------
+
+/// One completed span, Chrome trace-event "X" (complete) phase.
+struct TraceEvent {
+  std::string name;
+  std::uint64_t ts_us = 0;   ///< Start, microseconds since trace epoch.
+  std::uint64_t dur_us = 0;  ///< Duration in microseconds.
+  std::uint32_t tid = 0;     ///< Dense per-thread id (0 = first thread seen).
+};
+
+/// RAII wall-clock span. When the registry is disabled the constructor is a
+/// single branch — no clock read, nothing recorded. On destruction the span
+/// is appended to the trace buffer and its duration is recorded into the
+/// histogram "span.<name>_us".
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+    if (enabled()) begin(name);
+  }
+  ~ScopedSpan() {
+    if (active_) end();
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  void begin(const char* name);
+  void end();
+
+  const char* name_ = nullptr;
+  std::uint64_t start_us_ = 0;
+  bool active_ = false;
+};
+
+/// Copy of the buffered trace events (oldest first). The buffer is capped at
+/// `trace_capacity()`; spans completed past the cap are counted in
+/// `dropped_trace_events()` instead of buffered.
+std::vector<TraceEvent> trace_events();
+std::size_t trace_capacity();
+std::uint64_t dropped_trace_events();
+
+// ---------------------------------------------------------------------------
+// Export
+// ---------------------------------------------------------------------------
+
+/// Full registry snapshot as one JSON object:
+///   { "traceEvents": [...Chrome trace-event "X" records...],
+///     "displayTimeUnit": "ms",
+///     "counters": {name: value},
+///     "gauges": {name: value},
+///     "histograms": {name: {count, sum, min, max, mean, buckets: [...]}} }
+/// The object is a valid Chrome trace file (extra keys are ignored by the
+/// viewer) and a valid metrics snapshot at the same time.
+std::string snapshot_json();
+
+/// Write snapshot_json() to `path` atomically (temp file + rename).
+void write_snapshot(const std::string& path);
+
+}  // namespace clear::obs
+
+// ---------------------------------------------------------------------------
+// Instrumentation macros (the only API hot paths should touch)
+// ---------------------------------------------------------------------------
+
+#define CLEAR_OBS_CONCAT_INNER_(a, b) a##b
+#define CLEAR_OBS_CONCAT_(a, b) CLEAR_OBS_CONCAT_INNER_(a, b)
+
+#ifndef CLEAR_OBS_DISABLED
+
+/// RAII trace span for the enclosing scope.
+#define CLEAR_OBS_SPAN(name) \
+  ::clear::obs::ScopedSpan CLEAR_OBS_CONCAT_(clear_obs_span_, __LINE__)(name)
+
+/// Bump a named counter by n. The registry lookup happens once per call
+/// site (function-local static); the disabled path is a single branch.
+#define CLEAR_OBS_COUNT(name, n)                                        \
+  do {                                                                  \
+    if (::clear::obs::enabled()) {                                      \
+      static ::clear::obs::Counter& clear_obs_c_ =                      \
+          ::clear::obs::counter(name);                                  \
+      clear_obs_c_.add(static_cast<std::uint64_t>(n));                  \
+    }                                                                   \
+  } while (0)
+
+/// Set a named gauge.
+#define CLEAR_OBS_GAUGE(name, v)                                        \
+  do {                                                                  \
+    if (::clear::obs::enabled()) {                                      \
+      static ::clear::obs::Gauge& clear_obs_g_ = ::clear::obs::gauge(name); \
+      clear_obs_g_.set(static_cast<double>(v));                         \
+    }                                                                   \
+  } while (0)
+
+/// Record a value into a named histogram.
+#define CLEAR_OBS_RECORD(name, v)                                       \
+  do {                                                                  \
+    if (::clear::obs::enabled()) {                                      \
+      static ::clear::obs::Histogram& clear_obs_h_ =                    \
+          ::clear::obs::histogram(name);                                \
+      clear_obs_h_.record(static_cast<double>(v));                      \
+    }                                                                   \
+  } while (0)
+
+#else  // CLEAR_OBS_DISABLED: compile the instrumentation out entirely.
+
+#define CLEAR_OBS_SPAN(name) \
+  do {                       \
+  } while (0)
+#define CLEAR_OBS_COUNT(name, n) \
+  do {                           \
+  } while (0)
+#define CLEAR_OBS_GAUGE(name, v) \
+  do {                           \
+  } while (0)
+#define CLEAR_OBS_RECORD(name, v) \
+  do {                            \
+  } while (0)
+
+#endif  // CLEAR_OBS_DISABLED

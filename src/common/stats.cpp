@@ -8,10 +8,48 @@
 
 namespace clear::stats {
 
+namespace {
+
+/// Neumaier-compensated accumulator: tracks the low-order bits the running
+/// sum loses, so large-offset signals (e.g. SKT at ~30 °C with millikelvin
+/// variation) do not shed their variation into rounding error.
+struct Neumaier {
+  double sum = 0.0;
+  double compensation = 0.0;
+
+  void add(double x) {
+    const double t = sum + x;
+    if (std::abs(sum) >= std::abs(x))
+      compensation += (sum - t) + x;
+    else
+      compensation += (x - t) + sum;
+    sum = t;
+  }
+  double value() const { return sum + compensation; }
+};
+
+/// Compensated sum of squared deviations from m over v, corrected for the
+/// residual first-moment error (the corrected two-pass algorithm of Chan,
+/// Golub & LeVeque). Exact up to the compensation precision even when m
+/// carries rounding error.
+double squared_deviations(std::span<const double> v, double m) {
+  Neumaier ss;   // sum of (x - m)^2
+  Neumaier res;  // sum of (x - m): cancels m's own rounding error
+  for (const double x : v) {
+    const double d = x - m;
+    ss.add(d * d);
+    res.add(d);
+  }
+  const double r = res.value();
+  return ss.value() - r * r / static_cast<double>(v.size());
+}
+
+}  // namespace
+
 double sum(std::span<const double> v) {
-  double s = 0.0;
-  for (const double x : v) s += x;
-  return s;
+  Neumaier acc;
+  for (const double x : v) acc.add(x);
+  return acc.value();
 }
 
 double mean(std::span<const double> v) {
@@ -21,18 +59,15 @@ double mean(std::span<const double> v) {
 
 double variance(std::span<const double> v) {
   if (v.empty()) return 0.0;
-  const double m = mean(v);
-  double s = 0.0;
-  for (const double x : v) s += (x - m) * (x - m);
-  return s / static_cast<double>(v.size());
+  const double s = squared_deviations(v, mean(v));
+  // The corrected estimate cannot be negative except through rounding.
+  return std::max(0.0, s / static_cast<double>(v.size()));
 }
 
 double sample_variance(std::span<const double> v) {
   if (v.size() < 2) return 0.0;
-  const double m = mean(v);
-  double s = 0.0;
-  for (const double x : v) s += (x - m) * (x - m);
-  return s / static_cast<double>(v.size() - 1);
+  const double s = squared_deviations(v, mean(v));
+  return std::max(0.0, s / static_cast<double>(v.size() - 1));
 }
 
 double stddev(std::span<const double> v) { return std::sqrt(variance(v)); }
@@ -55,9 +90,9 @@ double range(std::span<const double> v) { return max(v) - min(v); }
 
 double rms(std::span<const double> v) {
   if (v.empty()) return 0.0;
-  double s = 0.0;
-  for (const double x : v) s += x * x;
-  return std::sqrt(s / static_cast<double>(v.size()));
+  Neumaier acc;
+  for (const double x : v) acc.add(x * x);
+  return std::sqrt(acc.value() / static_cast<double>(v.size()));
 }
 
 double skewness(std::span<const double> v) {

@@ -2,6 +2,12 @@
 //
 // These are the scalar building blocks used both by the 123-feature extractor
 // (src/features) and by the evaluation harness (mean/std of fold metrics).
+//
+// Numerical contract: sum/mean use Neumaier-compensated summation and the
+// second moments (variance, sample_variance, rms) use the corrected two-pass
+// form, so large-offset signals — SKT rides a ~30 °C baseline with
+// millidegree variation — keep their variation instead of shedding it into
+// rounding error. See tests/common/test_stats.cpp (NumericalStability).
 #pragma once
 
 #include <cstddef>

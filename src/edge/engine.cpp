@@ -1,8 +1,11 @@
 #include "edge/engine.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <string>
 
 #include "common/error.hpp"
+#include "common/obs.hpp"
 #include "nn/lstm.hpp"
 #include "tensor/ops.hpp"
 
@@ -90,7 +93,23 @@ void EdgeEngine::calibrate(const std::vector<const Tensor*>& maps) {
   }
 }
 
+namespace {
+
+/// "edge.forward.<precision>" span names, stable for the trace viewer.
+[[maybe_unused]] const char* forward_span_name(Precision p) {
+  switch (p) {
+    case Precision::kFp32: return "edge.forward.fp32";
+    case Precision::kFp16: return "edge.forward.fp16";
+    case Precision::kInt8: return "edge.forward.int8";
+  }
+  return "edge.forward";
+}
+
+}  // namespace
+
 Tensor EdgeEngine::forward(const Tensor& batch) {
+  CLEAR_OBS_SPAN(forward_span_name(config_.precision));
+  const std::uint64_t t0 = obs::enabled() ? obs::now_us() : 0;
   model_->set_training(false);
   Tensor x = batch;
   switch (config_.precision) {
@@ -118,6 +137,14 @@ Tensor EdgeEngine::forward(const Tensor& batch) {
       }
       break;
     }
+  }
+  if (obs::enabled()) {
+    const std::uint64_t dur = obs::now_us() - t0;
+    obs::histogram(std::string("edge.forward_us.") +
+                   precision_name(config_.precision))
+        .record(static_cast<double>(dur));
+    obs::counter("edge.batches").add(1);
+    obs::counter("edge.rows").add(batch.extent(0));
   }
   return x;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/obs.hpp"
 #include "tensor/ops.hpp"
 
 namespace clear::edge {
@@ -12,6 +13,9 @@ void int8_gemm(std::span<const std::int8_t> a, std::span<const std::int8_t> b,
                std::span<std::int32_t> c) {
   CLEAR_CHECK_MSG(a.size() == m * k && b.size() == k * n && c.size() == m * n,
                   "int8_gemm size mismatch");
+  // One branch on the disabled path — bench_kernels pins this at <1%.
+  CLEAR_OBS_COUNT("edge.int8_gemm.calls", 1);
+  CLEAR_OBS_COUNT("edge.int8_gemm.macs", m * k * n);
   for (std::int32_t& v : c) v = 0;
   for (std::size_t i = 0; i < m; ++i) {
     for (std::size_t kk = 0; kk < k; ++kk) {

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/obs.hpp"
 #include "features/bvp_features.hpp"
 #include "features/gsr_features.hpp"
 #include "features/skt_features.hpp"
@@ -26,6 +27,10 @@ const std::vector<std::string>& all_feature_names() {
 }
 
 std::vector<double> extract_window_features(const PhysioWindow& window) {
+  CLEAR_OBS_SPAN("feature-extract");
+  CLEAR_OBS_COUNT("features.windows", 1);
+  CLEAR_OBS_COUNT("features.samples",
+                  window.bvp.size() + window.gsr.size() + window.skt.size());
   std::vector<double> f = extract_gsr_features(window.gsr, window.gsr_rate);
   const std::vector<double> b =
       extract_bvp_features(window.bvp, window.bvp_rate);
@@ -66,6 +71,7 @@ std::vector<double> feature_map_mean(const Tensor& map) {
 }
 
 void FeatureNormalizer::fit(const std::vector<std::vector<double>>& vectors) {
+  CLEAR_OBS_SPAN("normalize.fit");
   CLEAR_CHECK_MSG(!vectors.empty(), "normalizer fit needs data");
   const std::size_t f = vectors.front().size();
   mean_.assign(f, 0.0);

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "common/obs.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "nn/checkpoint.hpp"
@@ -106,6 +107,9 @@ double dataset_loss(Sequential& model, const MapDataset& data,
       if (preds[i] == labels[i]) ++p.correct;
     p.seen = batch_idx.size();
   };
+  CLEAR_OBS_SPAN("eval");
+  CLEAR_OBS_COUNT("eval.batches", n_batches);
+  CLEAR_OBS_COUNT("eval.samples", indices.size());
   const auto replicas = eval_replicas(model, n_batches);
   if (!replicas.empty()) {
     parallel_for_workers(0, n_batches, 1,
@@ -137,6 +141,8 @@ double dataset_loss(Sequential& model, const MapDataset& data,
 
 TrainHistory train_classifier(Sequential& model, const MapDataset& data,
                               const TrainConfig& config) {
+  CLEAR_OBS_SPAN("train");
+  CLEAR_OBS_COUNT("train.runs", 1);
   CLEAR_CHECK_MSG(data.size() >= 2, "training set too small");
   CLEAR_CHECK_MSG(data.maps.size() == data.labels.size(),
                   "map/label count mismatch");
@@ -168,6 +174,8 @@ TrainHistory train_classifier(Sequential& model, const MapDataset& data,
   std::vector<Tensor> best_params;
 
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    // The span also feeds the "span.train.epoch_us" duration histogram.
+    CLEAR_OBS_SPAN("train.epoch");
     model.set_training(true);
     // Shuffle per epoch.
     std::vector<std::size_t> order = train_idx;
@@ -201,9 +209,12 @@ TrainHistory train_classifier(Sequential& model, const MapDataset& data,
       if (config.grad_clip > 0) opt->clip_grad_norm(config.grad_clip);
       opt->step();
       if (config.post_step) config.post_step(model);
+      CLEAR_OBS_COUNT("train.batches", 1);
       epoch_loss += loss.loss * static_cast<double>(batch_idx.size());
       seen += batch_idx.size();
     }
+    CLEAR_OBS_COUNT("train.epochs", 1);
+    CLEAR_OBS_COUNT("train.samples", seen);
     epoch_loss /= static_cast<double>(seen);
     history.train_loss.push_back(epoch_loss);
 
@@ -246,6 +257,8 @@ std::vector<std::size_t> predict_classes(Sequential& model,
 
 Tensor predict_probabilities(Sequential& model, const MapDataset& data,
                              std::size_t batch_size) {
+  CLEAR_OBS_SPAN("eval");
+  CLEAR_OBS_COUNT("eval.samples", data.size());
   CLEAR_CHECK_MSG(data.size() >= 1, "empty dataset");
   model.set_training(false);
   const std::size_t n_batches = (data.size() + batch_size - 1) / batch_size;

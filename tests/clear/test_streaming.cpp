@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <limits>
+#include <string>
 
 #include "clear/pipeline.hpp"
 #include "common/error.hpp"
@@ -61,6 +62,93 @@ struct SharedFixture {
 SharedFixture& fixture() {
   static SharedFixture f;
   return f;
+}
+
+// --- StreamingConfig::validate -------------------------------------------
+
+/// Expects `cfg.validate()` to throw with a message naming the bad field.
+void expect_invalid(const StreamingConfig& cfg, const std::string& field) {
+  try {
+    cfg.validate();
+    FAIL() << "expected validate() to reject bad " << field;
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(field), std::string::npos)
+        << "message \"" << e.what() << "\" does not name " << field;
+  }
+}
+
+TEST(StreamingConfigValidate, DefaultsAndEqualLimitsAreValid) {
+  StreamingConfig sc;
+  EXPECT_NO_THROW(sc.validate());
+  // Degenerate lo == hi is allowed (a constant channel); only lo > hi is
+  // an inverted range.
+  sc.skt_limits = {30.0, 30.0};
+  EXPECT_NO_THROW(sc.validate());
+}
+
+TEST(StreamingConfigValidate, RejectsInvertedLimitsPerChannel) {
+  StreamingConfig sc;
+  sc.bvp_limits = {1.0, -1.0};
+  expect_invalid(sc, "bvp_limits");
+  sc = StreamingConfig{};
+  sc.gsr_limits = {5.0, 0.0};
+  expect_invalid(sc, "gsr_limits");
+  sc = StreamingConfig{};
+  sc.skt_limits = {40.0, 20.0};
+  expect_invalid(sc, "skt_limits");
+}
+
+TEST(StreamingConfigValidate, RejectsNonPositiveSampleRates) {
+  for (const double bad :
+       {0.0, -64.0, std::numeric_limits<double>::quiet_NaN(),
+        std::numeric_limits<double>::infinity()}) {
+    StreamingConfig sc;
+    sc.bvp_hz = bad;
+    expect_invalid(sc, "bvp_hz");
+    sc = StreamingConfig{};
+    sc.gsr_hz = bad;
+    expect_invalid(sc, "gsr_hz");
+    sc = StreamingConfig{};
+    sc.skt_hz = bad;
+    expect_invalid(sc, "skt_hz");
+  }
+}
+
+TEST(StreamingConfigValidate, RejectsZeroMapWindows) {
+  StreamingConfig sc;
+  sc.map_windows = 0;
+  expect_invalid(sc, "map_windows");
+}
+
+TEST(StreamingConfigValidate, RejectsBadWindowSeconds) {
+  StreamingConfig sc;
+  sc.window_seconds = 0.0;
+  expect_invalid(sc, "window_seconds");
+  sc.window_seconds = -10.0;
+  expect_invalid(sc, "window_seconds");
+  sc.window_seconds = std::numeric_limits<double>::quiet_NaN();
+  expect_invalid(sc, "window_seconds");
+}
+
+TEST(StreamingConfigValidate, RejectsDegradedThresholdOutsideUnitInterval) {
+  StreamingConfig sc;
+  sc.degraded_threshold = -0.01;
+  expect_invalid(sc, "degraded_threshold");
+  sc.degraded_threshold = 1.01;
+  expect_invalid(sc, "degraded_threshold");
+  sc.degraded_threshold = 1.0;
+  EXPECT_NO_THROW(sc.validate());
+  sc.degraded_threshold = 0.0;
+  EXPECT_NO_THROW(sc.validate());
+}
+
+TEST(StreamingConfigValidate, DetectorConstructorRunsValidation) {
+  SharedFixture& f = fixture();
+  StreamingConfig sc = f.streaming();
+  sc.gsr_limits = {3.0, -3.0};
+  EXPECT_THROW(StreamingDetector(f.pipeline.cluster_model(0),
+                                 f.pipeline.normalizer(), sc),
+               Error);
 }
 
 TEST(Streaming, NoDetectionBeforeWarmup) {

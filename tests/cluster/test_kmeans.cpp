@@ -132,6 +132,51 @@ TEST(KMeans, MoreRestartsNeverWorse) {
   EXPECT_LE(i10, i1 + 1e-9);
 }
 
+TEST(KMeans, EmptyPointSetThrows) {
+  Rng rng(1);
+  EXPECT_THROW(kmeans({}, 1, rng), Error);
+  EXPECT_THROW(kmeans({}, 3, rng), Error);
+}
+
+TEST(KMeans, AllCoincidentPointsSeedUniformly) {
+  // Every point identical: after the first centroid the k-means++ weights
+  // are all exactly zero, which used to bias the weighted pick toward the
+  // last index (and could index out of bounds on fp residue). The fallback
+  // now draws uniformly via the deterministic Rng.
+  const std::vector<Point> points(8, Point{2.0, -3.0});
+  Rng r1(7), r2(7);
+  const KMeansResult a = kmeans(points, 3, r1);
+  const KMeansResult b = kmeans(points, 3, r2);
+  ASSERT_EQ(a.centroids.size(), 3u);
+  for (const Point& c : a.centroids) {
+    EXPECT_DOUBLE_EQ(c[0], 2.0);
+    EXPECT_DOUBLE_EQ(c[1], -3.0);
+  }
+  EXPECT_DOUBLE_EQ(a.inertia, 0.0);
+  EXPECT_EQ(a.assignment, b.assignment);  // Fallback stays deterministic.
+}
+
+TEST(KMeans, MostlyCoincidentPointsStillPickValidCentroids) {
+  // One outlier among duplicates: the weighted pick has a single non-zero
+  // slot, so any fp residue in the cumulative walk used to land on a
+  // zero-weight trailing duplicate. All centroids must be actual points.
+  std::vector<Point> points(9, Point{1.0, 1.0});
+  points[4] = {100.0, 100.0};
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    const KMeansResult res = kmeans(points, 2, rng);
+    ASSERT_EQ(res.centroids.size(), 2u);
+    for (const Point& c : res.centroids) {
+      const bool is_dup = c[0] == 1.0 && c[1] == 1.0;
+      const bool is_outlier = c[0] == 100.0 && c[1] == 100.0;
+      EXPECT_TRUE(is_dup || is_outlier)
+          << "seed " << seed << ": centroid (" << c[0] << ", " << c[1]
+          << ") is not one of the input points";
+    }
+    EXPECT_NEAR(res.inertia, 0.0, 1e-12);
+  }
+}
+
 TEST(NearestCentroid, PicksClosest) {
   const std::vector<Point> centroids = {{0, 0}, {10, 10}};
   EXPECT_EQ(nearest_centroid({1, 1}, centroids), 0u);

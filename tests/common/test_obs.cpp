@@ -1,0 +1,192 @@
+#include "common/obs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace clear::obs {
+namespace {
+
+/// The registry is process-global; every test starts from a clean, enabled
+/// registry and leaves it disabled and empty for the next one.
+class Obs : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reset();
+    set_enabled(true);
+  }
+  void TearDown() override {
+    set_enabled(false);
+    reset();
+  }
+};
+
+TEST_F(Obs, CounterAccumulatesAndResets) {
+  Counter& c = counter("test.counter");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name resolves to the same object.
+  EXPECT_EQ(&counter("test.counter"), &c);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(Obs, GaugeStoresLastWrite) {
+  Gauge& g = gauge("test.gauge");
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(3.5);
+  g.set(-2.25);
+  EXPECT_DOUBLE_EQ(g.value(), -2.25);
+}
+
+TEST_F(Obs, HistogramBucketLayoutIsAPureFunctionOfTheValue) {
+  // Bucket 0 = [0, 1); bucket b = [2^(b-1), 2^b).
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(0.5), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1.0), 1u);
+  EXPECT_EQ(Histogram::bucket_index(1.99), 1u);
+  EXPECT_EQ(Histogram::bucket_index(2.0), 2u);
+  EXPECT_EQ(Histogram::bucket_index(3.0), 2u);
+  EXPECT_EQ(Histogram::bucket_index(4.0), 3u);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_limit(0), 1.0);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_limit(3), 8.0);
+  // Every value lands in exactly the bucket whose bounds contain it.
+  for (double v : {0.0, 0.9, 1.0, 7.0, 100.0, 1e9}) {
+    const std::size_t b = Histogram::bucket_index(v);
+    EXPECT_LT(v, Histogram::bucket_limit(b)) << v;
+    if (b > 0) {
+      EXPECT_GE(v, Histogram::bucket_limit(b - 1)) << v;
+    }
+  }
+}
+
+TEST_F(Obs, HistogramSummaryStats) {
+  Histogram& h = histogram("test.hist");
+  h.record(1.0);
+  h.record(3.0);
+  h.record(8.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 12.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 8.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+  EXPECT_EQ(h.bucket(Histogram::bucket_index(1.0)), 1u);
+  EXPECT_EQ(h.bucket(Histogram::bucket_index(3.0)), 1u);
+  EXPECT_EQ(h.bucket(Histogram::bucket_index(8.0)), 1u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST_F(Obs, ScopedSpanAppendsTraceEventAndDurationHistogram) {
+#ifdef CLEAR_OBS_DISABLED
+  GTEST_SKIP() << "instrumentation compiled out (CLEAR_OBS=OFF)";
+#else
+  {
+    CLEAR_OBS_SPAN("unit-span");
+    counter("test.inside").add();  // Any work; duration may round to 0us.
+  }
+  const std::vector<TraceEvent> events = trace_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "unit-span");
+  EXPECT_GE(events[0].dur_us, 0u);
+  EXPECT_EQ(histogram("span.unit-span_us").count(), 1u);
+#endif
+}
+
+TEST_F(Obs, DisabledPathRecordsNothing) {
+  set_enabled(false);
+  {
+    CLEAR_OBS_SPAN("ghost");
+    CLEAR_OBS_COUNT("ghost.counter", 5);
+    CLEAR_OBS_GAUGE("ghost.gauge", 1.0);
+    CLEAR_OBS_RECORD("ghost.hist", 1.0);
+  }
+#ifndef CLEAR_OBS_DISABLED
+  EXPECT_TRUE(trace_events().empty());
+  EXPECT_EQ(counter("ghost.counter").value(), 0u);
+  EXPECT_DOUBLE_EQ(gauge("ghost.gauge").value(), 0.0);
+  EXPECT_EQ(histogram("ghost.hist").count(), 0u);
+#endif
+}
+
+TEST_F(Obs, SpanOpenAcrossDisableStillCompletesCleanly) {
+  // A span constructed while enabled must close without crashing even if
+  // recording is switched off before it ends; it was begun, so it records.
+  {
+    CLEAR_OBS_SPAN("straddler");
+    set_enabled(false);
+  }
+  set_enabled(true);
+  // A span constructed while disabled records nothing even if recording is
+  // re-enabled before it ends.
+  set_enabled(false);
+  {
+    CLEAR_OBS_SPAN("latecomer");
+    set_enabled(true);
+  }
+  const std::vector<TraceEvent> events = trace_events();
+  for (const TraceEvent& e : events) EXPECT_NE(e.name, "latecomer");
+}
+
+TEST_F(Obs, ResetClearsValuesButKeepsReferencesValid) {
+  Counter& c = counter("test.persistent");
+  c.add(7);
+  {
+    CLEAR_OBS_SPAN("reset-span");
+  }
+  reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_TRUE(trace_events().empty());
+  EXPECT_EQ(dropped_trace_events(), 0u);
+  c.add(1);  // The reference survives reset().
+  EXPECT_EQ(counter("test.persistent").value(), 1u);
+}
+
+TEST_F(Obs, SnapshotJsonContainsAllSections) {
+  counter("snap.counter").add(3);
+  gauge("snap.gauge").set(1.5);
+  histogram("snap.hist").record(2.0);
+  {
+    CLEAR_OBS_SPAN("snap-span");
+  }
+  const std::string json = snapshot_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"snap.counter\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"snap.gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"snap.hist\""), std::string::npos);
+#ifndef CLEAR_OBS_DISABLED
+  EXPECT_NE(json.find("\"snap-span\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+#endif
+  EXPECT_NE(json.find("\"droppedTraceEvents\""), std::string::npos);
+}
+
+TEST_F(Obs, WriteSnapshotRoundTrips) {
+  counter("file.counter").add(9);
+  const std::string path = ::testing::TempDir() + "clear_obs_snapshot.json";
+  write_snapshot(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), snapshot_json());
+  std::remove(path.c_str());
+}
+
+TEST_F(Obs, NowUsIsMonotonic) {
+  const std::uint64_t a = now_us();
+  const std::uint64_t b = now_us();
+  EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace clear::obs

@@ -146,5 +146,78 @@ TEST(Stats, HjorthDegenerate) {
   EXPECT_DOUBLE_EQ(h.mobility, 0.0);
 }
 
+// --- Numerical stability (Neumaier sums, corrected two-pass variance) ------
+//
+// Skin temperature sits near 30 with millikelvin-scale physiological
+// variation, so the naive E[x^2] - E[x]^2 form cancels almost all of its
+// significant digits. These tests pin the compensated implementations
+// against a long-double reference on exactly that regime.
+
+/// SKT-like series: large offset, tiny deterministic oscillation.
+std::vector<double> skt_like(std::size_t n, double offset, double amp) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = offset + amp * std::sin(0.1 * static_cast<double>(i)) +
+           0.3 * amp * std::cos(0.37 * static_cast<double>(i));
+  return v;
+}
+
+long double ref_mean(const std::vector<double>& v) {
+  long double s = 0.0L;
+  for (const double x : v) s += x;
+  return s / static_cast<long double>(v.size());
+}
+
+long double ref_variance(const std::vector<double>& v) {
+  const long double m = ref_mean(v);
+  long double ss = 0.0L;
+  for (const double x : v) ss += (x - m) * (x - m);
+  return ss / static_cast<long double>(v.size());
+}
+
+TEST(StatsNumericalStability, SumCompensatesCancellation) {
+  // Naive left-to-right summation returns 0.0 here: 1.0 is absorbed into
+  // 1e16 and never recovered. Neumaier keeps the lost low-order part.
+  const std::vector<double> v = {1e16, 1.0, -1e16};
+  EXPECT_DOUBLE_EQ(sum(v), 1.0);
+  const std::vector<double> w = {1.0, 1e100, 1.0, -1e100};
+  EXPECT_DOUBLE_EQ(sum(w), 2.0);
+}
+
+TEST(StatsNumericalStability, VarianceOfLargeOffsetSeries) {
+  // amp 1e-4 on a 30-unit baseline: the naive form loses ~11 of 16 digits.
+  const std::vector<double> v = skt_like(4096, 30.0, 1e-4);
+  const double ref = static_cast<double>(ref_variance(v));
+  ASSERT_GT(ref, 0.0);
+  EXPECT_NEAR(variance(v) / ref, 1.0, 1e-9);
+  const double n = static_cast<double>(v.size());
+  const double sref = ref * n / (n - 1.0);
+  EXPECT_NEAR(sample_variance(v) / sref, 1.0, 1e-9);
+}
+
+TEST(StatsNumericalStability, VarianceNeverNegative) {
+  // A constant series shifted far from zero: catastrophic cancellation used
+  // to produce tiny negative variances, which poison sqrt() in stddev.
+  const std::vector<double> v(1024, 30.0000001);
+  EXPECT_GE(variance(v), 0.0);
+  EXPECT_GE(sample_variance(v), 0.0);
+  EXPECT_DOUBLE_EQ(variance(v), 0.0);
+  EXPECT_FALSE(std::isnan(stddev(v)));
+}
+
+TEST(StatsNumericalStability, MeanOfLargeOffsetSeries) {
+  const std::vector<double> v = skt_like(4096, 30.0, 1e-4);
+  EXPECT_NEAR(mean(v), static_cast<double>(ref_mean(v)), 1e-12);
+}
+
+TEST(StatsNumericalStability, RmsMatchesLongDoubleReference) {
+  const std::vector<double> v = skt_like(4096, 30.0, 1e-4);
+  long double ss = 0.0L;
+  for (const double x : v) ss += (long double)x * (long double)x;
+  const double ref =
+      static_cast<double>(std::sqrt(ss / static_cast<long double>(v.size())));
+  EXPECT_NEAR(rms(v) / ref, 1.0, 1e-14);
+}
+
 }  // namespace
 }  // namespace clear::stats

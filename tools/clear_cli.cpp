@@ -29,10 +29,23 @@
 //       accuracy-vs-fault-rate table. The zero-fault row is bit-identical
 //       to the clean `evaluate` results.
 //
+//   clear-cli profile   [--volunteers=6 --trials=4 --epochs=2 --folds=1]
+//                       [--metrics-out=clear_profile.json]
+//       Observability demo: run a tiny in-memory LOSO slice (feature
+//       extraction, clustering, assignment, fine-tuning, evaluation) plus a
+//       per-precision edge forward sweep with the metrics registry enabled,
+//       and write the combined JSON snapshot / Chrome trace-event file.
+//       Numeric results go to stdout and are bit-identical whether or not
+//       metrics are recorded; the span summary goes to stderr.
+//
 // Every command accepts --threads=N (0 = all hardware threads; default 1,
-// or the CLEAR_NUM_THREADS environment variable when set). Results are
-// bit-identical at any thread count.
+// or the CLEAR_NUM_THREADS environment variable when set) and
+// --metrics-out=FILE (enable the observability registry for the run and
+// write the JSON snapshot + Chrome trace to FILE on exit). Results are
+// bit-identical at any thread count, with or without metrics.
+#include <algorithm>
 #include <cstdio>
+#include <map>
 
 #include "clear/artifacts.hpp"
 #include "clear/evaluation.hpp"
@@ -41,8 +54,10 @@
 #include "common/csv.hpp"
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "common/obs.hpp"
 #include "common/parallel.hpp"
 #include "common/table.hpp"
+#include "edge/engine.hpp"
 
 using namespace clear;
 
@@ -51,8 +66,10 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: clear-cli <generate|train|info|assign|evaluate|"
-               "personalize|robustness> [--flags]\n"
+               "personalize|robustness|profile> [--flags]\n"
                "common flags: --threads=N (0 = all cores; default 1)\n"
+               "              --metrics-out=FILE (write metrics + Chrome "
+               "trace JSON)\n"
                "run with a command name for details (see tool header).\n");
   return 2;
 }
@@ -277,6 +294,99 @@ int cmd_robustness(const CliArgs& args) {
   return 0;
 }
 
+int cmd_profile(const CliArgs& args) {
+  core::ClearConfig config = core::default_config();
+  config.data.seed = static_cast<std::uint64_t>(
+      args.get_int("seed", static_cast<std::int64_t>(config.data.seed)));
+  config.data.n_volunteers =
+      static_cast<std::size_t>(args.get_int("volunteers", 6));
+  config.data.trials_per_volunteer =
+      static_cast<std::size_t>(args.get_int("trials", 4));
+  config.train.epochs = static_cast<std::size_t>(args.get_int("epochs", 2));
+  config.finetune.epochs =
+      static_cast<std::size_t>(args.get_int("ft-epochs", 2));
+  config.gc.k = static_cast<std::size_t>(
+      args.get_int("k", static_cast<std::int64_t>(config.gc.k)));
+  config.finalize();
+
+  // Generate in memory (no cache) so the feature-extraction spans of every
+  // synthesized window land in the trace instead of being skipped by a
+  // cache hit.
+  const wemac::WemacDataset d = wemac::generate_wemac(config.data);
+
+  core::ClearOptions options;
+  options.max_folds = static_cast<std::size_t>(args.get_int("folds", 1));
+  options.run_finetune = true;
+  const core::ClearValidationResult r =
+      core::run_clear_validation(d, config, options);
+
+  // Numeric results on stdout: bit-identical with metrics on or off (the
+  // registry is write-only from the pipeline's point of view).
+  AsciiTable table({"fold", "w/o FT acc", "w/o FT F1", "w FT acc", "w FT F1"});
+  table.set_title("profile slice (" + std::to_string(options.max_folds) +
+                  " LOSO fold(s))");
+  for (std::size_t f = 0; f < r.no_ft.folds(); ++f)
+    table.add_row({std::to_string(f),
+                   AsciiTable::num(r.no_ft.fold_accuracy[f], 4),
+                   AsciiTable::num(r.no_ft.fold_f1[f], 4),
+                   AsciiTable::num(r.with_ft.fold_accuracy[f], 4),
+                   AsciiTable::num(r.with_ft.fold_f1[f], 4)});
+  table.print();
+
+  // Per-precision edge forward sweep so the trace carries the edge engine's
+  // kernel timings next to the pipeline phases.
+  const std::vector<std::size_t>& samples = d.samples_of(0);
+  std::vector<Tensor> maps;
+  std::vector<const Tensor*> map_ptrs;
+  nn::MapDataset edge_set;
+  for (const std::size_t s : samples) {
+    maps.push_back(d.samples()[s].feature_map);
+    edge_set.labels.push_back(
+        static_cast<std::size_t>(d.samples()[s].label));
+  }
+  for (const Tensor& m : maps) {
+    map_ptrs.push_back(&m);
+    edge_set.maps.push_back(&m);
+  }
+  for (const edge::Precision p :
+       {edge::Precision::kFp32, edge::Precision::kFp16,
+        edge::Precision::kInt8}) {
+    Rng rng(config.seed ^ 0xED6E);
+    edge::EngineConfig ec;
+    ec.precision = p;
+    edge::EdgeEngine engine(nn::build_cnn_lstm(config.model, rng), ec);
+    if (p == edge::Precision::kInt8) engine.calibrate(map_ptrs);
+    const nn::BinaryMetrics m = engine.evaluate(edge_set);
+    std::printf("edge %s: %.4f accuracy over %zu maps\n",
+                edge::precision_name(p), m.accuracy, edge_set.size());
+  }
+  return 0;
+}
+
+/// Top-of-registry span summary on stderr (stdout stays numeric-only so a
+/// metrics-on run is byte-comparable to a metrics-off run).
+void print_span_summary() {
+  const std::vector<obs::TraceEvent> events = obs::trace_events();
+  struct Row {
+    std::size_t count = 0;
+    std::uint64_t total_us = 0;
+    std::uint64_t max_us = 0;
+  };
+  std::map<std::string, Row> rows;
+  for (const obs::TraceEvent& e : events) {
+    Row& row = rows[e.name];
+    ++row.count;
+    row.total_us += e.dur_us;
+    row.max_us = std::max<std::uint64_t>(row.max_us, e.dur_us);
+  }
+  std::fprintf(stderr, "-- span summary (%zu events) --\n", events.size());
+  for (const auto& [name, row] : rows)
+    std::fprintf(stderr, "  %-24s count=%-6zu total=%.3fms max=%.3fms\n",
+                 name.c_str(), row.count,
+                 static_cast<double>(row.total_us) / 1000.0,
+                 static_cast<double>(row.max_us) / 1000.0);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -289,15 +399,37 @@ int main(int argc, char** argv) {
     }
     if (args.positional().empty()) return usage();
     const std::string& command = args.positional()[0];
-    if (command == "generate") return cmd_generate(args);
-    if (command == "train") return cmd_train(args);
-    if (command == "info") return cmd_info(args);
-    if (command == "assign") return cmd_assign(args);
-    if (command == "evaluate") return cmd_evaluate(args);
-    if (command == "personalize") return cmd_personalize(args);
-    if (command == "robustness") return cmd_robustness(args);
-    std::fprintf(stderr, "unknown command: %s\n", command.c_str());
-    return usage();
+    // --metrics-out=FILE turns the observability registry on for the whole
+    // command and writes the combined JSON snapshot / Chrome trace on exit.
+    // `profile` defaults it on; every other command defaults it off.
+    std::string metrics_out = args.get("metrics-out", "");
+    if (command == "profile" && !args.has("metrics-out"))
+      metrics_out = "clear_profile.json";
+    if (args.get_bool("no-metrics", false)) metrics_out.clear();
+    if (!metrics_out.empty()) obs::set_enabled(true);
+
+    int rc = 2;
+    bool known = true;
+    if (command == "generate") rc = cmd_generate(args);
+    else if (command == "train") rc = cmd_train(args);
+    else if (command == "info") rc = cmd_info(args);
+    else if (command == "assign") rc = cmd_assign(args);
+    else if (command == "evaluate") rc = cmd_evaluate(args);
+    else if (command == "personalize") rc = cmd_personalize(args);
+    else if (command == "robustness") rc = cmd_robustness(args);
+    else if (command == "profile") rc = cmd_profile(args);
+    else known = false;
+    if (!known) {
+      std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+      return usage();
+    }
+    if (!metrics_out.empty()) {
+      obs::set_enabled(false);
+      print_span_summary();
+      obs::write_snapshot(metrics_out);
+      std::fprintf(stderr, "metrics written to %s\n", metrics_out.c_str());
+    }
+    return rc;
   } catch (const clear::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -1,0 +1,55 @@
+#!/bin/sh
+# Profile smoke test: run a tiny LOSO slice through `clear-cli profile` with
+# observability on, validate the emitted snapshot against the checked-in
+# schema (tools/metrics_schema.json), check the trace covers the paper's
+# pipeline phases, and assert the numeric results on stdout are byte-
+# identical with observability off (metrics must be purely observational).
+# Usage: run_profile_smoke.sh <path-to-clear-cli> <path-to-schema>
+set -eu
+
+CLI="$1"
+SCHEMA="$2"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+cd "$WORK"
+
+SLICE="--volunteers=6 --trials=4 --epochs=1 --ft-epochs=1 --seed=11"
+
+# 1. Metrics on: numeric results to stdout, snapshot to metrics.json.
+"$CLI" profile $SLICE --metrics-out=metrics.json >on.txt 2>on.err
+test -s metrics.json
+
+# 2. The snapshot must satisfy the schema.
+python3 - "$SCHEMA" metrics.json <<'EOF'
+import json, sys
+import jsonschema
+with open(sys.argv[1]) as f:
+    schema = json.load(f)
+with open(sys.argv[2]) as f:
+    snapshot = json.load(f)
+jsonschema.validate(snapshot, schema)
+EOF
+
+# 3. The trace must cover every pipeline phase named in the paper tables.
+for phase in feature-extract cluster assign finetune eval; do
+  jq -e --arg p "$phase" \
+    '[.traceEvents[] | select(.name == $p)] | length > 0' metrics.json \
+    >/dev/null || { echo "missing phase span: $phase" >&2; exit 1; }
+done
+
+# 4. Edge kernel timings must be present per precision.
+for h in edge.forward_us.fp32 edge.forward_us.fp16 edge.forward_us.int8; do
+  jq -e --arg h "$h" '.histograms[$h].count > 0' metrics.json >/dev/null ||
+    { echo "missing edge histogram: $h" >&2; exit 1; }
+done
+
+# 5. Nothing silently dropped on this tiny slice.
+jq -e '.droppedTraceEvents == 0' metrics.json >/dev/null
+
+# 6. Metrics off: stdout must be byte-identical (observability never
+#    changes a numeric result).
+"$CLI" profile $SLICE --no-metrics >off.txt 2>off.err
+test ! -e clear_profile.json
+cmp on.txt off.txt
+
+echo "profile smoke OK"
