@@ -1,0 +1,154 @@
+// bench_serve — CLEAR-Serve throughput on a synthetic multi-user workload.
+//
+// Three configurations replay the same request stream:
+//
+//   stateless  — batch cap 1, 1 thread, 1-byte checkpoint cache: every
+//                routing flip re-materializes the engine from its blob.
+//                This is the sequential baseline — what an edge gateway
+//                without the serve subsystem does (load weights, run one
+//                window, throw the engine away).
+//   cached     — batch cap 1, 1 thread, full cache: isolates the LRU
+//                checkpoint cache's contribution.
+//   batched    — batch cap 8, --batch-threads, full cache: the whole
+//                subsystem (cache + micro-batching on the parallel runtime).
+//
+// All three produce identical predictions (the virtual clock makes batch
+// composition a pure function of the request stream); only wall-clock
+// throughput differs. Fine-tuning and degraded spans are disabled so the
+// measurement is pure inference serving.
+//
+// Flags: --users=32 --requests=48 --wl-seed=7 --max-batch=8
+//        --batch-threads=4 --iters=3 [dataset flags: --seed --volunteers
+//        --trials --epochs]
+//
+// Target: batched throughput >= 2x the stateless sequential baseline at
+// batch cap 8 (exit 1 when missed).
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "clear/pipeline.hpp"
+#include "serve/server.hpp"
+#include "serve/workload.hpp"
+
+using namespace clear;
+
+namespace {
+
+struct RunResult {
+  double seconds = 0.0;
+  std::size_t ok = 0;
+};
+
+RunResult run_once(const serve::ModelSource& source, serve::ServeConfig sc,
+                   std::vector<serve::ServeRequest> requests,
+                   std::size_t threads) {
+  NumThreadsGuard guard(threads);
+  serve::Server server(source, std::move(sc));
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<serve::ServeResult> results =
+      server.run(std::move(requests));
+  const auto t1 = std::chrono::steady_clock::now();
+  RunResult r;
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  for (const serve::ServeResult& res : results)
+    r.ok += res.status == serve::ServeResult::Status::kOk;
+  return r;
+}
+
+RunResult best_of(std::size_t iters, const serve::ModelSource& source,
+                  const serve::ServeConfig& sc,
+                  const std::vector<serve::ServeRequest>& requests,
+                  std::size_t threads) {
+  RunResult best;
+  for (std::size_t i = 0; i < iters; ++i) {
+    const RunResult r = run_once(source, sc, requests, threads);
+    if (i == 0 || r.seconds < best.seconds) best = r;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliArgs args(argc, argv);
+
+    core::ClearConfig config = core::default_config();
+    config.data.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+    config.data.n_volunteers =
+        static_cast<std::size_t>(args.get_int("volunteers", 8));
+    config.data.trials_per_volunteer =
+        static_cast<std::size_t>(args.get_int("trials", 5));
+    config.train.epochs =
+        static_cast<std::size_t>(args.get_int("epochs", 2));
+    config.finalize();
+
+    const wemac::WemacDataset d = wemac::generate_wemac(config.data);
+    std::vector<std::size_t> users;
+    for (std::size_t u = 0; u + 2 < d.n_volunteers(); ++u)
+      users.push_back(u);
+    std::printf("fitting pipeline on %zu of %zu volunteers...\n",
+                users.size(), d.n_volunteers());
+    std::fflush(stdout);
+    core::ClearPipeline pipeline(config);
+    pipeline.fit(d, users);
+    const serve::ModelSource source =
+        serve::ModelSource::from_pipeline(pipeline);
+
+    serve::WorkloadConfig wc;
+    wc.n_users = static_cast<std::size_t>(args.get_int("users", 32));
+    wc.requests_per_user =
+        static_cast<std::size_t>(args.get_int("requests", 48));
+    wc.seed = static_cast<std::uint64_t>(args.get_int("wl-seed", 7));
+    wc.labeled_fraction = 0.0;
+    wc.degraded_user_fraction = 0.0;
+    const std::vector<serve::ServeRequest> requests =
+        serve::make_workload(d, wc);
+
+    serve::ServeConfig stateless;
+    stateless.session.enable_finetune = false;
+    stateless.batch.max_batch = 1;
+    stateless.cache_budget_bytes = 1;  // Rebuild on every routing flip.
+    serve::ServeConfig cached = stateless;
+    cached.cache_budget_bytes = serve::ServeConfig().cache_budget_bytes;
+    serve::ServeConfig batched = cached;
+    batched.batch.max_batch =
+        static_cast<std::size_t>(args.get_int("max-batch", 8));
+
+    const auto iters = static_cast<std::size_t>(args.get_int("iters", 3));
+    const auto batch_threads =
+        static_cast<std::size_t>(args.get_int("batch-threads", 4));
+
+    const RunResult s = best_of(iters, source, stateless, requests, 1);
+    const RunResult c = best_of(iters, source, cached, requests, 1);
+    const RunResult b = best_of(iters, source, batched, requests,
+                                batch_threads);
+
+    AsciiTable table({"config", "threads", "batch cap", "ok", "time (s)",
+                      "req/s"});
+    table.set_title("CLEAR-Serve throughput (" +
+                    std::to_string(requests.size()) + " requests, best of " +
+                    std::to_string(iters) + ")");
+    const auto row = [&table](const char* name, std::size_t threads,
+                              std::size_t cap, const RunResult& r) {
+      table.add_row({name, std::to_string(threads), std::to_string(cap),
+                     std::to_string(r.ok), AsciiTable::num(r.seconds, 3),
+                     AsciiTable::num(static_cast<double>(r.ok) / r.seconds,
+                                     0)});
+    };
+    row("stateless", 1, 1, s);
+    row("cached", 1, 1, c);
+    row("batched", batch_threads, batched.batch.max_batch, b);
+    table.print();
+
+    const double speedup = s.seconds / b.seconds;
+    std::printf("cache speedup:   %.2fx\n", s.seconds / c.seconds);
+    std::printf("batched speedup: %.2fx vs stateless (target >= 2x): %s\n",
+                speedup, speedup >= 2.0 ? "PASS" : "FAIL");
+    return speedup >= 2.0 ? 0 : 1;
+  } catch (const clear::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -166,6 +166,47 @@ std::string read_file_bytes(const fs::path& path) {
                      std::istreambuf_iterator<char>());
 }
 
+/// Parse and CRC-verify <dir>/pipeline.meta into (config, state). Shared by
+/// the full pipeline restore and the metadata-only serving load.
+void read_meta_file(const fs::path& dir, ClearConfig& config,
+                    ClearPipeline::State& state) {
+  std::ifstream meta(dir / "pipeline.meta", std::ios::binary);
+  CLEAR_CHECK_MSG(meta.good(),
+                  "cannot open " << (dir / "pipeline.meta").string());
+  CLEAR_CHECK_MSG(io::read_u64(meta) == kMetaMagic, "bad pipeline.meta magic");
+  const std::uint64_t version = io::read_u64(meta);
+
+  if (version == 1) {
+    // Legacy format: raw field stream, no CRC. Parse errors are the only
+    // corruption signal available.
+    read_meta_payload(meta, config, state);
+    return;
+  }
+  CLEAR_CHECK_MSG(version == kMetaVersion,
+                  "unsupported pipeline.meta version " << version);
+  const std::uint64_t length = io::read_u64(meta);
+  CLEAR_CHECK_MSG(length < (1ull << 32),
+                  "implausible pipeline.meta payload length " << length);
+  std::string payload(length, '\0');
+  meta.read(payload.data(), static_cast<std::streamsize>(length));
+  const auto got = static_cast<std::uint64_t>(meta.gcount());
+  CLEAR_CHECK_MSG(got == length, "truncated pipeline.meta: payload has "
+                                     << got << " of " << length << " bytes");
+  unsigned char footer[8];
+  meta.read(reinterpret_cast<char*>(footer), 8);
+  CLEAR_CHECK_MSG(meta.gcount() == 8,
+                  "truncated pipeline.meta: missing CRC footer");
+  std::uint64_t stored = 0;
+  for (int i = 0; i < 8; ++i) stored |= std::uint64_t(footer[i]) << (8 * i);
+  const std::uint32_t computed = crc32(payload);
+  CLEAR_CHECK_MSG(stored == computed, "pipeline.meta CRC mismatch: stored "
+                                          << stored << ", computed "
+                                          << computed
+                                          << " (corrupted metadata)");
+  std::istringstream payload_is(payload, std::ios::binary);
+  read_meta_payload(payload_is, config, state);
+}
+
 }  // namespace
 
 void save_pipeline(ClearPipeline& pipeline, const std::string& directory) {
@@ -198,45 +239,9 @@ void save_pipeline(ClearPipeline& pipeline, const std::string& directory) {
 
 ClearPipeline load_pipeline(const std::string& directory) {
   const fs::path dir(directory);
-  std::ifstream meta(dir / "pipeline.meta", std::ios::binary);
-  CLEAR_CHECK_MSG(meta.good(),
-                  "cannot open " << (dir / "pipeline.meta").string());
-  CLEAR_CHECK_MSG(io::read_u64(meta) == kMetaMagic, "bad pipeline.meta magic");
-  const std::uint64_t version = io::read_u64(meta);
-
   ClearConfig config = default_config();
   ClearPipeline::State state;
-  if (version == 1) {
-    // Legacy format: raw field stream, no CRC. Parse errors are the only
-    // corruption signal available.
-    read_meta_payload(meta, config, state);
-  } else {
-    CLEAR_CHECK_MSG(version == kMetaVersion,
-                    "unsupported pipeline.meta version " << version);
-    const std::uint64_t length = io::read_u64(meta);
-    CLEAR_CHECK_MSG(length < (1ull << 32),
-                    "implausible pipeline.meta payload length " << length);
-    std::string payload(length, '\0');
-    meta.read(payload.data(), static_cast<std::streamsize>(length));
-    const auto got = static_cast<std::uint64_t>(meta.gcount());
-    CLEAR_CHECK_MSG(got == length, "truncated pipeline.meta: payload has "
-                                       << got << " of " << length
-                                       << " bytes");
-    unsigned char footer[8];
-    meta.read(reinterpret_cast<char*>(footer), 8);
-    CLEAR_CHECK_MSG(meta.gcount() == 8,
-                    "truncated pipeline.meta: missing CRC footer");
-    std::uint64_t stored = 0;
-    for (int i = 0; i < 8; ++i)
-      stored |= std::uint64_t(footer[i]) << (8 * i);
-    const std::uint32_t computed = crc32(payload);
-    CLEAR_CHECK_MSG(stored == computed,
-                    "pipeline.meta CRC mismatch: stored "
-                        << stored << ", computed " << computed
-                        << " (corrupted metadata)");
-    std::istringstream payload_is(payload, std::ios::binary);
-    read_meta_payload(payload_is, config, state);
-  }
+  read_meta_file(dir, config, state);
 
   // Checkpoint blobs. A missing/unreadable file becomes an empty blob;
   // import_state() degrades it to the general fallback or throws.
@@ -252,6 +257,30 @@ ClearPipeline load_pipeline(const std::string& directory) {
                          << pipeline.fallback_clusters().size()
                          << " cluster(s) running the general model");
   return pipeline;
+}
+
+ArtifactMeta load_artifact_meta(const std::string& directory) {
+  ClearConfig config = default_config();
+  ClearPipeline::State state;
+  read_meta_file(fs::path(directory), config, state);
+  ArtifactMeta meta;
+  meta.config = std::move(config);
+  meta.users = std::move(state.users);
+  meta.normalizer = std::move(state.normalizer);
+  meta.clustering = std::move(state.clustering);
+  return meta;
+}
+
+std::string read_cluster_checkpoint(const std::string& directory,
+                                    std::size_t k) {
+  fault::maybe_fail_io("checkpoint read");
+  return read_file_bytes(fs::path(directory) /
+                         ("cluster_" + std::to_string(k) + ".ckpt"));
+}
+
+std::string read_general_checkpoint(const std::string& directory) {
+  fault::maybe_fail_io("checkpoint read");
+  return read_file_bytes(fs::path(directory) / "general.ckpt");
 }
 
 }  // namespace clear::core

@@ -33,4 +33,25 @@ void save_pipeline(ClearPipeline& pipeline, const std::string& directory);
 /// missing/corrupt artifacts.
 ClearPipeline load_pipeline(const std::string& directory);
 
+/// Metadata-only view of an artifact directory: the CRC-verified contents of
+/// pipeline.meta with no checkpoint blobs loaded. The serving layer uses this
+/// to route requests while streaming checkpoints on demand through its cache.
+struct ArtifactMeta {
+  ClearConfig config;
+  std::vector<std::size_t> users;
+  features::FeatureNormalizer normalizer;
+  cluster::GlobalClusteringResult clustering;
+};
+
+/// Parse pipeline.meta only. Throws clear::Error on missing/corrupt metadata.
+ArtifactMeta load_artifact_meta(const std::string& directory);
+
+/// Read one serialized checkpoint blob. Returns "" when the file is missing
+/// or unreadable (the caller decides whether to degrade or fail); corruption
+/// inside a present blob is caught downstream by the checkpoint CRC on
+/// deserialization. Both honour the fault layer's "checkpoint read" IO site.
+std::string read_cluster_checkpoint(const std::string& directory,
+                                    std::size_t k);
+std::string read_general_checkpoint(const std::string& directory);
+
 }  // namespace clear::core

@@ -3,6 +3,8 @@
 #include <cstdlib>
 
 #include "common/error.hpp"
+#include "common/obs.hpp"
+#include "common/parallel.hpp"
 
 namespace clear {
 
@@ -19,10 +21,15 @@ CliArgs::CliArgs(int argc, const char* const* argv) {
     }
     const std::string body = arg.substr(2);
     const auto eq = body.find('=');
-    if (eq == std::string::npos) {
-      values_[body] = "true";
-    } else {
+    if (eq != std::string::npos) {
       values_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && argv[i + 1][0] != '\0' &&
+               argv[i + 1][0] != '-') {
+      // `--key value` form: the next token is the value unless it is itself
+      // a flag (values starting with '-' require the `=` spelling).
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "true";
     }
   }
 }
@@ -66,6 +73,36 @@ bool CliArgs::get_bool(const std::string& key, bool fallback) const {
   if (v == "false" || v == "0" || v == "no") return false;
   CLEAR_CHECK_MSG(false, "flag --" << key << " is not a boolean: " << v);
   return fallback;
+}
+
+CommonFlags CommonFlags::apply(const CliArgs& args,
+                               const std::string& default_metrics_out) {
+  CommonFlags flags;
+  if (args.has("threads")) {
+    const std::int64_t threads = args.get_int("threads", 1);
+    CLEAR_CHECK_MSG(threads >= 0, "--threads must be >= 0");
+    set_num_threads(static_cast<std::size_t>(threads));
+  }
+  flags.threads = num_threads();
+  flags.metrics_out = args.get("metrics-out", default_metrics_out);
+  if (args.get_bool("no-metrics", false)) flags.metrics_out.clear();
+  if (!flags.metrics_out.empty()) obs::set_enabled(true);
+  return flags;
+}
+
+bool CommonFlags::finish() const {
+  if (metrics_out.empty()) return false;
+  obs::set_enabled(false);
+  obs::write_snapshot(metrics_out);
+  return true;
+}
+
+const char* CommonFlags::help() {
+  return "common flags (every subcommand):\n"
+         "  --threads=N       0 = all hardware threads; default 1, or the\n"
+         "                    CLEAR_NUM_THREADS environment variable\n"
+         "  --metrics-out=F   record metrics for the run and write the JSON\n"
+         "                    snapshot + Chrome trace to F on exit\n";
 }
 
 }  // namespace clear

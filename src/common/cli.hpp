@@ -1,6 +1,6 @@
 // Tiny command-line parser for the bench harnesses, examples, and the CLI
-// tool. Accepts `--key=value` flags, `--flag` (boolean true), and bare
-// positional arguments (e.g. sub-command names).
+// tool. Accepts `--key=value` and `--key value` flags, `--flag` (boolean
+// true), and bare positional arguments (e.g. sub-command names).
 #pragma once
 
 #include <cstdint>
@@ -31,6 +31,34 @@ class CliArgs {
   std::string program_;
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;
+};
+
+/// The two flags every clear-cli subcommand and bench harness honours:
+///
+///   --threads=N      0 = all hardware threads; default 1 (or the
+///                    CLEAR_NUM_THREADS environment variable when set).
+///   --metrics-out=F  Enable the observability registry for the run and
+///                    write the JSON snapshot + Chrome trace to F at exit.
+///
+/// apply() parses both, configures the parallel runtime / metrics registry,
+/// and returns the resolved values; finish() disables recording and writes
+/// the snapshot when a path was given. Centralising this keeps the flags'
+/// behaviour identical across every entry point.
+struct CommonFlags {
+  std::size_t threads = 1;  ///< Resolved process-wide thread count.
+  std::string metrics_out;  ///< Snapshot path ("" = metrics disabled).
+
+  /// Parse + apply. `default_metrics_out` seeds --metrics-out for commands
+  /// that default it on (e.g. `clear-cli profile`); an explicit flag wins.
+  static CommonFlags apply(const CliArgs& args,
+                           const std::string& default_metrics_out = "");
+
+  /// Stop recording and write the snapshot if --metrics-out was given.
+  /// Returns true when a file was written.
+  bool finish() const;
+
+  /// Usage text describing both flags (for --help / usage printouts).
+  static const char* help();
 };
 
 }  // namespace clear

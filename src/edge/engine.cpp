@@ -153,11 +153,15 @@ std::vector<std::size_t> EdgeEngine::predict(const nn::MapDataset& data,
                                              std::size_t batch_size) {
   std::vector<std::size_t> preds;
   preds.reserve(data.size());
+  // Index and batch buffers live outside the loop; stack_batch_into reuses
+  // the batch tensor's storage whenever consecutive batches share a size.
+  std::vector<std::size_t> idx;
+  Tensor batch;
   for (std::size_t start = 0; start < data.size(); start += batch_size) {
     const std::size_t end = std::min(data.size(), start + batch_size);
-    std::vector<std::size_t> idx(end - start);
+    idx.resize(end - start);
     for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = start + i;
-    const Tensor batch = nn::stack_batch(data.maps, idx);
+    nn::stack_batch_into(data.maps, idx, batch);
     const Tensor logits = forward(batch);
     const std::vector<std::size_t> p = ops::argmax_rows(logits);
     preds.insert(preds.end(), p.begin(), p.end());

@@ -34,11 +34,33 @@ Tensor Conv2d::forward(const Tensor& input) {
   const std::size_t w = input.extent(3);
   const std::size_t oh = ops::conv_out_extent(h, kh_, stride_, pad_);
   const std::size_t ow = ops::conv_out_extent(w, kw_, stride_, pad_);
+  Tensor out({n, out_ch_, oh, ow});
+  if (!training_) {
+    // Inference: no backward pass will follow, so skip the per-sample column
+    // caches and run im2col + GEMM into reusable workspace tensors.
+    cached_cols_.clear();
+    cached_in_shape_.clear();
+    ws_image_.resize({in_ch_, h, w});
+    for (std::size_t b = 0; b < n; ++b) {
+      const float* src = input.data() + b * in_ch_ * h * w;
+      std::copy(src, src + in_ch_ * h * w, ws_image_.data());
+      ops::im2col_into(ws_image_, kh_, kw_, stride_, pad_, ws_cols_);
+      ops::matmul_into(weight_.value, ws_cols_, ws_prod_);  // [out_ch, oh*ow]
+      float* dst = out.data() + b * out_ch_ * oh * ow;
+      const float* ps = ws_prod_.data();
+      for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+        const float bv = bias_.value[oc];
+        for (std::size_t i = 0; i < oh * ow; ++i)
+          dst[oc * oh * ow + i] = ps[oc * oh * ow + i] + bv;
+      }
+    }
+    return out;
+  }
+
   cached_in_shape_ = input.shape();
   cached_cols_.clear();
   cached_cols_.reserve(n);
 
-  Tensor out({n, out_ch_, oh, ow});
   for (std::size_t b = 0; b < n; ++b) {
     // View of sample b as [C, H, W] (contiguous slice).
     Tensor image({in_ch_, h, w});

@@ -27,6 +27,10 @@ class Conv2d : public Layer {
   // Cached per-sample im2col matrices and input geometry for backward.
   std::vector<Tensor> cached_cols_;
   std::vector<std::size_t> cached_in_shape_;
+  // Inference-only scratch, reused across forward() calls so the hot predict
+  // path performs no per-sample allocations. Batched inference clones the
+  // model per worker thread, so these are effectively thread-local.
+  Tensor ws_image_, ws_cols_, ws_prod_;
 };
 
 }  // namespace clear::nn

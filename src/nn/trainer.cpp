@@ -16,13 +16,20 @@ namespace clear::nn {
 
 Tensor stack_batch(const std::vector<const Tensor*>& maps,
                    const std::vector<std::size_t>& indices) {
+  Tensor batch;
+  stack_batch_into(maps, indices, batch);
+  return batch;
+}
+
+void stack_batch_into(const std::vector<const Tensor*>& maps,
+                      const std::vector<std::size_t>& indices, Tensor& batch) {
   CLEAR_CHECK_MSG(!indices.empty(), "empty batch");
   CLEAR_CHECK_MSG(indices[0] < maps.size(), "batch index out of range");
   const Tensor& first = *maps[indices[0]];
   CLEAR_CHECK_MSG(first.rank() == 2, "feature maps must be rank-2");
   const std::size_t f = first.extent(0);
   const std::size_t w = first.extent(1);
-  Tensor batch({indices.size(), 1, f, w});
+  batch.resize({indices.size(), 1, f, w});
   float* dst = batch.data();
   for (std::size_t b = 0; b < indices.size(); ++b) {
     CLEAR_CHECK_MSG(indices[b] < maps.size(), "batch index out of range");
@@ -31,7 +38,6 @@ Tensor stack_batch(const std::vector<const Tensor*>& maps,
                     "inconsistent map shapes in batch");
     std::copy(m.data(), m.data() + f * w, dst + b * f * w);
   }
-  return batch;
 }
 
 namespace {

@@ -52,6 +52,12 @@ struct TrainHistory {
 Tensor stack_batch(const std::vector<const Tensor*>& maps,
                    const std::vector<std::size_t>& indices);
 
+/// stack_batch into a caller-provided tensor (resized and fully overwritten).
+/// Reusing `batch` across calls keeps serving/prediction loops off the
+/// allocator.
+void stack_batch_into(const std::vector<const Tensor*>& maps,
+                      const std::vector<std::size_t>& indices, Tensor& batch);
+
 /// Train `model` on `data`. Deterministic in config.seed.
 TrainHistory train_classifier(Sequential& model, const MapDataset& data,
                               const TrainConfig& config);

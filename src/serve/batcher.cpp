@@ -1,0 +1,84 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace clear::serve {
+
+std::string BatchKey::str() const {
+  std::string base;
+  switch (kind) {
+    case Kind::kGeneral: base = "general"; break;
+    case Kind::kCluster: base = "cluster" + std::to_string(id); break;
+    case Kind::kPersonal: base = "user" + std::to_string(id); break;
+  }
+  return base + "/" + edge::precision_name(precision);
+}
+
+MicroBatcher::MicroBatcher(BatchPolicy policy) : policy_(policy) {
+  CLEAR_CHECK_MSG(policy_.max_batch >= 1, "max_batch must be >= 1");
+  CLEAR_CHECK_MSG(policy_.queue_capacity >= policy_.max_batch,
+                  "queue_capacity must be >= max_batch");
+  CLEAR_CHECK_MSG(policy_.max_pending >= policy_.queue_capacity,
+                  "max_pending must be >= queue_capacity");
+}
+
+MicroBatcher::Admit MicroBatcher::admit(const BatchKey& key, std::size_t slot,
+                                        std::uint64_t now_us) {
+  if (pending_ >= policy_.max_pending) return Admit::kOverloaded;
+  std::deque<PendingItem>& q = queues_[key];
+  if (q.size() >= policy_.queue_capacity) return Admit::kQueueFull;
+  PendingItem item;
+  item.slot = slot;
+  item.enqueue_us = now_us;
+  item.deadline_us = now_us + policy_.max_wait_us;
+  q.push_back(item);
+  ++pending_;
+  return Admit::kQueued;
+}
+
+std::vector<Batch> MicroBatcher::pop_due(std::uint64_t now_us) {
+  std::vector<Batch> due;
+  for (auto it = queues_.begin(); it != queues_.end();) {
+    std::deque<PendingItem>& q = it->second;
+    const bool full = q.size() >= policy_.max_batch;
+    const bool timed_out = !q.empty() && q.front().deadline_us <= now_us;
+    if (!full && !timed_out) {
+      ++it;
+      continue;
+    }
+    Batch batch;
+    batch.key = it->first;
+    // A full queue ships as soon as virtual time reaches it; a timed-out
+    // one executes exactly at its oldest deadline — both independent of
+    // when the driver happened to call pop_due.
+    batch.exec_us =
+        full ? std::min(now_us, q.front().deadline_us) : q.front().deadline_us;
+    const std::size_t n = std::min(q.size(), policy_.max_batch);
+    batch.items.assign(q.begin(), q.begin() + static_cast<std::ptrdiff_t>(n));
+    q.erase(q.begin(), q.begin() + static_cast<std::ptrdiff_t>(n));
+    pending_ -= n;
+    due.push_back(std::move(batch));
+    if (q.empty()) {
+      it = queues_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return due;
+}
+
+std::uint64_t MicroBatcher::next_deadline_us() const {
+  std::uint64_t next = UINT64_MAX;
+  for (const auto& [key, q] : queues_)
+    if (!q.empty()) next = std::min(next, q.front().deadline_us);
+  return next;
+}
+
+std::size_t MicroBatcher::depth(const BatchKey& key) const {
+  const auto it = queues_.find(key);
+  return it == queues_.end() ? 0 : it->second.size();
+}
+
+}  // namespace clear::serve

@@ -1,0 +1,91 @@
+// LRU checkpoint cache for the serving layer (DESIGN.md §12).
+//
+// Cluster and general-model engines are materialized on first use from
+// serialized checkpoint blobs and kept under a byte budget, evicting the
+// least-recently-used entry first. Entries are handed out as shared_ptrs so
+// an in-flight batch keeps its engine alive even if the entry is evicted
+// under it; eviction only drops the cache's reference.
+//
+// Degradation: a cluster whose blob is missing or fails its checkpoint CRC
+// silently at this layer would be a correctness bug — instead the cache
+// degrades it to the general fallback blob (recorded as a fallback entry and
+// counted in stats) or throws an addressed error when no fallback exists.
+//
+// The loaders and engine builder are injected as std::functions, so tests
+// can exercise eviction order, byte accounting, and corrupt-blob fallback
+// without training a model.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/batcher.hpp"
+
+namespace clear::serve {
+
+struct CacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t evictions = 0;
+  std::size_t fallbacks = 0;     ///< Entries built from the general blob.
+  std::size_t bytes_in_use = 0;  ///< Sum of resident entries' blob bytes.
+};
+
+class CheckpointCache {
+ public:
+  /// Serialized checkpoint bytes for cluster k ("" = missing).
+  using BlobLoader = std::function<std::string(std::size_t cluster)>;
+  /// Serialized general-model bytes ("" = no fallback shipped).
+  using GeneralLoader = std::function<std::string()>;
+  /// Build an inference engine from checkpoint bytes at a precision. Must
+  /// throw clear::Error on corrupt bytes (the checkpoint CRC does this).
+  using EngineBuilder = std::function<std::unique_ptr<edge::EdgeEngine>(
+      const std::string& blob, edge::Precision precision)>;
+
+  struct Entry {
+    BatchKey key;
+    std::unique_ptr<edge::EdgeEngine> engine;
+    std::size_t bytes = 0;  ///< Blob size — the unit of budget accounting.
+    bool fallback = false;  ///< Built from the general blob, not its own.
+  };
+
+  CheckpointCache(BlobLoader cluster_blob, GeneralLoader general_blob,
+                  EngineBuilder builder, std::size_t budget_bytes);
+
+  /// Resident entry for `key` (kGeneral or kCluster only — personal engines
+  /// are session-owned), loading and possibly evicting on miss. Throws
+  /// clear::Error when the key cannot be materialized at all.
+  std::shared_ptr<Entry> acquire(const BatchKey& key);
+
+  const CacheStats& stats() const { return stats_; }
+  std::size_t budget_bytes() const { return budget_; }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Resident keys from least- to most-recently used (tests/diagnostics).
+  std::vector<BatchKey> resident_lru() const;
+
+ private:
+  void touch(std::list<BatchKey>::iterator it);
+  void evict_over_budget(const BatchKey& keep);
+
+  BlobLoader cluster_blob_;
+  GeneralLoader general_blob_;
+  EngineBuilder builder_;
+  std::size_t budget_;
+
+  // lru_ front = least recently used, back = most recently used.
+  std::list<BatchKey> lru_;
+  struct Resident {
+    std::shared_ptr<Entry> entry;
+    std::list<BatchKey>::iterator lru_it;
+  };
+  std::map<BatchKey, Resident> entries_;
+  CacheStats stats_;
+};
+
+}  // namespace clear::serve

@@ -1,0 +1,470 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "clear/artifacts.hpp"
+#include "cluster/assignment.hpp"
+#include "common/error.hpp"
+#include "common/fault.hpp"
+#include "common/logging.hpp"
+#include "common/obs.hpp"
+#include "common/parallel.hpp"
+#include "edge/finetune.hpp"
+#include "features/feature_map.hpp"
+#include "nn/checkpoint.hpp"
+#include "nn/model.hpp"
+#include "tensor/ops.hpp"
+
+namespace clear::serve {
+
+namespace {
+
+std::unique_ptr<nn::Sequential> model_from_blob(
+    const nn::CnnLstmConfig& config, const std::string& blob) {
+  Rng rng(1);  // Weights are overwritten by the checkpoint.
+  auto model = nn::build_cnn_lstm(config, rng);
+  std::istringstream is(blob, std::ios::binary);
+  nn::load_checkpoint(is, *model);
+  return model;
+}
+
+/// Gap-fill non-finite samples row by row (each feature's window series is
+/// one stream, matching the device-side sanitizer). Returns the number of
+/// samples repaired.
+std::size_t sanitize_map(Tensor& map) {
+  bool any_bad = false;
+  for (const float v : map.flat())
+    if (!std::isfinite(v)) {
+      any_bad = true;
+      break;
+    }
+  if (!any_bad) return 0;
+  const std::size_t f = map.extent(0);
+  const std::size_t w = map.extent(1);
+  std::size_t filled = 0;
+  std::vector<double> row(w);
+  for (std::size_t i = 0; i < f; ++i) {
+    bool row_bad = false;
+    for (std::size_t j = 0; j < w; ++j) {
+      row[j] = map.at2(i, j);
+      row_bad = row_bad || !std::isfinite(row[j]);
+    }
+    if (!row_bad) continue;
+    const fault::SanitizeStats stats =
+        fault::sanitize(row, fault::GapFill::kHoldLast,
+                        std::numeric_limits<double>::lowest(),
+                        std::numeric_limits<double>::max());
+    filled += stats.filled;
+    for (std::size_t j = 0; j < w; ++j)
+      map.at2(i, j) = static_cast<float>(row[j]);
+  }
+  return filled;
+}
+
+}  // namespace
+
+ModelSource ModelSource::from_pipeline(core::ClearPipeline& pipeline) {
+  CLEAR_CHECK_MSG(pipeline.fitted(), "serving requires a fitted pipeline");
+  ModelSource source;
+  source.config = pipeline.config();
+  source.normalizer = pipeline.normalizer();
+  source.clustering = pipeline.clustering();
+  // Capture blobs eagerly: the source must outlive the pipeline.
+  auto blobs = std::make_shared<std::vector<std::string>>();
+  for (std::size_t k = 0; k < pipeline.n_clusters(); ++k)
+    blobs->push_back(pipeline.serialize_cluster_model(k));
+  auto general =
+      std::make_shared<std::string>(pipeline.serialize_general_model());
+  source.cluster_blob = [blobs](std::size_t k) {
+    return k < blobs->size() ? (*blobs)[k] : std::string();
+  };
+  source.general_blob = [general]() { return *general; };
+  return source;
+}
+
+ModelSource ModelSource::from_artifacts(const std::string& directory) {
+  core::ArtifactMeta meta = core::load_artifact_meta(directory);
+  ModelSource source;
+  source.config = std::move(meta.config);
+  source.normalizer = std::move(meta.normalizer);
+  source.clustering = std::move(meta.clustering);
+  // Blobs stream off disk on demand; the checkpoint cache bounds residency.
+  source.cluster_blob = [directory](std::size_t k) {
+    return core::read_cluster_checkpoint(directory, k);
+  };
+  source.general_blob = [directory]() {
+    return core::read_general_checkpoint(directory);
+  };
+  return source;
+}
+
+Server::Server(ModelSource source, ServeConfig config)
+    : source_(std::move(source)),
+      config_(std::move(config)),
+      batcher_(config_.batch),
+      sessions_(config_.session, config_.precisions, config_.max_sessions),
+      cache_(
+          source_.cluster_blob, source_.general_blob,
+          [this](const std::string& blob, edge::Precision p) {
+            return build_engine(blob, p);
+          },
+          config_.cache_budget_bytes) {
+  CLEAR_CHECK_MSG(source_.n_clusters() >= 1, "model source has no clusters");
+  CLEAR_CHECK_MSG(source_.normalizer.fitted(),
+                  "model source normalizer is not fitted");
+  has_general_ = !source_.general_blob().empty();
+  for (const Tensor& m : config_.calibration_maps)
+    calibration_ptrs_.push_back(&m);
+  for (const edge::Precision p : config_.precisions)
+    CLEAR_CHECK_MSG(
+        p != edge::Precision::kInt8 || !calibration_ptrs_.empty(),
+        "serving at int8 requires calibration_maps");
+}
+
+std::unique_ptr<edge::EdgeEngine> Server::build_engine(
+    const std::string& blob, edge::Precision precision) {
+  edge::EngineConfig ec;
+  ec.precision = precision;
+  auto engine = std::make_unique<edge::EdgeEngine>(
+      model_from_blob(source_.config.model, blob), ec);
+  if (precision == edge::Precision::kInt8)
+    engine->calibrate(calibration_ptrs_);
+  return engine;
+}
+
+BatchKey Server::route_for(const Session& session) const {
+  BatchKey key;
+  key.precision = session.precision();
+  const bool cluster_ready = session.assigned() && !session.degraded();
+  if (session.state() == SessionState::kPersonalized) {
+    key.kind = BatchKey::Kind::kPersonal;
+    key.id = static_cast<std::size_t>(session.user_id());
+  } else if (cluster_ready) {
+    key.kind = BatchKey::Kind::kCluster;
+    key.id = session.cluster();
+  } else if (has_general_) {
+    key.kind = BatchKey::Kind::kGeneral;
+  } else {
+    // No general model shipped: cold/degraded users ride cluster 0 (the
+    // closest thing to a population prior available).
+    key.kind = BatchKey::Kind::kCluster;
+    key.id = 0;
+  }
+  return key;
+}
+
+void Server::shed(const ServeRequest& request, const BatchKey& route,
+                  Session* session, const std::string& why) {
+  ++counters_.shed;
+  CLEAR_OBS_COUNT("serve.shed", 1);
+  if (session) ++session->shed;
+  ServeResult r;
+  r.user_id = request.user_id;
+  r.request_id = request.request_id;
+  r.status = ServeResult::Status::kShed;
+  r.error = why;
+  r.route = route;
+  if (session) {
+    r.session_state = session->state();
+    r.degraded = session->degraded();
+  }
+  r.arrival_us = request.arrival_us;
+  r.exec_us = request.arrival_us;
+  completed_.push_back(std::move(r));
+}
+
+void Server::personalize(Session& session) {
+  CLEAR_OBS_SPAN("serve.finetune");
+  session.begin_finetune();
+  const std::string blob = source_.cluster_blob(session.cluster());
+  std::unique_ptr<edge::EdgeEngine> engine;
+  try {
+    engine = build_engine(blob, session.precision());
+  } catch (const Error& e) {
+    CLEAR_WARN("user " << session.user_id() << ": cluster "
+                       << session.cluster() << " checkpoint unusable ("
+                       << e.what() << "); trying the general fallback");
+  }
+  if (!engine && has_general_) {
+    try {
+      engine = build_engine(source_.general_blob(), session.precision());
+    } catch (const Error& e) {
+      CLEAR_WARN("user " << session.user_id()
+                         << ": general checkpoint unusable (" << e.what()
+                         << ")");
+    }
+  }
+  if (!engine) {
+    ++counters_.finetune_failures;
+    session.abort_finetune();
+    return;
+  }
+
+  nn::MapDataset data;
+  for (const LabelledMap& m : session.labelled()) {
+    data.maps.push_back(&m.map);
+    data.labels.push_back(m.label > 0 ? 1 : 0);
+  }
+  edge::EdgeFinetuneConfig fc;
+  fc.train = source_.config.finetune;
+  fc.train.seed = source_.config.seed ^ 0x5EEDull ^
+                  (session.user_id() * 0x9E3779B97F4A7C15ull);
+  fc.freeze_boundary = nn::fine_tune_boundary();
+  edge::edge_finetune(*engine, data, fc);
+  // Activation statistics moved with the weights; re-calibrate int8.
+  if (session.precision() == edge::Precision::kInt8)
+    engine->calibrate(calibration_ptrs_);
+  session.set_personal_engine(std::move(engine));
+  ++counters_.finetunes;
+  CLEAR_OBS_COUNT("serve.finetunes", 1);
+}
+
+void Server::submit(ServeRequest request) {
+  CLEAR_CHECK_MSG(request.arrival_us >= last_arrival_us_,
+                  "request arrivals must be nondecreasing ("
+                      << request.arrival_us << " after " << last_arrival_us_
+                      << ")");
+  // Release due batches only when virtual time actually advances: a burst
+  // sharing one timestamp piles into the queues (shedding when a bound is
+  // hit) instead of being drained one sub-batch at a time — that is what
+  // makes load-shedding observable and keeps batch composition a pure
+  // function of the request stream.
+  if (request.arrival_us > last_arrival_us_) flush_due(request.arrival_us);
+  last_arrival_us_ = request.arrival_us;
+  ++counters_.requests;
+  CLEAR_OBS_COUNT("serve.requests", 1);
+
+  Session* session = sessions_.get_or_create(request.user_id);
+  if (!session) {
+    std::ostringstream why;
+    why << "session table full (" << sessions_.size() << " sessions)";
+    shed(request, BatchKey{}, nullptr, why.str());
+    return;
+  }
+  ++session->requests;
+  if (session->requests == 1) session->first_arrival_us = request.arrival_us;
+
+  CLEAR_CHECK_MSG(request.map.rank() == 2,
+                  "request map must be [F, W], got "
+                      << request.map.shape_str());
+
+  // Device-side sanitization: gap-fill non-finite samples, then fold the
+  // repair fraction into the upstream quality estimate.
+  const std::size_t filled = sanitize_map(request.map);
+  double quality = request.quality;
+  if (filled > 0) {
+    ++counters_.sanitized;
+    CLEAR_OBS_COUNT("serve.sanitized", 1);
+    const double repaired_fraction =
+        static_cast<double>(filled) / static_cast<double>(request.map.numel());
+    quality = std::min(quality, 1.0 - repaired_fraction);
+  }
+  source_.normalizer.apply_map(request.map);
+
+  switch (session->note_quality(quality)) {
+    case Session::QualityEvent::kDegraded:
+      ++counters_.degraded;
+      CLEAR_OBS_COUNT("serve.degraded", 1);
+      break;
+    case Session::QualityEvent::kRecovered:
+      ++counters_.recovered;
+      CLEAR_OBS_COUNT("serve.recovered", 1);
+      break;
+    case Session::QualityEvent::kNone:
+      break;
+  }
+
+  if (!session->degraded()) {
+    // Cold-start protocol: buffer unlabeled observations until CA can run.
+    if (session->state() == SessionState::kCold ||
+        session->state() == SessionState::kAssigning) {
+      session->add_observation(features::feature_map_mean(request.map));
+      if (session->ca_ready()) {
+        CLEAR_OBS_SPAN("serve.assign");
+        const cluster::AssignmentResult assignment = cluster::assign_new_user(
+            session->observations(), source_.clustering);
+        session->set_assignment(assignment.cluster);
+        ++counters_.assignments;
+        CLEAR_OBS_COUNT("serve.assignments", 1);
+      }
+    }
+    // Personalization: labelled requests accumulate until fine-tune fires.
+    if (request.label.has_value() &&
+        session->state() == SessionState::kAssigned) {
+      session->add_labelled(request.map, *request.label);
+      if (session->ft_ready()) personalize(*session);
+    }
+  }
+
+  const BatchKey route = route_for(*session);
+  const std::size_t slot = next_slot_++;
+  const MicroBatcher::Admit admit =
+      batcher_.admit(route, slot, request.arrival_us);
+  if (admit != MicroBatcher::Admit::kQueued) {
+    std::ostringstream why;
+    if (admit == MicroBatcher::Admit::kQueueFull)
+      why << "queue full for " << route.str() << " (capacity "
+          << batcher_.policy().queue_capacity << ")";
+    else
+      why << "server overloaded (" << batcher_.pending()
+          << " requests pending)";
+    shed(request, route, session, why.str());
+    return;
+  }
+  pending_.emplace(slot, PendingRequest{std::move(request), route});
+  CLEAR_OBS_GAUGE("serve.pending", batcher_.pending());
+  CLEAR_OBS_GAUGE("serve.sessions", sessions_.size());
+}
+
+void Server::flush_due(std::uint64_t now_us) {
+  // pop_due releases at most one batch per key, so looping here both drains
+  // every due batch and guarantees an engine never has two batches in the
+  // same parallel region.
+  for (;;) {
+    std::vector<Batch> due = batcher_.pop_due(now_us);
+    if (due.empty()) return;
+    execute(std::move(due));
+  }
+}
+
+void Server::drain() { flush_due(std::numeric_limits<std::uint64_t>::max()); }
+
+void Server::execute(std::vector<Batch> batches) {
+  struct Exec {
+    Batch batch;
+    edge::EdgeEngine* engine = nullptr;
+    std::shared_ptr<CheckpointCache::Entry> hold;  ///< Keeps engine alive.
+    bool fallback = false;
+    Tensor input;
+    Tensor probabilities;
+  };
+
+  // Phase 1 (serial): resolve engines — cache LRU updates and session
+  // lookups stay deterministic — and stack each batch's input tensor.
+  std::vector<Exec> execs;
+  execs.reserve(batches.size());
+  for (Batch& batch : batches) {
+    Exec e;
+    e.batch = std::move(batch);
+    if (e.batch.key.kind == BatchKey::Kind::kPersonal) {
+      Session* session = sessions_.find(e.batch.key.id);
+      CLEAR_CHECK_MSG(session && session->personal_engine(),
+                      "personal batch for a session without an engine");
+      e.engine = session->personal_engine();
+    } else {
+      try {
+        e.hold = cache_.acquire(e.batch.key);
+        e.engine = e.hold->engine.get();
+        e.fallback = e.hold->fallback;
+      } catch (const Error& err) {
+        for (const PendingItem& item : e.batch.items) {
+          const auto it = pending_.find(item.slot);
+          shed(it->second.request, e.batch.key, nullptr, err.what());
+          pending_.erase(it);
+        }
+        continue;
+      }
+    }
+    std::vector<const Tensor*> maps;
+    std::vector<std::size_t> idx;
+    maps.reserve(e.batch.items.size());
+    for (const PendingItem& item : e.batch.items) {
+      maps.push_back(&pending_.at(item.slot).request.map);
+      idx.push_back(idx.size());
+    }
+    nn::stack_batch_into(maps, idx, e.input);
+    execs.push_back(std::move(e));
+  }
+
+  // Phase 2 (parallel): forward each batch on its own engine. Batches are
+  // independent (distinct engines), every kernel below is bit-identical at
+  // any thread count, and results land in per-exec storage.
+  parallel_for(0, execs.size(), 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      CLEAR_OBS_SPAN("serve.batch");
+      const Tensor logits = execs[i].engine->forward(execs[i].input);
+      execs[i].probabilities = ops::softmax_rows(logits);
+    }
+  });
+
+  // Phase 3 (serial): emit results in batch/key order.
+  for (Exec& e : execs) {
+    ++counters_.batches;
+    counters_.rows += e.batch.items.size();
+    counters_.max_batch_rows =
+        std::max(counters_.max_batch_rows, e.batch.items.size());
+    CLEAR_OBS_COUNT("serve.batches", 1);
+    CLEAR_OBS_COUNT("serve.rows", e.batch.items.size());
+    CLEAR_OBS_RECORD("serve.batch_size", e.batch.items.size());
+    for (std::size_t row = 0; row < e.batch.items.size(); ++row) {
+      const PendingItem& item = e.batch.items[row];
+      const auto it = pending_.find(item.slot);
+      const ServeRequest& request = it->second.request;
+      Session* session = sessions_.find(request.user_id);
+
+      ServeResult r;
+      r.user_id = request.user_id;
+      r.request_id = request.request_id;
+      r.status = ServeResult::Status::kOk;
+      const std::size_t n_classes = e.probabilities.extent(1);
+      float best = e.probabilities.at2(row, 0);
+      std::size_t best_class = 0;
+      for (std::size_t c = 1; c < n_classes; ++c)
+        if (e.probabilities.at2(row, c) > best) {
+          best = e.probabilities.at2(row, c);
+          best_class = c;
+        }
+      r.predicted = static_cast<int>(best_class);
+      r.fear_probability =
+          n_classes > 1 ? e.probabilities.at2(row, 1) : best;
+      r.route = e.batch.key;
+      if (e.fallback) r.route.kind = BatchKey::Kind::kGeneral;
+      r.batch_rows = e.batch.items.size();
+      r.arrival_us = request.arrival_us;
+      r.exec_us = e.batch.exec_us;
+      if (session) {
+        r.session_state = session->state();
+        r.degraded = session->degraded();
+        ++session->predictions;
+        if (!session->first_prediction_us) {
+          session->first_prediction_us = e.batch.exec_us;
+          CLEAR_OBS_RECORD("serve.ttfp_us",
+                           e.batch.exec_us - session->first_arrival_us);
+        }
+      }
+      CLEAR_OBS_RECORD("serve.queue_wait_us",
+                       e.batch.exec_us - item.enqueue_us);
+      ++counters_.ok;
+      completed_.push_back(std::move(r));
+      pending_.erase(it);
+    }
+  }
+  CLEAR_OBS_GAUGE("serve.pending", batcher_.pending());
+}
+
+std::vector<ServeResult> Server::take_results() {
+  std::vector<ServeResult> out = std::move(completed_);
+  completed_.clear();
+  return out;
+}
+
+std::vector<ServeResult> Server::run(std::vector<ServeRequest> requests) {
+  std::stable_sort(requests.begin(), requests.end(),
+                   [](const ServeRequest& a, const ServeRequest& b) {
+                     return a.arrival_us < b.arrival_us;
+                   });
+  for (ServeRequest& r : requests) submit(std::move(r));
+  drain();
+  std::vector<ServeResult> out = take_results();
+  std::sort(out.begin(), out.end(),
+            [](const ServeResult& a, const ServeResult& b) {
+              if (a.user_id != b.user_id) return a.user_id < b.user_id;
+              return a.request_id < b.request_id;
+            });
+  return out;
+}
+
+}  // namespace clear::serve

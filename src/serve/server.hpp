@@ -1,0 +1,162 @@
+// CLEAR-Serve: multi-user session & dynamic-batching inference server
+// (DESIGN.md §12).
+//
+// The server replays a request stream on a *virtual clock* — every decision
+// (batch composition, load shedding, fine-tune trigger) is driven by request
+// arrival timestamps, never the wall clock or the thread count. Combined
+// with the deterministic parallel runtime executing released batches, the
+// same request stream produces bit-identical per-user predictions at any
+// --threads setting; wall time only shows up in the observability layer.
+//
+// Per request, in order: session lookup/admission → signal sanitization →
+// normalization → quality tracking (may degrade/recover the session) →
+// cold-start cluster assignment from buffered unlabeled windows → labelled
+// buffering + synchronous fine-tuning → routing to a (model, precision)
+// batch key → micro-batcher admission (or an addressed shed error).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "clear/config.hpp"
+#include "clear/pipeline.hpp"
+#include "serve/batcher.hpp"
+#include "serve/cache.hpp"
+#include "serve/session.hpp"
+
+namespace clear::serve {
+
+/// Everything the server needs from the cloud stage: routing metadata plus
+/// lazy access to checkpoint blobs. From a live pipeline the blobs are
+/// captured eagerly; from an artifact directory they stream off disk on
+/// demand through the checkpoint cache.
+struct ModelSource {
+  core::ClearConfig config;
+  features::FeatureNormalizer normalizer;
+  cluster::GlobalClusteringResult clustering;
+  std::function<std::string(std::size_t)> cluster_blob;
+  std::function<std::string()> general_blob;
+
+  std::size_t n_clusters() const { return clustering.clusters.size(); }
+
+  static ModelSource from_pipeline(core::ClearPipeline& pipeline);
+  static ModelSource from_artifacts(const std::string& directory);
+};
+
+/// One inference request: a raw (unnormalized) feature map from a user's
+/// wearable, optionally labelled (labelled requests feed personalization).
+struct ServeRequest {
+  std::uint64_t user_id = 0;
+  std::uint64_t request_id = 0;  ///< Unique per user.
+  std::uint64_t arrival_us = 0;  ///< Virtual arrival time (nondecreasing).
+  Tensor map;                    ///< [F, W], unnormalized.
+  double quality = 1.0;          ///< Upstream signal-quality estimate [0,1].
+  std::optional<int> label;      ///< Ground truth when the user reported it.
+};
+
+struct ServeResult {
+  enum class Status { kOk, kShed };
+
+  std::uint64_t user_id = 0;
+  std::uint64_t request_id = 0;
+  Status status = Status::kOk;
+  std::string error;  ///< Addressed shed/failure reason (kShed only).
+
+  int predicted = -1;             ///< 1 = fear, 0 = non-fear.
+  float fear_probability = 0.0f;  ///< Softmax probability of class 1.
+  BatchKey route;                 ///< Engine that served the request.
+  SessionState session_state = SessionState::kCold;  ///< At completion.
+  bool degraded = false;
+  std::size_t batch_rows = 0;    ///< Size of the batch this rode in.
+  std::uint64_t arrival_us = 0;
+  std::uint64_t exec_us = 0;     ///< Virtual batch execution time.
+};
+
+struct ServeConfig {
+  BatchPolicy batch;
+  SessionPolicy session;
+  std::size_t cache_budget_bytes = 4u << 20;
+  std::size_t max_sessions = 4096;
+  /// Users cycle through these (user_id % size). int8 requires
+  /// calibration_maps.
+  std::vector<edge::Precision> precisions{edge::Precision::kFp32};
+  /// Normalized maps for int8 activation calibration.
+  std::vector<Tensor> calibration_maps;
+};
+
+/// Deterministic run counters (plain values, independent of CLEAR_OBS).
+struct ServeCounters {
+  std::size_t requests = 0;
+  std::size_t ok = 0;
+  std::size_t shed = 0;
+  std::size_t assignments = 0;
+  std::size_t finetunes = 0;
+  std::size_t finetune_failures = 0;
+  std::size_t sanitized = 0;  ///< Requests that needed gap-filling.
+  std::size_t degraded = 0;   ///< Sessions entering DEGRADED.
+  std::size_t recovered = 0;  ///< Sessions recovering from DEGRADED.
+  std::size_t batches = 0;
+  std::size_t rows = 0;
+  std::size_t max_batch_rows = 0;
+};
+
+class Server {
+ public:
+  Server(ModelSource source, ServeConfig config);
+
+  /// Feed one request. Arrival times must be nondecreasing across calls;
+  /// time advancing releases due batches before the request is processed.
+  void submit(ServeRequest request);
+
+  /// Flush every pending batch (virtual time runs to the last deadline).
+  void drain();
+
+  /// Completed results accumulated so far, in completion order (moved out).
+  std::vector<ServeResult> take_results();
+
+  /// submit() everything (sorted by arrival), drain(), and return results
+  /// sorted by (user_id, request_id).
+  std::vector<ServeResult> run(std::vector<ServeRequest> requests);
+
+  const ServeCounters& counters() const { return counters_; }
+  const CheckpointCache& cache() const { return cache_; }
+  const SessionManager& sessions() const { return sessions_; }
+  const ModelSource& source() const { return source_; }
+
+ private:
+  struct PendingRequest {
+    ServeRequest request;  ///< map already sanitized + normalized.
+    BatchKey route;
+  };
+
+  void flush_due(std::uint64_t now_us);
+  void execute(std::vector<Batch> batches);
+  BatchKey route_for(const Session& session) const;
+  void shed(const ServeRequest& request, const BatchKey& route,
+            Session* session, const std::string& why);
+  /// Fine-tune `session`'s personal model from its labelled buffer.
+  void personalize(Session& session);
+  std::unique_ptr<edge::EdgeEngine> build_engine(const std::string& blob,
+                                                 edge::Precision precision);
+
+  ModelSource source_;
+  ServeConfig config_;
+  bool has_general_ = false;
+  std::vector<const Tensor*> calibration_ptrs_;
+
+  MicroBatcher batcher_;
+  SessionManager sessions_;
+  CheckpointCache cache_;
+
+  std::map<std::size_t, PendingRequest> pending_;  ///< By batcher slot id.
+  std::size_t next_slot_ = 0;
+  std::uint64_t last_arrival_us_ = 0;
+  std::vector<ServeResult> completed_;
+  ServeCounters counters_;
+};
+
+}  // namespace clear::serve

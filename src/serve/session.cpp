@@ -1,0 +1,162 @@
+#include "serve/session.hpp"
+
+#include "common/error.hpp"
+
+namespace clear::serve {
+
+const char* session_state_name(SessionState s) {
+  switch (s) {
+    case SessionState::kCold: return "COLD";
+    case SessionState::kAssigning: return "ASSIGNING";
+    case SessionState::kAssigned: return "ASSIGNED";
+    case SessionState::kFineTuning: return "FINE_TUNING";
+    case SessionState::kPersonalized: return "PERSONALIZED";
+    case SessionState::kDegraded: return "DEGRADED";
+  }
+  return "?";
+}
+
+Session::Session(std::uint64_t user_id, SessionPolicy policy,
+                 edge::Precision precision)
+    : user_id_(user_id), policy_(policy), precision_(precision) {
+  CLEAR_CHECK_MSG(policy_.ca_windows >= 1, "ca_windows must be >= 1");
+  CLEAR_CHECK_MSG(policy_.ft_maps >= 2,
+                  "ft_maps must be >= 2 (fine-tuning needs two samples)");
+  CLEAR_CHECK_MSG(policy_.degrade_after >= 1 && policy_.recover_after >= 1,
+                  "degrade/recover streaks must be >= 1");
+}
+
+Session::QualityEvent Session::note_quality(double quality) {
+  if (quality < policy_.min_quality) {
+    good_streak_ = 0;
+    ++bad_streak_;
+    if (state_ != SessionState::kDegraded &&
+        bad_streak_ >= policy_.degrade_after) {
+      saved_state_ = state_;
+      state_ = SessionState::kDegraded;
+      return QualityEvent::kDegraded;
+    }
+    return QualityEvent::kNone;
+  }
+  bad_streak_ = 0;
+  ++good_streak_;
+  if (state_ == SessionState::kDegraded &&
+      good_streak_ >= policy_.recover_after) {
+    state_ = saved_state_;
+    return QualityEvent::kRecovered;
+  }
+  return QualityEvent::kNone;
+}
+
+void Session::add_observation(cluster::Point observation) {
+  if (state_ == SessionState::kCold) state_ = SessionState::kAssigning;
+  CLEAR_CHECK_MSG(state_ == SessionState::kAssigning,
+                  "observations buffer only while ASSIGNING (state "
+                      << session_state_name(state_) << ")");
+  observations_.push_back(std::move(observation));
+}
+
+bool Session::ca_ready() const {
+  return state_ == SessionState::kAssigning &&
+         observations_.size() >= policy_.ca_windows;
+}
+
+void Session::set_assignment(std::size_t cluster) {
+  CLEAR_CHECK_MSG(state_ == SessionState::kAssigning,
+                  "assignment requires ASSIGNING (state "
+                      << session_state_name(state_) << ")");
+  cluster_ = cluster;
+  state_ = SessionState::kAssigned;
+  observations_.clear();
+  observations_.shrink_to_fit();
+}
+
+bool Session::assigned() const {
+  if (state_ == SessionState::kDegraded)
+    return saved_state_ == SessionState::kAssigned ||
+           saved_state_ == SessionState::kFineTuning ||
+           saved_state_ == SessionState::kPersonalized;
+  return state_ == SessionState::kAssigned ||
+         state_ == SessionState::kFineTuning ||
+         state_ == SessionState::kPersonalized;
+}
+
+void Session::add_labelled(Tensor normalized_map, int label) {
+  if (!policy_.enable_finetune || state_ != SessionState::kAssigned) return;
+  labelled_.push_back(LabelledMap{std::move(normalized_map), label});
+}
+
+bool Session::ft_ready() const {
+  if (!policy_.enable_finetune || state_ != SessionState::kAssigned)
+    return false;
+  if (labelled_.size() < policy_.ft_maps) return false;
+  // Single-class adaptation sets collapse the classifier; wait for both.
+  bool has[2] = {false, false};
+  for (const LabelledMap& m : labelled_) has[m.label > 0 ? 1 : 0] = true;
+  return has[0] && has[1];
+}
+
+void Session::begin_finetune() {
+  CLEAR_CHECK_MSG(state_ == SessionState::kAssigned,
+                  "fine-tuning requires ASSIGNED (state "
+                      << session_state_name(state_) << ")");
+  state_ = SessionState::kFineTuning;
+}
+
+void Session::set_personal_engine(
+    std::unique_ptr<edge::EdgeEngine> engine) {
+  CLEAR_CHECK_MSG(state_ == SessionState::kFineTuning,
+                  "personal engine lands from FINE_TUNING (state "
+                      << session_state_name(state_) << ")");
+  CLEAR_CHECK_MSG(engine != nullptr, "null personal engine");
+  personal_engine_ = std::move(engine);
+  state_ = SessionState::kPersonalized;
+  labelled_.clear();
+  labelled_.shrink_to_fit();
+}
+
+void Session::abort_finetune() {
+  CLEAR_CHECK_MSG(state_ == SessionState::kFineTuning,
+                  "abort_finetune outside FINE_TUNING");
+  state_ = SessionState::kAssigned;
+  policy_.enable_finetune = false;  // Do not retry a known-bad checkpoint.
+  labelled_.clear();
+  labelled_.shrink_to_fit();
+}
+
+SessionManager::SessionManager(SessionPolicy policy,
+                               std::vector<edge::Precision> precisions,
+                               std::size_t max_sessions)
+    : policy_(policy),
+      precisions_(std::move(precisions)),
+      max_sessions_(max_sessions) {
+  CLEAR_CHECK_MSG(!precisions_.empty(), "at least one serving precision");
+  CLEAR_CHECK_MSG(max_sessions_ >= 1, "max_sessions must be >= 1");
+}
+
+Session* SessionManager::get_or_create(std::uint64_t user_id) {
+  const auto it = sessions_.find(user_id);
+  if (it != sessions_.end()) return it->second.get();
+  if (sessions_.size() >= max_sessions_) return nullptr;
+  // Users cycle deterministically through the configured precisions — the
+  // multi-platform story (GPU/NCS2/TPU) without per-user configuration.
+  const edge::Precision p = precisions_[user_id % precisions_.size()];
+  auto session = std::make_unique<Session>(user_id, policy_, p);
+  Session* raw = session.get();
+  sessions_[user_id] = std::move(session);
+  return raw;
+}
+
+Session* SessionManager::find(std::uint64_t user_id) {
+  const auto it = sessions_.find(user_id);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+std::vector<const Session*> SessionManager::sessions() const {
+  std::vector<const Session*> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, s] : sessions_) out.push_back(s.get());
+  return out;
+}
+
+}  // namespace clear::serve

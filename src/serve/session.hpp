@@ -1,0 +1,149 @@
+// Per-user serving sessions (DESIGN.md §12).
+//
+// Each user connecting to the server walks the paper's cold-start protocol
+// as a state machine:
+//
+//   COLD ── first request ──▶ ASSIGNING ── CA ready ──▶ ASSIGNED
+//     ASSIGNED ── enough labelled maps ──▶ FINE_TUNING ──▶ PERSONALIZED
+//
+// COLD/ASSIGNING users are served by the population-general model while the
+// session buffers unlabeled observations for Cluster Assignment; ASSIGNED
+// users get their cluster's pre-trained model; PERSONALIZED users get their
+// own fine-tuned engine (owned by the session).
+//
+// DEGRADED is a parallel failure state: `degrade_after` consecutive requests
+// below the signal-quality floor park the session on the general model (a
+// cluster/personal model fed garbage is worse than the population prior) and
+// pause CA/FT buffering; `recover_after` consecutive good requests restore
+// the exact pre-degradation state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cluster/kmeans.hpp"
+#include "edge/engine.hpp"
+#include "serve/batcher.hpp"
+#include "tensor/tensor.hpp"
+
+namespace clear::serve {
+
+enum class SessionState {
+  kCold,          ///< No data seen yet.
+  kAssigning,     ///< Buffering unlabeled observations for CA.
+  kAssigned,      ///< Serving the assigned cluster's model.
+  kFineTuning,    ///< Labelled buffer full; personalization in progress.
+  kPersonalized,  ///< Serving the user's own fine-tuned engine.
+  kDegraded,      ///< Sustained bad signal; parked on the general model.
+};
+
+const char* session_state_name(SessionState s);
+
+struct SessionPolicy {
+  std::size_t ca_windows = 6;   ///< Observations buffered before CA runs.
+  std::size_t ft_maps = 4;      ///< Labelled maps buffered before fine-tune.
+  bool enable_finetune = true;  ///< false: sessions stop at ASSIGNED.
+  double min_quality = 0.7;     ///< Quality floor for a "good" request.
+  std::size_t degrade_after = 3;  ///< Consecutive bad requests to degrade.
+  std::size_t recover_after = 3;  ///< Consecutive good requests to recover.
+};
+
+/// One labelled (normalized) feature map buffered for fine-tuning.
+struct LabelledMap {
+  Tensor map;
+  int label = 0;
+};
+
+class Session {
+ public:
+  Session(std::uint64_t user_id, SessionPolicy policy,
+          edge::Precision precision);
+
+  std::uint64_t user_id() const { return user_id_; }
+  edge::Precision precision() const { return precision_; }
+  SessionState state() const { return state_; }
+  bool degraded() const { return state_ == SessionState::kDegraded; }
+
+  // -- Signal quality / degradation -----------------------------------------
+  enum class QualityEvent { kNone, kDegraded, kRecovered };
+  /// Track one request's quality; may flip into/out of DEGRADED.
+  QualityEvent note_quality(double quality);
+
+  // -- Cluster assignment ----------------------------------------------------
+  /// Buffer one unlabeled observation (COLD/ASSIGNING only; COLD advances
+  /// to ASSIGNING).
+  void add_observation(cluster::Point observation);
+  bool ca_ready() const;
+  const std::vector<cluster::Point>& observations() const {
+    return observations_;
+  }
+  /// Record the CA verdict and advance to ASSIGNED (drops the buffer).
+  void set_assignment(std::size_t cluster);
+  std::size_t cluster() const { return cluster_; }
+  bool assigned() const;
+
+  // -- Fine-tuning -----------------------------------------------------------
+  /// Buffer one labelled map (ASSIGNED only; ignored when fine-tuning is
+  /// disabled or the session has already personalized).
+  void add_labelled(Tensor normalized_map, int label);
+  bool ft_ready() const;
+  const std::vector<LabelledMap>& labelled() const { return labelled_; }
+  /// Enter FINE_TUNING (the server runs the training synchronously).
+  void begin_finetune();
+  /// Install the fine-tuned engine and advance to PERSONALIZED.
+  void set_personal_engine(std::unique_ptr<edge::EdgeEngine> engine);
+  edge::EdgeEngine* personal_engine() { return personal_engine_.get(); }
+  /// Roll back a failed fine-tune to ASSIGNED and stop retrying (e.g. the
+  /// cluster checkpoint turned out to be unusable).
+  void abort_finetune();
+
+  // -- Bookkeeping -----------------------------------------------------------
+  std::size_t requests = 0;
+  std::size_t shed = 0;
+  std::size_t predictions = 0;
+  std::uint64_t first_arrival_us = 0;
+  /// Virtual time of the first completed prediction (time-to-first-
+  /// prediction = this - first_arrival_us).
+  std::optional<std::uint64_t> first_prediction_us;
+
+ private:
+  std::uint64_t user_id_;
+  SessionPolicy policy_;
+  edge::Precision precision_;
+  SessionState state_ = SessionState::kCold;
+  SessionState saved_state_ = SessionState::kCold;  ///< Restored on recovery.
+  std::size_t bad_streak_ = 0;
+  std::size_t good_streak_ = 0;
+  std::size_t cluster_ = 0;
+  std::vector<cluster::Point> observations_;
+  std::vector<LabelledMap> labelled_;
+  std::unique_ptr<edge::EdgeEngine> personal_engine_;
+};
+
+class SessionManager {
+ public:
+  SessionManager(SessionPolicy policy,
+                 std::vector<edge::Precision> precisions,
+                 std::size_t max_sessions);
+
+  /// The user's session, created on first contact. Returns nullptr when the
+  /// session table is full and the user is new (admission control).
+  Session* get_or_create(std::uint64_t user_id);
+  Session* find(std::uint64_t user_id);
+  std::size_t size() const { return sessions_.size(); }
+
+  /// Sessions in user-id order (deterministic reporting).
+  std::vector<const Session*> sessions() const;
+
+ private:
+  SessionPolicy policy_;
+  std::vector<edge::Precision> precisions_;
+  std::size_t max_sessions_;
+  std::map<std::uint64_t, std::unique_ptr<Session>> sessions_;
+};
+
+}  // namespace clear::serve

@@ -1,0 +1,99 @@
+#include "serve/workload.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace clear::serve {
+
+namespace {
+
+// Hash-stream tags keeping every decision on an independent stream.
+constexpr std::uint64_t kTagDegradedUser = 0xD6u;
+constexpr std::uint64_t kTagSpanStart = 0x57u;
+constexpr std::uint64_t kTagGap = 0xA1u;
+constexpr std::uint64_t kTagLabel = 0x1Au;
+constexpr std::uint64_t kTagCorrupt = 0xC0u;
+
+double u01(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+           std::uint64_t d) {
+  return fault::uniform01(fault::mix(a, b, c, d));
+}
+
+}  // namespace
+
+std::vector<ServeRequest> make_workload(const wemac::WemacDataset& dataset,
+                                        const WorkloadConfig& config) {
+  CLEAR_CHECK_MSG(dataset.n_volunteers() >= 1, "empty dataset");
+  CLEAR_CHECK_MSG(config.n_users >= 1 && config.requests_per_user >= 1,
+                  "workload needs users and requests");
+
+  std::vector<ServeRequest> requests;
+  requests.reserve(config.n_users * config.requests_per_user);
+
+  for (std::size_t u = 0; u < config.n_users; ++u) {
+    const std::size_t volunteer = u % dataset.n_volunteers();
+    const std::vector<std::size_t>& samples = dataset.samples_of(volunteer);
+    CLEAR_CHECK_MSG(!samples.empty(), "volunteer without samples");
+
+    const bool degraded_user =
+        u01(config.seed, u, kTagDegradedUser, 0) <
+        config.degraded_user_fraction;
+    std::size_t span_begin = config.requests_per_user;  // Off by default.
+    if (degraded_user && config.degraded_span > 0) {
+      const std::size_t latest =
+          config.requests_per_user > config.degraded_span
+              ? config.requests_per_user - config.degraded_span
+              : 0;
+      span_begin = static_cast<std::size_t>(
+          u01(config.seed, u, kTagSpanStart, 0) *
+          static_cast<double>(latest + 1));
+    }
+
+    // Each user starts in one of the first few slots, then walks forward by
+    // a hashed number of slots per request (0 = same-slot burst).
+    std::uint64_t arrival_slot =
+        fault::mix(config.seed, u, kTagGap, ~0ull) % 4;
+    for (std::size_t i = 0; i < config.requests_per_user; ++i) {
+      const wemac::Sample& sample =
+          dataset.samples()[samples[i % samples.size()]];
+
+      ServeRequest r;
+      r.user_id = u;
+      r.request_id = i;
+      r.arrival_us = arrival_slot * config.slot_us;
+      r.map = sample.feature_map;
+      arrival_slot += static_cast<std::uint64_t>(
+          2.0 * config.mean_slots_between * u01(config.seed, u, kTagGap, i) +
+          0.5);
+
+      if (u01(config.seed, u, kTagLabel, i) < config.labeled_fraction)
+        r.label = sample.label;
+
+      const bool in_span =
+          i >= span_begin && i < span_begin + config.degraded_span;
+      if (in_span) {
+        r.quality = config.bad_quality;
+        // Corrupt individual samples to NaN — what a dropped radio link
+        // looks like after demodulation; the server's sanitizer gap-fills.
+        for (std::size_t j = 0; j < r.map.numel(); ++j)
+          if (u01(config.seed, u, kTagCorrupt,
+                  i * r.map.numel() + j) < config.corrupt_rate)
+            r.map[j] = std::numeric_limits<float>::quiet_NaN();
+      }
+      requests.push_back(std::move(r));
+    }
+  }
+
+  std::sort(requests.begin(), requests.end(),
+            [](const ServeRequest& a, const ServeRequest& b) {
+              if (a.arrival_us != b.arrival_us)
+                return a.arrival_us < b.arrival_us;
+              if (a.user_id != b.user_id) return a.user_id < b.user_id;
+              return a.request_id < b.request_id;
+            });
+  return requests;
+}
+
+}  // namespace clear::serve

@@ -1,0 +1,45 @@
+// Deterministic synthetic multi-user serving workload.
+//
+// Builds a request stream over a generated WEMAC dataset: `n_users` virtual
+// users (cycling through the dataset's volunteers) each replay their
+// volunteer's feature maps with bursty, slot-quantized virtual arrival
+// times, a configurable fraction of labelled requests (feeding
+// personalization), and optional degraded spans where a user's maps are
+// corrupted through the fault layer (exercising sanitization and the
+// DEGRADED session state). Every choice is a stateless hash of
+// (seed, user, request), so the stream is bit-identical across runs,
+// platforms, and thread counts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/fault.hpp"
+#include "serve/server.hpp"
+#include "wemac/dataset.hpp"
+
+namespace clear::serve {
+
+struct WorkloadConfig {
+  std::size_t n_users = 32;
+  std::size_t requests_per_user = 24;
+  std::uint64_t seed = 7;
+  double labeled_fraction = 0.25;  ///< P(request carries its ground truth).
+  /// Fraction of users that hit a span of corrupted-signal requests.
+  double degraded_user_fraction = 0.25;
+  std::size_t degraded_span = 5;  ///< Corrupted requests in the span.
+  double bad_quality = 0.3;       ///< Reported quality inside the span.
+  /// Arrivals are quantized to this slot width; several users sharing a
+  /// slot is what gives the batcher something to coalesce.
+  std::uint64_t slot_us = 200;
+  double mean_slots_between = 1.5;  ///< Mean inter-request gap per user.
+  /// Signal corruption applied inside degraded spans (NaN injection rate).
+  double corrupt_rate = 0.35;
+};
+
+/// The full request stream, sorted by (arrival_us, user_id, request_id).
+std::vector<ServeRequest> make_workload(const wemac::WemacDataset& dataset,
+                                        const WorkloadConfig& config);
+
+}  // namespace clear::serve

@@ -105,6 +105,17 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   return c;
 }
 
+void matmul_into(const Tensor& a, const Tensor& b, Tensor& c) {
+  CLEAR_CHECK_MSG(a.rank() == 2 && b.rank() == 2,
+                  "matmul_into requires rank-2 operands");
+  CLEAR_CHECK_MSG(b.extent(0) == a.extent(1),
+                  "matmul_into inner dimension mismatch: "
+                      << a.shape_str() << " x " << b.shape_str());
+  c.resize({a.extent(0), b.extent(1)});
+  c.zero();
+  matmul_accum(a, b, c);
+}
+
 void matmul_accum(const Tensor& a, const Tensor& b, Tensor& c) {
   CLEAR_CHECK_MSG(a.rank() == 2 && b.rank() == 2 && c.rank() == 2,
                   "matmul_accum requires rank-2 operands");
@@ -274,13 +285,20 @@ std::size_t conv_out_extent(std::size_t in, std::size_t k, std::size_t stride,
 
 Tensor im2col(const Tensor& image, std::size_t kh, std::size_t kw,
               std::size_t stride, std::size_t pad) {
+  Tensor cols;
+  im2col_into(image, kh, kw, stride, pad, cols);
+  return cols;
+}
+
+void im2col_into(const Tensor& image, std::size_t kh, std::size_t kw,
+                 std::size_t stride, std::size_t pad, Tensor& cols) {
   CLEAR_CHECK_MSG(image.rank() == 3, "im2col expects [C,H,W]");
   const std::size_t c = image.extent(0);
   const std::size_t h = image.extent(1);
   const std::size_t w = image.extent(2);
   const std::size_t oh = conv_out_extent(h, kh, stride, pad);
   const std::size_t ow = conv_out_extent(w, kw, stride, pad);
-  Tensor cols({c * kh * kw, oh * ow});
+  cols.resize({c * kh * kw, oh * ow});
   const float* src = image.data();
   float* dst = cols.data();
   const std::size_t ncols = oh * ow;
@@ -320,7 +338,6 @@ Tensor im2col(const Tensor& image, std::size_t kh, std::size_t kw,
   } else {
     fill_rows(0, n_rows);
   }
-  return cols;
 }
 
 Tensor col2im(const Tensor& cols, std::size_t channels, std::size_t height,

@@ -32,6 +32,10 @@ void map_inplace(Tensor& a, const std::function<float(float)>& f);
 // -- Linear algebra -----------------------------------------------------------
 /// C[m,n] = A[m,k] * B[k,n]. Both inputs must be rank-2.
 Tensor matmul(const Tensor& a, const Tensor& b);
+/// matmul into a caller-provided tensor (resized to [m,n] and fully
+/// overwritten). Reusing `c` across calls keeps inference hot loops off the
+/// allocator; numerics are identical to matmul().
+void matmul_into(const Tensor& a, const Tensor& b, Tensor& c);
 /// C[m,n] += A[m,k] * B[k,n]  (accumulate into an existing tensor).
 void matmul_accum(const Tensor& a, const Tensor& b, Tensor& c);
 /// B[n,m] = A[m,n]^T.
@@ -62,6 +66,11 @@ Tensor softmax_rows(const Tensor& a);
 /// Padding is zero-padding of `pad` on each side; stride >= 1.
 Tensor im2col(const Tensor& image, std::size_t kh, std::size_t kw,
               std::size_t stride, std::size_t pad);
+/// im2col into a caller-provided tensor (resized to [C*kh*kw, out_h*out_w]
+/// and fully overwritten). The workspace variant used by the conv inference
+/// path to avoid a fresh column matrix per sample.
+void im2col_into(const Tensor& image, std::size_t kh, std::size_t kw,
+                 std::size_t stride, std::size_t pad, Tensor& cols);
 /// Inverse scatter-add of im2col (gradient path). `cols` must have the shape
 /// produced by im2col for the given geometry; result is [C,H,W].
 Tensor col2im(const Tensor& cols, std::size_t channels, std::size_t height,

@@ -54,6 +54,12 @@ Tensor Tensor::reshaped(std::vector<std::size_t> new_shape) const {
   return out;
 }
 
+void Tensor::resize(std::vector<std::size_t> new_shape) {
+  const std::size_t n = shape_product(new_shape);
+  if (n != data_.size()) data_.resize(n);
+  shape_ = std::move(new_shape);
+}
+
 void Tensor::reshape(std::vector<std::size_t> new_shape) {
   CLEAR_CHECK_MSG(shape_product(new_shape) == data_.size(),
                   "reshape to incompatible element count");

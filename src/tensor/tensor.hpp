@@ -41,6 +41,13 @@ class Tensor {
   Tensor reshaped(std::vector<std::size_t> new_shape) const;
   void reshape(std::vector<std::size_t> new_shape);
 
+  /// Take on `new_shape`, reallocating storage only when the element count
+  /// changes (a same-count resize is a cheap reshape). Contents after a
+  /// count-changing resize are unspecified — this is the primitive behind
+  /// reusable scratch tensors on inference hot paths, whose consumers
+  /// overwrite every element.
+  void resize(std::vector<std::size_t> new_shape);
+
   // -- Element access -------------------------------------------------------
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }

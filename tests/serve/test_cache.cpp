@@ -1,0 +1,210 @@
+#include "serve/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "nn/model.hpp"
+
+namespace clear::serve {
+namespace {
+
+// The loaders and engine builder are injected, so the cache's eviction
+// order, byte accounting, and corrupt-blob fallback are all testable with a
+// tiny throwaway model — no training involved. Blob *contents* encode the
+// test scenario: "corrupt..." blobs make the builder throw (standing in for
+// a CRC failure), anything else builds; blob *size* is what the budget
+// accounting sees.
+nn::CnnLstmConfig tiny_config() {
+  nn::CnnLstmConfig c;
+  c.feature_dim = 8;
+  c.window_count = 4;
+  c.conv1_channels = 2;
+  c.conv2_channels = 2;
+  c.lstm_hidden = 3;
+  c.dropout = 0.0;
+  return c;
+}
+
+struct Harness {
+  std::map<std::size_t, std::string> cluster_blobs;
+  std::string general_blob = std::string(100, 'g');
+  std::size_t builds = 0;
+
+  CheckpointCache make(std::size_t budget) {
+    return CheckpointCache(
+        [this](std::size_t k) {
+          const auto it = cluster_blobs.find(k);
+          return it == cluster_blobs.end() ? std::string() : it->second;
+        },
+        [this]() { return general_blob; },
+        [this](const std::string& blob, edge::Precision p) {
+          CLEAR_CHECK_MSG(blob.rfind("corrupt", 0) != 0,
+                          "synthetic checkpoint CRC mismatch");
+          ++builds;
+          Rng rng(1);
+          edge::EngineConfig ec;
+          ec.precision = p;
+          return std::make_unique<edge::EdgeEngine>(
+              nn::build_cnn_lstm(tiny_config(), rng), ec);
+        },
+        budget);
+  }
+};
+
+BatchKey cluster(std::size_t id) {
+  BatchKey k;
+  k.kind = BatchKey::Kind::kCluster;
+  k.id = id;
+  return k;
+}
+
+BatchKey general() { return BatchKey{}; }
+
+TEST(CheckpointCache, MissBuildsThenHitReuses) {
+  Harness h;
+  h.cluster_blobs[0] = std::string(40, 'a');
+  CheckpointCache cache = h.make(1 << 20);
+  const auto first = cache.acquire(cluster(0));
+  EXPECT_EQ(h.builds, 1u);
+  EXPECT_EQ(first->bytes, 40u);
+  EXPECT_FALSE(first->fallback);
+  const auto second = cache.acquire(cluster(0));
+  EXPECT_EQ(second.get(), first.get());
+  EXPECT_EQ(h.builds, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().bytes_in_use, 40u);
+}
+
+TEST(CheckpointCache, EvictsLeastRecentlyUsedFirst) {
+  Harness h;
+  h.cluster_blobs[0] = std::string(40, 'a');
+  h.cluster_blobs[1] = std::string(40, 'b');
+  h.cluster_blobs[2] = std::string(40, 'c');
+  CheckpointCache cache = h.make(100);  // Room for two 40-byte entries.
+  cache.acquire(cluster(0));
+  cache.acquire(cluster(1));
+  // Touch 0 so 1 becomes the eviction victim.
+  cache.acquire(cluster(0));
+  cache.acquire(cluster(2));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  const std::vector<BatchKey> lru = cache.resident_lru();
+  ASSERT_EQ(lru.size(), 2u);
+  EXPECT_EQ(lru[0], cluster(0));
+  EXPECT_EQ(lru[1], cluster(2));
+  EXPECT_EQ(cache.stats().bytes_in_use, 80u);
+  // Re-acquiring the victim is a fresh miss.
+  cache.acquire(cluster(1));
+  EXPECT_EQ(cache.stats().misses, 4u);
+}
+
+TEST(CheckpointCache, ByteAccountingTracksResidentBlobSizes) {
+  Harness h;
+  h.cluster_blobs[0] = std::string(30, 'a');
+  h.cluster_blobs[1] = std::string(50, 'b');
+  CheckpointCache cache = h.make(1 << 20);
+  cache.acquire(cluster(0));
+  cache.acquire(cluster(1));
+  cache.acquire(general());
+  EXPECT_EQ(cache.stats().bytes_in_use, 30u + 50u + 100u);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(CheckpointCache, SingleOverBudgetEntryStillServes) {
+  Harness h;
+  h.cluster_blobs[0] = std::string(500, 'a');
+  h.cluster_blobs[1] = std::string(500, 'b');
+  CheckpointCache cache = h.make(1);
+  const auto a = cache.acquire(cluster(0));
+  ASSERT_TRUE(a->engine);
+  EXPECT_EQ(cache.stats().bytes_in_use, 500u);
+  // The next insert evicts the previous over-budget tenant, never itself.
+  const auto b = cache.acquire(cluster(1));
+  ASSERT_TRUE(b->engine);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().bytes_in_use, 500u);
+  // The in-flight shared_ptr keeps the evicted engine alive for its batch.
+  EXPECT_TRUE(a->engine);
+  EXPECT_EQ(a->key, cluster(0));
+}
+
+TEST(CheckpointCache, CorruptClusterBlobFallsBackToGeneral) {
+  Harness h;
+  h.cluster_blobs[0] = "corrupt-checkpoint-bytes";
+  CheckpointCache cache = h.make(1 << 20);
+  const auto e = cache.acquire(cluster(0));
+  ASSERT_TRUE(e->engine);
+  EXPECT_TRUE(e->fallback);
+  // Accounting uses the blob actually resident — the general one.
+  EXPECT_EQ(e->bytes, h.general_blob.size());
+  EXPECT_EQ(cache.stats().fallbacks, 1u);
+}
+
+TEST(CheckpointCache, MissingClusterBlobFallsBackToGeneral) {
+  Harness h;  // No cluster blobs registered at all.
+  CheckpointCache cache = h.make(1 << 20);
+  const auto e = cache.acquire(cluster(7));
+  EXPECT_TRUE(e->fallback);
+  EXPECT_EQ(cache.stats().fallbacks, 1u);
+}
+
+TEST(CheckpointCache, NoFallbackAvailableIsAnAddressedError) {
+  Harness h;
+  h.general_blob.clear();
+  CheckpointCache cache = h.make(1 << 20);
+  try {
+    cache.acquire(cluster(3));
+    FAIL() << "expected acquire to refuse";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("cluster 3"), std::string::npos)
+        << "actual error: " << e.what();
+    EXPECT_NE(std::string(e.what()).find("no general fallback"),
+              std::string::npos)
+        << "actual error: " << e.what();
+  }
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(CheckpointCache, MissingGeneralBlobRejected) {
+  Harness h;
+  h.general_blob.clear();
+  CheckpointCache cache = h.make(1 << 20);
+  EXPECT_THROW(cache.acquire(general()), Error);
+}
+
+TEST(CheckpointCache, PersonalKeysAreSessionOwned) {
+  Harness h;
+  CheckpointCache cache = h.make(1 << 20);
+  BatchKey k;
+  k.kind = BatchKey::Kind::kPersonal;
+  k.id = 9;
+  EXPECT_THROW(cache.acquire(k), Error);
+}
+
+TEST(CheckpointCache, PrecisionIsPartOfTheKey) {
+  Harness h;
+  h.cluster_blobs[0] = std::string(40, 'a');
+  CheckpointCache cache = h.make(1 << 20);
+  BatchKey fp32 = cluster(0);
+  BatchKey fp16 = cluster(0);
+  fp16.precision = edge::Precision::kFp16;
+  cache.acquire(fp32);
+  cache.acquire(fp16);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(CheckpointCache, RejectsZeroBudgetAndNullHooks) {
+  Harness h;
+  EXPECT_THROW(h.make(0), Error);
+  EXPECT_THROW(CheckpointCache(nullptr, nullptr, nullptr, 1), Error);
+}
+
+}  // namespace
+}  // namespace clear::serve

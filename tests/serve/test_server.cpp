@@ -1,0 +1,366 @@
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "clear/artifacts.hpp"
+#include "common/error.hpp"
+#include "common/obs.hpp"
+#include "common/parallel.hpp"
+#include "serve/workload.hpp"
+
+namespace clear::serve {
+namespace {
+
+core::ClearConfig serve_config() {
+  core::ClearConfig c = core::smoke_config();
+  c.data.seed = 77;
+  c.data.n_volunteers = 8;
+  c.data.trials_per_volunteer = 5;
+  c.train.epochs = 2;
+  c.finetune.epochs = 1;
+  c.finalize();
+  return c;
+}
+
+// One fitted pipeline shared by every test: the server consumes a copy of
+// the captured ModelSource, so tests never mutate shared state.
+struct SharedFixture {
+  wemac::WemacDataset dataset;
+  core::ClearPipeline pipeline;
+  ModelSource source;
+
+  SharedFixture()
+      : dataset(wemac::generate_wemac(serve_config().data)),
+        pipeline(serve_config()) {
+    std::vector<std::size_t> users;
+    for (std::size_t u = 0; u + 2 < dataset.n_volunteers(); ++u)
+      users.push_back(u);
+    pipeline.fit(dataset, users);
+    source = ModelSource::from_pipeline(pipeline);
+  }
+};
+
+SharedFixture& fixture() {
+  static SharedFixture f;
+  return f;
+}
+
+/// A request carrying one of the held-out volunteer's raw feature maps.
+ServeRequest req(std::uint64_t user, std::uint64_t id, std::uint64_t t,
+                 std::optional<int> label = std::nullopt,
+                 double quality = 1.0) {
+  auto& f = fixture();
+  const auto& samples = f.dataset.samples_of(f.dataset.n_volunteers() - 1);
+  const std::size_t s = samples[id % samples.size()];
+  ServeRequest r;
+  r.user_id = user;
+  r.request_id = id;
+  r.arrival_us = t;
+  r.map = f.dataset.samples()[s].feature_map;
+  r.quality = quality;
+  r.label = label;
+  return r;
+}
+
+void expect_identical(const std::vector<ServeResult>& a,
+                      const std::vector<ServeResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].user_id, b[i].user_id) << "result " << i;
+    EXPECT_EQ(a[i].request_id, b[i].request_id) << "result " << i;
+    EXPECT_EQ(a[i].status, b[i].status) << "result " << i;
+    EXPECT_EQ(a[i].error, b[i].error) << "result " << i;
+    EXPECT_EQ(a[i].predicted, b[i].predicted) << "result " << i;
+    // Bit-identical, not approximately equal — the determinism contract.
+    EXPECT_EQ(a[i].fear_probability, b[i].fear_probability) << "result " << i;
+    EXPECT_EQ(a[i].route, b[i].route) << "result " << i;
+    EXPECT_EQ(a[i].session_state, b[i].session_state) << "result " << i;
+    EXPECT_EQ(a[i].batch_rows, b[i].batch_rows) << "result " << i;
+    EXPECT_EQ(a[i].exec_us, b[i].exec_us) << "result " << i;
+  }
+}
+
+WorkloadConfig small_workload() {
+  WorkloadConfig wc;
+  wc.n_users = 8;
+  wc.requests_per_user = 12;
+  wc.seed = 7;
+  return wc;
+}
+
+ServeConfig quick_serve_config() {
+  ServeConfig sc;
+  sc.session.ca_windows = 3;
+  sc.session.ft_maps = 2;
+  return sc;
+}
+
+TEST(Server, WorkloadIsBitIdenticalAcrossThreadCounts) {
+  auto& f = fixture();
+  std::vector<ServeResult> base;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    const NumThreadsGuard guard(threads);
+    Server server(f.source, quick_serve_config());
+    std::vector<ServeResult> out =
+        server.run(make_workload(f.dataset, small_workload()));
+    EXPECT_EQ(server.counters().requests, 8u * 12u);
+    EXPECT_GT(server.counters().ok, 0u);
+    if (base.empty()) {
+      base = std::move(out);
+    } else {
+      expect_identical(base, out);
+    }
+  }
+}
+
+TEST(Server, ResultsUnchangedWithMetricsEnabled) {
+  auto& f = fixture();
+  Server plain(f.source, quick_serve_config());
+  const std::vector<ServeResult> base =
+      plain.run(make_workload(f.dataset, small_workload()));
+
+  obs::set_enabled(true);
+  Server observed(f.source, quick_serve_config());
+  const std::vector<ServeResult> traced =
+      observed.run(make_workload(f.dataset, small_workload()));
+  obs::set_enabled(false);
+  expect_identical(base, traced);
+}
+
+TEST(Server, ServingFromArtifactsMatchesServingFromPipeline) {
+  auto& f = fixture();
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "clear_serve_artifacts";
+  fs::remove_all(dir);
+  core::save_pipeline(f.pipeline, dir.string());
+
+  Server live(f.source, quick_serve_config());
+  const std::vector<ServeResult> a =
+      live.run(make_workload(f.dataset, small_workload()));
+  Server restored(ModelSource::from_artifacts(dir.string()),
+                  quick_serve_config());
+  const std::vector<ServeResult> b =
+      restored.run(make_workload(f.dataset, small_workload()));
+  expect_identical(a, b);
+  fs::remove_all(dir);
+}
+
+TEST(Server, ColdStartLifecycleReachesPersonalized) {
+  auto& f = fixture();
+  ServeConfig sc;
+  sc.session.ca_windows = 2;
+  sc.session.ft_maps = 2;
+  Server server(f.source, sc);
+
+  std::vector<ServeRequest> stream;
+  stream.push_back(req(1, 0, 0));
+  stream.push_back(req(1, 1, 1000));
+  stream.push_back(req(1, 2, 2000, 0));
+  stream.push_back(req(1, 3, 3000, 1));
+  stream.push_back(req(1, 4, 4000));
+  const std::vector<ServeResult> out = server.run(std::move(stream));
+
+  ASSERT_EQ(out.size(), 5u);
+  for (const ServeResult& r : out)
+    EXPECT_EQ(r.status, ServeResult::Status::kOk);
+  // Request 0 rides the general model (still cold); request 1 completes the
+  // CA buffer, so from then on the cluster model serves...
+  EXPECT_EQ(out[0].route.kind, BatchKey::Kind::kGeneral);
+  EXPECT_EQ(out[1].route.kind, BatchKey::Kind::kCluster);
+  EXPECT_EQ(out[2].route.kind, BatchKey::Kind::kCluster);
+  // ...until the second labelled map triggers the fine-tune, after which the
+  // session owns a personal engine.
+  EXPECT_EQ(out[3].route.kind, BatchKey::Kind::kPersonal);
+  EXPECT_EQ(out[4].route.kind, BatchKey::Kind::kPersonal);
+  EXPECT_EQ(out[4].session_state, SessionState::kPersonalized);
+  EXPECT_EQ(server.counters().assignments, 1u);
+  EXPECT_EQ(server.counters().finetunes, 1u);
+  EXPECT_EQ(server.counters().finetune_failures, 0u);
+  for (const ServeResult& r : out) {
+    EXPECT_GE(r.fear_probability, 0.0f);
+    EXPECT_LE(r.fear_probability, 1.0f);
+  }
+
+  const Session* session = server.sessions().sessions().at(0);
+  EXPECT_EQ(session->state(), SessionState::kPersonalized);
+  ASSERT_TRUE(session->first_prediction_us.has_value());
+  EXPECT_GE(*session->first_prediction_us, session->first_arrival_us);
+}
+
+TEST(Server, SustainedBadQualityDegradesToGeneralThenRecovers) {
+  auto& f = fixture();
+  ServeConfig sc;
+  sc.session.ca_windows = 2;
+  sc.session.enable_finetune = false;
+  sc.session.degrade_after = 2;
+  sc.session.recover_after = 2;
+  Server server(f.source, sc);
+
+  std::vector<ServeRequest> stream;
+  stream.push_back(req(5, 0, 0));
+  stream.push_back(req(5, 1, 1000));  // Assigned after this one.
+  stream.push_back(req(5, 2, 2000, std::nullopt, 0.1));
+  stream.push_back(req(5, 3, 3000, std::nullopt, 0.1));  // Degrades here.
+  stream.push_back(req(5, 4, 4000, std::nullopt, 0.1));
+  stream.push_back(req(5, 5, 5000));
+  stream.push_back(req(5, 6, 6000));  // Recovers here.
+  const std::vector<ServeResult> out = server.run(std::move(stream));
+
+  ASSERT_EQ(out.size(), 7u);
+  EXPECT_EQ(out[2].route.kind, BatchKey::Kind::kCluster);
+  // A cluster model fed garbage is worse than the population prior: the
+  // degraded span is parked on the general model.
+  EXPECT_EQ(out[3].route.kind, BatchKey::Kind::kGeneral);
+  EXPECT_TRUE(out[3].degraded);
+  EXPECT_EQ(out[4].route.kind, BatchKey::Kind::kGeneral);
+  EXPECT_EQ(out[5].route.kind, BatchKey::Kind::kGeneral);
+  // Recovery restores the pre-degradation assignment.
+  EXPECT_EQ(out[6].route.kind, BatchKey::Kind::kCluster);
+  EXPECT_FALSE(out[6].degraded);
+  EXPECT_EQ(server.counters().degraded, 1u);
+  EXPECT_EQ(server.counters().recovered, 1u);
+}
+
+TEST(Server, NonFiniteSamplesAreSanitizedAndCountAgainstQuality) {
+  auto& f = fixture();
+  ServeConfig sc = quick_serve_config();
+  Server server(f.source, sc);
+  ServeRequest r = req(2, 0, 0);
+  const std::size_t w = r.map.extent(1);
+  for (std::size_t j = 1; j < w; ++j)
+    r.map.at2(0, j) = std::numeric_limits<float>::quiet_NaN();
+  std::vector<ServeRequest> stream;
+  stream.push_back(std::move(r));
+  const std::vector<ServeResult> out = server.run(std::move(stream));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].status, ServeResult::Status::kOk);
+  EXPECT_TRUE(std::isfinite(out[0].fear_probability));
+  EXPECT_EQ(server.counters().sanitized, 1u);
+}
+
+TEST(Server, BurstsShedWithAddressedErrors) {
+  auto& f = fixture();
+  ServeConfig sc;
+  sc.batch.max_batch = 2;
+  sc.batch.queue_capacity = 2;
+  sc.batch.max_pending = 64;
+  Server server(f.source, sc);
+  // Five cold users in the same virtual instant all route general/fp32; the
+  // per-key queue holds two, so the rest shed with the key named.
+  std::vector<ServeRequest> stream;
+  for (std::uint64_t u = 0; u < 5; ++u) stream.push_back(req(u, 0, 100));
+  const std::vector<ServeResult> out = server.run(std::move(stream));
+  std::size_t ok = 0, shed = 0;
+  for (const ServeResult& r : out) {
+    if (r.status == ServeResult::Status::kOk) {
+      ++ok;
+    } else {
+      ++shed;
+      EXPECT_NE(r.error.find("queue full for general/fp32"),
+                std::string::npos)
+          << "actual error: " << r.error;
+    }
+  }
+  EXPECT_EQ(ok, 2u);
+  EXPECT_EQ(shed, 3u);
+  EXPECT_EQ(server.counters().shed, 3u);
+}
+
+TEST(Server, GlobalOverloadShedsAcrossKeys) {
+  auto& f = fixture();
+  ServeConfig sc;
+  sc.batch.max_batch = 2;
+  sc.batch.queue_capacity = 2;
+  sc.batch.max_pending = 3;
+  sc.precisions = {edge::Precision::kFp32, edge::Precision::kFp16};
+  Server server(f.source, sc);
+  // Users alternate precisions, so the burst spreads over two keys and trips
+  // the global cap before any single queue fills.
+  std::vector<ServeRequest> stream;
+  for (std::uint64_t u = 0; u < 5; ++u) stream.push_back(req(u, 0, 100));
+  const std::vector<ServeResult> out = server.run(std::move(stream));
+  std::size_t overloaded = 0;
+  for (const ServeResult& r : out)
+    if (r.status == ServeResult::Status::kShed) {
+      EXPECT_NE(r.error.find("server overloaded"), std::string::npos)
+          << "actual error: " << r.error;
+      ++overloaded;
+    }
+  EXPECT_EQ(overloaded, 2u);
+}
+
+TEST(Server, SessionTableFullShedsNewUsers) {
+  auto& f = fixture();
+  ServeConfig sc = quick_serve_config();
+  sc.max_sessions = 1;
+  Server server(f.source, sc);
+  std::vector<ServeRequest> stream;
+  stream.push_back(req(1, 0, 0));
+  stream.push_back(req(2, 0, 0));
+  stream.push_back(req(1, 1, 1000));  // Existing user still served.
+  const std::vector<ServeResult> out = server.run(std::move(stream));
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].status, ServeResult::Status::kOk);
+  EXPECT_EQ(out[1].status, ServeResult::Status::kOk);
+  EXPECT_EQ(out[2].status, ServeResult::Status::kShed);
+  EXPECT_NE(out[2].error.find("session table full"), std::string::npos)
+      << "actual error: " << out[2].error;
+}
+
+TEST(Server, CorruptClusterCheckpointsDegradeToGeneral) {
+  auto& f = fixture();
+  ModelSource source = f.source;
+  const auto intact = source.cluster_blob;
+  source.cluster_blob = [intact](std::size_t k) {
+    std::string blob = intact(k);
+    if (!blob.empty()) blob[blob.size() / 2] ^= 0x40;  // Break the CRC.
+    return blob;
+  };
+  ServeConfig sc = quick_serve_config();
+  Server server(std::move(source), sc);
+  const std::vector<ServeResult> out =
+      server.run(make_workload(f.dataset, small_workload()));
+  for (const ServeResult& r : out) {
+    if (r.status == ServeResult::Status::kOk) {
+      EXPECT_NE(r.route.kind, BatchKey::Kind::kCluster)
+          << "corrupt cluster checkpoint served as " << r.route.str();
+    }
+  }
+  EXPECT_GT(server.cache().stats().fallbacks, 0u);
+  // Fine-tunes start from the general weights instead of failing outright.
+  EXPECT_EQ(server.counters().finetune_failures, 0u);
+}
+
+TEST(Server, DrainCompletesEveryAdmittedRequest) {
+  auto& f = fixture();
+  ServeConfig sc = quick_serve_config();
+  Server server(f.source, sc);
+  server.submit(req(3, 0, 0));
+  server.submit(req(4, 0, 0));
+  EXPECT_TRUE(server.take_results().empty());  // Nothing due yet.
+  server.drain();
+  const std::vector<ServeResult> out = server.take_results();
+  ASSERT_EQ(out.size(), 2u);
+  // Neither hit max_batch, so both execute at the shared oldest deadline.
+  EXPECT_EQ(out[0].exec_us, sc.batch.max_wait_us);
+  EXPECT_EQ(out[0].batch_rows, 2u);
+  EXPECT_EQ(server.counters().ok + server.counters().shed,
+            server.counters().requests);
+}
+
+TEST(Server, ArrivalsMustBeNondecreasing) {
+  auto& f = fixture();
+  Server server(f.source, quick_serve_config());
+  server.submit(req(1, 0, 1000));
+  EXPECT_THROW(server.submit(req(1, 1, 500)), Error);
+}
+
+}  // namespace
+}  // namespace clear::serve

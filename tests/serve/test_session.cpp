@@ -1,0 +1,226 @@
+#include "serve/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "nn/model.hpp"
+
+namespace clear::serve {
+namespace {
+
+SessionPolicy quick_policy() {
+  SessionPolicy p;
+  p.ca_windows = 2;
+  p.ft_maps = 2;
+  p.degrade_after = 3;
+  p.recover_after = 3;
+  return p;
+}
+
+Session make_session(SessionPolicy p = quick_policy()) {
+  return Session(1, p, edge::Precision::kFp32);
+}
+
+cluster::Point obs(double v) { return cluster::Point{v, v}; }
+
+Tensor map_of(float v) {
+  Tensor m({2, 2});
+  for (float& x : m.flat()) x = v;
+  return m;
+}
+
+std::unique_ptr<edge::EdgeEngine> tiny_engine() {
+  nn::CnnLstmConfig c;
+  c.feature_dim = 8;
+  c.window_count = 4;
+  c.conv1_channels = 2;
+  c.conv2_channels = 2;
+  c.lstm_hidden = 3;
+  c.dropout = 0.0;
+  Rng rng(1);
+  return std::make_unique<edge::EdgeEngine>(nn::build_cnn_lstm(c, rng),
+                                            edge::EngineConfig{});
+}
+
+TEST(Session, ColdStartWalksAssigningToAssigned) {
+  Session s = make_session();
+  EXPECT_EQ(s.state(), SessionState::kCold);
+  EXPECT_FALSE(s.assigned());
+  s.add_observation(obs(0.1));
+  EXPECT_EQ(s.state(), SessionState::kAssigning);
+  EXPECT_FALSE(s.ca_ready());
+  s.add_observation(obs(0.2));
+  EXPECT_TRUE(s.ca_ready());
+  EXPECT_EQ(s.observations().size(), 2u);
+  s.set_assignment(3);
+  EXPECT_EQ(s.state(), SessionState::kAssigned);
+  EXPECT_EQ(s.cluster(), 3u);
+  EXPECT_TRUE(s.assigned());
+  // The CA buffer is dropped once the verdict lands.
+  EXPECT_TRUE(s.observations().empty());
+}
+
+TEST(Session, StateMachineRejectsOutOfOrderTransitions) {
+  Session s = make_session();
+  EXPECT_THROW(s.set_assignment(0), Error);
+  EXPECT_THROW(s.begin_finetune(), Error);
+  EXPECT_THROW(s.abort_finetune(), Error);
+  s.add_observation(obs(0.1));
+  s.add_observation(obs(0.2));
+  s.set_assignment(0);
+  EXPECT_THROW(s.add_observation(obs(0.3)), Error);
+  EXPECT_THROW(s.set_personal_engine(tiny_engine()), Error);
+}
+
+TEST(Session, FineTuneWaitsForBothClasses) {
+  Session s = make_session();
+  s.add_observation(obs(0.1));
+  s.add_observation(obs(0.2));
+  s.set_assignment(0);
+  s.add_labelled(map_of(0.0f), 0);
+  s.add_labelled(map_of(0.1f), 0);
+  // Enough maps, but single-class — fine-tuning on it would collapse the
+  // classifier, so the session keeps waiting.
+  EXPECT_FALSE(s.ft_ready());
+  s.add_labelled(map_of(1.0f), 1);
+  EXPECT_TRUE(s.ft_ready());
+}
+
+TEST(Session, PersonalizationLifecycle) {
+  Session s = make_session();
+  s.add_observation(obs(0.1));
+  s.add_observation(obs(0.2));
+  s.set_assignment(1);
+  s.add_labelled(map_of(0.0f), 0);
+  s.add_labelled(map_of(1.0f), 1);
+  ASSERT_TRUE(s.ft_ready());
+  s.begin_finetune();
+  EXPECT_EQ(s.state(), SessionState::kFineTuning);
+  EXPECT_TRUE(s.assigned());
+  s.set_personal_engine(tiny_engine());
+  EXPECT_EQ(s.state(), SessionState::kPersonalized);
+  EXPECT_NE(s.personal_engine(), nullptr);
+  EXPECT_TRUE(s.labelled().empty());
+  // Once personalized, labelled maps are no longer buffered.
+  s.add_labelled(map_of(0.5f), 1);
+  EXPECT_TRUE(s.labelled().empty());
+}
+
+TEST(Session, AbortedFineTuneStopsRetrying) {
+  Session s = make_session();
+  s.add_observation(obs(0.1));
+  s.add_observation(obs(0.2));
+  s.set_assignment(0);
+  s.add_labelled(map_of(0.0f), 0);
+  s.add_labelled(map_of(1.0f), 1);
+  s.begin_finetune();
+  s.abort_finetune();  // e.g. the cluster checkpoint turned out unusable.
+  EXPECT_EQ(s.state(), SessionState::kAssigned);
+  // The known-bad checkpoint is not retried: labelled maps stop buffering.
+  s.add_labelled(map_of(0.0f), 0);
+  s.add_labelled(map_of(1.0f), 1);
+  EXPECT_FALSE(s.ft_ready());
+  EXPECT_TRUE(s.labelled().empty());
+}
+
+TEST(Session, DegradeNeedsConsecutiveBadRequests) {
+  Session s = make_session();
+  EXPECT_EQ(s.note_quality(0.2), Session::QualityEvent::kNone);
+  EXPECT_EQ(s.note_quality(0.2), Session::QualityEvent::kNone);
+  // A good request resets the streak.
+  EXPECT_EQ(s.note_quality(0.9), Session::QualityEvent::kNone);
+  EXPECT_EQ(s.note_quality(0.2), Session::QualityEvent::kNone);
+  EXPECT_EQ(s.note_quality(0.2), Session::QualityEvent::kNone);
+  EXPECT_FALSE(s.degraded());
+  EXPECT_EQ(s.note_quality(0.2), Session::QualityEvent::kDegraded);
+  EXPECT_TRUE(s.degraded());
+}
+
+TEST(Session, RecoveryRestoresExactPreDegradationState) {
+  Session s = make_session();
+  s.add_observation(obs(0.1));
+  s.add_observation(obs(0.2));
+  s.set_assignment(2);
+  for (int i = 0; i < 3; ++i) s.note_quality(0.1);
+  EXPECT_EQ(s.state(), SessionState::kDegraded);
+  // A degraded-but-assigned session still remembers its cluster...
+  EXPECT_TRUE(s.assigned());
+  EXPECT_EQ(s.cluster(), 2u);
+  // ...and recovery puts it right back on it.
+  EXPECT_EQ(s.note_quality(0.9), Session::QualityEvent::kNone);
+  EXPECT_EQ(s.note_quality(0.9), Session::QualityEvent::kNone);
+  EXPECT_EQ(s.note_quality(0.9), Session::QualityEvent::kRecovered);
+  EXPECT_EQ(s.state(), SessionState::kAssigned);
+}
+
+TEST(Session, ColdSessionDegradesAndRecoversCold) {
+  Session s = make_session();
+  for (int i = 0; i < 3; ++i) s.note_quality(0.1);
+  EXPECT_TRUE(s.degraded());
+  EXPECT_FALSE(s.assigned());  // Nothing saved worth routing to.
+  for (int i = 0; i < 3; ++i) s.note_quality(0.9);
+  EXPECT_EQ(s.state(), SessionState::kCold);
+}
+
+TEST(Session, RecoveryStreakMustBeConsecutive) {
+  Session s = make_session();
+  for (int i = 0; i < 3; ++i) s.note_quality(0.1);
+  s.note_quality(0.9);
+  s.note_quality(0.9);
+  s.note_quality(0.1);  // Streak broken; still degraded.
+  EXPECT_TRUE(s.degraded());
+  for (int i = 0; i < 3; ++i) s.note_quality(0.9);
+  EXPECT_FALSE(s.degraded());
+}
+
+TEST(Session, PolicyValidation) {
+  SessionPolicy p = quick_policy();
+  p.ca_windows = 0;
+  EXPECT_THROW(make_session(p), Error);
+  p = quick_policy();
+  p.ft_maps = 1;  // Fine-tuning needs at least two samples.
+  EXPECT_THROW(make_session(p), Error);
+  p = quick_policy();
+  p.degrade_after = 0;
+  EXPECT_THROW(make_session(p), Error);
+}
+
+TEST(SessionManager, AdmissionControlCapsTheTable) {
+  SessionManager m(quick_policy(), {edge::Precision::kFp32}, 2);
+  Session* a = m.get_or_create(10);
+  Session* b = m.get_or_create(20);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  // Table full: new users are refused, existing ones still served.
+  EXPECT_EQ(m.get_or_create(30), nullptr);
+  EXPECT_EQ(m.get_or_create(10), a);
+  EXPECT_EQ(m.find(20), b);
+  EXPECT_EQ(m.find(30), nullptr);
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(SessionManager, UsersCycleThroughPrecisions) {
+  SessionManager m(quick_policy(),
+                   {edge::Precision::kFp32, edge::Precision::kFp16}, 16);
+  EXPECT_EQ(m.get_or_create(0)->precision(), edge::Precision::kFp32);
+  EXPECT_EQ(m.get_or_create(1)->precision(), edge::Precision::kFp16);
+  EXPECT_EQ(m.get_or_create(2)->precision(), edge::Precision::kFp32);
+}
+
+TEST(SessionManager, SessionsReportInUserIdOrder) {
+  SessionManager m(quick_policy(), {edge::Precision::kFp32}, 16);
+  m.get_or_create(9);
+  m.get_or_create(3);
+  m.get_or_create(7);
+  const std::vector<const Session*> all = m.sessions();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0]->user_id(), 3u);
+  EXPECT_EQ(all[1]->user_id(), 7u);
+  EXPECT_EQ(all[2]->user_id(), 9u);
+}
+
+}  // namespace
+}  // namespace clear::serve

@@ -38,11 +38,19 @@
 //       Numeric results go to stdout and are bit-identical whether or not
 //       metrics are recorded; the span summary goes to stderr.
 //
-// Every command accepts --threads=N (0 = all hardware threads; default 1,
-// or the CLEAR_NUM_THREADS environment variable when set) and
-// --metrics-out=FILE (enable the observability registry for the run and
-// write the JSON snapshot + Chrome trace to FILE on exit). Results are
-// bit-identical at any thread count, with or without metrics.
+//   clear-cli serve     [--users=32 --requests=24 --seed=7]
+//                       [--artifacts=DIR] [--precisions=fp32,fp16,int8]
+//                       [--max-batch=8 --max-wait-us=2000 --queue-cap=32]
+//       CLEAR-Serve demo: replay a deterministic synthetic multi-user
+//       workload through the session/micro-batching server. Without
+//       --artifacts a small pipeline is fitted in memory first. Per-request
+//       predictions and the run summary are bit-identical at any --threads
+//       setting and with metrics on or off.
+//
+// Every command accepts the shared flags --threads=N and --metrics-out=FILE
+// (see CommonFlags::help()); flags take either --key=value or --key value
+// form. Results are bit-identical at any thread count, with or without
+// metrics.
 #include <algorithm>
 #include <cstdio>
 #include <map>
@@ -58,6 +66,8 @@
 #include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "edge/engine.hpp"
+#include "serve/server.hpp"
+#include "serve/workload.hpp"
 
 using namespace clear;
 
@@ -66,11 +76,9 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: clear-cli <generate|train|info|assign|evaluate|"
-               "personalize|robustness|profile> [--flags]\n"
-               "common flags: --threads=N (0 = all cores; default 1)\n"
-               "              --metrics-out=FILE (write metrics + Chrome "
-               "trace JSON)\n"
-               "run with a command name for details (see tool header).\n");
+               "personalize|robustness|profile|serve> [--flags]\n%s"
+               "run with a command name for details (see tool header).\n",
+               CommonFlags::help());
   return 2;
 }
 
@@ -363,6 +371,173 @@ int cmd_profile(const CliArgs& args) {
   return 0;
 }
 
+std::vector<edge::Precision> precisions_from(const CliArgs& args) {
+  const std::string raw = args.get("precisions", "fp32");
+  std::vector<edge::Precision> out;
+  std::size_t start = 0;
+  while (start <= raw.size()) {
+    const std::size_t comma = raw.find(',', start);
+    const std::string cell =
+        raw.substr(start, comma == std::string::npos ? std::string::npos
+                                                     : comma - start);
+    if (cell == "fp32") out.push_back(edge::Precision::kFp32);
+    else if (cell == "fp16") out.push_back(edge::Precision::kFp16);
+    else if (cell == "int8") out.push_back(edge::Precision::kInt8);
+    else CLEAR_CHECK_MSG(false, "unknown precision: " << cell);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  CLEAR_CHECK_MSG(!out.empty(), "--precisions needs at least one entry");
+  return out;
+}
+
+int cmd_serve(const CliArgs& args) {
+  // The serve demo is sized like `profile`, not like a full cloud run: a
+  // small dataset is generated in memory and (unless --artifacts points at a
+  // trained deployment) a pipeline is fitted on all but the last two
+  // volunteers, so the replayed workload contains genuinely cold users.
+  // When --artifacts is given, pass the same dataset flags used at train
+  // time so the workload's feature maps match the model geometry.
+  core::ClearConfig config = core::default_config();
+  config.data.seed =
+      static_cast<std::uint64_t>(args.get_int("data-seed", 42));
+  config.data.n_volunteers =
+      static_cast<std::size_t>(args.get_int("volunteers", 8));
+  config.data.trials_per_volunteer =
+      static_cast<std::size_t>(args.get_int("trials", 5));
+  config.train.epochs = static_cast<std::size_t>(args.get_int("epochs", 2));
+  config.finetune.epochs =
+      static_cast<std::size_t>(args.get_int("ft-epochs", 2));
+  config.gc.k = static_cast<std::size_t>(
+      args.get_int("k", static_cast<std::int64_t>(config.gc.k)));
+  config.finalize();
+
+  const wemac::WemacDataset d = wemac::generate_wemac(config.data);
+
+  serve::ModelSource source;
+  const std::string artifacts = args.get("artifacts", "");
+  if (!artifacts.empty()) {
+    source = serve::ModelSource::from_artifacts(artifacts);
+  } else {
+    std::vector<std::size_t> users;
+    for (std::size_t u = 0; u + 2 < d.n_volunteers(); ++u) users.push_back(u);
+    std::printf("fitting pipeline on %zu of %zu volunteers...\n",
+                users.size(), d.n_volunteers());
+    std::fflush(stdout);
+    core::ClearPipeline pipeline(config);
+    pipeline.fit(d, users);
+    source = serve::ModelSource::from_pipeline(pipeline);
+  }
+
+  serve::ServeConfig sc;
+  sc.batch.max_batch =
+      static_cast<std::size_t>(args.get_int("max-batch", 8));
+  sc.batch.max_wait_us =
+      static_cast<std::uint64_t>(args.get_int("max-wait-us", 2000));
+  sc.batch.queue_capacity =
+      static_cast<std::size_t>(args.get_int("queue-cap", 32));
+  sc.batch.max_pending =
+      static_cast<std::size_t>(args.get_int("max-pending", 256));
+  sc.session.ca_windows =
+      static_cast<std::size_t>(args.get_int("ca-windows", 6));
+  sc.session.ft_maps = static_cast<std::size_t>(args.get_int("ft-maps", 4));
+  sc.session.enable_finetune = !args.get_bool("no-finetune", false);
+  sc.cache_budget_bytes =
+      static_cast<std::size_t>(args.get_int("cache-budget-kb", 4096)) * 1024;
+  sc.max_sessions =
+      static_cast<std::size_t>(args.get_int("max-sessions", 4096));
+  sc.precisions = precisions_from(args);
+
+  bool wants_int8 = false;
+  for (const edge::Precision p : sc.precisions)
+    wants_int8 |= p == edge::Precision::kInt8;
+  if (wants_int8) {
+    // int8 engines need activation statistics; volunteer 0's normalized
+    // maps stand in for a calibration capture.
+    for (const std::size_t s : d.samples_of(0)) {
+      Tensor m = d.samples()[s].feature_map;
+      source.normalizer.apply_map(m);
+      sc.calibration_maps.push_back(std::move(m));
+    }
+  }
+
+  serve::WorkloadConfig wc;
+  wc.n_users = static_cast<std::size_t>(args.get_int("users", 32));
+  wc.requests_per_user =
+      static_cast<std::size_t>(args.get_int("requests", 24));
+  wc.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  wc.labeled_fraction =
+      args.get_double("labeled-fraction", wc.labeled_fraction);
+  wc.degraded_user_fraction =
+      args.get_double("degraded-fraction", wc.degraded_user_fraction);
+
+  std::vector<serve::ServeRequest> requests = serve::make_workload(d, wc);
+  std::printf("replaying %zu requests from %zu users (seed %llu)\n",
+              requests.size(), wc.n_users,
+              static_cast<unsigned long long>(wc.seed));
+  std::fflush(stdout);
+
+  serve::Server server(std::move(source), sc);
+  const std::vector<serve::ServeResult> results =
+      server.run(std::move(requests));
+
+  for (const serve::ServeResult& r : results) {
+    if (r.status == serve::ServeResult::Status::kOk) {
+      std::printf(
+          "user=%llu req=%llu pred=%d p=%.6f route=%s state=%s batch=%zu "
+          "wait=%lluus\n",
+          static_cast<unsigned long long>(r.user_id),
+          static_cast<unsigned long long>(r.request_id), r.predicted,
+          static_cast<double>(r.fear_probability), r.route.str().c_str(),
+          serve::session_state_name(r.session_state), r.batch_rows,
+          static_cast<unsigned long long>(r.exec_us - r.arrival_us));
+    } else {
+      std::printf("user=%llu req=%llu SHED %s\n",
+                  static_cast<unsigned long long>(r.user_id),
+                  static_cast<unsigned long long>(r.request_id),
+                  r.error.c_str());
+    }
+  }
+
+  const serve::ServeCounters& c = server.counters();
+  std::printf("-- serve summary --\n");
+  std::printf(
+      "requests=%zu ok=%zu shed=%zu batches=%zu rows=%zu max_batch=%zu\n",
+      c.requests, c.ok, c.shed, c.batches, c.rows, c.max_batch_rows);
+  std::printf(
+      "assignments=%zu finetunes=%zu ft_failures=%zu sanitized=%zu "
+      "degraded=%zu recovered=%zu\n",
+      c.assignments, c.finetunes, c.finetune_failures, c.sanitized,
+      c.degraded, c.recovered);
+  const serve::CacheStats& cs = server.cache().stats();
+  std::printf(
+      "cache: hits=%zu misses=%zu evictions=%zu fallbacks=%zu resident=%zu "
+      "bytes=%zu\n",
+      cs.hits, cs.misses, cs.evictions, cs.fallbacks, server.cache().size(),
+      cs.bytes_in_use);
+
+  std::map<serve::SessionState, std::size_t> by_state;
+  double ttfp_total = 0.0;
+  std::size_t ttfp_n = 0;
+  for (const serve::Session* s : server.sessions().sessions()) {
+    ++by_state[s->state()];
+    if (s->first_prediction_us) {
+      ttfp_total += static_cast<double>(*s->first_prediction_us -
+                                        s->first_arrival_us);
+      ++ttfp_n;
+    }
+  }
+  std::printf("sessions:");
+  for (const auto& [state, n] : by_state)
+    std::printf(" %s=%zu", serve::session_state_name(state), n);
+  std::printf("\n");
+  if (ttfp_n > 0)
+    std::printf(
+        "mean time-to-first-prediction: %.1fus (virtual, %zu users)\n",
+        ttfp_total / static_cast<double>(ttfp_n), ttfp_n);
+  return 0;
+}
+
 /// Top-of-registry span summary on stderr (stdout stays numeric-only so a
 /// metrics-on run is byte-comparable to a metrics-off run).
 void print_span_summary() {
@@ -392,21 +567,12 @@ void print_span_summary() {
 int main(int argc, char** argv) {
   try {
     const CliArgs args(argc, argv);
-    if (args.has("threads")) {
-      const std::int64_t threads = args.get_int("threads", 1);
-      CLEAR_CHECK_MSG(threads >= 0, "--threads must be >= 0");
-      set_num_threads(static_cast<std::size_t>(threads));
-    }
     if (args.positional().empty()) return usage();
     const std::string& command = args.positional()[0];
-    // --metrics-out=FILE turns the observability registry on for the whole
-    // command and writes the combined JSON snapshot / Chrome trace on exit.
-    // `profile` defaults it on; every other command defaults it off.
-    std::string metrics_out = args.get("metrics-out", "");
-    if (command == "profile" && !args.has("metrics-out"))
-      metrics_out = "clear_profile.json";
-    if (args.get_bool("no-metrics", false)) metrics_out.clear();
-    if (!metrics_out.empty()) obs::set_enabled(true);
+    // Shared flags (--threads / --metrics-out) behave identically across
+    // every subcommand; `profile` defaults the metrics snapshot on.
+    const CommonFlags flags = CommonFlags::apply(
+        args, command == "profile" ? "clear_profile.json" : "");
 
     int rc = 2;
     bool known = true;
@@ -418,17 +584,16 @@ int main(int argc, char** argv) {
     else if (command == "personalize") rc = cmd_personalize(args);
     else if (command == "robustness") rc = cmd_robustness(args);
     else if (command == "profile") rc = cmd_profile(args);
+    else if (command == "serve") rc = cmd_serve(args);
     else known = false;
     if (!known) {
       std::fprintf(stderr, "unknown command: %s\n", command.c_str());
       return usage();
     }
-    if (!metrics_out.empty()) {
-      obs::set_enabled(false);
-      print_span_summary();
-      obs::write_snapshot(metrics_out);
-      std::fprintf(stderr, "metrics written to %s\n", metrics_out.c_str());
-    }
+    if (!flags.metrics_out.empty()) print_span_summary();
+    if (flags.finish())
+      std::fprintf(stderr, "metrics written to %s\n",
+                   flags.metrics_out.c_str());
     return rc;
   } catch (const clear::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

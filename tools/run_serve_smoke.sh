@@ -1,0 +1,74 @@
+#!/bin/sh
+# Serve smoke test: replay a short seeded multi-user workload through
+# `clear-cli serve`, validate the metrics snapshot against the checked-in
+# schema (tools/metrics_schema.json), check the serve-specific counters /
+# histograms / spans are recorded, and assert the per-request predictions
+# are bit-identical to the golden file (tools/serve_golden.txt), unchanged
+# with metrics on or off, and unchanged at --threads 1 vs 8.
+# Usage: run_serve_smoke.sh <path-to-clear-cli> <path-to-schema> <golden>
+set -eu
+
+CLI="$1"
+SCHEMA="$2"
+GOLDEN="$3"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+cd "$WORK"
+
+SLICE="--volunteers=6 --trials=4 --epochs=1 --ft-epochs=1 \
+--data-seed=42 --users=12 --requests=16 --seed=7"
+
+# 1. Metrics on, single thread: the reference run.
+"$CLI" serve $SLICE --threads=1 --metrics-out=metrics.json \
+  >on.txt 2>on.err
+test -s metrics.json
+
+# 2. The snapshot must satisfy the schema.
+python3 - "$SCHEMA" metrics.json <<'EOF'
+import json, sys
+import jsonschema
+with open(sys.argv[1]) as f:
+    schema = json.load(f)
+with open(sys.argv[2]) as f:
+    snapshot = json.load(f)
+jsonschema.validate(snapshot, schema)
+EOF
+
+# 3. The serving layer's own signals must be recorded: request/batch
+#    counters, queue/batch/time-to-first-prediction histograms, and the
+#    assignment + batch-execution spans.
+for c in serve.requests serve.batches serve.rows serve.assignments \
+         serve.cache.misses; do
+  jq -e --arg c "$c" '.counters[$c] > 0' metrics.json >/dev/null ||
+    { echo "missing serve counter: $c" >&2; exit 1; }
+done
+for h in serve.batch_size serve.queue_wait_us serve.ttfp_us; do
+  jq -e --arg h "$h" '.histograms[$h].count > 0' metrics.json >/dev/null ||
+    { echo "missing serve histogram: $h" >&2; exit 1; }
+done
+for s in serve.assign serve.batch; do
+  jq -e --arg s "$s" \
+    '[.traceEvents[] | select(.name == $s)] | length > 0' metrics.json \
+    >/dev/null || { echo "missing serve span: $s" >&2; exit 1; }
+done
+jq -e '.droppedTraceEvents == 0' metrics.json >/dev/null
+
+# 4. Metrics off: stdout must be byte-identical (observability never
+#    changes a prediction).
+"$CLI" serve $SLICE --threads=1 --no-metrics >off.txt 2>off.err
+cmp on.txt off.txt
+
+# 5. Thread count must not change a single byte either.
+"$CLI" serve $SLICE --threads=8 --no-metrics >t8.txt 2>t8.err
+cmp off.txt t8.txt
+
+# 6. Per-request predictions must match the checked-in golden exactly —
+#    any drift in the serving pipeline's numerics shows up here.
+grep '^user=' on.txt >predictions.txt
+cmp predictions.txt "$GOLDEN" || {
+  echo "predictions diverge from $GOLDEN" >&2
+  diff "$GOLDEN" predictions.txt | head -20 >&2
+  exit 1
+}
+
+echo "serve smoke OK"
