@@ -6,11 +6,23 @@
 // parallelized hot kernels — fp32 GEMM and k-means — with speedups relative
 // to 1 thread, then runs the google-benchmark suite (pass --benchmark_filter
 // etc. as usual).
+//
+// `bench_kernels --json[=FILE]` switches to the machine-readable kernel-ISA
+// sweep instead: every supported SIMD kernel table (scalar / avx2 / neon)
+// is timed single-threaded at the CLEAR layer shapes (the exact GEMMs the
+// CNN-LSTM issues per forward, plus the int8 / fp16 / elementwise edge
+// paths), speedups are reported relative to the scalar oracle, and outputs
+// are cross-checked bit-identical across ISAs while timing. The JSON feeds
+// tools/bench_regress.py (ctest `bench_regress`), which gates the committed
+// BENCH_kernels.json baseline against silent kernel regressions.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "cluster/kmeans.hpp"
@@ -21,6 +33,7 @@
 #include "features/feature_map.hpp"
 #include "nn/loss.hpp"
 #include "nn/model.hpp"
+#include "tensor/kernels/kernels.hpp"
 #include "tensor/ops.hpp"
 #include "wemac/synth.hpp"
 
@@ -308,9 +321,254 @@ void print_thread_sweep() {
   std::printf("\n");
 }
 
+// ---------------------------------------------------------------------------
+// Kernel-ISA sweep (--json mode): single-threaded throughput of every
+// supported SIMD kernel table at the CLEAR layer shapes, emitted as JSON
+// for the bench-regression gate. The shapes are the GEMMs the CNN-LSTM
+// actually issues (DESIGN.md §6): conv im2col products at F=123, W=12, the
+// LSTM gate matmuls at batch 16, and a 256^3 square as a cache-resident
+// reference point. bench_regress.py compares *speedups vs scalar* — a
+// same-host, same-run ratio — so the committed baseline stays meaningful
+// across machines of different absolute speed.
+
+struct GemmShape {
+  const char* name;
+  std::size_t m, k, n;
+};
+
+// conv shapes: weight [out_ch, in_ch*3*3] x im2col cols [.., oh*ow] for the
+// paper model on [1, 123, 12] maps; lstm shapes: [batch, in] x [in, 4H].
+constexpr GemmShape kF32Shapes[] = {
+    {"conv1", 6, 9, 123 * 12},   // Conv2d(1->6, 3x3, pad 1): [6,9]x[9,1476]
+    {"conv2", 12, 54, 61 * 6},   // Conv2d(6->12, 3x3, pad 1): [12,54]x[54,366]
+    {"lstm_x", 16, 360, 128},    // x_t * Wx at batch 16: [16,360]x[360,128]
+    {"lstm_h", 16, 32, 128},     // h_{t-1} * Wh: [16,32]x[32,128]
+    {"square256", 256, 256, 256},
+};
+constexpr GemmShape kI8Shapes[] = {
+    {"conv2", 12, 54, 61 * 6},  // The quantized conv path at the same shape.
+    {"square256", 256, 256, 256},
+};
+constexpr std::size_t kElemN = 123 * 12;  ///< One feature map, flattened.
+
+double best_ms_of(int reps, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best,
+                    std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+/// Repetitions scaled so each (shape, isa) cell costs roughly the same
+/// wall-clock regardless of shape size; floor keeps tiny shapes honest.
+int reps_for(std::size_t flops) {
+  constexpr std::size_t kBudget = 400u * 1000u * 1000u;  // ~0.1 s @ 4 GFLOP/s
+  const std::size_t r = kBudget / (flops == 0 ? 1 : flops);
+  return static_cast<int>(std::clamp<std::size_t>(r, 5, 2000));
+}
+
+struct SweepRow {
+  std::string bench;   ///< e.g. "gemm_f32.conv1"
+  std::string isa;     ///< "scalar" / "avx2" / "neon"
+  std::size_t m, k, n;
+  double ms;
+  double gflops;  ///< 2*m*k*n based; 0 for the elementwise rows.
+};
+
+void json_escape_free_sweep(std::FILE* out, const std::vector<SweepRow>& rows,
+                            bool bit_identical) {
+  // Names are compile-time identifiers (no escaping needed).
+  std::fprintf(out, "{\n  \"schema\": \"clear-bench-kernels-v1\",\n");
+  std::fprintf(out, "  \"default_isa\": \"%s\",\n",
+               kernels::isa_name(kernels::detect_best()));
+  std::fprintf(out, "  \"isas\": [");
+  const std::vector<kernels::Isa> isas = kernels::supported_isas();
+  for (std::size_t i = 0; i < isas.size(); ++i)
+    std::fprintf(out, "%s\"%s\"", i ? ", " : "", kernels::isa_name(isas[i]));
+  std::fprintf(out, "],\n  \"bit_identical\": %s,\n",
+               bit_identical ? "true" : "false");
+  std::fprintf(out, "  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& r = rows[i];
+    std::fprintf(out,
+                 "    {\"bench\": \"%s\", \"isa\": \"%s\", \"m\": %zu, "
+                 "\"k\": %zu, \"n\": %zu, \"ms\": %.6f, \"gflops\": %.4f}%s\n",
+                 r.bench.c_str(), r.isa.c_str(), r.m, r.k, r.n, r.ms,
+                 r.gflops, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"speedups\": {\n");
+  // speedups[bench][isa] = scalar_ms / isa_ms for every non-scalar ISA.
+  std::vector<std::string> benches;
+  for (const SweepRow& r : rows)
+    if (std::find(benches.begin(), benches.end(), r.bench) == benches.end())
+      benches.push_back(r.bench);
+  for (std::size_t bi = 0; bi < benches.size(); ++bi) {
+    double scalar_ms = 0.0;
+    for (const SweepRow& r : rows)
+      if (r.bench == benches[bi] && r.isa == "scalar") scalar_ms = r.ms;
+    std::fprintf(out, "    \"%s\": {", benches[bi].c_str());
+    bool first = true;
+    for (const SweepRow& r : rows) {
+      if (r.bench != benches[bi] || r.isa == "scalar") continue;
+      std::fprintf(out, "%s\"%s\": %.4f", first ? "" : ", ", r.isa.c_str(),
+                   scalar_ms / r.ms);
+      first = false;
+    }
+    std::fprintf(out, "}%s\n", bi + 1 < benches.size() ? "," : "");
+  }
+  std::fprintf(out, "  }\n}\n");
+}
+
+int run_kernel_sweep(const std::string& json_path) {
+  const std::vector<kernels::Isa> isas = kernels::supported_isas();
+  std::vector<SweepRow> rows;
+  bool bit_identical = true;
+
+  // fp32 GEMM (with the fused per-col bias + relu epilogue, the densest
+  // form the nn layer issues) at each CLEAR shape.
+  for (const GemmShape& s : kF32Shapes) {
+    const Tensor a = random_tensor({s.m, s.k}, 101);
+    const Tensor b = random_tensor({s.k, s.n}, 102);
+    const Tensor bias = random_tensor({s.n}, 103);
+    const kernels::Epilogue ep{kernels::BiasMode::kPerCol, bias.data(),
+                               kernels::Activation::kRelu};
+    std::vector<float> c(s.m * s.n), ref;
+    const int reps = reps_for(2 * s.m * s.k * s.n);
+    for (const kernels::Isa isa : isas) {
+      const kernels::KernelTable& kt = kernels::table(isa);
+      const double ms = best_ms_of(reps, [&] {
+        std::memset(c.data(), 0, c.size() * sizeof(float));
+        kt.gemm_f32(a.data(), b.data(), c.data(), s.m, s.k, s.n, &ep);
+        benchmark::DoNotOptimize(c.data());
+      });
+      if (isa == kernels::Isa::kScalar)
+        ref = c;
+      else if (std::memcmp(ref.data(), c.data(), c.size() * sizeof(float)))
+        bit_identical = false;
+      rows.push_back({std::string("gemm_f32.") + s.name,
+                      kernels::isa_name(isa), s.m, s.k, s.n, ms,
+                      2.0 * static_cast<double>(s.m * s.k * s.n) /
+                          (ms * 1e6)});
+    }
+  }
+
+  // int8 GEMM (exact integer accumulation).
+  for (const GemmShape& s : kI8Shapes) {
+    Rng rng(104);
+    std::vector<std::int8_t> a(s.m * s.k), b(s.k * s.n);
+    for (std::int8_t& v : a)
+      v = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+    for (std::int8_t& v : b)
+      v = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+    std::vector<std::int32_t> c(s.m * s.n), ref;
+    const int reps = reps_for(2 * s.m * s.k * s.n);
+    for (const kernels::Isa isa : isas) {
+      const kernels::KernelTable& kt = kernels::table(isa);
+      const double ms = best_ms_of(reps, [&] {
+        kt.gemm_i8(a.data(), b.data(), c.data(), s.m, s.k, s.n);
+        benchmark::DoNotOptimize(c.data());
+      });
+      if (isa == kernels::Isa::kScalar)
+        ref = c;
+      else if (ref != c)
+        bit_identical = false;
+      rows.push_back({std::string("gemm_i8.") + s.name,
+                      kernels::isa_name(isa), s.m, s.k, s.n, ms,
+                      2.0 * static_cast<double>(s.m * s.k * s.n) /
+                          (ms * 1e6)});
+    }
+  }
+
+  // Edge numeric transforms + the widest elementwise op, one feature map
+  // per call (what the fp16/int8 engine paths do per forward).
+  struct ElemBench {
+    const char* name;
+    std::function<void(const kernels::KernelTable&, float*, std::size_t)> fn;
+  };
+  const float qscale = 0.05f;
+  const ElemBench elems[] = {
+      {"fp16_round",
+       [](const kernels::KernelTable& kt, float* x, std::size_t n) {
+         kt.fp16_round_f32(x, n);
+       }},
+      {"fake_quant",
+       [qscale](const kernels::KernelTable& kt, float* x, std::size_t n) {
+         kt.fake_quant_f32(x, qscale, n);
+       }},
+      {"axpy",
+       [](const kernels::KernelTable& kt, float* x, std::size_t n) {
+         kt.axpy_f32(x, 0.5f, x, n);
+       }},
+  };
+  for (const ElemBench& e : elems) {
+    const Tensor src = random_tensor({kElemN}, 105);
+    std::vector<float> x(kElemN), ref;
+    // ~2000 calls per rep so a cell is micro-seconds, not nano.
+    const int reps = 50;
+    for (const kernels::Isa isa : isas) {
+      const kernels::KernelTable& kt = kernels::table(isa);
+      const double ms = best_ms_of(reps, [&] {
+                          for (int it = 0; it < 200; ++it) {
+                            std::memcpy(x.data(), src.data(),
+                                        kElemN * sizeof(float));
+                            e.fn(kt, x.data(), kElemN);
+                          }
+                          benchmark::DoNotOptimize(x.data());
+                        }) /
+                        200.0;
+      if (isa == kernels::Isa::kScalar)
+        ref = x;
+      else if (std::memcmp(ref.data(), x.data(), x.size() * sizeof(float)))
+        bit_identical = false;
+      rows.push_back({std::string("elem.") + e.name, kernels::isa_name(isa),
+                      1, 1, kElemN, ms, 0.0});
+    }
+  }
+
+  std::FILE* out = stdout;
+  if (!json_path.empty()) {
+    out = std::fopen(json_path.c_str(), "w");
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  json_escape_free_sweep(out, rows, bit_identical);
+  if (out != stdout) std::fclose(out);
+
+  // Human-readable recap on stderr so the JSON stream stays clean.
+  for (const SweepRow& r : rows)
+    if (r.isa != "scalar") {
+      double scalar_ms = 0.0;
+      for (const SweepRow& s : rows)
+        if (s.bench == r.bench && s.isa == "scalar") scalar_ms = s.ms;
+      std::fprintf(stderr, "%-20s %-6s %8.4f ms  %5.2fx vs scalar\n",
+                   r.bench.c_str(), r.isa.c_str(), r.ms, scalar_ms / r.ms);
+    }
+  if (!bit_identical) {
+    std::fprintf(stderr,
+                 "ERROR: kernel outputs diverged across ISAs (see "
+                 "test_kernel_equivalence)\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --json[=FILE]: machine-readable kernel-ISA sweep only (no
+  // google-benchmark suite). Handled before benchmark::Initialize, which
+  // would reject the flag.
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") return run_kernel_sweep("");
+    if (arg.rfind("--json=", 0) == 0) return run_kernel_sweep(arg.substr(7));
+  }
   print_thread_sweep();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -20,6 +20,9 @@
 // Flags: --users=32 --requests=48 --wl-seed=7 --max-batch=8
 //        --batch-threads=4 --iters=3 [dataset flags: --seed --volunteers
 //        --trials --epochs]
+//        --json=FILE  additionally write the three configurations' timings
+//                     and speedups as machine-readable JSON (the serve row
+//                     of the perf trajectory, next to BENCH_kernels.json)
 //
 // Target: batched throughput >= 2x the stateless sequential baseline at
 // batch cap 8 (exit 1 when missed).
@@ -146,6 +149,32 @@ int main(int argc, char** argv) {
     std::printf("cache speedup:   %.2fx\n", s.seconds / c.seconds);
     std::printf("batched speedup: %.2fx vs stateless (target >= 2x): %s\n",
                 speedup, speedup >= 2.0 ? "PASS" : "FAIL");
+
+    if (const std::string json = args.get("json", ""); !json.empty()) {
+      std::FILE* f = std::fopen(json.c_str(), "w");
+      CLEAR_CHECK_MSG(f != nullptr, "cannot open " << json);
+      const auto emit = [f](const char* name, std::size_t threads,
+                            std::size_t cap, const RunResult& r,
+                            const char* tail) {
+        std::fprintf(f,
+                     "    {\"config\": \"%s\", \"threads\": %zu, "
+                     "\"batch_cap\": %zu, \"ok\": %zu, \"seconds\": %.6f, "
+                     "\"req_per_s\": %.1f}%s\n",
+                     name, threads, cap, r.ok, r.seconds,
+                     static_cast<double>(r.ok) / r.seconds, tail);
+      };
+      std::fprintf(f, "{\n  \"schema\": \"clear-bench-serve-v1\",\n");
+      std::fprintf(f, "  \"requests\": %zu,\n  \"results\": [\n",
+                   requests.size());
+      emit("stateless", 1, 1, s, ",");
+      emit("cached", 1, 1, c, ",");
+      emit("batched", batch_threads, batched.batch.max_batch, b, "");
+      std::fprintf(f,
+                   "  ],\n  \"speedups\": {\"cached\": %.4f, "
+                   "\"batched\": %.4f}\n}\n",
+                   s.seconds / c.seconds, speedup);
+      std::fclose(f);
+    }
     return speedup >= 2.0 ? 0 : 1;
   } catch (const clear::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "common/obs.hpp"
 #include "common/parallel.hpp"
+#include "tensor/kernels/kernels.hpp"
 
 namespace clear {
 
@@ -84,6 +85,15 @@ CommonFlags CommonFlags::apply(const CliArgs& args,
     set_num_threads(static_cast<std::size_t>(threads));
   }
   flags.threads = num_threads();
+  if (args.has("kernel")) {
+    const std::string name = args.get("kernel", "");
+    kernels::Isa isa;
+    CLEAR_CHECK_MSG(kernels::parse_isa(name, isa),
+                    "--kernel: unknown kernel '"
+                        << name << "' (expected scalar, avx2, or neon)");
+    kernels::set_isa(isa);  // throws when unsupported on this host
+  }
+  flags.kernel = kernels::isa_name(kernels::active_isa());
   flags.metrics_out = args.get("metrics-out", default_metrics_out);
   if (args.get_bool("no-metrics", false)) flags.metrics_out.clear();
   if (!flags.metrics_out.empty()) obs::set_enabled(true);
@@ -101,6 +111,11 @@ const char* CommonFlags::help() {
   return "common flags (every subcommand):\n"
          "  --threads=N       0 = all hardware threads; default 1, or the\n"
          "                    CLEAR_NUM_THREADS environment variable\n"
+         "  --kernel=K        SIMD kernel table: scalar, avx2, or neon;\n"
+         "                    default auto-detect (CPUID), or the\n"
+         "                    CLEAR_KERNEL environment variable. Results are\n"
+         "                    bit-identical across kernels; only speed\n"
+         "                    changes\n"
          "  --metrics-out=F   record metrics for the run and write the JSON\n"
          "                    snapshot + Chrome trace to F on exit\n";
 }

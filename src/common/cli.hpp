@@ -33,19 +33,26 @@ class CliArgs {
   std::vector<std::string> positional_;
 };
 
-/// The two flags every clear-cli subcommand and bench harness honours:
+/// The flags every clear-cli subcommand and bench harness honours:
 ///
 ///   --threads=N      0 = all hardware threads; default 1 (or the
 ///                    CLEAR_NUM_THREADS environment variable when set).
+///   --kernel=K       SIMD kernel table (scalar | avx2 | neon); default
+///                    auto-detect via CPUID, or the CLEAR_KERNEL
+///                    environment variable. Hard error when K is not
+///                    runnable on this host. Kernel choice never changes
+///                    results, only wall-clock time.
 ///   --metrics-out=F  Enable the observability registry for the run and
 ///                    write the JSON snapshot + Chrome trace to F at exit.
 ///
-/// apply() parses both, configures the parallel runtime / metrics registry,
-/// and returns the resolved values; finish() disables recording and writes
-/// the snapshot when a path was given. Centralising this keeps the flags'
-/// behaviour identical across every entry point.
+/// apply() parses all three, configures the parallel runtime / kernel
+/// dispatch / metrics registry, and returns the resolved values; finish()
+/// disables recording and writes the snapshot when a path was given.
+/// Centralising this keeps the flags' behaviour identical across every
+/// entry point.
 struct CommonFlags {
   std::size_t threads = 1;  ///< Resolved process-wide thread count.
+  std::string kernel;       ///< Resolved kernel ISA name (e.g. "avx2").
   std::string metrics_out;  ///< Snapshot path ("" = metrics disabled).
 
   /// Parse + apply. `default_metrics_out` seeds --metrics-out for commands

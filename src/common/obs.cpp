@@ -240,6 +240,19 @@ Histogram& histogram(std::string_view name) {
   return lookup(registry().histograms, name);
 }
 
+RegisteredNames registered_names() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  RegisteredNames out;
+  out.counters.reserve(r.counters.size());
+  for (const auto& [name, c] : r.counters) out.counters.push_back(name);
+  out.gauges.reserve(r.gauges.size());
+  for (const auto& [name, g] : r.gauges) out.gauges.push_back(name);
+  out.histograms.reserve(r.histograms.size());
+  for (const auto& [name, h] : r.histograms) out.histograms.push_back(name);
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // Spans
 // ---------------------------------------------------------------------------

@@ -127,6 +127,17 @@ Counter& counter(std::string_view name);
 Gauge& gauge(std::string_view name);
 Histogram& histogram(std::string_view name);
 
+/// Every metric name currently registered, per kind, in sorted order.
+/// Registration happens lazily at first use, so this reflects the code
+/// paths exercised so far — docs/METRICS.md is cross-checked against it
+/// (tests/common/test_metrics_doc.cpp) so the reference cannot rot.
+struct RegisteredNames {
+  std::vector<std::string> counters;
+  std::vector<std::string> gauges;
+  std::vector<std::string> histograms;
+};
+RegisteredNames registered_names();
+
 // ---------------------------------------------------------------------------
 // Trace spans
 // ---------------------------------------------------------------------------

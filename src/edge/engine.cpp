@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/obs.hpp"
 #include "nn/lstm.hpp"
+#include "tensor/kernels/kernels.hpp"
 #include "tensor/ops.hpp"
 
 namespace clear::edge {
@@ -145,6 +146,11 @@ Tensor EdgeEngine::forward(const Tensor& batch) {
         .record(static_cast<double>(dur));
     obs::counter("edge.batches").add(1);
     obs::counter("edge.rows").add(batch.extent(0));
+    // Which SIMD kernel table served this forward (kernels::Isa enum value;
+    // 0 = scalar, 1 = avx2, 2 = neon). A gauge, since it can change mid-run
+    // only via an explicit set_isa() call.
+    obs::gauge("edge.kernel_isa")
+        .set(static_cast<int>(kernels::active_isa()));
   }
   return x;
 }

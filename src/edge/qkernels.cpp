@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/obs.hpp"
+#include "tensor/kernels/kernels.hpp"
 #include "tensor/ops.hpp"
 
 namespace clear::edge {
@@ -16,25 +17,16 @@ void int8_gemm(std::span<const std::int8_t> a, std::span<const std::int8_t> b,
   // One branch on the disabled path — bench_kernels pins this at <1%.
   CLEAR_OBS_COUNT("edge.int8_gemm.calls", 1);
   CLEAR_OBS_COUNT("edge.int8_gemm.macs", m * k * n);
-  for (std::int32_t& v : c) v = 0;
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const std::int32_t av = a[i * k + kk];
-      if (av == 0) continue;
-      const std::int8_t* brow = b.data() + kk * n;
-      std::int32_t* crow = c.data() + i * n;
-      for (std::size_t j = 0; j < n; ++j)
-        crow[j] += av * static_cast<std::int32_t>(brow[j]);
-    }
-  }
+  // Integer accumulation is exact, so every kernel ISA returns the same
+  // int32 matrix — dispatch only changes wall-clock time.
+  kernels::active().gemm_i8(a.data(), b.data(), c.data(), m, k, n);
 }
 
 void dequantize_accum(std::span<const std::int32_t> acc, float scale_a,
                       float scale_b, std::span<float> out) {
   CLEAR_CHECK_MSG(acc.size() == out.size(), "dequantize size mismatch");
-  const float s = scale_a * scale_b;
-  for (std::size_t i = 0; i < acc.size(); ++i)
-    out[i] = static_cast<float>(acc[i]) * s;
+  kernels::active().dequantize_i32(acc.data(), scale_a * scale_b, out.data(),
+                                   out.size());
 }
 
 QuantizedDense::QuantizedDense(const Tensor& weight, const Tensor& bias) {
@@ -58,8 +50,7 @@ Tensor QuantizedDense::forward(const Tensor& x,
   int8_gemm(xq, weight_q_, n, in_, out_, acc);
   Tensor y({n, out_});
   dequantize_accum(acc, act_params.scale, w_params_.scale, y.flat());
-  for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t j = 0; j < out_; ++j) y.at2(i, j) += bias_[j];
+  kernels::active().bias_rows_f32(y.data(), bias_.data(), n, out_);
   return y;
 }
 
@@ -109,8 +100,7 @@ Tensor QuantizedConv2d::forward(const Tensor& x,
     dequantize_accum(acc, w_params_.scale, act_params.scale,
                      std::span<float>(dst, out_ch_ * oh * ow));
     for (std::size_t oc = 0; oc < out_ch_; ++oc)
-      for (std::size_t i = 0; i < oh * ow; ++i)
-        dst[oc * oh * ow + i] += bias_[oc];
+      kernels::active().add_scalar_f32(dst + oc * oh * ow, bias_[oc], oh * ow);
   }
   return y;
 }

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstring>
 
 #include "common/error.hpp"
+#include "tensor/kernels/kernels.hpp"
 
 namespace clear::edge {
 
@@ -48,87 +48,24 @@ float dequantize_value(std::int8_t q, const QuantParams& params) {
 std::vector<std::int8_t> quantize_tensor(const Tensor& t,
                                          const QuantParams& params) {
   std::vector<std::int8_t> q(t.numel());
-  const float* src = t.data();
-  for (std::size_t i = 0; i < q.size(); ++i)
-    q[i] = quantize_value(src[i], params);
+  kernels::active().quantize_i8(t.data(), params.scale, q.data(), q.size());
   return q;
 }
 
 void fake_quantize_inplace(Tensor& t, const QuantParams& params) {
-  for (float& v : t.flat())
-    v = dequantize_value(quantize_value(v, params), params);
+  kernels::active().fake_quant_f32(t.data(), params.scale, t.numel());
 }
 
 float round_fp16(float v) {
-  // Software float32 -> float16 -> float32 round trip (RNE).
-  std::uint32_t bits;
-  std::memcpy(&bits, &v, sizeof(bits));
-  const std::uint32_t sign = (bits >> 16) & 0x8000u;
-  const std::int32_t exponent =
-      static_cast<std::int32_t>((bits >> 23) & 0xFF) - 127 + 15;
-  std::uint32_t mantissa = bits & 0x7FFFFFu;
-
-  std::uint16_t half;
-  if (((bits >> 23) & 0xFF) == 0xFF) {
-    // Inf / NaN.
-    half = static_cast<std::uint16_t>(sign | 0x7C00u | (mantissa ? 0x200u : 0));
-  } else if (exponent >= 31) {
-    half = static_cast<std::uint16_t>(sign | 0x7C00u);  // Overflow -> inf.
-  } else if (exponent <= 0) {
-    if (exponent < -10) {
-      half = static_cast<std::uint16_t>(sign);  // Underflow -> zero.
-    } else {
-      // Subnormal half.
-      mantissa |= 0x800000u;
-      const int shift = 14 - exponent;
-      std::uint32_t sub = mantissa >> shift;
-      const std::uint32_t rem = mantissa & ((1u << shift) - 1);
-      const std::uint32_t halfway = 1u << (shift - 1);
-      if (rem > halfway || (rem == halfway && (sub & 1))) ++sub;
-      half = static_cast<std::uint16_t>(sign | sub);
-    }
-  } else {
-    std::uint32_t m = mantissa >> 13;
-    const std::uint32_t rem = mantissa & 0x1FFFu;
-    if (rem > 0x1000u || (rem == 0x1000u && (m & 1))) ++m;
-    // Adding (not OR-ing) the mantissa lets a rounding carry propagate into
-    // the exponent field; 0x7C00 (inf) falls out naturally on overflow.
-    half = static_cast<std::uint16_t>(
-        sign + (static_cast<std::uint32_t>(exponent) << 10) + m);
-  }
-
-  // Half -> float.
-  const std::uint32_t h_sign = (half & 0x8000u) << 16;
-  const std::uint32_t h_exp = (half >> 10) & 0x1Fu;
-  const std::uint32_t h_man = half & 0x3FFu;
-  std::uint32_t out;
-  if (h_exp == 0) {
-    if (h_man == 0) {
-      out = h_sign;
-    } else {
-      // Subnormal half -> normalized float.
-      int e = -1;
-      std::uint32_t m = h_man;
-      while (!(m & 0x400u)) {
-        m <<= 1;
-        ++e;
-      }
-      m &= 0x3FFu;
-      out = h_sign | (static_cast<std::uint32_t>(127 - 15 - e) << 23) |
-            (m << 13);
-    }
-  } else if (h_exp == 31) {
-    out = h_sign | 0x7F800000u | (h_man << 13);
-  } else {
-    out = h_sign | ((h_exp - 15 + 127) << 23) | (h_man << 13);
-  }
-  float result;
-  std::memcpy(&result, &out, sizeof(result));
-  return result;
+  // The software fp32 -> fp16 -> fp32 round trip (RNE) lives in the scalar
+  // kernel table; the vector tables are bit-compatible (F16C / NEON vcvt),
+  // so a single-element dispatch through the active table is exact too.
+  kernels::active().fp16_round_f32(&v, 1);
+  return v;
 }
 
 void fp16_inplace(Tensor& t) {
-  for (float& v : t.flat()) v = round_fp16(v);
+  kernels::active().fp16_round_f32(t.data(), t.numel());
 }
 
 }  // namespace clear::edge

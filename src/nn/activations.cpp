@@ -1,18 +1,16 @@
 #include "nn/activations.hpp"
 
 #include "common/error.hpp"
+#include "tensor/kernels/kernels.hpp"
 #include "tensor/ops.hpp"
 
 namespace clear::nn {
 
 Tensor ReLU::forward(const Tensor& input) {
   mask_ = Tensor(input.shape());
-  Tensor out = input;
-  for (std::size_t i = 0; i < input.numel(); ++i) {
-    const bool on = input[i] > 0.0f;
-    mask_[i] = on ? 1.0f : 0.0f;
-    if (!on) out[i] = 0.0f;
-  }
+  Tensor out(input.shape());
+  kernels::active().relu_f32(input.data(), out.data(), mask_.data(),
+                             input.numel());
   return out;
 }
 

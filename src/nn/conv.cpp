@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "tensor/kernels/kernels.hpp"
 #include "tensor/ops.hpp"
 
 namespace clear::nn {
@@ -41,18 +42,18 @@ Tensor Conv2d::forward(const Tensor& input) {
     cached_cols_.clear();
     cached_in_shape_.clear();
     ws_image_.resize({in_ch_, h, w});
+    // bias[oc] broadcasts over each output row of the [out_ch, oh*ow]
+    // product — a per-row GEMM epilogue, fused into the kernel pass.
+    const kernels::Epilogue ep{kernels::BiasMode::kPerRow, bias_.value.data(),
+                               kernels::Activation::kNone};
     for (std::size_t b = 0; b < n; ++b) {
       const float* src = input.data() + b * in_ch_ * h * w;
       std::copy(src, src + in_ch_ * h * w, ws_image_.data());
       ops::im2col_into(ws_image_, kh_, kw_, stride_, pad_, ws_cols_);
-      ops::matmul_into(weight_.value, ws_cols_, ws_prod_);  // [out_ch, oh*ow]
+      ops::matmul_fused_into(weight_.value, ws_cols_, ws_prod_, ep);
       float* dst = out.data() + b * out_ch_ * oh * ow;
       const float* ps = ws_prod_.data();
-      for (std::size_t oc = 0; oc < out_ch_; ++oc) {
-        const float bv = bias_.value[oc];
-        for (std::size_t i = 0; i < oh * ow; ++i)
-          dst[oc * oh * ow + i] = ps[oc * oh * ow + i] + bv;
-      }
+      std::copy(ps, ps + out_ch_ * oh * ow, dst);
     }
     return out;
   }
@@ -61,20 +62,19 @@ Tensor Conv2d::forward(const Tensor& input) {
   cached_cols_.clear();
   cached_cols_.reserve(n);
 
+  const kernels::Epilogue ep{kernels::BiasMode::kPerRow, bias_.value.data(),
+                             kernels::Activation::kNone};
   for (std::size_t b = 0; b < n; ++b) {
     // View of sample b as [C, H, W] (contiguous slice).
     Tensor image({in_ch_, h, w});
     const float* src = input.data() + b * in_ch_ * h * w;
     std::copy(src, src + in_ch_ * h * w, image.data());
     Tensor cols = ops::im2col(image, kh_, kw_, stride_, pad_);
-    Tensor prod = ops::matmul(weight_.value, cols);  // [out_ch, oh*ow]
+    Tensor prod;  // [out_ch, oh*ow], bias fused per output row.
+    ops::matmul_fused_into(weight_.value, cols, prod, ep);
     float* dst = out.data() + b * out_ch_ * oh * ow;
     const float* ps = prod.data();
-    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
-      const float bv = bias_.value[oc];
-      for (std::size_t i = 0; i < oh * ow; ++i)
-        dst[oc * oh * ow + i] = ps[oc * oh * ow + i] + bv;
-    }
+    std::copy(ps, ps + out_ch_ * oh * ow, dst);
     cached_cols_.push_back(std::move(cols));
   }
   return out;

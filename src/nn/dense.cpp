@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "tensor/kernels/kernels.hpp"
 #include "tensor/ops.hpp"
 
 namespace clear::nn {
@@ -22,8 +23,13 @@ Tensor Dense::forward(const Tensor& input) {
                   "Dense expects [N, " << in_ << "], got "
                                        << input.shape_str());
   cached_input_ = input;
-  Tensor out = ops::matmul(input, weight_.value);
-  ops::add_row_bias_inplace(out, bias_.value);
+  // One fused GEMM pass: out = input * W + bias (bias added per output
+  // column after each element's full k accumulation — same numbers as the
+  // old matmul + add_row_bias_inplace sequence, one less sweep over out).
+  Tensor out;
+  const kernels::Epilogue ep{kernels::BiasMode::kPerCol, bias_.value.data(),
+                             kernels::Activation::kNone};
+  ops::matmul_fused_into(input, weight_.value, out, ep);
   return out;
 }
 

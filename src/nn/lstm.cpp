@@ -49,9 +49,15 @@ Tensor Lstm::forward(const Tensor& input) {
     sc.h_prev = h;
     sc.c_prev = c;
 
-    Tensor z = ops::matmul(sc.x, wx_.value);              // [N, 4H]
-    const Tensor zh = ops::matmul(sc.h_prev, wh_.value);  // [N, 4H]
-    ops::add_inplace(z, zh);
+    // z = x*Wx + h*Wh + b, kept as three explicit steps in this exact
+    // order: fusing the bias into either GEMM would change the elementwise
+    // addition order ((x·Wx + b) + h·Wh vs (x·Wx + h·Wh) + b) and fork the
+    // historical goldens. The workspaces just avoid two allocations per
+    // time step; numerics are untouched.
+    ops::matmul_into(sc.x, wx_.value, z_ws_);              // [N, 4H]
+    ops::matmul_into(sc.h_prev, wh_.value, zh_ws_);        // [N, 4H]
+    Tensor& z = z_ws_;
+    ops::add_inplace(z, zh_ws_);
     ops::add_row_bias_inplace(z, b_.value);
 
     sc.i = Tensor({n, hidden_});

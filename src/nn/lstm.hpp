@@ -54,6 +54,12 @@ class Lstm : public Layer {
   std::size_t cached_batch_ = 0;
   std::size_t cached_time_ = 0;
   std::function<void(Tensor&)> state_transform_;
+
+  // Per-step gate pre-activation workspaces ([N, 4H]), reused across time
+  // steps and forward calls to keep the recurrent hot loop off the
+  // allocator. Contents are transient within one step.
+  Tensor z_ws_;
+  Tensor zh_ws_;
 };
 
 }  // namespace clear::nn

@@ -1,0 +1,391 @@
+// AVX2 (+F16C) kernels. Compiled with -mavx2 -mf16c for this translation
+// unit only; the dispatcher calls in here only after a CPUID probe, so the
+// rest of the binary stays runnable on baseline x86-64.
+//
+// Bit-exactness with the scalar oracle (kernels.hpp): the GEMM vectorizes
+// across output columns and register-blocks across output rows — both
+// directions index independent accumulation chains — while each c[i][j]
+// still sums its k products in ascending order with separate multiply and
+// add roundings (no FMA). Quantization uses VROUNDPS/VCVTPS2PH with
+// explicit round-to-nearest-even, matching std::nearbyint under the
+// default FP environment and the software fp16 bit-twiddle.
+#include "tensor/kernels/table_internal.hpp"
+
+#if defined(__AVX2__) && defined(__F16C__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace clear::kernels::detail {
+
+namespace {
+
+constexpr std::size_t kMr = 4;  ///< Register-blocked C rows per microkernel.
+
+// ---------------------------------------------------------------------------
+// fp32 GEMM
+// ---------------------------------------------------------------------------
+
+/// Epilogue for one row's scalar-tail columns [j0, n).
+inline void epilogue_tail(float* crow, std::size_t row, std::size_t j0,
+                          std::size_t n, const Epilogue* ep) {
+  if (!ep) return;
+  for (std::size_t j = j0; j < n; ++j) {
+    float v = crow[j];
+    if (ep->bias)
+      v += ep->bias_mode == BiasMode::kPerCol ? ep->bias[j] : ep->bias[row];
+    if (ep->act == Activation::kRelu && !(v > 0.0f)) v = 0.0f;
+    crow[j] = v;
+  }
+}
+
+/// One MR x 16 (or MR x 8) column strip: accumulators live in registers for
+/// the whole k loop, the epilogue is applied before the store. `rows` <= kMr.
+template <bool kWide>  // true: 16 columns (2 vectors), false: 8 columns
+inline void strip_f32(const float* a, const float* b, float* c,
+                      std::size_t rows, std::size_t k, std::size_t n,
+                      std::size_t j, std::size_t row0, const Epilogue* ep) {
+  __m256 acc0[kMr], acc1[kMr];
+  for (std::size_t r = 0; r < rows; ++r) {
+    acc0[r] = _mm256_loadu_ps(c + r * n + j);
+    if (kWide) acc1[r] = _mm256_loadu_ps(c + r * n + j + 8);
+  }
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const __m256 b0 = _mm256_loadu_ps(b + kk * n + j);
+    const __m256 b1 =
+        kWide ? _mm256_loadu_ps(b + kk * n + j + 8) : _mm256_setzero_ps();
+    for (std::size_t r = 0; r < rows; ++r) {
+      const __m256 av = _mm256_set1_ps(a[r * k + kk]);
+      acc0[r] = _mm256_add_ps(acc0[r], _mm256_mul_ps(av, b0));
+      if (kWide) acc1[r] = _mm256_add_ps(acc1[r], _mm256_mul_ps(av, b1));
+    }
+  }
+  if (ep) {
+    if (ep->bias) {
+      if (ep->bias_mode == BiasMode::kPerCol) {
+        const __m256 bc0 = _mm256_loadu_ps(ep->bias + j);
+        const __m256 bc1 =
+            kWide ? _mm256_loadu_ps(ep->bias + j + 8) : _mm256_setzero_ps();
+        for (std::size_t r = 0; r < rows; ++r) {
+          acc0[r] = _mm256_add_ps(acc0[r], bc0);
+          if (kWide) acc1[r] = _mm256_add_ps(acc1[r], bc1);
+        }
+      } else {
+        for (std::size_t r = 0; r < rows; ++r) {
+          const __m256 br = _mm256_set1_ps(ep->bias[row0 + r]);
+          acc0[r] = _mm256_add_ps(acc0[r], br);
+          if (kWide) acc1[r] = _mm256_add_ps(acc1[r], br);
+        }
+      }
+    }
+    if (ep->act == Activation::kRelu) {
+      const __m256 zero = _mm256_setzero_ps();
+      for (std::size_t r = 0; r < rows; ++r) {
+        acc0[r] = _mm256_max_ps(acc0[r], zero);
+        if (kWide) acc1[r] = _mm256_max_ps(acc1[r], zero);
+      }
+    }
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    _mm256_storeu_ps(c + r * n + j, acc0[r]);
+    if (kWide) _mm256_storeu_ps(c + r * n + j + 8, acc1[r]);
+  }
+}
+
+void gemm_f32(const float* a, const float* b, float* c, std::size_t m,
+              std::size_t k, std::size_t n, const Epilogue* ep) {
+  for (std::size_t i = 0; i < m; i += kMr) {
+    const std::size_t rows = m - i < kMr ? m - i : kMr;
+    const float* ablk = a + i * k;
+    float* cblk = c + i * n;
+    std::size_t j = 0;
+    for (; j + 16 <= n; j += 16) strip_f32<true>(ablk, b, cblk, rows, k, n, j, i, ep);
+    for (; j + 8 <= n; j += 8) strip_f32<false>(ablk, b, cblk, rows, k, n, j, i, ep);
+    if (j < n) {
+      // Scalar tail columns: same ascending-k chain per element.
+      for (std::size_t r = 0; r < rows; ++r) {
+        const float* arow = ablk + r * k;
+        float* crow = cblk + r * n;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          const float av = arow[kk];
+          const float* brow = b + kk * n;
+          for (std::size_t jj = j; jj < n; ++jj) crow[jj] += av * brow[jj];
+        }
+        epilogue_tail(crow, i + r, j, n, ep);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// int8 GEMM (int32 accumulation; integer math is exact, so any order goes)
+// ---------------------------------------------------------------------------
+
+/// [a0, a1] int16 pair broadcast into every 32-bit lane, for VPMADDWD.
+inline __m256i pair_pattern(std::int8_t a0, std::int8_t a1) {
+  const std::uint32_t packed =
+      (static_cast<std::uint32_t>(static_cast<std::uint16_t>(a1)) << 16) |
+      static_cast<std::uint16_t>(a0);
+  return _mm256_set1_epi32(static_cast<int>(packed));
+}
+
+/// 16 int8 -> 16 int16 (one __m256i).
+inline __m256i widen16(const std::int8_t* p) {
+  return _mm256_cvtepi8_epi16(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+}
+
+void gemm_i8(const std::int8_t* a, const std::int8_t* b, std::int32_t* c,
+             std::size_t m, std::size_t k, std::size_t n) {
+  // Register-blocked (4 C rows) x 16 C columns, two k steps at a time.
+  // Two consecutive B rows are widened to int16 and interleaved once, then
+  // VPMADDWD multiplies each [b_k, b_k+1] pair by a row's [a_k, a_k+1]
+  // pattern and sums the pair directly into int32 — |a*b| <= 127^2, so a
+  // pair sum <= 32258 never leaves int32 range (it never even needs the
+  // int16 headroom: madd widens before summing). The B widen/interleave
+  // cost amortizes across the 4 blocked rows.
+  constexpr std::size_t kIMr = 4;
+  for (std::size_t i = 0; i < m; i += kIMr) {
+    const std::size_t rows = m - i < kIMr ? m - i : kIMr;
+    std::size_t j = 0;
+    for (; j + 16 <= n; j += 16) {
+      // acc_lo: columns [0..3 | 8..11] (unpack lane order), acc_hi the rest.
+      __m256i acc_lo[kIMr], acc_hi[kIMr];
+      for (std::size_t r = 0; r < rows; ++r) {
+        acc_lo[r] = _mm256_setzero_si256();
+        acc_hi[r] = _mm256_setzero_si256();
+      }
+      std::size_t kk = 0;
+      for (; kk + 2 <= k; kk += 2) {
+        const __m256i b0 = widen16(b + kk * n + j);
+        const __m256i b1 = widen16(b + (kk + 1) * n + j);
+        const __m256i lo = _mm256_unpacklo_epi16(b0, b1);
+        const __m256i hi = _mm256_unpackhi_epi16(b0, b1);
+        for (std::size_t r = 0; r < rows; ++r) {
+          const std::int8_t* arow = a + (i + r) * k;
+          const __m256i av = pair_pattern(arow[kk], arow[kk + 1]);
+          acc_lo[r] =
+              _mm256_add_epi32(acc_lo[r], _mm256_madd_epi16(lo, av));
+          acc_hi[r] =
+              _mm256_add_epi32(acc_hi[r], _mm256_madd_epi16(hi, av));
+        }
+      }
+      if (kk < k) {  // Odd k tail: pair the last row with zeros.
+        const __m256i b0 = widen16(b + kk * n + j);
+        const __m256i zero = _mm256_setzero_si256();
+        const __m256i lo = _mm256_unpacklo_epi16(b0, zero);
+        const __m256i hi = _mm256_unpackhi_epi16(b0, zero);
+        for (std::size_t r = 0; r < rows; ++r) {
+          const __m256i av = pair_pattern(a[(i + r) * k + kk], 0);
+          acc_lo[r] =
+              _mm256_add_epi32(acc_lo[r], _mm256_madd_epi16(lo, av));
+          acc_hi[r] =
+              _mm256_add_epi32(acc_hi[r], _mm256_madd_epi16(hi, av));
+        }
+      }
+      for (std::size_t r = 0; r < rows; ++r) {
+        std::int32_t* crow = c + (i + r) * n + j;
+        // Undo the unpack lane order: [lo.lane0|hi.lane0], [lo.lane1|hi.lane1].
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i*>(crow),
+            _mm256_permute2x128_si256(acc_lo[r], acc_hi[r], 0x20));
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i*>(crow + 8),
+            _mm256_permute2x128_si256(acc_lo[r], acc_hi[r], 0x31));
+      }
+    }
+    for (; j < n; ++j) {
+      for (std::size_t r = 0; r < rows; ++r) {
+        const std::int8_t* arow = a + (i + r) * k;
+        std::int32_t s = 0;
+        for (std::size_t kk = 0; kk < k; ++kk)
+          s += static_cast<std::int32_t>(arow[kk]) *
+               static_cast<std::int32_t>(b[kk * n + j]);
+        c[(i + r) * n + j] = s;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise
+// ---------------------------------------------------------------------------
+
+void add_f32(float* a, const float* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_ps(a + i, _mm256_add_ps(_mm256_loadu_ps(a + i),
+                                          _mm256_loadu_ps(b + i)));
+  for (; i < n; ++i) a[i] += b[i];
+}
+
+void sub_f32(float* a, const float* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_ps(a + i, _mm256_sub_ps(_mm256_loadu_ps(a + i),
+                                          _mm256_loadu_ps(b + i)));
+  for (; i < n; ++i) a[i] -= b[i];
+}
+
+void mul_f32(float* a, const float* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_ps(a + i, _mm256_mul_ps(_mm256_loadu_ps(a + i),
+                                          _mm256_loadu_ps(b + i)));
+  for (; i < n; ++i) a[i] *= b[i];
+}
+
+void axpy_f32(float* a, float alpha, const float* b, std::size_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_ps(
+        a + i, _mm256_add_ps(_mm256_loadu_ps(a + i),
+                             _mm256_mul_ps(va, _mm256_loadu_ps(b + i))));
+  for (; i < n; ++i) a[i] += alpha * b[i];
+}
+
+void scale_f32(float* a, float s, std::size_t n) {
+  const __m256 vs = _mm256_set1_ps(s);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_ps(a + i, _mm256_mul_ps(_mm256_loadu_ps(a + i), vs));
+  for (; i < n; ++i) a[i] *= s;
+}
+
+void add_scalar_f32(float* a, float s, std::size_t n) {
+  const __m256 vs = _mm256_set1_ps(s);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_ps(a + i, _mm256_add_ps(_mm256_loadu_ps(a + i), vs));
+  for (; i < n; ++i) a[i] += s;
+}
+
+void bias_rows_f32(float* a, const float* bias, std::size_t m, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    float* row = a + i * n;
+    std::size_t j = 0;
+    for (; j + 8 <= n; j += 8)
+      _mm256_storeu_ps(row + j, _mm256_add_ps(_mm256_loadu_ps(row + j),
+                                              _mm256_loadu_ps(bias + j)));
+    for (; j < n; ++j) row[j] += bias[j];
+  }
+}
+
+void relu_f32(const float* x, float* y, float* mask, std::size_t n) {
+  const __m256 zero = _mm256_setzero_ps();
+  const __m256 one = _mm256_set1_ps(1.0f);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    _mm256_storeu_ps(y + i, _mm256_max_ps(v, zero));
+    if (mask) {
+      const __m256 on = _mm256_cmp_ps(v, zero, _CMP_GT_OQ);
+      _mm256_storeu_ps(mask + i, _mm256_and_ps(on, one));
+    }
+  }
+  for (; i < n; ++i) {
+    const bool on = x[i] > 0.0f;
+    y[i] = on ? x[i] : 0.0f;
+    if (mask) mask[i] = on ? 1.0f : 0.0f;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Quantization / precision emulation
+// ---------------------------------------------------------------------------
+
+constexpr int kRne = _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC;
+
+/// round(x / scale) clamped to [-127, 127], still as packed floats.
+inline __m256 quant_steps(__m256 x, __m256 vscale) {
+  __m256 r = _mm256_round_ps(_mm256_div_ps(x, vscale), kRne);
+  r = _mm256_max_ps(r, _mm256_set1_ps(-127.0f));
+  return _mm256_min_ps(r, _mm256_set1_ps(127.0f));
+}
+
+void quantize_i8(const float* x, float scale, std::int8_t* q, std::size_t n) {
+  const __m256 vscale = _mm256_set1_ps(scale);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i vi = _mm256_cvtps_epi32(quant_steps(_mm256_loadu_ps(x + i),
+                                                      vscale));
+    const __m128i p16 = _mm_packs_epi32(_mm256_castsi256_si128(vi),
+                                        _mm256_extracti128_si256(vi, 1));
+    const __m128i p8 = _mm_packs_epi16(p16, p16);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(q + i), p8);
+  }
+  for (; i < n; ++i) {
+    float r = _mm_cvtss_f32(
+        _mm_round_ss(_mm_setzero_ps(), _mm_set_ss(x[i] / scale), kRne));
+    if (r < -127.0f) r = -127.0f;
+    if (r > 127.0f) r = 127.0f;
+    q[i] = static_cast<std::int8_t>(r);
+  }
+}
+
+void dequantize_i32(const std::int32_t* acc, float scale, float* out,
+                    std::size_t n) {
+  const __m256 vscale = _mm256_set1_ps(scale);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i));
+    _mm256_storeu_ps(out + i, _mm256_mul_ps(_mm256_cvtepi32_ps(v), vscale));
+  }
+  for (; i < n; ++i) out[i] = static_cast<float>(acc[i]) * scale;
+}
+
+void fake_quant_f32(float* x, float scale, std::size_t n) {
+  const __m256 vscale = _mm256_set1_ps(scale);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 r = quant_steps(_mm256_loadu_ps(x + i), vscale);
+    _mm256_storeu_ps(x + i, _mm256_mul_ps(r, vscale));
+  }
+  for (; i < n; ++i) {
+    float r = _mm_cvtss_f32(
+        _mm_round_ss(_mm_setzero_ps(), _mm_set_ss(x[i] / scale), kRne));
+    if (r < -127.0f) r = -127.0f;
+    if (r > 127.0f) r = 127.0f;
+    x[i] = r * scale;
+  }
+}
+
+void fp16_round_f32(float* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i h = _mm256_cvtps_ph(_mm256_loadu_ps(x + i), kRne);
+    _mm256_storeu_ps(x + i, _mm256_cvtph_ps(h));
+  }
+  if (i < n) {
+    // Tail: pad to one vector so the hardware converter handles every lane.
+    float buf[8] = {0};
+    std::memcpy(buf, x + i, (n - i) * sizeof(float));
+    const __m128i h = _mm256_cvtps_ph(_mm256_loadu_ps(buf), kRne);
+    _mm256_storeu_ps(buf, _mm256_cvtph_ps(h));
+    std::memcpy(x + i, buf, (n - i) * sizeof(float));
+  }
+}
+
+const KernelTable kAvx2Table = {
+    Isa::kAvx2,   "avx2",  gemm_f32,      gemm_i8,        add_f32,
+    sub_f32,      mul_f32, axpy_f32,      scale_f32,      add_scalar_f32,
+    bias_rows_f32, relu_f32, quantize_i8, dequantize_i32, fake_quant_f32,
+    fp16_round_f32,
+};
+
+}  // namespace
+
+const KernelTable* avx2_table() { return &kAvx2Table; }
+
+}  // namespace clear::kernels::detail
+
+#else  // !(__AVX2__ && __F16C__)
+
+namespace clear::kernels::detail {
+const KernelTable* avx2_table() { return nullptr; }
+}  // namespace clear::kernels::detail
+
+#endif

@@ -1,0 +1,136 @@
+// Kernel dispatcher: ISA parsing, CPUID probing, and the process-wide
+// active-table selection (CLEAR_KERNEL / --kernel / detect_best()).
+#include "tensor/kernels/kernels.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/error.hpp"
+#include "tensor/kernels/table_internal.hpp"
+
+namespace clear::kernels {
+
+namespace detail {
+
+bool cpu_has_avx2_f16c() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("f16c");
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+const KernelTable* table_for(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return scalar_table();
+    case Isa::kAvx2:
+      return avx2_table();
+    case Isa::kNeon:
+      return neon_table();
+  }
+  return nullptr;
+}
+
+/// The active table. Null until first use; resolved lazily so that env
+/// handling and CPUID run once, after main() starts.
+std::atomic<const KernelTable*> g_active{nullptr};
+
+const KernelTable* resolve_default() {
+  if (const char* env = std::getenv("CLEAR_KERNEL"); env && *env) {
+    Isa isa;
+    if (!parse_isa(env, isa))
+      throw Error(std::string("CLEAR_KERNEL: unknown kernel '") + env +
+                  "' (expected scalar, avx2, or neon)");
+    if (!isa_supported(isa))
+      throw Error(std::string("CLEAR_KERNEL: kernel '") + env +
+                  "' is not supported on this host");
+    return table_for(isa);
+  }
+  return table_for(detect_best());
+}
+
+}  // namespace
+
+}  // namespace detail
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+bool parse_isa(std::string_view s, Isa& out) {
+  if (s == "scalar") {
+    out = Isa::kScalar;
+  } else if (s == "avx2") {
+    out = Isa::kAvx2;
+  } else if (s == "neon") {
+    out = Isa::kNeon;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool isa_supported(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kAvx2:
+      return detail::avx2_table() != nullptr && detail::cpu_has_avx2_f16c();
+    case Isa::kNeon:
+      // NEON availability is a compile-target property, not a runtime one.
+      return detail::neon_table() != nullptr;
+  }
+  return false;
+}
+
+std::vector<Isa> supported_isas() {
+  std::vector<Isa> out{Isa::kScalar};
+  if (isa_supported(Isa::kAvx2)) out.push_back(Isa::kAvx2);
+  if (isa_supported(Isa::kNeon)) out.push_back(Isa::kNeon);
+  return out;
+}
+
+Isa detect_best() {
+  if (isa_supported(Isa::kAvx2)) return Isa::kAvx2;
+  if (isa_supported(Isa::kNeon)) return Isa::kNeon;
+  return Isa::kScalar;
+}
+
+const KernelTable& active() {
+  const KernelTable* t = detail::g_active.load(std::memory_order_acquire);
+  if (!t) {
+    t = detail::resolve_default();
+    // Benign race: every racer resolves to the same table.
+    detail::g_active.store(t, std::memory_order_release);
+  }
+  return *t;
+}
+
+Isa active_isa() { return active().isa; }
+
+void set_isa(Isa isa) {
+  if (!isa_supported(isa))
+    throw Error(std::string("--kernel: '") + isa_name(isa) +
+                "' is not supported on this host");
+  detail::g_active.store(detail::table_for(isa), std::memory_order_release);
+}
+
+const KernelTable& table(Isa isa) {
+  if (!isa_supported(isa))
+    throw Error(std::string("kernel table '") + isa_name(isa) +
+                "' is not supported on this host");
+  return *detail::table_for(isa);
+}
+
+}  // namespace clear::kernels

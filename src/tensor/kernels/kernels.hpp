@@ -1,0 +1,139 @@
+// Runtime-dispatched SIMD kernel library (DESIGN.md §13).
+//
+// Every hot inner loop in the repo — fp32 GEMM behind the CNN-LSTM, the
+// int8 dot-product kernels emulating the Edge-TPU path, the fp16/int8
+// numeric transforms, and the bulk elementwise ops — routes through one
+// table of function pointers selected at startup:
+//
+//   scalar  portable reference implementation, always available; the
+//           oracle every vector path is tested against
+//   avx2    x86-64 AVX2 (+F16C for the fp16 path), register-blocked GEMM
+//   neon    AArch64/ARM NEON (compiled only on ARM targets)
+//
+// Selection order: an explicit set_isa() call (the --kernel CLI flag) >
+// the CLEAR_KERNEL environment variable (read once, at first dispatch) >
+// detect_best() via CPUID. Requesting an ISA the host cannot run is a
+// hard error, never a silent fallback.
+//
+// Determinism contract (the part that makes runtime dispatch safe): every
+// kernel in every table produces results BIT-IDENTICAL to the scalar
+// reference for finite inputs. This is by construction, not by tolerance:
+//
+//   - GEMM accumulates each output element c[i][j] over k in ascending
+//     order through a single dependency chain. Vector paths parallelize
+//     across independent output elements (j lanes, i blocks) and never
+//     reassociate within a chain, so per-element rounding is unchanged.
+//   - FMA contraction is deliberately not used, and the whole tree builds
+//     with -ffp-contract=off: a fused multiply-add rounds once where the
+//     scalar reference rounds twice, which would fork the goldens per ISA.
+//   - Ops with a horizontal reduction (dot products, sums, norms) are NOT
+//     in the table — vectorizing them requires reassociation. They stay
+//     scalar in tensor/ops.cpp under the ordered-reduction contract of
+//     DESIGN.md §9.
+//   - int8 GEMM is integer arithmetic (exact, associative), so vector
+//     paths there are free to reorder; results are equal, not just close.
+//   - fp16 rounding and int8 quantization use round-to-nearest-even in
+//     both the scalar bit-twiddled form and the hardware instructions
+//     (VCVTPS2PH / VROUNDPS under the default rounding mode).
+//
+// Consequently CLEAR_KERNEL changes wall-clock time, never a table, a
+// golden file, or a checkpoint — the same guarantee CLEAR_NUM_THREADS
+// already makes. tests/property/test_kernel_equivalence.cpp enforces the
+// contract per kernel per ISA; tools/bench_regress.py (ctest
+// `bench_regress`) pins the speedups so they cannot silently rot.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace clear::kernels {
+
+enum class Isa : int { kScalar = 0, kAvx2 = 1, kNeon = 2 };
+
+/// Fused GEMM epilogue, applied to each output element after its k-loop
+/// finishes: c = act(c_accumulated + bias). Bias broadcast is per output
+/// row (bias[i], conv layout) or per output column (bias[j], dense layout).
+enum class BiasMode { kPerRow, kPerCol };
+enum class Activation { kNone, kRelu };
+
+struct Epilogue {
+  BiasMode bias_mode = BiasMode::kPerCol;
+  const float* bias = nullptr;  ///< [m] for kPerRow, [n] for kPerCol; may be
+                                ///< null (activation-only epilogue).
+  Activation act = Activation::kNone;
+};
+
+/// One ISA's implementations. All matrices are dense row-major. `ep` may be
+/// null (no epilogue). Kernels assume finite inputs; NaN/Inf propagation is
+/// defined only for the scalar reference.
+struct KernelTable {
+  Isa isa;
+  const char* name;
+
+  /// C[m,n] += A[m,k] * B[k,n]; per-element accumulation in ascending k
+  /// order on top of the existing contents of C, then the epilogue.
+  void (*gemm_f32)(const float* a, const float* b, float* c, std::size_t m,
+                   std::size_t k, std::size_t n, const Epilogue* ep);
+  /// C[m,n] (int32, overwritten) = A[m,k] (int8) * B[k,n] (int8).
+  void (*gemm_i8)(const std::int8_t* a, const std::int8_t* b, std::int32_t* c,
+                  std::size_t m, std::size_t k, std::size_t n);
+
+  // Elementwise over n contiguous floats (first operand mutated in place).
+  void (*add_f32)(float* a, const float* b, std::size_t n);
+  void (*sub_f32)(float* a, const float* b, std::size_t n);
+  void (*mul_f32)(float* a, const float* b, std::size_t n);
+  void (*axpy_f32)(float* a, float alpha, const float* b, std::size_t n);
+  void (*scale_f32)(float* a, float s, std::size_t n);
+  void (*add_scalar_f32)(float* a, float s, std::size_t n);
+  /// a[i*n + j] += bias[j] for every row i.
+  void (*bias_rows_f32)(float* a, const float* bias, std::size_t m,
+                        std::size_t n);
+  /// y[i] = x[i] > 0 ? x[i] : 0; mask[i] = x[i] > 0 ? 1 : 0 (mask may be
+  /// null for inference-only callers).
+  void (*relu_f32)(const float* x, float* y, float* mask, std::size_t n);
+
+  /// q[i] = clamp(nearbyint(x[i] / scale), -127, 127) — symmetric int8.
+  void (*quantize_i8)(const float* x, float scale, std::int8_t* q,
+                      std::size_t n);
+  /// out[i] = float(acc[i]) * scale.
+  void (*dequantize_i32)(const std::int32_t* acc, float scale, float* out,
+                         std::size_t n);
+  /// x[i] = dequantize(quantize(x[i])) — the fake-quantization round trip.
+  void (*fake_quant_f32)(float* x, float scale, std::size_t n);
+  /// x[i] = fp32 -> fp16 -> fp32 round trip (RNE, subnormals preserved).
+  void (*fp16_round_f32)(float* x, std::size_t n);
+};
+
+/// Stable lower-case name ("scalar", "avx2", "neon").
+const char* isa_name(Isa isa);
+
+/// Parse a kernel name; returns false on unknown input.
+bool parse_isa(std::string_view s, Isa& out);
+
+/// True when `isa` is both compiled into this binary and runnable on this
+/// CPU (CPUID probe for AVX2+F16C; NEON is a compile-time property).
+bool isa_supported(Isa isa);
+
+/// Every supported ISA, scalar first.
+std::vector<Isa> supported_isas();
+
+/// Fastest supported ISA on this host.
+Isa detect_best();
+
+/// The active kernel table. Resolved once on first use: CLEAR_KERNEL when
+/// set (hard error if unknown/unsupported), else detect_best().
+const KernelTable& active();
+Isa active_isa();
+
+/// Override the active ISA (the --kernel flag). Throws clear::Error when
+/// the ISA is not supported on this host.
+void set_isa(Isa isa);
+
+/// Table for a specific supported ISA (property tests, benchmarks).
+/// Throws clear::Error when unsupported.
+const KernelTable& table(Isa isa);
+
+}  // namespace clear::kernels

@@ -1,0 +1,296 @@
+// ARM NEON kernels (AArch64 / ARMv7-with-NEON targets, e.g. Raspberry Pi).
+//
+// Compiled only when the toolchain targets ARM; on x86 builds this TU
+// collapses to a null provider. The same bit-exactness rules as the AVX2
+// path apply: vectorize across independent output elements, keep each
+// element's k accumulation in ascending order, separate vmulq/vaddq
+// roundings (no vmlaq/vfmaq — those fuse on AArch64), and the tree builds
+// with -ffp-contract=off so the compiler cannot re-fuse them.
+#include "tensor/kernels/table_internal.hpp"
+
+#if defined(__ARM_NEON) || defined(__ARM_NEON__)
+
+#include <arm_neon.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace clear::kernels::detail {
+
+namespace {
+
+constexpr std::size_t kMr = 4;  ///< Register-blocked C rows per microkernel.
+
+inline void epilogue_tail(float* crow, std::size_t row, std::size_t j0,
+                          std::size_t n, const Epilogue* ep) {
+  if (!ep) return;
+  for (std::size_t j = j0; j < n; ++j) {
+    float v = crow[j];
+    if (ep->bias)
+      v += ep->bias_mode == BiasMode::kPerCol ? ep->bias[j] : ep->bias[row];
+    if (ep->act == Activation::kRelu && !(v > 0.0f)) v = 0.0f;
+    crow[j] = v;
+  }
+}
+
+/// One MR x 8 column strip (2 q-registers per row).
+inline void strip_f32(const float* a, const float* b, float* c,
+                      std::size_t rows, std::size_t k, std::size_t n,
+                      std::size_t j, std::size_t row0, const Epilogue* ep) {
+  float32x4_t acc0[kMr], acc1[kMr];
+  for (std::size_t r = 0; r < rows; ++r) {
+    acc0[r] = vld1q_f32(c + r * n + j);
+    acc1[r] = vld1q_f32(c + r * n + j + 4);
+  }
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float32x4_t b0 = vld1q_f32(b + kk * n + j);
+    const float32x4_t b1 = vld1q_f32(b + kk * n + j + 4);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const float32x4_t av = vdupq_n_f32(a[r * k + kk]);
+      acc0[r] = vaddq_f32(acc0[r], vmulq_f32(av, b0));
+      acc1[r] = vaddq_f32(acc1[r], vmulq_f32(av, b1));
+    }
+  }
+  if (ep) {
+    if (ep->bias) {
+      if (ep->bias_mode == BiasMode::kPerCol) {
+        const float32x4_t bc0 = vld1q_f32(ep->bias + j);
+        const float32x4_t bc1 = vld1q_f32(ep->bias + j + 4);
+        for (std::size_t r = 0; r < rows; ++r) {
+          acc0[r] = vaddq_f32(acc0[r], bc0);
+          acc1[r] = vaddq_f32(acc1[r], bc1);
+        }
+      } else {
+        for (std::size_t r = 0; r < rows; ++r) {
+          const float32x4_t br = vdupq_n_f32(ep->bias[row0 + r]);
+          acc0[r] = vaddq_f32(acc0[r], br);
+          acc1[r] = vaddq_f32(acc1[r], br);
+        }
+      }
+    }
+    if (ep->act == Activation::kRelu) {
+      const float32x4_t zero = vdupq_n_f32(0.0f);
+      for (std::size_t r = 0; r < rows; ++r) {
+        acc0[r] = vmaxq_f32(acc0[r], zero);
+        acc1[r] = vmaxq_f32(acc1[r], zero);
+      }
+    }
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    vst1q_f32(c + r * n + j, acc0[r]);
+    vst1q_f32(c + r * n + j + 4, acc1[r]);
+  }
+}
+
+void gemm_f32(const float* a, const float* b, float* c, std::size_t m,
+              std::size_t k, std::size_t n, const Epilogue* ep) {
+  for (std::size_t i = 0; i < m; i += kMr) {
+    const std::size_t rows = m - i < kMr ? m - i : kMr;
+    const float* ablk = a + i * k;
+    float* cblk = c + i * n;
+    std::size_t j = 0;
+    for (; j + 8 <= n; j += 8) strip_f32(ablk, b, cblk, rows, k, n, j, i, ep);
+    if (j < n) {
+      for (std::size_t r = 0; r < rows; ++r) {
+        const float* arow = ablk + r * k;
+        float* crow = cblk + r * n;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          const float av = arow[kk];
+          const float* brow = b + kk * n;
+          for (std::size_t jj = j; jj < n; ++jj) crow[jj] += av * brow[jj];
+        }
+        epilogue_tail(crow, i + r, j, n, ep);
+      }
+    }
+  }
+}
+
+void gemm_i8(const std::int8_t* a, const std::int8_t* b, std::int32_t* c,
+             std::size_t m, std::size_t k, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::int8_t* arow = a + i * k;
+    std::int32_t* crow = c + i * n;
+    std::size_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      int32x4_t acc0 = vdupq_n_s32(0);
+      int32x4_t acc1 = vdupq_n_s32(0);
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const std::int8_t av = arow[kk];
+        if (av == 0) continue;
+        const int8x8_t b8 = vld1_s8(b + kk * n + j);
+        const int16x8_t prod = vmull_s8(vdup_n_s8(av), b8);
+        acc0 = vaddw_s16(acc0, vget_low_s16(prod));
+        acc1 = vaddw_s16(acc1, vget_high_s16(prod));
+      }
+      vst1q_s32(crow + j, acc0);
+      vst1q_s32(crow + j + 4, acc1);
+    }
+    for (; j < n; ++j) {
+      std::int32_t s = 0;
+      for (std::size_t kk = 0; kk < k; ++kk)
+        s += static_cast<std::int32_t>(arow[kk]) *
+             static_cast<std::int32_t>(b[kk * n + j]);
+      crow[j] = s;
+    }
+  }
+}
+
+void add_f32(float* a, const float* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    vst1q_f32(a + i, vaddq_f32(vld1q_f32(a + i), vld1q_f32(b + i)));
+  for (; i < n; ++i) a[i] += b[i];
+}
+
+void sub_f32(float* a, const float* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    vst1q_f32(a + i, vsubq_f32(vld1q_f32(a + i), vld1q_f32(b + i)));
+  for (; i < n; ++i) a[i] -= b[i];
+}
+
+void mul_f32(float* a, const float* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    vst1q_f32(a + i, vmulq_f32(vld1q_f32(a + i), vld1q_f32(b + i)));
+  for (; i < n; ++i) a[i] *= b[i];
+}
+
+void axpy_f32(float* a, float alpha, const float* b, std::size_t n) {
+  const float32x4_t va = vdupq_n_f32(alpha);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    vst1q_f32(a + i, vaddq_f32(vld1q_f32(a + i),
+                               vmulq_f32(va, vld1q_f32(b + i))));
+  for (; i < n; ++i) a[i] += alpha * b[i];
+}
+
+void scale_f32(float* a, float s, std::size_t n) {
+  const float32x4_t vs = vdupq_n_f32(s);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    vst1q_f32(a + i, vmulq_f32(vld1q_f32(a + i), vs));
+  for (; i < n; ++i) a[i] *= s;
+}
+
+void add_scalar_f32(float* a, float s, std::size_t n) {
+  const float32x4_t vs = vdupq_n_f32(s);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    vst1q_f32(a + i, vaddq_f32(vld1q_f32(a + i), vs));
+  for (; i < n; ++i) a[i] += s;
+}
+
+void bias_rows_f32(float* a, const float* bias, std::size_t m, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    float* row = a + i * n;
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4)
+      vst1q_f32(row + j, vaddq_f32(vld1q_f32(row + j), vld1q_f32(bias + j)));
+    for (; j < n; ++j) row[j] += bias[j];
+  }
+}
+
+void relu_f32(const float* x, float* y, float* mask, std::size_t n) {
+  const float32x4_t zero = vdupq_n_f32(0.0f);
+  const float32x4_t one = vdupq_n_f32(1.0f);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float32x4_t v = vld1q_f32(x + i);
+    vst1q_f32(y + i, vmaxq_f32(v, zero));
+    if (mask) {
+      const uint32x4_t on = vcgtq_f32(v, zero);
+      vst1q_f32(mask + i,
+                vbslq_f32(on, one, zero));
+    }
+  }
+  for (; i < n; ++i) {
+    const bool on = x[i] > 0.0f;
+    y[i] = on ? x[i] : 0.0f;
+    if (mask) mask[i] = on ? 1.0f : 0.0f;
+  }
+}
+
+#if defined(__aarch64__)
+/// round(x / scale) clamped to [-127, 127] as packed floats (vrndnq = RNE,
+/// matching std::nearbyint in the default FP environment).
+inline float32x4_t quant_steps(float32x4_t x, float32x4_t vscale) {
+  float32x4_t r = vrndnq_f32(vdivq_f32(x, vscale));
+  r = vmaxq_f32(r, vdupq_n_f32(-127.0f));
+  return vminq_f32(r, vdupq_n_f32(127.0f));
+}
+#endif
+
+void quantize_i8(const float* x, float scale, std::int8_t* q, std::size_t n) {
+  std::size_t i = 0;
+#if defined(__aarch64__)
+  const float32x4_t vscale = vdupq_n_f32(scale);
+  for (; i + 8 <= n; i += 8) {
+    const int32x4_t i0 = vcvtq_s32_f32(quant_steps(vld1q_f32(x + i), vscale));
+    const int32x4_t i1 =
+        vcvtq_s32_f32(quant_steps(vld1q_f32(x + i + 4), vscale));
+    const int16x8_t p16 = vcombine_s16(vqmovn_s32(i0), vqmovn_s32(i1));
+    vst1_s8(q + i, vqmovn_s16(p16));
+  }
+#endif
+  for (; i < n; ++i) {
+    const float r = std::nearbyint(x[i] / scale);
+    q[i] = static_cast<std::int8_t>(std::clamp(r, -127.0f, 127.0f));
+  }
+}
+
+void dequantize_i32(const std::int32_t* acc, float scale, float* out,
+                    std::size_t n) {
+  const float32x4_t vscale = vdupq_n_f32(scale);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    vst1q_f32(out + i, vmulq_f32(vcvtq_f32_s32(vld1q_s32(acc + i)), vscale));
+  for (; i < n; ++i) out[i] = static_cast<float>(acc[i]) * scale;
+}
+
+void fake_quant_f32(float* x, float scale, std::size_t n) {
+  std::size_t i = 0;
+#if defined(__aarch64__)
+  const float32x4_t vscale = vdupq_n_f32(scale);
+  for (; i + 4 <= n; i += 4) {
+    const float32x4_t r = quant_steps(vld1q_f32(x + i), vscale);
+    vst1q_f32(x + i, vmulq_f32(r, vscale));
+  }
+#endif
+  for (; i < n; ++i) {
+    const float r = std::nearbyint(x[i] / scale);
+    x[i] = std::clamp(r, -127.0f, 127.0f) * scale;
+  }
+}
+
+const KernelTable kNeonTable = {
+    Isa::kNeon,   "neon",  gemm_f32,       gemm_i8,        add_f32,
+    sub_f32,      mul_f32, axpy_f32,       scale_f32,      add_scalar_f32,
+    bias_rows_f32, relu_f32, quantize_i8,  dequantize_i32, fake_quant_f32,
+    nullptr,  // fp16_round_f32: filled from the scalar table by the provider.
+};
+
+}  // namespace
+
+const KernelTable* neon_table() {
+  // The software fp16 round trip is already RNE-exact and branch-light;
+  // reuse the scalar implementation instead of hand-rolling vcvt paths that
+  // differ between ARMv7 and AArch64.
+  static const KernelTable table = [] {
+    KernelTable t = kNeonTable;
+    t.fp16_round_f32 = scalar_table()->fp16_round_f32;
+    return t;
+  }();
+  return &table;
+}
+
+}  // namespace clear::kernels::detail
+
+#else  // !__ARM_NEON
+
+namespace clear::kernels::detail {
+const KernelTable* neon_table() { return nullptr; }
+}  // namespace clear::kernels::detail
+
+#endif

@@ -1,0 +1,217 @@
+// Scalar reference kernels — the oracle for every vector path.
+//
+// The fp32 GEMM is the exact loop nest that lived in tensor/ops.cpp before
+// the kernel library existed (i-k-j, skip on zero A entries), so
+// CLEAR_KERNEL=scalar reproduces the repo's historical goldens bit for bit.
+// The skip-zero fast path is unobservable in the results for finite data:
+// with accumulators that start at +0 a skipped `c += 0*b` and an executed
+// one produce identical bits (the accumulator can never become -0 through
+// the chain), and weights/activations are rejected upstream when non-finite.
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "tensor/kernels/table_internal.hpp"
+
+namespace clear::kernels::detail {
+
+namespace {
+
+void apply_epilogue(float* c, std::size_t m, std::size_t n,
+                    const Epilogue* ep) {
+  if (!ep) return;
+  if (ep->bias) {
+    if (ep->bias_mode == BiasMode::kPerCol) {
+      for (std::size_t i = 0; i < m; ++i) {
+        float* row = c + i * n;
+        for (std::size_t j = 0; j < n; ++j) row[j] += ep->bias[j];
+      }
+    } else {
+      for (std::size_t i = 0; i < m; ++i) {
+        float* row = c + i * n;
+        const float bv = ep->bias[i];
+        for (std::size_t j = 0; j < n; ++j) row[j] += bv;
+      }
+    }
+  }
+  if (ep->act == Activation::kRelu) {
+    for (std::size_t i = 0; i < m * n; ++i)
+      if (!(c[i] > 0.0f)) c[i] = 0.0f;
+  }
+}
+
+void gemm_f32(const float* a, const float* b, float* c, std::size_t m,
+              std::size_t k, std::size_t n, const Epilogue* ep) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = b + kk * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  apply_epilogue(c, m, n, ep);
+}
+
+void gemm_i8(const std::int8_t* a, const std::int8_t* b, std::int32_t* c,
+             std::size_t m, std::size_t k, std::size_t n) {
+  std::memset(c, 0, m * n * sizeof(std::int32_t));
+  for (std::size_t i = 0; i < m; ++i) {
+    std::int32_t* crow = c + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const std::int32_t av = a[i * k + kk];
+      if (av == 0) continue;
+      const std::int8_t* brow = b + kk * n;
+      for (std::size_t j = 0; j < n; ++j)
+        crow[j] += av * static_cast<std::int32_t>(brow[j]);
+    }
+  }
+}
+
+void add_f32(float* a, const float* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) a[i] += b[i];
+}
+
+void sub_f32(float* a, const float* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) a[i] -= b[i];
+}
+
+void mul_f32(float* a, const float* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) a[i] *= b[i];
+}
+
+void axpy_f32(float* a, float alpha, const float* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) a[i] += alpha * b[i];
+}
+
+void scale_f32(float* a, float s, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) a[i] *= s;
+}
+
+void add_scalar_f32(float* a, float s, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) a[i] += s;
+}
+
+void bias_rows_f32(float* a, const float* bias, std::size_t m, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    float* row = a + i * n;
+    for (std::size_t j = 0; j < n; ++j) row[j] += bias[j];
+  }
+}
+
+void relu_f32(const float* x, float* y, float* mask, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool on = x[i] > 0.0f;
+    y[i] = on ? x[i] : 0.0f;
+    if (mask) mask[i] = on ? 1.0f : 0.0f;
+  }
+}
+
+void quantize_i8(const float* x, float scale, std::int8_t* q, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float r = std::nearbyint(x[i] / scale);
+    q[i] = static_cast<std::int8_t>(std::clamp(r, -127.0f, 127.0f));
+  }
+}
+
+void dequantize_i32(const std::int32_t* acc, float scale, float* out,
+                    std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = static_cast<float>(acc[i]) * scale;
+}
+
+void fake_quant_f32(float* x, float scale, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float r = std::nearbyint(x[i] / scale);
+    x[i] = std::clamp(r, -127.0f, 127.0f) * scale;
+  }
+}
+
+/// Software fp32 -> fp16 -> fp32 round trip (RNE; subnormals preserved,
+/// overflow to inf). Bit-compatible with VCVTPS2PH/VCVTPH2PS for all
+/// non-NaN inputs.
+float fp16_round_one(float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  const std::uint32_t sign = (bits >> 16) & 0x8000u;
+  const std::int32_t exponent =
+      static_cast<std::int32_t>((bits >> 23) & 0xFF) - 127 + 15;
+  std::uint32_t mantissa = bits & 0x7FFFFFu;
+
+  std::uint16_t half;
+  if (((bits >> 23) & 0xFF) == 0xFF) {
+    // Inf / NaN.
+    half = static_cast<std::uint16_t>(sign | 0x7C00u | (mantissa ? 0x200u : 0));
+  } else if (exponent >= 31) {
+    half = static_cast<std::uint16_t>(sign | 0x7C00u);  // Overflow -> inf.
+  } else if (exponent <= 0) {
+    if (exponent < -10) {
+      half = static_cast<std::uint16_t>(sign);  // Underflow -> zero.
+    } else {
+      // Subnormal half.
+      mantissa |= 0x800000u;
+      const int shift = 14 - exponent;
+      std::uint32_t sub = mantissa >> shift;
+      const std::uint32_t rem = mantissa & ((1u << shift) - 1);
+      const std::uint32_t halfway = 1u << (shift - 1);
+      if (rem > halfway || (rem == halfway && (sub & 1))) ++sub;
+      half = static_cast<std::uint16_t>(sign | sub);
+    }
+  } else {
+    std::uint32_t m = mantissa >> 13;
+    const std::uint32_t rem = bits & 0x1FFFu;
+    if (rem > 0x1000u || (rem == 0x1000u && (m & 1))) ++m;
+    // Adding (not OR-ing) the mantissa lets a rounding carry propagate into
+    // the exponent field; 0x7C00 (inf) falls out naturally on overflow.
+    half = static_cast<std::uint16_t>(
+        sign + (static_cast<std::uint32_t>(exponent) << 10) + m);
+  }
+
+  // Half -> float.
+  const std::uint32_t h_sign = (half & 0x8000u) << 16;
+  const std::uint32_t h_exp = (half >> 10) & 0x1Fu;
+  const std::uint32_t h_man = half & 0x3FFu;
+  std::uint32_t out;
+  if (h_exp == 0) {
+    if (h_man == 0) {
+      out = h_sign;
+    } else {
+      // Subnormal half -> normalized float.
+      int e = -1;
+      std::uint32_t m = h_man;
+      while (!(m & 0x400u)) {
+        m <<= 1;
+        ++e;
+      }
+      m &= 0x3FFu;
+      out = h_sign | (static_cast<std::uint32_t>(127 - 15 - e) << 23) |
+            (m << 13);
+    }
+  } else if (h_exp == 31) {
+    out = h_sign | 0x7F800000u | (h_man << 13);
+  } else {
+    out = h_sign | ((h_exp - 15 + 127) << 23) | (h_man << 13);
+  }
+  float result;
+  std::memcpy(&result, &out, sizeof(result));
+  return result;
+}
+
+void fp16_round_f32(float* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) x[i] = fp16_round_one(x[i]);
+}
+
+const KernelTable kScalarTable = {
+    Isa::kScalar, "scalar", gemm_f32,       gemm_i8,        add_f32,
+    sub_f32,      mul_f32,  axpy_f32,       scale_f32,      add_scalar_f32,
+    bias_rows_f32, relu_f32, quantize_i8,   dequantize_i32, fake_quant_f32,
+    fp16_round_f32,
+};
+
+}  // namespace
+
+const KernelTable* scalar_table() { return &kScalarTable; }
+
+}  // namespace clear::kernels::detail

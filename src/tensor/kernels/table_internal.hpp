@@ -1,0 +1,19 @@
+// Internal: per-ISA table providers for the dispatcher. Each vector
+// translation unit compiles to a provider that returns its table when the
+// binary was built with the matching instruction set, and null otherwise —
+// kernels.cpp never needs ISA-specific #ifdefs.
+#pragma once
+
+#include "tensor/kernels/kernels.hpp"
+
+namespace clear::kernels::detail {
+
+const KernelTable* scalar_table();  // never null
+const KernelTable* avx2_table();    // null unless compiled with AVX2+F16C
+const KernelTable* neon_table();    // null unless compiled for ARM NEON
+
+/// Runtime CPUID probe for the AVX2 table's instruction set (AVX2 + F16C).
+/// False on non-x86 builds.
+bool cpu_has_avx2_f16c();
+
+}  // namespace clear::kernels::detail

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "tensor/kernels/kernels.hpp"
 
 namespace clear::ops {
 
@@ -40,30 +41,22 @@ Tensor mul(const Tensor& a, const Tensor& b) {
 
 void add_inplace(Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "add");
-  float* pa = a.data();
-  const float* pb = b.data();
-  for (std::size_t i = 0; i < a.numel(); ++i) pa[i] += pb[i];
+  kernels::active().add_f32(a.data(), b.data(), a.numel());
 }
 
 void sub_inplace(Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "sub");
-  float* pa = a.data();
-  const float* pb = b.data();
-  for (std::size_t i = 0; i < a.numel(); ++i) pa[i] -= pb[i];
+  kernels::active().sub_f32(a.data(), b.data(), a.numel());
 }
 
 void mul_inplace(Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "mul");
-  float* pa = a.data();
-  const float* pb = b.data();
-  for (std::size_t i = 0; i < a.numel(); ++i) pa[i] *= pb[i];
+  kernels::active().mul_f32(a.data(), b.data(), a.numel());
 }
 
 void axpy_inplace(Tensor& a, float alpha, const Tensor& b) {
   check_same_shape(a, b, "axpy");
-  float* pa = a.data();
-  const float* pb = b.data();
-  for (std::size_t i = 0; i < a.numel(); ++i) pa[i] += alpha * pb[i];
+  kernels::active().axpy_f32(a.data(), alpha, b.data(), a.numel());
 }
 
 Tensor scale(const Tensor& a, float s) {
@@ -73,12 +66,12 @@ Tensor scale(const Tensor& a, float s) {
 }
 
 void scale_inplace(Tensor& a, float s) {
-  for (float& x : a.flat()) x *= s;
+  kernels::active().scale_f32(a.data(), s, a.numel());
 }
 
 Tensor add_scalar(const Tensor& a, float s) {
   Tensor out = a;
-  for (float& x : out.flat()) x += s;
+  kernels::active().add_scalar_f32(out.data(), s, out.numel());
   return out;
 }
 
@@ -116,32 +109,35 @@ void matmul_into(const Tensor& a, const Tensor& b, Tensor& c) {
   matmul_accum(a, b, c);
 }
 
-void matmul_accum(const Tensor& a, const Tensor& b, Tensor& c) {
-  CLEAR_CHECK_MSG(a.rank() == 2 && b.rank() == 2 && c.rank() == 2,
-                  "matmul_accum requires rank-2 operands");
+namespace {
+
+/// Shared core for matmul_accum / matmul_fused_into: row-blocked dispatch of
+/// the active kernel's GEMM. Each thread owns a disjoint block of C rows and
+/// every element's k accumulation stays a single ordered chain inside the
+/// kernel, so the result is bit-identical to the serial call at any thread
+/// count and for any kernel ISA.
+void gemm_dispatch(const Tensor& a, const Tensor& b, Tensor& c,
+                   const kernels::Epilogue* ep) {
   const std::size_t m = a.extent(0);
   const std::size_t k = a.extent(1);
   const std::size_t n = b.extent(1);
-  CLEAR_CHECK_MSG(b.extent(0) == k && c.extent(0) == m && c.extent(1) == n,
-                  "matmul_accum shape mismatch");
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  // i-k-j ordering keeps the inner loop streaming over contiguous B/C rows.
+  const kernels::KernelTable& kt = kernels::active();
   const auto row_block = [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      const float* arow = pa + i * k;
-      float* crow = pc + i * n;
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        const float av = arow[kk];
-        if (av == 0.0f) continue;
-        const float* brow = pb + kk * n;
-        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
+    // The kernel sees a row-block of A/C (and of a per-row bias) as a
+    // smaller self-contained GEMM; per-column epilogues pass through as-is.
+    kernels::Epilogue block_ep;
+    const kernels::Epilogue* bep = nullptr;
+    if (ep) {
+      block_ep = *ep;
+      if (block_ep.bias && block_ep.bias_mode == kernels::BiasMode::kPerRow)
+        block_ep.bias += lo;
+      bep = &block_ep;
     }
+    kt.gemm_f32(pa + lo * k, pb, pc + lo * n, hi - lo, k, n, bep);
   };
-  // Row-blocked parallelism: each thread owns a disjoint block of C rows, so
-  // the result is bit-identical to the serial loop at any thread count.
   const std::size_t row_flops = k * n;
   if (m >= 2 && num_threads() > 1 && !in_parallel_region() &&
       m * row_flops >= kParallelFlopThreshold) {
@@ -151,6 +147,33 @@ void matmul_accum(const Tensor& a, const Tensor& b, Tensor& c) {
   } else {
     row_block(0, m);
   }
+}
+
+}  // namespace
+
+void matmul_accum(const Tensor& a, const Tensor& b, Tensor& c) {
+  CLEAR_CHECK_MSG(a.rank() == 2 && b.rank() == 2 && c.rank() == 2,
+                  "matmul_accum requires rank-2 operands");
+  const std::size_t m = a.extent(0);
+  const std::size_t k = a.extent(1);
+  const std::size_t n = b.extent(1);
+  CLEAR_CHECK_MSG(b.extent(0) == k && c.extent(0) == m && c.extent(1) == n,
+                  "matmul_accum shape mismatch");
+  gemm_dispatch(a, b, c, nullptr);
+}
+
+void matmul_fused_into(const Tensor& a, const Tensor& b, Tensor& c,
+                       const kernels::Epilogue& ep) {
+  CLEAR_CHECK_MSG(a.rank() == 2 && b.rank() == 2,
+                  "matmul_fused_into requires rank-2 operands");
+  const std::size_t m = a.extent(0);
+  const std::size_t k = a.extent(1);
+  CLEAR_CHECK_MSG(b.extent(0) == k, "matmul_fused_into inner dim mismatch: "
+                                        << a.shape_str() << " x "
+                                        << b.shape_str());
+  c.resize({m, b.extent(1)});
+  c.zero();
+  gemm_dispatch(a, b, c, &ep);
 }
 
 Tensor transpose2d(const Tensor& a) {
@@ -188,10 +211,7 @@ void add_row_bias_inplace(Tensor& a, const Tensor& bias) {
   const std::size_t m = a.extent(0);
   const std::size_t n = a.extent(1);
   CLEAR_CHECK_MSG(bias.extent(0) == n, "bias length mismatch");
-  float* pa = a.data();
-  const float* pb = bias.data();
-  for (std::size_t i = 0; i < m; ++i)
-    for (std::size_t j = 0; j < n; ++j) pa[i * n + j] += pb[j];
+  kernels::active().bias_rows_f32(a.data(), bias.data(), m, n);
 }
 
 float sum(const Tensor& a) {

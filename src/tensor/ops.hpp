@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <functional>
 
+#include "tensor/kernels/kernels.hpp"
 #include "tensor/tensor.hpp"
 
 namespace clear::ops {
@@ -38,6 +39,14 @@ Tensor matmul(const Tensor& a, const Tensor& b);
 void matmul_into(const Tensor& a, const Tensor& b, Tensor& c);
 /// C[m,n] += A[m,k] * B[k,n]  (accumulate into an existing tensor).
 void matmul_accum(const Tensor& a, const Tensor& b, Tensor& c);
+/// matmul_into with a fused epilogue: c = act(a*b + bias), computed in one
+/// pass through the active kernel's GEMM. The epilogue is numerically
+/// identical to running matmul_into followed by a bias add and activation —
+/// each element finishes its full k accumulation before bias/activation are
+/// applied — so fusing is purely a bandwidth optimisation. For
+/// kernels::BiasMode::kPerRow the bias has extent m; for kPerCol, extent n.
+void matmul_fused_into(const Tensor& a, const Tensor& b, Tensor& c,
+                       const kernels::Epilogue& ep);
 /// B[n,m] = A[m,n]^T.
 Tensor transpose2d(const Tensor& a);
 /// y[m] = A[m,k] * x[k]; x rank-1.

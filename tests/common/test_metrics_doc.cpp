@@ -1,0 +1,330 @@
+// docs/METRICS.md <-> registry cross-check (the "docs that cannot rot"
+// satellite). Three directions, so the reference and the code can only
+// move together:
+//
+//   1. every metric-name string literal at an instrumentation call site in
+//      src/ + tools/ is documented,
+//   2. every documented name still exists — in the source scan or in the
+//      registry/trace of a real run (dynamic names like
+//      "edge.forward_us.<precision>" only materialize at runtime),
+//   3. every name a miniature end-to-end run (pipeline fit -> serve ->
+//      edge forwards at all precisions) actually registers is documented.
+//
+// The doc encodes families with two spellings this test understands:
+// a token ending in '.' is a prefix ("edge.forward_us." covers
+// "edge.forward_us.int8"), and a token with an <angle> placeholder is a
+// prefix+suffix pattern ("span.<name>_us" covers "span.train.epoch_us").
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "clear/pipeline.hpp"
+#include "common/obs.hpp"
+#include "edge/engine.hpp"
+#include "nn/model.hpp"
+#include "serve/server.hpp"
+#include "serve/workload.hpp"
+#include "wemac/synth.hpp"
+
+#ifndef CLEAR_SOURCE_DIR
+#error "CLEAR_SOURCE_DIR must point at the repository root"
+#endif
+
+namespace clear {
+namespace {
+
+namespace fs = std::filesystem;
+
+enum class Kind { kCounter, kGauge, kHistogram, kSpan };
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::kCounter: return "counter";
+    case Kind::kGauge: return "gauge";
+    case Kind::kHistogram: return "histogram";
+    case Kind::kSpan: return "span";
+  }
+  return "?";
+}
+
+using NameSets = std::map<Kind, std::set<std::string>>;
+
+/// True when documented token `tok` covers metric name `name` (exact,
+/// trailing-dot prefix, or <placeholder> prefix+suffix).
+bool token_matches(const std::string& tok, const std::string& name) {
+  if (tok == name) return true;
+  if (!tok.empty() && tok.back() == '.' && name.size() > tok.size() &&
+      name.compare(0, tok.size(), tok) == 0)
+    return true;
+  const std::size_t lt = tok.find('<');
+  const std::size_t gt = tok.find('>');
+  if (lt != std::string::npos && gt != std::string::npos && gt > lt) {
+    const std::string pre = tok.substr(0, lt);
+    const std::string suf = tok.substr(gt + 1);
+    return name.size() >= pre.size() + suf.size() &&
+           name.compare(0, pre.size(), pre) == 0 &&
+           name.compare(name.size() - suf.size(), suf.size(), suf) == 0;
+  }
+  return false;
+}
+
+bool any_token_matches(const std::set<std::string>& toks,
+                       const std::string& name) {
+  for (const std::string& t : toks)
+    if (token_matches(t, name)) return true;
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// docs/METRICS.md parsing: section headings select the kind; the first
+// `backtick token` of each table row is the documented name.
+// ---------------------------------------------------------------------------
+
+NameSets parse_doc(const fs::path& doc_path) {
+  std::ifstream in(doc_path);
+  EXPECT_TRUE(in.is_open()) << "cannot open " << doc_path;
+  NameSets doc;
+  std::string line;
+  Kind kind = Kind::kCounter;
+  bool in_table_section = false;
+  while (std::getline(in, line)) {
+    if (line.rfind("## ", 0) == 0) {
+      in_table_section = true;
+      if (line.find("Counters") != std::string::npos) kind = Kind::kCounter;
+      else if (line.find("Gauges") != std::string::npos) kind = Kind::kGauge;
+      else if (line.find("Histograms") != std::string::npos)
+        kind = Kind::kHistogram;
+      else if (line.find("Trace spans") != std::string::npos)
+        kind = Kind::kSpan;
+      else in_table_section = false;  // schema / prose sections
+      continue;
+    }
+    if (!in_table_section || line.empty() || line[0] != '|') continue;
+    const std::size_t open = line.find('`');
+    if (open == std::string::npos) continue;  // header / separator row
+    const std::size_t close = line.find('`', open + 1);
+    if (close == std::string::npos) continue;
+    doc[kind].insert(line.substr(open + 1, close - open - 1));
+  }
+  return doc;
+}
+
+// ---------------------------------------------------------------------------
+// Source scan: instrumentation-macro and direct-registry call sites.
+// ---------------------------------------------------------------------------
+
+/// If `pattern(` [std::string(] `"...` follows at `pos`, extract the
+/// literal; otherwise return "".
+std::string literal_after(const std::string& line, std::size_t pos,
+                          const std::string& pattern) {
+  std::size_t p = pos + pattern.size();
+  const std::string wrapper = "std::string(";
+  if (line.compare(p, wrapper.size(), wrapper) == 0) p += wrapper.size();
+  if (p >= line.size() || line[p] != '"') return "";
+  const std::size_t close = line.find('"', p + 1);
+  if (close == std::string::npos) return "";
+  return line.substr(p + 1, close - p - 1);
+}
+
+void scan_line(const std::string& raw, NameSets& out) {
+  // Drop line comments so prose mentioning names can't satisfy the check.
+  std::string line = raw;
+  if (const std::size_t c = line.find("//"); c != std::string::npos)
+    line.resize(c);
+  static const std::pair<std::string, Kind> kPatterns[] = {
+      {"CLEAR_OBS_COUNT(", Kind::kCounter},
+      {"CLEAR_OBS_GAUGE(", Kind::kGauge},
+      {"CLEAR_OBS_RECORD(", Kind::kHistogram},
+      {"CLEAR_OBS_SPAN(", Kind::kSpan},
+      {"obs::counter(", Kind::kCounter},
+      {"obs::gauge(", Kind::kGauge},
+      {"obs::histogram(", Kind::kHistogram},
+  };
+  for (const auto& [pat, kind] : kPatterns) {
+    for (std::size_t pos = line.find(pat); pos != std::string::npos;
+         pos = line.find(pat, pos + 1)) {
+      const std::string name = literal_after(line, pos, pat);
+      if (!name.empty()) out[kind].insert(name);
+    }
+  }
+}
+
+NameSets scan_sources(const fs::path& root) {
+  NameSets found;
+  std::size_t files = 0;
+  for (const char* dir : {"src", "tools"}) {
+    for (const auto& entry : fs::recursive_directory_iterator(root / dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".cpp" && ext != ".hpp") continue;
+      // The registry itself defines the macros; its internals are not
+      // call sites.
+      if (entry.path().filename() == "obs.hpp" ||
+          entry.path().filename() == "obs.cpp")
+        continue;
+      ++files;
+      std::ifstream in(entry.path());
+      std::string line;
+      while (std::getline(in, line)) scan_line(line, found);
+    }
+  }
+  EXPECT_GT(files, 50u) << "source scan found suspiciously few files under "
+                        << root;
+  return found;
+}
+
+// ---------------------------------------------------------------------------
+// Runtime exercise: smallest run that touches pipeline, serve, and all
+// three edge precisions, with the registry recording.
+// ---------------------------------------------------------------------------
+
+NameSets runtime_names() {
+  obs::set_enabled(true);
+  obs::reset();
+
+  core::ClearConfig config = core::smoke_config();
+  config.data.seed = 91;
+  config.data.n_volunteers = 6;
+  config.data.trials_per_volunteer = 3;
+  config.train.epochs = 1;
+  config.finetune.epochs = 1;
+  config.finalize();
+  const wemac::WemacDataset d = wemac::generate_wemac(config.data);
+  core::ClearPipeline pipeline(config);
+  pipeline.fit(d, {0, 1, 2, 3});
+
+  serve::WorkloadConfig wc;
+  wc.n_users = 4;
+  wc.requests_per_user = 6;
+  wc.seed = 5;
+  wc.labeled_fraction = 0.5;   // exercise serve.finetunes
+  wc.degraded_user_fraction = 0.5;  // exercise sanitize/degrade counters
+  serve::Server server(serve::ModelSource::from_pipeline(pipeline),
+                       serve::ServeConfig{});
+  server.run(serve::make_workload(d, wc));
+
+  // Edge forwards per precision (tiny standalone model) so the dynamic
+  // "edge.forward_us.<p>" histograms and "edge.forward.<p>" spans register.
+  nn::CnnLstmConfig mc;
+  mc.feature_dim = 16;
+  mc.window_count = 8;
+  mc.conv1_channels = 2;
+  mc.conv2_channels = 3;
+  mc.lstm_hidden = 5;
+  mc.dropout = 0.0;
+  Rng rng(3);
+  Tensor map({16, 8});
+  for (std::size_t i = 0; i < map.numel(); ++i)
+    map[i] = static_cast<float>(rng.normal(0.0, 1.0));
+  const Tensor batch = nn::stack_batch({&map}, {0});
+  for (const edge::Precision p :
+       {edge::Precision::kFp32, edge::Precision::kFp16,
+        edge::Precision::kInt8}) {
+    edge::EngineConfig ec;
+    ec.precision = p;
+    edge::EdgeEngine engine(nn::build_cnn_lstm(mc, rng), ec);
+    if (p == edge::Precision::kInt8) engine.calibrate({&map});
+    engine.forward(batch);
+  }
+
+  NameSets names;
+  const obs::RegisteredNames reg = obs::registered_names();
+  names[Kind::kCounter].insert(reg.counters.begin(), reg.counters.end());
+  names[Kind::kGauge].insert(reg.gauges.begin(), reg.gauges.end());
+  names[Kind::kHistogram].insert(reg.histograms.begin(),
+                                 reg.histograms.end());
+  for (const obs::TraceEvent& e : obs::trace_events())
+    names[Kind::kSpan].insert(e.name);
+  obs::set_enabled(false);
+  obs::reset();
+  return names;
+}
+
+struct Inventory {
+  NameSets doc, source, runtime;
+  Inventory() {
+    const fs::path root(CLEAR_SOURCE_DIR);
+    doc = parse_doc(root / "docs" / "METRICS.md");
+    source = scan_sources(root);
+    runtime = runtime_names();
+  }
+};
+
+const Inventory& inventory() {
+  static Inventory inv;
+  return inv;
+}
+
+constexpr Kind kAllKinds[] = {Kind::kCounter, Kind::kGauge, Kind::kHistogram,
+                              Kind::kSpan};
+
+TEST(MetricsDoc, DocParsesAndIsNonTrivial) {
+  const NameSets& doc = inventory().doc;
+  EXPECT_GE(doc.at(Kind::kCounter).size(), 40u);
+  EXPECT_GE(doc.at(Kind::kGauge).size(), 3u);
+  EXPECT_GE(doc.at(Kind::kHistogram).size(), 4u);
+  EXPECT_GE(doc.at(Kind::kSpan).size(), 20u);
+}
+
+TEST(MetricsDoc, EverySourceLiteralIsDocumented) {
+  const Inventory& inv = inventory();
+  for (const Kind kind : kAllKinds) {
+    const auto it = inv.source.find(kind);
+    if (it == inv.source.end()) continue;
+    for (const std::string& name : it->second)
+      EXPECT_TRUE(any_token_matches(inv.doc.at(kind), name))
+          << kind_name(kind) << " \"" << name
+          << "\" is instrumented in the source but missing from "
+             "docs/METRICS.md";
+  }
+}
+
+TEST(MetricsDoc, EveryDocumentedNameExists) {
+  const Inventory& inv = inventory();
+  for (const Kind kind : kAllKinds) {
+    for (const std::string& tok : inv.doc.at(kind)) {
+      bool found = false;
+      for (const NameSets* names : {&inv.source, &inv.runtime}) {
+        const auto it = names->find(kind);
+        if (it == names->end()) continue;
+        for (const std::string& name : it->second)
+          if (token_matches(tok, name)) {
+            found = true;
+            break;
+          }
+        if (found) break;
+      }
+      EXPECT_TRUE(found)
+          << kind_name(kind) << " \"" << tok
+          << "\" is documented in docs/METRICS.md but no longer exists in "
+             "the source or registers at runtime";
+    }
+  }
+}
+
+TEST(MetricsDoc, EveryRuntimeRegistrationIsDocumented) {
+  const Inventory& inv = inventory();
+  // Sanity: the miniature run must have exercised the main subsystems,
+  // otherwise this direction of the check is vacuous.
+  EXPECT_TRUE(inv.runtime.at(Kind::kCounter).count("pipeline.fits"));
+  EXPECT_TRUE(inv.runtime.at(Kind::kCounter).count("serve.requests"));
+  EXPECT_TRUE(
+      inv.runtime.at(Kind::kHistogram).count("edge.forward_us.int8"));
+  for (const Kind kind : kAllKinds) {
+    const auto it = inv.runtime.find(kind);
+    if (it == inv.runtime.end()) continue;
+    for (const std::string& name : it->second)
+      EXPECT_TRUE(any_token_matches(inv.doc.at(kind), name))
+          << kind_name(kind) << " \"" << name
+          << "\" registered at runtime but is missing from docs/METRICS.md";
+  }
+}
+
+}  // namespace
+}  // namespace clear

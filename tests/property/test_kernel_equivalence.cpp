@@ -1,0 +1,354 @@
+// Property test for the SIMD kernel determinism contract (kernels.hpp):
+// every kernel in every supported ISA table produces results BIT-IDENTICAL
+// to the scalar reference for finite inputs. The sweep drives random shapes
+// chosen to straddle every vector width and tail path (1-element ragged
+// ends, exact 8/16-lane multiples, the CLEAR layer shapes themselves) and
+// compares:
+//
+//   - int8 GEMM by exact integer equality (associativity makes this free),
+//   - fp32 paths by ULP distance with a bound of ZERO — the contract is
+//     stronger than "close", it is bit-equality, because a looser bound
+//     would fork goldens between hosts that auto-detect different ISAs,
+//   - the fp16 round trip bit-exactly across normals, subnormals, RNE
+//     ties, overflow-to-inf, and signed zeros.
+//
+// The suite also runs under the UBSAN leg of tools/run_sanitizer_tests.sh:
+// the fp16 bit-twiddling and the packed int8 conversions are exactly the
+// kind of code where UB hides.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/kernels/kernels.hpp"
+
+namespace clear::kernels {
+namespace {
+
+/// ULP distance between two finite floats of the same sign ordering;
+/// returns a huge value on sign/bit-class mismatch so failures are loud.
+std::int64_t ulp_distance(float a, float b) {
+  std::int32_t ia, ib;
+  std::memcpy(&ia, &a, sizeof(ia));
+  std::memcpy(&ib, &b, sizeof(ib));
+  // Map the sign-magnitude float ordering onto a monotonic integer line.
+  const auto key = [](std::int32_t i) {
+    return i < 0 ? std::int64_t{std::numeric_limits<std::int32_t>::min()} - i
+                 : std::int64_t{i};
+  };
+  const std::int64_t d = key(ia) - key(ib);
+  return d < 0 ? -d : d;
+}
+
+constexpr std::int64_t kMaxUlp = 0;  ///< The contract: bit-identical.
+
+void expect_bits_equal(const std::vector<float>& ref,
+                       const std::vector<float>& got, const char* what,
+                       Isa isa) {
+  ASSERT_EQ(ref.size(), got.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    if (std::memcmp(&ref[i], &got[i], sizeof(float)) == 0) continue;
+    ADD_FAILURE() << what << " [" << isa_name(isa) << "] diverges at " << i
+                  << ": scalar=" << ref[i] << " vs " << got[i]
+                  << " (ulp distance " << ulp_distance(ref[i], got[i])
+                  << ", bound " << kMaxUlp << ")";
+    return;
+  }
+}
+
+std::vector<float> random_floats(Rng& rng, std::size_t n, float scale = 2.0f) {
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.normal(0.0, scale));
+  return v;
+}
+
+std::vector<std::int8_t> random_int8(Rng& rng, std::size_t n) {
+  std::vector<std::int8_t> v(n);
+  for (std::int8_t& x : v)
+    x = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+  return v;
+}
+
+/// Shapes that exercise the 16-wide strip, the 8-wide strip, the scalar
+/// column tail, the row-block tail, and k parity (the int8 kernel pairs k).
+struct Shape {
+  std::size_t m, k, n;
+};
+const Shape kShapes[] = {
+    {1, 1, 1},     {1, 3, 7},      {2, 5, 8},     {3, 4, 9},
+    {4, 8, 15},    {5, 7, 16},     {4, 9, 17},    {7, 16, 24},
+    {8, 11, 31},   {6, 9, 1476},   {12, 54, 366}, {16, 360, 128},
+    {16, 32, 128}, {13, 21, 40},   {4, 1, 33},    {9, 2, 47},
+};
+
+std::vector<Isa> vector_isas() {
+  std::vector<Isa> out;
+  for (const Isa isa : supported_isas())
+    if (isa != Isa::kScalar) out.push_back(isa);
+  return out;
+}
+
+TEST(KernelEquivalence, GemmF32AllEpilogues) {
+  Rng rng(2024);
+  const KernelTable& oracle = table(Isa::kScalar);
+  for (const Shape& s : kShapes) {
+    const std::vector<float> a = random_floats(rng, s.m * s.k);
+    const std::vector<float> b = random_floats(rng, s.k * s.n);
+    const std::vector<float> bias_col = random_floats(rng, s.n);
+    const std::vector<float> bias_row = random_floats(rng, s.m);
+    // GEMM accumulates on top of C: seed it with nonzero contents.
+    const std::vector<float> c0 = random_floats(rng, s.m * s.n, 0.5f);
+
+    const Epilogue eps[] = {
+        {BiasMode::kPerCol, nullptr, Activation::kNone},
+        {BiasMode::kPerCol, bias_col.data(), Activation::kNone},
+        {BiasMode::kPerRow, bias_row.data(), Activation::kNone},
+        {BiasMode::kPerCol, nullptr, Activation::kRelu},
+        {BiasMode::kPerCol, bias_col.data(), Activation::kRelu},
+        {BiasMode::kPerRow, bias_row.data(), Activation::kRelu},
+    };
+    for (std::size_t e = 0; e <= std::size(eps); ++e) {
+      const Epilogue* ep = e == 0 ? nullptr : &eps[e - 1];
+      std::vector<float> ref = c0;
+      oracle.gemm_f32(a.data(), b.data(), ref.data(), s.m, s.k, s.n, ep);
+      for (const Isa isa : vector_isas()) {
+        std::vector<float> got = c0;
+        table(isa).gemm_f32(a.data(), b.data(), got.data(), s.m, s.k, s.n,
+                            ep);
+        expect_bits_equal(ref, got, "gemm_f32", isa);
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalence, GemmF32ZeroEntriesHitSkipPath) {
+  // The scalar oracle skips k-steps whose A entry is +0; the vector paths
+  // do not. The contract holds because +0 contributions cannot change any
+  // accumulator bit. Force many zeros (and some -0) to pin that reasoning.
+  Rng rng(77);
+  const Shape s{5, 24, 19};
+  std::vector<float> a = random_floats(rng, s.m * s.k);
+  for (std::size_t i = 0; i < a.size(); i += 2) a[i] = 0.0f;
+  a[1] = -0.0f;
+  const std::vector<float> b = random_floats(rng, s.k * s.n);
+  const std::vector<float> c0 = random_floats(rng, s.m * s.n, 0.25f);
+  std::vector<float> ref = c0;
+  table(Isa::kScalar)
+      .gemm_f32(a.data(), b.data(), ref.data(), s.m, s.k, s.n, nullptr);
+  for (const Isa isa : vector_isas()) {
+    std::vector<float> got = c0;
+    table(isa).gemm_f32(a.data(), b.data(), got.data(), s.m, s.k, s.n,
+                        nullptr);
+    expect_bits_equal(ref, got, "gemm_f32(sparse)", isa);
+  }
+}
+
+TEST(KernelEquivalence, GemmI8Exact) {
+  Rng rng(4096);
+  for (const Shape& s : kShapes) {
+    const std::vector<std::int8_t> a = random_int8(rng, s.m * s.k);
+    const std::vector<std::int8_t> b = random_int8(rng, s.k * s.n);
+    std::vector<std::int32_t> ref(s.m * s.n);
+    table(Isa::kScalar)
+        .gemm_i8(a.data(), b.data(), ref.data(), s.m, s.k, s.n);
+    for (const Isa isa : vector_isas()) {
+      std::vector<std::int32_t> got(s.m * s.n, -1);
+      table(isa).gemm_i8(a.data(), b.data(), got.data(), s.m, s.k, s.n);
+      EXPECT_EQ(ref, got) << "gemm_i8 " << isa_name(isa) << " at m=" << s.m
+                          << " k=" << s.k << " n=" << s.n;
+    }
+  }
+}
+
+TEST(KernelEquivalence, GemmI8ExtremesAndSaturationRange) {
+  // All-extreme operands maximize every intermediate the AVX2 pair-madd
+  // path produces (127*127*2 per VPMADDWD lane).
+  for (const std::size_t k : {1u, 2u, 3u, 31u, 64u}) {
+    const Shape s{5, k, 23};
+    std::vector<std::int8_t> a(s.m * s.k), b(s.k * s.n);
+    for (std::size_t i = 0; i < a.size(); ++i) a[i] = i % 2 ? 127 : -127;
+    for (std::size_t i = 0; i < b.size(); ++i) b[i] = i % 3 ? -127 : 127;
+    std::vector<std::int32_t> ref(s.m * s.n);
+    table(Isa::kScalar)
+        .gemm_i8(a.data(), b.data(), ref.data(), s.m, s.k, s.n);
+    for (const Isa isa : vector_isas()) {
+      std::vector<std::int32_t> got(s.m * s.n);
+      table(isa).gemm_i8(a.data(), b.data(), got.data(), s.m, s.k, s.n);
+      EXPECT_EQ(ref, got) << "gemm_i8 extremes " << isa_name(isa)
+                          << " k=" << k;
+    }
+  }
+}
+
+// Sizes straddling the 8-lane (AVX2) and 4-lane (NEON) widths plus ragged
+// tails; 1476 is one flattened feature map, the real elementwise size.
+const std::size_t kElemSizes[] = {1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 33,
+                                  40, 1476};
+
+TEST(KernelEquivalence, ElementwiseOps) {
+  Rng rng(9001);
+  for (const std::size_t n : kElemSizes) {
+    const std::vector<float> x0 = random_floats(rng, n);
+    const std::vector<float> y0 = random_floats(rng, n);
+    struct Op {
+      const char* name;
+      std::function<void(const KernelTable&, float*)> run;
+    };
+    const Op ops[] = {
+        {"add_f32",
+         [&](const KernelTable& kt, float* a) { kt.add_f32(a, y0.data(), n); }},
+        {"sub_f32",
+         [&](const KernelTable& kt, float* a) { kt.sub_f32(a, y0.data(), n); }},
+        {"mul_f32",
+         [&](const KernelTable& kt, float* a) { kt.mul_f32(a, y0.data(), n); }},
+        {"axpy_f32",
+         [&](const KernelTable& kt, float* a) {
+           kt.axpy_f32(a, 0.37f, y0.data(), n);
+         }},
+        {"scale_f32",
+         [&](const KernelTable& kt, float* a) { kt.scale_f32(a, -1.83f, n); }},
+        {"add_scalar_f32",
+         [&](const KernelTable& kt, float* a) {
+           kt.add_scalar_f32(a, 0.61f, n);
+         }},
+    };
+    for (const Op& op : ops) {
+      std::vector<float> ref = x0;
+      op.run(table(Isa::kScalar), ref.data());
+      for (const Isa isa : vector_isas()) {
+        std::vector<float> got = x0;
+        op.run(table(isa), got.data());
+        expect_bits_equal(ref, got, op.name, isa);
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalence, BiasRowsAndRelu) {
+  Rng rng(314);
+  for (const std::size_t n : kElemSizes) {
+    const std::size_t m = 3;
+    const std::vector<float> a0 = random_floats(rng, m * n);
+    const std::vector<float> bias = random_floats(rng, n);
+    std::vector<float> ref = a0;
+    table(Isa::kScalar).bias_rows_f32(ref.data(), bias.data(), m, n);
+    for (const Isa isa : vector_isas()) {
+      std::vector<float> got = a0;
+      table(isa).bias_rows_f32(got.data(), bias.data(), m, n);
+      expect_bits_equal(ref, got, "bias_rows_f32", isa);
+    }
+
+    // relu with and without the backward mask; include exact zeros and -0.
+    std::vector<float> x = random_floats(rng, n);
+    x[0] = 0.0f;
+    if (n > 1) x[1] = -0.0f;
+    std::vector<float> yr(n), mr(n), yv(n), mv(n);
+    table(Isa::kScalar).relu_f32(x.data(), yr.data(), mr.data(), n);
+    for (const Isa isa : vector_isas()) {
+      table(isa).relu_f32(x.data(), yv.data(), mv.data(), n);
+      expect_bits_equal(yr, yv, "relu_f32.y", isa);
+      expect_bits_equal(mr, mv, "relu_f32.mask", isa);
+      std::vector<float> y2(n, -1.0f);
+      table(isa).relu_f32(x.data(), y2.data(), nullptr, n);
+      expect_bits_equal(yr, y2, "relu_f32.nomask", isa);
+    }
+  }
+}
+
+TEST(KernelEquivalence, QuantizePaths) {
+  Rng rng(555);
+  const float scale = 0.043f;
+  for (const std::size_t n : kElemSizes) {
+    std::vector<float> x = random_floats(rng, n, 3.0f);
+    // Saturation and RNE-tie cases: exact half-step multiples round to
+    // even in both std::nearbyint and VROUNDPS/vrndnq.
+    if (n >= 5) {
+      x[0] = 127.5f * scale;   // tie at the clamp edge
+      x[1] = -400.0f;          // saturates at -127
+      x[2] = 400.0f;           // saturates at +127
+      x[3] = 0.5f * scale;     // tie -> 0 (even)
+      x[4] = 1.5f * scale;     // tie -> 2 (even)
+    }
+    std::vector<std::int8_t> qr(n), qv(n);
+    table(Isa::kScalar).quantize_i8(x.data(), scale, qr.data(), n);
+    for (const Isa isa : vector_isas()) {
+      std::fill(qv.begin(), qv.end(), 99);
+      table(isa).quantize_i8(x.data(), scale, qv.data(), n);
+      EXPECT_EQ(qr, qv) << "quantize_i8 " << isa_name(isa) << " n=" << n;
+    }
+
+    std::vector<std::int32_t> acc(n);
+    for (std::size_t i = 0; i < n; ++i)
+      acc[i] = static_cast<std::int32_t>(rng.uniform_int(-500000, 500000));
+    std::vector<float> dr(n), dv(n);
+    table(Isa::kScalar).dequantize_i32(acc.data(), scale, dr.data(), n);
+    for (const Isa isa : vector_isas()) {
+      table(isa).dequantize_i32(acc.data(), scale, dv.data(), n);
+      expect_bits_equal(dr, dv, "dequantize_i32", isa);
+    }
+
+    std::vector<float> fr = x, fv;
+    table(Isa::kScalar).fake_quant_f32(fr.data(), scale, n);
+    for (const Isa isa : vector_isas()) {
+      fv = x;
+      table(isa).fake_quant_f32(fv.data(), scale, n);
+      expect_bits_equal(fr, fv, "fake_quant_f32", isa);
+    }
+  }
+}
+
+TEST(KernelEquivalence, Fp16RoundTripEdgeCases) {
+  // Normals, RNE ties, fp16 subnormals, underflow-to-zero, overflow-to-inf,
+  // signed zeros, and the largest finite fp16 (65504).
+  std::vector<float> edge = {
+      0.0f,        -0.0f,       1.0f,          -1.0f,      0.333333f,
+      1.0009766f,  // halfway between two fp16 mantissa steps (tie)
+      1.0029297f,  // the next tie up
+      65504.0f,    // fp16 max
+      65520.0f,    // rounds to inf (tie at the overflow boundary)
+      70000.0f,    // clean overflow -> inf
+      -70000.0f,   5.9604645e-8f,  // fp16 min subnormal
+      2.9802322e-8f,               // half of it: tie -> 0
+      8.9406967e-8f,               // 1.5x: tie -> 2 subnormal steps
+      6.0975552e-5f,               // fp16 min normal boundary region
+      1e-10f,      -1e-10f,        3.1415927f, -2.7182818f};
+  Rng rng(808);
+  for (int i = 0; i < 500; ++i)
+    edge.push_back(static_cast<float>(rng.normal(0.0, 100.0)));
+  for (const std::size_t n :
+       {edge.size(), std::size_t{7}, std::size_t{8}, std::size_t{9}}) {
+    std::vector<float> ref(edge.begin(), edge.begin() + n);
+    table(Isa::kScalar).fp16_round_f32(ref.data(), n);
+    for (const Isa isa : vector_isas()) {
+      std::vector<float> got(edge.begin(), edge.begin() + n);
+      table(isa).fp16_round_f32(got.data(), n);
+      expect_bits_equal(ref, got, "fp16_round_f32", isa);
+    }
+  }
+}
+
+TEST(KernelEquivalence, DispatchReportsSupportedIsas) {
+  const std::vector<Isa> isas = supported_isas();
+  ASSERT_FALSE(isas.empty());
+  EXPECT_EQ(isas.front(), Isa::kScalar);
+  for (const Isa isa : isas) {
+    EXPECT_TRUE(isa_supported(isa));
+    EXPECT_EQ(table(isa).isa, isa);
+    Isa parsed;
+    EXPECT_TRUE(parse_isa(isa_name(isa), parsed));
+    EXPECT_EQ(parsed, isa);
+  }
+  Isa unused = Isa::kScalar;
+  EXPECT_FALSE(parse_isa("sse9", unused));
+  EXPECT_FALSE(parse_isa("", unused));
+  EXPECT_FALSE(parse_isa("AVX2", unused));  // names are lower-case, exact
+}
+
+}  // namespace
+}  // namespace clear::kernels

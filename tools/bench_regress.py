@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate for the SIMD kernel library.
+
+Runs `bench_kernels --json` (or reads a pre-recorded run) and compares it
+against the committed baseline BENCH_kernels.json. The gate compares
+*speedups relative to the scalar oracle* — a same-host, same-run ratio —
+rather than absolute throughput, so the committed baseline stays meaningful
+on machines of different absolute speed and under CI noise. A vector kernel
+whose advantage over scalar shrinks by more than --tolerance (default 15%)
+fails the gate; that is exactly the "someone quietly broke the AVX2 GEMM"
+signal the perf trajectory exists to catch.
+
+ISAs present in the baseline but not runnable on this host (e.g. an avx2
+baseline checked on an ARM box) are skipped with a note, never failed: the
+baseline records the union of platforms, the gate checks the intersection.
+The sweep's built-in cross-ISA bit-identity check (the `bit_identical` JSON
+field) is enforced unconditionally.
+
+Usage:
+  bench_regress.py --bench PATH/bench_kernels --baseline BENCH_kernels.json
+  bench_regress.py --current run.json --baseline BENCH_kernels.json
+Options:
+  --tolerance FRAC   allowed fractional speedup loss (default 0.15)
+  --update           rewrite the baseline from the current run and exit 0
+
+Exit codes: 0 pass, 1 regression or malformed input, 2 usage error.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    if data.get("schema") != "clear-bench-kernels-v1":
+        sys.exit(f"error: {path}: not a clear-bench-kernels-v1 file")
+    return data
+
+
+def run_bench(bench):
+    with tempfile.NamedTemporaryFile(mode="r", suffix=".json") as tmp:
+        proc = subprocess.run([bench, f"--json={tmp.name}"],
+                              stdout=subprocess.DEVNULL)
+        if proc.returncode != 0:
+            sys.exit(f"error: {bench} --json exited {proc.returncode}")
+        return load(tmp.name)
+
+
+def main():
+    ap = argparse.ArgumentParser(allow_abbrev=False)
+    ap.add_argument("--bench", help="bench_kernels binary to run")
+    ap.add_argument("--current", help="pre-recorded current-run JSON")
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--tolerance", type=float, default=0.15)
+    ap.add_argument("--update", action="store_true")
+    args = ap.parse_args()
+    if bool(args.bench) == bool(args.current):
+        ap.error("exactly one of --bench / --current is required")
+
+    current = run_bench(args.bench) if args.bench else load(args.current)
+
+    if not current.get("bit_identical", False):
+        print("FAIL: kernel outputs are not bit-identical across ISAs")
+        return 1
+
+    if args.update:
+        with open(args.baseline, "w", encoding="utf-8") as f:
+            json.dump(current, f, indent=2)
+            f.write("\n")
+        print(f"baseline {args.baseline} updated")
+        return 0
+
+    baseline = load(args.baseline)
+    host_isas = set(current.get("isas", []))
+    cur_speedups = current.get("speedups", {})
+
+    failures, checked, skipped = [], 0, []
+    for bench_name, by_isa in sorted(baseline.get("speedups", {}).items()):
+        for isa, base in sorted(by_isa.items()):
+            if isa not in host_isas:
+                skipped.append(f"{bench_name}/{isa}")
+                continue
+            cur = cur_speedups.get(bench_name, {}).get(isa)
+            if cur is None:
+                failures.append(
+                    f"{bench_name}/{isa}: missing from current run "
+                    f"(baseline {base:.2f}x)")
+                continue
+            checked += 1
+            floor = base * (1.0 - args.tolerance)
+            verdict = "ok" if cur >= floor else "REGRESSION"
+            print(f"{bench_name:24s} {isa:6s} baseline {base:6.2f}x  "
+                  f"current {cur:6.2f}x  floor {floor:6.2f}x  {verdict}")
+            if cur < floor:
+                failures.append(
+                    f"{bench_name}/{isa}: {cur:.2f}x < floor {floor:.2f}x "
+                    f"(baseline {base:.2f}x, tolerance "
+                    f"{args.tolerance:.0%})")
+
+    if skipped:
+        print(f"skipped (ISA not runnable here): {', '.join(skipped)}")
+    if checked == 0:
+        # A gate that silently checks nothing is worse than no gate.
+        print("FAIL: no baseline entry was checkable on this host")
+        return 1
+    if failures:
+        print(f"\nFAIL: {len(failures)} regression(s):")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"\nPASS: {checked} speedup(s) within {args.tolerance:.0%} "
+          f"of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

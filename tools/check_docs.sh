@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# Doc-drift gate (ctest `check_docs`): the docs may not describe a CLI that
+# no longer exists.
+#
+#   tools/check_docs.sh CLEAR_CLI_BINARY [repo-root]
+#
+# Three checks over README.md, DESIGN.md, EXPERIMENTS.md, and docs/*.md:
+#
+#   1. Every `clear-cli <subcommand> --flags...` invocation documented in
+#      the markdown is probed against the real binary: the subcommand must
+#      answer `--help` with exit 0, and every flag spelled on that
+#      documented command line must appear in its help text. This is the
+#      check that would have caught `robustness --quick` drifting after
+#      the flag was removed.
+#   2. Every `--flag` named in a docs/*.md table row must appear in the
+#      help text of at least one documented subcommand (tables describe
+#      flags without repeating the full command line).
+#   3. Every intra-repo markdown link [text](path) must resolve to an
+#      existing file, relative to the file that contains it.
+#
+# No option parsing beyond $1/$2; runs from any directory.
+set -u
+
+CLI="${1:?usage: check_docs.sh CLEAR_CLI_BINARY [repo-root]}"
+ROOT="${2:-$(cd "$(dirname "$0")/.." && pwd)}"
+[ -x "$CLI" ] || { echo "FAIL: clear-cli binary not executable: $CLI"; exit 1; }
+
+DOCS=$(ls "$ROOT"/README.md "$ROOT"/DESIGN.md "$ROOT"/EXPERIMENTS.md \
+          "$ROOT"/docs/*.md 2>/dev/null)
+[ -n "$DOCS" ] || { echo "FAIL: no markdown files found under $ROOT"; exit 1; }
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+failures=0
+fail() { echo "FAIL: $*"; failures=$((failures + 1)); }
+
+# --- 1. documented `clear-cli <sub> --flags` lines --------------------------
+# Backslash-continued shell lines are joined first so multi-line fenced
+# examples are seen as one command.
+checked_cmds=0
+for doc in $DOCS; do
+  # Only code is a command: lines inside ``` fences, plus the contents of
+  # inline `backtick` spans. Prose like "clear-cli drives the life cycle"
+  # must not be probed as a subcommand.
+  sed -e ':a' -e '/\\$/N; s/\\\n/ /; ta' "$doc" |
+    awk 'BEGIN { fence = 0 }
+         /^```/ { fence = !fence; next }
+         fence { print NR ":" $0; next }
+         {
+           n = split($0, parts, "`")
+           for (i = 2; i <= n; i += 2)
+             if (parts[i] ~ /clear-cli /) print NR ":" parts[i]
+         }' |
+    grep 'clear-cli [a-z]' > "$TMP/lines" || continue
+  while IFS= read -r entry; do
+    lineno=${entry%%:*}
+    line=${entry#*:}
+    # Everything from the LAST `clear-cli` on the line (prose may mention
+    # it twice); subcommand is the word right after.
+    cmd=${line##*clear-cli }
+    sub=$(printf '%s\n' "$cmd" | grep -oE '^[a-z][a-z-]*' || true)
+    [ -n "$sub" ] || continue
+    help="$TMP/help_$sub"
+    if [ ! -f "$help" ]; then
+      if ! "$CLI" "$sub" --help > "$help" 2>/dev/null; then
+        fail "$doc:$lineno: documented subcommand 'clear-cli $sub'" \
+             "is not accepted by the binary"
+        rm -f "$help"
+        continue
+      fi
+    fi
+    for flag in $(printf '%s\n' "$cmd" | grep -oE '\-\-[a-z][a-z0-9-]*' |
+                    sort -u); do
+      [ "$flag" = "--help" ] && continue
+      checked_cmds=$((checked_cmds + 1))
+      grep -q -- "$flag" "$help" ||
+        fail "$doc:$lineno: 'clear-cli $sub $flag' is documented but" \
+             "$flag is not in '$sub --help'"
+    done
+  done < "$TMP/lines"
+done
+[ "$checked_cmds" -gt 0 ] ||
+  fail "no 'clear-cli <sub> --flag' lines found in any doc (parser broken?)"
+
+# --- 2. flag tables in docs/*.md --------------------------------------------
+cat "$TMP"/help_* > "$TMP/help_union" 2>/dev/null || : > "$TMP/help_union"
+for doc in "$ROOT"/docs/*.md; do
+  [ -f "$doc" ] || continue
+  grep -n '^|' "$doc" | grep -oE '^[0-9]+|\-\-[a-z][a-z0-9-]*' |
+    awk '/^[0-9]+$/ {n=$0; next} {print n":"$0}' | sort -u > "$TMP/tflags"
+  while IFS=: read -r lineno flag; do
+    [ -n "$flag" ] || continue
+    grep -q -- "$flag" "$TMP/help_union" ||
+      fail "$doc:$lineno: table documents '$flag' but no clear-cli" \
+           "subcommand advertises it"
+  done < "$TMP/tflags"
+done
+
+# --- 3. intra-repo markdown links -------------------------------------------
+checked_links=0
+for doc in $DOCS; do
+  dir=$(dirname "$doc")
+  grep -n -oE '\]\([^)]+\)' "$doc" | sed 's/](//; s/)$//' > "$TMP/links"
+  while IFS=: read -r lineno target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path=${target%%#*}
+    [ -n "$path" ] || continue
+    checked_links=$((checked_links + 1))
+    [ -e "$dir/$path" ] ||
+      fail "$doc:$lineno: broken link '$target' ($dir/$path does not exist)"
+  done < "$TMP/links"
+done
+[ "$checked_links" -gt 0 ] || fail "no intra-repo markdown links found"
+
+if [ "$failures" -gt 0 ]; then
+  echo "check_docs: $failures failure(s)"
+  exit 1
+fi
+echo "check_docs: OK ($checked_cmds flag probes, $checked_links links)"

@@ -73,13 +73,124 @@ using namespace clear;
 
 namespace {
 
-int usage() {
-  std::fprintf(stderr,
+int usage(std::FILE* out = stderr) {
+  std::fprintf(out,
                "usage: clear-cli <generate|train|info|assign|evaluate|"
                "personalize|robustness|profile|serve> [--flags]\n%s"
-               "run with a command name for details (see tool header).\n",
+               "run `clear-cli <command> --help` for that command's flags.\n",
                CommonFlags::help());
-  return 2;
+  return out == stderr ? 2 : 0;
+}
+
+/// Per-subcommand flag reference, printed by `clear-cli <command> --help`.
+/// tools/check_docs.sh greps this output to verify that every flag the
+/// documentation mentions actually exists, so keep it exhaustive.
+const char* command_help(const std::string& command) {
+  static const std::map<std::string, const char*> kHelp = {
+      {"generate",
+       "clear-cli generate — generate (and cache) the synthetic WEMAC "
+       "dataset\n"
+       "  --cache-dir=DIR   dataset cache directory (default wemac_cache)\n"
+       "  --volunteers=N    number of synthetic volunteers\n"
+       "  --trials=N        trials per volunteer\n"
+       "  --seed=S          dataset RNG seed\n"},
+      {"train",
+       "clear-cli train — cloud stage: fit the pipeline, save artifacts\n"
+       "  --artifacts=DIR   output directory (required)\n"
+       "  --holdout=N       volunteers held out from the fit (default 1)\n"
+       "  --cache-dir=DIR   dataset cache directory (default wemac_cache)\n"
+       "  --volunteers=N    number of synthetic volunteers\n"
+       "  --trials=N        trials per volunteer\n"
+       "  --seed=S          dataset RNG seed\n"
+       "  --epochs=N        pre-training epochs per cluster model\n"
+       "  --k=N             number of general clusters\n"},
+      {"info",
+       "clear-cli info — describe saved artifacts\n"
+       "  --artifacts=DIR   artifact directory (default clear_artifacts)\n"},
+      {"assign",
+       "clear-cli assign — cold-start cluster assignment for one user\n"
+       "  --artifacts=DIR   artifact directory (default clear_artifacts)\n"
+       "  --user=N          volunteer index (default: last volunteer)\n"
+       "  --fraction=F      unlabeled share used for assignment (default "
+       "0.1)\n"
+       "  --cache-dir=DIR   dataset cache directory (default wemac_cache)\n"
+       "  --volunteers=N    number of synthetic volunteers\n"
+       "  --trials=N        trials per volunteer\n"
+       "  --seed=S          dataset RNG seed\n"},
+      {"evaluate",
+       "clear-cli evaluate — run every cluster model on a user's maps\n"
+       "  --artifacts=DIR   artifact directory (default clear_artifacts)\n"
+       "  --user=N          volunteer index (default: last volunteer)\n"
+       "  --cache-dir=DIR   dataset cache directory (default wemac_cache)\n"
+       "  --volunteers=N    number of synthetic volunteers\n"
+       "  --trials=N        trials per volunteer\n"
+       "  --seed=S          dataset RNG seed\n"},
+      {"personalize",
+       "clear-cli personalize — assign, fine-tune, report before/after\n"
+       "  --artifacts=DIR   artifact directory (default clear_artifacts)\n"
+       "  --user=N          volunteer index (default: last volunteer)\n"
+       "  --ft-fraction=F   labelled share used for fine-tuning (default "
+       "0.2)\n"
+       "  --cache-dir=DIR   dataset cache directory (default wemac_cache)\n"
+       "  --volunteers=N    number of synthetic volunteers\n"
+       "  --trials=N        trials per volunteer\n"
+       "  --seed=S          dataset RNG seed\n"},
+      {"robustness",
+       "clear-cli robustness — fault-injection accuracy sweep (LOSO)\n"
+       "  --dropout=A,B,..  sample dropout rates (default 0,0.05,0.1)\n"
+       "  --corrupt=A,B,..  sample corruption rates (default 0,0.01)\n"
+       "  --jitter=F        label jitter rate (default 0)\n"
+       "  --folds=N         cap on LOSO folds, 0 = all (default 0)\n"
+       "  --fault-seed=S    fault-injection RNG seed (default 1)\n"
+       "  --volunteers=N    number of synthetic volunteers\n"
+       "  --trials=N        trials per volunteer\n"
+       "  --seed=S          dataset RNG seed\n"
+       "  --epochs=N        pre-training epochs per cluster model\n"
+       "  --k=N             number of general clusters\n"},
+      {"profile",
+       "clear-cli profile — tiny LOSO slice with metrics enabled\n"
+       "  --volunteers=N    number of synthetic volunteers (default 6)\n"
+       "  --trials=N        trials per volunteer (default 4)\n"
+       "  --epochs=N        pre-training epochs (default 2)\n"
+       "  --ft-epochs=N     fine-tuning epochs (default 2)\n"
+       "  --folds=N         LOSO folds to run (default 1)\n"
+       "  --k=N             number of general clusters\n"
+       "  --seed=S          dataset RNG seed\n"
+       "  --metrics-out=F   snapshot path (default clear_profile.json)\n"
+       "  --no-metrics      disable the default metrics snapshot\n"},
+      {"serve",
+       "clear-cli serve — replay a synthetic multi-user serving workload\n"
+       "  --users=N             workload users (default 32)\n"
+       "  --requests=N          requests per user (default 24)\n"
+       "  --seed=S              workload RNG seed (default 7)\n"
+       "  --labeled-fraction=F  share of labelled requests\n"
+       "  --degraded-fraction=F share of degraded-signal users\n"
+       "  --artifacts=DIR       serve a trained deployment instead of\n"
+       "                        fitting a small pipeline in memory\n"
+       "  --precisions=LIST     fp32,fp16,int8 engines to run (default "
+       "fp32)\n"
+       "  --max-batch=N         micro-batch row cap (default 8)\n"
+       "  --max-wait-us=N       micro-batch wait budget (default 2000)\n"
+       "  --queue-cap=N         per-tick admission queue slots (default "
+       "32)\n"
+       "  --max-pending=N       admission-control pending cap (default "
+       "256)\n"
+       "  --ca-windows=N        windows buffered before assignment "
+       "(default 6)\n"
+       "  --ft-maps=N           labelled maps before fine-tune (default "
+       "4)\n"
+       "  --no-finetune         disable per-session fine-tuning\n"
+       "  --cache-budget-kb=N   checkpoint cache budget (default 4096)\n"
+       "  --max-sessions=N      session table cap (default 4096)\n"
+       "  --data-seed=S         in-memory dataset seed (default 42)\n"
+       "  --volunteers=N        in-memory dataset volunteers (default 8)\n"
+       "  --trials=N            trials per volunteer (default 5)\n"
+       "  --epochs=N            pre-training epochs (default 2)\n"
+       "  --ft-epochs=N         fine-tuning epochs (default 2)\n"
+       "  --k=N                 number of general clusters\n"},
+  };
+  const auto it = kHelp.find(command);
+  return it == kHelp.end() ? nullptr : it->second;
 }
 
 core::ClearConfig config_from(const CliArgs& args) {
@@ -567,8 +678,20 @@ void print_span_summary() {
 int main(int argc, char** argv) {
   try {
     const CliArgs args(argc, argv);
-    if (args.positional().empty()) return usage();
+    if (args.positional().empty())
+      return usage(args.get_bool("help", false) ? stdout : stderr);
     const std::string& command = args.positional()[0];
+    if (args.get_bool("help", false)) {
+      // Handled before CommonFlags::apply so `profile --help` does not
+      // enable (and later snapshot) the metrics registry.
+      const char* help = command_help(command);
+      if (help == nullptr) {
+        std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+        return usage();
+      }
+      std::printf("%s%s", help, CommonFlags::help());
+      return 0;
+    }
     // Shared flags (--threads / --metrics-out) behave identically across
     // every subcommand; `profile` defaults the metrics snapshot on.
     const CommonFlags flags = CommonFlags::apply(

@@ -35,10 +35,13 @@ run_tsan() {
 run_ubsan() {
   local dir="${PREFIX}-ubsan"
   cmake -B "$dir" -S . -DCLEAR_SANITIZE=undefined -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build "$dir" -j --target test_fault test_common test_nn test_features
+  cmake --build "$dir" -j --target test_fault test_common test_nn test_features \
+    test_kernel_equivalence
   export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
   echo "== test_fault (UBSAN) =="
   "$dir/tests/test_fault"
+  echo "== test_kernel_equivalence (UBSAN, SIMD + fp16/int8 bit paths) =="
+  "$dir/tests/test_kernel_equivalence"
   echo "== test_common (UBSAN) =="
   "$dir/tests/test_common"
   echo "== test_nn (UBSAN, checkpoint corruption paths) =="
