@@ -1,0 +1,107 @@
+// bench_loadgen — wire-level serving latency under open-loop load.
+//
+// Self-contained: fits a small pipeline in memory, starts the epoll front
+// end (src/net) on an ephemeral loopback port in a background thread, and
+// drives it with the deterministic open-loop load generator. What the
+// kernels benchmark is to the SIMD library, this is to the wire: the
+// latency distribution (p50/p90/p99/p99.9) and delivery ratios of the whole
+// socket -> decode -> session -> micro-batch -> reply path, measured
+// coordinated-omission-free from hashed scheduled send times.
+//
+// Flags: --connections=4 --lg-requests=192 --rate=300 --burstiness=2
+//        --lg-users=8 --lg-seed=1 [dataset flags: --seed --volunteers
+//        --trials --epochs --ft-epochs --quick]
+//        --json=FILE  write the clear-bench-loadgen-v1 report (ratio gate
+//                     for tools/bench_regress.py)
+//
+// Gate: every sent request must be answered (dropped == 0) — exit 1
+// otherwise. Latency numbers are reported, not gated: absolute wall time is
+// machine-dependent; the regression gate compares the delivery ratios.
+#include <cstdio>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "clear/pipeline.hpp"
+#include "net/loadgen.hpp"
+#include "net/server.hpp"
+#include "serve/server.hpp"
+
+using namespace clear;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  core::ClearConfig config = bench::config_from_args(args);
+  config.data.n_volunteers =
+      static_cast<std::size_t>(args.get_int("volunteers", 6));
+  config.data.trials_per_volunteer =
+      static_cast<std::size_t>(args.get_int("trials", 4));
+  config.train.epochs = static_cast<std::size_t>(args.get_int("epochs", 1));
+  config.finetune.epochs =
+      static_cast<std::size_t>(args.get_int("ft-epochs", 1));
+  config.finalize();
+
+  const wemac::WemacDataset d = wemac::generate_wemac(config.data);
+  std::vector<std::size_t> users;
+  for (std::size_t u = 0; u + 2 < d.n_volunteers(); ++u) users.push_back(u);
+  std::printf("fitting pipeline on %zu of %zu volunteers...\n", users.size(),
+              d.n_volunteers());
+  std::fflush(stdout);
+  core::ClearPipeline pipeline(config);
+  pipeline.fit(d, users);
+
+  serve::ServeConfig sc;
+  sc.batch.max_batch = static_cast<std::size_t>(args.get_int("max-batch", 8));
+  sc.session.ft_maps = 4;
+  serve::Server server(serve::ModelSource::from_pipeline(pipeline), sc);
+
+  net::NetServerConfig nc;
+  nc.listen.port = 0;  // Ephemeral: parallel bench runs cannot collide.
+  net::NetServer net_server(server, nc);
+
+  std::thread server_thread([&net_server] { net_server.run(); });
+
+  net::LoadgenConfig lc;
+  lc.target.port = net_server.port();
+  lc.connections =
+      static_cast<std::size_t>(args.get_int("connections", 4));
+  lc.requests = static_cast<std::size_t>(args.get_int("lg-requests", 192));
+  lc.rate_rps = args.get_double("rate", 300.0);
+  lc.burstiness = args.get_double("burstiness", 2.0);
+  lc.seed = static_cast<std::uint64_t>(args.get_int("lg-seed", 1));
+  lc.users = static_cast<std::size_t>(args.get_int("lg-users", 8));
+  lc.features = config.model.feature_dim;
+  lc.window = config.model.window_count;
+  lc.shutdown_after = true;
+
+  const net::LoadgenReport report = net::run_loadgen(lc);
+  server_thread.join();
+
+  std::printf(
+      "sent=%zu received=%zu ok=%zu shed=%zu dropped=%zu wall=%.3fs\n",
+      report.sent, report.received, report.ok, report.shed, report.dropped,
+      report.wall_seconds);
+  std::printf("offered=%.1f rps achieved=%.1f rps\n", report.offered_rps,
+              report.achieved_rps);
+  std::printf(
+      "latency: p50=%.0fus p90=%.0fus p99=%.0fus p99.9=%.0fus max=%.0fus\n",
+      report.latency.p50_us, report.latency.p90_us, report.latency.p99_us,
+      report.latency.p999_us, report.latency.max_us);
+
+  const std::string json_path = args.get("json", "");
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    CLEAR_CHECK_MSG(f != nullptr, "cannot write " << json_path);
+    const std::string json = report.json(lc);
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("report written to %s\n", json_path.c_str());
+  }
+
+  if (report.dropped != 0 || report.received != report.sent) {
+    std::printf("FAIL: %zu of %zu requests went unanswered\n", report.dropped,
+                report.sent);
+    return 1;
+  }
+  std::printf("PASS: every request answered over the wire\n");
+  return 0;
+}

@@ -186,4 +186,44 @@ void maybe_fail_io(const char* site) {
   }
 }
 
+namespace {
+constexpr std::uint64_t kKindShortWrite = 0x5Eu;
+NetFaultSpec g_net_spec;  // All-zero rates by default: injects nothing.
+std::atomic<std::int64_t> g_net_drop_countdown{-1};
+std::atomic<std::uint64_t> g_net_drop_stream{kAnyNetStream};
+}  // namespace
+
+void set_net_fault(const NetFaultSpec& spec) { g_net_spec = spec; }
+
+void clear_net_fault() { g_net_spec = NetFaultSpec{}; }
+
+std::size_t net_write_cap(std::uint64_t stream_id, std::uint64_t op_index) {
+  if (g_net_spec.short_write_rate <= 0.0)
+    return std::numeric_limits<std::size_t>::max();
+  const std::uint64_t h =
+      mix(g_net_spec.seed, stream_id, kKindShortWrite, op_index);
+  if (uniform01(h) >= g_net_spec.short_write_rate)
+    return std::numeric_limits<std::size_t>::max();
+  return std::max<std::size_t>(1, g_net_spec.short_write_bytes);
+}
+
+void arm_net_drop(std::uint64_t countdown, std::uint64_t stream_id) {
+  CLEAR_CHECK_MSG(countdown >= 1, "net drop countdown must be >= 1");
+  g_net_drop_stream.store(stream_id);
+  g_net_drop_countdown.store(static_cast<std::int64_t>(countdown));
+}
+
+void disarm_net_drop() { g_net_drop_countdown.store(-1); }
+
+bool net_drop_fires(std::uint64_t stream_id) {
+  if (g_net_drop_countdown.load() < 0) return false;
+  const std::uint64_t target = g_net_drop_stream.load();
+  if (target != kAnyNetStream && target != stream_id) return false;
+  if (g_net_drop_countdown.fetch_sub(1) == 1) {
+    g_net_drop_countdown.store(-1);
+    return true;
+  }
+  return false;
+}
+
 }  // namespace clear::fault

@@ -116,4 +116,48 @@ bool io_failure_armed();
 /// a no-op when disarmed.
 void maybe_fail_io(const char* site);
 
+// ---------------------------------------------------------------------------
+// Injectable network faults (consumed by src/net's guarded socket ops).
+//
+// Two knobs, mirroring the signal/IO split above:
+//   * net_short_write — stateless rate: a guarded send() is capped at
+//     `short_write_bytes`, forcing the caller through its partial-write /
+//     backpressure path. Pure function of (seed, stream id, op index), so a
+//     faulted run is bit-identical across repeats.
+//   * net_drop — armed countdown like the IO fault: the Nth guarded socket
+//     operation severs its connection (the caller closes the fd), simulating
+//     a peer dying mid-request.
+
+/// Rates/caps for guarded socket operations. The default spec injects
+/// nothing. Set once before traffic starts; not safe to mutate while
+/// guarded ops run on other threads.
+struct NetFaultSpec {
+  std::uint64_t seed = 1;
+  double short_write_rate = 0.0;  ///< P(a guarded write is capped).
+  std::size_t short_write_bytes = 1;  ///< Cap applied when the rate fires.
+};
+
+void set_net_fault(const NetFaultSpec& spec);
+void clear_net_fault();
+
+/// Byte cap for the `op_index`-th guarded write on `stream_id`;
+/// SIZE_MAX when the short-write fault does not fire.
+std::size_t net_write_cap(std::uint64_t stream_id, std::uint64_t op_index);
+
+/// Streams matched by an armed net drop: all of them, or exactly one.
+constexpr std::uint64_t kAnyNetStream = ~std::uint64_t{0};
+
+/// Arm the connection-drop fault: the `countdown`-th subsequent guarded
+/// socket operation (1 = the very next one) severs its connection. When
+/// `stream_id` is not kAnyNetStream only operations on that stream count —
+/// this is what makes drop tests deterministic while a server thread is
+/// doing its own guarded IO concurrently.
+void arm_net_drop(std::uint64_t countdown,
+                  std::uint64_t stream_id = kAnyNetStream);
+void disarm_net_drop();
+/// Guard, called by src/net before each socket read/write on `stream_id`.
+/// True exactly once, when the armed countdown fires on a matching stream;
+/// the caller must close the fd.
+bool net_drop_fires(std::uint64_t stream_id);
+
 }  // namespace clear::fault

@@ -1,0 +1,84 @@
+#include "net/client.hpp"
+
+#include "common/error.hpp"
+
+namespace clear::net {
+
+BlockingClient::BlockingClient(const Endpoint& endpoint,
+                               std::uint64_t stream_id)
+    : stream_(connect_tcp(endpoint), stream_id) {}
+
+BlockingClient::~BlockingClient() { stream_.close(); }
+
+void BlockingClient::send_bytes(const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  std::size_t sent = 0;
+  while (sent < n) {
+    const IoResult r = stream_.write_some(p + sent, n - sent);
+    if (r.closed) return;  // Peer (or the drop fault) severed us mid-send.
+    // Blocking socket: would_block cannot happen; a short write (fault cap
+    // or kernel buffer) just loops.
+    sent += r.n;
+  }
+}
+
+void BlockingClient::send_request(const WireRequest& request) {
+  const std::string frame = encode_request(request);
+  send_bytes(frame.data(), frame.size());
+}
+
+void BlockingClient::send_drain() {
+  const std::string frame = encode_drain();
+  send_bytes(frame.data(), frame.size());
+}
+
+void BlockingClient::send_shutdown() {
+  const std::string frame = encode_shutdown();
+  send_bytes(frame.data(), frame.size());
+}
+
+bool BlockingClient::recv_frame(Frame& out) {
+  char buf[16 * 1024];
+  while (true) {
+    const DecodeStatus status = decoder_.next(out);
+    if (status == DecodeStatus::kFrame) return true;
+    CLEAR_CHECK_MSG(status == DecodeStatus::kNeedMore,
+                    "client received a malformed frame: " << decoder_.error());
+    if (!stream_.open()) return false;
+    const IoResult r = stream_.read_some(buf, sizeof(buf));
+    if (r.closed) return false;
+    decoder_.feed(buf, r.n);
+  }
+}
+
+bool BlockingClient::recv_response(WireResponse& out) {
+  Frame frame;
+  if (!recv_frame(frame)) return false;
+  CLEAR_CHECK_MSG(frame.type == FrameType::kResponse,
+                  "expected a response frame, got "
+                      << frame_type_name(frame.type));
+  std::string error;
+  CLEAR_CHECK_MSG(parse_response(frame, out, error),
+                  "bad response payload: " << error);
+  return true;
+}
+
+bool BlockingClient::recv_drain_ack(WireDrainAck& out) {
+  Frame frame;
+  while (true) {
+    if (!recv_frame(frame)) return false;
+    // Responses may still be in flight ahead of the ack; skip past them.
+    if (frame.type == FrameType::kResponse) continue;
+    CLEAR_CHECK_MSG(frame.type == FrameType::kDrainAck,
+                    "expected a drain ack, got "
+                        << frame_type_name(frame.type));
+    std::string error;
+    CLEAR_CHECK_MSG(parse_drain_ack(frame, out, error),
+                    "bad drain ack payload: " << error);
+    return true;
+  }
+}
+
+void BlockingClient::close() { stream_.close(); }
+
+}  // namespace clear::net

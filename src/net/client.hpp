@@ -1,0 +1,52 @@
+// BlockingClient: a simple synchronous peer for the wire protocol.
+//
+// Used by tests, the loopback harness, and the CLI's client paths. IO goes
+// through FaultedStream, so the deterministic network-fault knobs apply to
+// client traffic too — a test can arm a drop and watch its own connection
+// die mid-frame. Decode errors on received frames throw clear::Error
+// (a *client* receiving garbage from our own server is a bug, not an input);
+// adversarial decoding is exercised directly on FrameDecoder in the tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+
+namespace clear::net {
+
+class BlockingClient {
+ public:
+  /// Connects immediately (throws clear::Error on failure). `stream_id`
+  /// keys this connection's fault decisions.
+  explicit BlockingClient(const Endpoint& endpoint,
+                          std::uint64_t stream_id = 1);
+  ~BlockingClient();
+
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+
+  void send_request(const WireRequest& request);
+  void send_drain();
+  void send_shutdown();
+  /// Raw bytes, unframed — for adversarial wire tests.
+  void send_bytes(const void* data, std::size_t n);
+
+  /// Block until the next complete frame. False on connection close.
+  bool recv_frame(Frame& out);
+  /// Convenience: next frame must be a kResponse / kDrainAck.
+  bool recv_response(WireResponse& out);
+  bool recv_drain_ack(WireDrainAck& out);
+
+  void close();
+  bool open() const { return stream_.open(); }
+  /// True when the armed net-drop fault severed this client's connection.
+  bool dropped() const { return stream_.dropped(); }
+
+ private:
+  FaultedStream stream_;
+  FrameDecoder decoder_;
+};
+
+}  // namespace clear::net

@@ -1,0 +1,78 @@
+// Open-loop load generator for the CLEAR-Serve wire.
+//
+// The arrival schedule is *open-loop*: request i's send time is fixed up
+// front by a deterministic hash of (seed, i) — exponential inter-arrival
+// gaps at the offered rate, optionally bursty — and the generator sends on
+// schedule whether or not earlier responses have returned. Latency is
+// measured from the *scheduled* send time, so a stalled server shows up as
+// growing latency (the coordinated-omission failure mode of closed-loop
+// tools is impossible by construction).
+//
+// Everything random is hashed (common/fault's splitmix64 mixer): the same
+// seed produces the same users, maps, labels, and virtual arrival times on
+// every run and every machine. Wall time appears only where it must — in
+// the pacing of sends and the measured latencies.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "net/socket.hpp"
+
+namespace clear::net {
+
+struct LoadgenConfig {
+  Endpoint target;
+  std::size_t connections = 4;
+  std::size_t requests = 256;    ///< Total, striped across connections.
+  double rate_rps = 200.0;       ///< Offered rate (mean of the gap law).
+  /// Burstiness b >= 1: with probability 1-1/b a gap collapses to zero and
+  /// the survivor stretches by b, so the offered *rate* is preserved while
+  /// requests clump. b = 1 is a plain Poisson process.
+  double burstiness = 1.0;
+  std::uint64_t seed = 1;
+  std::size_t users = 8;         ///< Distinct user ids in the stream.
+  std::size_t features = 5;      ///< Map rows — must match the served model.
+  std::size_t window = 35;       ///< Map cols — must match the served model.
+  double label_fraction = 0.25;  ///< Fraction of requests carrying a label.
+  double timeout_seconds = 30.0; ///< Give up on missing responses after this.
+  bool shutdown_after = false;   ///< Send kShutdown when done (smoke runs).
+};
+
+/// Exact-percentile latency summary (sorted-vector, no histogram binning).
+struct LatencySummary {
+  double p50_us = 0.0;
+  double p90_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  double max_us = 0.0;
+  double mean_us = 0.0;
+};
+
+struct LoadgenReport {
+  std::size_t sent = 0;
+  std::size_t received = 0;
+  std::size_t ok = 0;
+  std::size_t shed = 0;
+  std::size_t dropped = 0;  ///< Sent but never answered (timeout/dead conn).
+  double wall_seconds = 0.0;
+  double offered_rps = 0.0;
+  double achieved_rps = 0.0;  ///< received / wall_seconds.
+  LatencySummary latency;
+
+  /// clear-bench-loadgen-v1 JSON (tools/bench_regress.py understands it).
+  std::string json(const LoadgenConfig& config) const;
+};
+
+/// The virtual arrival time (microseconds from stream start) of request
+/// `index` under `config`'s hashed schedule. Exposed so tests can pin the
+/// schedule and the loopback harness can replay identical arrivals.
+std::uint64_t scheduled_arrival_us(const LoadgenConfig& config,
+                                   std::size_t index);
+
+/// Run the load against a live server. Throws clear::Error on connection
+/// failure; response gaps are reported in the counters, not thrown.
+LoadgenReport run_loadgen(const LoadgenConfig& config);
+
+}  // namespace clear::net

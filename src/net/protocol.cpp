@@ -1,0 +1,411 @@
+#include "net/protocol.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "common/crc32.hpp"
+#include "common/error.hpp"
+
+namespace clear::net {
+
+namespace {
+
+// Little-endian scalar writers. Floats move as bit patterns so encode ∘
+// decode is the identity on every value, NaN payloads included.
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u16(std::string& out, std::uint16_t v) {
+  for (int i = 0; i < 2; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void put_i32(std::string& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+void put_f32(std::string& out, float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u32(out, bits);
+}
+
+void put_f64(std::string& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+/// Bounds-checked little-endian reader over one frame's payload. Reads
+/// never throw; the caller checks ok() / error once at the end (short
+/// reads poison the cursor and record the offending offset).
+class Reader {
+ public:
+  Reader(const std::string& bytes, std::string& error)
+      : bytes_(bytes), error_(error) {}
+
+  bool ok() const { return ok_; }
+
+  std::uint8_t u8() { return static_cast<std::uint8_t>(take(1)[0]); }
+
+  std::uint32_t u32() {
+    const char* p = take(4);
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+      v = (v << 8) | static_cast<std::uint8_t>(p[i]);
+    return v;
+  }
+
+  std::uint64_t u64() {
+    const char* p = take(8);
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+      v = (v << 8) | static_cast<std::uint8_t>(p[i]);
+    return v;
+  }
+
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+
+  float f32() {
+    const std::uint32_t bits = u32();
+    float v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string bytes(std::size_t n) {
+    const char* p = take(n);
+    return ok_ ? std::string(p, n) : std::string();
+  }
+
+  bool done() {
+    if (ok_ && pos_ != bytes_.size()) {
+      std::ostringstream os;
+      os << "payload has " << bytes_.size() - pos_
+         << " trailing byte(s) after offset " << pos_;
+      set_error(os.str());
+    }
+    return ok_;
+  }
+
+  void set_error(const std::string& why) {
+    if (!ok_) return;
+    ok_ = false;
+    error_ = why;
+  }
+
+ private:
+  const char* take(std::size_t n) {
+    static const char kZeros[8] = {0};
+    if (!ok_) return kZeros;
+    if (n > bytes_.size() - pos_) {
+      std::ostringstream os;
+      os << "payload truncated: need " << n << " byte(s) at offset " << pos_
+         << ", have " << bytes_.size() - pos_;
+      set_error(os.str());
+      return kZeros;
+    }
+    const char* p = bytes_.data() + pos_;
+    pos_ += n;
+    return p;
+  }
+
+  const std::string& bytes_;
+  std::string& error_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+bool known_type(std::uint8_t t) {
+  return t >= static_cast<std::uint8_t>(FrameType::kRequest) &&
+         t <= static_cast<std::uint8_t>(FrameType::kShutdown);
+}
+
+}  // namespace
+
+const char* frame_type_name(FrameType t) {
+  switch (t) {
+    case FrameType::kRequest: return "request";
+    case FrameType::kResponse: return "response";
+    case FrameType::kDrain: return "drain";
+    case FrameType::kDrainAck: return "drain-ack";
+    case FrameType::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+const char* decode_status_name(DecodeStatus s) {
+  switch (s) {
+    case DecodeStatus::kFrame: return "frame";
+    case DecodeStatus::kNeedMore: return "need-more";
+    case DecodeStatus::kBadMagic: return "bad-magic";
+    case DecodeStatus::kBadVersion: return "bad-version";
+    case DecodeStatus::kBadHeader: return "bad-header";
+    case DecodeStatus::kBadLength: return "bad-length";
+    case DecodeStatus::kBadCrc: return "bad-crc";
+  }
+  return "?";
+}
+
+std::string encode_frame(FrameType type, const std::string& payload) {
+  CLEAR_CHECK_MSG(payload.size() <= kMaxPayload,
+                  "frame payload too large: " << payload.size());
+  std::string out;
+  out.reserve(kHeaderSize + payload.size());
+  put_u32(out, kMagic);
+  put_u8(out, kVersion);
+  put_u8(out, static_cast<std::uint8_t>(type));
+  put_u16(out, 0);  // reserved
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, crc32(payload));
+  out.append(payload);
+  return out;
+}
+
+std::string encode_request(const WireRequest& request) {
+  CLEAR_CHECK_MSG(request.map.rank() == 2,
+                  "wire request map must be [F, W], got "
+                      << request.map.shape_str());
+  std::string p;
+  const std::size_t f = request.map.extent(0);
+  const std::size_t w = request.map.extent(1);
+  p.reserve(44 + 4 * f * w);
+  put_u64(p, request.request_id);
+  put_u64(p, request.user_id);
+  put_u64(p, request.arrival_us);
+  put_f64(p, request.quality);
+  put_i32(p, request.label.has_value() ? *request.label : -1);
+  put_u32(p, static_cast<std::uint32_t>(f));
+  put_u32(p, static_cast<std::uint32_t>(w));
+  for (const float v : request.map.flat()) put_f32(p, v);
+  return encode_frame(FrameType::kRequest, p);
+}
+
+std::string encode_response(const WireResponse& response) {
+  std::string p;
+  p.reserve(72 + response.error.size());
+  put_u64(p, response.request_id);
+  put_u64(p, response.user_id);
+  put_u32(p, response.shed ? 1 : 0);
+  put_i32(p, response.predicted);
+  put_f32(p, response.fear_probability);
+  put_u32(p, response.session_state);
+  put_u32(p, response.degraded ? 1 : 0);
+  put_u32(p, response.route_kind);
+  put_u64(p, response.route_id);
+  put_u32(p, response.batch_rows);
+  put_u64(p, response.arrival_us);
+  put_u64(p, response.exec_us);
+  put_u32(p, static_cast<std::uint32_t>(response.error.size()));
+  p.append(response.error);
+  return encode_frame(FrameType::kResponse, p);
+}
+
+std::string encode_drain() {
+  return encode_frame(FrameType::kDrain, std::string());
+}
+
+std::string encode_drain_ack(const WireDrainAck& ack) {
+  std::string p;
+  p.reserve(24);
+  put_u64(p, ack.requests);
+  put_u64(p, ack.ok);
+  put_u64(p, ack.shed);
+  return encode_frame(FrameType::kDrainAck, p);
+}
+
+std::string encode_shutdown() {
+  return encode_frame(FrameType::kShutdown, std::string());
+}
+
+FrameDecoder::FrameDecoder(std::size_t max_payload)
+    : max_payload_(max_payload) {}
+
+void FrameDecoder::feed(const void* data, std::size_t n) {
+  if (latched_ != DecodeStatus::kNeedMore) return;  // Framing already lost.
+  // Compact the consumed prefix before it dominates the buffer.
+  if (pos_ > 0 && pos_ >= buf_.size() / 2) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(static_cast<const char*>(data), n);
+}
+
+DecodeStatus FrameDecoder::fail(DecodeStatus status, const std::string& why) {
+  latched_ = status;
+  std::ostringstream os;
+  os << "frame " << frames_ << ": " << why;
+  error_ = os.str();
+  return status;
+}
+
+DecodeStatus FrameDecoder::next(Frame& out) {
+  if (latched_ != DecodeStatus::kNeedMore) return latched_;
+  if (buffered() < kHeaderSize) return DecodeStatus::kNeedMore;
+  const char* h = buf_.data() + pos_;
+  const auto u32_at = [h](std::size_t off) {
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+      v = (v << 8) | static_cast<std::uint8_t>(h[off + static_cast<std::size_t>(i)]);
+    return v;
+  };
+
+  const std::uint32_t magic = u32_at(0);
+  if (magic != kMagic) {
+    std::ostringstream os;
+    os << "bad magic 0x" << std::hex << magic << " (expected 0x" << kMagic
+       << ")";
+    return fail(DecodeStatus::kBadMagic, os.str());
+  }
+  const auto version = static_cast<std::uint8_t>(h[4]);
+  if (version != kVersion) {
+    std::ostringstream os;
+    os << "unsupported version " << static_cast<int>(version) << " (speak "
+       << static_cast<int>(kVersion) << ")";
+    return fail(DecodeStatus::kBadVersion, os.str());
+  }
+  const auto type = static_cast<std::uint8_t>(h[5]);
+  if (!known_type(type)) {
+    std::ostringstream os;
+    os << "unknown frame type " << static_cast<int>(type);
+    return fail(DecodeStatus::kBadHeader, os.str());
+  }
+  if (h[6] != 0 || h[7] != 0)
+    return fail(DecodeStatus::kBadHeader, "reserved header bytes are nonzero");
+  const std::uint32_t len = u32_at(8);
+  if (len > max_payload_) {
+    std::ostringstream os;
+    os << "declared payload length " << len << " exceeds the bound "
+       << max_payload_;
+    return fail(DecodeStatus::kBadLength, os.str());
+  }
+  if (buffered() < kHeaderSize + len) return DecodeStatus::kNeedMore;
+
+  const std::uint32_t declared_crc = u32_at(12);
+  const std::uint32_t actual_crc = crc32(h + kHeaderSize, len);
+  if (declared_crc != actual_crc) {
+    std::ostringstream os;
+    os << "payload CRC mismatch: declared 0x" << std::hex << declared_crc
+       << ", computed 0x" << actual_crc;
+    return fail(DecodeStatus::kBadCrc, os.str());
+  }
+
+  out.type = static_cast<FrameType>(type);
+  out.payload.assign(h + kHeaderSize, len);
+  pos_ += kHeaderSize + len;
+  ++frames_;
+  return DecodeStatus::kFrame;
+}
+
+bool parse_request(const Frame& frame, WireRequest& out, std::string& error) {
+  if (frame.type != FrameType::kRequest) {
+    error = "not a request frame";
+    return false;
+  }
+  Reader r(frame.payload, error);
+  out.request_id = r.u64();
+  out.user_id = r.u64();
+  out.arrival_us = r.u64();
+  out.quality = r.f64();
+  const std::int32_t label = r.i32();
+  const std::uint32_t rows = r.u32();
+  const std::uint32_t cols = r.u32();
+  if (!r.ok()) return false;
+  if (label < -1 || label > 1) {
+    std::ostringstream os;
+    os << "label must be -1 (none), 0, or 1; got " << label;
+    r.set_error(os.str());
+    return false;
+  }
+  out.label = label < 0 ? std::nullopt : std::optional<int>(label);
+  if (rows == 0 || cols == 0) {
+    r.set_error("map dimensions must be nonzero");
+    return false;
+  }
+  const std::uint64_t cells =
+      static_cast<std::uint64_t>(rows) * static_cast<std::uint64_t>(cols);
+  // The frame bound already caps the payload; this check makes the
+  // dims-vs-length consistency failure addressed instead of "truncated".
+  if (frame.payload.size() != 44 + 4 * cells) {
+    std::ostringstream os;
+    os << "map declared " << rows << "x" << cols << " (" << 44 + 4 * cells
+       << " payload bytes) but frame carries " << frame.payload.size();
+    r.set_error(os.str());
+    return false;
+  }
+  out.map = Tensor({rows, cols});
+  for (std::size_t i = 0; i < cells; ++i) out.map[i] = r.f32();
+  return r.done();
+}
+
+bool parse_response(const Frame& frame, WireResponse& out,
+                    std::string& error) {
+  if (frame.type != FrameType::kResponse) {
+    error = "not a response frame";
+    return false;
+  }
+  Reader r(frame.payload, error);
+  out.request_id = r.u64();
+  out.user_id = r.u64();
+  const std::uint32_t status = r.u32();
+  out.predicted = r.i32();
+  out.fear_probability = r.f32();
+  out.session_state = r.u32();
+  const std::uint32_t degraded = r.u32();
+  out.route_kind = r.u32();
+  out.route_id = r.u64();
+  out.batch_rows = r.u32();
+  out.arrival_us = r.u64();
+  out.exec_us = r.u64();
+  const std::uint32_t error_len = r.u32();
+  if (!r.ok()) return false;
+  if (status > 1) {
+    std::ostringstream os;
+    os << "status must be 0 (ok) or 1 (shed); got " << status;
+    r.set_error(os.str());
+    return false;
+  }
+  if (degraded > 1) {
+    std::ostringstream os;
+    os << "degraded must be 0 or 1; got " << degraded;
+    r.set_error(os.str());
+    return false;
+  }
+  out.shed = status == 1;
+  out.degraded = degraded == 1;
+  out.error = r.bytes(error_len);
+  return r.done();
+}
+
+bool parse_drain_ack(const Frame& frame, WireDrainAck& out,
+                     std::string& error) {
+  if (frame.type != FrameType::kDrainAck) {
+    error = "not a drain-ack frame";
+    return false;
+  }
+  Reader r(frame.payload, error);
+  out.requests = r.u64();
+  out.ok = r.u64();
+  out.shed = r.u64();
+  return r.done();
+}
+
+}  // namespace clear::net

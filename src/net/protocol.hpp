@@ -1,0 +1,161 @@
+// CLEAR-Serve wire protocol v1: binary, length-prefixed, CRC-checked.
+//
+// Every message on the wire is one *frame*:
+//
+//   offset  size  field
+//   ------  ----  -----------------------------------------------------------
+//        0     4  magic 0x57524C43 ("CLRW", little-endian)
+//        4     1  version (currently 1)
+//        5     1  frame type (FrameType)
+//        6     2  reserved, must be zero
+//        8     4  payload length N (little-endian u32, <= max payload)
+//       12     4  CRC-32 of the N payload bytes (src/common/crc32)
+//       16     N  payload
+//
+// All integers are little-endian; floats are IEEE-754 bit patterns moved
+// byte-for-byte, so a round-tripped request is *bit-identical* — the wire
+// cannot perturb a prediction. The CRC is per frame, covering the payload;
+// header corruption is caught by the magic/version/reserved/length checks.
+//
+// The decoder is incremental and hostile-input safe: bytes arrive in
+// arbitrary splits (down to one byte at a time), and every malformed input
+// — truncated frame, bad magic, unknown version, length overflow, CRC
+// mismatch, short or internally inconsistent payload — produces an
+// addressed DecodeStatus + error string, never an exception or a crash.
+// After the first error the decoder latches: framing is lost, the only safe
+// recovery is closing the connection.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace clear::net {
+
+inline constexpr std::uint32_t kMagic = 0x57524C43u;  // "CLRW" on the wire.
+inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::size_t kHeaderSize = 16;
+/// Default payload bound: a [F, W] fp32 map plus metadata is a few KiB;
+/// anything near this bound is an attack or a framing bug, not a request.
+inline constexpr std::size_t kMaxPayload = 1u << 20;
+
+enum class FrameType : std::uint8_t {
+  kRequest = 1,   ///< Client -> server: one inference request.
+  kResponse = 2,  ///< Server -> client: result (ok or addressed shed).
+  kDrain = 3,     ///< Client -> server: flush every pending batch.
+  kDrainAck = 4,  ///< Server -> client: drain done + counters snapshot.
+  kShutdown = 5,  ///< Client -> server: drain, flush, stop the event loop.
+};
+
+const char* frame_type_name(FrameType t);
+
+/// One inference request as it crosses the wire. Mirrors serve::ServeRequest
+/// (the net layer converts 1:1) without depending on the serve headers.
+struct WireRequest {
+  std::uint64_t request_id = 0;
+  std::uint64_t user_id = 0;
+  std::uint64_t arrival_us = 0;  ///< Virtual arrival time (server clamps).
+  double quality = 1.0;
+  std::optional<int> label;  ///< 0/1 when the user reported ground truth.
+  Tensor map;                ///< [F, W] raw feature map.
+};
+
+/// One result as it crosses the wire. Mirrors serve::ServeResult; enums
+/// travel as integers and are range-checked on decode.
+struct WireResponse {
+  std::uint64_t request_id = 0;
+  std::uint64_t user_id = 0;
+  bool shed = false;
+  std::int32_t predicted = -1;
+  float fear_probability = 0.0f;
+  std::uint32_t session_state = 0;
+  bool degraded = false;
+  std::uint32_t route_kind = 0;
+  std::uint64_t route_id = 0;
+  std::uint32_t batch_rows = 0;
+  std::uint64_t arrival_us = 0;
+  std::uint64_t exec_us = 0;
+  std::string error;  ///< Addressed shed/failure reason (shed only).
+};
+
+/// Server counters snapshot carried by a drain/shutdown acknowledgement.
+struct WireDrainAck {
+  std::uint64_t requests = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t shed = 0;
+};
+
+// -- Encoding (infallible for well-formed inputs) ---------------------------
+
+std::string encode_frame(FrameType type, const std::string& payload);
+std::string encode_request(const WireRequest& request);
+std::string encode_response(const WireResponse& response);
+std::string encode_drain();
+std::string encode_drain_ack(const WireDrainAck& ack);
+std::string encode_shutdown();
+
+// -- Decoding ----------------------------------------------------------------
+
+enum class DecodeStatus {
+  kFrame,       ///< A complete frame was produced.
+  kNeedMore,    ///< Buffered bytes do not yet hold a full frame.
+  kBadMagic,    ///< First four bytes are not the protocol magic.
+  kBadVersion,  ///< Unknown protocol version.
+  kBadHeader,   ///< Reserved bytes are nonzero or the type is unknown.
+  kBadLength,   ///< Declared payload length exceeds the bound.
+  kBadCrc,      ///< Payload CRC-32 mismatch.
+};
+
+const char* decode_status_name(DecodeStatus s);
+
+struct Frame {
+  FrameType type = FrameType::kRequest;
+  std::string payload;
+};
+
+/// Incremental frame decoder for one connection's byte stream.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_payload = kMaxPayload);
+
+  /// Append raw bytes from the socket. Cheap; parsing happens in next().
+  void feed(const void* data, std::size_t n);
+
+  /// Extract the next complete frame. kFrame fills `out`; kNeedMore means
+  /// feed more bytes; anything else is a fatal framing error — error()
+  /// holds the addressed reason and the decoder latches (all further calls
+  /// return the same status).
+  DecodeStatus next(Frame& out);
+
+  /// Bytes buffered but not yet consumed as frames. Nonzero at connection
+  /// close means the peer died mid-frame.
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+  /// Frames successfully decoded so far (addresses errors: "frame 3: ...").
+  std::uint64_t frames_decoded() const { return frames_; }
+
+  /// Addressed description of the latched error ("" while healthy).
+  const std::string& error() const { return error_; }
+
+ private:
+  DecodeStatus fail(DecodeStatus status, const std::string& why);
+
+  std::size_t max_payload_;
+  std::string buf_;
+  std::size_t pos_ = 0;  ///< Consumed prefix of buf_.
+  std::uint64_t frames_ = 0;
+  DecodeStatus latched_ = DecodeStatus::kNeedMore;
+  std::string error_;
+};
+
+/// Typed payload parsers. On failure they return false and set `error` to an
+/// addressed reason (offset + field); they never throw on malformed bytes.
+bool parse_request(const Frame& frame, WireRequest& out, std::string& error);
+bool parse_response(const Frame& frame, WireResponse& out, std::string& error);
+bool parse_drain_ack(const Frame& frame, WireDrainAck& out,
+                     std::string& error);
+
+}  // namespace clear::net

@@ -1,0 +1,414 @@
+#include "net/server.hpp"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/obs.hpp"
+
+namespace clear::net {
+
+namespace {
+
+// epoll user-data ids for the two non-connection fds.
+constexpr std::uint64_t kListenId = 0;
+constexpr std::uint64_t kWakeId = ~0ull;
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+}  // namespace
+
+NetServer::NetServer(serve::Server& server, NetServerConfig config)
+    : server_(server), config_(std::move(config)) {
+  listen_fd_ = listen_tcp(config_.listen);
+  port_ = local_port(listen_fd_);
+
+  epoll_fd_ = ::epoll_create1(0);
+  CLEAR_CHECK_MSG(epoll_fd_ >= 0,
+                  "epoll_create1 failed: " << std::strerror(errno));
+  CLEAR_CHECK_MSG(::pipe(wake_fds_) == 0,
+                  "pipe failed: " << std::strerror(errno));
+  set_nonblocking(wake_fds_[0], true);
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenId;
+  CLEAR_CHECK_MSG(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) == 0,
+                  "epoll_ctl(listen) failed: " << std::strerror(errno));
+  ev.data.u64 = kWakeId;
+  CLEAR_CHECK_MSG(
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fds_[0], &ev) == 0,
+      "epoll_ctl(wake) failed: " << std::strerror(errno));
+
+  if (!config_.port_file.empty()) {
+    std::ofstream out(config_.port_file, std::ios::trunc);
+    CLEAR_CHECK_MSG(out.good(),
+                    "cannot write port file '" << config_.port_file << "'");
+    out << port_ << "\n";
+  }
+  CLEAR_INFO("net: listening on " << config_.listen.host << ":" << port_);
+}
+
+NetServer::~NetServer() {
+  for (auto& [id, conn] : connections_) conn->stream.close();
+  connections_.clear();
+  close_fd(listen_fd_);
+  close_fd(wake_fds_[0]);
+  close_fd(wake_fds_[1]);
+  close_fd(epoll_fd_);
+}
+
+void NetServer::stop() {
+  // Async-signal-safe wake: one byte through the self-pipe.
+  const char b = 's';
+  [[maybe_unused]] const ssize_t rc = ::write(wake_fds_[1], &b, 1);
+}
+
+void NetServer::run() {
+  CLEAR_OBS_SPAN("net.run");
+  std::vector<epoll_event> events(64);
+  while (true) {
+    graveyard_.clear();
+    // Drain-on-shutdown: once stopping, stay in the loop only to flush
+    // write buffers; exit when every connection's outbuf is empty.
+    if (stopping_) {
+      bool pending = false;
+      for (auto& [id, conn] : connections_)
+        pending = pending || conn->outpos < conn->outbuf.size();
+      if (!pending) break;
+    }
+    int timeout_ms = -1;
+    if (stopping_)
+      timeout_ms = 100;
+    else if (config_.idle_flush_ms > 0 && server_.in_flight() > 0)
+      timeout_ms = static_cast<int>(config_.idle_flush_ms);
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      CLEAR_CHECK_MSG(false, "epoll_wait failed: " << std::strerror(errno));
+    }
+    if (n == 0) {
+      if (stopping_) break;  // Peers never drained us; give up.
+      if (server_.in_flight() > 0) {
+        // Idle flush: the wire went quiet mid-batch — release the tail.
+        CLEAR_OBS_COUNT("net.idle_flushes", 1);
+        server_.drain();
+        dispatch_results();
+      }
+      continue;
+    }
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t id = events[i].data.u64;
+      const std::uint32_t mask = events[i].events;
+      if (id == kWakeId) {
+        char buf[64];
+        while (::read(wake_fds_[0], buf, sizeof(buf)) > 0) {
+        }
+        begin_shutdown();
+        continue;
+      }
+      if (id == kListenId) {
+        if (!stopping_) accept_ready();
+        continue;
+      }
+      auto it = connections_.find(id);
+      if (it == connections_.end()) continue;  // Closed earlier this wake.
+      Connection& conn = *it->second;
+      if (mask & (EPOLLHUP | EPOLLERR)) {
+        close_connection(id, "peer hung up");
+        continue;
+      }
+      if (mask & EPOLLIN) handle_readable(conn);
+      // Re-check: handle_readable may have closed the connection.
+      auto again = connections_.find(id);
+      if (again == connections_.end()) continue;
+      if (mask & EPOLLOUT) handle_writable(*again->second);
+    }
+  }
+}
+
+void NetServer::accept_ready() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      CLEAR_WARN("net: accept failed: " << std::strerror(errno));
+      return;
+    }
+    if (connections_.size() >= config_.max_connections) {
+      // Refuse at the door: closing immediately is an unambiguous signal,
+      // and cheaper than parsing frames we would shed anyway.
+      ++counters_.rejected;
+      CLEAR_OBS_COUNT("net.rejected", 1);
+      ::close(fd);
+      continue;
+    }
+    set_nonblocking(fd, true);
+    const std::uint64_t id = next_conn_id_++;
+    auto conn = std::make_unique<Connection>();
+    conn->id = id;
+    conn->stream = FaultedStream(fd, id);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      CLEAR_WARN("net: epoll_ctl(add conn) failed: " << std::strerror(errno));
+      ::close(fd);
+      continue;
+    }
+    connections_.emplace(id, std::move(conn));
+    ++counters_.accepted;
+    CLEAR_OBS_COUNT("net.accepted", 1);
+    CLEAR_OBS_GAUGE("net.connections", static_cast<double>(connections_.size()));
+  }
+}
+
+void NetServer::handle_readable(Connection& conn) {
+  char buf[kReadChunk];
+  while (true) {
+    const IoResult r = conn.stream.read_some(buf, sizeof(buf));
+    if (r.n > 0) {
+      counters_.bytes_in += r.n;
+      CLEAR_OBS_COUNT("net.bytes_in", static_cast<double>(r.n));
+      conn.decoder.feed(buf, r.n);
+      if (!pump_frames(conn)) {
+        close_connection(conn.id, "framing error");
+        return;
+      }
+      // A frame handler may have started shutdown; stop reading new bytes.
+      if (stopping_) return;
+      continue;
+    }
+    if (r.would_block) return;
+    // Peer is gone (EOF, reset, or injected drop). Bytes buffered past the
+    // last complete frame mean it died mid-request: that request is shed at
+    // the wire — count it with the serve layer's sheds so operators see one
+    // total, plus the net-level counter that says *why*.
+    if (conn.decoder.buffered() > 0) {
+      ++counters_.partial_drops;
+      CLEAR_OBS_COUNT("net.partial_drops", 1);
+      CLEAR_OBS_COUNT("serve.shed", 1);
+      CLEAR_WARN("net: connection " << conn.id << " dropped mid-frame ("
+                                    << conn.decoder.buffered()
+                                    << " bytes past frame "
+                                    << conn.decoder.frames_decoded() << ")");
+    }
+    close_connection(conn.id, "peer closed");
+    return;
+  }
+}
+
+bool NetServer::pump_frames(Connection& conn) {
+  Frame frame;
+  while (true) {
+    const DecodeStatus status = conn.decoder.next(frame);
+    if (status == DecodeStatus::kNeedMore) return true;
+    if (status != DecodeStatus::kFrame) {
+      ++counters_.decode_errors;
+      CLEAR_OBS_COUNT("net.decode_errors", 1);
+      CLEAR_WARN("net: connection " << conn.id << ": "
+                                    << conn.decoder.error());
+      return false;
+    }
+    ++counters_.frames_in;
+    CLEAR_OBS_COUNT("net.frames_in", 1);
+    switch (frame.type) {
+      case FrameType::kRequest:
+        if (!on_request(conn, frame)) return false;
+        break;
+      case FrameType::kDrain:
+        server_.drain();
+        dispatch_results();
+        send_frame(conn, encode_drain_ack(ack_snapshot()));
+        break;
+      case FrameType::kShutdown:
+        begin_shutdown();
+        send_frame(conn, encode_drain_ack(ack_snapshot()));
+        return true;  // No more reads matter; loop now only flushes.
+      case FrameType::kResponse:
+      case FrameType::kDrainAck:
+        ++counters_.decode_errors;
+        CLEAR_OBS_COUNT("net.decode_errors", 1);
+        CLEAR_WARN("net: connection "
+                   << conn.id << ": client sent a server-only frame type "
+                   << frame_type_name(frame.type));
+        return false;
+    }
+  }
+}
+
+bool NetServer::on_request(Connection& conn, const Frame& frame) {
+  WireRequest wire;
+  std::string error;
+  if (!parse_request(frame, wire, error)) {
+    ++counters_.decode_errors;
+    CLEAR_OBS_COUNT("net.decode_errors", 1);
+    CLEAR_WARN("net: connection " << conn.id << ": bad request payload: "
+                                  << error);
+    return false;
+  }
+  // Geometry gate: the serve layer trusts map dimensions (normalization
+  // would throw deep inside submit), so a map that doesn't match the
+  // deployed model is a protocol violation, not a sheddable request.
+  const auto& model = server_.source().config.model;
+  if (wire.map.extent(0) != model.feature_dim ||
+      wire.map.extent(1) != model.window_count) {
+    ++counters_.decode_errors;
+    CLEAR_OBS_COUNT("net.decode_errors", 1);
+    CLEAR_WARN("net: connection "
+               << conn.id << ": request map is " << wire.map.shape_str()
+               << ", model expects [" << model.feature_dim << ", "
+               << model.window_count << "]");
+    return false;
+  }
+  serve::ServeRequest request;
+  request.user_id = wire.user_id;
+  request.request_id = wire.request_id;
+  request.quality = wire.quality;
+  request.label = wire.label;
+  request.map = std::move(wire.map);
+  // The serve layer's virtual clock must not run backwards. One connection
+  // sending in order never trips this; interleaved connections (or a
+  // malicious client) get clamped to the high-water mark — the request is
+  // still served, just as if it had arrived "now".
+  const std::uint64_t floor_us = server_.last_arrival_us();
+  if (wire.arrival_us < floor_us) {
+    request.arrival_us = floor_us;
+    ++counters_.clamped_arrivals;
+    CLEAR_OBS_COUNT("net.clamped_arrivals", 1);
+  } else {
+    request.arrival_us = wire.arrival_us;
+  }
+  routes_[{request.user_id, request.request_id}] = conn.id;
+  ++conn.submitted;
+  server_.submit(std::move(request));
+  dispatch_results();
+  return true;
+}
+
+void NetServer::begin_shutdown() {
+  if (stopping_) return;
+  stopping_ = true;
+  server_.drain();
+  dispatch_results();
+}
+
+void NetServer::dispatch_results() {
+  for (serve::ServeResult& result : server_.take_results()) {
+    const auto key = std::make_pair(result.user_id, result.request_id);
+    const auto route = routes_.find(key);
+    std::uint64_t conn_id = 0;
+    if (route != routes_.end()) {
+      conn_id = route->second;
+      routes_.erase(route);
+    }
+    const auto it = connections_.find(conn_id);
+    if (it == connections_.end()) {
+      // The requester hung up before its result completed. The session
+      // state is already updated inside the serve layer (that's the
+      // point — a dead wire must not corrupt the session); only the
+      // reply is lost.
+      ++counters_.dropped_responses;
+      CLEAR_OBS_COUNT("net.dropped_responses", 1);
+      continue;
+    }
+    WireResponse wire;
+    wire.request_id = result.request_id;
+    wire.user_id = result.user_id;
+    wire.shed = result.status == serve::ServeResult::Status::kShed;
+    wire.predicted = result.predicted;
+    wire.fear_probability = result.fear_probability;
+    wire.session_state = static_cast<std::uint32_t>(result.session_state);
+    wire.degraded = result.degraded;
+    wire.route_kind = static_cast<std::uint32_t>(result.route.kind);
+    wire.route_id = result.route.id;
+    wire.batch_rows = static_cast<std::uint32_t>(result.batch_rows);
+    wire.arrival_us = result.arrival_us;
+    wire.exec_us = result.exec_us;
+    wire.error = result.error;
+    send_frame(*it->second, encode_response(wire));
+  }
+}
+
+void NetServer::send_frame(Connection& conn, const std::string& frame) {
+  if (!conn.stream.open()) return;
+  conn.outbuf.append(frame);
+  ++counters_.frames_out;
+  CLEAR_OBS_COUNT("net.frames_out", 1);
+  flush(conn);
+}
+
+void NetServer::flush(Connection& conn) {
+  while (conn.outpos < conn.outbuf.size()) {
+    const IoResult r = conn.stream.write_some(conn.outbuf.data() + conn.outpos,
+                                              conn.outbuf.size() - conn.outpos);
+    if (r.n > 0) {
+      conn.outpos += r.n;
+      counters_.bytes_out += r.n;
+      CLEAR_OBS_COUNT("net.bytes_out", static_cast<double>(r.n));
+      continue;
+    }
+    if (r.would_block) break;
+    if (r.closed) {
+      close_connection(conn.id, "peer closed during write");
+      return;
+    }
+  }
+  if (conn.outpos >= conn.outbuf.size()) {
+    conn.outbuf.clear();
+    conn.outpos = 0;
+  } else if (conn.outpos > conn.outbuf.size() / 2) {
+    conn.outbuf.erase(0, conn.outpos);
+    conn.outpos = 0;
+  }
+  update_write_interest(conn);
+}
+
+void NetServer::handle_writable(Connection& conn) { flush(conn); }
+
+void NetServer::update_write_interest(Connection& conn) {
+  if (!conn.stream.open()) return;
+  const bool want = conn.outpos < conn.outbuf.size();
+  if (want == conn.writable_armed) return;
+  epoll_event ev{};
+  ev.events = want ? (EPOLLIN | EPOLLOUT) : EPOLLIN;
+  ev.data.u64 = conn.id;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.stream.fd(), &ev) == 0)
+    conn.writable_armed = want;
+}
+
+void NetServer::close_connection(std::uint64_t id, const char* why) {
+  const auto it = connections_.find(id);
+  if (it == connections_.end()) return;
+  Connection& conn = *it->second;
+  if (conn.stream.open()) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn.stream.fd(), nullptr);
+    conn.stream.close();
+  }
+  CLEAR_DEBUG("net: closing connection " << id << " (" << why << ")");
+  graveyard_.push_back(std::move(it->second));
+  connections_.erase(it);
+  ++counters_.closed;
+  CLEAR_OBS_COUNT("net.closed", 1);
+  CLEAR_OBS_GAUGE("net.connections", static_cast<double>(connections_.size()));
+}
+
+WireDrainAck NetServer::ack_snapshot() const {
+  const serve::ServeCounters& c = server_.counters();
+  WireDrainAck ack;
+  ack.requests = c.requests;
+  ack.ok = c.ok;
+  ack.shed = c.shed;
+  return ack;
+}
+
+}  // namespace clear::net

@@ -123,6 +123,12 @@ class Server {
   std::vector<ServeResult> run(std::vector<ServeRequest> requests);
 
   const ServeCounters& counters() const { return counters_; }
+  /// Virtual-clock high-water mark: the latest arrival submitted so far.
+  /// Front ends merging multiple connections clamp to this to satisfy the
+  /// nondecreasing-arrival contract.
+  std::uint64_t last_arrival_us() const { return last_arrival_us_; }
+  /// Requests admitted to the batcher but not yet executed.
+  std::size_t in_flight() const { return pending_.size(); }
   const CheckpointCache& cache() const { return cache_; }
   const SessionManager& sessions() const { return sessions_; }
   const ModelSource& source() const { return source_; }

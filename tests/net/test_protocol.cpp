@@ -1,0 +1,439 @@
+// Wire-codec property tests: round-trip identity on every field and
+// hostile-input safety. Every malformed byte stream must produce an
+// addressed DecodeStatus/error — never a crash, never a silently wrong
+// frame. These are the suites the ASan/UBSAN legs of
+// tools/run_sanitizer_tests.sh replay.
+#include "net/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/crc32.hpp"
+#include "common/error.hpp"
+#include "common/fault.hpp"
+
+namespace clear::net {
+namespace {
+
+WireRequest sample_request() {
+  WireRequest r;
+  r.request_id = 0x1122334455667788ull;
+  r.user_id = 42;
+  r.arrival_us = 1234567;
+  r.quality = 0.8125;  // Exactly representable: survives any correct codec.
+  r.label = 1;
+  r.map = Tensor({3, 4});
+  auto flat = r.map.flat();
+  for (std::size_t i = 0; i < flat.size(); ++i)
+    flat[i] = static_cast<float>(i) * 0.25f - 1.0f;
+  flat[0] = std::numeric_limits<float>::quiet_NaN();  // Bit-pattern transit.
+  flat[1] = -0.0f;
+  return r;
+}
+
+Frame decode_one(const std::string& bytes) {
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_EQ(decoder.next(frame), DecodeStatus::kFrame);
+  EXPECT_EQ(decoder.buffered(), 0u);
+  return frame;
+}
+
+std::uint32_t f32_bits(float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+TEST(Protocol, RequestRoundTripsEveryFieldBitExactly) {
+  const WireRequest original = sample_request();
+  const Frame frame = decode_one(encode_request(original));
+  ASSERT_EQ(frame.type, FrameType::kRequest);
+
+  WireRequest decoded;
+  std::string error;
+  ASSERT_TRUE(parse_request(frame, decoded, error)) << error;
+  EXPECT_EQ(decoded.request_id, original.request_id);
+  EXPECT_EQ(decoded.user_id, original.user_id);
+  EXPECT_EQ(decoded.arrival_us, original.arrival_us);
+  EXPECT_EQ(decoded.quality, original.quality);
+  EXPECT_EQ(decoded.label, original.label);
+  ASSERT_EQ(decoded.map.rank(), 2u);
+  ASSERT_EQ(decoded.map.extent(0), 3u);
+  ASSERT_EQ(decoded.map.extent(1), 4u);
+  const auto a = original.map.flat();
+  const auto b = decoded.map.flat();
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(f32_bits(a[i]), f32_bits(b[i])) << "cell " << i;
+}
+
+TEST(Protocol, RequestWithoutLabelRoundTrips) {
+  WireRequest original = sample_request();
+  original.label.reset();
+  WireRequest decoded;
+  std::string error;
+  ASSERT_TRUE(parse_request(decode_one(encode_request(original)), decoded,
+                            error))
+      << error;
+  EXPECT_FALSE(decoded.label.has_value());
+}
+
+TEST(Protocol, ResponseRoundTripsEveryField) {
+  WireResponse original;
+  original.request_id = 7;
+  original.user_id = 9;
+  original.shed = true;
+  original.predicted = -1;
+  original.fear_probability = 0.62109375f;
+  original.session_state = 3;
+  original.degraded = true;
+  original.route_kind = 2;
+  original.route_id = 11;
+  original.batch_rows = 5;
+  original.arrival_us = 1000;
+  original.exec_us = 3000;
+  original.error = "shed: admission queue full";
+
+  const Frame frame = decode_one(encode_response(original));
+  ASSERT_EQ(frame.type, FrameType::kResponse);
+  WireResponse decoded;
+  std::string error;
+  ASSERT_TRUE(parse_response(frame, decoded, error)) << error;
+  EXPECT_EQ(decoded.request_id, original.request_id);
+  EXPECT_EQ(decoded.user_id, original.user_id);
+  EXPECT_EQ(decoded.shed, original.shed);
+  EXPECT_EQ(decoded.predicted, original.predicted);
+  EXPECT_EQ(f32_bits(decoded.fear_probability),
+            f32_bits(original.fear_probability));
+  EXPECT_EQ(decoded.session_state, original.session_state);
+  EXPECT_EQ(decoded.degraded, original.degraded);
+  EXPECT_EQ(decoded.route_kind, original.route_kind);
+  EXPECT_EQ(decoded.route_id, original.route_id);
+  EXPECT_EQ(decoded.batch_rows, original.batch_rows);
+  EXPECT_EQ(decoded.arrival_us, original.arrival_us);
+  EXPECT_EQ(decoded.exec_us, original.exec_us);
+  EXPECT_EQ(decoded.error, original.error);
+}
+
+TEST(Protocol, ControlFramesRoundTrip) {
+  EXPECT_EQ(decode_one(encode_drain()).type, FrameType::kDrain);
+  EXPECT_EQ(decode_one(encode_shutdown()).type, FrameType::kShutdown);
+
+  WireDrainAck ack;
+  ack.requests = 100;
+  ack.ok = 93;
+  ack.shed = 7;
+  const Frame frame = decode_one(encode_drain_ack(ack));
+  ASSERT_EQ(frame.type, FrameType::kDrainAck);
+  WireDrainAck decoded;
+  std::string error;
+  ASSERT_TRUE(parse_drain_ack(frame, decoded, error)) << error;
+  EXPECT_EQ(decoded.requests, 100u);
+  EXPECT_EQ(decoded.ok, 93u);
+  EXPECT_EQ(decoded.shed, 7u);
+}
+
+TEST(Protocol, DecodesAcrossOneByteFeeds) {
+  std::string stream = encode_request(sample_request());
+  stream += encode_drain();
+  stream += encode_response(WireResponse{});
+
+  FrameDecoder decoder;
+  std::vector<FrameType> types;
+  Frame frame;
+  for (const char byte : stream) {
+    decoder.feed(&byte, 1);
+    while (decoder.next(frame) == DecodeStatus::kFrame)
+      types.push_back(frame.type);
+  }
+  ASSERT_EQ(types.size(), 3u);
+  EXPECT_EQ(types[0], FrameType::kRequest);
+  EXPECT_EQ(types[1], FrameType::kDrain);
+  EXPECT_EQ(types[2], FrameType::kResponse);
+  EXPECT_EQ(decoder.frames_decoded(), 3u);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(Protocol, DecodesAtEverySplitPoint) {
+  const std::string bytes = encode_request(sample_request());
+  for (std::size_t split = 0; split <= bytes.size(); ++split) {
+    FrameDecoder decoder;
+    Frame frame;
+    decoder.feed(bytes.data(), split);
+    const DecodeStatus first = decoder.next(frame);
+    if (split < bytes.size())
+      ASSERT_EQ(first, DecodeStatus::kNeedMore) << "split " << split;
+    decoder.feed(bytes.data() + split, bytes.size() - split);
+    if (first != DecodeStatus::kFrame)
+      ASSERT_EQ(decoder.next(frame), DecodeStatus::kFrame)
+          << "split " << split;
+    EXPECT_EQ(frame.type, FrameType::kRequest) << "split " << split;
+    EXPECT_EQ(decoder.buffered(), 0u) << "split " << split;
+  }
+}
+
+TEST(Protocol, TruncatedFrameStaysPendingAndReportsBufferedBytes) {
+  const std::string bytes = encode_request(sample_request());
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size() - 5);
+  Frame frame;
+  EXPECT_EQ(decoder.next(frame), DecodeStatus::kNeedMore);
+  // The partial frame is visible: this is how the server detects a peer
+  // that died mid-request.
+  EXPECT_EQ(decoder.buffered(), bytes.size() - 5);
+  EXPECT_TRUE(decoder.error().empty());
+}
+
+TEST(Protocol, BadMagicIsAddressed) {
+  std::string bytes = encode_drain();
+  bytes[0] = 'X';
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_EQ(decoder.next(frame), DecodeStatus::kBadMagic);
+  EXPECT_NE(decoder.error().find("bad magic"), std::string::npos)
+      << decoder.error();
+  EXPECT_NE(decoder.error().find("frame 0"), std::string::npos)
+      << decoder.error();
+}
+
+TEST(Protocol, BadVersionIsAddressed) {
+  std::string bytes = encode_drain();
+  bytes[4] = 9;
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_EQ(decoder.next(frame), DecodeStatus::kBadVersion);
+  EXPECT_NE(decoder.error().find("version 9"), std::string::npos)
+      << decoder.error();
+}
+
+TEST(Protocol, UnknownTypeAndReservedBytesAreBadHeaders) {
+  std::string bytes = encode_drain();
+  bytes[5] = 77;  // No such frame type.
+  FrameDecoder a;
+  a.feed(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_EQ(a.next(frame), DecodeStatus::kBadHeader);
+
+  bytes = encode_drain();
+  bytes[6] = 1;  // Reserved bytes must be zero.
+  FrameDecoder b;
+  b.feed(bytes.data(), bytes.size());
+  EXPECT_EQ(b.next(frame), DecodeStatus::kBadHeader);
+}
+
+TEST(Protocol, OversizedLengthIsRejectedWithoutBuffering) {
+  // Header declares a payload far past the bound: the decoder must reject
+  // from the header alone instead of waiting for (or allocating) 4 GiB.
+  std::string bytes = encode_drain();
+  bytes[8] = static_cast<char>(0xFF);
+  bytes[9] = static_cast<char>(0xFF);
+  bytes[10] = static_cast<char>(0xFF);
+  bytes[11] = static_cast<char>(0x7F);
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_EQ(decoder.next(frame), DecodeStatus::kBadLength);
+  EXPECT_NE(decoder.error().find("exceeds the bound"), std::string::npos)
+      << decoder.error();
+}
+
+TEST(Protocol, CorruptPayloadFailsCrc) {
+  std::string bytes = encode_request(sample_request());
+  bytes[kHeaderSize + 3] ^= 0x40;  // One flipped payload bit.
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_EQ(decoder.next(frame), DecodeStatus::kBadCrc);
+  EXPECT_NE(decoder.error().find("CRC mismatch"), std::string::npos)
+      << decoder.error();
+}
+
+TEST(Protocol, DecoderLatchesAfterFirstError) {
+  std::string bytes = encode_drain();
+  bytes[0] = 'X';
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  Frame frame;
+  ASSERT_EQ(decoder.next(frame), DecodeStatus::kBadMagic);
+  // Even a perfectly good frame cannot resynchronize a lost stream.
+  const std::string good = encode_drain();
+  decoder.feed(good.data(), good.size());
+  EXPECT_EQ(decoder.next(frame), DecodeStatus::kBadMagic);
+  EXPECT_EQ(decoder.frames_decoded(), 0u);
+}
+
+TEST(Protocol, ErrorsAreAddressedByFrameIndex) {
+  std::string stream = encode_drain();
+  stream += encode_drain();
+  std::string bad = encode_drain();
+  bad[6] = 1;
+  stream += bad;
+  FrameDecoder decoder;
+  decoder.feed(stream.data(), stream.size());
+  Frame frame;
+  EXPECT_EQ(decoder.next(frame), DecodeStatus::kFrame);
+  EXPECT_EQ(decoder.next(frame), DecodeStatus::kFrame);
+  EXPECT_EQ(decoder.next(frame), DecodeStatus::kBadHeader);
+  EXPECT_NE(decoder.error().find("frame 2"), std::string::npos)
+      << decoder.error();
+}
+
+TEST(Protocol, RequestPayloadTruncationIsAddressed) {
+  const std::string full = encode_request(sample_request());
+  // Re-frame successively shorter prefixes of the payload: every length
+  // must parse as an addressed error, never crash.
+  const std::string payload = full.substr(kHeaderSize);
+  for (std::size_t keep = 0; keep < payload.size(); ++keep) {
+    const Frame frame{FrameType::kRequest, payload.substr(0, keep)};
+    WireRequest out;
+    std::string error;
+    EXPECT_FALSE(parse_request(frame, out, error)) << "keep " << keep;
+    EXPECT_FALSE(error.empty()) << "keep " << keep;
+  }
+}
+
+TEST(Protocol, RequestDimsMustMatchPayloadLength) {
+  WireRequest request = sample_request();
+  std::string bytes = encode_request(request);
+  // Payload offset 36 holds the row count; declare one extra row.
+  bytes[kHeaderSize + 36] = 4;
+  // Fix the CRC so only the semantic check can catch it.
+  const std::string payload = bytes.substr(kHeaderSize);
+  const std::uint32_t crc = crc32(payload);
+  for (int i = 0; i < 4; ++i)
+    bytes[12 + i] = static_cast<char>((crc >> (8 * i)) & 0xFF);
+
+  Frame frame;
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  ASSERT_EQ(decoder.next(frame), DecodeStatus::kFrame);
+  WireRequest out;
+  std::string error;
+  EXPECT_FALSE(parse_request(frame, out, error));
+  EXPECT_NE(error.find("declared 4x4"), std::string::npos) << error;
+}
+
+TEST(Protocol, RequestRejectsBadLabelAndZeroDims) {
+  WireRequest request = sample_request();
+  Frame frame = decode_one(encode_request(request));
+  // Payload offset 32 is the label.
+  frame.payload[32] = 5;
+  WireRequest out;
+  std::string error;
+  EXPECT_FALSE(parse_request(frame, out, error));
+  EXPECT_NE(error.find("label"), std::string::npos) << error;
+
+  frame = decode_one(encode_request(request));
+  frame.payload[36] = 0;  // rows = 0
+  error.clear();
+  EXPECT_FALSE(parse_request(frame, out, error));
+  EXPECT_NE(error.find("nonzero"), std::string::npos) << error;
+}
+
+TEST(Protocol, ResponseRejectsOutOfRangeEnums) {
+  WireResponse response;
+  Frame frame = decode_one(encode_response(response));
+  frame.payload[16] = 2;  // status must be 0/1.
+  WireResponse out;
+  std::string error;
+  EXPECT_FALSE(parse_response(frame, out, error));
+  EXPECT_NE(error.find("status"), std::string::npos) << error;
+
+  frame = decode_one(encode_response(response));
+  frame.payload[32] = 9;  // degraded must be 0/1.
+  error.clear();
+  EXPECT_FALSE(parse_response(frame, out, error));
+  EXPECT_NE(error.find("degraded"), std::string::npos) << error;
+}
+
+TEST(Protocol, ResponseErrorStringLengthIsBoundsChecked) {
+  WireResponse response;
+  response.error = "xy";
+  Frame frame = decode_one(encode_response(response));
+  // Inflate the declared error length past the payload end.
+  frame.payload[68] = static_cast<char>(0xFF);
+  WireResponse out;
+  std::string error;
+  EXPECT_FALSE(parse_response(frame, out, error));
+  EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+}
+
+// Deterministic fuzz: hashed mutations of valid frames plus pure garbage.
+// The property is total safety — every input yields a DecodeStatus (and on
+// error a nonempty message); nothing crashes, loops, or over-reads. ASan /
+// UBSAN runs of this loop are the memory-safety proof.
+TEST(Protocol, FuzzedStreamsNeverCrashTheDecoder) {
+  const std::string seed_frames[] = {
+      encode_request(sample_request()),
+      encode_response(WireResponse{}),
+      encode_drain(),
+      encode_drain_ack(WireDrainAck{}),
+      encode_shutdown(),
+  };
+  std::size_t decoded = 0;
+  std::size_t rejected = 0;
+  for (std::uint64_t round = 0; round < 400; ++round) {
+    std::string bytes = seed_frames[round % 5];
+    // Up to 8 hashed byte mutations (offset, value) per round.
+    const std::uint64_t n_mutations = fault::mix(99, round, 0, 0) % 8;
+    for (std::uint64_t m = 0; m < n_mutations; ++m) {
+      const std::uint64_t h = fault::mix(99, round, 1, m);
+      bytes[h % bytes.size()] = static_cast<char>(h >> 32);
+    }
+    // A third of the rounds prepend garbage so the header checks fire too.
+    if (round % 3 == 0) {
+      const std::uint64_t h = fault::mix(99, round, 2, 0);
+      bytes.insert(0, std::string(1 + h % 7, static_cast<char>(h >> 40)));
+    }
+
+    FrameDecoder decoder;
+    // Feed in hashed chunk sizes to stress the incremental path.
+    std::size_t off = 0;
+    std::size_t chunk_index = 0;
+    Frame frame;
+    while (off < bytes.size()) {
+      const std::size_t n = 1 + fault::mix(99, round, 3, chunk_index++) % 37;
+      const std::size_t take = std::min(n, bytes.size() - off);
+      decoder.feed(bytes.data() + off, take);
+      off += take;
+      DecodeStatus status;
+      while ((status = decoder.next(frame)) == DecodeStatus::kFrame) {
+        ++decoded;
+        // Whatever survived framing gets thrown at the payload parsers;
+        // they must stay total as well.
+        WireRequest request;
+        WireResponse response;
+        WireDrainAck ack;
+        std::string error;
+        parse_request(frame, request, error);
+        parse_response(frame, response, error);
+        parse_drain_ack(frame, ack, error);
+      }
+      if (status != DecodeStatus::kNeedMore) {
+        EXPECT_FALSE(decoder.error().empty());
+        ++rejected;
+        break;
+      }
+    }
+  }
+  // The loop must have exercised both sides of the property.
+  EXPECT_GT(decoded, 20u);
+  EXPECT_GT(rejected, 100u);
+}
+
+TEST(Protocol, EncodeRejectsOversizedPayloadLoudly) {
+  WireRequest request = sample_request();
+  request.map = Tensor({600, 600});  // 1.44 MB of floats > 1 MiB bound.
+  EXPECT_THROW(encode_request(request), clear::Error);
+}
+
+}  // namespace
+}  // namespace clear::net

@@ -66,6 +66,8 @@
 #include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "edge/engine.hpp"
+#include "net/loadgen.hpp"
+#include "net/server.hpp"
 #include "serve/server.hpp"
 #include "serve/workload.hpp"
 
@@ -76,7 +78,7 @@ namespace {
 int usage(std::FILE* out = stderr) {
   std::fprintf(out,
                "usage: clear-cli <generate|train|info|assign|evaluate|"
-               "personalize|robustness|profile|serve> [--flags]\n%s"
+               "personalize|robustness|profile|serve|loadgen> [--flags]\n%s"
                "run `clear-cli <command> --help` for that command's flags.\n",
                CommonFlags::help());
   return out == stderr ? 2 : 0;
@@ -187,7 +189,31 @@ const char* command_help(const std::string& command) {
        "  --trials=N            trials per volunteer (default 5)\n"
        "  --epochs=N            pre-training epochs (default 2)\n"
        "  --ft-epochs=N         fine-tuning epochs (default 2)\n"
-       "  --k=N                 number of general clusters\n"},
+       "  --k=N                 number of general clusters\n"
+       "  --listen=HOST:PORT    serve over TCP (epoll front end) instead of\n"
+       "                        replaying the synthetic workload; port 0\n"
+       "                        binds an ephemeral port\n"
+       "  --port-file=FILE      write the bound port here after listen\n"
+       "  --max-connections=N   concurrent connection cap (default 64)\n"
+       "  --idle-flush-ms=N     drain pending batches after N ms of wire\n"
+       "                        silence; 0 keeps batching purely\n"
+       "                        arrival-driven (default 50)\n"},
+      {"loadgen",
+       "clear-cli loadgen — open-loop load generator for serve --listen\n"
+       "  --connect=HOST:PORT   target server (required)\n"
+       "  --connections=N       concurrent connections (default 4)\n"
+       "  --requests=N          total requests, striped over connections\n"
+       "                        (default 256)\n"
+       "  --rate=R              offered rate in requests/sec (default 200)\n"
+       "  --burstiness=B        burst factor >= 1; 1 = Poisson (default 1)\n"
+       "  --seed=S              hashed-schedule seed (default 1)\n"
+       "  --users=N             distinct user ids in the stream (default 8)\n"
+       "  --features=N          feature-map rows (default: model default)\n"
+       "  --window=N            feature-map cols (default: model default)\n"
+       "  --label-fraction=F    share of labelled requests (default 0.25)\n"
+       "  --timeout=SEC         give up on missing responses (default 30)\n"
+       "  --shutdown-after      send a shutdown frame when done\n"
+       "  --json=FILE           write a clear-bench-loadgen-v1 report\n"},
   };
   const auto it = kHelp.find(command);
   return it == kHelp.end() ? nullptr : it->second;
@@ -502,6 +528,25 @@ std::vector<edge::Precision> precisions_from(const CliArgs& args) {
   return out;
 }
 
+void print_serve_summary(const serve::Server& server) {
+  const serve::ServeCounters& c = server.counters();
+  std::printf("-- serve summary --\n");
+  std::printf(
+      "requests=%zu ok=%zu shed=%zu batches=%zu rows=%zu max_batch=%zu\n",
+      c.requests, c.ok, c.shed, c.batches, c.rows, c.max_batch_rows);
+  std::printf(
+      "assignments=%zu finetunes=%zu ft_failures=%zu sanitized=%zu "
+      "degraded=%zu recovered=%zu\n",
+      c.assignments, c.finetunes, c.finetune_failures, c.sanitized,
+      c.degraded, c.recovered);
+  const serve::CacheStats& cs = server.cache().stats();
+  std::printf(
+      "cache: hits=%zu misses=%zu evictions=%zu fallbacks=%zu resident=%zu "
+      "bytes=%zu\n",
+      cs.hits, cs.misses, cs.evictions, cs.fallbacks, server.cache().size(),
+      cs.bytes_in_use);
+}
+
 int cmd_serve(const CliArgs& args) {
   // The serve demo is sized like `profile`, not like a full cloud run: a
   // small dataset is generated in memory and (unless --artifacts points at a
@@ -572,6 +617,45 @@ int cmd_serve(const CliArgs& args) {
     }
   }
 
+  const std::string listen = args.get("listen", "");
+  if (!listen.empty()) {
+    // Wire mode: the epoll front end drives the server; requests arrive as
+    // frames instead of a replayed workload. Runs until a shutdown frame.
+    net::NetServerConfig nc;
+    nc.listen = net::parse_endpoint(listen);
+    nc.max_connections =
+        static_cast<std::size_t>(args.get_int("max-connections", 64));
+    nc.port_file = args.get("port-file", "");
+    nc.idle_flush_ms =
+        static_cast<std::uint64_t>(args.get_int("idle-flush-ms", 50));
+    serve::Server server(std::move(source), sc);
+    net::NetServer net_server(server, nc);
+    std::printf("listening on %s:%u\n", nc.listen.host.c_str(),
+                net_server.port());
+    std::fflush(stdout);
+    net_server.run();
+    print_serve_summary(server);
+    const net::NetCounters& n = net_server.counters();
+    std::printf(
+        "net: accepted=%llu closed=%llu rejected=%llu frames_in=%llu "
+        "frames_out=%llu\n",
+        static_cast<unsigned long long>(n.accepted),
+        static_cast<unsigned long long>(n.closed),
+        static_cast<unsigned long long>(n.rejected),
+        static_cast<unsigned long long>(n.frames_in),
+        static_cast<unsigned long long>(n.frames_out));
+    std::printf(
+        "net: bytes_in=%llu bytes_out=%llu decode_errors=%llu "
+        "partial_drops=%llu dropped_responses=%llu clamped=%llu\n",
+        static_cast<unsigned long long>(n.bytes_in),
+        static_cast<unsigned long long>(n.bytes_out),
+        static_cast<unsigned long long>(n.decode_errors),
+        static_cast<unsigned long long>(n.partial_drops),
+        static_cast<unsigned long long>(n.dropped_responses),
+        static_cast<unsigned long long>(n.clamped_arrivals));
+    return 0;
+  }
+
   serve::WorkloadConfig wc;
   wc.n_users = static_cast<std::size_t>(args.get_int("users", 32));
   wc.requests_per_user =
@@ -610,22 +694,7 @@ int cmd_serve(const CliArgs& args) {
     }
   }
 
-  const serve::ServeCounters& c = server.counters();
-  std::printf("-- serve summary --\n");
-  std::printf(
-      "requests=%zu ok=%zu shed=%zu batches=%zu rows=%zu max_batch=%zu\n",
-      c.requests, c.ok, c.shed, c.batches, c.rows, c.max_batch_rows);
-  std::printf(
-      "assignments=%zu finetunes=%zu ft_failures=%zu sanitized=%zu "
-      "degraded=%zu recovered=%zu\n",
-      c.assignments, c.finetunes, c.finetune_failures, c.sanitized,
-      c.degraded, c.recovered);
-  const serve::CacheStats& cs = server.cache().stats();
-  std::printf(
-      "cache: hits=%zu misses=%zu evictions=%zu fallbacks=%zu resident=%zu "
-      "bytes=%zu\n",
-      cs.hits, cs.misses, cs.evictions, cs.fallbacks, server.cache().size(),
-      cs.bytes_in_use);
+  print_serve_summary(server);
 
   std::map<serve::SessionState, std::size_t> by_state;
   double ttfp_total = 0.0;
@@ -647,6 +716,61 @@ int cmd_serve(const CliArgs& args) {
         "mean time-to-first-prediction: %.1fus (virtual, %zu users)\n",
         ttfp_total / static_cast<double>(ttfp_n), ttfp_n);
   return 0;
+}
+
+int cmd_loadgen(const CliArgs& args) {
+  const std::string connect = args.get("connect", "");
+  if (connect.empty()) {
+    std::fprintf(stderr, "loadgen requires --connect=HOST:PORT\n");
+    return 2;
+  }
+  const core::ClearConfig defaults = core::default_config();
+  net::LoadgenConfig lc;
+  lc.target = net::parse_endpoint(connect);
+  lc.connections =
+      static_cast<std::size_t>(args.get_int("connections", 4));
+  lc.requests = static_cast<std::size_t>(args.get_int("requests", 256));
+  lc.rate_rps = args.get_double("rate", 200.0);
+  lc.burstiness = args.get_double("burstiness", 1.0);
+  lc.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  lc.users = static_cast<std::size_t>(args.get_int("users", 8));
+  lc.features = static_cast<std::size_t>(args.get_int(
+      "features", static_cast<std::int64_t>(defaults.model.feature_dim)));
+  lc.window = static_cast<std::size_t>(args.get_int(
+      "window", static_cast<std::int64_t>(defaults.model.window_count)));
+  lc.label_fraction = args.get_double("label-fraction", 0.25);
+  lc.timeout_seconds = args.get_double("timeout", 30.0);
+  lc.shutdown_after = args.get_bool("shutdown-after", false);
+
+  const net::LoadgenReport report = net::run_loadgen(lc);
+
+  std::printf("-- loadgen summary --\n");
+  std::printf("sent=%zu received=%zu ok=%zu shed=%zu dropped=%zu\n",
+              report.sent, report.received, report.ok, report.shed,
+              report.dropped);
+  std::printf("wall=%.3fs offered=%.1f rps achieved=%.1f rps\n",
+              report.wall_seconds, report.offered_rps, report.achieved_rps);
+  std::printf(
+      "latency: p50=%.0fus p90=%.0fus p99=%.0fus p99.9=%.0fus max=%.0fus "
+      "mean=%.0fus\n",
+      report.latency.p50_us, report.latency.p90_us, report.latency.p99_us,
+      report.latency.p999_us, report.latency.max_us, report.latency.mean_us);
+
+  const std::string json_path = args.get("json", "");
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    const std::string json = report.json(lc);
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("report written to %s\n", json_path.c_str());
+  }
+  // A run where nothing came back is a failed run, whatever the counters
+  // say; partial drops are reported but left to callers to gate on.
+  return report.received > 0 ? 0 : 1;
 }
 
 /// Top-of-registry span summary on stderr (stdout stays numeric-only so a
@@ -708,6 +832,7 @@ int main(int argc, char** argv) {
     else if (command == "robustness") rc = cmd_robustness(args);
     else if (command == "profile") rc = cmd_profile(args);
     else if (command == "serve") rc = cmd_serve(args);
+    else if (command == "loadgen") rc = cmd_loadgen(args);
     else known = false;
     if (!known) {
       std::fprintf(stderr, "unknown command: %s\n", command.c_str());

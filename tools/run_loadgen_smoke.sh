@@ -1,0 +1,91 @@
+#!/bin/sh
+# Loadgen smoke test: start `clear-cli serve --listen` on an ephemeral
+# loopback port, drive it with the deterministic open-loop load generator
+# (`clear-cli loadgen`), and validate the --json report against the
+# committed schema (tools/loadgen_schema.json) plus sanity floors: every
+# request answered, and a minimum achieved throughput that even a Pi-class
+# board clears with margin (the real rates live in BENCH_loadgen.json and
+# are gated by tools/bench_regress.py, ratio-wise).
+# Usage: run_loadgen_smoke.sh <path-to-clear-cli> <path-to-schema>
+set -eu
+
+CLI="$1"
+SCHEMA="$2"
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+cd "$WORK"
+
+SLICE="--volunteers=6 --trials=4 --epochs=1 --ft-epochs=1 --data-seed=42"
+
+# 1. Server on an ephemeral port; it publishes the bound port via
+#    --port-file once it is actually listening.
+"$CLI" serve $SLICE --listen=127.0.0.1:0 --port-file=port.txt \
+  >server.txt 2>&1 &
+SERVER_PID=$!
+
+i=0
+while [ ! -s port.txt ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 300 ]; then
+    echo "server never published its port; log tail:" >&2
+    tail -20 server.txt >&2
+    exit 1
+  fi
+  kill -0 "$SERVER_PID" 2>/dev/null || {
+    echo "server exited before listening; log tail:" >&2
+    tail -20 server.txt >&2
+    exit 1
+  }
+  sleep 0.2
+done
+PORT="$(cat port.txt)"
+
+# 2. Deterministic open-loop run; --shutdown-after stops the server so its
+#    exit code (drain-on-shutdown: every admitted request answered) counts.
+"$CLI" loadgen --connect=127.0.0.1:"$PORT" --connections=3 --requests=90 \
+  --rate=250 --burstiness=2 --seed=5 --users=6 --shutdown-after \
+  --json=report.json >loadgen.txt 2>&1
+
+wait "$SERVER_PID"
+SERVER_PID=""
+test -s report.json
+
+# 3. The report must satisfy the committed schema.
+python3 - "$SCHEMA" report.json <<'EOF'
+import json, sys
+import jsonschema
+with open(sys.argv[1]) as f:
+    schema = json.load(f)
+with open(sys.argv[2]) as f:
+    report = json.load(f)
+jsonschema.validate(report, schema)
+EOF
+
+# 4. Delivery: the open-loop generator sent everything it scheduled and the
+#    wire answered all of it.
+jq -e '.sent == 90 and .received == 90 and .dropped == 0' report.json \
+  >/dev/null || { echo "loadgen lost requests:" >&2; cat report.json >&2; exit 1; }
+jq -e '.ratios.answered_fraction == 1 and .ratios.ok_fraction > 0' \
+  report.json >/dev/null
+
+# 5. Minimum-throughput sanity floor. Deliberately far below any real
+#    machine's rate — this catches a wedged event loop (e.g. a stuck
+#    batcher drained only by the timeout path), not a slow one.
+jq -e '.achieved_rps >= 20' report.json >/dev/null || {
+  echo "achieved_rps below the 20 req/s sanity floor:" >&2
+  jq '.achieved_rps, .wall_seconds' report.json >&2
+  exit 1
+}
+
+# 6. The latency summary must be internally consistent.
+jq -e '.latency_us.p50 > 0 and .latency_us.p90 >= .latency_us.p50
+       and .latency_us.p99 >= .latency_us.p90
+       and .latency_us.p999 >= .latency_us.p99
+       and .latency_us.max >= .latency_us.p999' report.json >/dev/null
+
+echo "loadgen smoke OK"

@@ -5,7 +5,15 @@
 # UndefinedBehaviorSanitizer, where bit-twiddling CRC code, byte-flip
 # corruption paths, and NaN-heavy sanitization are most likely to trip UB.
 #
-#   tools/run_sanitizer_tests.sh [thread|undefined|all] [build-dir-prefix]
+#   tools/run_sanitizer_tests.sh [thread|undefined|address|obsoff|all] \
+#       [build-dir-prefix]
+#
+# `address` replays the wire-protocol fuzz/property suites (tests/net) plus
+# the fault suites under ASan+UBSAN — the frame decoder chews adversarial
+# byte streams, exactly where an out-of-bounds read would hide. `obsoff`
+# builds clear-cli with -DCLEAR_OBS=OFF and runs the serve smoke's golden
+# comparison against it (instrumentation compiled out must not change a
+# byte of output).
 #
 # Each sanitizer gets its own build directory (<prefix>-<sanitizer>) so the
 # instrumented objects never mix. Exits non-zero on the first report
@@ -36,12 +44,14 @@ run_ubsan() {
   local dir="${PREFIX}-ubsan"
   cmake -B "$dir" -S . -DCLEAR_SANITIZE=undefined -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$dir" -j --target test_fault test_common test_nn test_features \
-    test_kernel_equivalence
+    test_kernel_equivalence test_net
   export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
   echo "== test_fault (UBSAN) =="
   "$dir/tests/test_fault"
   echo "== test_kernel_equivalence (UBSAN, SIMD + fp16/int8 bit paths) =="
   "$dir/tests/test_kernel_equivalence"
+  echo "== test_net (UBSAN, wire-codec fuzz/property suites) =="
+  "$dir/tests/test_net" --gtest_filter='Protocol*'
   echo "== test_common (UBSAN) =="
   "$dir/tests/test_common"
   echo "== test_nn (UBSAN, checkpoint corruption paths) =="
@@ -50,10 +60,44 @@ run_ubsan() {
   "$dir/tests/test_features" --gtest_filter='*Audit*:Nonlinear*'
 }
 
+run_asan() {
+  local dir="${PREFIX}-asan"
+  cmake -B "$dir" -S . -DCLEAR_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$dir" -j --target test_net test_fault
+  export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}"
+  export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
+  echo "== test_net (ASAN, full wire suite: fuzzed decode, loopback, faults) =="
+  "$dir/tests/test_net"
+  echo "== test_fault (ASAN) =="
+  "$dir/tests/test_fault"
+}
+
+run_obsoff() {
+  local dir="${PREFIX}-obsoff"
+  cmake -B "$dir" -S . -DCLEAR_OBS=OFF -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$dir" -j --target clear-cli
+  # The default-build CLI drives the metrics legs; the obs-off CLI must hit
+  # the same prediction golden (run_serve_smoke.sh step 8). Absolute paths:
+  # the smoke script runs from a scratch directory.
+  local on_dir="${PREFIX}"
+  if [ ! -x "$on_dir/tools/clear-cli" ]; then
+    cmake -B "$on_dir" -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build "$on_dir" -j --target clear-cli
+  fi
+  local root
+  root="$(pwd)"
+  sh tools/run_serve_smoke.sh "$root/$on_dir/tools/clear-cli" \
+    "$root/tools/metrics_schema.json" "$root/tools/serve_golden.txt" \
+    "$root/$dir/tools/clear-cli"
+}
+
 case "$MODE" in
   thread)    run_tsan ;;
   undefined) run_ubsan ;;
-  all)       run_tsan; run_ubsan ;;
-  *) echo "usage: $0 [thread|undefined|all] [build-dir-prefix]" >&2; exit 2 ;;
+  address)   run_asan ;;
+  obsoff)    run_obsoff ;;
+  all)       run_tsan; run_ubsan; run_asan; run_obsoff ;;
+  *) echo "usage: $0 [thread|undefined|address|obsoff|all] [build-dir-prefix]" >&2
+     exit 2 ;;
 esac
 echo "Sanitizer run clean."

@@ -5,12 +5,18 @@
 # histograms / spans are recorded, and assert the per-request predictions
 # are bit-identical to the golden file (tools/serve_golden.txt), unchanged
 # with metrics on or off, and unchanged at --threads 1 vs 8.
-# Usage: run_serve_smoke.sh <path-to-clear-cli> <path-to-schema> <golden>
+#
+# An optional fourth argument points at a clear-cli from a -DCLEAR_OBS=OFF
+# build (instrumentation compiled out, not just disabled): its predictions
+# must hit the same golden. tools/run_sanitizer_tests.sh's `obsoff` leg
+# builds that binary and invokes this script with it.
+# Usage: run_serve_smoke.sh <clear-cli> <schema> <golden> [obs-off-cli]
 set -eu
 
 CLI="$1"
 SCHEMA="$2"
 GOLDEN="$3"
+OBS_OFF_CLI="${4:-}"
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
 cd "$WORK"
@@ -23,7 +29,21 @@ SLICE="--volunteers=6 --trials=4 --epochs=1 --ft-epochs=1 \
   >on.txt 2>on.err
 test -s metrics.json
 
-# 2. The snapshot must satisfy the schema.
+# 2. The snapshot must not be vacuously valid: an empty registry (e.g. a
+#    CLEAR_OBS=OFF binary handed the metrics-on role, or instrumentation
+#    silently broken) satisfies the schema, so require substance before
+#    validating shape.
+jq -e '(.counters | length) > 0' metrics.json >/dev/null ||
+  { echo "metrics snapshot has no counters — obs recorded nothing" >&2
+    exit 1; }
+jq -e '(.histograms | length) > 0' metrics.json >/dev/null ||
+  { echo "metrics snapshot has no histograms — obs recorded nothing" >&2
+    exit 1; }
+jq -e '(.traceEvents | length) > 0' metrics.json >/dev/null ||
+  { echo "metrics snapshot has no trace events — obs recorded nothing" >&2
+    exit 1; }
+
+# 3. The snapshot must satisfy the schema.
 python3 - "$SCHEMA" metrics.json <<'EOF'
 import json, sys
 import jsonschema
@@ -34,7 +54,7 @@ with open(sys.argv[2]) as f:
 jsonschema.validate(snapshot, schema)
 EOF
 
-# 3. The serving layer's own signals must be recorded: request/batch
+# 4. The serving layer's own signals must be recorded: request/batch
 #    counters, queue/batch/time-to-first-prediction histograms, and the
 #    assignment + batch-execution spans.
 for c in serve.requests serve.batches serve.rows serve.assignments \
@@ -53,16 +73,16 @@ for s in serve.assign serve.batch; do
 done
 jq -e '.droppedTraceEvents == 0' metrics.json >/dev/null
 
-# 4. Metrics off: stdout must be byte-identical (observability never
+# 5. Metrics off: stdout must be byte-identical (observability never
 #    changes a prediction).
 "$CLI" serve $SLICE --threads=1 --no-metrics >off.txt 2>off.err
 cmp on.txt off.txt
 
-# 5. Thread count must not change a single byte either.
+# 6. Thread count must not change a single byte either.
 "$CLI" serve $SLICE --threads=8 --no-metrics >t8.txt 2>t8.err
 cmp off.txt t8.txt
 
-# 6. Per-request predictions must match the checked-in golden exactly —
+# 7. Per-request predictions must match the checked-in golden exactly —
 #    any drift in the serving pipeline's numerics shows up here.
 grep '^user=' on.txt >predictions.txt
 cmp predictions.txt "$GOLDEN" || {
@@ -71,4 +91,19 @@ cmp predictions.txt "$GOLDEN" || {
   exit 1
 }
 
-echo "serve smoke OK"
+# 8. Compiled-out observability (-DCLEAR_OBS=OFF) must hit the same golden:
+#    the macros expand to nothing in that build, so this is the only check
+#    that the *absence* of instrumentation code paths changes no byte.
+if [ -n "$OBS_OFF_CLI" ]; then
+  "$OBS_OFF_CLI" serve $SLICE --threads=1 --no-metrics \
+    >obsoff.txt 2>obsoff.err
+  grep '^user=' obsoff.txt >obsoff_predictions.txt
+  cmp obsoff_predictions.txt "$GOLDEN" || {
+    echo "obs-off build predictions diverge from $GOLDEN" >&2
+    diff "$GOLDEN" obsoff_predictions.txt | head -20 >&2
+    exit 1
+  }
+  echo "serve smoke OK (incl. obs-off golden)"
+else
+  echo "serve smoke OK (obs-off leg skipped: no -DCLEAR_OBS=OFF binary given)"
+fi
