@@ -1,5 +1,7 @@
 #include "net/client.hpp"
 
+#include <poll.h>
+
 #include "common/error.hpp"
 
 namespace clear::net {
@@ -11,13 +13,26 @@ BlockingClient::BlockingClient(const Endpoint& endpoint,
 BlockingClient::~BlockingClient() { stream_.close(); }
 
 void BlockingClient::send_bytes(const void* data, std::size_t n) {
+  // Ceiling on waiting for a stalled fd to drain; a peer that stays
+  // unwritable this long is a harness bug, not backpressure.
+  constexpr int kWriteStallMs = 10000;
   const char* p = static_cast<const char*>(data);
   std::size_t sent = 0;
   while (sent < n) {
     const IoResult r = stream_.write_some(p + sent, n - sent);
     if (r.closed) return;  // Peer (or the drop fault) severed us mid-send.
-    // Blocking socket: would_block cannot happen; a short write (fault cap
-    // or kernel buffer) just loops.
+    if (r.would_block || r.n == 0) {
+      // The fd is normally blocking, but a nonblocking fd (or a zero-byte
+      // send) must not spin: wait until writable, then retry.
+      pollfd pfd{};
+      pfd.fd = stream_.fd();
+      pfd.events = POLLOUT;
+      const int rc = ::poll(&pfd, 1, kWriteStallMs);
+      CLEAR_CHECK_MSG(rc > 0,
+                      "send_bytes stalled: fd not writable after "
+                          << kWriteStallMs << "ms");
+      continue;
+    }
     sent += r.n;
   }
 }

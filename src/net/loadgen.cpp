@@ -45,13 +45,31 @@ struct LoadConn {
   bool dead = false;
 };
 
-WireRequest make_request(const LoadgenConfig& config, std::size_t index) {
+// Gap (us) request `i` contributes to the cumulative hashed schedule; zero
+// when the burstiness coin collapses it onto the previous arrival.
+double schedule_gap_us(const LoadgenConfig& config, std::size_t i) {
+  const double mean_gap_us =
+      config.rate_rps > 0.0 ? 1e6 / config.rate_rps : 0.0;
+  const double b = std::max(1.0, config.burstiness);
+  if (b > 1.0) {
+    const double ub =
+        fault::uniform01(fault::mix(config.seed, kKindBurst, i, 0));
+    if (ub < 1.0 - 1.0 / b) return 0.0;  // Collapsed gap: same instant.
+  }
+  const double u = fault::uniform01(fault::mix(config.seed, kKindGap, i, 0));
+  // Exponential gap; stretch by b so the offered rate survives the
+  // collapsed gaps. -log(1-u) with u in [0,1) is finite.
+  return -mean_gap_us * std::log(1.0 - u) * b;
+}
+
+WireRequest make_request(const LoadgenConfig& config, std::size_t index,
+                         std::uint64_t arrival_us) {
   WireRequest request;
   request.request_id = static_cast<std::uint64_t>(index) + 1;
   request.user_id =
       fault::mix(config.seed, kKindUser, index, 0) %
       std::max<std::size_t>(1, config.users);
-  request.arrival_us = scheduled_arrival_us(config, index);
+  request.arrival_us = arrival_us;
   // Quality in [0.75, 1.0]: mostly clean signal, enough spread to touch the
   // quality-tracking path without mass-degrading sessions.
   request.quality =
@@ -97,22 +115,8 @@ void flush_conn(LoadConn& conn) {
 
 std::uint64_t scheduled_arrival_us(const LoadgenConfig& config,
                                    std::size_t index) {
-  const double mean_gap_us =
-      config.rate_rps > 0.0 ? 1e6 / config.rate_rps : 0.0;
-  const double b = std::max(1.0, config.burstiness);
   double t = 0.0;
-  for (std::size_t i = 0; i <= index; ++i) {
-    if (b > 1.0) {
-      const double ub =
-          fault::uniform01(fault::mix(config.seed, kKindBurst, i, 0));
-      if (ub < 1.0 - 1.0 / b) continue;  // Collapsed gap: same instant.
-    }
-    const double u =
-        fault::uniform01(fault::mix(config.seed, kKindGap, i, 0));
-    // Exponential gap; stretch by b so the offered rate survives the
-    // collapsed gaps. -log(1-u) with u in [0,1) is finite.
-    t += -mean_gap_us * std::log(1.0 - u) * b;
-  }
+  for (std::size_t i = 0; i <= index; ++i) t += schedule_gap_us(config, i);
   return static_cast<std::uint64_t>(t);
 }
 
@@ -176,25 +180,13 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
     conns.push_back(std::move(conn));
   }
 
-  // Scheduled virtual send time per request: one cumulative hash walk
-  // (identical to scheduled_arrival_us, shared instead of O(n^2) calls).
+  // Scheduled virtual send time per request: one cumulative hash walk,
+  // sharing scheduled_arrival_us's gap law (O(n) total, not O(n^2) calls).
   std::vector<std::uint64_t> schedule(config.requests);
   {
-    const double mean_gap_us = 1e6 / config.rate_rps;
-    const double b = std::max(1.0, config.burstiness);
     double t = 0.0;
     for (std::size_t i = 0; i < config.requests; ++i) {
-      bool collapsed = false;
-      if (b > 1.0) {
-        const double ub =
-            fault::uniform01(fault::mix(config.seed, kKindBurst, i, 0));
-        collapsed = ub < 1.0 - 1.0 / b;
-      }
-      if (!collapsed) {
-        const double u =
-            fault::uniform01(fault::mix(config.seed, kKindGap, i, 0));
-        t += -mean_gap_us * std::log(1.0 - u) * b;
-      }
+      t += schedule_gap_us(config, i);
       schedule[i] = static_cast<std::uint64_t>(t);
     }
   }
@@ -227,7 +219,8 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
     // outstanding responses (open loop).
     while (next_send < config.requests && schedule[next_send] <= now_us) {
       LoadConn& conn = *conns[next_send % conns.size()];
-      const WireRequest request = make_request(config, next_send);
+      const WireRequest request =
+          make_request(config, next_send, schedule[next_send]);
       if (!conn.dead) {
         conn.outbuf += encode_request(request);
         outstanding[request.request_id] = schedule[next_send];

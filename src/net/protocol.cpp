@@ -342,12 +342,16 @@ bool parse_request(const Frame& frame, WireRequest& out, std::string& error) {
   }
   const std::uint64_t cells =
       static_cast<std::uint64_t>(rows) * static_cast<std::uint64_t>(cols);
-  // The frame bound already caps the payload; this check makes the
-  // dims-vs-length consistency failure addressed instead of "truncated".
-  if (frame.payload.size() != 44 + 4 * cells) {
+  // Bound cells by the bytes actually present before any size arithmetic:
+  // rows*cols reaches 2^62, where 44 + 4*cells wraps modulo 2^64 and a
+  // 44-byte payload would masquerade as an astronomically sized map whose
+  // allocation is a one-frame remote crash. The reader already consumed the
+  // 44-byte fixed prefix, so payload.size() >= 44 here.
+  const std::uint64_t map_bytes = frame.payload.size() - 44;
+  if (map_bytes % 4 != 0 || cells != map_bytes / 4) {
     std::ostringstream os;
-    os << "map declared " << rows << "x" << cols << " (" << 44 + 4 * cells
-       << " payload bytes) but frame carries " << frame.payload.size();
+    os << "map declared " << rows << "x" << cols << " (" << cells
+       << " cells) but frame carries " << map_bytes << " map byte(s)";
     r.set_error(os.str());
     return false;
   }

@@ -321,6 +321,23 @@ TEST(Protocol, RequestDimsMustMatchPayloadLength) {
   EXPECT_NE(error.find("declared 4x4"), std::string::npos) << error;
 }
 
+TEST(Protocol, RequestDimsOverflowIsRejectedNotAllocated) {
+  // rows = cols = 2^31: cells = 2^62, so a naive `44 + 4 * cells` expected
+  // size wraps to 44 modulo 2^64 — a CRC-valid 44-byte payload would pass
+  // the dims-vs-length check and attempt a ~2^64-byte tensor allocation.
+  std::string payload =
+      encode_request(sample_request()).substr(kHeaderSize, 44);
+  for (int i = 0; i < 4; ++i) {
+    payload[36 + i] = static_cast<char>(i == 3 ? 0x80 : 0x00);  // rows
+    payload[40 + i] = static_cast<char>(i == 3 ? 0x80 : 0x00);  // cols
+  }
+  const Frame frame{FrameType::kRequest, payload};
+  WireRequest out;
+  std::string error;
+  EXPECT_FALSE(parse_request(frame, out, error));
+  EXPECT_NE(error.find("cells"), std::string::npos) << error;
+}
+
 TEST(Protocol, RequestRejectsBadLabelAndZeroDims) {
   WireRequest request = sample_request();
   Frame frame = decode_one(encode_request(request));
