@@ -187,6 +187,45 @@ void maybe_fail_io(const char* site) {
 }
 
 namespace {
+std::atomic<std::int64_t> g_journal_io_countdown{-1};
+std::atomic<std::int64_t> g_journal_torn_countdown{-1};
+std::atomic<std::size_t> g_journal_torn_keep{3};
+}  // namespace
+
+void arm_journal_io_fail(std::uint64_t countdown) {
+  CLEAR_CHECK_MSG(countdown >= 1, "journal IO countdown must be >= 1");
+  g_journal_io_countdown.store(static_cast<std::int64_t>(countdown));
+}
+
+void disarm_journal_io_fail() { g_journal_io_countdown.store(-1); }
+
+void maybe_fail_journal_io(const char* site) {
+  if (g_journal_io_countdown.load() < 0) return;
+  if (g_journal_io_countdown.fetch_sub(1) == 1) {
+    g_journal_io_countdown.store(-1);
+    CLEAR_CHECK_MSG(false, "injected journal IO failure at " << site);
+  }
+}
+
+void arm_journal_torn_write(std::uint64_t countdown, std::size_t keep_bytes) {
+  CLEAR_CHECK_MSG(countdown >= 1, "torn-write countdown must be >= 1");
+  g_journal_torn_keep.store(keep_bytes);
+  g_journal_torn_countdown.store(static_cast<std::int64_t>(countdown));
+}
+
+void disarm_journal_torn_write() { g_journal_torn_countdown.store(-1); }
+
+std::size_t journal_torn_write_cap() {
+  if (g_journal_torn_countdown.load() < 0)
+    return std::numeric_limits<std::size_t>::max();
+  if (g_journal_torn_countdown.fetch_sub(1) == 1) {
+    g_journal_torn_countdown.store(-1);
+    return g_journal_torn_keep.load();
+  }
+  return std::numeric_limits<std::size_t>::max();
+}
+
+namespace {
 constexpr std::uint64_t kKindShortWrite = 0x5Eu;
 NetFaultSpec g_net_spec;  // All-zero rates by default: injects nothing.
 std::atomic<std::int64_t> g_net_drop_countdown{-1};

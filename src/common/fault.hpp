@@ -117,6 +117,37 @@ bool io_failure_armed();
 void maybe_fail_io(const char* site);
 
 // ---------------------------------------------------------------------------
+// Injectable journal faults (consumed by the serve write-ahead journal).
+//
+// Two knobs, mirroring the IO countdown above but scoped to the journal's
+// append path so a test can fault the WAL without tripping the checkpoint
+// and artifact writers that share maybe_fail_io:
+//   * journal_io_fail — the Nth guarded journal operation throws cleanly
+//     before writing anything (a full disk / EIO).
+//   * journal_torn_write — the Nth journal append persists only a byte
+//     prefix of its record and then throws, leaving a genuine torn tail on
+//     disk for recovery's CRC scan to detect and drop.
+
+/// Arm the clean journal IO failure: the `countdown`-th subsequent guarded
+/// journal operation (1 = the very next one) throws clear::Error.
+void arm_journal_io_fail(std::uint64_t countdown);
+void disarm_journal_io_fail();
+/// Guard, called by the journal before each append/snapshot operation.
+/// Throws clear::Error("injected journal IO failure at <site>") when the
+/// countdown fires; a no-op when disarmed.
+void maybe_fail_journal_io(const char* site);
+
+/// Arm the torn-write fault: the `countdown`-th subsequent journal append
+/// keeps only `keep_bytes` of its record on disk and then fails.
+void arm_journal_torn_write(std::uint64_t countdown,
+                            std::size_t keep_bytes = 3);
+void disarm_journal_torn_write();
+/// Byte cap for the next journal append; SIZE_MAX while the torn-write
+/// fault is disarmed or not yet due. Consuming the cap (returning less
+/// than SIZE_MAX) disarms the knob.
+std::size_t journal_torn_write_cap();
+
+// ---------------------------------------------------------------------------
 // Injectable network faults (consumed by src/net's guarded socket ops).
 //
 // Two knobs, mirroring the signal/IO split above:

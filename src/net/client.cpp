@@ -2,20 +2,26 @@
 
 #include <poll.h>
 
+#include <cerrno>
+
 #include "common/error.hpp"
 
 namespace clear::net {
 
 BlockingClient::BlockingClient(const Endpoint& endpoint,
-                               std::uint64_t stream_id)
-    : stream_(connect_tcp(endpoint), stream_id) {}
+                               std::uint64_t stream_id,
+                               ClientDeadlines deadlines)
+    : stream_(connect_tcp(endpoint, deadlines.connect_ms), stream_id),
+      deadlines_(deadlines) {}
 
 BlockingClient::~BlockingClient() { stream_.close(); }
 
 void BlockingClient::send_bytes(const void* data, std::size_t n) {
   // Ceiling on waiting for a stalled fd to drain; a peer that stays
-  // unwritable this long is a harness bug, not backpressure.
+  // unwritable this long is a harness bug, not backpressure. An explicit
+  // io deadline overrides it.
   constexpr int kWriteStallMs = 10000;
+  const int wait_ms = deadlines_.io_ms > 0 ? deadlines_.io_ms : kWriteStallMs;
   const char* p = static_cast<const char*>(data);
   std::size_t sent = 0;
   while (sent < n) {
@@ -27,10 +33,10 @@ void BlockingClient::send_bytes(const void* data, std::size_t n) {
       pollfd pfd{};
       pfd.fd = stream_.fd();
       pfd.events = POLLOUT;
-      const int rc = ::poll(&pfd, 1, kWriteStallMs);
-      CLEAR_CHECK_MSG(rc > 0,
-                      "send_bytes stalled: fd not writable after "
-                          << kWriteStallMs << "ms");
+      const int rc = ::poll(&pfd, 1, wait_ms);
+      CLEAR_CHECK_MSG(rc > 0, "net.timeout: send stalled (fd not writable "
+                              "after "
+                                  << wait_ms << "ms)");
       continue;
     }
     sent += r.n;
@@ -60,6 +66,20 @@ bool BlockingClient::recv_frame(Frame& out) {
     CLEAR_CHECK_MSG(status == DecodeStatus::kNeedMore,
                     "client received a malformed frame: " << decoder_.error());
     if (!stream_.open()) return false;
+    if (deadlines_.io_ms > 0) {
+      // With a deadline set, wait for readability first so a dead-but-
+      // connected server surfaces as an addressed timeout, not a hang.
+      pollfd pfd{};
+      pfd.fd = stream_.fd();
+      pfd.events = POLLIN;
+      int rc;
+      do {
+        rc = ::poll(&pfd, 1, deadlines_.io_ms);
+      } while (rc < 0 && errno == EINTR);
+      CLEAR_CHECK_MSG(rc != 0, "net.timeout: no frame received within "
+                                   << deadlines_.io_ms << "ms");
+      CLEAR_CHECK_MSG(rc > 0, "poll during recv failed");
+    }
     const IoResult r = stream_.read_some(buf, sizeof(buf));
     if (r.closed) return false;
     decoder_.feed(buf, r.n);

@@ -16,12 +16,24 @@
 
 namespace clear::net {
 
+/// Deadlines for the client's blocking operations. 0 means no deadline
+/// (block indefinitely — the historical behavior, right for tests that own
+/// both ends of the wire). Exceeding a deadline throws clear::Error with an
+/// addressed "net.timeout: ..." message, so callers talking to a server
+/// that may be dead fail fast instead of hanging.
+struct ClientDeadlines {
+  int connect_ms = 0;  ///< Connection-establishment deadline.
+  int io_ms = 0;       ///< Per-operation send/recv progress deadline.
+};
+
 class BlockingClient {
  public:
-  /// Connects immediately (throws clear::Error on failure). `stream_id`
-  /// keys this connection's fault decisions.
+  /// Connects immediately (throws clear::Error on failure, including a
+  /// connect deadline miss). `stream_id` keys this connection's fault
+  /// decisions.
   explicit BlockingClient(const Endpoint& endpoint,
-                          std::uint64_t stream_id = 1);
+                          std::uint64_t stream_id = 1,
+                          ClientDeadlines deadlines = {});
   ~BlockingClient();
 
   BlockingClient(const BlockingClient&) = delete;
@@ -33,7 +45,9 @@ class BlockingClient {
   /// Raw bytes, unframed — for adversarial wire tests.
   void send_bytes(const void* data, std::size_t n);
 
-  /// Block until the next complete frame. False on connection close.
+  /// Block until the next complete frame. False on connection close;
+  /// throws the addressed net.timeout error when io_ms elapses without the
+  /// socket turning readable.
   bool recv_frame(Frame& out);
   /// Convenience: next frame must be a kResponse / kDrainAck.
   bool recv_response(WireResponse& out);
@@ -47,6 +61,7 @@ class BlockingClient {
  private:
   FaultedStream stream_;
   FrameDecoder decoder_;
+  ClientDeadlines deadlines_;
 };
 
 }  // namespace clear::net

@@ -5,6 +5,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -86,6 +89,42 @@ WireRequest make_request(const LoadgenConfig& config, std::size_t index,
     flat[i] = static_cast<float>(fault::uniform01(h) * 2.0 - 1.0);
   }
   return request;
+}
+
+/// The deterministic slice of a response, kept for --responses capture.
+/// Wall-clock quantities (exec time, batch composition) are excluded on
+/// purpose: two runs of the same virtual-clock stream must produce
+/// byte-identical capture files, which is exactly what the chaos gate
+/// diffs against its golden run.
+struct CapturedResponse {
+  std::uint64_t request_id = 0;
+  std::uint64_t user_id = 0;
+  bool shed = false;
+  std::int32_t predicted = -1;
+  std::uint32_t prob_bits = 0;  ///< Bit pattern of fear_probability.
+  std::uint32_t route_kind = 0;
+  std::uint64_t route_id = 0;
+};
+
+void write_responses_file(const std::string& path,
+                          std::vector<CapturedResponse> captured) {
+  std::sort(captured.begin(), captured.end(),
+            [](const CapturedResponse& a, const CapturedResponse& b) {
+              return a.request_id < b.request_id;
+            });
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  CLEAR_CHECK_MSG(out.good(),
+                  "loadgen cannot open responses file '" << path << "'");
+  for (const CapturedResponse& r : captured) {
+    out << "req=" << r.request_id << " user=" << r.user_id
+        << " shed=" << (r.shed ? 1 : 0) << " pred=" << r.predicted
+        << " prob=" << std::hex << std::setw(8) << std::setfill('0')
+        << r.prob_bits << std::dec << std::setfill(' ')
+        << " route=" << r.route_kind << ":" << r.route_id << "\n";
+  }
+  out.flush();
+  CLEAR_CHECK_MSG(out.good(),
+                  "loadgen failed writing responses file '" << path << "'");
 }
 
 void flush_conn(LoadConn& conn) {
@@ -182,19 +221,34 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
 
   // Scheduled virtual send time per request: one cumulative hash walk,
   // sharing scheduled_arrival_us's gap law (O(n) total, not O(n^2) calls).
+  // With start_index set, the walk covers the skipped prefix too, so
+  // request start_index + i carries the *absolute* virtual arrival it would
+  // have had in an uninterrupted run — the served virtual clock continues,
+  // while wall-clock pacing below is rebased so this run starts sending
+  // immediately instead of waiting out the prefix.
   std::vector<std::uint64_t> schedule(config.requests);
+  std::uint64_t pace_base_us = 0;
   {
     double t = 0.0;
-    for (std::size_t i = 0; i < config.requests; ++i) {
+    for (std::size_t i = 0; i < config.start_index; ++i)
       t += schedule_gap_us(config, i);
+    pace_base_us = static_cast<std::uint64_t>(t);
+    for (std::size_t i = 0; i < config.requests; ++i) {
+      t += schedule_gap_us(config, config.start_index + i);
       schedule[i] = static_cast<std::uint64_t>(t);
     }
   }
+  // Wall send offset of request i relative to loadgen start.
+  const auto pace_us = [&schedule, pace_base_us](std::size_t i) {
+    return schedule[i] - pace_base_us;
+  };
 
   // request_id -> scheduled send wall-offset (us), for latency measurement.
   std::map<std::uint64_t, std::uint64_t> outstanding;
   std::vector<double> latencies;
   latencies.reserve(config.requests);
+  std::vector<CapturedResponse> captured;
+  if (!config.responses_path.empty()) captured.reserve(config.requests);
 
   const auto start = Clock::now();
   const auto elapsed_us = [&start]() {
@@ -217,13 +271,13 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
 
     // Send every request whose scheduled time has passed — regardless of
     // outstanding responses (open loop).
-    while (next_send < config.requests && schedule[next_send] <= now_us) {
+    while (next_send < config.requests && pace_us(next_send) <= now_us) {
       LoadConn& conn = *conns[next_send % conns.size()];
-      const WireRequest request =
-          make_request(config, next_send, schedule[next_send]);
+      const WireRequest request = make_request(
+          config, config.start_index + next_send, schedule[next_send]);
       if (!conn.dead) {
         conn.outbuf += encode_request(request);
-        outstanding[request.request_id] = schedule[next_send];
+        outstanding[request.request_id] = pace_us(next_send);
         ++report.sent;
         CLEAR_OBS_COUNT("loadgen.sent", 1);
       } else {
@@ -276,7 +330,7 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
     if (fds.empty()) break;
     int wait_ms = 20;
     if (next_send < config.requests) {
-      const std::uint64_t target = schedule[next_send];
+      const std::uint64_t target = pace_us(next_send);
       const std::uint64_t now2 = elapsed_us();
       wait_ms = target > now2
                     ? static_cast<int>(std::min<std::uint64_t>(
@@ -321,6 +375,18 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
           ++report.shed;
         else
           ++report.ok;
+        if (!config.responses_path.empty()) {
+          CapturedResponse cap;
+          cap.request_id = response.request_id;
+          cap.user_id = response.user_id;
+          cap.shed = response.shed;
+          cap.predicted = response.predicted;
+          std::memcpy(&cap.prob_bits, &response.fear_probability,
+                      sizeof(cap.prob_bits));
+          cap.route_kind = response.route_kind;
+          cap.route_id = response.route_id;
+          captured.push_back(cap);
+        }
       }
       if (!conn->decoder.error().empty())
         CLEAR_CHECK_MSG(false, "loadgen wire error: " << conn->decoder.error());
@@ -338,6 +404,9 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
     }
   }
   for (auto& conn : conns) conn->stream.close();
+
+  if (!config.responses_path.empty())
+    write_responses_file(config.responses_path, std::move(captured));
 
   report.dropped += outstanding.size();
   report.wall_seconds =

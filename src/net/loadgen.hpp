@@ -38,6 +38,16 @@ struct LoadgenConfig {
   double label_fraction = 0.25;  ///< Fraction of requests carrying a label.
   double timeout_seconds = 30.0; ///< Give up on missing responses after this.
   bool shutdown_after = false;   ///< Send kShutdown when done (smoke runs).
+  /// First absolute request index to send. Every per-request quantity
+  /// (user, map, label, arrival time) is a pure hash of the absolute index,
+  /// so a run with start_index = N sends exactly what requests [N, N +
+  /// requests) of a start_index = 0 run would have sent — the chaos gate
+  /// resumes an interrupted stream this way after killing the server.
+  std::size_t start_index = 0;
+  /// When non-empty, write one line per received response (sorted by
+  /// request id, deterministic fields only: id, user, shed, prediction,
+  /// probability bits, route) for bit-identity comparison across runs.
+  std::string responses_path;
 };
 
 /// Exact-percentile latency summary (sorted-vector, no histogram binning).

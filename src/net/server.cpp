@@ -300,6 +300,10 @@ void NetServer::begin_shutdown() {
   stopping_ = true;
   server_.drain();
   dispatch_results();
+  // Graceful-shutdown durability: with the batcher flushed and every
+  // session mutation applied, a final compacting snapshot means the next
+  // start replays nothing. No-op when journaling is off.
+  server_.snapshot_now();
 }
 
 void NetServer::dispatch_results() {

@@ -6,6 +6,7 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -91,6 +92,59 @@ int connect_tcp(const Endpoint& endpoint) {
   }
   // Loopback batches of small frames: without TCP_NODELAY, Nagle adds
   // 40ms-class stalls that would swamp the latency histograms.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+int connect_tcp(const Endpoint& endpoint, int timeout_ms) {
+  if (timeout_ms <= 0) return connect_tcp(endpoint);
+  const sockaddr_in addr = resolve(endpoint);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  CLEAR_CHECK_MSG(fd >= 0, "socket() failed: " << std::strerror(errno));
+  // Nonblocking connect + poll: the only portable way to put a deadline on
+  // connection establishment.
+  set_nonblocking(fd, true);
+  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS && errno != EINTR) {
+    const int err = errno;
+    ::close(fd);
+    CLEAR_CHECK_MSG(false, "connect(" << endpoint.host << ":" << endpoint.port
+                                      << ") failed: " << std::strerror(err));
+  }
+  if (rc != 0) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    int pr;
+    do {
+      pr = ::poll(&pfd, 1, timeout_ms);
+    } while (pr < 0 && errno == EINTR);
+    if (pr == 0) {
+      ::close(fd);
+      CLEAR_CHECK_MSG(false, "net.timeout: connect(" << endpoint.host << ":"
+                                                     << endpoint.port
+                                                     << ") timed out after "
+                                                     << timeout_ms << "ms");
+    }
+    if (pr < 0) {
+      const int err = errno;
+      ::close(fd);
+      CLEAR_CHECK_MSG(false,
+                      "poll during connect failed: " << std::strerror(err));
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      ::close(fd);
+      CLEAR_CHECK_MSG(false, "connect(" << endpoint.host << ":"
+                                        << endpoint.port << ") failed: "
+                                        << std::strerror(err));
+    }
+  }
+  set_nonblocking(fd, false);
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return fd;

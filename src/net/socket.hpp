@@ -33,6 +33,12 @@ int listen_tcp(const Endpoint& endpoint, int backlog = 64);
 /// Blocking TCP connect. Throws clear::Error on failure.
 int connect_tcp(const Endpoint& endpoint);
 
+/// TCP connect with a deadline: a connection not established within
+/// `timeout_ms` throws an addressed "net.timeout" clear::Error instead of
+/// blocking in the kernel. `timeout_ms <= 0` means no deadline (identical
+/// to the overload above). The returned fd is blocking.
+int connect_tcp(const Endpoint& endpoint, int timeout_ms);
+
 /// The port a bound socket actually landed on (resolves port 0).
 std::uint16_t local_port(int fd);
 

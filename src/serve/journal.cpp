@@ -1,0 +1,503 @@
+#include "serve/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/crc32.hpp"
+#include "common/error.hpp"
+#include "common/fault.hpp"
+#include "tensor/serialize.hpp"
+
+namespace clear::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// 8-byte file magics; the trailing digit is the on-disk format version echo.
+constexpr char kJournalMagic[8] = {'C', 'L', 'R', 'W', 'A', 'L', '0', '1'};
+constexpr char kSnapshotMagic[8] = {'C', 'L', 'R', 'S', 'N', 'P', '0', '1'};
+constexpr std::uint64_t kFormatVersion = 1;
+/// Sanity cap on one record's payload: a labelled 17x6 map is ~500 bytes,
+/// so anything near this is a corrupt length field, not a real record.
+constexpr std::uint32_t kMaxRecordBytes = 16u << 20;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+std::uint32_t get_u32(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void write_point(std::ostream& os, const cluster::Point& p) {
+  io::write_u64(os, p.size());
+  for (const double v : p) io::write_f64(os, v);
+}
+
+cluster::Point read_point(std::istream& is) {
+  const std::uint64_t n = io::read_u64(is);
+  CLEAR_CHECK_MSG(n < (1u << 20), "implausible point size in journal");
+  cluster::Point p;
+  p.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) p.push_back(io::read_f64(is));
+  return p;
+}
+
+SessionState read_state(std::istream& is) {
+  const std::uint64_t raw = io::read_u64(is);
+  CLEAR_CHECK_MSG(raw <= static_cast<std::uint64_t>(SessionState::kDegraded),
+                  "invalid session state " << raw << " on disk");
+  return static_cast<SessionState>(raw);
+}
+
+std::string encode_record(const JournalRecord& r) {
+  std::ostringstream os(std::ios::binary);
+  io::write_u64(os, r.seq);
+  io::write_u64(os, static_cast<std::uint64_t>(r.type));
+  io::write_u64(os, r.user_id);
+  switch (r.type) {
+    case RecordType::kRequest:
+      io::write_u64(os, r.time_us);
+      io::write_f64(os, r.quality);
+      break;
+    case RecordType::kObservation:
+      write_point(os, r.point);
+      break;
+    case RecordType::kAssign:
+      io::write_u64(os, r.cluster);
+      break;
+    case RecordType::kLabelled:
+      io::write_u64(os,
+                    static_cast<std::uint64_t>(static_cast<std::int64_t>(
+                        r.label)));
+      io::write_tensor(os, r.map);
+      break;
+    case RecordType::kFinetune:
+      io::write_u64(os, r.ckpt_bytes);
+      io::write_u64(os, r.ckpt_crc);
+      break;
+    case RecordType::kFinetuneAbort:
+    case RecordType::kShed:
+      break;
+    case RecordType::kPredict:
+      io::write_u64(os, r.time_us);
+      break;
+  }
+  return os.str();
+}
+
+JournalRecord decode_record(const std::string& payload) {
+  std::istringstream is(payload, std::ios::binary);
+  JournalRecord r;
+  r.seq = io::read_u64(is);
+  const std::uint64_t type = io::read_u64(is);
+  CLEAR_CHECK_MSG(type >= 1 &&
+                      type <= static_cast<std::uint64_t>(RecordType::kPredict),
+                  "unknown journal record type " << type);
+  r.type = static_cast<RecordType>(type);
+  r.user_id = io::read_u64(is);
+  switch (r.type) {
+    case RecordType::kRequest:
+      r.time_us = io::read_u64(is);
+      r.quality = io::read_f64(is);
+      break;
+    case RecordType::kObservation:
+      r.point = read_point(is);
+      break;
+    case RecordType::kAssign:
+      r.cluster = io::read_u64(is);
+      break;
+    case RecordType::kLabelled:
+      r.label = static_cast<std::int32_t>(
+          static_cast<std::int64_t>(io::read_u64(is)));
+      r.map = io::read_tensor(is);
+      break;
+    case RecordType::kFinetune:
+      r.ckpt_bytes = io::read_u64(is);
+      r.ckpt_crc = static_cast<std::uint32_t>(io::read_u64(is));
+      break;
+    case RecordType::kFinetuneAbort:
+    case RecordType::kShed:
+      break;
+    case RecordType::kPredict:
+      r.time_us = io::read_u64(is);
+      break;
+  }
+  CLEAR_CHECK_MSG(is.good(), "truncated journal record payload");
+  return r;
+}
+
+void write_image(std::ostream& os, const SessionImage& img) {
+  io::write_u64(os, img.user_id);
+  io::write_u64(os, static_cast<std::uint64_t>(img.state));
+  io::write_u64(os, static_cast<std::uint64_t>(img.saved_state));
+  io::write_u64(os, img.bad_streak);
+  io::write_u64(os, img.good_streak);
+  io::write_u64(os, img.cluster);
+  io::write_u64(os, img.observations.size());
+  for (const cluster::Point& p : img.observations) write_point(os, p);
+  io::write_u64(os, img.labelled.size());
+  for (const LabelledMap& m : img.labelled) {
+    io::write_u64(os, static_cast<std::uint64_t>(
+                          static_cast<std::int64_t>(m.label)));
+    io::write_tensor(os, m.map);
+  }
+  io::write_u64(os, img.finetune_enabled ? 1 : 0);
+  io::write_u64(os, img.requests);
+  io::write_u64(os, img.shed);
+  io::write_u64(os, img.predictions);
+  io::write_u64(os, img.first_arrival_us);
+  io::write_u64(os, img.first_prediction_us.has_value() ? 1 : 0);
+  io::write_u64(os, img.first_prediction_us.value_or(0));
+  io::write_u64(os, img.has_personal ? 1 : 0);
+}
+
+SessionImage read_image(std::istream& is) {
+  SessionImage img;
+  img.user_id = io::read_u64(is);
+  img.state = read_state(is);
+  img.saved_state = read_state(is);
+  img.bad_streak = io::read_u64(is);
+  img.good_streak = io::read_u64(is);
+  img.cluster = io::read_u64(is);
+  const std::uint64_t n_obs = io::read_u64(is);
+  CLEAR_CHECK_MSG(n_obs < (1u << 20), "implausible observation count");
+  img.observations.reserve(n_obs);
+  for (std::uint64_t i = 0; i < n_obs; ++i)
+    img.observations.push_back(read_point(is));
+  const std::uint64_t n_lab = io::read_u64(is);
+  CLEAR_CHECK_MSG(n_lab < (1u << 20), "implausible labelled-map count");
+  img.labelled.reserve(n_lab);
+  for (std::uint64_t i = 0; i < n_lab; ++i) {
+    LabelledMap m;
+    m.label = static_cast<int>(static_cast<std::int64_t>(io::read_u64(is)));
+    m.map = io::read_tensor(is);
+    img.labelled.push_back(std::move(m));
+  }
+  img.finetune_enabled = io::read_u64(is) != 0;
+  img.requests = io::read_u64(is);
+  img.shed = io::read_u64(is);
+  img.predictions = io::read_u64(is);
+  img.first_arrival_us = io::read_u64(is);
+  const bool has_first_pred = io::read_u64(is) != 0;
+  const std::uint64_t first_pred = io::read_u64(is);
+  if (has_first_pred) img.first_prediction_us = first_pred;
+  img.has_personal = io::read_u64(is) != 0;
+  return img;
+}
+
+std::string encode_snapshot(const SnapshotData& data) {
+  std::ostringstream os(std::ios::binary);
+  io::write_u64(os, data.last_seq);
+  io::write_u64(os, data.last_arrival_us);
+  io::write_u64(os, data.counters.requests);
+  io::write_u64(os, data.counters.ok);
+  io::write_u64(os, data.counters.shed);
+  io::write_u64(os, data.counters.assignments);
+  io::write_u64(os, data.counters.finetunes);
+  io::write_u64(os, data.counters.finetune_failures);
+  io::write_u64(os, data.counters.sanitized);
+  io::write_u64(os, data.counters.degraded);
+  io::write_u64(os, data.counters.recovered);
+  io::write_u64(os, data.sessions.size());
+  for (const SessionImage& img : data.sessions) write_image(os, img);
+  return os.str();
+}
+
+SnapshotData decode_snapshot(const std::string& payload) {
+  std::istringstream is(payload, std::ios::binary);
+  SnapshotData data;
+  data.last_seq = io::read_u64(is);
+  data.last_arrival_us = io::read_u64(is);
+  data.counters.requests = io::read_u64(is);
+  data.counters.ok = io::read_u64(is);
+  data.counters.shed = io::read_u64(is);
+  data.counters.assignments = io::read_u64(is);
+  data.counters.finetunes = io::read_u64(is);
+  data.counters.finetune_failures = io::read_u64(is);
+  data.counters.sanitized = io::read_u64(is);
+  data.counters.degraded = io::read_u64(is);
+  data.counters.recovered = io::read_u64(is);
+  const std::uint64_t n = io::read_u64(is);
+  CLEAR_CHECK_MSG(n < (1u << 24), "implausible snapshot session count");
+  data.sessions.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i)
+    data.sessions.push_back(read_image(is));
+  CLEAR_CHECK_MSG(is.good(), "truncated snapshot payload");
+  return data;
+}
+
+/// Write every byte or throw (retrying EINTR); one call site per frame so a
+/// record hits the kernel in a single write() whenever the OS allows.
+void write_all(int fd, const char* data, std::size_t n, const char* what) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, data + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      CLEAR_CHECK_MSG(false, what << " failed: " << std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(w);
+  }
+}
+
+/// fsync a path by reopening it (the snapshot/checkpoint writers use
+/// fstreams, which expose no fd).
+void fsync_path(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  CLEAR_CHECK_MSG(fd >= 0,
+                  "cannot open " << path << " for fsync: "
+                                 << std::strerror(errno));
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  CLEAR_CHECK_MSG(rc == 0, "fsync " << path << ": " << std::strerror(errno));
+}
+
+/// Temp-then-rename atomic write shared by the snapshot and user-checkpoint
+/// stores; the rename is the commit point, exactly like the artifact writer.
+void atomic_write_file(const std::string& path, const std::string& bytes,
+                       bool do_fsync, const char* what) {
+  const std::string tmp = path + ".tmp";
+  fault::maybe_fail_io("snapshot write");
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    CLEAR_CHECK_MSG(os.good(), "cannot write " << tmp << " (" << what << ")");
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    os.flush();
+    CLEAR_CHECK_MSG(os.good(), "IO error writing " << tmp);
+  }
+  if (do_fsync) {
+    fault::maybe_fail_io("snapshot fsync");
+    fsync_path(tmp);
+  }
+  fault::maybe_fail_io("snapshot rename");
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  CLEAR_CHECK_MSG(!ec, "cannot commit " << path << ": " << ec.message());
+}
+
+std::string read_file_bytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) return {};
+  return std::string((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+}
+
+std::string header_bytes() {
+  std::string h(kJournalMagic, sizeof(kJournalMagic));
+  put_u32(h, static_cast<std::uint32_t>(kFormatVersion));
+  put_u32(h, 0);  // Reserved; keeps the header at 16 bytes.
+  return h;
+}
+
+}  // namespace
+
+const char* record_type_name(RecordType t) {
+  switch (t) {
+    case RecordType::kRequest: return "request";
+    case RecordType::kObservation: return "observation";
+    case RecordType::kAssign: return "assign";
+    case RecordType::kLabelled: return "labelled";
+    case RecordType::kFinetune: return "finetune";
+    case RecordType::kFinetuneAbort: return "finetune_abort";
+    case RecordType::kShed: return "shed";
+    case RecordType::kPredict: return "predict";
+  }
+  return "?";
+}
+
+std::string journal_log_path(const std::string& directory) {
+  return (fs::path(directory) / "journal.log").string();
+}
+
+std::string snapshot_path(const std::string& directory) {
+  return (fs::path(directory) / "snapshot.snap").string();
+}
+
+std::string user_checkpoint_path(const std::string& directory,
+                                 std::uint64_t user_id) {
+  return (fs::path(directory) / ("user_" + std::to_string(user_id) + ".ckpt"))
+      .string();
+}
+
+bool journal_state_exists(const std::string& directory) {
+  std::error_code ec;
+  return fs::exists(journal_log_path(directory), ec) ||
+         fs::exists(snapshot_path(directory), ec);
+}
+
+Journal::Journal(JournalConfig config, std::uint64_t first_seq)
+    : config_(std::move(config)), next_seq_(first_seq) {
+  CLEAR_CHECK_MSG(!config_.directory.empty(), "journal directory is empty");
+  CLEAR_CHECK_MSG(first_seq >= 1, "journal sequence numbers start at 1");
+  std::error_code ec;
+  fs::create_directories(config_.directory, ec);
+  CLEAR_CHECK_MSG(!ec, "cannot create journal directory "
+                           << config_.directory << ": " << ec.message());
+  open_truncated();
+}
+
+Journal::~Journal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Journal::open_truncated() {
+  fault::maybe_fail_journal_io("journal open");
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = ::open(journal_log_path(config_.directory).c_str(),
+               O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  CLEAR_CHECK_MSG(fd_ >= 0, "cannot open " << journal_log_path(
+                                                  config_.directory)
+                                           << ": " << std::strerror(errno));
+  const std::string header = header_bytes();
+  write_all(fd_, header.data(), header.size(), "journal header write");
+  since_snapshot_ = 0;
+}
+
+std::size_t Journal::append(JournalRecord record) {
+  CLEAR_CHECK_MSG(fd_ >= 0, "journal is not open");
+  fault::maybe_fail_journal_io("journal append");
+  record.seq = next_seq_;
+  const std::string payload = encode_record(record);
+  CLEAR_CHECK_MSG(payload.size() < kMaxRecordBytes, "journal record too big");
+  std::string frame;
+  frame.reserve(8 + payload.size());
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  put_u32(frame, crc32(payload));
+  frame += payload;
+
+  const std::size_t cap = fault::journal_torn_write_cap();
+  if (cap < frame.size()) {
+    // Injected torn write: persist a prefix, then fail — indistinguishable
+    // on disk from a crash mid-append.
+    write_all(fd_, frame.data(), cap, "journal append");
+    CLEAR_CHECK_MSG(false, "injected torn journal write (kept " << cap
+                                                                << " bytes)");
+  }
+  write_all(fd_, frame.data(), frame.size(), "journal append");
+  if (config_.fsync) {
+    CLEAR_CHECK_MSG(::fsync(fd_) == 0,
+                    "journal fsync: " << std::strerror(errno));
+  }
+  ++next_seq_;
+  ++records_;
+  ++since_snapshot_;
+  bytes_ += frame.size();
+  return frame.size();
+}
+
+void Journal::write_snapshot(const SnapshotData& data) {
+  write_snapshot_file(config_.directory, data, config_.fsync);
+  // The snapshot is committed; dropping the journal prefix is now safe. A
+  // crash before this truncate leaves stale records that replay skips by
+  // sequence number.
+  open_truncated();
+}
+
+bool Journal::due_for_snapshot() const {
+  return config_.snapshot_every > 0 &&
+         since_snapshot_ >= config_.snapshot_every;
+}
+
+void write_snapshot_file(const std::string& directory,
+                         const SnapshotData& data, bool do_fsync) {
+  const std::string payload = encode_snapshot(data);
+  std::string bytes(kSnapshotMagic, sizeof(kSnapshotMagic));
+  put_u32(bytes, static_cast<std::uint32_t>(kFormatVersion));
+  put_u32(bytes, static_cast<std::uint32_t>(payload.size()));
+  put_u32(bytes, crc32(payload));
+  bytes += payload;
+  atomic_write_file(snapshot_path(directory), bytes, do_fsync, "snapshot");
+}
+
+std::optional<SnapshotData> read_snapshot(const std::string& directory) {
+  const std::string path = snapshot_path(directory);
+  std::error_code ec;
+  if (!fs::exists(path, ec)) return std::nullopt;
+  const std::string bytes = read_file_bytes(path);
+  CLEAR_CHECK_MSG(bytes.size() >= sizeof(kSnapshotMagic) + 12,
+                  "snapshot " << path << " is truncated");
+  CLEAR_CHECK_MSG(
+      std::memcmp(bytes.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) == 0,
+      "snapshot " << path << " has a bad magic");
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(bytes.data()) +
+      sizeof(kSnapshotMagic);
+  const std::uint32_t version = get_u32(p);
+  CLEAR_CHECK_MSG(version == kFormatVersion,
+                  "snapshot " << path << " has unsupported version "
+                              << version);
+  const std::uint32_t len = get_u32(p + 4);
+  const std::uint32_t crc = get_u32(p + 8);
+  CLEAR_CHECK_MSG(bytes.size() == sizeof(kSnapshotMagic) + 12 + len,
+                  "snapshot " << path << " length mismatch");
+  const std::string payload = bytes.substr(sizeof(kSnapshotMagic) + 12);
+  CLEAR_CHECK_MSG(crc32(payload) == crc,
+                  "snapshot " << path << " failed its CRC check");
+  return decode_snapshot(payload);
+}
+
+JournalReadResult read_journal(const std::string& directory) {
+  JournalReadResult result;
+  const std::string path = journal_log_path(directory);
+  std::error_code ec;
+  if (!fs::exists(path, ec)) {
+    result.missing = true;
+    return result;
+  }
+  const std::string bytes = read_file_bytes(path);
+  const std::string header = header_bytes();
+  if (bytes.size() < header.size() ||
+      std::memcmp(bytes.data(), header.data(), header.size()) != 0) {
+    // A bad header means nothing in the file can be trusted.
+    result.tail_bytes_dropped = bytes.size();
+    return result;
+  }
+  std::size_t off = header.size();
+  const auto* raw = reinterpret_cast<const unsigned char*>(bytes.data());
+  while (off < bytes.size()) {
+    if (bytes.size() - off < 8) break;  // Torn frame header.
+    const std::uint32_t len = get_u32(raw + off);
+    const std::uint32_t crc = get_u32(raw + off + 4);
+    if (len >= kMaxRecordBytes || bytes.size() - off - 8 < len) break;
+    const std::string payload = bytes.substr(off + 8, len);
+    if (crc32(payload) != crc) break;
+    try {
+      result.records.push_back(decode_record(payload));
+    } catch (const Error&) {
+      break;  // Intact CRC but undecodable: treat like any corrupt tail.
+    }
+    off += 8 + len;
+  }
+  result.tail_bytes_dropped = bytes.size() - off;
+  return result;
+}
+
+void write_user_checkpoint(const std::string& directory,
+                           std::uint64_t user_id, const std::string& blob,
+                           bool do_fsync) {
+  fault::maybe_fail_journal_io("checkpoint store write");
+  atomic_write_file(user_checkpoint_path(directory, user_id), blob, do_fsync,
+                    "user checkpoint");
+}
+
+std::string read_user_checkpoint(const std::string& directory,
+                                 std::uint64_t user_id) {
+  return read_file_bytes(user_checkpoint_path(directory, user_id));
+}
+
+}  // namespace clear::serve

@@ -7,6 +7,7 @@
 
 #include "clear/artifacts.hpp"
 #include "cluster/assignment.hpp"
+#include "common/crc32.hpp"
 #include "common/error.hpp"
 #include "common/fault.hpp"
 #include "common/logging.hpp"
@@ -174,6 +175,12 @@ void Server::shed(const ServeRequest& request, const BatchKey& route,
   r.arrival_us = request.arrival_us;
   r.exec_us = request.arrival_us;
   completed_.push_back(std::move(r));
+  if (session && journal_) {
+    JournalRecord rec;
+    rec.type = RecordType::kShed;
+    rec.user_id = request.user_id;
+    journal_append(std::move(rec));
+  }
 }
 
 void Server::personalize(Session& session) {
@@ -200,6 +207,12 @@ void Server::personalize(Session& session) {
   if (!engine) {
     ++counters_.finetune_failures;
     session.abort_finetune();
+    if (journal_) {
+      JournalRecord rec;
+      rec.type = RecordType::kFinetuneAbort;
+      rec.user_id = session.user_id();
+      journal_append(std::move(rec));
+    }
     return;
   }
 
@@ -217,9 +230,36 @@ void Server::personalize(Session& session) {
   // Activation statistics moved with the weights; re-calibrate int8.
   if (session.precision() == edge::Precision::kInt8)
     engine->calibrate(calibration_ptrs_);
+  // Durability: checkpoint the fine-tuned weights *before* set_personal_
+  // engine consumes them, and land the checkpoint on disk before the
+  // kFinetune record that references it — recovery must never find a
+  // record without its backing blob unless the write was torn.
+  std::string ckpt_blob;
+  if (journal_) {
+    std::ostringstream os(std::ios::binary);
+    nn::save_checkpoint(os, engine->model());
+    ckpt_blob = os.str();
+  }
   session.set_personal_engine(std::move(engine));
   ++counters_.finetunes;
   CLEAR_OBS_COUNT("serve.finetunes", 1);
+  if (journal_) {
+    try {
+      write_user_checkpoint(config_.journal.directory, session.user_id(),
+                            ckpt_blob, config_.journal.fsync);
+      ++counters_.journal_ckpts;
+      CLEAR_OBS_COUNT("serve.journal.ckpts", 1);
+    } catch (const Error& e) {
+      journal_disable(e, "personal checkpoint write");
+      return;
+    }
+    JournalRecord rec;
+    rec.type = RecordType::kFinetune;
+    rec.user_id = session.user_id();
+    rec.ckpt_bytes = ckpt_blob.size();
+    rec.ckpt_crc = crc32(ckpt_blob);
+    journal_append(std::move(rec));
+  }
 }
 
 void Server::submit(ServeRequest request) {
@@ -264,6 +304,17 @@ void Server::submit(ServeRequest request) {
   }
   source_.normalizer.apply_map(request.map);
 
+  if (journal_) {
+    // One kRequest record carries everything replay needs to repeat the
+    // admission bookkeeping and the quality tick below.
+    JournalRecord rec;
+    rec.type = RecordType::kRequest;
+    rec.user_id = request.user_id;
+    rec.time_us = request.arrival_us;
+    rec.quality = quality;
+    journal_append(std::move(rec));
+  }
+
   switch (session->note_quality(quality)) {
     case Session::QualityEvent::kDegraded:
       ++counters_.degraded;
@@ -281,7 +332,15 @@ void Server::submit(ServeRequest request) {
     // Cold-start protocol: buffer unlabeled observations until CA can run.
     if (session->state() == SessionState::kCold ||
         session->state() == SessionState::kAssigning) {
-      session->add_observation(features::feature_map_mean(request.map));
+      cluster::Point observation = features::feature_map_mean(request.map);
+      session->add_observation(observation);
+      if (journal_) {
+        JournalRecord rec;
+        rec.type = RecordType::kObservation;
+        rec.user_id = request.user_id;
+        rec.point = std::move(observation);
+        journal_append(std::move(rec));
+      }
       if (session->ca_ready()) {
         CLEAR_OBS_SPAN("serve.assign");
         const cluster::AssignmentResult assignment = cluster::assign_new_user(
@@ -289,12 +348,29 @@ void Server::submit(ServeRequest request) {
         session->set_assignment(assignment.cluster);
         ++counters_.assignments;
         CLEAR_OBS_COUNT("serve.assignments", 1);
+        if (journal_) {
+          // The CA *verdict* is journaled, not its inputs — replay installs
+          // the assignment without re-running cluster math.
+          JournalRecord rec;
+          rec.type = RecordType::kAssign;
+          rec.user_id = request.user_id;
+          rec.cluster = assignment.cluster;
+          journal_append(std::move(rec));
+        }
       }
     }
     // Personalization: labelled requests accumulate until fine-tune fires.
     if (request.label.has_value() &&
         session->state() == SessionState::kAssigned) {
       session->add_labelled(request.map, *request.label);
+      if (journal_) {
+        JournalRecord rec;
+        rec.type = RecordType::kLabelled;
+        rec.user_id = request.user_id;
+        rec.label = *request.label;
+        rec.map = request.map;
+        journal_append(std::move(rec));
+      }
       if (session->ft_ready()) personalize(*session);
     }
   }
@@ -434,6 +510,13 @@ void Server::execute(std::vector<Batch> batches) {
           CLEAR_OBS_RECORD("serve.ttfp_us",
                            e.batch.exec_us - session->first_arrival_us);
         }
+        if (journal_) {
+          JournalRecord rec;
+          rec.type = RecordType::kPredict;
+          rec.user_id = request.user_id;
+          rec.time_us = e.batch.exec_us;
+          journal_append(std::move(rec));
+        }
       }
       CLEAR_OBS_RECORD("serve.queue_wait_us",
                        e.batch.exec_us - item.enqueue_us);
@@ -443,6 +526,71 @@ void Server::execute(std::vector<Batch> batches) {
     }
   }
   CLEAR_OBS_GAUGE("serve.pending", batcher_.pending());
+}
+
+void Server::open_journal() {
+  CLEAR_CHECK_MSG(!config_.journal.directory.empty(),
+                  "journal directory is not configured");
+  CLEAR_CHECK_MSG(!journal_, "journal is already open");
+  CLEAR_CHECK_MSG(
+      !journal_state_exists(config_.journal.directory),
+      "journal directory '"
+          << config_.journal.directory
+          << "' already holds journal state; restart with --recover, or "
+             "point --journal-dir at a fresh directory");
+  journal_ = std::make_unique<Journal>(config_.journal);
+}
+
+void Server::journal_append(JournalRecord record) {
+  if (!journal_) return;
+  try {
+    const std::size_t bytes = journal_->append(std::move(record));
+    ++counters_.journal_records;
+    counters_.journal_bytes += bytes;
+    CLEAR_OBS_COUNT("serve.journal.records", 1);
+    CLEAR_OBS_COUNT("serve.journal.bytes", bytes);
+    if (journal_->due_for_snapshot()) snapshot_now();
+  } catch (const Error& e) {
+    journal_disable(e, "append");
+  }
+}
+
+void Server::snapshot_now() {
+  if (!journal_) return;
+  try {
+    CLEAR_OBS_SPAN("serve.journal.snapshot");
+    journal_->write_snapshot(make_snapshot(journal_->next_seq() - 1));
+    ++counters_.journal_snapshots;
+    CLEAR_OBS_COUNT("serve.journal.snapshots", 1);
+  } catch (const Error& e) {
+    journal_disable(e, "snapshot");
+  }
+}
+
+void Server::journal_disable(const Error& e, const char* what) {
+  ++counters_.journal_io_errors;
+  CLEAR_OBS_COUNT("serve.journal.io_errors", 1);
+  CLEAR_WARN("journal " << what << " failed (" << e.what()
+                        << "); journaling disabled, serving continues");
+  journal_.reset();
+}
+
+SnapshotData Server::make_snapshot(std::uint64_t last_seq) const {
+  SnapshotData data;
+  data.last_seq = last_seq;
+  data.last_arrival_us = last_arrival_us_;
+  data.counters.requests = counters_.requests;
+  data.counters.ok = counters_.ok;
+  data.counters.shed = counters_.shed;
+  data.counters.assignments = counters_.assignments;
+  data.counters.finetunes = counters_.finetunes;
+  data.counters.finetune_failures = counters_.finetune_failures;
+  data.counters.sanitized = counters_.sanitized;
+  data.counters.degraded = counters_.degraded;
+  data.counters.recovered = counters_.recovered;
+  for (const Session* s : sessions_.sessions())
+    data.sessions.push_back(s->image());
+  return data;
 }
 
 std::vector<ServeResult> Server::take_results() {

@@ -26,7 +26,13 @@
 #include "clear/pipeline.hpp"
 #include "serve/batcher.hpp"
 #include "serve/cache.hpp"
+#include "serve/journal.hpp"
+#include "serve/recovery.hpp"
 #include "serve/session.hpp"
+
+namespace clear {
+class Error;
+}
 
 namespace clear::serve {
 
@@ -86,6 +92,9 @@ struct ServeConfig {
   std::vector<edge::Precision> precisions{edge::Precision::kFp32};
   /// Normalized maps for int8 activation calibration.
   std::vector<Tensor> calibration_maps;
+  /// Durability: write-ahead session journal. An empty directory disables
+  /// journaling; see open_journal()/recover().
+  JournalConfig journal;
 };
 
 /// Deterministic run counters (plain values, independent of CLEAR_OBS).
@@ -102,6 +111,14 @@ struct ServeCounters {
   std::size_t batches = 0;
   std::size_t rows = 0;
   std::size_t max_batch_rows = 0;
+  // Journal health (zero when journaling is disabled).
+  std::size_t journal_records = 0;
+  std::size_t journal_bytes = 0;
+  std::size_t journal_snapshots = 0;
+  std::size_t journal_ckpts = 0;  ///< Personal checkpoints persisted.
+  /// Journal/snapshot write failures. Durability degrades (journaling shuts
+  /// off after the first); serving never does.
+  std::size_t journal_io_errors = 0;
 };
 
 class Server {
@@ -121,6 +138,22 @@ class Server {
   /// submit() everything (sorted by arrival), drain(), and return results
   /// sorted by (user_id, request_id).
   std::vector<ServeResult> run(std::vector<ServeRequest> requests);
+
+  // -- Durability ------------------------------------------------------------
+  /// Start journaling into config.journal.directory, which must be fresh —
+  /// a directory that already holds journal state is refused (recover()
+  /// instead; an accidental fresh open would orphan a recoverable run).
+  void open_journal();
+  /// Rebuild this (freshly constructed, never-served-on) server from
+  /// config.journal.directory — snapshot restore + journal replay, personal
+  /// engines re-attached from CRC-verified checkpoints — then continue
+  /// journaling into a compacted log. An empty/missing directory is a
+  /// fresh start. Corruption falls back per session, never per process.
+  RecoveryReport recover();
+  /// Write a compacting snapshot now (no-op unless journaling). Called on
+  /// graceful shutdown so restarts replay nothing.
+  void snapshot_now();
+  bool journaling() const { return journal_ != nullptr; }
 
   const ServeCounters& counters() const { return counters_; }
   /// Virtual-clock high-water mark: the latest arrival submitted so far.
@@ -148,6 +181,12 @@ class Server {
   void personalize(Session& session);
   std::unique_ptr<edge::EdgeEngine> build_engine(const std::string& blob,
                                                  edge::Precision precision);
+  /// Append one record, auto-snapshotting when due. Never throws: a journal
+  /// failure warns, counts serve.journal.io_errors, and disables journaling
+  /// — the serving path must survive a full disk.
+  void journal_append(JournalRecord record);
+  void journal_disable(const Error& e, const char* what);
+  SnapshotData make_snapshot(std::uint64_t last_seq) const;
 
   ModelSource source_;
   ServeConfig config_;
@@ -158,6 +197,7 @@ class Server {
   SessionManager sessions_;
   CheckpointCache cache_;
 
+  std::unique_ptr<Journal> journal_;  ///< Null: journaling off/failed.
   std::map<std::size_t, PendingRequest> pending_;  ///< By batcher slot id.
   std::size_t next_slot_ = 0;
   std::uint64_t last_arrival_us_ = 0;

@@ -115,6 +115,55 @@ void Session::set_personal_engine(
   labelled_.shrink_to_fit();
 }
 
+SessionImage Session::image() const {
+  CLEAR_CHECK_MSG(state_ != SessionState::kFineTuning,
+                  "cannot image a session mid-fine-tune");
+  SessionImage img;
+  img.user_id = user_id_;
+  img.state = state_;
+  img.saved_state = saved_state_;
+  img.bad_streak = bad_streak_;
+  img.good_streak = good_streak_;
+  img.cluster = cluster_;
+  img.observations = observations_;
+  img.labelled = labelled_;
+  img.finetune_enabled = policy_.enable_finetune;
+  img.requests = requests;
+  img.shed = shed;
+  img.predictions = predictions;
+  img.first_arrival_us = first_arrival_us;
+  img.first_prediction_us = first_prediction_us;
+  img.has_personal = personal_engine_ != nullptr;
+  return img;
+}
+
+void Session::restore_image(const SessionImage& image,
+                            std::unique_ptr<edge::EdgeEngine> engine) {
+  CLEAR_CHECK_MSG(image.user_id == user_id_,
+                  "session image for user " << image.user_id
+                                            << " restored into session "
+                                            << user_id_);
+  CLEAR_CHECK_MSG(image.state != SessionState::kFineTuning &&
+                      image.saved_state != SessionState::kFineTuning,
+                  "FINE_TUNING is transient and never lands in an image");
+  CLEAR_CHECK_MSG((engine != nullptr) == image.has_personal,
+                  "personal engine presence must match the image");
+  state_ = image.state;
+  saved_state_ = image.saved_state;
+  bad_streak_ = static_cast<std::size_t>(image.bad_streak);
+  good_streak_ = static_cast<std::size_t>(image.good_streak);
+  cluster_ = static_cast<std::size_t>(image.cluster);
+  observations_ = image.observations;
+  labelled_ = image.labelled;
+  policy_.enable_finetune = image.finetune_enabled;
+  requests = static_cast<std::size_t>(image.requests);
+  shed = static_cast<std::size_t>(image.shed);
+  predictions = static_cast<std::size_t>(image.predictions);
+  first_arrival_us = image.first_arrival_us;
+  first_prediction_us = image.first_prediction_us;
+  personal_engine_ = std::move(engine);
+}
+
 void Session::abort_finetune() {
   CLEAR_CHECK_MSG(state_ == SessionState::kFineTuning,
                   "abort_finetune outside FINE_TUNING");
@@ -145,6 +194,23 @@ Session* SessionManager::get_or_create(std::uint64_t user_id) {
   Session* raw = session.get();
   sessions_[user_id] = std::move(session);
   return raw;
+}
+
+Session* SessionManager::restore(const SessionImage& image,
+                                 std::unique_ptr<edge::EdgeEngine> engine) {
+  CLEAR_CHECK_MSG(sessions_.find(image.user_id) == sessions_.end(),
+                  "user " << image.user_id << " already has a session");
+  if (sessions_.size() >= max_sessions_) return nullptr;
+  auto session = std::make_unique<Session>(image.user_id, policy_,
+                                           precision_for(image.user_id));
+  session->restore_image(image, std::move(engine));
+  Session* raw = session.get();
+  sessions_[image.user_id] = std::move(session);
+  return raw;
+}
+
+void SessionManager::erase(std::uint64_t user_id) {
+  sessions_.erase(user_id);
 }
 
 Session* SessionManager::find(std::uint64_t user_id) {

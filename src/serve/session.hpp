@@ -58,6 +58,31 @@ struct LabelledMap {
   int label = 0;
 };
 
+/// Complete serializable session state: everything needed to rebuild the
+/// session bit-identically except the personal engine itself, which the
+/// recovery path re-attaches from the CRC-verified checkpoint store (the
+/// image only records that one exists). Snapshots persist these; the
+/// journal replays mutations on top of them.
+struct SessionImage {
+  std::uint64_t user_id = 0;
+  SessionState state = SessionState::kCold;
+  SessionState saved_state = SessionState::kCold;
+  std::uint64_t bad_streak = 0;
+  std::uint64_t good_streak = 0;
+  std::uint64_t cluster = 0;
+  std::vector<cluster::Point> observations;
+  std::vector<LabelledMap> labelled;
+  /// false after abort_finetune() disabled retries for this session.
+  bool finetune_enabled = true;
+  std::uint64_t requests = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t predictions = 0;
+  std::uint64_t first_arrival_us = 0;
+  std::optional<std::uint64_t> first_prediction_us;
+  /// True when a personal checkpoint backs this session on disk.
+  bool has_personal = false;
+};
+
 class Session {
  public:
   Session(std::uint64_t user_id, SessionPolicy policy,
@@ -97,9 +122,20 @@ class Session {
   /// Install the fine-tuned engine and advance to PERSONALIZED.
   void set_personal_engine(std::unique_ptr<edge::EdgeEngine> engine);
   edge::EdgeEngine* personal_engine() { return personal_engine_.get(); }
+  bool has_personal_engine() const { return personal_engine_ != nullptr; }
   /// Roll back a failed fine-tune to ASSIGNED and stop retrying (e.g. the
   /// cluster checkpoint turned out to be unusable).
   void abort_finetune();
+
+  // -- Durability ------------------------------------------------------------
+  /// Freeze the full session state. Never called mid-fine-tune (the server
+  /// fine-tunes synchronously), so FINE_TUNING never appears in an image.
+  SessionImage image() const;
+  /// Rebuild from an image. `engine` must be non-null exactly when
+  /// `image.has_personal` — recovery demotes the image first when the
+  /// backing checkpoint turned out to be unusable.
+  void restore_image(const SessionImage& image,
+                     std::unique_ptr<edge::EdgeEngine> engine);
 
   // -- Bookkeeping -----------------------------------------------------------
   std::size_t requests = 0;
@@ -134,6 +170,17 @@ class SessionManager {
   /// session table is full and the user is new (admission control).
   Session* get_or_create(std::uint64_t user_id);
   Session* find(std::uint64_t user_id);
+  /// Install a recovered session from its image (the user must not already
+  /// have one; admission control applies as for get_or_create).
+  Session* restore(const SessionImage& image,
+                   std::unique_ptr<edge::EdgeEngine> engine);
+  /// Drop one session (recovery quarantines corrupt ones this way; the
+  /// user's next request starts a fresh COLD session).
+  void erase(std::uint64_t user_id);
+  /// The precision get_or_create would hand this user.
+  edge::Precision precision_for(std::uint64_t user_id) const {
+    return precisions_[user_id % precisions_.size()];
+  }
   std::size_t size() const { return sessions_.size(); }
 
   /// Sessions in user-id order (deterministic reporting).

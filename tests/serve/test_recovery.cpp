@@ -1,0 +1,372 @@
+// Crash-recovery suite: journaled serving, deterministic replay, and the
+// per-session fallback paths. The "crash" in these tests is dropping a
+// journaled Server without any graceful shutdown — exactly what SIGKILL
+// leaves behind on disk (the chaos gate, tools/run_chaos_soak.sh, does the
+// same thing at the process level against the wire front end).
+#include "serve/recovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "clear/config.hpp"
+#include "clear/pipeline.hpp"
+#include "common/error.hpp"
+#include "common/fault.hpp"
+#include "common/parallel.hpp"
+#include "serve/journal.hpp"
+#include "serve/server.hpp"
+#include "wemac/dataset.hpp"
+
+namespace clear::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+core::ClearConfig recovery_config() {
+  core::ClearConfig c = core::smoke_config();
+  c.data.seed = 77;
+  c.data.n_volunteers = 8;
+  c.data.trials_per_volunteer = 5;
+  c.train.epochs = 2;
+  c.finetune.epochs = 1;
+  c.finalize();
+  return c;
+}
+
+struct SharedFixture {
+  wemac::WemacDataset dataset;
+  core::ClearPipeline pipeline;
+  ModelSource source;
+
+  SharedFixture()
+      : dataset(wemac::generate_wemac(recovery_config().data)),
+        pipeline(recovery_config()) {
+    std::vector<std::size_t> users;
+    for (std::size_t u = 0; u + 2 < dataset.n_volunteers(); ++u)
+      users.push_back(u);
+    pipeline.fit(dataset, users);
+    source = ModelSource::from_pipeline(pipeline);
+  }
+};
+
+SharedFixture& fixture() {
+  static SharedFixture f;
+  return f;
+}
+
+ServeRequest req(std::uint64_t user, std::uint64_t id, std::uint64_t t,
+                 std::optional<int> label = std::nullopt,
+                 double quality = 1.0) {
+  auto& f = fixture();
+  const auto& samples = f.dataset.samples_of(f.dataset.n_volunteers() - 1);
+  const std::size_t s = samples[id % samples.size()];
+  ServeRequest r;
+  r.user_id = user;
+  r.request_id = id;
+  r.arrival_us = t;
+  r.map = f.dataset.samples()[s].feature_map;
+  r.quality = quality;
+  r.label = label;
+  return r;
+}
+
+void expect_identical(const std::vector<ServeResult>& a,
+                      const std::vector<ServeResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].user_id, b[i].user_id) << "result " << i;
+    EXPECT_EQ(a[i].request_id, b[i].request_id) << "result " << i;
+    EXPECT_EQ(a[i].status, b[i].status) << "result " << i;
+    EXPECT_EQ(a[i].error, b[i].error) << "result " << i;
+    EXPECT_EQ(a[i].predicted, b[i].predicted) << "result " << i;
+    // Bit-identical, not approximately equal — the recovery contract.
+    EXPECT_EQ(a[i].fear_probability, b[i].fear_probability) << "result " << i;
+    EXPECT_EQ(a[i].route, b[i].route) << "result " << i;
+    EXPECT_EQ(a[i].session_state, b[i].session_state) << "result " << i;
+    EXPECT_EQ(a[i].batch_rows, b[i].batch_rows) << "result " << i;
+    EXPECT_EQ(a[i].exec_us, b[i].exec_us) << "result " << i;
+  }
+}
+
+ServeConfig journaled_config(const std::string& dir) {
+  ServeConfig sc;
+  sc.session.ca_windows = 2;
+  sc.session.ft_maps = 2;
+  sc.journal.directory = dir;
+  return sc;
+}
+
+/// Phase 1: drives users 1 and 2 from COLD through assignment and a
+/// fine-tune — both end PERSONALIZED. A third user stays mid-lifecycle
+/// (observations buffered, not yet assigned).
+std::vector<ServeRequest> phase1() {
+  std::vector<ServeRequest> s;
+  s.push_back(req(1, 0, 0));
+  s.push_back(req(2, 0, 100));
+  s.push_back(req(1, 1, 1000));
+  s.push_back(req(2, 1, 1100));
+  s.push_back(req(1, 2, 2000, 0));
+  s.push_back(req(2, 2, 2100, 1));
+  s.push_back(req(1, 3, 3000, 1));
+  s.push_back(req(2, 3, 3100, 0));
+  s.push_back(req(3, 0, 3200));
+  return s;
+}
+
+/// Phase 2: the continuation stream served after the crash (or, for the
+/// golden run, after an uneventful phase 1).
+std::vector<ServeRequest> phase2() {
+  std::vector<ServeRequest> s;
+  s.push_back(req(1, 4, 4000));
+  s.push_back(req(2, 4, 4100));
+  s.push_back(req(3, 1, 4200));
+  s.push_back(req(1, 5, 5000));
+  s.push_back(req(2, 5, 5100, 0));
+  s.push_back(req(3, 2, 5200, 1));
+  return s;
+}
+
+struct RecoveryTest : ::testing::Test {
+  std::string dir;
+
+  void SetUp() override {
+    dir = (fs::temp_directory_path() /
+           ("clear_recovery_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name())))
+              .string();
+    fs::remove_all(dir);
+  }
+
+  void TearDown() override {
+    fault::disarm_io_failure();
+    fault::disarm_journal_io_fail();
+    fault::disarm_journal_torn_write();
+    fs::remove_all(dir);
+  }
+
+  /// Run phase 1 on a journaled server and "crash" it (destroy with no
+  /// snapshot, like SIGKILL). Returns its counters for later comparison.
+  ServeCounters crash_after_phase1(ServeConfig sc) {
+    auto& f = fixture();
+    Server server(f.source, sc);
+    server.open_journal();
+    server.run(phase1());
+    EXPECT_EQ(server.counters().finetunes, 2u);
+    EXPECT_TRUE(server.journaling());
+    return server.counters();
+  }
+};
+
+TEST_F(RecoveryTest, ReplayRestoresSessionsAndCountersBitIdentically) {
+  auto& f = fixture();
+  const ServeCounters crashed = crash_after_phase1(journaled_config(dir));
+
+  Server restored(f.source, journaled_config(dir));
+  const RecoveryReport report = restored.recover();
+  EXPECT_TRUE(report.clean()) << report.str();
+  EXPECT_EQ(report.sessions, 3u);
+  EXPECT_EQ(report.personalized, 2u);
+  EXPECT_EQ(report.personalized_expected, 2u);
+  EXPECT_EQ(report.session_fallbacks, 0u);
+  EXPECT_EQ(report.tail_bytes_dropped, 0u);
+  EXPECT_FALSE(report.snapshot_corrupt);
+  EXPECT_TRUE(restored.journaling());  // Recovery reopens the journal.
+
+  // The deterministic counters survive the crash exactly.
+  EXPECT_EQ(restored.counters().requests, crashed.requests);
+  EXPECT_EQ(restored.counters().ok, crashed.ok);
+  EXPECT_EQ(restored.counters().shed, crashed.shed);
+  EXPECT_EQ(restored.counters().assignments, crashed.assignments);
+  EXPECT_EQ(restored.counters().finetunes, crashed.finetunes);
+
+  for (const Session* s : restored.sessions().sessions()) {
+    if (s->user_id() == 3) {
+      EXPECT_NE(s->state(), SessionState::kPersonalized);
+    } else {
+      EXPECT_EQ(s->state(), SessionState::kPersonalized)
+          << "user " << s->user_id();
+      EXPECT_TRUE(s->has_personal_engine());
+    }
+  }
+}
+
+TEST_F(RecoveryTest, PostRecoveryServingMatchesUninterruptedGoldenRun) {
+  auto& f = fixture();
+  // Golden: same two-phase cadence, no crash in between.
+  Server golden(f.source, ServeConfig(journaled_config("")));
+  golden.run(phase1());
+  const std::vector<ServeResult> golden_tail = golden.run(phase2());
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    const NumThreadsGuard guard(threads);
+    const std::string d = dir + "_t" + std::to_string(threads);
+    fs::remove_all(d);
+    crash_after_phase1(journaled_config(d));
+    Server restored(f.source, journaled_config(d));
+    const RecoveryReport report = restored.recover();
+    EXPECT_TRUE(report.clean()) << report.str();
+    const std::vector<ServeResult> tail = restored.run(phase2());
+    expect_identical(golden_tail, tail);
+    fs::remove_all(d);
+  }
+}
+
+TEST_F(RecoveryTest, RecoversFromSnapshotPlusJournalTail) {
+  auto& f = fixture();
+  ServeConfig sc = journaled_config(dir);
+  sc.journal.snapshot_every = 4;  // Force mid-run compactions.
+  crash_after_phase1(sc);
+  ASSERT_TRUE(fs::exists(snapshot_path(dir)));
+
+  Server restored(f.source, sc);
+  const RecoveryReport report = restored.recover();
+  EXPECT_TRUE(report.clean()) << report.str();
+  EXPECT_TRUE(report.snapshot_loaded);
+  EXPECT_GT(report.snapshot_sessions, 0u);
+  EXPECT_EQ(report.personalized, 2u);
+
+  // And the recovered server still serves the continuation.
+  const std::vector<ServeResult> tail = restored.run(phase2());
+  for (const ServeResult& r : tail)
+    EXPECT_EQ(r.status, ServeResult::Status::kOk);
+}
+
+TEST_F(RecoveryTest, CorruptPersonalCheckpointDemotesOnlyThatSession) {
+  auto& f = fixture();
+  crash_after_phase1(journaled_config(dir));
+
+  // Damage user 1's fine-tuned checkpoint; user 2's stays intact.
+  const std::string path = user_checkpoint_path(dir, 1);
+  ASSERT_TRUE(fs::exists(path));
+  std::fstream ck(path, std::ios::in | std::ios::out | std::ios::binary);
+  ck.seekp(static_cast<std::streamoff>(fs::file_size(path) / 2));
+  ck.write("\xFF", 1);
+  ck.close();
+
+  Server restored(f.source, journaled_config(dir));
+  const RecoveryReport report = restored.recover();
+  EXPECT_FALSE(report.clean());  // A personalized session was lost...
+  EXPECT_EQ(report.personalized_expected, 2u);
+  EXPECT_EQ(report.personalized, 1u);
+  EXPECT_EQ(report.session_fallbacks, 0u);  // ...but nobody was evicted.
+  EXPECT_EQ(report.sessions, 3u);
+
+  for (const Session* s : restored.sessions().sessions()) {
+    if (s->user_id() == 1) {
+      // Demoted to its cluster assignment, history intact.
+      EXPECT_EQ(s->state(), SessionState::kAssigned);
+      EXPECT_FALSE(s->has_personal_engine());
+    } else if (s->user_id() == 2) {
+      EXPECT_EQ(s->state(), SessionState::kPersonalized);
+      EXPECT_TRUE(s->has_personal_engine());
+    }
+  }
+  // The demoted user keeps being served (from the cluster model).
+  const std::vector<ServeResult> tail = restored.run(phase2());
+  for (const ServeResult& r : tail)
+    EXPECT_EQ(r.status, ServeResult::Status::kOk);
+}
+
+TEST_F(RecoveryTest, TornJournalTailDropsOnlyTheTornRecord) {
+  auto& f = fixture();
+  crash_after_phase1(journaled_config(dir));
+  const std::string log = journal_log_path(dir);
+  fs::resize_file(log, fs::file_size(log) - 3);  // Torn final write.
+
+  Server restored(f.source, journaled_config(dir));
+  const RecoveryReport report = restored.recover();
+  EXPECT_GT(report.tail_bytes_dropped, 0u);
+  EXPECT_EQ(report.sessions, 3u);
+  // The torn record was a kPredict tail event; every personalization
+  // survived.
+  EXPECT_EQ(report.personalized, 2u);
+  EXPECT_EQ(report.personalized, report.personalized_expected);
+}
+
+TEST_F(RecoveryTest, SessionTableFullFallsBackPerSessionNotPerProcess) {
+  auto& f = fixture();
+  crash_after_phase1(journaled_config(dir));
+
+  ServeConfig tiny = journaled_config(dir);
+  tiny.max_sessions = 1;  // Recovery cannot seat everyone.
+  Server restored(f.source, tiny);
+  const RecoveryReport report = restored.recover();
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(report.sessions, 1u);
+  EXPECT_EQ(report.session_fallbacks, 2u);
+  EXPECT_GT(report.records_skipped, 0u);  // Quarantined users' records.
+  // The surviving session is intact and the server still serves.
+  EXPECT_EQ(restored.sessions().sessions().size(), 1u);
+}
+
+TEST_F(RecoveryTest, OpenJournalRefusesToClobberExistingState) {
+  auto& f = fixture();
+  crash_after_phase1(journaled_config(dir));
+  Server fresh(f.source, journaled_config(dir));
+  try {
+    fresh.open_journal();
+    FAIL() << "open_journal over existing state must throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("--recover"), std::string::npos)
+        << "error should point at --recover: " << e.what();
+  }
+}
+
+TEST_F(RecoveryTest, JournalIoFailureDisablesJournalingButKeepsServing) {
+  auto& f = fixture();
+  Server server(f.source, journaled_config(dir));
+  server.open_journal();
+  fault::arm_journal_io_fail(3);  // Fail the third journal operation.
+  const std::vector<ServeResult> out = server.run(phase1());
+  fault::disarm_journal_io_fail();
+  EXPECT_FALSE(server.journaling());  // Disabled, not crashed.
+  EXPECT_EQ(server.counters().journal_io_errors, 1u);
+  ASSERT_EQ(out.size(), phase1().size());
+  for (const ServeResult& r : out)
+    EXPECT_EQ(r.status, ServeResult::Status::kOk);
+}
+
+TEST_F(RecoveryTest, SnapshotIoFailureDisablesJournalingButKeepsServing) {
+  auto& f = fixture();
+  Server server(f.source, journaled_config(dir));
+  server.open_journal();
+  server.run(phase1());
+  fault::arm_io_failure(1);  // Trip the snapshot's atomic-write path.
+  server.snapshot_now();
+  fault::disarm_io_failure();
+  EXPECT_FALSE(server.journaling());
+  EXPECT_EQ(server.counters().journal_io_errors, 1u);
+  const std::vector<ServeResult> tail = server.run(phase2());
+  for (const ServeResult& r : tail)
+    EXPECT_EQ(r.status, ServeResult::Status::kOk);
+}
+
+TEST_F(RecoveryTest, GracefulSnapshotMakesReplayJournalFree) {
+  auto& f = fixture();
+  ServeCounters crashed;
+  {
+    Server server(f.source, journaled_config(dir));
+    server.open_journal();
+    server.run(phase1());
+    server.snapshot_now();  // What SIGTERM's graceful drain does.
+    crashed = server.counters();
+  }
+  Server restored(f.source, journaled_config(dir));
+  const RecoveryReport report = restored.recover();
+  EXPECT_TRUE(report.clean()) << report.str();
+  EXPECT_TRUE(report.snapshot_loaded);
+  EXPECT_EQ(report.records_replayed, 0u);  // Everything was in the snapshot.
+  EXPECT_EQ(restored.counters().requests, crashed.requests);
+  EXPECT_EQ(report.personalized, 2u);
+}
+
+}  // namespace
+}  // namespace clear::serve

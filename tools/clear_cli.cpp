@@ -52,6 +52,8 @@
 // form. Results are bit-identical at any thread count, with or without
 // metrics.
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <map>
 
@@ -197,7 +199,21 @@ const char* command_help(const std::string& command) {
        "  --max-connections=N   concurrent connection cap (default 64)\n"
        "  --idle-flush-ms=N     drain pending batches after N ms of wire\n"
        "                        silence; 0 keeps batching purely\n"
-       "                        arrival-driven (default 50)\n"},
+       "                        arrival-driven (default 50)\n"
+       "  --journal-dir=DIR     write-ahead session journal + compacting\n"
+       "                        snapshots under DIR; refuses to start over\n"
+       "                        existing journal state without --recover\n"
+       "  --recover             replay DIR's snapshot + journal before\n"
+       "                        serving, restoring every session (requires\n"
+       "                        --journal-dir); prints a recovery report\n"
+       "  --snapshot-every=N    compact the journal every N records\n"
+       "                        (default 1024)\n"
+       "  --journal-fsync       fsync every journal append (machine-crash\n"
+       "                        durability; process-crash durability needs\n"
+       "                        no fsync)\n"
+       "  In --listen mode SIGINT/SIGTERM drain gracefully: stop accepting,\n"
+       "  flush pending batches, write a final snapshot, exit 0.\n"
+       "  exit codes: 0 graceful shutdown, 1 runtime error, 2 usage error\n"},
       {"loadgen",
        "clear-cli loadgen — open-loop load generator for serve --listen\n"
        "  --connect=HOST:PORT   target server (required)\n"
@@ -211,8 +227,17 @@ const char* command_help(const std::string& command) {
        "  --features=N          feature-map rows (default: model default)\n"
        "  --window=N            feature-map cols (default: model default)\n"
        "  --label-fraction=F    share of labelled requests (default 0.25)\n"
-       "  --timeout=SEC         give up on missing responses (default 30)\n"
+       "  --timeout=SEC         give up on missing responses (default 30);\n"
+       "                        unanswered requests count as dropped, the\n"
+       "                        generator never hangs\n"
        "  --shutdown-after      send a shutdown frame when done\n"
+       "  --start-index=N       resume the hashed stream at absolute request\n"
+       "                        index N: sends exactly what requests\n"
+       "                        [N, N+requests) of a --start-index=0 run\n"
+       "                        would have sent, virtual arrivals included\n"
+       "  --responses=FILE      write one line per response (sorted by\n"
+       "                        request id, deterministic fields only) for\n"
+       "                        bit-identity diffs across runs\n"
        "  --json=FILE           write a clear-bench-loadgen-v1 report\n"},
   };
   const auto it = kHelp.find(command);
@@ -547,6 +572,17 @@ void print_serve_summary(const serve::Server& server) {
       cs.bytes_in_use);
 }
 
+// SIGINT/SIGTERM → graceful drain for `serve --listen`. NetServer::stop()
+// is async-signal-safe (it writes one byte to a self-pipe), so the handler
+// may call it directly; the event loop then stops accepting, flushes every
+// pending batch, writes a final snapshot when journaling, and run() returns.
+std::atomic<net::NetServer*> g_signal_target{nullptr};
+
+extern "C" void on_stop_signal(int) {
+  net::NetServer* target = g_signal_target.load(std::memory_order_relaxed);
+  if (target != nullptr) target->stop();
+}
+
 int cmd_serve(const CliArgs& args) {
   // The serve demo is sized like `profile`, not like a full cloud run: a
   // small dataset is generated in memory and (unless --artifacts points at a
@@ -603,6 +639,15 @@ int cmd_serve(const CliArgs& args) {
   sc.max_sessions =
       static_cast<std::size_t>(args.get_int("max-sessions", 4096));
   sc.precisions = precisions_from(args);
+  sc.journal.directory = args.get("journal-dir", "");
+  sc.journal.snapshot_every =
+      static_cast<std::size_t>(args.get_int("snapshot-every", 1024));
+  sc.journal.fsync = args.get_bool("journal-fsync", false);
+  const bool recover = args.get_bool("recover", false);
+  if (recover && sc.journal.directory.empty()) {
+    std::fprintf(stderr, "--recover requires --journal-dir=DIR\n");
+    return 2;
+  }
 
   bool wants_int8 = false;
   for (const edge::Precision p : sc.precisions)
@@ -629,11 +674,27 @@ int cmd_serve(const CliArgs& args) {
     nc.idle_flush_ms =
         static_cast<std::uint64_t>(args.get_int("idle-flush-ms", 50));
     serve::Server server(std::move(source), sc);
+    if (!sc.journal.directory.empty()) {
+      if (recover) {
+        const serve::RecoveryReport rr = server.recover();
+        std::printf("%s", rr.str().c_str());
+      } else {
+        server.open_journal();
+        std::printf("journaling to %s (snapshot every %zu records)\n",
+                    sc.journal.directory.c_str(), sc.journal.snapshot_every);
+      }
+    }
     net::NetServer net_server(server, nc);
     std::printf("listening on %s:%u\n", nc.listen.host.c_str(),
                 net_server.port());
     std::fflush(stdout);
+    g_signal_target.store(&net_server);
+    std::signal(SIGINT, on_stop_signal);
+    std::signal(SIGTERM, on_stop_signal);
     net_server.run();
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    g_signal_target.store(nullptr);
     print_serve_summary(server);
     const net::NetCounters& n = net_server.counters();
     std::printf(
@@ -673,6 +734,14 @@ int cmd_serve(const CliArgs& args) {
   std::fflush(stdout);
 
   serve::Server server(std::move(source), sc);
+  if (!sc.journal.directory.empty()) {
+    if (recover) {
+      const serve::RecoveryReport rr = server.recover();
+      std::printf("%s", rr.str().c_str());
+    } else {
+      server.open_journal();
+    }
+  }
   const std::vector<serve::ServeResult> results =
       server.run(std::move(requests));
 
@@ -741,6 +810,9 @@ int cmd_loadgen(const CliArgs& args) {
   lc.label_fraction = args.get_double("label-fraction", 0.25);
   lc.timeout_seconds = args.get_double("timeout", 30.0);
   lc.shutdown_after = args.get_bool("shutdown-after", false);
+  lc.start_index =
+      static_cast<std::size_t>(args.get_int("start-index", 0));
+  lc.responses_path = args.get("responses", "");
 
   const net::LoadgenReport report = net::run_loadgen(lc);
 

@@ -1,0 +1,185 @@
+#!/bin/sh
+# Chaos soak: SIGKILL the wire server mid-load, restart with --recover, and
+# prove that durability holds:
+#
+#   Leg A (kill between phases, bit-identity):
+#     golden    — one uninterrupted server answers requests [0, N) and the
+#                 deterministic response lines go to golden.txt.
+#     chaos     — a journaled server answers [0, N/2), takes SIGKILL -9,
+#                 restarts with --recover (at a different --threads count),
+#                 and answers [N/2, N) via loadgen --start-index. The
+#                 recovery report must be CLEAN with zero PERSONALIZED loss,
+#                 and both phases' response lines must be byte-identical to
+#                 the golden file's halves.
+#
+#   Leg B (kill mid-flight, zero acknowledged loss + graceful drain):
+#     SIGKILL lands while requests are in flight. Unanswered requests may
+#     drop (the loadgen counts them; it never hangs), but every fine-tune
+#     the journal acknowledged must re-attach (P/E equal in the report).
+#     The recovered server then takes SIGTERM and must drain gracefully:
+#     exit 0, final compacting snapshot on disk, journal truncated.
+#
+# Usage: run_chaos_soak.sh <path-to-clear-cli> [--quick]
+set -eu
+
+CLI="$1"
+QUICK="${2:-}"
+
+TOTAL=400
+RATE=400
+if [ "$QUICK" = "--quick" ]; then
+  TOTAL=160
+fi
+HALF=$((TOTAL / 2))
+
+# One connection keeps the wire ordering deterministic (multi-connection
+# interleaving is a socket-layer race by design); 4 users with a labelled
+# majority personalizes every session well inside phase 1.
+GEN="--connections=1 --rate=$RATE --users=4 --label-fraction=0.6 --seed=9"
+SLICE="--volunteers=6 --trials=4 --epochs=1 --ft-epochs=1 --data-seed=42"
+
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+cd "$WORK"
+
+# Start a server in the background and wait for its ephemeral port.
+# start_server <log> <port-file> [extra flags...]
+start_server() {
+  log="$1"; pf="$2"; shift 2
+  rm -f "$pf"
+  "$CLI" serve $SLICE --listen=127.0.0.1:0 --port-file="$pf" "$@" \
+    >"$log" 2>&1 &
+  SERVER_PID=$!
+  i=0
+  while [ ! -s "$pf" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 300 ]; then
+      echo "server never published its port; log tail:" >&2
+      tail -20 "$log" >&2
+      exit 1
+    fi
+    kill -0 "$SERVER_PID" 2>/dev/null || {
+      echo "server exited before listening; log tail:" >&2
+      tail -20 "$log" >&2
+      exit 1
+    }
+    sleep 0.2
+  done
+  PORT="$(cat "$pf")"
+}
+
+# ---------------------------------------------------------------------------
+echo "== golden run: $TOTAL requests, uninterrupted, --threads=1 =="
+start_server golden.log golden.port --threads=1
+"$CLI" loadgen --connect=127.0.0.1:"$PORT" $GEN --requests=$TOTAL \
+  --responses=golden.txt --shutdown-after >golden_gen.log 2>&1
+wait "$SERVER_PID"
+SERVER_PID=""
+[ "$(wc -l <golden.txt)" -eq "$TOTAL" ] || {
+  echo "golden run lost responses ($(wc -l <golden.txt)/$TOTAL):" >&2
+  tail -5 golden_gen.log >&2
+  exit 1
+}
+
+# ---------------------------------------------------------------------------
+echo "== leg A: SIGKILL between phases, recover, bit-identity =="
+start_server chaos1.log chaos1.port --journal-dir=jd
+"$CLI" loadgen --connect=127.0.0.1:"$PORT" $GEN --requests=$HALF \
+  --responses=phase1.txt >phase1_gen.log 2>&1
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+[ -s jd/journal.log ] || { echo "no journal survived the kill" >&2; exit 1; }
+
+# Recover at a different thread count than the golden run: replay and
+# post-recovery serving must be bit-identical at any --threads.
+start_server chaos2.log chaos2.port --journal-dir=jd --recover --threads=4
+grep -q "result: CLEAN" chaos2.log || {
+  echo "recovery was not CLEAN:" >&2
+  grep -A0 -B3 "result:" chaos2.log >&2 || cat chaos2.log >&2
+  exit 1
+}
+REATTACH="$(sed -n 's/.* \([0-9][0-9]*\)\/\([0-9][0-9]*\) personalized re-attached.*/\1 \2/p' chaos2.log)"
+P="${REATTACH% *}"; E="${REATTACH#* }"
+[ -n "$P" ] && [ "$P" = "$E" ] && [ "$P" -gt 0 ] || {
+  echo "PERSONALIZED state lost across the kill (re-attached $P of $E):" >&2
+  grep "personalized" chaos2.log >&2
+  exit 1
+}
+grep -q " 0 fell back" chaos2.log || {
+  echo "recovery silently fell back sessions:" >&2
+  grep "fell back" chaos2.log >&2
+  exit 1
+}
+
+"$CLI" loadgen --connect=127.0.0.1:"$PORT" $GEN --requests=$HALF \
+  --start-index=$HALF --responses=phase2.txt --shutdown-after \
+  >phase2_gen.log 2>&1
+wait "$SERVER_PID"
+SERVER_PID=""
+
+head -n "$HALF" golden.txt >golden_head.txt
+tail -n "$HALF" golden.txt >golden_tail.txt
+cmp golden_head.txt phase1.txt || {
+  echo "phase-1 responses diverge from the golden run" >&2
+  diff golden_head.txt phase1.txt | head -10 >&2
+  exit 1
+}
+cmp golden_tail.txt phase2.txt || {
+  echo "post-recovery responses diverge from the golden run" >&2
+  diff golden_tail.txt phase2.txt | head -10 >&2
+  exit 1
+}
+echo "   bit-identical: $TOTAL/$TOTAL responses match the golden run"
+
+# ---------------------------------------------------------------------------
+echo "== leg B: SIGKILL mid-flight, recover, graceful SIGTERM drain =="
+start_server chaosb1.log chaosb1.port --journal-dir=jdb
+( "$CLI" loadgen --connect=127.0.0.1:"$PORT" $GEN --requests=$TOTAL \
+    --timeout=10 >phaseb_gen.log 2>&1 || true ) &
+GEN_PID=$!
+sleep 0.4
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+# The generator must terminate on its own (dead connections, then timeout) —
+# a hang here is exactly the bug the client deadlines exist to prevent.
+wait "$GEN_PID"
+[ -s jdb/journal.log ] || { echo "no journal survived the kill" >&2; exit 1; }
+
+start_server chaosb2.log chaosb2.port --journal-dir=jdb --recover
+REATTACH="$(sed -n 's/.* \([0-9][0-9]*\)\/\([0-9][0-9]*\) personalized re-attached.*/\1 \2/p' chaosb2.log)"
+P="${REATTACH% *}"; E="${REATTACH#* }"
+[ -n "$P" ] && [ "$P" = "$E" ] || {
+  echo "acknowledged PERSONALIZED state lost mid-flight ($P of $E):" >&2
+  grep "personalized" chaosb2.log >&2
+  exit 1
+}
+# Post-recovery liveness: a short stream is fully answered.
+"$CLI" loadgen --connect=127.0.0.1:"$PORT" $GEN --requests=40 \
+  --start-index=$TOTAL --json=liveness.json >liveness_gen.log 2>&1
+jq -e '.received == 40 and .dropped == 0' liveness.json >/dev/null || {
+  echo "recovered server is not fully live:" >&2
+  cat liveness.json >&2
+  exit 1
+}
+
+# Graceful drain: SIGTERM must flush, snapshot, and exit 0 with a compacted
+# journal (16-byte header only) plus a loadable final snapshot.
+kill -TERM "$SERVER_PID"
+RC=0
+wait "$SERVER_PID" || RC=$?
+SERVER_PID=""
+[ "$RC" -eq 0 ] || { echo "SIGTERM drain exited $RC" >&2; tail -5 chaosb2.log >&2; exit 1; }
+[ -s jdb/snapshot.snap ] || { echo "no final snapshot after SIGTERM" >&2; exit 1; }
+[ "$(wc -c <jdb/journal.log)" -eq 16 ] || {
+  echo "journal not compacted by the final snapshot ($(wc -c <jdb/journal.log) bytes)" >&2
+  exit 1
+}
+
+echo "chaos soak OK"

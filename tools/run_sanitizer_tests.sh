@@ -44,10 +44,12 @@ run_ubsan() {
   local dir="${PREFIX}-ubsan"
   cmake -B "$dir" -S . -DCLEAR_SANITIZE=undefined -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$dir" -j --target test_fault test_common test_nn test_features \
-    test_kernel_equivalence test_net
+    test_kernel_equivalence test_net test_serve
   export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
   echo "== test_fault (UBSAN) =="
   "$dir/tests/test_fault"
+  echo "== test_serve (UBSAN, journal framing + crash-recovery replay) =="
+  "$dir/tests/test_serve" --gtest_filter='JournalTest*:RecoveryTest*'
   echo "== test_kernel_equivalence (UBSAN, SIMD + fp16/int8 bit paths) =="
   "$dir/tests/test_kernel_equivalence"
   echo "== test_net (UBSAN, wire-codec fuzz/property suites) =="
@@ -63,13 +65,15 @@ run_ubsan() {
 run_asan() {
   local dir="${PREFIX}-asan"
   cmake -B "$dir" -S . -DCLEAR_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build "$dir" -j --target test_net test_fault
+  cmake --build "$dir" -j --target test_net test_fault test_serve
   export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}"
   export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
   echo "== test_net (ASAN, full wire suite: fuzzed decode, loopback, faults) =="
   "$dir/tests/test_net"
   echo "== test_fault (ASAN) =="
   "$dir/tests/test_fault"
+  echo "== test_serve (ASAN, torn/corrupt journal tails + recovery) =="
+  "$dir/tests/test_serve" --gtest_filter='JournalTest*:RecoveryTest*'
 }
 
 run_obsoff() {
