@@ -91,7 +91,10 @@ std::string encode_record(const JournalRecord& r) {
       io::write_u64(os, r.ckpt_crc);
       break;
     case RecordType::kFinetuneAbort:
+      break;
     case RecordType::kShed:
+      io::write_u64(os, (r.shed_charged ? 1u : 0u) |
+                            (r.shed_unadmitted ? 2u : 0u));
       break;
     case RecordType::kPredict:
       io::write_u64(os, r.time_us);
@@ -131,8 +134,13 @@ JournalRecord decode_record(const std::string& payload) {
       r.ckpt_crc = static_cast<std::uint32_t>(io::read_u64(is));
       break;
     case RecordType::kFinetuneAbort:
-    case RecordType::kShed:
       break;
+    case RecordType::kShed: {
+      const std::uint64_t flags = io::read_u64(is);
+      r.shed_charged = (flags & 1) != 0;
+      r.shed_unadmitted = (flags & 2) != 0;
+      break;
+    }
     case RecordType::kPredict:
       r.time_us = io::read_u64(is);
       break;
@@ -288,6 +296,12 @@ void atomic_write_file(const std::string& path, const std::string& bytes,
   std::error_code ec;
   fs::rename(tmp, path, ec);
   CLEAR_CHECK_MSG(!ec, "cannot commit " << path << ": " << ec.message());
+  if (do_fsync) {
+    // The rename only becomes durable against machine crashes once the
+    // directory entry itself is on disk.
+    const std::string parent = fs::path(path).parent_path().string();
+    fsync_path(parent.empty() ? "." : parent);
+  }
 }
 
 std::string read_file_bytes(const std::string& path) {

@@ -63,7 +63,7 @@ enum class RecordType : std::uint8_t {
   kLabelled = 4,       ///< Labelled map buffered for fine-tuning.
   kFinetune = 5,       ///< Fine-tune completed; user_<id>.ckpt references.
   kFinetuneAbort = 6,  ///< Fine-tune failed; retries disabled.
-  kShed = 7,           ///< Admission-control shed charged to the session.
+  kShed = 7,           ///< Admission-control shed (see the shed_* flags).
   kPredict = 8,        ///< One completed prediction.
 };
 
@@ -83,6 +83,12 @@ struct JournalRecord {
   std::int32_t label = 0;        ///< kLabelled.
   std::uint64_t ckpt_bytes = 0;  ///< Checkpoint size (kFinetune).
   std::uint32_t ckpt_crc = 0;    ///< Checkpoint CRC-32 (kFinetune).
+  /// kShed: the shed was charged to a live session (++session->shed).
+  bool shed_charged = false;
+  /// kShed: the request was turned away before admission journaled its
+  /// kRequest record (session table full), so replay counts the request
+  /// here — without this the recovered requests/shed counters drift.
+  bool shed_unadmitted = false;
 };
 
 /// The deterministic run counters a snapshot persists (the per-process

@@ -62,9 +62,10 @@ RecoveryReport Server::recover() {
       report.snapshot_loaded = true;
     }
   } catch (const Error& e) {
-    // Journal-only recovery: sessions that lived solely in the snapshot are
-    // unrecoverable; their journal records fail to apply below and
-    // quarantine exactly those sessions.
+    // Journal-only recovery: with the snapshot gone there is no way to
+    // prove any journaled user had no pre-snapshot history, so the replay
+    // loop below quarantines every session it sees rather than recreating
+    // one COLD over lost state.
     report.snapshot_corrupt = true;
     CLEAR_WARN("recovery: snapshot unusable (" << e.what()
                                                << "); continuing journal-only");
@@ -202,8 +203,11 @@ RecoveryReport Server::recover() {
         break;
       }
       case RecordType::kShed: {
-        Session& s = find_session(rec.user_id);
-        ++s.shed;
+        // Table-full sheds were turned away before admission journaled a
+        // kRequest, so the request count rides on this record; they also
+        // name no session, so only charged sheds touch the table.
+        if (rec.shed_unadmitted) ++counters_.requests;
+        if (rec.shed_charged) ++find_session(rec.user_id).shed;
         ++counters_.shed;
         break;
       }
@@ -225,6 +229,19 @@ RecoveryReport Server::recover() {
     if (rec.seq <= snap.last_seq) continue;  // Folded into the snapshot.
     if (quarantined.count(rec.user_id) != 0) {
       ++report.records_skipped;
+      continue;
+    }
+    if (report.snapshot_corrupt && sessions_.find(rec.user_id) == nullptr) {
+      // A post-snapshot record cannot distinguish a genuinely new user
+      // from one whose pre-snapshot history died with the snapshot;
+      // get_or_create would silently rebuild the latter COLD and later
+      // records (observations, sheds) would apply cleanly on top of the
+      // wrong state. Quarantine instead — the user restarts COLD on next
+      // contact, loudly.
+      ++report.records_skipped;
+      quarantine(rec.user_id, "first seen via replay after a corrupt "
+                              "snapshot; pre-snapshot history cannot be "
+                              "ruled out");
       continue;
     }
     try {

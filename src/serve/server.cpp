@@ -158,7 +158,7 @@ BatchKey Server::route_for(const Session& session) const {
 }
 
 void Server::shed(const ServeRequest& request, const BatchKey& route,
-                  Session* session, const std::string& why) {
+                  Session* session, const std::string& why, bool admitted) {
   ++counters_.shed;
   CLEAR_OBS_COUNT("serve.shed", 1);
   if (session) ++session->shed;
@@ -175,10 +175,12 @@ void Server::shed(const ServeRequest& request, const BatchKey& route,
   r.arrival_us = request.arrival_us;
   r.exec_us = request.arrival_us;
   completed_.push_back(std::move(r));
-  if (session && journal_) {
+  if (journal_) {
     JournalRecord rec;
     rec.type = RecordType::kShed;
     rec.user_id = request.user_id;
+    rec.shed_charged = session != nullptr;
+    rec.shed_unadmitted = !admitted;
     journal_append(std::move(rec));
   }
 }
@@ -281,7 +283,8 @@ void Server::submit(ServeRequest request) {
   if (!session) {
     std::ostringstream why;
     why << "session table full (" << sessions_.size() << " sessions)";
-    shed(request, BatchKey{}, nullptr, why.str());
+    shed(request, BatchKey{}, nullptr, why.str(), /*admitted=*/false);
+    maybe_compact();
     return;
   }
   ++session->requests;
@@ -388,11 +391,13 @@ void Server::submit(ServeRequest request) {
       why << "server overloaded (" << batcher_.pending()
           << " requests pending)";
     shed(request, route, session, why.str());
+    maybe_compact();
     return;
   }
   pending_.emplace(slot, PendingRequest{std::move(request), route});
   CLEAR_OBS_GAUGE("serve.pending", batcher_.pending());
   CLEAR_OBS_GAUGE("serve.sessions", sessions_.size());
+  maybe_compact();
 }
 
 void Server::flush_due(std::uint64_t now_us) {
@@ -526,6 +531,7 @@ void Server::execute(std::vector<Batch> batches) {
     }
   }
   CLEAR_OBS_GAUGE("serve.pending", batcher_.pending());
+  maybe_compact();
 }
 
 void Server::open_journal() {
@@ -549,10 +555,18 @@ void Server::journal_append(JournalRecord record) {
     counters_.journal_bytes += bytes;
     CLEAR_OBS_COUNT("serve.journal.records", 1);
     CLEAR_OBS_COUNT("serve.journal.bytes", bytes);
-    if (journal_->due_for_snapshot()) snapshot_now();
   } catch (const Error& e) {
     journal_disable(e, "append");
   }
+}
+
+void Server::maybe_compact() {
+  // Quiescent-point compaction only: an append-time snapshot would stamp
+  // `last_seq` at a record whose session/counter effects are still being
+  // applied (kRequest's quality tick, kPredict's ok count land after the
+  // append), and replay — which skips records at or below last_seq — would
+  // silently lose them.
+  if (journal_ && journal_->due_for_snapshot()) snapshot_now();
 }
 
 void Server::snapshot_now() {

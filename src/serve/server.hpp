@@ -175,16 +175,24 @@ class Server {
   void flush_due(std::uint64_t now_us);
   void execute(std::vector<Batch> batches);
   BatchKey route_for(const Session& session) const;
+  /// `admitted` is false only for table-full sheds, where the request was
+  /// turned away before its kRequest record was journaled — the kShed
+  /// record then carries the request count for replay.
   void shed(const ServeRequest& request, const BatchKey& route,
-            Session* session, const std::string& why);
+            Session* session, const std::string& why, bool admitted = true);
   /// Fine-tune `session`'s personal model from its labelled buffer.
   void personalize(Session& session);
   std::unique_ptr<edge::EdgeEngine> build_engine(const std::string& blob,
                                                  edge::Precision precision);
-  /// Append one record, auto-snapshotting when due. Never throws: a journal
-  /// failure warns, counts serve.journal.io_errors, and disables journaling
-  /// — the serving path must survive a full disk.
+  /// Append one record. Never throws: a journal failure warns, counts
+  /// serve.journal.io_errors, and disables journaling — the serving path
+  /// must survive a full disk.
   void journal_append(JournalRecord record);
+  /// Compact (snapshot + truncate) when due. Called only at quiescent
+  /// points — after submit()/execute() fully applied every appended
+  /// record's effects — never from inside journal_append, where a snapshot
+  /// would stamp a half-applied record as covered and replay would skip it.
+  void maybe_compact();
   void journal_disable(const Error& e, const char* what);
   SnapshotData make_snapshot(std::uint64_t last_seq) const;
 

@@ -94,6 +94,14 @@ TEST_F(JournalTest, EveryRecordTypeRoundTrips) {
     JournalRecord r;
     r.type = RecordType::kShed;
     r.user_id = 9;
+    r.shed_charged = true;
+    written.push_back(r);
+  }
+  {
+    JournalRecord r;
+    r.type = RecordType::kShed;
+    r.user_id = 10;
+    r.shed_unadmitted = true;  // Table-full: no session, counts a request.
     written.push_back(r);
   }
   {
@@ -128,6 +136,8 @@ TEST_F(JournalTest, EveryRecordTypeRoundTrips) {
     EXPECT_EQ(b.label, a.label) << "record " << i;
     EXPECT_EQ(b.ckpt_bytes, a.ckpt_bytes) << "record " << i;
     EXPECT_EQ(b.ckpt_crc, a.ckpt_crc) << "record " << i;
+    EXPECT_EQ(b.shed_charged, a.shed_charged) << "record " << i;
+    EXPECT_EQ(b.shed_unadmitted, a.shed_unadmitted) << "record " << i;
     ASSERT_EQ(b.map.flat().size(), a.map.flat().size()) << "record " << i;
     for (std::size_t j = 0; j < a.map.flat().size(); ++j)
       EXPECT_EQ(b.map.flat()[j], a.map.flat()[j])

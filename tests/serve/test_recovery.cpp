@@ -239,6 +239,105 @@ TEST_F(RecoveryTest, RecoversFromSnapshotPlusJournalTail) {
     EXPECT_EQ(r.status, ServeResult::Status::kOk);
 }
 
+// Regression: compaction used to fire from inside journal_append, so a
+// snapshot boundary landing on a kRequest (appended before its quality tick)
+// or kPredict (appended before ++ok) stamped a half-applied record as
+// covered and replay lost its effects. With snapshot_every=1 every record is
+// a boundary, so any such split shows up as counter or streak drift.
+TEST_F(RecoveryTest, SnapshotOnEveryRecordNeverSplitsARecordsEffects) {
+  auto& f = fixture();
+  ServeConfig sc = journaled_config(dir);
+  sc.journal.snapshot_every = 1;
+  ServeCounters crashed;
+  {
+    Server server(f.source, sc);
+    server.open_journal();
+    std::vector<ServeRequest> stream = phase1();
+    // A low-quality burst drives user 3 into DEGRADED — quality streaks are
+    // exactly the state an append-time snapshot used to lose.
+    stream.push_back(req(3, 1, 3300, std::nullopt, 0.1));
+    stream.push_back(req(3, 2, 3400, std::nullopt, 0.1));
+    stream.push_back(req(3, 3, 3500, std::nullopt, 0.1));
+    server.run(stream);
+    crashed = server.counters();
+    EXPECT_EQ(crashed.degraded, 1u);
+  }
+  Server restored(f.source, sc);
+  const RecoveryReport report = restored.recover();
+  EXPECT_TRUE(report.clean()) << report.str();
+  EXPECT_EQ(restored.counters().requests, crashed.requests);
+  EXPECT_EQ(restored.counters().ok, crashed.ok);
+  EXPECT_EQ(restored.counters().degraded, crashed.degraded);
+  EXPECT_EQ(restored.counters().recovered, crashed.recovered);
+  for (const Session* s : restored.sessions().sessions()) {
+    if (s->user_id() == 3) {
+      EXPECT_TRUE(s->degraded());
+    }
+  }
+}
+
+// Regression: table-full sheds used to write no journal record, so the
+// recovered requests/shed counters read lower than the crashed process's.
+TEST_F(RecoveryTest, TableFullShedsSurviveRecovery) {
+  auto& f = fixture();
+  ServeConfig tiny = journaled_config(dir);
+  tiny.max_sessions = 2;  // Users 1 and 2 seat; user 3 is turned away.
+  const ServeCounters crashed = crash_after_phase1(tiny);
+  EXPECT_EQ(crashed.shed, 1u);
+
+  Server restored(f.source, tiny);
+  const RecoveryReport report = restored.recover();
+  EXPECT_TRUE(report.clean()) << report.str();
+  EXPECT_EQ(report.sessions, 2u);
+  EXPECT_EQ(restored.counters().requests, crashed.requests);
+  EXPECT_EQ(restored.counters().shed, crashed.shed);
+}
+
+// Regression: with a corrupt snapshot, replayed kRequest records used to
+// recreate snapshot-resident sessions as fresh COLD ones via get_or_create;
+// later records then applied cleanly on top of silently wrong state. Every
+// session first seen via replay must be quarantined instead.
+TEST_F(RecoveryTest, CorruptSnapshotQuarantinesEverySessionSeenInReplay) {
+  auto& f = fixture();
+  {
+    Server server(f.source, journaled_config(dir));
+    server.open_journal();
+    server.run(phase1());
+    server.snapshot_now();
+    server.run(phase2());  // Journal tail names users 1, 2, and 3.
+  }
+  // Flip one payload byte: the snapshot fails its CRC on read.
+  std::fstream snap(snapshot_path(dir),
+                    std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(snap.good());
+  char byte = 0;
+  snap.seekg(24);
+  snap.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x01);
+  snap.seekp(24);
+  snap.write(&byte, 1);
+  snap.close();
+
+  Server restored(f.source, journaled_config(dir));
+  const RecoveryReport report = restored.recover();
+  EXPECT_TRUE(report.snapshot_corrupt);
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(report.records_replayed, 0u);  // Nothing silently restored...
+  EXPECT_EQ(report.sessions, 0u);
+  EXPECT_EQ(report.session_fallbacks, 3u);  // ...everyone quarantined.
+  EXPECT_GT(report.records_skipped, 0u);
+
+  // Quarantined users restart COLD on next contact and keep being served.
+  std::vector<ServeRequest> next;
+  next.push_back(req(1, 6, 6000));
+  next.push_back(req(2, 6, 6100));
+  const std::vector<ServeResult> tail = restored.run(next);
+  ASSERT_EQ(tail.size(), 2u);
+  for (const ServeResult& r : tail)
+    EXPECT_EQ(r.status, ServeResult::Status::kOk);
+  EXPECT_EQ(restored.sessions().sessions().size(), 2u);
+}
+
 TEST_F(RecoveryTest, CorruptPersonalCheckpointDemotesOnlyThatSession) {
   auto& f = fixture();
   crash_after_phase1(journaled_config(dir));
