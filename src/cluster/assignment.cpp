@@ -18,6 +18,33 @@ double sub_centroid_score(const Point& x, const ClusterModel& model) {
   return total / static_cast<double>(model.sub_centroids.size());
 }
 
+/// Reject clusters a strategy cannot score before any reduction runs. A
+/// cluster with no sub-centroids (possible after a pathological k-means
+/// split) would otherwise leave kObservationVote's nearest-distance at
+/// numeric_limits::max() and silently skew the vote; an empty main centroid
+/// would make kFlatCentroid compare distances of mismatched dimension.
+void check_clusters_scorable(const GlobalClusteringResult& clustering,
+                             AssignStrategy strategy) {
+  for (std::size_t c = 0; c < clustering.clusters.size(); ++c) {
+    const ClusterModel& model = clustering.clusters[c];
+    switch (strategy) {
+      case AssignStrategy::kSubCentroidSum:
+      case AssignStrategy::kObservationVote:
+        CLEAR_CHECK_MSG(!model.sub_centroids.empty(),
+                        "cluster " << c
+                                   << " has no sub-centroids; refit global "
+                                      "clustering before assigning users");
+        break;
+      case AssignStrategy::kFlatCentroid:
+        CLEAR_CHECK_MSG(!model.centroid.empty(),
+                        "cluster " << c
+                                   << " has an empty centroid; refit global "
+                                      "clustering before assigning users");
+        break;
+    }
+  }
+}
+
 }  // namespace
 
 AssignmentResult assign_new_user(const std::vector<Point>& observations,
@@ -28,6 +55,7 @@ AssignmentResult assign_new_user(const std::vector<Point>& observations,
   CLEAR_OBS_COUNT("assign.observations", observations.size());
   CLEAR_CHECK_MSG(!observations.empty(), "new user has no observations");
   CLEAR_CHECK_MSG(!clustering.clusters.empty(), "clustering has no clusters");
+  check_clusters_scorable(clustering, strategy);
   // A single NaN would poison every centroid distance and silently send the
   // user to cluster 0; reject the observation set up front instead.
   for (std::size_t i = 0; i < observations.size(); ++i)

@@ -175,7 +175,12 @@ Histogram::Histogram()
           -std::numeric_limits<double>::infinity())) {}
 
 std::size_t Histogram::bucket_index(double v) {
-  if (!(v >= 1.0)) return 0;  // <1, negative, and NaN all land in bucket 0
+  // Pinned degenerate mapping (never ilogb, whose result for 0/inf/NaN is
+  // implementation-defined): zero, negatives, -inf, and NaN underflow to
+  // bucket 0; +inf saturates into the top bucket.
+  if (std::isnan(v)) return 0;
+  if (!(v >= 1.0)) return 0;  // <1, negative, and -inf land in bucket 0
+  if (std::isinf(v)) return kBuckets - 1;
   const int e = std::ilogb(v);  // floor(log2(v)) for finite v >= 1
   const std::size_t b = static_cast<std::size_t>(e) + 1;
   return b < kBuckets ? b : kBuckets - 1;
@@ -187,9 +192,14 @@ double Histogram::bucket_limit(std::size_t b) {
 
 void Histogram::record(double v) {
   count_.fetch_add(1, std::memory_order_relaxed);
-  atomic_add_double(sum_bits_, v);
-  atomic_min_double(min_bits_, v);
-  atomic_max_double(max_bits_, v);
+  // Only finite values fold into the summary statistics: a single NaN would
+  // poison the CAS-accumulated sum forever, and ±inf would wedge min/max at
+  // sentinels no finite sample could ever displace.
+  if (std::isfinite(v)) {
+    atomic_add_double(sum_bits_, v);
+    atomic_min_double(min_bits_, v);
+    atomic_max_double(max_bits_, v);
+  }
   buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
 }
 

@@ -86,6 +86,13 @@ class Gauge {
 /// [2^(b-1), 2^b) with bucket 0 catching everything below 1.0 — the layout
 /// is a pure function of the value, never of the data seen so far, so two
 /// runs that record the same values produce identical bucket vectors.
+///
+/// Degenerate inputs are pinned rather than left to libm edge cases: zero,
+/// negatives, -inf, and NaN land in the underflow bucket 0; +inf lands in
+/// the top bucket. Non-finite values still bump count and a bucket but are
+/// excluded from sum/min/max, so one bad sample can never poison the
+/// summary statistics of a raw-measurement histogram (the drift monitor
+/// records unclamped distance ratios here).
 class Histogram {
  public:
   static constexpr std::size_t kBuckets = 48;

@@ -82,11 +82,21 @@ WireRequest make_request(const LoadgenConfig& config, std::size_t index,
   if (fault::uniform01(lh) < config.label_fraction)
     request.label = static_cast<int>((lh >> 33) & 1);
   request.map = Tensor({config.features, config.window});
+  // Distribution drift: past the onset index a drifting user's maps shift
+  // by a constant offset. A pure function of the absolute index, like every
+  // other per-request quantity, so --start-index resumption reproduces the
+  // exact same drifted stream.
+  const float shift = (config.drift_users > 0 &&
+                       request.user_id < config.drift_users &&
+                       config.drift_after_index > 0 &&
+                       index >= config.drift_after_index)
+                          ? static_cast<float>(config.drift_shift)
+                          : 0.0f;
   auto flat = request.map.flat();
   for (std::size_t i = 0; i < flat.size(); ++i) {
     const std::uint64_t h =
         fault::mix(config.seed ^ request.user_id, kKindMap, index, i);
-    flat[i] = static_cast<float>(fault::uniform01(h) * 2.0 - 1.0);
+    flat[i] = static_cast<float>(fault::uniform01(h) * 2.0 - 1.0) + shift;
   }
   return request;
 }

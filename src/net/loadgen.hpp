@@ -44,6 +44,16 @@ struct LoadgenConfig {
   /// requests) of a start_index = 0 run would have sent — the chaos gate
   /// resumes an interrupted stream this way after killing the server.
   std::size_t start_index = 0;
+  // -- Distribution drift (drives the serve-side drift monitor) -------------
+  /// User ids below this drift: past drift_after_index their maps shift by
+  /// a constant offset, so the cluster they were assigned to stops fitting.
+  /// 0 disables drift entirely.
+  std::size_t drift_users = 0;
+  /// Absolute request index at which drifting users' maps start shifting —
+  /// a pure function of the absolute index, so --start-index resumption
+  /// reproduces the exact same drifted stream.
+  std::size_t drift_after_index = 0;
+  double drift_shift = 1.5;  ///< Additive offset applied to every sample.
   /// When non-empty, write one line per received response (sorted by
   /// request id, deterministic fields only: id, user, shed, prediction,
   /// probability bits, route) for bit-identity comparison across runs.

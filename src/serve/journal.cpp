@@ -21,10 +21,16 @@ namespace fs = std::filesystem;
 
 namespace {
 
-// 8-byte file magics; the trailing digit is the on-disk format version echo.
-constexpr char kJournalMagic[8] = {'C', 'L', 'R', 'W', 'A', 'L', '0', '1'};
-constexpr char kSnapshotMagic[8] = {'C', 'L', 'R', 'S', 'N', 'P', '0', '1'};
-constexpr std::uint64_t kFormatVersion = 1;
+// 8-byte file magics; the trailing digits are the on-disk format version
+// echo. v2 ("CLRWAL02"/"CLRSNP02") added the online-adaptation record kinds
+// and session/counter fields; v1 files are still read (their drift fields
+// default to zero), while a v1 reader refuses a v2 file wholesale at the
+// header — which is exactly how pre-v2 binaries fail cleanly on the new
+// record kinds.
+constexpr char kJournalMagicPrefix[6] = {'C', 'L', 'R', 'W', 'A', 'L'};
+constexpr char kSnapshotMagicPrefix[6] = {'C', 'L', 'R', 'S', 'N', 'P'};
+constexpr std::uint64_t kFormatVersion = kJournalFormatVersion;
+constexpr std::uint64_t kMinFormatVersion = kJournalMinFormatVersion;
 /// Sanity cap on one record's payload: a labelled 17x6 map is ~500 bytes,
 /// so anything near this is a corrupt length field, not a real record.
 constexpr std::uint32_t kMaxRecordBytes = 16u << 20;
@@ -57,10 +63,15 @@ cluster::Point read_point(std::istream& is) {
   return p;
 }
 
-SessionState read_state(std::istream& is) {
+SessionState read_state(std::istream& is, std::uint64_t version) {
   const std::uint64_t raw = io::read_u64(is);
-  CLEAR_CHECK_MSG(raw <= static_cast<std::uint64_t>(SessionState::kDegraded),
-                  "invalid session state " << raw << " on disk");
+  // v1 predates the adaptation states, so 6/7 in a v1 file is corruption.
+  const std::uint64_t bound = static_cast<std::uint64_t>(
+      version >= 2 ? SessionState::kShadowing : SessionState::kDegraded);
+  CLEAR_CHECK_MSG(raw <= bound, "invalid session state " << raw
+                                                         << " in a v"
+                                                         << version
+                                                         << " file");
   return static_cast<SessionState>(raw);
 }
 
@@ -99,6 +110,24 @@ std::string encode_record(const JournalRecord& r) {
     case RecordType::kPredict:
       io::write_u64(os, r.time_us);
       break;
+    case RecordType::kDriftTick:
+      io::write_u64(os, r.drifting ? 1u : 0u);
+      break;
+    case RecordType::kReassessObs:
+      write_point(os, r.point);
+      break;
+    case RecordType::kReassign:
+    case RecordType::kPromote:
+      io::write_u64(os, r.cluster);
+      break;
+    case RecordType::kShadowTick:
+      io::write_u64(os, r.shadow_won ? 1u : 0u);
+      break;
+    case RecordType::kDemote:
+      break;
+    case RecordType::kUnknown:
+      CLEAR_CHECK_MSG(false, "kUnknown is a read-side sentinel, never written");
+      break;
   }
   return os.str();
 }
@@ -108,9 +137,17 @@ JournalRecord decode_record(const std::string& payload) {
   JournalRecord r;
   r.seq = io::read_u64(is);
   const std::uint64_t type = io::read_u64(is);
-  CLEAR_CHECK_MSG(type >= 1 &&
-                      type <= static_cast<std::uint64_t>(RecordType::kPredict),
-                  "unknown journal record type " << type);
+  if (type < 1 || type > static_cast<std::uint64_t>(RecordType::kDemote)) {
+    // A CRC-intact frame of a kind this reader does not know (written by a
+    // newer format). The (seq, type, user_id) prefix is stable across
+    // versions, so the session it names can be quarantined — keep reading
+    // rather than distrusting every record after it.
+    r.type = RecordType::kUnknown;
+    r.raw_kind = type;
+    r.user_id = io::read_u64(is);
+    CLEAR_CHECK_MSG(is.good(), "truncated journal record payload");
+    return r;
+  }
   r.type = static_cast<RecordType>(type);
   r.user_id = io::read_u64(is);
   switch (r.type) {
@@ -144,6 +181,23 @@ JournalRecord decode_record(const std::string& payload) {
     case RecordType::kPredict:
       r.time_us = io::read_u64(is);
       break;
+    case RecordType::kDriftTick:
+      r.drifting = io::read_u64(is) != 0;
+      break;
+    case RecordType::kReassessObs:
+      r.point = read_point(is);
+      break;
+    case RecordType::kReassign:
+    case RecordType::kPromote:
+      r.cluster = io::read_u64(is);
+      break;
+    case RecordType::kShadowTick:
+      r.shadow_won = io::read_u64(is) != 0;
+      break;
+    case RecordType::kDemote:
+      break;
+    case RecordType::kUnknown:
+      break;  // Handled above; unreachable.
   }
   CLEAR_CHECK_MSG(is.good(), "truncated journal record payload");
   return r;
@@ -172,13 +226,19 @@ void write_image(std::ostream& os, const SessionImage& img) {
   io::write_u64(os, img.first_prediction_us.has_value() ? 1 : 0);
   io::write_u64(os, img.first_prediction_us.value_or(0));
   io::write_u64(os, img.has_personal ? 1 : 0);
+  // v2: online-adaptation bookkeeping.
+  io::write_u64(os, img.drift_streak);
+  io::write_u64(os, static_cast<std::uint64_t>(img.reassess_from));
+  io::write_u64(os, img.candidate_cluster);
+  io::write_u64(os, img.shadow_wins);
+  io::write_u64(os, img.shadow_seen);
 }
 
-SessionImage read_image(std::istream& is) {
+SessionImage read_image(std::istream& is, std::uint64_t version) {
   SessionImage img;
   img.user_id = io::read_u64(is);
-  img.state = read_state(is);
-  img.saved_state = read_state(is);
+  img.state = read_state(is, version);
+  img.saved_state = read_state(is, version);
   img.bad_streak = io::read_u64(is);
   img.good_streak = io::read_u64(is);
   img.cluster = io::read_u64(is);
@@ -205,6 +265,13 @@ SessionImage read_image(std::istream& is) {
   const std::uint64_t first_pred = io::read_u64(is);
   if (has_first_pred) img.first_prediction_us = first_pred;
   img.has_personal = io::read_u64(is) != 0;
+  if (version >= 2) {
+    img.drift_streak = io::read_u64(is);
+    img.reassess_from = read_state(is, version);
+    img.candidate_cluster = io::read_u64(is);
+    img.shadow_wins = io::read_u64(is);
+    img.shadow_seen = io::read_u64(is);
+  }
   return img;
 }
 
@@ -221,12 +288,21 @@ std::string encode_snapshot(const SnapshotData& data) {
   io::write_u64(os, data.counters.sanitized);
   io::write_u64(os, data.counters.degraded);
   io::write_u64(os, data.counters.recovered);
+  // v2: online-adaptation counters.
+  io::write_u64(os, data.counters.drift_ticks);
+  io::write_u64(os, data.counters.drift_detected);
+  io::write_u64(os, data.counters.reassessments);
+  io::write_u64(os, data.counters.drift_false_alarms);
+  io::write_u64(os, data.counters.shadow_ticks);
+  io::write_u64(os, data.counters.promotions);
+  io::write_u64(os, data.counters.demotions);
   io::write_u64(os, data.sessions.size());
   for (const SessionImage& img : data.sessions) write_image(os, img);
   return os.str();
 }
 
-SnapshotData decode_snapshot(const std::string& payload) {
+SnapshotData decode_snapshot(const std::string& payload,
+                             std::uint64_t version) {
   std::istringstream is(payload, std::ios::binary);
   SnapshotData data;
   data.last_seq = io::read_u64(is);
@@ -240,11 +316,20 @@ SnapshotData decode_snapshot(const std::string& payload) {
   data.counters.sanitized = io::read_u64(is);
   data.counters.degraded = io::read_u64(is);
   data.counters.recovered = io::read_u64(is);
+  if (version >= 2) {
+    data.counters.drift_ticks = io::read_u64(is);
+    data.counters.drift_detected = io::read_u64(is);
+    data.counters.reassessments = io::read_u64(is);
+    data.counters.drift_false_alarms = io::read_u64(is);
+    data.counters.shadow_ticks = io::read_u64(is);
+    data.counters.promotions = io::read_u64(is);
+    data.counters.demotions = io::read_u64(is);
+  }
   const std::uint64_t n = io::read_u64(is);
   CLEAR_CHECK_MSG(n < (1u << 24), "implausible snapshot session count");
   data.sessions.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i)
-    data.sessions.push_back(read_image(is));
+    data.sessions.push_back(read_image(is, version));
   CLEAR_CHECK_MSG(is.good(), "truncated snapshot payload");
   return data;
 }
@@ -311,9 +396,17 @@ std::string read_file_bytes(const std::string& path) {
                      std::istreambuf_iterator<char>());
 }
 
-std::string header_bytes() {
-  std::string h(kJournalMagic, sizeof(kJournalMagic));
-  put_u32(h, static_cast<std::uint32_t>(kFormatVersion));
+/// The 8-byte magic for a format version: 6-byte prefix + 2 ASCII digits.
+std::string magic_bytes(const char (&prefix)[6], std::uint64_t version) {
+  std::string m(prefix, sizeof(prefix));
+  m.push_back(static_cast<char>('0' + (version / 10) % 10));
+  m.push_back(static_cast<char>('0' + version % 10));
+  return m;
+}
+
+std::string header_bytes(std::uint64_t version) {
+  std::string h = magic_bytes(kJournalMagicPrefix, version);
+  put_u32(h, static_cast<std::uint32_t>(version));
   put_u32(h, 0);  // Reserved; keeps the header at 16 bytes.
   return h;
 }
@@ -322,6 +415,7 @@ std::string header_bytes() {
 
 const char* record_type_name(RecordType t) {
   switch (t) {
+    case RecordType::kUnknown: return "unknown";
     case RecordType::kRequest: return "request";
     case RecordType::kObservation: return "observation";
     case RecordType::kAssign: return "assign";
@@ -330,6 +424,12 @@ const char* record_type_name(RecordType t) {
     case RecordType::kFinetuneAbort: return "finetune_abort";
     case RecordType::kShed: return "shed";
     case RecordType::kPredict: return "predict";
+    case RecordType::kDriftTick: return "drift_tick";
+    case RecordType::kReassessObs: return "reassess_obs";
+    case RecordType::kReassign: return "reassign";
+    case RecordType::kShadowTick: return "shadow_tick";
+    case RecordType::kPromote: return "promote";
+    case RecordType::kDemote: return "demote";
   }
   return "?";
 }
@@ -377,7 +477,7 @@ void Journal::open_truncated() {
   CLEAR_CHECK_MSG(fd_ >= 0, "cannot open " << journal_log_path(
                                                   config_.directory)
                                            << ": " << std::strerror(errno));
-  const std::string header = header_bytes();
+  const std::string header = header_bytes(kFormatVersion);
   write_all(fd_, header.data(), header.size(), "journal header write");
   since_snapshot_ = 0;
 }
@@ -430,7 +530,7 @@ bool Journal::due_for_snapshot() const {
 void write_snapshot_file(const std::string& directory,
                          const SnapshotData& data, bool do_fsync) {
   const std::string payload = encode_snapshot(data);
-  std::string bytes(kSnapshotMagic, sizeof(kSnapshotMagic));
+  std::string bytes = magic_bytes(kSnapshotMagicPrefix, kFormatVersion);
   put_u32(bytes, static_cast<std::uint32_t>(kFormatVersion));
   put_u32(bytes, static_cast<std::uint32_t>(payload.size()));
   put_u32(bytes, crc32(payload));
@@ -443,26 +543,32 @@ std::optional<SnapshotData> read_snapshot(const std::string& directory) {
   std::error_code ec;
   if (!fs::exists(path, ec)) return std::nullopt;
   const std::string bytes = read_file_bytes(path);
-  CLEAR_CHECK_MSG(bytes.size() >= sizeof(kSnapshotMagic) + 12,
+  constexpr std::size_t kMagicLen = 8;
+  CLEAR_CHECK_MSG(bytes.size() >= kMagicLen + 12,
                   "snapshot " << path << " is truncated");
-  CLEAR_CHECK_MSG(
-      std::memcmp(bytes.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) == 0,
-      "snapshot " << path << " has a bad magic");
+  CLEAR_CHECK_MSG(std::memcmp(bytes.data(), kSnapshotMagicPrefix,
+                              sizeof(kSnapshotMagicPrefix)) == 0,
+                  "snapshot " << path << " has a bad magic");
   const unsigned char* p =
-      reinterpret_cast<const unsigned char*>(bytes.data()) +
-      sizeof(kSnapshotMagic);
+      reinterpret_cast<const unsigned char*>(bytes.data()) + kMagicLen;
   const std::uint32_t version = get_u32(p);
-  CLEAR_CHECK_MSG(version == kFormatVersion,
-                  "snapshot " << path << " has unsupported version "
-                              << version);
+  CLEAR_CHECK_MSG(version >= kMinFormatVersion && version <= kFormatVersion,
+                  "snapshot " << path << " has unsupported format version "
+                              << version << " (this reader supports v"
+                              << kMinFormatVersion << "-v" << kFormatVersion
+                              << ")");
+  CLEAR_CHECK_MSG(
+      bytes.compare(0, kMagicLen,
+                    magic_bytes(kSnapshotMagicPrefix, version)) == 0,
+      "snapshot " << path << " has a bad magic");
   const std::uint32_t len = get_u32(p + 4);
   const std::uint32_t crc = get_u32(p + 8);
-  CLEAR_CHECK_MSG(bytes.size() == sizeof(kSnapshotMagic) + 12 + len,
+  CLEAR_CHECK_MSG(bytes.size() == kMagicLen + 12 + len,
                   "snapshot " << path << " length mismatch");
-  const std::string payload = bytes.substr(sizeof(kSnapshotMagic) + 12);
+  const std::string payload = bytes.substr(kMagicLen + 12);
   CLEAR_CHECK_MSG(crc32(payload) == crc,
                   "snapshot " << path << " failed its CRC check");
-  return decode_snapshot(payload);
+  return decode_snapshot(payload, version);
 }
 
 JournalReadResult read_journal(const std::string& directory) {
@@ -474,15 +580,32 @@ JournalReadResult read_journal(const std::string& directory) {
     return result;
   }
   const std::string bytes = read_file_bytes(path);
-  const std::string header = header_bytes();
-  if (bytes.size() < header.size() ||
-      std::memcmp(bytes.data(), header.data(), header.size()) != 0) {
+  const auto* raw = reinterpret_cast<const unsigned char*>(bytes.data());
+  constexpr std::size_t kHeaderLen = 16;
+  if (bytes.size() < kHeaderLen ||
+      std::memcmp(bytes.data(), kJournalMagicPrefix,
+                  sizeof(kJournalMagicPrefix)) != 0) {
     // A bad header means nothing in the file can be trusted.
     result.tail_bytes_dropped = bytes.size();
     return result;
   }
-  std::size_t off = header.size();
-  const auto* raw = reinterpret_cast<const unsigned char*>(bytes.data());
+  const std::uint32_t version = get_u32(raw + 8);
+  if (version < kMinFormatVersion || version > kFormatVersion) {
+    // A future format: the framing itself may have changed, so the whole
+    // file is untrusted — the versioned refusal a v1 reader gives v2 logs.
+    std::ostringstream os;
+    os << "journal.log has unsupported format version " << version
+       << " (this reader supports v" << kMinFormatVersion << "-v"
+       << kFormatVersion << "); refusing the whole file";
+    result.header_error = os.str();
+    result.tail_bytes_dropped = bytes.size();
+    return result;
+  }
+  if (bytes.compare(0, 16, header_bytes(version)) != 0) {
+    result.tail_bytes_dropped = bytes.size();  // Magic/version echo mismatch.
+    return result;
+  }
+  std::size_t off = kHeaderLen;
   while (off < bytes.size()) {
     if (bytes.size() - off < 8) break;  // Torn frame header.
     const std::uint32_t len = get_u32(raw + off);
@@ -491,7 +614,9 @@ JournalReadResult read_journal(const std::string& directory) {
     const std::string payload = bytes.substr(off + 8, len);
     if (crc32(payload) != crc) break;
     try {
-      result.records.push_back(decode_record(payload));
+      JournalRecord rec = decode_record(payload);
+      rec.file_offset = off;
+      result.records.push_back(std::move(rec));
     } catch (const Error&) {
       break;  // Intact CRC but undecodable: treat like any corrupt tail.
     }

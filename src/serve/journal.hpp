@@ -14,9 +14,10 @@
 //
 // Disk layout under the journal directory:
 //
-//   journal.log       append-only WAL: 16-byte header (magic + version),
-//                     then CRC-framed records `[u32 len][u32 crc][payload]`
-//                     with monotonically increasing sequence numbers.
+//   journal.log       append-only WAL: 16-byte header (magic "CLRWAL02" +
+//                     version), then CRC-framed records
+//                     `[u32 len][u32 crc][payload]` with monotonically
+//                     increasing sequence numbers. v1 logs are still read.
 //   snapshot.snap     atomic (temp + rename) image of the whole session
 //                     table, CRC-checked, stamped with the last journal
 //                     sequence number it folds in.
@@ -43,6 +44,12 @@
 
 namespace clear::serve {
 
+/// On-disk format version this build writes ("CLRWAL02"/"CLRSNP02"); readers
+/// accept kJournalMinFormatVersion through this and refuse anything newer at
+/// the header (see JournalReadResult::header_error).
+inline constexpr std::uint64_t kJournalFormatVersion = 2;
+inline constexpr std::uint64_t kJournalMinFormatVersion = 1;
+
 struct JournalConfig {
   /// Journal directory; empty disables journaling entirely.
   std::string directory;
@@ -57,6 +64,11 @@ struct JournalConfig {
 /// One session-mutating event. Replay applies the recorded outcome with the
 /// same Session mutators the live path used, in the same order.
 enum class RecordType : std::uint8_t {
+  /// Read-side sentinel for a CRC-intact record whose kind this reader does
+  /// not know (written by a newer format). Never written; recovery
+  /// quarantines the session the record names instead of distrusting the
+  /// whole journal. raw_kind/file_offset carry the diagnostics.
+  kUnknown = 0,
   kRequest = 1,        ///< Admission + quality tick (may degrade/recover).
   kObservation = 2,    ///< Unlabeled window buffered for CA.
   kAssign = 3,         ///< CA verdict: session -> cluster.
@@ -65,6 +77,13 @@ enum class RecordType : std::uint8_t {
   kFinetuneAbort = 6,  ///< Fine-tune failed; retries disabled.
   kShed = 7,           ///< Admission-control shed (see the shed_* flags).
   kPredict = 8,        ///< One completed prediction.
+  // Online adaptation (format v2, "CLRWAL02"):
+  kDriftTick = 9,      ///< One monitored window's drift verdict.
+  kReassessObs = 10,   ///< Window buffered for re-assessment.
+  kReassign = 11,      ///< Re-assessment CA verdict (candidate cluster).
+  kShadowTick = 12,    ///< One shadow window scored (candidate won/lost).
+  kPromote = 13,       ///< Shadow won; candidate becomes the assignment.
+  kDemote = 14,        ///< Shadow lost; back to the incumbent state.
 };
 
 const char* record_type_name(RecordType t);
@@ -89,6 +108,11 @@ struct JournalRecord {
   /// kRequest record (session table full), so replay counts the request
   /// here — without this the recovered requests/shed counters drift.
   bool shed_unadmitted = false;
+  bool drifting = false;    ///< kDriftTick: this window counted as drifting.
+  bool shadow_won = false;  ///< kShadowTick: the candidate won this window.
+  // Read-side diagnostics (never serialized):
+  std::uint64_t raw_kind = 0;     ///< On-disk kind byte (kUnknown records).
+  std::uint64_t file_offset = 0;  ///< Frame offset of this record in the log.
 };
 
 /// The deterministic run counters a snapshot persists (the per-process
@@ -103,6 +127,14 @@ struct SnapshotCounters {
   std::uint64_t sanitized = 0;
   std::uint64_t degraded = 0;
   std::uint64_t recovered = 0;
+  // Online adaptation (format v2; zero when read from a v1 snapshot).
+  std::uint64_t drift_ticks = 0;
+  std::uint64_t drift_detected = 0;
+  std::uint64_t reassessments = 0;
+  std::uint64_t drift_false_alarms = 0;
+  std::uint64_t shadow_ticks = 0;
+  std::uint64_t promotions = 0;
+  std::uint64_t demotions = 0;
 };
 
 /// A full image of the session table at one journal position.
@@ -181,10 +213,18 @@ struct JournalReadResult {
   /// trusted.
   std::uint64_t tail_bytes_dropped = 0;
   bool missing = false;  ///< No journal.log at all (a fresh directory).
+  /// Non-empty when the header names a format version this reader does not
+  /// support (newer than v2): the whole file is untrusted, exactly how a
+  /// pre-v2 reader fails cleanly on a v2 journal. Distinct from kUnknown
+  /// records, which quarantine one session inside a *supported* version.
+  std::string header_error;
 };
 
 /// Read every intact record. Never throws for corruption — a damaged tail
-/// is an expected crash artifact, reported in the result instead.
+/// is an expected crash artifact, reported in the result instead. Accepts
+/// format v1 ("CLRWAL01") and v2 ("CLRWAL02") logs; CRC-intact records with
+/// an unrecognized kind come back as RecordType::kUnknown (raw_kind +
+/// file_offset set) and reading continues past them.
 JournalReadResult read_journal(const std::string& directory);
 
 /// nullopt when snapshot.snap does not exist; throws clear::Error when it

@@ -40,6 +40,9 @@ std::string RecoveryReport::str() const {
   os << "\n  sessions: " << sessions << " restored, " << personalized << "/"
      << personalized_expected << " personalized re-attached, "
      << session_fallbacks << " fell back";
+  os << "\n  adaptation: " << reassessing << " re-assessing, " << shadowing
+     << " shadowing restored, " << unknown_kind_records
+     << " unknown-kind records";
   os << "\n  result: " << (clean() ? "CLEAN" : "DEGRADED") << "\n";
   return os.str();
 }
@@ -101,6 +104,13 @@ RecoveryReport Server::recover() {
     counters_.sanitized = snap.counters.sanitized;
     counters_.degraded = snap.counters.degraded;
     counters_.recovered = snap.counters.recovered;
+    counters_.drift_ticks = snap.counters.drift_ticks;
+    counters_.drift_detected = snap.counters.drift_detected;
+    counters_.reassessments = snap.counters.reassessments;
+    counters_.drift_false_alarms = snap.counters.drift_false_alarms;
+    counters_.shadow_ticks = snap.counters.shadow_ticks;
+    counters_.promotions = snap.counters.promotions;
+    counters_.demotions = snap.counters.demotions;
     for (const SessionImage& original : snap.sessions) {
       SessionImage image = original;
       std::unique_ptr<edge::EdgeEngine> engine;
@@ -120,6 +130,10 @@ RecoveryReport Server::recover() {
             image.state = SessionState::kAssigned;
           if (image.saved_state == SessionState::kPersonalized)
             image.saved_state = SessionState::kAssigned;
+          // A session frozen mid-adaptation would otherwise demote back
+          // into PERSONALIZED with no engine behind it.
+          if (image.reassess_from == SessionState::kPersonalized)
+            image.reassess_from = SessionState::kAssigned;
         }
       }
       try {
@@ -218,17 +232,73 @@ RecoveryReport Server::recover() {
         ++counters_.ok;
         break;
       }
+      // Online adaptation: replay re-applies each recorded verdict with the
+      // same Session mutators drift_monitor used, in the same order.
+      case RecordType::kDriftTick: {
+        Session& s = find_session(rec.user_id);
+        ++counters_.drift_ticks;
+        if (s.drift_tick(rec.drifting) == Session::DriftEvent::kTriggered)
+          ++counters_.drift_detected;
+        break;
+      }
+      case RecordType::kReassessObs:
+        find_session(rec.user_id).add_reassess_observation(rec.point);
+        break;
+      case RecordType::kReassign: {
+        Session& s = find_session(rec.user_id);
+        ++counters_.reassessments;
+        if (!s.reassess_verdict(static_cast<std::size_t>(rec.cluster)))
+          ++counters_.drift_false_alarms;
+        break;
+      }
+      case RecordType::kShadowTick:
+        ++counters_.shadow_ticks;
+        find_session(rec.user_id).shadow_tick(rec.shadow_won);
+        break;
+      case RecordType::kPromote: {
+        Session& s = find_session(rec.user_id);
+        // No batches are pending during replay, so the displaced personal
+        // engine (if any) can be dropped outright.
+        s.promote_to_candidate();
+        ++counters_.promotions;
+        break;
+      }
+      case RecordType::kDemote:
+        find_session(rec.user_id).demote_to_incumbent();
+        ++counters_.demotions;
+        break;
+      case RecordType::kUnknown:
+        // Handled before apply() in the replay loop; unreachable here.
+        CLEAR_CHECK_MSG(false, "unknown-kind record reached apply()");
+        break;
     }
   };
 
   const JournalReadResult wal = read_journal(dir);
   report.tail_bytes_dropped = wal.tail_bytes_dropped;
+  if (!wal.header_error.empty())
+    CLEAR_WARN("recovery: " << wal.header_error);
   std::uint64_t max_seq = snap.last_seq;
   for (const JournalRecord& rec : wal.records) {
     max_seq = std::max(max_seq, rec.seq);
     if (rec.seq <= snap.last_seq) continue;  // Folded into the snapshot.
     if (quarantined.count(rec.user_id) != 0) {
       ++report.records_skipped;
+      continue;
+    }
+    if (rec.type == RecordType::kUnknown) {
+      // A CRC-intact record of a kind this binary does not know: a newer
+      // format wrote it, and replaying *around* it would rebuild the
+      // session wrong. Quarantine just that session; the rest of the
+      // journal stays trusted.
+      ++report.unknown_kind_records;
+      ++report.records_skipped;
+      std::ostringstream why;
+      why << "journal format v" << kJournalFormatVersion
+          << " reader: record of unknown kind " << rec.raw_kind
+          << " at journal.log offset " << rec.file_offset
+          << " (written by a newer format?)";
+      quarantine(rec.user_id, why.str());
       continue;
     }
     if (report.snapshot_corrupt && sessions_.find(rec.user_id) == nullptr) {
@@ -255,10 +325,20 @@ RecoveryReport Server::recover() {
     }
   }
 
-  // 3. Tally what came back.
+  // 3. Tally what came back. drift_active_ is derived, not journaled:
+  // recount the sessions restored mid-adaptation so the serve.drift.adapting
+  // gauge resumes exactly where the crashed process left it.
+  drift_active_ = 0;
   for (const Session* s : sessions_.sessions()) {
     ++report.sessions;
     if (s->has_personal_engine()) ++report.personalized;
+    if (s->adapting()) {
+      ++drift_active_;
+      if (s->effective_state() == SessionState::kShadowing)
+        ++report.shadowing;
+      else
+        ++report.reassessing;
+    }
   }
   CLEAR_OBS_COUNT("serve.recovery.sessions", report.sessions);
   CLEAR_OBS_COUNT("serve.recovery.personalized", report.personalized);

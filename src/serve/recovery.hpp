@@ -36,6 +36,13 @@ struct RecoveryReport {
   std::uint64_t personalized = 0;
   /// Sessions the journal/snapshot say *should* be personalized.
   std::uint64_t personalized_expected = 0;
+  /// Sessions restored mid-adaptation (drift monitor; includes sessions
+  /// frozen in one of these states under DEGRADED).
+  std::uint64_t reassessing = 0;
+  std::uint64_t shadowing = 0;
+  /// Records whose kind this binary does not know (written by a newer
+  /// journal format); each quarantines the session it names.
+  std::uint64_t unknown_kind_records = 0;
 
   /// True when nothing was lost: no fallbacks, no corrupt snapshot, and
   /// every expected personalization is serving again.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <limits>
 #include <sstream>
 
@@ -140,7 +141,15 @@ BatchKey Server::route_for(const Session& session) const {
   BatchKey key;
   key.precision = session.precision();
   const bool cluster_ready = session.assigned() && !session.degraded();
-  if (session.state() == SessionState::kPersonalized) {
+  // RE_ASSESSING/SHADOWING serve the *incumbent* engine throughout: a
+  // personalized user keeps their personal model until a promotion commits,
+  // so adaptation is invisible to the user unless it wins.
+  const bool personal_route =
+      session.state() == SessionState::kPersonalized ||
+      ((session.state() == SessionState::kReassessing ||
+        session.state() == SessionState::kShadowing) &&
+       session.has_personal_engine());
+  if (personal_route) {
     key.kind = BatchKey::Kind::kPersonal;
     key.id = static_cast<std::size_t>(session.user_id());
   } else if (cluster_ready) {
@@ -264,6 +273,132 @@ void Server::personalize(Session& session) {
   }
 }
 
+void Server::drift_monitor(Session& session, const Tensor& normalized_map) {
+  // Serial submit-path only: every score is a pure function of the request
+  // stream, so drift decisions are bit-identical at any --threads setting.
+  // With a single cluster there is nowhere to re-assign to.
+  if (source_.n_clusters() < 2) return;
+  const auto score_window = [&]() {
+    return cluster::assign_new_user(
+        {features::feature_map_mean(normalized_map)}, source_.clustering);
+  };
+  switch (session.state()) {
+    case SessionState::kAssigned:
+    case SessionState::kPersonalized: {
+      const cluster::AssignmentResult scored = score_window();
+      const double own = scored.scores[session.cluster()];
+      double best_other = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < scored.scores.size(); ++c)
+        if (c != session.cluster()) best_other = std::min(best_other,
+                                                          scored.scores[c]);
+      const bool drifting =
+          own > config_.session.drift_ratio * best_other;
+      ++counters_.drift_ticks;
+      CLEAR_OBS_COUNT("serve.drift.ticks", 1);
+      // The degenerate best_other == 0 ratio is exactly what the pinned
+      // histogram bucket mapping exists for (+inf folds into the top
+      // bucket; a 0/0 NaN lands in bucket 0).
+      CLEAR_OBS_RECORD("serve.drift.score_ratio", own / best_other);
+      if (journal_) {
+        JournalRecord rec;
+        rec.type = RecordType::kDriftTick;
+        rec.user_id = session.user_id();
+        rec.drifting = drifting;
+        journal_append(std::move(rec));
+      }
+      if (session.drift_tick(drifting) == Session::DriftEvent::kTriggered) {
+        ++counters_.drift_detected;
+        ++drift_active_;
+        CLEAR_OBS_COUNT("serve.drift.detected", 1);
+      }
+      break;
+    }
+    case SessionState::kReassessing: {
+      cluster::Point observation = features::feature_map_mean(normalized_map);
+      session.add_reassess_observation(observation);
+      if (journal_) {
+        JournalRecord rec;
+        rec.type = RecordType::kReassessObs;
+        rec.user_id = session.user_id();
+        rec.point = std::move(observation);
+        journal_append(std::move(rec));
+      }
+      if (session.reassess_ready()) {
+        CLEAR_OBS_SPAN("serve.drift.reassess");
+        const cluster::AssignmentResult verdict = cluster::assign_new_user(
+            session.observations(), source_.clustering);
+        ++counters_.reassessments;
+        CLEAR_OBS_COUNT("serve.drift.reassessments", 1);
+        if (journal_) {
+          // As with cold-start CA, the *verdict* is journaled — replay
+          // installs it without re-running cluster math.
+          JournalRecord rec;
+          rec.type = RecordType::kReassign;
+          rec.user_id = session.user_id();
+          rec.cluster = verdict.cluster;
+          journal_append(std::move(rec));
+        }
+        if (!session.reassess_verdict(verdict.cluster)) {
+          ++counters_.drift_false_alarms;
+          --drift_active_;
+          CLEAR_OBS_COUNT("serve.drift.false_alarms", 1);
+        }
+      }
+      break;
+    }
+    case SessionState::kShadowing: {
+      const cluster::AssignmentResult scored = score_window();
+      const bool candidate_won =
+          scored.scores[session.candidate_cluster()] <
+          scored.scores[session.cluster()];
+      ++counters_.shadow_ticks;
+      CLEAR_OBS_COUNT("serve.drift.shadow_ticks", 1);
+      if (journal_) {
+        JournalRecord rec;
+        rec.type = RecordType::kShadowTick;
+        rec.user_id = session.user_id();
+        rec.shadow_won = candidate_won;
+        journal_append(std::move(rec));
+      }
+      session.shadow_tick(candidate_won);
+      if (session.shadow_done()) {
+        if (session.shadow_promotes()) {
+          if (journal_) {
+            JournalRecord rec;
+            rec.type = RecordType::kPromote;
+            rec.user_id = session.user_id();
+            rec.cluster = session.candidate_cluster();
+            journal_append(std::move(rec));
+          }
+          // Park the displaced personal engine: a pending personal batch
+          // admitted before this promotion still executes on it.
+          if (auto engine = session.release_personal_engine())
+            retired_personal_[session.user_id()] = std::move(engine);
+          session.promote_to_candidate();
+          ++counters_.promotions;
+          --drift_active_;
+          CLEAR_OBS_COUNT("serve.drift.promotions", 1);
+        } else {
+          if (journal_) {
+            JournalRecord rec;
+            rec.type = RecordType::kDemote;
+            rec.user_id = session.user_id();
+            journal_append(std::move(rec));
+          }
+          session.demote_to_incumbent();
+          ++counters_.demotions;
+          --drift_active_;
+          CLEAR_OBS_COUNT("serve.drift.demotions", 1);
+        }
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  CLEAR_OBS_GAUGE("serve.drift.adapting", drift_active_);
+}
+
 void Server::submit(ServeRequest request) {
   CLEAR_CHECK_MSG(request.arrival_us >= last_arrival_us_,
                   "request arrivals must be nondecreasing ("
@@ -376,6 +511,10 @@ void Server::submit(ServeRequest request) {
       }
       if (session->ft_ready()) personalize(*session);
     }
+    // Online adaptation: score the window against the clustering and drive
+    // the RE_ASSESSING/SHADOWING machine. Runs after CA/FT so a session can
+    // be monitored from the very window that assigned or personalized it.
+    if (config_.session.drift_after > 0) drift_monitor(*session, request.map);
   }
 
   const BatchKey route = route_for(*session);
@@ -432,9 +571,16 @@ void Server::execute(std::vector<Batch> batches) {
     e.batch = std::move(batch);
     if (e.batch.key.kind == BatchKey::Kind::kPersonal) {
       Session* session = sessions_.find(e.batch.key.id);
-      CLEAR_CHECK_MSG(session && session->personal_engine(),
-                      "personal batch for a session without an engine");
+      CLEAR_CHECK_MSG(session, "personal batch for an unknown session");
       e.engine = session->personal_engine();
+      if (!e.engine) {
+        // A promotion displaced the personal engine while this batch was
+        // pending; it executes on the engine that was serving at admission.
+        const auto retired = retired_personal_.find(session->user_id());
+        CLEAR_CHECK_MSG(retired != retired_personal_.end(),
+                        "personal batch for a session without an engine");
+        e.engine = retired->second.get();
+      }
     } else {
       try {
         e.hold = cache_.acquire(e.batch.key);
@@ -531,6 +677,18 @@ void Server::execute(std::vector<Batch> batches) {
     }
   }
   CLEAR_OBS_GAUGE("serve.pending", batcher_.pending());
+  // Drop retired personal engines whose owner has no pending personal rows
+  // left — nothing can route to them anymore.
+  for (auto it = retired_personal_.begin(); it != retired_personal_.end();) {
+    bool still_pending = false;
+    for (const auto& [slot, p] : pending_)
+      if (p.route.kind == BatchKey::Kind::kPersonal &&
+          p.route.id == static_cast<std::size_t>(it->first)) {
+        still_pending = true;
+        break;
+      }
+    it = still_pending ? std::next(it) : retired_personal_.erase(it);
+  }
   maybe_compact();
 }
 
@@ -602,6 +760,13 @@ SnapshotData Server::make_snapshot(std::uint64_t last_seq) const {
   data.counters.sanitized = counters_.sanitized;
   data.counters.degraded = counters_.degraded;
   data.counters.recovered = counters_.recovered;
+  data.counters.drift_ticks = counters_.drift_ticks;
+  data.counters.drift_detected = counters_.drift_detected;
+  data.counters.reassessments = counters_.reassessments;
+  data.counters.drift_false_alarms = counters_.drift_false_alarms;
+  data.counters.shadow_ticks = counters_.shadow_ticks;
+  data.counters.promotions = counters_.promotions;
+  data.counters.demotions = counters_.demotions;
   for (const Session* s : sessions_.sessions())
     data.sessions.push_back(s->image());
   return data;

@@ -108,6 +108,14 @@ struct ServeCounters {
   std::size_t sanitized = 0;  ///< Requests that needed gap-filling.
   std::size_t degraded = 0;   ///< Sessions entering DEGRADED.
   std::size_t recovered = 0;  ///< Sessions recovering from DEGRADED.
+  // Online adaptation (all zero unless session.drift_after > 0).
+  std::size_t drift_ticks = 0;        ///< Windows the drift monitor scored.
+  std::size_t drift_detected = 0;     ///< Sessions entering RE_ASSESSING.
+  std::size_t reassessments = 0;      ///< Re-assessment CA verdicts.
+  std::size_t drift_false_alarms = 0; ///< Verdicts naming the incumbent.
+  std::size_t shadow_ticks = 0;       ///< Shadow windows scored.
+  std::size_t promotions = 0;         ///< Candidates promoted.
+  std::size_t demotions = 0;          ///< Shadows demoted to the incumbent.
   std::size_t batches = 0;
   std::size_t rows = 0;
   std::size_t max_batch_rows = 0;
@@ -175,6 +183,10 @@ class Server {
   void flush_due(std::uint64_t now_us);
   void execute(std::vector<Batch> batches);
   BatchKey route_for(const Session& session) const;
+  /// Drift monitor (session.drift_after > 0 only): score the request's
+  /// window against the clustering, drive the RE_ASSESSING/SHADOWING state
+  /// machine, and journal every verdict. Runs on the serial submit path.
+  void drift_monitor(Session& session, const Tensor& normalized_map);
   /// `admitted` is false only for table-full sheds, where the request was
   /// turned away before its kRequest record was journaled — the kShed
   /// record then carries the request count for replay.
@@ -206,11 +218,20 @@ class Server {
   CheckpointCache cache_;
 
   std::unique_ptr<Journal> journal_;  ///< Null: journaling off/failed.
+  /// Personal engines displaced by a promotion while one of their batches
+  /// was still pending: the batch executes on the engine that was serving
+  /// when it was admitted. Dropped once the owner has no pending personal
+  /// rows (see execute()).
+  std::map<std::uint64_t, std::unique_ptr<edge::EdgeEngine>>
+      retired_personal_;
   std::map<std::size_t, PendingRequest> pending_;  ///< By batcher slot id.
   std::size_t next_slot_ = 0;
   std::uint64_t last_arrival_us_ = 0;
   std::vector<ServeResult> completed_;
   ServeCounters counters_;
+  /// Sessions currently mid-adaptation (RE_ASSESSING/SHADOWING, live or
+  /// frozen under DEGRADED); feeds the serve.drift.adapting gauge.
+  std::size_t drift_active_ = 0;
 };
 
 }  // namespace clear::serve

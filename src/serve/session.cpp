@@ -12,6 +12,8 @@ const char* session_state_name(SessionState s) {
     case SessionState::kFineTuning: return "FINE_TUNING";
     case SessionState::kPersonalized: return "PERSONALIZED";
     case SessionState::kDegraded: return "DEGRADED";
+    case SessionState::kReassessing: return "RE_ASSESSING";
+    case SessionState::kShadowing: return "SHADOWING";
   }
   return "?";
 }
@@ -24,6 +26,13 @@ Session::Session(std::uint64_t user_id, SessionPolicy policy,
                   "ft_maps must be >= 2 (fine-tuning needs two samples)");
   CLEAR_CHECK_MSG(policy_.degrade_after >= 1 && policy_.recover_after >= 1,
                   "degrade/recover streaks must be >= 1");
+  if (policy_.drift_after > 0) {
+    CLEAR_CHECK_MSG(policy_.drift_ratio > 0.0,
+                    "drift_ratio must be positive");
+    CLEAR_CHECK_MSG(policy_.reassess_windows >= 1 &&
+                        policy_.shadow_windows >= 1,
+                    "reassess/shadow windows must be >= 1");
+  }
 }
 
 Session::QualityEvent Session::note_quality(double quality) {
@@ -71,14 +80,26 @@ void Session::set_assignment(std::size_t cluster) {
   observations_.shrink_to_fit();
 }
 
+namespace {
+
+/// Every state at or past ASSIGNED — including the adaptation states, which
+/// keep serving the incumbent cluster while they evaluate a candidate.
+bool state_is_assigned(SessionState s) {
+  return s == SessionState::kAssigned || s == SessionState::kFineTuning ||
+         s == SessionState::kPersonalized ||
+         s == SessionState::kReassessing || s == SessionState::kShadowing;
+}
+
+}  // namespace
+
 bool Session::assigned() const {
-  if (state_ == SessionState::kDegraded)
-    return saved_state_ == SessionState::kAssigned ||
-           saved_state_ == SessionState::kFineTuning ||
-           saved_state_ == SessionState::kPersonalized;
-  return state_ == SessionState::kAssigned ||
-         state_ == SessionState::kFineTuning ||
-         state_ == SessionState::kPersonalized;
+  return state_is_assigned(state_ == SessionState::kDegraded ? saved_state_
+                                                             : state_);
+}
+
+bool Session::adapting() const {
+  const SessionState s = effective_state();
+  return s == SessionState::kReassessing || s == SessionState::kShadowing;
 }
 
 void Session::add_labelled(Tensor normalized_map, int label) {
@@ -134,6 +155,11 @@ SessionImage Session::image() const {
   img.first_arrival_us = first_arrival_us;
   img.first_prediction_us = first_prediction_us;
   img.has_personal = personal_engine_ != nullptr;
+  img.drift_streak = drift_streak_;
+  img.reassess_from = reassess_from_;
+  img.candidate_cluster = candidate_cluster_;
+  img.shadow_wins = shadow_wins_;
+  img.shadow_seen = shadow_seen_;
   return img;
 }
 
@@ -162,6 +188,11 @@ void Session::restore_image(const SessionImage& image,
   first_arrival_us = image.first_arrival_us;
   first_prediction_us = image.first_prediction_us;
   personal_engine_ = std::move(engine);
+  drift_streak_ = static_cast<std::size_t>(image.drift_streak);
+  reassess_from_ = image.reassess_from;
+  candidate_cluster_ = static_cast<std::size_t>(image.candidate_cluster);
+  shadow_wins_ = static_cast<std::size_t>(image.shadow_wins);
+  shadow_seen_ = static_cast<std::size_t>(image.shadow_seen);
 }
 
 void Session::abort_finetune() {
@@ -171,6 +202,100 @@ void Session::abort_finetune() {
   policy_.enable_finetune = false;  // Do not retry a known-bad checkpoint.
   labelled_.clear();
   labelled_.shrink_to_fit();
+}
+
+Session::DriftEvent Session::drift_tick(bool drifting) {
+  CLEAR_CHECK_MSG(policy_.drift_after > 0, "drift monitor is disabled");
+  CLEAR_CHECK_MSG(drift_monitorable(),
+                  "drift ticks only in ASSIGNED/PERSONALIZED (state "
+                      << session_state_name(state_) << ")");
+  if (!drifting) {
+    drift_streak_ = 0;
+    return DriftEvent::kNone;
+  }
+  ++drift_streak_;
+  if (drift_streak_ < policy_.drift_after) return DriftEvent::kNone;
+  // Sustained drift: remember where to fall back to, start a fresh CA
+  // buffer, and re-assess. The incumbent engine keeps serving throughout.
+  reassess_from_ = state_;
+  state_ = SessionState::kReassessing;
+  drift_streak_ = 0;
+  observations_.clear();
+  return DriftEvent::kTriggered;
+}
+
+void Session::add_reassess_observation(cluster::Point observation) {
+  CLEAR_CHECK_MSG(state_ == SessionState::kReassessing,
+                  "re-assessment windows buffer only while RE_ASSESSING "
+                  "(state "
+                      << session_state_name(state_) << ")");
+  observations_.push_back(std::move(observation));
+}
+
+bool Session::reassess_ready() const {
+  return state_ == SessionState::kReassessing &&
+         observations_.size() >= policy_.reassess_windows;
+}
+
+bool Session::reassess_verdict(std::size_t candidate) {
+  CLEAR_CHECK_MSG(state_ == SessionState::kReassessing,
+                  "re-assessment verdict requires RE_ASSESSING (state "
+                      << session_state_name(state_) << ")");
+  observations_.clear();
+  observations_.shrink_to_fit();
+  if (candidate == cluster_) {
+    // False alarm: CA still prefers the incumbent; resume where we were.
+    state_ = reassess_from_;
+    return false;
+  }
+  candidate_cluster_ = candidate;
+  shadow_wins_ = 0;
+  shadow_seen_ = 0;
+  state_ = SessionState::kShadowing;
+  return true;
+}
+
+void Session::shadow_tick(bool candidate_won) {
+  CLEAR_CHECK_MSG(state_ == SessionState::kShadowing,
+                  "shadow ticks only while SHADOWING (state "
+                      << session_state_name(state_) << ")");
+  ++shadow_seen_;
+  if (candidate_won) ++shadow_wins_;
+}
+
+bool Session::shadow_done() const {
+  return state_ == SessionState::kShadowing &&
+         shadow_seen_ >= policy_.shadow_windows;
+}
+
+bool Session::shadow_promotes() const {
+  return 2 * shadow_wins_ > shadow_seen_;  // Strict majority.
+}
+
+void Session::promote_to_candidate() {
+  CLEAR_CHECK_MSG(state_ == SessionState::kShadowing,
+                  "promotion requires SHADOWING (state "
+                      << session_state_name(state_) << ")");
+  cluster_ = candidate_cluster_;
+  // A personal engine was fine-tuned from the *old* cluster's model; it
+  // does not follow the user to the new cluster. The labelled buffer is
+  // stale for the same reason. Fine-tuning stays enabled (unless a previous
+  // abort disabled it), so the session may re-personalize on fresh labels.
+  personal_engine_.reset();
+  labelled_.clear();
+  labelled_.shrink_to_fit();
+  state_ = SessionState::kAssigned;
+  shadow_wins_ = 0;
+  shadow_seen_ = 0;
+}
+
+void Session::demote_to_incumbent() {
+  CLEAR_CHECK_MSG(state_ == SessionState::kShadowing,
+                  "demotion requires SHADOWING (state "
+                      << session_state_name(state_) << ")");
+  state_ = reassess_from_;
+  shadow_wins_ = 0;
+  shadow_seen_ = 0;
 }
 
 SessionManager::SessionManager(SessionPolicy policy,

@@ -16,6 +16,16 @@
 // cluster/personal model fed garbage is worse than the population prior) and
 // pause CA/FT buffering; `recover_after` consecutive good requests restore
 // the exact pre-degradation state.
+//
+// Online adaptation (DESIGN.md §16) adds two states past the one-shot
+// protocol: when the drift monitor fires for `drift_after` consecutive
+// windows an ASSIGNED/PERSONALIZED session enters RE_ASSESSING (re-runs CA
+// on a fresh window buffer) and, if the verdict names a different cluster,
+// SHADOWING (keep serving the incumbent engine while the candidate cluster
+// is scored on the same windows; a strict majority promotes it, anything
+// less demotes back to the incumbent). Both states keep serving the
+// incumbent route throughout — adaptation never degrades a live user — and
+// both freeze/thaw under DEGRADED exactly like the other states.
 #pragma once
 
 #include <cstddef>
@@ -39,6 +49,10 @@ enum class SessionState {
   kFineTuning,    ///< Labelled buffer full; personalization in progress.
   kPersonalized,  ///< Serving the user's own fine-tuned engine.
   kDegraded,      ///< Sustained bad signal; parked on the general model.
+  // New states append after kDegraded: the numeric values above are baked
+  // into v1 journals/snapshots and must never shift.
+  kReassessing,   ///< Drift confirmed; re-running CA on a fresh buffer.
+  kShadowing,     ///< Candidate cluster under shadow evaluation.
 };
 
 const char* session_state_name(SessionState s);
@@ -50,6 +64,17 @@ struct SessionPolicy {
   double min_quality = 0.7;     ///< Quality floor for a "good" request.
   std::size_t degrade_after = 3;  ///< Consecutive bad requests to degrade.
   std::size_t recover_after = 3;  ///< Consecutive good requests to recover.
+  // -- Online adaptation (drift detection / re-assessment / shadowing) ------
+  /// Consecutive drifting windows before RE_ASSESSING fires; 0 disables the
+  /// drift monitor entirely (the default — adaptation is opt-in).
+  std::size_t drift_after = 0;
+  /// A window is "drifting" when the assigned cluster's CA score exceeds
+  /// drift_ratio x the best other cluster's score (lower scores are better,
+  /// so 1.0 fires as soon as any other cluster fits the window strictly
+  /// better; higher values demand a wider margin).
+  double drift_ratio = 1.25;
+  std::size_t reassess_windows = 6;  ///< Fresh CA buffer size in RE_ASSESSING.
+  std::size_t shadow_windows = 8;    ///< Verdict windows scored in SHADOWING.
 };
 
 /// One labelled (normalized) feature map buffered for fine-tuning.
@@ -81,6 +106,14 @@ struct SessionImage {
   std::optional<std::uint64_t> first_prediction_us;
   /// True when a personal checkpoint backs this session on disk.
   bool has_personal = false;
+  // -- Online adaptation (v2 snapshot fields; zero in v1 images) ------------
+  std::uint64_t drift_streak = 0;  ///< Consecutive drifting windows seen.
+  /// State the session re-enters if re-assessment turns out a false alarm
+  /// or the shadow loses (ASSIGNED or PERSONALIZED).
+  SessionState reassess_from = SessionState::kAssigned;
+  std::uint64_t candidate_cluster = 0;  ///< Under SHADOWING.
+  std::uint64_t shadow_wins = 0;        ///< Windows the candidate won.
+  std::uint64_t shadow_seen = 0;        ///< Windows scored so far.
 };
 
 class Session {
@@ -91,6 +124,11 @@ class Session {
   std::uint64_t user_id() const { return user_id_; }
   edge::Precision precision() const { return precision_; }
   SessionState state() const { return state_; }
+  /// The live state, looking through a DEGRADED freeze (the state the
+  /// session resumes when its signal recovers).
+  SessionState effective_state() const {
+    return state_ == SessionState::kDegraded ? saved_state_ : state_;
+  }
   bool degraded() const { return state_ == SessionState::kDegraded; }
 
   // -- Signal quality / degradation -----------------------------------------
@@ -123,9 +161,54 @@ class Session {
   void set_personal_engine(std::unique_ptr<edge::EdgeEngine> engine);
   edge::EdgeEngine* personal_engine() { return personal_engine_.get(); }
   bool has_personal_engine() const { return personal_engine_ != nullptr; }
+  /// Hand the personal engine to the caller (the server parks it while a
+  /// promotion displaces it with batches still pending on it).
+  std::unique_ptr<edge::EdgeEngine> release_personal_engine() {
+    return std::move(personal_engine_);
+  }
   /// Roll back a failed fine-tune to ASSIGNED and stop retrying (e.g. the
   /// cluster checkpoint turned out to be unusable).
   void abort_finetune();
+
+  // -- Online adaptation -----------------------------------------------------
+  /// True in the states the drift monitor watches (ASSIGNED/PERSONALIZED).
+  bool drift_monitorable() const {
+    return state_ == SessionState::kAssigned ||
+           state_ == SessionState::kPersonalized;
+  }
+  /// True while the session is mid-adaptation — live RE_ASSESSING/SHADOWING
+  /// or frozen in one of them under DEGRADED.
+  bool adapting() const;
+  enum class DriftEvent { kNone, kTriggered };
+  /// Record one monitored window's drift verdict. After `drift_after`
+  /// consecutive drifting windows the session enters RE_ASSESSING with a
+  /// fresh observation buffer and kTriggered is returned.
+  DriftEvent drift_tick(bool drifting);
+  std::size_t drift_streak() const { return drift_streak_; }
+  /// Buffer one window for re-assessment (RE_ASSESSING only).
+  void add_reassess_observation(cluster::Point observation);
+  bool reassess_ready() const;
+  /// Record the re-assessment CA verdict. The incumbent cluster again is a
+  /// false alarm — the session returns to its pre-drift state and false is
+  /// returned; a different cluster starts SHADOWING and returns true.
+  bool reassess_verdict(std::size_t candidate);
+  std::size_t candidate_cluster() const { return candidate_cluster_; }
+  /// Score one shadow window (SHADOWING only): did the candidate cluster
+  /// fit it strictly better than the incumbent?
+  void shadow_tick(bool candidate_won);
+  bool shadow_done() const;
+  /// Strict majority of scored windows won by the candidate.
+  bool shadow_promotes() const;
+  std::size_t shadow_wins() const { return shadow_wins_; }
+  std::size_t shadow_seen() const { return shadow_seen_; }
+  /// Commit the shadow win: the candidate becomes the assigned cluster and
+  /// the session re-enters ASSIGNED. Any personal engine (fine-tuned on the
+  /// old cluster's model) and labelled buffer are dropped — the session may
+  /// personalize afresh on the new cluster.
+  void promote_to_candidate();
+  /// Shadow lost: return to the exact pre-drift state (incumbent cluster
+  /// and engine untouched).
+  void demote_to_incumbent();
 
   // -- Durability ------------------------------------------------------------
   /// Freeze the full session state. Never called mid-fine-tune (the server
@@ -158,6 +241,12 @@ class Session {
   std::vector<cluster::Point> observations_;
   std::vector<LabelledMap> labelled_;
   std::unique_ptr<edge::EdgeEngine> personal_engine_;
+  // Online adaptation bookkeeping (journaled; restored bit-identically).
+  std::size_t drift_streak_ = 0;
+  SessionState reassess_from_ = SessionState::kAssigned;
+  std::size_t candidate_cluster_ = 0;
+  std::size_t shadow_wins_ = 0;
+  std::size_t shadow_seen_ = 0;
 };
 
 class SessionManager {

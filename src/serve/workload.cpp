@@ -15,6 +15,7 @@ constexpr std::uint64_t kTagSpanStart = 0x57u;
 constexpr std::uint64_t kTagGap = 0xA1u;
 constexpr std::uint64_t kTagLabel = 0x1Au;
 constexpr std::uint64_t kTagCorrupt = 0xC0u;
+constexpr std::uint64_t kTagDriftUser = 0x5Du;
 
 double u01(std::uint64_t a, std::uint64_t b, std::uint64_t c,
            std::uint64_t d) {
@@ -51,6 +52,23 @@ std::vector<ServeRequest> make_workload(const wemac::WemacDataset& dataset,
           static_cast<double>(latest + 1));
     }
 
+    // Distribution drift: past the onset request a drifting user's maps are
+    // blended toward a different volunteer's — the assigned cluster stops
+    // fitting and the serve-side drift monitor should notice.
+    const bool drift_user =
+        u01(config.seed, u, kTagDriftUser, 0) < config.drift_user_fraction;
+    const std::size_t drift_at =
+        drift_user ? static_cast<std::size_t>(
+                         config.drift_at_fraction *
+                         static_cast<double>(config.requests_per_user))
+                   : config.requests_per_user;
+    const std::size_t drift_volunteer =
+        dataset.n_volunteers() > 1
+            ? (volunteer + 1 + fault::mix(config.seed, u, kTagDriftUser, 1) %
+                                   (dataset.n_volunteers() - 1)) %
+                  dataset.n_volunteers()
+            : volunteer;
+
     // Each user starts in one of the first few slots, then walks forward by
     // a hashed number of slots per request (0 = same-slot burst).
     std::uint64_t arrival_slot =
@@ -67,6 +85,17 @@ std::vector<ServeRequest> make_workload(const wemac::WemacDataset& dataset,
       arrival_slot += static_cast<std::uint64_t>(
           2.0 * config.mean_slots_between * u01(config.seed, u, kTagGap, i) +
           0.5);
+
+      if (i >= drift_at && drift_volunteer != volunteer) {
+        const std::vector<std::size_t>& target_samples =
+            dataset.samples_of(drift_volunteer);
+        const Tensor& target =
+            dataset.samples()[target_samples[i % target_samples.size()]]
+                .feature_map;
+        const float blend = static_cast<float>(config.drift_blend);
+        for (std::size_t j = 0; j < r.map.numel(); ++j)
+          r.map[j] = (1.0f - blend) * r.map[j] + blend * target[j];
+      }
 
       if (u01(config.seed, u, kTagLabel, i) < config.labeled_fraction)
         r.label = sample.label;

@@ -36,6 +36,16 @@ struct WorkloadConfig {
   double mean_slots_between = 1.5;  ///< Mean inter-request gap per user.
   /// Signal corruption applied inside degraded spans (NaN injection rate).
   double corrupt_rate = 0.35;
+  // -- Distribution drift (exercises the serve-side drift monitor) ----------
+  /// Fraction of users whose signal distribution shifts mid-stream: past the
+  /// onset request their maps are blended toward a *different* volunteer's
+  /// maps, so the assigned cluster stops fitting them. 0 disables.
+  double drift_user_fraction = 0.0;
+  /// Onset point as a fraction of requests_per_user.
+  double drift_at_fraction = 0.5;
+  /// Blend weight toward the other volunteer's map past the onset (1.0 =
+  /// the user *becomes* the other volunteer).
+  double drift_blend = 0.8;
 };
 
 /// The full request stream, sorted by (arrival_us, user_id, request_id).

@@ -85,6 +85,39 @@ VolunteerProfile sample_profile(const ArchetypeParams& a,
   return p;
 }
 
+VolunteerProfile morph_profile(const VolunteerProfile& from,
+                               const VolunteerProfile& to, double alpha) {
+  CLEAR_CHECK_MSG(alpha >= 0.0 && alpha <= 1.0,
+                  "morph alpha must be in [0, 1], got " << alpha);
+  VolunteerProfile p = from;  // Keeps volunteer_id/archetype_id.
+  const auto lerp = [alpha](double a, double b) {
+    return (1.0 - alpha) * a + alpha * b;
+  };
+  p.hr_base = lerp(from.hr_base, to.hr_base);
+  p.hr_fear_delta = lerp(from.hr_fear_delta, to.hr_fear_delta);
+  p.hr_arousal_delta = lerp(from.hr_arousal_delta, to.hr_arousal_delta);
+  p.hrv_sd = lerp(from.hrv_sd, to.hrv_sd);
+  p.hrv_fear_scale = lerp(from.hrv_fear_scale, to.hrv_fear_scale);
+  p.resp_rate = lerp(from.resp_rate, to.resp_rate);
+  p.bvp_amp = lerp(from.bvp_amp, to.bvp_amp);
+  p.bvp_amp_fear_scale = lerp(from.bvp_amp_fear_scale, to.bvp_amp_fear_scale);
+  p.scr_rate_base = lerp(from.scr_rate_base, to.scr_rate_base);
+  p.scr_rate_fear = lerp(from.scr_rate_fear, to.scr_rate_fear);
+  p.scr_amp = lerp(from.scr_amp, to.scr_amp);
+  p.scr_amp_fear_scale = lerp(from.scr_amp_fear_scale, to.scr_amp_fear_scale);
+  p.gsr_tonic = lerp(from.gsr_tonic, to.gsr_tonic);
+  p.gsr_fear_slope = lerp(from.gsr_fear_slope, to.gsr_fear_slope);
+  p.skt_base = lerp(from.skt_base, to.skt_base);
+  p.skt_fear_drop = lerp(from.skt_fear_drop, to.skt_fear_drop);
+  p.bvp_noise = lerp(from.bvp_noise, to.bvp_noise);
+  p.gsr_noise = lerp(from.gsr_noise, to.gsr_noise);
+  p.skt_noise = lerp(from.skt_noise, to.skt_noise);
+  p.cardiac_gain = lerp(from.cardiac_gain, to.cardiac_gain);
+  p.gsr_gain = lerp(from.gsr_gain, to.gsr_gain);
+  p.skt_gain = lerp(from.skt_gain, to.skt_gain);
+  return p;
+}
+
 TrialSignals synthesize_trial(const VolunteerProfile& p,
                               const Stimulus& stimulus,
                               const SignalRates& rates, Rng& rng) {

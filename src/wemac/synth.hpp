@@ -64,6 +64,13 @@ VolunteerProfile sample_profile(const ArchetypeParams& archetype,
                                 std::size_t volunteer_id,
                                 std::size_t archetype_id, Rng& rng);
 
+/// Linear interpolation between two volunteer profiles: alpha = 0 returns
+/// `from`, 1 returns `to` (ids stay `from`'s — the morph models one person's
+/// physiology shifting, not a change of identity). Drift experiments use
+/// this to move a volunteer's distribution toward another archetype's.
+VolunteerProfile morph_profile(const VolunteerProfile& from,
+                               const VolunteerProfile& to, double alpha);
+
 /// Sample rates of the three channels.
 struct SignalRates {
   double bvp_hz = 64.0;

@@ -135,5 +135,59 @@ TEST(Assignment, RejectsNonFiniteObservations) {
   }
 }
 
+TEST(Assignment, SubCentroidSumRejectsClustersWithoutSubCentroids) {
+  // An unfitted/degenerate cluster model (no sub-centroids) would make the
+  // sub-centroid sum over an empty set score 0 — "perfect" — and silently
+  // win every assignment. It must be rejected with an addressed error.
+  auto clustering = two_cluster_fixture();
+  clustering.clusters[1].sub_centroids.clear();
+  try {
+    assign_new_user({{0.5, 0.2}}, clustering,
+                    AssignStrategy::kSubCentroidSum);
+    FAIL() << "expected rejection";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("cluster 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("no sub-centroids"), std::string::npos) << what;
+  }
+}
+
+TEST(Assignment, ObservationVoteRejectsClustersWithoutSubCentroids) {
+  auto clustering = two_cluster_fixture();
+  clustering.clusters[0].sub_centroids.clear();
+  try {
+    assign_new_user({{0.5, 0.2}}, clustering,
+                    AssignStrategy::kObservationVote);
+    FAIL() << "expected rejection";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("cluster 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("no sub-centroids"), std::string::npos) << what;
+  }
+}
+
+TEST(Assignment, FlatCentroidRejectsEmptyCentroid) {
+  // kFlatCentroid ignores sub-centroids entirely, so an empty *centroid* is
+  // its degenerate input (distance to a zero-dimensional point is 0).
+  auto clustering = two_cluster_fixture();
+  clustering.clusters[1].centroid.clear();
+  try {
+    assign_new_user({{0.5, 0.2}}, clustering, AssignStrategy::kFlatCentroid);
+    FAIL() << "expected rejection";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("cluster 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("empty centroid"), std::string::npos) << what;
+  }
+  // A missing sub-centroid list alone must NOT trip the flat strategy.
+  auto flat_ok = two_cluster_fixture();
+  flat_ok.clusters[0].sub_centroids.clear();
+  flat_ok.clusters[1].sub_centroids.clear();
+  EXPECT_EQ(assign_new_user({{0.5, 0.2}}, flat_ok,
+                            AssignStrategy::kFlatCentroid)
+                .cluster,
+            0u);
+}
+
 }  // namespace
 }  // namespace clear::cluster

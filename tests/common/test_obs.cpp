@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -64,6 +66,48 @@ TEST_F(Obs, HistogramBucketLayoutIsAPureFunctionOfTheValue) {
       EXPECT_GE(v, Histogram::bucket_limit(b - 1)) << v;
     }
   }
+}
+
+TEST_F(Obs, HistogramBucketIndexPinsDegenerateValues) {
+  // The mapping for zero/negative/non-finite inputs is part of the contract:
+  // bucket 0 for anything below [1, inf) including NaN, the top bucket for
+  // +inf. Before it was pinned, negatives and NaN fed std::ilogb garbage
+  // (platform-dependent FP_ILOGBNAN / huge negative exponents) and the
+  // clamp's result depended on the libm at hand.
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(Histogram::bucket_index(-0.0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(-1.0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(-1e300), 0u);
+  EXPECT_EQ(Histogram::bucket_index(-inf), 0u);
+  EXPECT_EQ(Histogram::bucket_index(nan), 0u);
+  EXPECT_EQ(Histogram::bucket_index(inf), Histogram::kBuckets - 1);
+  // Values past the top bucket's limit saturate there too.
+  EXPECT_EQ(Histogram::bucket_index(1e300), Histogram::kBuckets - 1);
+}
+
+TEST_F(Obs, HistogramRecordExcludesNonFiniteFromSummaryStats) {
+  // Degenerate recordings (a 0/0 latency ratio, an infinite score) must be
+  // *visible* — counted, bucketed — without destroying sum/min/max for every
+  // later reader: one NaN would otherwise poison the mean forever.
+  Histogram& h = histogram("test.hist.degenerate");
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  h.record(2.0);
+  h.record(nan);
+  h.record(inf);
+  h.record(-inf);
+  h.record(-3.0);
+  EXPECT_EQ(h.count(), 5u);  // Every record counts.
+  // NaN, -inf, and the negative land in bucket 0; +inf in the top bucket.
+  EXPECT_EQ(h.bucket(0), 3u);
+  EXPECT_EQ(h.bucket(Histogram::kBuckets - 1), 1u);
+  EXPECT_EQ(h.bucket(Histogram::bucket_index(2.0)), 1u);
+  // Summary stats fold finite values only.
+  EXPECT_DOUBLE_EQ(h.sum(), -1.0);
+  EXPECT_DOUBLE_EQ(h.min(), -3.0);
+  EXPECT_DOUBLE_EQ(h.max(), 2.0);
+  EXPECT_TRUE(std::isfinite(h.mean()));
 }
 
 TEST_F(Obs, HistogramSummaryStats) {

@@ -1,0 +1,210 @@
+// End-to-end online-adaptation suite: drifting workloads through the whole
+// server, thread-count bit-identity of every drift decision, the
+// monitoring-is-invisible contract, and the DEGRADED x drift fault sweep.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "clear/config.hpp"
+#include "clear/pipeline.hpp"
+#include "common/parallel.hpp"
+#include "serve/server.hpp"
+#include "serve/workload.hpp"
+#include "wemac/dataset.hpp"
+
+namespace clear::serve {
+namespace {
+
+core::ClearConfig drift_fixture_config() {
+  core::ClearConfig c = core::smoke_config();
+  c.data.seed = 77;
+  c.data.n_volunteers = 8;
+  c.data.trials_per_volunteer = 5;
+  c.train.epochs = 2;
+  c.finetune.epochs = 1;
+  c.finalize();
+  return c;
+}
+
+struct SharedFixture {
+  wemac::WemacDataset dataset;
+  core::ClearPipeline pipeline;
+  ModelSource source;
+
+  SharedFixture()
+      : dataset(wemac::generate_wemac(drift_fixture_config().data)),
+        pipeline(drift_fixture_config()) {
+    std::vector<std::size_t> users;
+    for (std::size_t u = 0; u + 2 < dataset.n_volunteers(); ++u)
+      users.push_back(u);
+    pipeline.fit(dataset, users);
+    source = ModelSource::from_pipeline(pipeline);
+  }
+};
+
+SharedFixture& fixture() {
+  static SharedFixture f;
+  return f;
+}
+
+void expect_identical(const std::vector<ServeResult>& a,
+                      const std::vector<ServeResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].user_id, b[i].user_id) << "result " << i;
+    EXPECT_EQ(a[i].request_id, b[i].request_id) << "result " << i;
+    EXPECT_EQ(a[i].status, b[i].status) << "result " << i;
+    EXPECT_EQ(a[i].predicted, b[i].predicted) << "result " << i;
+    // Bit-identical, not approximately equal — the determinism contract.
+    EXPECT_EQ(a[i].fear_probability, b[i].fear_probability) << "result " << i;
+    EXPECT_EQ(a[i].route, b[i].route) << "result " << i;
+    EXPECT_EQ(a[i].session_state, b[i].session_state) << "result " << i;
+    EXPECT_EQ(a[i].batch_rows, b[i].batch_rows) << "result " << i;
+    EXPECT_EQ(a[i].exec_us, b[i].exec_us) << "result " << i;
+  }
+}
+
+void expect_drift_counters_equal(const ServeCounters& a,
+                                 const ServeCounters& b) {
+  EXPECT_EQ(a.drift_ticks, b.drift_ticks);
+  EXPECT_EQ(a.drift_detected, b.drift_detected);
+  EXPECT_EQ(a.reassessments, b.reassessments);
+  EXPECT_EQ(a.drift_false_alarms, b.drift_false_alarms);
+  EXPECT_EQ(a.shadow_ticks, b.shadow_ticks);
+  EXPECT_EQ(a.promotions, b.promotions);
+  EXPECT_EQ(a.demotions, b.demotions);
+}
+
+ServeConfig adaptive_config() {
+  ServeConfig sc;
+  sc.session.ca_windows = 3;
+  sc.session.ft_maps = 2;
+  sc.session.drift_after = 3;
+  sc.session.drift_ratio = 1.0;
+  sc.session.reassess_windows = 3;
+  sc.session.shadow_windows = 4;
+  return sc;
+}
+
+WorkloadConfig drifting_workload() {
+  WorkloadConfig wc;
+  wc.n_users = 8;
+  wc.requests_per_user = 24;
+  wc.seed = 7;
+  wc.degraded_user_fraction = 0.0;
+  wc.drift_user_fraction = 0.5;
+  wc.drift_at_fraction = 0.4;
+  wc.drift_blend = 1.0;  // Drifting users *become* the other volunteer.
+  return wc;
+}
+
+TEST(Drift, DriftingWorkloadIsBitIdenticalAcrossThreadCounts) {
+  auto& f = fixture();
+  std::vector<ServeResult> base;
+  ServeCounters base_counters;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    const NumThreadsGuard guard(threads);
+    Server server(f.source, adaptive_config());
+    std::vector<ServeResult> out =
+        server.run(make_workload(f.dataset, drifting_workload()));
+    // The workload must actually engage the machine, or this test proves
+    // nothing: monitored windows, at least one confirmed drift, and a full
+    // re-assessment (shadow verdicts depend on the data and may be
+    // promotions or demotions — both count below).
+    EXPECT_GT(server.counters().drift_ticks, 0u);
+    EXPECT_GT(server.counters().drift_detected, 0u);
+    EXPECT_GT(server.counters().reassessments, 0u);
+    if (base.empty()) {
+      base = std::move(out);
+      base_counters = server.counters();
+    } else {
+      expect_identical(base, out);
+      expect_drift_counters_equal(base_counters, server.counters());
+    }
+  }
+}
+
+TEST(Drift, MonitoringAloneLeavesEveryResponseUntouched) {
+  // The incumbent-serving invariant, end to end: a monitor that ticks on
+  // every window but never confirms drift (absurdly wide ratio) must leave
+  // the response stream byte-identical to a server with the monitor off.
+  auto& f = fixture();
+  WorkloadConfig wc = drifting_workload();
+
+  ServeConfig off = adaptive_config();
+  off.session.drift_after = 0;
+  Server plain(f.source, off);
+  const std::vector<ServeResult> base =
+      plain.run(make_workload(f.dataset, wc));
+  EXPECT_EQ(plain.counters().drift_ticks, 0u);
+
+  ServeConfig watching = adaptive_config();
+  watching.session.drift_ratio = 1e9;  // Ticks, never triggers.
+  Server monitored(f.source, watching);
+  const std::vector<ServeResult> out =
+      monitored.run(make_workload(f.dataset, wc));
+  EXPECT_GT(monitored.counters().drift_ticks, 0u);
+  EXPECT_EQ(monitored.counters().drift_detected, 0u);
+  expect_identical(base, out);
+}
+
+TEST(Drift, StableWorkloadNeverEntersAdaptation) {
+  // Non-drifting users against their own cluster: the monitor runs on every
+  // eligible window and the default margin keeps it quiet.
+  auto& f = fixture();
+  WorkloadConfig wc = drifting_workload();
+  wc.drift_user_fraction = 0.0;
+  ServeConfig sc = adaptive_config();
+  sc.session.drift_ratio = 1.25;  // The production default margin.
+  Server server(f.source, sc);
+  server.run(make_workload(f.dataset, wc));
+  EXPECT_GT(server.counters().drift_ticks, 0u);
+  EXPECT_EQ(server.counters().promotions, 0u);
+  EXPECT_EQ(server.counters().demotions, 0u);
+}
+
+TEST(Drift, DegradedByDriftFaultSweep) {
+  // Sweep the two fault axes against each other. The zero-fault cell must
+  // be byte-identical to the golden (drift-monitor-off) run — adaptation
+  // support may not perturb a healthy stream — and every faulted cell must
+  // keep serving deterministically.
+  auto& f = fixture();
+  WorkloadConfig clean = drifting_workload();
+  clean.drift_user_fraction = 0.0;
+  ServeConfig off = adaptive_config();
+  off.session.drift_after = 0;
+  Server golden(f.source, off);
+  const std::vector<ServeResult> golden_out =
+      golden.run(make_workload(f.dataset, clean));
+
+  for (const double degraded_fraction : {0.0, 0.25}) {
+    for (const double drift_fraction : {0.0, 0.5}) {
+      WorkloadConfig wc = drifting_workload();
+      wc.degraded_user_fraction = degraded_fraction;
+      wc.drift_user_fraction = drift_fraction;
+      Server server(f.source, adaptive_config());
+      const std::vector<ServeResult> out =
+          server.run(make_workload(f.dataset, wc));
+      const ServeCounters& c = server.counters();
+      EXPECT_EQ(c.requests, wc.n_users * wc.requests_per_user)
+          << "cell (" << degraded_fraction << ", " << drift_fraction << ")";
+      if (degraded_fraction == 0.0 && drift_fraction == 0.0) {
+        // Drift enabled but nothing drifting: bit-identical to golden.
+        expect_identical(golden_out, out);
+        EXPECT_EQ(c.degraded, 0u);
+      }
+      if (degraded_fraction > 0.0) {
+        EXPECT_GT(c.degraded, 0u)
+            << "cell (" << degraded_fraction << ", " << drift_fraction << ")";
+      }
+      if (drift_fraction > 0.0) {
+        EXPECT_GT(c.drift_detected, 0u)
+            << "cell (" << degraded_fraction << ", " << drift_fraction << ")";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace clear::serve

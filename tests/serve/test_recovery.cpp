@@ -11,14 +11,18 @@
 #include <fstream>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "clear/config.hpp"
 #include "clear/pipeline.hpp"
+#include "common/crc32.hpp"
 #include "common/error.hpp"
 #include "common/fault.hpp"
 #include "common/parallel.hpp"
+#include "tensor/serialize.hpp"
 #include "serve/journal.hpp"
 #include "serve/server.hpp"
 #include "wemac/dataset.hpp"
@@ -446,6 +450,207 @@ TEST_F(RecoveryTest, SnapshotIoFailureDisablesJournalingButKeepsServing) {
   const std::vector<ServeResult> tail = server.run(phase2());
   for (const ServeResult& r : tail)
     EXPECT_EQ(r.status, ServeResult::Status::kOk);
+}
+
+// -- Online adaptation (drift / re-assessment / shadowing) -------------------
+
+/// Like req(), but drawing the feature map from a chosen volunteer — the
+/// lever that makes a user's stream drift toward another cluster.
+ServeRequest req_from(std::size_t volunteer, std::uint64_t user,
+                      std::uint64_t id, std::uint64_t t) {
+  auto& f = fixture();
+  const auto& samples = f.dataset.samples_of(volunteer);
+  const std::size_t s = samples[id % samples.size()];
+  ServeRequest r;
+  r.user_id = user;
+  r.request_id = id;
+  r.arrival_us = t;
+  r.map = f.dataset.samples()[s].feature_map;
+  return r;
+}
+
+/// Two fitted volunteers the global clustering put in different clusters.
+std::pair<std::size_t, std::size_t> cross_cluster_volunteers() {
+  const auto& uc = fixture().source.clustering.user_cluster;
+  for (std::size_t a = 0; a < uc.size(); ++a)
+    for (std::size_t b = a + 1; b < uc.size(); ++b)
+      if (uc[a] != uc[b]) return {a, b};
+  ADD_FAILURE() << "fixture clustering collapsed to one cluster";
+  return {0, 0};
+}
+
+ServeConfig drift_config(const std::string& dir) {
+  ServeConfig sc = journaled_config(dir);
+  sc.session.drift_after = 2;
+  sc.session.drift_ratio = 1.0;  // Drift as soon as another cluster fits.
+  sc.session.reassess_windows = 2;
+  sc.session.shadow_windows = 3;
+  return sc;
+}
+
+/// The first `n` requests of a stream that walks user 9 through the whole
+/// adaptation arc: two windows from volunteer `a` assign it, then every
+/// window comes from volunteer `b` (a different cluster), so the session
+/// triggers at request 3, buffers re-assessment windows at 4-5, shadows at
+/// 6-8, and promotes on the 3-0 sweep.
+std::vector<ServeRequest> drifting_stream(std::size_t n) {
+  const auto [a, b] = cross_cluster_volunteers();
+  std::vector<ServeRequest> s;
+  for (std::size_t i = 0; i < n; ++i)
+    s.push_back(req_from(i < 2 ? a : b, 9, i, 1000 * (i + 1)));
+  return s;
+}
+
+void expect_image_identical(const SessionImage& x, const SessionImage& y) {
+  EXPECT_EQ(x.user_id, y.user_id);
+  EXPECT_EQ(x.state, y.state);
+  EXPECT_EQ(x.saved_state, y.saved_state);
+  EXPECT_EQ(x.bad_streak, y.bad_streak);
+  EXPECT_EQ(x.good_streak, y.good_streak);
+  EXPECT_EQ(x.cluster, y.cluster);
+  EXPECT_EQ(x.observations, y.observations);
+  EXPECT_EQ(x.finetune_enabled, y.finetune_enabled);
+  EXPECT_EQ(x.requests, y.requests);
+  EXPECT_EQ(x.predictions, y.predictions);
+  EXPECT_EQ(x.has_personal, y.has_personal);
+  EXPECT_EQ(x.drift_streak, y.drift_streak);
+  EXPECT_EQ(x.reassess_from, y.reassess_from);
+  EXPECT_EQ(x.candidate_cluster, y.candidate_cluster);
+  EXPECT_EQ(x.shadow_wins, y.shadow_wins);
+  EXPECT_EQ(x.shadow_seen, y.shadow_seen);
+}
+
+SessionImage image_of(const Server& server, std::uint64_t user) {
+  for (const Session* s : server.sessions().sessions())
+    if (s->user_id() == user) return s->image();
+  ADD_FAILURE() << "no session for user " << user;
+  return {};
+}
+
+TEST_F(RecoveryTest, CrashMidReassessmentRestoresAdaptationBitIdentically) {
+  auto& f = fixture();
+  const std::vector<ServeRequest> full = drifting_stream(9);
+  const std::vector<ServeRequest> head(full.begin(), full.begin() + 5);
+  const std::vector<ServeRequest> rest(full.begin() + 5, full.end());
+
+  // Golden: the full arc with no crash in between.
+  Server golden(f.source, ServeConfig(drift_config("")));
+  golden.run(head);  // Ends with one re-assess window buffered.
+  ASSERT_EQ(image_of(golden, 9).state, SessionState::kReassessing);
+  const std::vector<ServeResult> golden_tail = golden.run(rest);
+  EXPECT_EQ(golden.counters().promotions, 1u);
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    const NumThreadsGuard guard(threads);
+    const std::string d = dir + "_t" + std::to_string(threads);
+    fs::remove_all(d);
+    SessionImage crashed_image;
+    ServeCounters crashed;
+    {
+      Server server(f.source, drift_config(d));
+      server.open_journal();
+      server.run(head);
+      crashed_image = image_of(server, 9);
+      crashed = server.counters();
+      EXPECT_EQ(crashed_image.state, SessionState::kReassessing);
+      EXPECT_GT(crashed.drift_ticks, 0u);
+      EXPECT_EQ(crashed.drift_detected, 1u);
+    }
+    Server restored(f.source, drift_config(d));
+    const RecoveryReport report = restored.recover();
+    EXPECT_TRUE(report.clean()) << report.str();
+    EXPECT_EQ(report.reassessing, 1u);
+    EXPECT_EQ(report.shadowing, 0u);
+    expect_image_identical(image_of(restored, 9), crashed_image);
+    EXPECT_EQ(restored.counters().drift_ticks, crashed.drift_ticks);
+    EXPECT_EQ(restored.counters().drift_detected, crashed.drift_detected);
+    EXPECT_EQ(restored.counters().reassessments, crashed.reassessments);
+
+    // The continuation stream is byte-identical to the uninterrupted run.
+    const std::vector<ServeResult> tail = restored.run(rest);
+    expect_identical(golden_tail, tail);
+    EXPECT_EQ(restored.counters().promotions, 1u);
+    fs::remove_all(d);
+  }
+}
+
+TEST_F(RecoveryTest, CrashMidShadowingRestoresShadowBookkeeping) {
+  auto& f = fixture();
+  SessionImage crashed_image;
+  ServeCounters crashed;
+  {
+    Server server(f.source, drift_config(dir));
+    server.open_journal();
+    server.run(drifting_stream(7));  // One shadow window scored, two to go.
+    crashed_image = image_of(server, 9);
+    crashed = server.counters();
+    ASSERT_EQ(crashed_image.state, SessionState::kShadowing);
+    EXPECT_EQ(crashed_image.shadow_seen, 1u);
+    EXPECT_EQ(crashed.reassessments, 1u);
+    EXPECT_EQ(crashed.shadow_ticks, 1u);
+  }
+  Server restored(f.source, drift_config(dir));
+  const RecoveryReport report = restored.recover();
+  EXPECT_TRUE(report.clean()) << report.str();
+  EXPECT_EQ(report.shadowing, 1u);
+  EXPECT_EQ(report.reassessing, 0u);
+  EXPECT_NE(report.str().find("1 shadowing restored"), std::string::npos)
+      << report.str();
+  expect_image_identical(image_of(restored, 9), crashed_image);
+  EXPECT_EQ(restored.counters().shadow_ticks, crashed.shadow_ticks);
+  EXPECT_EQ(restored.counters().drift_false_alarms,
+            crashed.drift_false_alarms);
+
+  // Finishing the arc on the recovered server promotes exactly as the
+  // uninterrupted run would.
+  const std::vector<ServeRequest> full = drifting_stream(9);
+  restored.run({full.begin() + 7, full.end()});
+  EXPECT_EQ(restored.counters().promotions, 1u);
+  const SessionImage finished = image_of(restored, 9);
+  EXPECT_EQ(finished.state, SessionState::kAssigned);
+  EXPECT_EQ(finished.cluster, crashed_image.candidate_cluster);
+}
+
+TEST_F(RecoveryTest, UnknownKindRecordQuarantinesOnlyThatSession) {
+  auto& f = fixture();
+  crash_after_phase1(journaled_config(dir));
+  // Append a CRC-intact record of kind 99 naming user 2 — what a newer
+  // format revision that kept the framing would have written.
+  std::ostringstream payload(std::ios::binary);
+  io::write_u64(payload, 1000);  // seq (past everything journaled so far)
+  io::write_u64(payload, 99);    // kind
+  io::write_u64(payload, 2);     // user_id
+  const std::string p = payload.str();
+  std::string frame;
+  for (const std::uint32_t v :
+       {static_cast<std::uint32_t>(p.size()), crc32(p)}) {
+    frame.push_back(static_cast<char>(v & 0xFF));
+    frame.push_back(static_cast<char>((v >> 8) & 0xFF));
+    frame.push_back(static_cast<char>((v >> 16) & 0xFF));
+    frame.push_back(static_cast<char>((v >> 24) & 0xFF));
+  }
+  frame += p;
+  {
+    std::ofstream os(journal_log_path(dir),
+                     std::ios::binary | std::ios::app);
+    os.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  }
+
+  Server restored(f.source, journaled_config(dir));
+  const RecoveryReport report = restored.recover();
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(report.unknown_kind_records, 1u);
+  EXPECT_EQ(report.session_fallbacks, 1u);  // User 2, nobody else.
+  EXPECT_EQ(report.sessions, 2u);
+  for (const Session* s : restored.sessions().sessions())
+    EXPECT_NE(s->user_id(), 2u);
+  // Users 1 and 3 replayed in full; user 1 keeps its personalization.
+  EXPECT_EQ(report.personalized, 1u);
+
+  // The quarantined user restarts COLD and keeps being served.
+  const std::vector<ServeResult> tail = restored.run({req(2, 9, 9000)});
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].status, ServeResult::Status::kOk);
 }
 
 TEST_F(RecoveryTest, GracefulSnapshotMakesReplayJournalFree) {

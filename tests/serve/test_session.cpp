@@ -188,6 +188,204 @@ TEST(Session, PolicyValidation) {
   EXPECT_THROW(make_session(p), Error);
 }
 
+SessionPolicy drift_policy() {
+  SessionPolicy p = quick_policy();
+  p.drift_after = 2;
+  p.reassess_windows = 2;
+  p.shadow_windows = 3;
+  return p;
+}
+
+/// Walk a fresh session to ASSIGNED on `cluster`.
+Session assigned_session(std::size_t cluster,
+                         SessionPolicy p = drift_policy()) {
+  Session s = make_session(p);
+  s.add_observation(obs(0.1));
+  s.add_observation(obs(0.2));
+  s.set_assignment(cluster);
+  return s;
+}
+
+TEST(Session, DriftStreakMustBeConsecutive) {
+  Session s = assigned_session(0);
+  EXPECT_EQ(s.drift_tick(true), Session::DriftEvent::kNone);
+  EXPECT_EQ(s.drift_streak(), 1u);
+  EXPECT_EQ(s.drift_tick(false), Session::DriftEvent::kNone);  // Resets.
+  EXPECT_EQ(s.drift_streak(), 0u);
+  EXPECT_EQ(s.drift_tick(true), Session::DriftEvent::kNone);
+  EXPECT_EQ(s.drift_tick(true), Session::DriftEvent::kTriggered);
+  EXPECT_EQ(s.state(), SessionState::kReassessing);
+  EXPECT_TRUE(s.adapting());
+  EXPECT_TRUE(s.assigned());  // Still serving the incumbent.
+  EXPECT_TRUE(s.observations().empty());  // Fresh re-assessment buffer.
+}
+
+TEST(Session, ReassessFalseAlarmReturnsToPreDriftState) {
+  Session s = assigned_session(2);
+  s.drift_tick(true);
+  s.drift_tick(true);
+  s.add_reassess_observation(obs(1.0));
+  EXPECT_FALSE(s.reassess_ready());
+  s.add_reassess_observation(obs(1.1));
+  EXPECT_TRUE(s.reassess_ready());
+  // CA names the incumbent again: false alarm, straight back to ASSIGNED.
+  EXPECT_FALSE(s.reassess_verdict(2));
+  EXPECT_EQ(s.state(), SessionState::kAssigned);
+  EXPECT_EQ(s.cluster(), 2u);
+  EXPECT_FALSE(s.adapting());
+}
+
+TEST(Session, ShadowStrictMajorityPromotes) {
+  Session s = assigned_session(0);
+  s.drift_tick(true);
+  s.drift_tick(true);
+  s.add_reassess_observation(obs(1.0));
+  s.add_reassess_observation(obs(1.1));
+  EXPECT_TRUE(s.reassess_verdict(1));
+  EXPECT_EQ(s.state(), SessionState::kShadowing);
+  EXPECT_EQ(s.candidate_cluster(), 1u);
+  EXPECT_EQ(s.cluster(), 0u);  // Incumbent serves until promotion commits.
+  s.shadow_tick(true);
+  s.shadow_tick(false);
+  EXPECT_FALSE(s.shadow_done());
+  s.shadow_tick(true);  // 2 of 3: strict majority.
+  EXPECT_TRUE(s.shadow_done());
+  EXPECT_TRUE(s.shadow_promotes());
+  s.promote_to_candidate();
+  EXPECT_EQ(s.state(), SessionState::kAssigned);
+  EXPECT_EQ(s.cluster(), 1u);
+  EXPECT_EQ(s.shadow_seen(), 0u);  // Bookkeeping cleared for the next cycle.
+}
+
+TEST(Session, ShadowTieDemotesToIncumbent) {
+  SessionPolicy p = drift_policy();
+  p.shadow_windows = 2;
+  Session s = assigned_session(0, p);
+  s.drift_tick(true);
+  s.drift_tick(true);
+  s.add_reassess_observation(obs(1.0));
+  s.add_reassess_observation(obs(1.1));
+  ASSERT_TRUE(s.reassess_verdict(1));
+  s.shadow_tick(true);
+  s.shadow_tick(false);  // 1 of 2: a tie is not a strict majority.
+  ASSERT_TRUE(s.shadow_done());
+  EXPECT_FALSE(s.shadow_promotes());
+  s.demote_to_incumbent();
+  EXPECT_EQ(s.state(), SessionState::kAssigned);
+  EXPECT_EQ(s.cluster(), 0u);  // Incumbent untouched.
+}
+
+TEST(Session, PromotionDropsPersonalEngineAndLabelledBuffer) {
+  SessionPolicy p = drift_policy();
+  Session s = make_session(p);
+  s.add_observation(obs(0.1));
+  s.add_observation(obs(0.2));
+  s.set_assignment(0);
+  s.add_labelled(map_of(0.1f), 1);
+  s.add_labelled(map_of(0.2f), 0);
+  s.begin_finetune();
+  s.set_personal_engine(tiny_engine());
+  ASSERT_EQ(s.state(), SessionState::kPersonalized);
+  s.drift_tick(true);
+  s.drift_tick(true);
+  EXPECT_EQ(s.state(), SessionState::kReassessing);
+  EXPECT_TRUE(s.has_personal_engine());  // Incumbent engine still serving.
+  s.add_reassess_observation(obs(2.0));
+  s.add_reassess_observation(obs(2.1));
+  ASSERT_TRUE(s.reassess_verdict(1));
+  s.shadow_tick(true);
+  s.shadow_tick(true);
+  s.shadow_tick(true);
+  ASSERT_TRUE(s.shadow_promotes());
+  s.promote_to_candidate();
+  // The personal model was fine-tuned on the *old* cluster; it cannot follow
+  // the user. The session may re-personalize on the new cluster from fresh
+  // labels.
+  EXPECT_FALSE(s.has_personal_engine());
+  EXPECT_EQ(s.state(), SessionState::kAssigned);
+  EXPECT_TRUE(s.labelled().empty());
+  s.add_labelled(map_of(0.3f), 1);
+  EXPECT_EQ(s.labelled().size(), 1u);  // Fine-tuning still enabled.
+}
+
+TEST(Session, ShadowLossRestoresPersonalizedState) {
+  SessionPolicy p = drift_policy();
+  p.shadow_windows = 2;
+  Session s = make_session(p);
+  s.add_observation(obs(0.1));
+  s.add_observation(obs(0.2));
+  s.set_assignment(0);
+  s.add_labelled(map_of(0.1f), 1);
+  s.add_labelled(map_of(0.2f), 0);
+  s.begin_finetune();
+  s.set_personal_engine(tiny_engine());
+  s.drift_tick(true);
+  s.drift_tick(true);
+  s.add_reassess_observation(obs(2.0));
+  s.add_reassess_observation(obs(2.1));
+  ASSERT_TRUE(s.reassess_verdict(1));
+  s.shadow_tick(false);
+  s.shadow_tick(false);
+  ASSERT_FALSE(s.shadow_promotes());
+  s.demote_to_incumbent();
+  EXPECT_EQ(s.state(), SessionState::kPersonalized);
+  EXPECT_TRUE(s.has_personal_engine());
+}
+
+TEST(Session, AdaptationFreezesAndThawsUnderDegraded) {
+  Session s = assigned_session(0);
+  s.drift_tick(true);
+  s.drift_tick(true);
+  ASSERT_EQ(s.state(), SessionState::kReassessing);
+  for (int i = 0; i < 3; ++i) s.note_quality(0.1);
+  EXPECT_EQ(s.state(), SessionState::kDegraded);
+  EXPECT_TRUE(s.adapting());  // Frozen mid-adaptation, still reported.
+  EXPECT_EQ(s.effective_state(), SessionState::kReassessing);
+  for (int i = 0; i < 3; ++i) s.note_quality(1.0);
+  EXPECT_EQ(s.state(), SessionState::kReassessing);  // Thawed exactly.
+}
+
+TEST(Session, DriftMachineGuardsItsStates) {
+  Session s = assigned_session(0);
+  EXPECT_THROW(s.add_reassess_observation(obs(1.0)), Error);
+  EXPECT_THROW(s.shadow_tick(true), Error);
+  EXPECT_THROW(s.promote_to_candidate(), Error);
+  EXPECT_THROW(s.demote_to_incumbent(), Error);
+  // Disabled monitor: drift_tick must refuse outright.
+  Session off = make_session();  // quick_policy has drift_after = 0.
+  off.add_observation(obs(0.1));
+  off.add_observation(obs(0.2));
+  off.set_assignment(0);
+  EXPECT_THROW(off.drift_tick(false), Error);
+}
+
+TEST(Session, ImageRoundTripsAdaptationFields) {
+  SessionPolicy p = drift_policy();
+  Session s = assigned_session(3, p);
+  s.drift_tick(true);
+  s.drift_tick(true);
+  s.add_reassess_observation(obs(2.0));
+  s.add_reassess_observation(obs(2.1));
+  ASSERT_TRUE(s.reassess_verdict(1));
+  s.shadow_tick(true);
+  const SessionImage img = s.image();
+  EXPECT_EQ(img.state, SessionState::kShadowing);
+  EXPECT_EQ(img.candidate_cluster, 1u);
+  EXPECT_EQ(img.shadow_wins, 1u);
+  EXPECT_EQ(img.shadow_seen, 1u);
+  Session restored(1, p, edge::Precision::kFp32);
+  restored.restore_image(img, nullptr);
+  EXPECT_EQ(restored.state(), SessionState::kShadowing);
+  EXPECT_EQ(restored.candidate_cluster(), 1u);
+  EXPECT_EQ(restored.shadow_wins(), 1u);
+  EXPECT_EQ(restored.shadow_seen(), 1u);
+  // The restored machine continues exactly where the original stopped.
+  restored.shadow_tick(true);
+  restored.shadow_tick(false);
+  EXPECT_TRUE(restored.shadow_done());
+  EXPECT_TRUE(restored.shadow_promotes());
+}
+
 TEST(SessionManager, AdmissionControlCapsTheTable) {
   SessionManager m(quick_policy(), {edge::Precision::kFp32}, 2);
   Session* a = m.get_or_create(10);

@@ -176,5 +176,32 @@ TEST(Synth, ShortTrialRejected) {
                clear::Error);
 }
 
+TEST(Synth, MorphProfileLerpsParametersAndKeepsIdentity) {
+  const VolunteerProfile from = profile_for(0, 12);
+  VolunteerProfile to = profile_for(1, 13);
+  to.volunteer_id = 5;
+  to.archetype_id = 1;
+
+  // Endpoints reproduce the inputs' physiology exactly.
+  EXPECT_DOUBLE_EQ(morph_profile(from, to, 0.0).hr_base, from.hr_base);
+  EXPECT_DOUBLE_EQ(morph_profile(from, to, 1.0).hr_base, to.hr_base);
+  EXPECT_DOUBLE_EQ(morph_profile(from, to, 1.0).skt_gain, to.skt_gain);
+
+  const VolunteerProfile mid = morph_profile(from, to, 0.5);
+  EXPECT_DOUBLE_EQ(mid.hr_base, 0.5 * (from.hr_base + to.hr_base));
+  EXPECT_DOUBLE_EQ(mid.hrv_sd, 0.5 * (from.hrv_sd + to.hrv_sd));
+  EXPECT_DOUBLE_EQ(mid.gsr_tonic, 0.5 * (from.gsr_tonic + to.gsr_tonic));
+  EXPECT_DOUBLE_EQ(mid.cardiac_gain,
+                   0.5 * (from.cardiac_gain + to.cardiac_gain));
+
+  // The morph changes physiology, never identity: ids stay `from`'s, so a
+  // drifting workload user keeps their user id while their signals move.
+  EXPECT_EQ(mid.volunteer_id, from.volunteer_id);
+  EXPECT_EQ(mid.archetype_id, from.archetype_id);
+
+  EXPECT_THROW(morph_profile(from, to, -0.1), clear::Error);
+  EXPECT_THROW(morph_profile(from, to, 1.5), clear::Error);
+}
+
 }  // namespace
 }  // namespace clear::wemac

@@ -169,6 +169,21 @@ const char* command_help(const std::string& command) {
        "  --seed=S              workload RNG seed (default 7)\n"
        "  --labeled-fraction=F  share of labelled requests\n"
        "  --degraded-fraction=F share of degraded-signal users\n"
+       "  --drift-fraction=F    share of users whose signal distribution\n"
+       "                        shifts mid-stream (default 0)\n"
+       "  --drift-at=F          drift onset as a fraction of each user's\n"
+       "                        requests (default 0.5)\n"
+       "  --drift-blend=F       blend weight toward the other volunteer's\n"
+       "                        maps past the onset (default 0.8)\n"
+       "  --drift-after=N       drift monitor: consecutive drifting windows\n"
+       "                        before re-assessment; 0 disables (default 0)\n"
+       "  --drift-ratio=R       drift margin: a window drifts when the\n"
+       "                        incumbent's CA score exceeds R x the best\n"
+       "                        other cluster's (default 1.25)\n"
+       "  --reassess-windows=N  fresh windows buffered in RE_ASSESSING\n"
+       "                        (default 6)\n"
+       "  --shadow-windows=N    verdict windows scored in SHADOWING\n"
+       "                        (default 8)\n"
        "  --artifacts=DIR       serve a trained deployment instead of\n"
        "                        fitting a small pipeline in memory\n"
        "  --precisions=LIST     fp32,fp16,int8 engines to run (default "
@@ -231,6 +246,13 @@ const char* command_help(const std::string& command) {
        "                        unanswered requests count as dropped, the\n"
        "                        generator never hangs\n"
        "  --shutdown-after      send a shutdown frame when done\n"
+       "  --drift-users=N       user ids below N drift: their maps shift by\n"
+       "                        a constant offset past --drift-after-index\n"
+       "                        (default 0 = no drift)\n"
+       "  --drift-after-index=N absolute request index where drifting users'\n"
+       "                        maps start shifting (default 0 = off)\n"
+       "  --drift-shift=F       additive per-sample offset for drifted maps\n"
+       "                        (default 1.5)\n"
        "  --start-index=N       resume the hashed stream at absolute request\n"
        "                        index N: sends exactly what requests\n"
        "                        [N, N+requests) of a --start-index=0 run\n"
@@ -564,6 +586,13 @@ void print_serve_summary(const serve::Server& server) {
       "degraded=%zu recovered=%zu\n",
       c.assignments, c.finetunes, c.finetune_failures, c.sanitized,
       c.degraded, c.recovered);
+  // Gated on activity so drift-disabled runs (the goldens) print nothing new.
+  if (c.drift_ticks > 0)
+    std::printf(
+        "drift: ticks=%zu detected=%zu reassessments=%zu false_alarms=%zu "
+        "shadow_ticks=%zu promotions=%zu demotions=%zu\n",
+        c.drift_ticks, c.drift_detected, c.reassessments,
+        c.drift_false_alarms, c.shadow_ticks, c.promotions, c.demotions);
   const serve::CacheStats& cs = server.cache().stats();
   std::printf(
       "cache: hits=%zu misses=%zu evictions=%zu fallbacks=%zu resident=%zu "
@@ -634,6 +663,15 @@ int cmd_serve(const CliArgs& args) {
       static_cast<std::size_t>(args.get_int("ca-windows", 6));
   sc.session.ft_maps = static_cast<std::size_t>(args.get_int("ft-maps", 4));
   sc.session.enable_finetune = !args.get_bool("no-finetune", false);
+  sc.session.drift_after =
+      static_cast<std::size_t>(args.get_int("drift-after", 0));
+  sc.session.drift_ratio =
+      args.get_double("drift-ratio", sc.session.drift_ratio);
+  sc.session.reassess_windows = static_cast<std::size_t>(args.get_int(
+      "reassess-windows",
+      static_cast<std::int64_t>(sc.session.reassess_windows)));
+  sc.session.shadow_windows = static_cast<std::size_t>(args.get_int(
+      "shadow-windows", static_cast<std::int64_t>(sc.session.shadow_windows)));
   sc.cache_budget_bytes =
       static_cast<std::size_t>(args.get_int("cache-budget-kb", 4096)) * 1024;
   sc.max_sessions =
@@ -726,6 +764,10 @@ int cmd_serve(const CliArgs& args) {
       args.get_double("labeled-fraction", wc.labeled_fraction);
   wc.degraded_user_fraction =
       args.get_double("degraded-fraction", wc.degraded_user_fraction);
+  wc.drift_user_fraction =
+      args.get_double("drift-fraction", wc.drift_user_fraction);
+  wc.drift_at_fraction = args.get_double("drift-at", wc.drift_at_fraction);
+  wc.drift_blend = args.get_double("drift-blend", wc.drift_blend);
 
   std::vector<serve::ServeRequest> requests = serve::make_workload(d, wc);
   std::printf("replaying %zu requests from %zu users (seed %llu)\n",
@@ -812,6 +854,10 @@ int cmd_loadgen(const CliArgs& args) {
   lc.shutdown_after = args.get_bool("shutdown-after", false);
   lc.start_index =
       static_cast<std::size_t>(args.get_int("start-index", 0));
+  lc.drift_users = static_cast<std::size_t>(args.get_int("drift-users", 0));
+  lc.drift_after_index =
+      static_cast<std::size_t>(args.get_int("drift-after-index", 0));
+  lc.drift_shift = args.get_double("drift-shift", lc.drift_shift);
   lc.responses_path = args.get("responses", "");
 
   const net::LoadgenReport report = net::run_loadgen(lc);

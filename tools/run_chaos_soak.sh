@@ -19,6 +19,15 @@
 #     The recovered server then takes SIGTERM and must drain gracefully:
 #     exit 0, final compacting snapshot on disk, journal truncated.
 #
+#   Leg C (kill mid-adaptation, shadow bookkeeping survives):
+#     The drift monitor is armed and the loadgen shifts every user's maps
+#     mid-stream, so sessions are walking RE_ASSESSING/SHADOWING when the
+#     SIGKILL lands between phases. Recovery must be CLEAN, the report's
+#     adaptation line must show sessions restored mid-machine, and both
+#     phases' responses must be byte-identical to an uninterrupted
+#     drift-enabled golden run — the crash may not perturb a single drift
+#     decision.
+#
 # Usage: run_chaos_soak.sh <path-to-clear-cli> [--quick]
 set -eu
 
@@ -181,5 +190,73 @@ SERVER_PID=""
   echo "journal not compacted by the final snapshot ($(wc -c <jdb/journal.log) bytes)" >&2
   exit 1
 }
+
+# ---------------------------------------------------------------------------
+echo "== leg C: SIGKILL mid-adaptation, recover, bit-identity =="
+# An eager margin plus a mid-stream shift for every user keeps sessions
+# cycling through RE_ASSESSING/SHADOWING for the rest of the run, so the
+# between-phases kill lands with the machine engaged. Recovery must use the
+# same drift knobs as the crashed process (docs/OPERATIONS.md).
+DRIFT_SRV="--drift-after=3 --drift-ratio=0.9 --reassess-windows=4 --shadow-windows=4"
+DRIFT_GEN="--drift-users=4 --drift-after-index=$((TOTAL / 4)) --drift-shift=2.0"
+
+start_server driftgolden.log driftgolden.port --threads=1 $DRIFT_SRV
+"$CLI" loadgen --connect=127.0.0.1:"$PORT" $GEN $DRIFT_GEN --requests=$TOTAL \
+  --responses=driftgolden.txt --shutdown-after >driftgolden_gen.log 2>&1
+wait "$SERVER_PID"
+SERVER_PID=""
+[ "$(wc -l <driftgolden.txt)" -eq "$TOTAL" ] || {
+  echo "drift golden run lost responses ($(wc -l <driftgolden.txt)/$TOTAL)" >&2
+  exit 1
+}
+grep -q "drift: ticks=" driftgolden.log || {
+  echo "drift golden run never engaged the monitor:" >&2
+  tail -5 driftgolden.log >&2
+  exit 1
+}
+
+start_server chaosc1.log chaosc1.port --journal-dir=jdc $DRIFT_SRV
+"$CLI" loadgen --connect=127.0.0.1:"$PORT" $GEN $DRIFT_GEN --requests=$HALF \
+  --responses=phasec1.txt >phasec1_gen.log 2>&1
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+[ -s jdc/journal.log ] || { echo "no journal survived the kill" >&2; exit 1; }
+
+start_server chaosc2.log chaosc2.port --journal-dir=jdc --recover \
+  --threads=4 $DRIFT_SRV
+grep -q "result: CLEAN" chaosc2.log || {
+  echo "mid-adaptation recovery was not CLEAN:" >&2
+  grep -B4 "result:" chaosc2.log >&2 || cat chaosc2.log >&2
+  exit 1
+}
+ADAPT="$(sed -n 's/.*adaptation: \([0-9][0-9]*\) re-assessing, \([0-9][0-9]*\) shadowing restored.*/\1 \2/p' chaosc2.log)"
+R="${ADAPT% *}"; S="${ADAPT#* }"
+[ -n "$R" ] && [ $((R + S)) -gt 0 ] || {
+  echo "kill did not land mid-adaptation (re-assessing=${R:-?} shadowing=${S:-?}):" >&2
+  grep "adaptation" chaosc2.log >&2 || cat chaosc2.log >&2
+  exit 1
+}
+echo "   restored mid-machine: $R re-assessing, $S shadowing"
+
+"$CLI" loadgen --connect=127.0.0.1:"$PORT" $GEN $DRIFT_GEN --requests=$HALF \
+  --start-index=$HALF --responses=phasec2.txt --shutdown-after \
+  >phasec2_gen.log 2>&1
+wait "$SERVER_PID"
+SERVER_PID=""
+
+head -n "$HALF" driftgolden.txt >driftgolden_head.txt
+tail -n "$HALF" driftgolden.txt >driftgolden_tail.txt
+cmp driftgolden_head.txt phasec1.txt || {
+  echo "pre-kill drift responses diverge from the golden run" >&2
+  diff driftgolden_head.txt phasec1.txt | head -10 >&2
+  exit 1
+}
+cmp driftgolden_tail.txt phasec2.txt || {
+  echo "post-recovery drift responses diverge from the golden run" >&2
+  diff driftgolden_tail.txt phasec2.txt | head -10 >&2
+  exit 1
+}
+echo "   bit-identical: $TOTAL/$TOTAL drift-enabled responses match the golden run"
 
 echo "chaos soak OK"
