@@ -265,4 +265,40 @@ bool net_drop_fires(std::uint64_t stream_id) {
   return false;
 }
 
+namespace {
+std::atomic<std::int64_t> g_shard_heartbeat_countdown{-1};
+std::atomic<std::int64_t> g_migrate_io_countdown{-1};
+}  // namespace
+
+void arm_shard_drop_heartbeat(std::uint64_t countdown) {
+  CLEAR_CHECK_MSG(countdown >= 1, "heartbeat drop countdown must be >= 1");
+  g_shard_heartbeat_countdown.store(static_cast<std::int64_t>(countdown));
+}
+
+void disarm_shard_drop_heartbeat() { g_shard_heartbeat_countdown.store(-1); }
+
+bool shard_drop_heartbeat_fires() {
+  if (g_shard_heartbeat_countdown.load() < 0) return false;
+  if (g_shard_heartbeat_countdown.fetch_sub(1) == 1) {
+    g_shard_heartbeat_countdown.store(-1);
+    return true;
+  }
+  return false;
+}
+
+void arm_migrate_io_fail(std::uint64_t countdown) {
+  CLEAR_CHECK_MSG(countdown >= 1, "migrate IO countdown must be >= 1");
+  g_migrate_io_countdown.store(static_cast<std::int64_t>(countdown));
+}
+
+void disarm_migrate_io_fail() { g_migrate_io_countdown.store(-1); }
+
+void maybe_fail_migrate_io(const char* site) {
+  if (g_migrate_io_countdown.load() < 0) return;
+  if (g_migrate_io_countdown.fetch_sub(1) == 1) {
+    g_migrate_io_countdown.store(-1);
+    CLEAR_CHECK_MSG(false, "injected migration IO failure at " << site);
+  }
+}
+
 }  // namespace clear::fault

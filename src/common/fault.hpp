@@ -191,4 +191,33 @@ void disarm_net_drop();
 /// the caller must close the fd.
 bool net_drop_fires(std::uint64_t stream_id);
 
+// ---------------------------------------------------------------------------
+// Injectable shard faults (consumed by src/shard's coordination paths).
+//
+// Two knobs, mirroring the countdown patterns above:
+//   * shard_drop_heartbeat — the Nth heartbeat a shard would acknowledge is
+//     silently swallowed, so the coordinator's lease tracking sees a missed
+//     beat without any process actually dying.
+//   * migrate_io_fail — the Nth guarded migration IO operation (checkpoint
+//     persist / snapshot on session import) throws cleanly, exercising the
+//     coordinator's retry-then-degrade path for a failed handoff.
+
+/// Arm the heartbeat drop: the `countdown`-th subsequent heartbeat ack
+/// (1 = the very next one) is swallowed by the shard.
+void arm_shard_drop_heartbeat(std::uint64_t countdown);
+void disarm_shard_drop_heartbeat();
+/// Guard, called by the shard front end before acknowledging a heartbeat.
+/// True exactly once, when the armed countdown fires; the caller must not
+/// send the ack.
+bool shard_drop_heartbeat_fires();
+
+/// Arm the migration IO failure: the `countdown`-th subsequent guarded
+/// migration operation (1 = the very next one) throws clear::Error.
+void arm_migrate_io_fail(std::uint64_t countdown);
+void disarm_migrate_io_fail();
+/// Guard, called on session import/export durability sites. Throws
+/// clear::Error("injected migration IO failure at <site>") when the
+/// countdown fires; a no-op when disarmed.
+void maybe_fail_migrate_io(const char* site);
+
 }  // namespace clear::fault

@@ -1,9 +1,11 @@
 #include "common/obs.hpp"
 
 #include <bit>
+#include <cctype>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <map>
 #include <memory>
@@ -224,6 +226,20 @@ double Histogram::mean() const {
   return n == 0 ? 0.0 : sum() / static_cast<double>(n);
 }
 
+void Histogram::merge(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  count_.fetch_add(other.count, std::memory_order_relaxed);
+  // Mirror record()'s finite-only rule so a snapshot whose summary fields
+  // were pinned to 0 by the exporter cannot poison this side's statistics.
+  if (std::isfinite(other.sum)) atomic_add_double(sum_bits_, other.sum);
+  if (std::isfinite(other.min)) atomic_min_double(min_bits_, other.min);
+  if (std::isfinite(other.max)) atomic_max_double(max_bits_, other.max);
+  const std::size_t n = std::min<std::size_t>(other.buckets.size(), kBuckets);
+  for (std::size_t b = 0; b < n; ++b)
+    if (other.buckets[b] > 0)
+      buckets_[b].fetch_add(other.buckets[b], std::memory_order_relaxed);
+}
+
 void Histogram::reset() {
   count_.store(0, std::memory_order_relaxed);
   sum_bits_.store(0, std::memory_order_relaxed);
@@ -312,12 +328,14 @@ std::uint64_t dropped_trace_events() {
 // Export
 // ---------------------------------------------------------------------------
 
-std::string snapshot_json() {
+namespace {
+
+std::string export_json(bool with_trace) {
   Registry& r = registry();
   std::string out;
   out.reserve(1 << 16);
   out += "{\n  \"traceEvents\": [";
-  {
+  if (with_trace) {
     const std::lock_guard<std::mutex> lock(r.trace_mutex);
     for (std::size_t i = 0; i < r.trace.size(); ++i) {
       const TraceEvent& e = r.trace[i];
@@ -387,6 +405,12 @@ std::string snapshot_json() {
   return out;
 }
 
+}  // namespace
+
+std::string snapshot_json() { return export_json(/*with_trace=*/true); }
+
+std::string metrics_json() { return export_json(/*with_trace=*/false); }
+
 void write_snapshot(const std::string& path) {
   const std::string json = snapshot_json();
   const std::string tmp = path + ".tmp";
@@ -397,6 +421,333 @@ void write_snapshot(const std::string& path) {
   CLEAR_CHECK_MSG(ok, "short write to metrics file " << tmp);
   CLEAR_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
                   "cannot rename " << tmp << " to " << path);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot merge
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Minimal JSON value + recursive-descent parser, just enough to read the
+/// exporter's own output (and reject anything malformed with an addressed
+/// error). No dependency is available, and the grammar is tiny.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string raw;  ///< Number token text (exact u64 round-trips).
+  std::string str;
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  const JsonValue* find(std::string_view key) const {
+    for (const auto& [k, v] : members)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value(0);
+    skip_ws();
+    CLEAR_CHECK_MSG(pos_ == text_.size(),
+                    "metrics JSON: trailing bytes at offset " << pos_);
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    CLEAR_CHECK_MSG(pos_ < text_.size(),
+                    "metrics JSON: unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    CLEAR_CHECK_MSG(peek() == c, "metrics JSON: expected '"
+                                     << c << "' at offset " << pos_
+                                     << ", got '" << text_[pos_] << "'");
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue value(int depth) {
+    CLEAR_CHECK_MSG(depth < 32, "metrics JSON: nesting too deep");
+    skip_ws();
+    switch (peek()) {
+      case '{': return object(depth);
+      case '[': return array(depth);
+      case '"': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::kString;
+        v.str = string();
+        return v;
+      }
+      case 't':
+      case 'f':
+      case 'n': return literal();
+      default: return number();
+    }
+  }
+
+  JsonValue object(int depth) {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    expect('{');
+    skip_ws();
+    if (consume('}')) return v;
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.members.emplace_back(std::move(key), value(depth + 1));
+      skip_ws();
+      if (consume(',')) continue;
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array(int depth) {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    expect('[');
+    skip_ws();
+    if (consume(']')) return v;
+    while (true) {
+      v.items.push_back(value(depth + 1));
+      skip_ws();
+      if (consume(',')) continue;
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      CLEAR_CHECK_MSG(pos_ < text_.size(),
+                      "metrics JSON: unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      CLEAR_CHECK_MSG(pos_ < text_.size(),
+                      "metrics JSON: unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          CLEAR_CHECK_MSG(pos_ + 4 <= text_.size(),
+                          "metrics JSON: short \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else CLEAR_CHECK_MSG(false, "metrics JSON: bad \\u escape");
+          }
+          // BMP-only UTF-8 encoding — metric names are ASCII identifiers,
+          // this just keeps foreign escapes from corrupting the parse.
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default:
+          CLEAR_CHECK_MSG(false, "metrics JSON: unknown escape '\\" << e
+                                                                    << "'");
+      }
+    }
+  }
+
+  JsonValue literal() {
+    JsonValue v;
+    const auto match = [&](std::string_view word) {
+      if (text_.substr(pos_, word.size()) != word) return false;
+      pos_ += word.size();
+      return true;
+    };
+    if (match("true")) {
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+    } else if (match("false")) {
+      v.kind = JsonValue::Kind::kBool;
+    } else if (match("null")) {
+      v.kind = JsonValue::Kind::kNull;
+    } else {
+      CLEAR_CHECK_MSG(false, "metrics JSON: bad literal at offset " << pos_);
+    }
+    return v;
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    CLEAR_CHECK_MSG(pos_ > start, "metrics JSON: expected a value at offset "
+                                      << start);
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.raw = std::string(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    v.number = std::strtod(v.raw.c_str(), &end);
+    CLEAR_CHECK_MSG(end == v.raw.c_str() + v.raw.size(),
+                    "metrics JSON: bad number '" << v.raw << "'");
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+std::uint64_t as_u64(const JsonValue& v) {
+  CLEAR_CHECK_MSG(v.kind == JsonValue::Kind::kNumber,
+                  "metrics JSON: expected a number");
+  // The exporter writes counters as plain decimal u64; round-trip through
+  // the raw token so values past 2^53 stay exact.
+  bool digits_only = !v.raw.empty();
+  for (const char c : v.raw)
+    digits_only = digits_only && std::isdigit(static_cast<unsigned char>(c));
+  if (digits_only) {
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(v.raw.c_str(), &end, 10);
+    if (end == v.raw.c_str() + v.raw.size()) return n;
+  }
+  CLEAR_CHECK_MSG(v.number >= 0.0, "metrics JSON: negative count");
+  return static_cast<std::uint64_t>(v.number);
+}
+
+double as_double(const JsonValue& v) {
+  CLEAR_CHECK_MSG(v.kind == JsonValue::Kind::kNumber,
+                  "metrics JSON: expected a number");
+  return v.number;
+}
+
+/// Map an exported bucket bound back onto the fixed layout: le must be
+/// exactly 2^b for some b in [0, kBuckets).
+std::size_t bucket_index_for_bound(double le) {
+  for (std::size_t b = 0; b < Histogram::kBuckets; ++b)
+    if (Histogram::bucket_limit(b) == le) return b;
+  CLEAR_CHECK_MSG(false, "metrics JSON: histogram bucket bound "
+                             << le
+                             << " is not a power of two in the fixed layout");
+  return 0;  // Unreachable.
+}
+
+}  // namespace
+
+ParsedSnapshot parse_snapshot(const std::string& json) {
+  const JsonValue root = JsonParser(json).parse();
+  CLEAR_CHECK_MSG(root.kind == JsonValue::Kind::kObject,
+                  "metrics JSON: top level is not an object");
+  ParsedSnapshot out;
+  if (const JsonValue* counters = root.find("counters")) {
+    CLEAR_CHECK_MSG(counters->kind == JsonValue::Kind::kObject,
+                    "metrics JSON: 'counters' is not an object");
+    for (const auto& [name, v] : counters->members)
+      out.counters.emplace_back(name, as_u64(v));
+  }
+  if (const JsonValue* gauges = root.find("gauges")) {
+    CLEAR_CHECK_MSG(gauges->kind == JsonValue::Kind::kObject,
+                    "metrics JSON: 'gauges' is not an object");
+    for (const auto& [name, v] : gauges->members)
+      out.gauges.emplace_back(name, as_double(v));
+  }
+  if (const JsonValue* histograms = root.find("histograms")) {
+    CLEAR_CHECK_MSG(histograms->kind == JsonValue::Kind::kObject,
+                    "metrics JSON: 'histograms' is not an object");
+    for (const auto& [name, v] : histograms->members) {
+      CLEAR_CHECK_MSG(v.kind == JsonValue::Kind::kObject,
+                      "metrics JSON: histogram '" << name
+                                                  << "' is not an object");
+      HistogramSnapshot h;
+      if (const JsonValue* f = v.find("count")) h.count = as_u64(*f);
+      if (const JsonValue* f = v.find("sum")) h.sum = as_double(*f);
+      if (const JsonValue* f = v.find("min")) h.min = as_double(*f);
+      if (const JsonValue* f = v.find("max")) h.max = as_double(*f);
+      if (const JsonValue* buckets = v.find("buckets")) {
+        CLEAR_CHECK_MSG(buckets->kind == JsonValue::Kind::kArray,
+                        "metrics JSON: histogram '"
+                            << name << "' buckets is not an array");
+        for (const JsonValue& b : buckets->items) {
+          CLEAR_CHECK_MSG(b.kind == JsonValue::Kind::kObject,
+                          "metrics JSON: histogram '"
+                              << name << "' bucket is not an object");
+          const JsonValue* le = b.find("le");
+          const JsonValue* count = b.find("count");
+          CLEAR_CHECK_MSG(le != nullptr && count != nullptr,
+                          "metrics JSON: histogram '"
+                              << name << "' bucket misses le/count");
+          const std::size_t idx = bucket_index_for_bound(as_double(*le));
+          if (h.buckets.size() <= idx) h.buckets.resize(idx + 1, 0);
+          h.buckets[idx] += as_u64(*count);
+        }
+      }
+      out.histograms.emplace_back(name, std::move(h));
+    }
+  }
+  return out;
+}
+
+ParsedSnapshot with_prefix(ParsedSnapshot snapshot, std::string_view prefix) {
+  for (auto& [name, v] : snapshot.counters)
+    name.insert(0, prefix);
+  for (auto& [name, v] : snapshot.gauges)
+    name.insert(0, prefix);
+  for (auto& [name, v] : snapshot.histograms)
+    name.insert(0, prefix);
+  return snapshot;
+}
+
+void merge_snapshot(const ParsedSnapshot& snapshot) {
+  for (const auto& [name, v] : snapshot.counters) counter(name).add(v);
+  for (const auto& [name, v] : snapshot.gauges) gauge(name).set(v);
+  for (const auto& [name, h] : snapshot.histograms) histogram(name).merge(h);
 }
 
 }  // namespace clear::obs

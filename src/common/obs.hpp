@@ -93,11 +93,18 @@ class Gauge {
 /// excluded from sum/min/max, so one bad sample can never poison the
 /// summary statistics of a raw-measurement histogram (the drift monitor
 /// records unclamped distance ratios here).
+struct HistogramSnapshot;
+
 class Histogram {
  public:
   static constexpr std::size_t kBuckets = 48;
 
   void record(double v);
+  /// Fold another histogram's exported summary into this one. Exact: the
+  /// snapshot carries per-bucket upper bounds, which map 1:1 onto this
+  /// fixed layout, so merged bucket vectors equal what one process
+  /// recording both streams would have produced.
+  void merge(const HistogramSnapshot& other);
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const;
   double min() const;
@@ -204,6 +211,51 @@ std::string snapshot_json();
 
 /// Write snapshot_json() to `path` atomically (temp file + rename).
 void write_snapshot(const std::string& path);
+
+/// snapshot_json() with an empty traceEvents array: the metrics half only,
+/// bounded in size, for crossing the wire (kMetricsJson frames must fit the
+/// 1 MiB payload bound; a trace buffer would not).
+std::string metrics_json();
+
+// ---------------------------------------------------------------------------
+// Snapshot merge (multi-process aggregation; see src/shard)
+// ---------------------------------------------------------------------------
+
+/// One exported histogram, parsed back. `buckets` is indexed by the fixed
+/// bucket layout (buckets[b] counts values in [2^(b-1), 2^b)); trailing
+/// zero buckets may be omitted, exactly as snapshot_json() writes them.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<std::uint64_t> buckets;
+};
+
+/// One metrics snapshot parsed back from snapshot_json()/metrics_json()
+/// bytes (traceEvents are per-process and are not carried across). Names
+/// keep the exporter's sorted order.
+struct ParsedSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+/// Parse snapshot JSON. Throws clear::Error on malformed input — including
+/// a histogram bucket bound that is not a power of two, which cannot map
+/// onto the fixed layout (a snapshot from a foreign implementation).
+ParsedSnapshot parse_snapshot(const std::string& json);
+
+/// Prefix-remap helper: the same snapshot with every metric name prefixed
+/// (e.g. "serve.requests" -> "coord.serve.requests"), so one process can
+/// fold another's metrics into its registry without name collisions.
+ParsedSnapshot with_prefix(ParsedSnapshot snapshot, std::string_view prefix);
+
+/// Fold a parsed snapshot into this process's registry: counters add,
+/// gauges last-write, histograms merge bucket-exactly. Folding N shard
+/// snapshots then exporting produces the same counters/histograms one
+/// process observing all N streams would have written.
+void merge_snapshot(const ParsedSnapshot& snapshot);
 
 }  // namespace clear::obs
 

@@ -136,7 +136,7 @@ class Reader {
 
 bool known_type(std::uint8_t t) {
   return t >= static_cast<std::uint8_t>(FrameType::kRequest) &&
-         t <= static_cast<std::uint8_t>(FrameType::kShutdown);
+         t <= static_cast<std::uint8_t>(FrameType::kMetricsJson);
 }
 
 }  // namespace
@@ -148,6 +148,15 @@ const char* frame_type_name(FrameType t) {
     case FrameType::kDrain: return "drain";
     case FrameType::kDrainAck: return "drain-ack";
     case FrameType::kShutdown: return "shutdown";
+    case FrameType::kPing: return "ping";
+    case FrameType::kPong: return "pong";
+    case FrameType::kExport: return "export";
+    case FrameType::kSessionImage: return "session-image";
+    case FrameType::kImportAck: return "import-ack";
+    case FrameType::kAdopt: return "adopt";
+    case FrameType::kAdoptAck: return "adopt-ack";
+    case FrameType::kMetricsPull: return "metrics-pull";
+    case FrameType::kMetricsJson: return "metrics-json";
   }
   return "?";
 }
@@ -234,6 +243,74 @@ std::string encode_drain_ack(const WireDrainAck& ack) {
 
 std::string encode_shutdown() {
   return encode_frame(FrameType::kShutdown, std::string());
+}
+
+std::string encode_ping(std::uint64_t nonce) {
+  std::string p;
+  put_u64(p, nonce);
+  return encode_frame(FrameType::kPing, p);
+}
+
+std::string encode_pong(const WirePong& pong) {
+  std::string p;
+  put_u64(p, pong.nonce);
+  put_u64(p, pong.sessions);
+  return encode_frame(FrameType::kPong, p);
+}
+
+std::string encode_export(std::uint64_t user_id) {
+  std::string p;
+  put_u64(p, user_id);
+  return encode_frame(FrameType::kExport, p);
+}
+
+std::string encode_session_image(const WireSessionImage& image) {
+  std::string p;
+  p.reserve(20 + image.image.size() + image.checkpoint.size());
+  put_u64(p, image.user_id);
+  put_u32(p, image.found ? 1 : 0);
+  put_u32(p, static_cast<std::uint32_t>(image.image.size()));
+  p.append(image.image);
+  put_u32(p, static_cast<std::uint32_t>(image.checkpoint.size()));
+  p.append(image.checkpoint);
+  // encode_frame enforces kMaxPayload: a session image plus a smoke-scale
+  // personal checkpoint is tens of KiB, far below the 1 MiB frame bound.
+  return encode_frame(FrameType::kSessionImage, p);
+}
+
+std::string encode_import_ack(const WireImportAck& ack) {
+  std::string p;
+  p.reserve(16 + ack.error.size());
+  put_u64(p, ack.user_id);
+  put_u32(p, ack.ok ? 1 : 0);
+  put_u32(p, static_cast<std::uint32_t>(ack.error.size()));
+  p.append(ack.error);
+  return encode_frame(FrameType::kImportAck, p);
+}
+
+std::string encode_adopt(const std::string& journal_dir) {
+  std::string p;
+  p.reserve(4 + journal_dir.size());
+  put_u32(p, static_cast<std::uint32_t>(journal_dir.size()));
+  p.append(journal_dir);
+  return encode_frame(FrameType::kAdopt, p);
+}
+
+std::string encode_adopt_ack(const WireAdoptAck& ack) {
+  std::string p;
+  p.reserve(24);
+  put_u64(p, ack.sessions);
+  put_u64(p, ack.personalized);
+  put_u64(p, ack.failed);
+  return encode_frame(FrameType::kAdoptAck, p);
+}
+
+std::string encode_metrics_pull() {
+  return encode_frame(FrameType::kMetricsPull, std::string());
+}
+
+std::string encode_metrics_json(const std::string& json) {
+  return encode_frame(FrameType::kMetricsJson, json);
 }
 
 FrameDecoder::FrameDecoder(std::size_t max_payload)
@@ -410,6 +487,129 @@ bool parse_drain_ack(const Frame& frame, WireDrainAck& out,
   out.ok = r.u64();
   out.shed = r.u64();
   return r.done();
+}
+
+bool parse_ping(const Frame& frame, std::uint64_t& nonce, std::string& error) {
+  if (frame.type != FrameType::kPing) {
+    error = "not a ping frame";
+    return false;
+  }
+  Reader r(frame.payload, error);
+  nonce = r.u64();
+  return r.done();
+}
+
+bool parse_pong(const Frame& frame, WirePong& out, std::string& error) {
+  if (frame.type != FrameType::kPong) {
+    error = "not a pong frame";
+    return false;
+  }
+  Reader r(frame.payload, error);
+  out.nonce = r.u64();
+  out.sessions = r.u64();
+  return r.done();
+}
+
+bool parse_export(const Frame& frame, std::uint64_t& user_id,
+                  std::string& error) {
+  if (frame.type != FrameType::kExport) {
+    error = "not an export frame";
+    return false;
+  }
+  Reader r(frame.payload, error);
+  user_id = r.u64();
+  return r.done();
+}
+
+bool parse_session_image(const Frame& frame, WireSessionImage& out,
+                         std::string& error) {
+  if (frame.type != FrameType::kSessionImage) {
+    error = "not a session-image frame";
+    return false;
+  }
+  Reader r(frame.payload, error);
+  out.user_id = r.u64();
+  const std::uint32_t found = r.u32();
+  if (!r.ok()) return false;
+  if (found > 1) {
+    std::ostringstream os;
+    os << "found must be 0 or 1; got " << found;
+    r.set_error(os.str());
+    return false;
+  }
+  out.found = found == 1;
+  const std::uint32_t image_len = r.u32();
+  out.image = r.bytes(image_len);
+  const std::uint32_t ckpt_len = r.u32();
+  out.checkpoint = r.bytes(ckpt_len);
+  if (!r.done()) return false;
+  if (out.found && out.image.empty()) {
+    r.set_error("found session carries no image bytes");
+    return false;
+  }
+  return true;
+}
+
+bool parse_import_ack(const Frame& frame, WireImportAck& out,
+                      std::string& error) {
+  if (frame.type != FrameType::kImportAck) {
+    error = "not an import-ack frame";
+    return false;
+  }
+  Reader r(frame.payload, error);
+  out.user_id = r.u64();
+  const std::uint32_t ok = r.u32();
+  if (!r.ok()) return false;
+  if (ok > 1) {
+    std::ostringstream os;
+    os << "ok must be 0 or 1; got " << ok;
+    r.set_error(os.str());
+    return false;
+  }
+  out.ok = ok == 1;
+  const std::uint32_t error_len = r.u32();
+  out.error = r.bytes(error_len);
+  return r.done();
+}
+
+bool parse_adopt(const Frame& frame, std::string& journal_dir,
+                 std::string& error) {
+  if (frame.type != FrameType::kAdopt) {
+    error = "not an adopt frame";
+    return false;
+  }
+  Reader r(frame.payload, error);
+  const std::uint32_t dir_len = r.u32();
+  journal_dir = r.bytes(dir_len);
+  if (!r.done()) return false;
+  if (journal_dir.empty()) {
+    r.set_error("adopt names an empty journal directory");
+    return false;
+  }
+  return true;
+}
+
+bool parse_adopt_ack(const Frame& frame, WireAdoptAck& out,
+                     std::string& error) {
+  if (frame.type != FrameType::kAdoptAck) {
+    error = "not an adopt-ack frame";
+    return false;
+  }
+  Reader r(frame.payload, error);
+  out.sessions = r.u64();
+  out.personalized = r.u64();
+  out.failed = r.u64();
+  return r.done();
+}
+
+bool parse_metrics_json(const Frame& frame, std::string& json,
+                        std::string& error) {
+  if (frame.type != FrameType::kMetricsJson) {
+    error = "not a metrics-json frame";
+    return false;
+  }
+  json = frame.payload;
+  return true;
 }
 
 }  // namespace clear::net

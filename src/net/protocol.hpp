@@ -48,6 +48,21 @@ enum class FrameType : std::uint8_t {
   kDrain = 3,     ///< Client -> server: flush every pending batch.
   kDrainAck = 4,  ///< Server -> client: drain done + counters snapshot.
   kShutdown = 5,  ///< Client -> server: drain, flush, stop the event loop.
+  // Shard-coordination control frames (coordinator <-> shard only; clients
+  // never see them). Same framing, same version: a v1 peer that does not
+  // speak them is by definition not a shard.
+  kPing = 6,          ///< Coordinator -> shard: liveness probe (nonce).
+  kPong = 7,          ///< Shard -> coordinator: echo nonce + session count.
+  kExport = 8,        ///< Coordinator -> losing shard: hand over one user.
+  kSessionImage = 9,  ///< Session image + personal checkpoint, both ways:
+                      ///< shard -> coordinator (export reply) and
+                      ///< coordinator -> gaining shard (import).
+  kImportAck = 10,    ///< Gaining shard -> coordinator: import done/failed.
+  kAdopt = 11,        ///< Coordinator -> survivor: recover a dead shard's
+                      ///< journal directory and take over its sessions.
+  kAdoptAck = 12,     ///< Survivor -> coordinator: adoption report.
+  kMetricsPull = 13,  ///< Coordinator -> shard: request a metrics snapshot.
+  kMetricsJson = 14,  ///< Shard -> coordinator: obs::metrics_json() bytes.
 };
 
 const char* frame_type_name(FrameType t);
@@ -88,6 +103,40 @@ struct WireDrainAck {
   std::uint64_t shed = 0;
 };
 
+/// Shard liveness reply: the probe's nonce plus the shard's session count
+/// (free capacity telemetry for the coordinator's summaries).
+struct WirePong {
+  std::uint64_t nonce = 0;
+  std::uint64_t sessions = 0;
+};
+
+/// One serialized session crossing the wire during a migration handoff.
+/// `image` is serve::encode_session_image bytes (the journal's CRC-framed
+/// snapshot format carries the same payload on disk); `checkpoint` is the
+/// personal fine-tuned model checkpoint, empty when the session has none.
+/// `found == false` (export replies only) means the losing shard had no
+/// session for the user — nothing to move.
+struct WireSessionImage {
+  std::uint64_t user_id = 0;
+  bool found = false;
+  std::string image;
+  std::string checkpoint;
+};
+
+/// Gaining shard's verdict on one session import.
+struct WireImportAck {
+  std::uint64_t user_id = 0;
+  bool ok = false;
+  std::string error;  ///< Addressed reason when !ok.
+};
+
+/// Survivor's report after adopting a dead shard's journal directory.
+struct WireAdoptAck {
+  std::uint64_t sessions = 0;      ///< Sessions recovered and taken over.
+  std::uint64_t personalized = 0;  ///< Of those, with a personal engine.
+  std::uint64_t failed = 0;        ///< Sessions lost to an import failure.
+};
+
 // -- Encoding (infallible for well-formed inputs) ---------------------------
 
 std::string encode_frame(FrameType type, const std::string& payload);
@@ -96,6 +145,15 @@ std::string encode_response(const WireResponse& response);
 std::string encode_drain();
 std::string encode_drain_ack(const WireDrainAck& ack);
 std::string encode_shutdown();
+std::string encode_ping(std::uint64_t nonce);
+std::string encode_pong(const WirePong& pong);
+std::string encode_export(std::uint64_t user_id);
+std::string encode_session_image(const WireSessionImage& image);
+std::string encode_import_ack(const WireImportAck& ack);
+std::string encode_adopt(const std::string& journal_dir);
+std::string encode_adopt_ack(const WireAdoptAck& ack);
+std::string encode_metrics_pull();
+std::string encode_metrics_json(const std::string& json);
 
 // -- Decoding ----------------------------------------------------------------
 
@@ -157,5 +215,20 @@ bool parse_request(const Frame& frame, WireRequest& out, std::string& error);
 bool parse_response(const Frame& frame, WireResponse& out, std::string& error);
 bool parse_drain_ack(const Frame& frame, WireDrainAck& out,
                      std::string& error);
+bool parse_ping(const Frame& frame, std::uint64_t& nonce, std::string& error);
+bool parse_pong(const Frame& frame, WirePong& out, std::string& error);
+bool parse_export(const Frame& frame, std::uint64_t& user_id,
+                  std::string& error);
+bool parse_session_image(const Frame& frame, WireSessionImage& out,
+                         std::string& error);
+bool parse_import_ack(const Frame& frame, WireImportAck& out,
+                      std::string& error);
+bool parse_adopt(const Frame& frame, std::string& journal_dir,
+                 std::string& error);
+bool parse_adopt_ack(const Frame& frame, WireAdoptAck& out,
+                     std::string& error);
+/// kMetricsJson carries raw snapshot bytes; this just validates the type.
+bool parse_metrics_json(const Frame& frame, std::string& json,
+                        std::string& error);
 
 }  // namespace clear::net

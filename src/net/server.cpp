@@ -10,8 +10,10 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/logging.hpp"
 #include "common/obs.hpp"
+#include "serve/journal.hpp"
 
 namespace clear::net {
 
@@ -234,8 +236,44 @@ bool NetServer::pump_frames(Connection& conn) {
         begin_shutdown();
         send_frame(conn, encode_drain_ack(ack_snapshot()));
         return true;  // No more reads matter; loop now only flushes.
+      case FrameType::kPing: {
+        std::uint64_t nonce = 0;
+        std::string error;
+        if (!parse_ping(frame, nonce, error)) {
+          ++counters_.decode_errors;
+          CLEAR_OBS_COUNT("net.decode_errors", 1);
+          CLEAR_WARN("net: connection " << conn.id << ": bad ping: " << error);
+          return false;
+        }
+        if (fault::shard_drop_heartbeat_fires()) {
+          // Injected silence: the coordinator sees a missed beat.
+          CLEAR_OBS_COUNT("net.heartbeats.dropped", 1);
+          break;
+        }
+        WirePong pong;
+        pong.nonce = nonce;
+        pong.sessions = server_.sessions().size();
+        send_frame(conn, encode_pong(pong));
+        break;
+      }
+      case FrameType::kExport:
+        if (!on_export(conn, frame)) return false;
+        break;
+      case FrameType::kSessionImage:
+        if (!on_import(conn, frame)) return false;
+        break;
+      case FrameType::kAdopt:
+        if (!on_adopt(conn, frame)) return false;
+        break;
+      case FrameType::kMetricsPull:
+        send_frame(conn, encode_metrics_json(obs::metrics_json()));
+        break;
       case FrameType::kResponse:
       case FrameType::kDrainAck:
+      case FrameType::kPong:
+      case FrameType::kImportAck:
+      case FrameType::kAdoptAck:
+      case FrameType::kMetricsJson:
         ++counters_.decode_errors;
         CLEAR_OBS_COUNT("net.decode_errors", 1);
         CLEAR_WARN("net: connection "
@@ -292,6 +330,116 @@ bool NetServer::on_request(Connection& conn, const Frame& frame) {
   ++conn.submitted;
   server_.submit(std::move(request));
   dispatch_results();
+  return true;
+}
+
+bool NetServer::on_export(Connection& conn, const Frame& frame) {
+  std::uint64_t user = 0;
+  std::string error;
+  if (!parse_export(frame, user, error)) {
+    ++counters_.decode_errors;
+    CLEAR_OBS_COUNT("net.decode_errors", 1);
+    CLEAR_WARN("net: connection " << conn.id << ": bad export: " << error);
+    return false;
+  }
+  // Quiesce first: the user's pending rows must complete (and their
+  // responses route) before the session freezes — exporting mid-batch
+  // would fork the session's history across shards.
+  server_.drain();
+  dispatch_results();
+  WireSessionImage out;
+  out.user_id = user;
+  if (std::optional<serve::Server::ExportedSession> exp =
+          server_.export_session(user)) {
+    out.found = true;
+    out.image = serve::encode_session_image(exp->image);
+    out.checkpoint = std::move(exp->checkpoint);
+  }
+  send_frame(conn, encode_session_image(out));
+  // Retire only after the image is on (or queued for) the wire: a send
+  // failure closes the connection, and the coordinator treats the shard as
+  // dead — the session must still be in this shard's journal for adoption.
+  if (out.found) server_.retire_session(user);
+  return true;
+}
+
+bool NetServer::on_import(Connection& conn, const Frame& frame) {
+  WireSessionImage wire;
+  std::string error;
+  if (!parse_session_image(frame, wire, error)) {
+    ++counters_.decode_errors;
+    CLEAR_OBS_COUNT("net.decode_errors", 1);
+    CLEAR_WARN("net: connection " << conn.id << ": bad session image: "
+                                  << error);
+    return false;
+  }
+  WireImportAck ack;
+  ack.user_id = wire.user_id;
+  if (!wire.found) {
+    ack.error = "import frame carries no session (found = false)";
+  } else {
+    try {
+      const serve::SessionImage image =
+          serve::decode_session_image(wire.image);
+      if (image.user_id != wire.user_id) {
+        ack.error = "image user does not match the frame header";
+      } else {
+        ack.ok = server_.import_session(image, wire.checkpoint);
+        if (!ack.ok) ack.error = "import failed (see shard log)";
+      }
+    } catch (const Error& e) {
+      ack.error = e.what();
+    }
+  }
+  send_frame(conn, encode_import_ack(ack));
+  return true;
+}
+
+bool NetServer::on_adopt(Connection& conn, const Frame& frame) {
+  std::string dir;
+  std::string error;
+  if (!parse_adopt(frame, dir, error)) {
+    ++counters_.decode_errors;
+    CLEAR_OBS_COUNT("net.decode_errors", 1);
+    CLEAR_WARN("net: connection " << conn.id << ": bad adopt: " << error);
+    return false;
+  }
+  WireAdoptAck ack;
+  // Rebuild the dead shard's sessions in a scratch server — recover() is
+  // snapshot restore + journal replay + checkpoint re-attach, the exact
+  // machinery a restart of the dead shard would run — then move each one
+  // over with the same export/import path a live migration uses.
+  try {
+    serve::ServeConfig scratch_config = server_.config();
+    scratch_config.journal.directory = dir;
+    serve::Server scratch(server_.source(), std::move(scratch_config));
+    const serve::RecoveryReport report = scratch.recover();
+    CLEAR_INFO("net: adopting " << report.sessions << " sessions from '"
+                                << dir << "' (" << report.personalized
+                                << " personalized)");
+    std::vector<std::uint64_t> users;
+    for (const serve::Session* s : scratch.sessions().sessions())
+      users.push_back(s->user_id());
+    for (const std::uint64_t user : users) {
+      std::optional<serve::Server::ExportedSession> exp =
+          scratch.export_session(user);
+      if (!exp) continue;
+      const bool personal = exp->image.has_personal;
+      if (server_.import_session(exp->image, exp->checkpoint)) {
+        ++ack.sessions;
+        if (personal) ++ack.personalized;
+        // The dead directory no longer claims the session; a second adopt
+        // of the same directory must not double-import it.
+        scratch.retire_session(user);
+      } else {
+        ++ack.failed;
+      }
+    }
+  } catch (const Error& e) {
+    CLEAR_WARN("net: adoption of '" << dir << "' failed: " << e.what());
+    ++ack.failed;
+  }
+  send_frame(conn, encode_adopt_ack(ack));
   return true;
 }
 

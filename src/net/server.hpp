@@ -101,6 +101,10 @@ class NetServer {
   /// Returns false when the connection must close (framing error).
   bool pump_frames(Connection& conn);
   bool on_request(Connection& conn, const Frame& frame);
+  // Shard-coordination handlers (coordinator-driven; see src/shard).
+  bool on_export(Connection& conn, const Frame& frame);
+  bool on_import(Connection& conn, const Frame& frame);
+  bool on_adopt(Connection& conn, const Frame& frame);
   void begin_shutdown();
   /// Pull completed results out of the serve layer and route each to its
   /// connection (or count it dropped).

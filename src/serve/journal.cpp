@@ -639,4 +639,19 @@ std::string read_user_checkpoint(const std::string& directory,
   return read_file_bytes(user_checkpoint_path(directory, user_id));
 }
 
+std::string encode_session_image(const SessionImage& image) {
+  std::ostringstream os(std::ios::binary);
+  write_image(os, image);
+  return os.str();
+}
+
+SessionImage decode_session_image(const std::string& bytes) {
+  std::istringstream is(bytes, std::ios::binary);
+  SessionImage img = read_image(is, kFormatVersion);
+  CLEAR_CHECK_MSG(is.good(), "truncated session image");
+  is.peek();
+  CLEAR_CHECK_MSG(is.eof(), "trailing bytes after session image");
+  return img;
+}
+
 }  // namespace clear::serve

@@ -247,4 +247,17 @@ void write_user_checkpoint(const std::string& directory,
 std::string read_user_checkpoint(const std::string& directory,
                                  std::uint64_t user_id);
 
+// -- Session-image codec (shard migration) ----------------------------------
+
+/// Serialize one session image in the current snapshot format (the exact
+/// bytes a snapshot embeds per session). This is the payload a shard
+/// migration moves over the wire; the carrier frame supplies CRC framing,
+/// like the snapshot file does on disk.
+std::string encode_session_image(const SessionImage& image);
+
+/// Parse encode_session_image bytes. Throws clear::Error on truncated or
+/// trailing input — migration carriers are CRC-checked, so damage here is a
+/// protocol bug, not line noise.
+SessionImage decode_session_image(const std::string& bytes);
+
 }  // namespace clear::serve

@@ -772,6 +772,90 @@ SnapshotData Server::make_snapshot(std::uint64_t last_seq) const {
   return data;
 }
 
+std::optional<Server::ExportedSession> Server::export_session(
+    std::uint64_t user_id) {
+  Session* session = sessions_.find(user_id);
+  if (!session) return std::nullopt;
+  for (const auto& [slot, p] : pending_)
+    CLEAR_CHECK_MSG(p.request.user_id != user_id,
+                    "export with requests still pending for user "
+                        << user_id << " (drain first)");
+  ExportedSession out;
+  out.image = session->image();
+  if (session->has_personal_engine()) {
+    // The exact serialization personalize() persisted, so the wire blob is
+    // bit-identical to this shard's user_<id>.ckpt.
+    std::ostringstream os(std::ios::binary);
+    nn::save_checkpoint(os, session->personal_engine()->model());
+    out.checkpoint = os.str();
+  }
+  CLEAR_OBS_COUNT("serve.migration.exports", 1);
+  return out;
+}
+
+void Server::retire_session(std::uint64_t user_id) {
+  Session* session = sessions_.find(user_id);
+  if (!session) return;
+  if (session->adapting() && drift_active_ > 0) --drift_active_;
+  sessions_.erase(user_id);
+  retired_personal_.erase(user_id);
+  CLEAR_OBS_COUNT("serve.migration.retired", 1);
+  CLEAR_OBS_GAUGE("serve.sessions", sessions_.size());
+  // Compact so the snapshot stops claiming the session; the orphaned
+  // user_<id>.ckpt (if any) is unreferenced and harmless.
+  snapshot_now();
+}
+
+bool Server::import_session(const SessionImage& image,
+                            const std::string& checkpoint) {
+  const std::uint64_t user = image.user_id;
+  const auto fail = [&](const std::string& why) {
+    CLEAR_WARN("migration import for user " << user << " failed: " << why);
+    CLEAR_OBS_COUNT("serve.migration.failed", 1);
+    return false;
+  };
+  if (sessions_.find(user)) return fail("user already has a session here");
+  std::unique_ptr<edge::EdgeEngine> engine;
+  if (image.has_personal) {
+    if (checkpoint.empty())
+      return fail("image claims a personal engine but no checkpoint came");
+    try {
+      fault::maybe_fail_migrate_io("import checkpoint build");
+      engine = build_engine(checkpoint, sessions_.precision_for(user));
+    } catch (const Error& e) {
+      return fail(e.what());
+    }
+  }
+  if (journal_ && image.has_personal) {
+    // Land the checkpoint before the session becomes visible — same order
+    // personalize() uses — so a crash right after the import's snapshot
+    // still recovers the personal engine.
+    try {
+      fault::maybe_fail_migrate_io("import checkpoint store");
+      write_user_checkpoint(config_.journal.directory, user, checkpoint,
+                            config_.journal.fsync);
+      ++counters_.journal_ckpts;
+      CLEAR_OBS_COUNT("serve.journal.ckpts", 1);
+    } catch (const Error& e) {
+      return fail(e.what());
+    }
+  }
+  Session* restored = nullptr;
+  try {
+    restored = sessions_.restore(image, std::move(engine));
+  } catch (const Error& e) {
+    return fail(e.what());
+  }
+  if (!restored) return fail("session table full");
+  if (restored->adapting()) ++drift_active_;
+  CLEAR_OBS_COUNT("serve.migration.imports", 1);
+  CLEAR_OBS_GAUGE("serve.sessions", sessions_.size());
+  // Fold the adopted session into the baseline snapshot now: no journal
+  // record admits it, so replay must find it in snapshot.snap.
+  snapshot_now();
+  return true;
+}
+
 std::vector<ServeResult> Server::take_results() {
   std::vector<ServeResult> out = std::move(completed_);
   completed_.clear();

@@ -163,6 +163,32 @@ class Server {
   void snapshot_now();
   bool journaling() const { return journal_ != nullptr; }
 
+  // -- Shard migration (src/shard checkpoint handoff) ------------------------
+  /// One session frozen for a migration handoff: the snapshot-format image
+  /// plus the personal fine-tuned checkpoint blob (empty when the session
+  /// has none). The blob is the same bytes personalize() persisted to
+  /// user_<id>.ckpt, so a restore on the gaining shard is bit-identical.
+  struct ExportedSession {
+    SessionImage image;
+    std::string checkpoint;
+  };
+  /// Freeze one session for handoff. Non-mutating; nullopt when the user
+  /// has no session here. The caller must drain() first — exporting with
+  /// the user's rows still pending would fork the session's history.
+  std::optional<ExportedSession> export_session(std::uint64_t user_id);
+  /// Drop a handed-off session and snapshot, so this shard's journal no
+  /// longer claims it. The user's next request *here* starts COLD (the
+  /// coordinator routes them elsewhere).
+  void retire_session(std::uint64_t user_id);
+  /// Install a migrated session. Returns false — counting
+  /// serve.migration.failed, importing nothing — when the user already has
+  /// a session here, the table is full, or the personal checkpoint cannot
+  /// be rebuilt/persisted (real or injected migrate-IO failure); the
+  /// coordinator decides whether to retry or let the user restart COLD.
+  bool import_session(const SessionImage& image,
+                      const std::string& checkpoint);
+
+  const ServeConfig& config() const { return config_; }
   const ServeCounters& counters() const { return counters_; }
   /// Virtual-clock high-water mark: the latest arrival submitted so far.
   /// Front ends merging multiple connections clamp to this to satisfy the

@@ -1,0 +1,69 @@
+#include "shard/ring.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/fault.hpp"
+
+namespace clear::shard {
+
+namespace {
+
+// Hash-kind tags keep the vnode and key streams independent even where a
+// shard id collides with a user id.
+constexpr std::uint64_t kKindVnode = 0x51;
+constexpr std::uint64_t kKindKey = 0x52;
+
+std::uint64_t vnode_hash(std::uint64_t seed, std::uint32_t shard_id,
+                         std::uint32_t replica) {
+  return fault::mix(seed, kKindVnode, shard_id, replica);
+}
+
+std::uint64_t key_hash(std::uint64_t seed, std::uint64_t user_id) {
+  return fault::mix(seed, kKindKey, user_id, 0);
+}
+
+}  // namespace
+
+HashRing::HashRing(RingConfig config) : config_(config) {
+  CLEAR_CHECK_MSG(config_.vnodes >= 1, "ring needs at least one vnode");
+}
+
+void HashRing::add_shard(std::uint32_t shard_id) {
+  CLEAR_CHECK_MSG(!contains(shard_id),
+                  "shard " << shard_id << " is already on the ring");
+  shards_.insert(
+      std::lower_bound(shards_.begin(), shards_.end(), shard_id), shard_id);
+  points_.reserve(points_.size() + config_.vnodes);
+  for (std::uint32_t r = 0; r < config_.vnodes; ++r)
+    points_.emplace_back(vnode_hash(config_.seed, shard_id, r), shard_id);
+  std::sort(points_.begin(), points_.end());
+}
+
+void HashRing::remove_shard(std::uint32_t shard_id) {
+  CLEAR_CHECK_MSG(contains(shard_id),
+                  "shard " << shard_id << " is not on the ring");
+  shards_.erase(std::find(shards_.begin(), shards_.end(), shard_id));
+  points_.erase(std::remove_if(points_.begin(), points_.end(),
+                               [shard_id](const auto& p) {
+                                 return p.second == shard_id;
+                               }),
+                points_.end());
+}
+
+bool HashRing::contains(std::uint32_t shard_id) const {
+  return std::binary_search(shards_.begin(), shards_.end(), shard_id);
+}
+
+std::uint32_t HashRing::owner(std::uint64_t user_id) const {
+  CLEAR_CHECK_MSG(!points_.empty(), "owner() on an empty ring");
+  const std::uint64_t h = key_hash(config_.seed, user_id);
+  // First point strictly clockwise from h, wrapping to the smallest point.
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), h,
+      [](std::uint64_t v, const auto& p) { return v < p.first; });
+  if (it == points_.end()) it = points_.begin();
+  return it->second;
+}
+
+}  // namespace clear::shard

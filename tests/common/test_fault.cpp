@@ -225,6 +225,44 @@ TEST(IoFailure, DisarmCancels) {
   EXPECT_NO_THROW(maybe_fail_io("op"));
 }
 
+TEST(ShardFaults, DropHeartbeatFiresExactlyOnceAtCountdown) {
+  arm_shard_drop_heartbeat(2);
+  EXPECT_FALSE(shard_drop_heartbeat_fires());  // countdown 2 -> 1
+  EXPECT_TRUE(shard_drop_heartbeat_fires());   // fires
+  EXPECT_FALSE(shard_drop_heartbeat_fires());  // spent, never re-fires
+  EXPECT_FALSE(shard_drop_heartbeat_fires());
+  disarm_shard_drop_heartbeat();
+}
+
+TEST(ShardFaults, DropHeartbeatDisarmedNeverFires) {
+  disarm_shard_drop_heartbeat();
+  for (int i = 0; i < 8; ++i) EXPECT_FALSE(shard_drop_heartbeat_fires());
+  arm_shard_drop_heartbeat(3);
+  disarm_shard_drop_heartbeat();
+  for (int i = 0; i < 8; ++i) EXPECT_FALSE(shard_drop_heartbeat_fires());
+}
+
+TEST(ShardFaults, MigrateIoFailThrowsOnceAtCountdownWithSite) {
+  arm_migrate_io_fail(2);
+  EXPECT_NO_THROW(maybe_fail_migrate_io("import checkpoint build"));
+  try {
+    maybe_fail_migrate_io("import checkpoint store");
+    FAIL() << "armed migration IO fault did not fire";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("import checkpoint store"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_NO_THROW(maybe_fail_migrate_io("import checkpoint build"));
+  disarm_migrate_io_fail();
+}
+
+TEST(ShardFaults, MigrateIoFailDisarmedIsANoOp) {
+  disarm_migrate_io_fail();
+  for (int i = 0; i < 8; ++i)
+    EXPECT_NO_THROW(maybe_fail_migrate_io("import checkpoint build"));
+}
+
 TEST(MixAndUniform, StableAndWellDistributed) {
   // Pin the decision function: changing it would silently re-roll every
   // recorded robustness sweep.

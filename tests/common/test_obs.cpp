@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hpp"
+
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -230,6 +232,109 @@ TEST_F(Obs, NowUsIsMonotonic) {
   const std::uint64_t a = now_us();
   const std::uint64_t b = now_us();
   EXPECT_LE(a, b);
+}
+
+// Registered names survive reset() (values zero, names stay), so snapshots
+// taken mid-suite carry earlier tests' entries — look up by name.
+template <typename Entries>
+const auto* find_entry(const Entries& entries, const std::string& name) {
+  for (const auto& e : entries)
+    if (e.first == name) return &e.second;
+  return static_cast<const typename Entries::value_type::second_type*>(
+      nullptr);
+}
+
+TEST_F(Obs, ParseSnapshotRecoversEveryValue) {
+  counter("parse.requests").add(42);
+  gauge("parse.depth").set(-2.25);
+  Histogram& h = histogram("parse.latency");
+  h.record(0.5);
+  h.record(3.0);
+  h.record(1000.0);
+  const ParsedSnapshot snap = parse_snapshot(snapshot_json());
+
+  const auto* c = find_entry(snap.counters, "parse.requests");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(*c, 42u);
+  const auto* g = find_entry(snap.gauges, "parse.depth");
+  ASSERT_NE(g, nullptr);
+  EXPECT_DOUBLE_EQ(*g, -2.25);
+  const auto* hp = find_entry(snap.histograms, "parse.latency");
+  ASSERT_NE(hp, nullptr);
+  const HistogramSnapshot& hs = *hp;
+  EXPECT_EQ(hs.count, 3u);
+  EXPECT_DOUBLE_EQ(hs.sum, 1003.5);
+  EXPECT_DOUBLE_EQ(hs.min, 0.5);
+  EXPECT_DOUBLE_EQ(hs.max, 1000.0);
+  // Bucket counts come back at the exact fixed-layout indices.
+  ASSERT_GT(hs.buckets.size(), Histogram::bucket_index(1000.0));
+  EXPECT_EQ(hs.buckets[Histogram::bucket_index(0.5)], 1u);
+  EXPECT_EQ(hs.buckets[Histogram::bucket_index(3.0)], 1u);
+  EXPECT_EQ(hs.buckets[Histogram::bucket_index(1000.0)], 1u);
+}
+
+TEST_F(Obs, WithPrefixRemapsEveryName) {
+  counter("shard.requests").add(1);
+  gauge("shard.depth").set(2.0);
+  histogram("shard.latency").record(4.0);
+  const ParsedSnapshot snap =
+      with_prefix(parse_snapshot(snapshot_json()), "coord.");
+  EXPECT_NE(find_entry(snap.counters, "coord.shard.requests"), nullptr);
+  EXPECT_NE(find_entry(snap.gauges, "coord.shard.depth"), nullptr);
+  EXPECT_NE(find_entry(snap.histograms, "coord.shard.latency"), nullptr);
+  // Every name is remapped — nothing escapes with its bare name.
+  EXPECT_EQ(find_entry(snap.counters, "shard.requests"), nullptr);
+  for (const auto& [name, value] : snap.counters)
+    EXPECT_EQ(name.rfind("coord.", 0), 0u) << name;
+}
+
+TEST_F(Obs, MergedHistogramMatchesSingleProcessOracle) {
+  // Two "shard processes" record disjoint streams; folding their exported
+  // snapshots must equal one process recording both streams — per bucket,
+  // not approximately. Exact binary fractions keep the sums order-free.
+  const std::vector<double> stream_a = {0.25, 1.5, 6.0, 6.5, 100.0};
+  const std::vector<double> stream_b = {0.75, 2.0, 6.25, 4096.0};
+  for (double v : stream_a) histogram("wire.latency").record(v);
+  const std::string json_a = metrics_json();
+  reset();
+  for (double v : stream_b) histogram("wire.latency").record(v);
+  const std::string json_b = metrics_json();
+  reset();
+
+  merge_snapshot(with_prefix(parse_snapshot(json_a), "coord."));
+  merge_snapshot(with_prefix(parse_snapshot(json_b), "coord."));
+  Histogram& merged = histogram("coord.wire.latency");
+  Histogram& oracle = histogram("oracle.latency");
+  for (double v : stream_a) oracle.record(v);
+  for (double v : stream_b) oracle.record(v);
+
+  EXPECT_EQ(merged.count(), oracle.count());
+  EXPECT_DOUBLE_EQ(merged.sum(), oracle.sum());
+  EXPECT_DOUBLE_EQ(merged.min(), oracle.min());
+  EXPECT_DOUBLE_EQ(merged.max(), oracle.max());
+  for (std::size_t b = 0; b < Histogram::kBuckets; ++b)
+    EXPECT_EQ(merged.bucket(b), oracle.bucket(b)) << "bucket " << b;
+}
+
+TEST_F(Obs, MergeSnapshotFoldsCountersAndGauges) {
+  counter("fold.requests").add(5);
+  gauge("fold.depth").set(1.0);
+  const ParsedSnapshot snap = parse_snapshot(metrics_json());
+  // Counters add onto what is already there; gauges take the last write.
+  gauge("fold.depth").set(9.0);
+  merge_snapshot(snap);
+  EXPECT_EQ(counter("fold.requests").value(), 10u);
+  EXPECT_DOUBLE_EQ(gauge("fold.depth").value(), 1.0);
+}
+
+TEST_F(Obs, ParseSnapshotRejectsForeignBucketBounds) {
+  // A bound that is not a power of two cannot map onto the fixed layout:
+  // folding it anywhere would misattribute the counts.
+  const std::string foreign =
+      "{\"counters\": {}, \"gauges\": {}, \"histograms\": {"
+      "\"h\": {\"count\": 1, \"sum\": 3.0, \"min\": 3.0, \"max\": 3.0, "
+      "\"buckets\": [{\"le\": 3, \"count\": 1}]}}}";
+  EXPECT_THROW(parse_snapshot(foreign), Error);
 }
 
 }  // namespace

@@ -139,6 +139,150 @@ TEST(Protocol, ControlFramesRoundTrip) {
   EXPECT_EQ(decoded.shed, 7u);
 }
 
+TEST(Protocol, PingPongRoundTrip) {
+  const Frame ping = decode_one(encode_ping(0xDEADBEEFCAFEF00Dull));
+  ASSERT_EQ(ping.type, FrameType::kPing);
+  std::uint64_t nonce = 0;
+  std::string error;
+  ASSERT_TRUE(parse_ping(ping, nonce, error)) << error;
+  EXPECT_EQ(nonce, 0xDEADBEEFCAFEF00Dull);
+
+  WirePong pong;
+  pong.nonce = nonce;
+  pong.sessions = 17;
+  const Frame reply = decode_one(encode_pong(pong));
+  ASSERT_EQ(reply.type, FrameType::kPong);
+  WirePong decoded;
+  ASSERT_TRUE(parse_pong(reply, decoded, error)) << error;
+  EXPECT_EQ(decoded.nonce, pong.nonce);
+  EXPECT_EQ(decoded.sessions, 17u);
+}
+
+TEST(Protocol, SessionImageRoundTripsBitExactly) {
+  const Frame exp = decode_one(encode_export(99));
+  ASSERT_EQ(exp.type, FrameType::kExport);
+  std::uint64_t user = 0;
+  std::string error;
+  ASSERT_TRUE(parse_export(exp, user, error)) << error;
+  EXPECT_EQ(user, 99u);
+
+  WireSessionImage image;
+  image.user_id = 99;
+  image.found = true;
+  image.image = std::string("\x00\xFF\x7Fimage-bytes\x01", 14);
+  image.checkpoint = std::string("ckpt\x00\x80", 6);
+  const Frame frame = decode_one(encode_session_image(image));
+  ASSERT_EQ(frame.type, FrameType::kSessionImage);
+  WireSessionImage decoded;
+  ASSERT_TRUE(parse_session_image(frame, decoded, error)) << error;
+  EXPECT_EQ(decoded.user_id, 99u);
+  EXPECT_TRUE(decoded.found);
+  EXPECT_EQ(decoded.image, image.image);  // Byte-exact, embedded NULs intact.
+  EXPECT_EQ(decoded.checkpoint, image.checkpoint);
+
+  // The not-found reply carries no payload bytes beyond the header fields.
+  WireSessionImage missing;
+  missing.user_id = 7;
+  const Frame none = decode_one(encode_session_image(missing));
+  ASSERT_TRUE(parse_session_image(none, decoded, error)) << error;
+  EXPECT_FALSE(decoded.found);
+  EXPECT_TRUE(decoded.image.empty());
+  EXPECT_TRUE(decoded.checkpoint.empty());
+}
+
+TEST(Protocol, ImportAndAdoptAcksRoundTrip) {
+  WireImportAck iack;
+  iack.user_id = 4;
+  iack.ok = false;
+  iack.error = "session table full";
+  std::string error;
+  WireImportAck idec;
+  ASSERT_TRUE(
+      parse_import_ack(decode_one(encode_import_ack(iack)), idec, error))
+      << error;
+  EXPECT_EQ(idec.user_id, 4u);
+  EXPECT_FALSE(idec.ok);
+  EXPECT_EQ(idec.error, "session table full");
+
+  std::string dir;
+  ASSERT_TRUE(parse_adopt(decode_one(encode_adopt("/tmp/jd with space")),
+                          dir, error))
+      << error;
+  EXPECT_EQ(dir, "/tmp/jd with space");
+
+  WireAdoptAck aack;
+  aack.sessions = 12;
+  aack.personalized = 5;
+  aack.failed = 1;
+  WireAdoptAck adec;
+  ASSERT_TRUE(parse_adopt_ack(decode_one(encode_adopt_ack(aack)), adec, error))
+      << error;
+  EXPECT_EQ(adec.sessions, 12u);
+  EXPECT_EQ(adec.personalized, 5u);
+  EXPECT_EQ(adec.failed, 1u);
+}
+
+TEST(Protocol, MetricsFramesRoundTrip) {
+  EXPECT_EQ(decode_one(encode_metrics_pull()).type, FrameType::kMetricsPull);
+  const std::string json = "{\"counters\": {\"serve.requests\": 3}}";
+  std::string decoded;
+  std::string error;
+  ASSERT_TRUE(parse_metrics_json(decode_one(encode_metrics_json(json)),
+                                 decoded, error))
+      << error;
+  EXPECT_EQ(decoded, json);
+}
+
+TEST(Protocol, VerbatimPayloadReencodeIsByteIdentical) {
+  // The coordinator forwards frames by re-framing the decoded payload with
+  // encode_frame. That round trip must reproduce the original bytes
+  // exactly — it is the mechanism behind the fleet's bit-identity
+  // guarantee.
+  std::vector<std::string> frames;
+  frames.push_back(encode_request(sample_request()));
+  frames.push_back(encode_response(WireResponse{}));
+  WireSessionImage image;
+  image.user_id = 3;
+  image.found = true;
+  image.image = "abc";
+  image.checkpoint = std::string("\x00\x01", 2);
+  frames.push_back(encode_session_image(image));
+  for (const std::string& bytes : frames) {
+    const Frame frame = decode_one(bytes);
+    EXPECT_EQ(encode_frame(frame.type, frame.payload), bytes);
+  }
+}
+
+TEST(Protocol, ShardFrameParsersRejectWrongTypeAndTruncation) {
+  std::string error;
+  std::uint64_t nonce = 0;
+  EXPECT_FALSE(parse_ping(decode_one(encode_drain()), nonce, error));
+
+  WireSessionImage image;
+  image.user_id = 1;
+  image.found = true;
+  image.image = "0123456789";
+  image.checkpoint = "abcdef";
+  const Frame good = decode_one(encode_session_image(image));
+  WireSessionImage out;
+  for (std::size_t cut = 0; cut < good.payload.size(); ++cut) {
+    Frame trunc = good;
+    trunc.payload.resize(cut);
+    // Either rejected outright, or (when the cut lands exactly on the
+    // not-found prefix) parsed without trailing garbage — never a crash.
+    std::string why;
+    if (parse_session_image(trunc, out, why)) {
+      EXPECT_FALSE(out.found) << "cut " << cut;
+    }
+  }
+
+  WireAdoptAck aack;
+  Frame bad = decode_one(encode_adopt_ack(WireAdoptAck{}));
+  bad.payload.resize(bad.payload.size() - 1);
+  EXPECT_FALSE(parse_adopt_ack(bad, aack, error));
+  EXPECT_FALSE(error.empty());
+}
+
 TEST(Protocol, DecodesAcrossOneByteFeeds) {
   std::string stream = encode_request(sample_request());
   stream += encode_drain();

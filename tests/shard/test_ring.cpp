@@ -1,0 +1,135 @@
+#include "shard/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace clear::shard {
+namespace {
+
+/// Owners for users [0, n) under one ring.
+std::vector<std::uint32_t> owners(const HashRing& ring, std::uint64_t n) {
+  std::vector<std::uint32_t> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t u = 0; u < n; ++u) out.push_back(ring.owner(u));
+  return out;
+}
+
+HashRing ring_of(std::uint32_t n_shards, std::uint32_t vnodes = 128,
+                 std::uint64_t seed = 1) {
+  RingConfig rc;
+  rc.vnodes = vnodes;
+  rc.seed = seed;
+  HashRing ring(rc);
+  for (std::uint32_t s = 0; s < n_shards; ++s) ring.add_shard(s);
+  return ring;
+}
+
+// The coordinator's default placement (seed=1, vnodes=128) is a wire
+// contract: a restarted coordinator must re-derive its predecessor's
+// mapping, and the shard soak's kill scripts grep placements printed from
+// exactly this table. Pinned against live multi-shard runs.
+TEST(HashRing, GoldenPlacementIsPinned) {
+  const HashRing two = ring_of(2);
+  const std::vector<std::uint32_t> expect2 = {1, 1, 0, 1, 1, 0};
+  EXPECT_EQ(owners(two, 6), expect2);
+
+  const HashRing three = ring_of(3);
+  const std::vector<std::uint32_t> expect3 = {1, 1, 2, 1, 1, 2};
+  EXPECT_EQ(owners(three, 6), expect3);
+}
+
+TEST(HashRing, DeterministicAcrossInstancesAndInsertionOrder) {
+  RingConfig rc;
+  rc.vnodes = 64;
+  rc.seed = 9;
+  HashRing a(rc);
+  HashRing b(rc);
+  for (std::uint32_t s = 0; s < 5; ++s) a.add_shard(s);
+  // Same membership reached through a different history.
+  for (std::uint32_t s = 5; s-- > 0;) b.add_shard(s);
+  b.add_shard(7);
+  b.remove_shard(7);
+  EXPECT_EQ(owners(a, 4096), owners(b, 4096));
+}
+
+TEST(HashRing, BalanceWithinBoundAtSixtyFourVnodes) {
+  // The documented guarantee: at >= 64 vnodes per shard no shard's key
+  // share strays past 2x (or below half of) its fair share.
+  for (std::uint32_t n_shards : {2u, 3u, 5u, 8u}) {
+    for (std::uint64_t seed : {1ull, 42ull, 1337ull}) {
+      const HashRing ring = ring_of(n_shards, 64, seed);
+      std::map<std::uint32_t, std::uint64_t> load;
+      const std::uint64_t kUsers = 20000;
+      for (std::uint64_t u = 0; u < kUsers; ++u) ++load[ring.owner(u)];
+      const double fair = static_cast<double>(kUsers) / n_shards;
+      for (std::uint32_t s = 0; s < n_shards; ++s) {
+        const double share = static_cast<double>(load[s]);
+        EXPECT_LT(share, 2.0 * fair)
+            << "shard " << s << " of " << n_shards << " seed " << seed;
+        EXPECT_GT(share, 0.5 * fair)
+            << "shard " << s << " of " << n_shards << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(HashRing, AddingAShardOnlyMovesKeysToIt) {
+  HashRing ring = ring_of(4);
+  const std::vector<std::uint32_t> before = owners(ring, 8192);
+  ring.add_shard(4);
+  const std::vector<std::uint32_t> after = owners(ring, 8192);
+  std::uint64_t moved = 0;
+  for (std::size_t u = 0; u < before.size(); ++u) {
+    if (after[u] == before[u]) continue;
+    EXPECT_EQ(after[u], 4u) << "user " << u << " reshuffled to a survivor";
+    ++moved;
+  }
+  // The newcomer takes roughly 1/5th of the keyspace — and not nothing.
+  EXPECT_GT(moved, 0u);
+  EXPECT_LT(static_cast<double>(moved), 2.0 * 8192.0 / 5.0);
+}
+
+TEST(HashRing, RemovingAShardOnlyMovesItsOwnKeys) {
+  HashRing ring = ring_of(4);
+  const std::vector<std::uint32_t> before = owners(ring, 8192);
+  ring.remove_shard(2);
+  const std::vector<std::uint32_t> after = owners(ring, 8192);
+  for (std::size_t u = 0; u < before.size(); ++u) {
+    if (before[u] == 2u) {
+      EXPECT_NE(after[u], 2u) << "user " << u << " still on the removed shard";
+    } else {
+      EXPECT_EQ(after[u], before[u]) << "user " << u << " moved needlessly";
+    }
+  }
+}
+
+TEST(HashRing, MembershipBookkeeping) {
+  HashRing ring = ring_of(3);
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_TRUE(ring.contains(1));
+  EXPECT_FALSE(ring.contains(3));
+  ring.remove_shard(1);
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_FALSE(ring.contains(1));
+  const std::vector<std::uint32_t> expect = {0, 2};
+  EXPECT_EQ(ring.shards(), expect);
+}
+
+TEST(HashRing, DuplicateAddAndAbsentRemoveThrow) {
+  HashRing ring = ring_of(2);
+  EXPECT_THROW(ring.add_shard(1), Error);
+  EXPECT_THROW(ring.remove_shard(5), Error);
+}
+
+TEST(HashRing, OwnerOnEmptyRingThrows) {
+  HashRing ring{RingConfig{}};
+  EXPECT_THROW(ring.owner(0), Error);
+}
+
+}  // namespace
+}  // namespace clear::shard

@@ -72,6 +72,7 @@
 #include "net/server.hpp"
 #include "serve/server.hpp"
 #include "serve/workload.hpp"
+#include "shard/coordinator.hpp"
 
 using namespace clear;
 
@@ -80,7 +81,8 @@ namespace {
 int usage(std::FILE* out = stderr) {
   std::fprintf(out,
                "usage: clear-cli <generate|train|info|assign|evaluate|"
-               "personalize|robustness|profile|serve|loadgen> [--flags]\n%s"
+               "personalize|robustness|profile|serve|loadgen|coord> "
+               "[--flags]\n%s"
                "run `clear-cli <command> --help` for that command's flags.\n",
                CommonFlags::help());
   return out == stderr ? 2 : 0;
@@ -228,6 +230,33 @@ const char* command_help(const std::string& command) {
        "                        no fsync)\n"
        "  In --listen mode SIGINT/SIGTERM drain gracefully: stop accepting,\n"
        "  flush pending batches, write a final snapshot, exit 0.\n"
+       "  exit codes: 0 graceful shutdown, 1 runtime error, 2 usage error\n"},
+      {"coord",
+       "clear-cli coord — route clients across N CLEAR-Serve shards\n"
+       "  --shards=H:P,..       shard endpoints, comma-separated (required);\n"
+       "                        list order defines shard ids 0..N-1\n"
+       "  --shard-journals=D,.. each shard's --journal-dir, comma-separated\n"
+       "                        and order-matched to --shards; an empty cell\n"
+       "                        disables crash adoption for that shard\n"
+       "  --listen=HOST:PORT    client-facing endpoint (default\n"
+       "                        127.0.0.1:0); port 0 binds an ephemeral\n"
+       "                        port and prints LISTENING <port>\n"
+       "  --port-file=FILE      write the bound client-facing port here\n"
+       "  --vnodes=N            consistent-hash virtual nodes per shard\n"
+       "                        (default 128)\n"
+       "  --ring-seed=S         placement hash seed (default 1)\n"
+       "  --heartbeat-ms=N      shard liveness probe period; 0 disables\n"
+       "                        (default 200)\n"
+       "  --missed-limit=N      consecutive missed beats before a shard is\n"
+       "                        declared dead (default 3)\n"
+       "  --max-connections=N   concurrent client cap (default 64)\n"
+       "  --decommission-shard=K  drain shard K mid-run, migrate its\n"
+       "                        sessions to the ring survivors, shut it\n"
+       "                        down (-1 disables; default -1)\n"
+       "  --decommission-after=N  routed requests before the decommission\n"
+       "                        starts (default 0)\n"
+       "  SIGINT/SIGTERM drain gracefully: shards are drained, their\n"
+       "  metrics folded under coord.*, and the fleet is shut down.\n"
        "  exit codes: 0 graceful shutdown, 1 runtime error, 2 usage error\n"},
       {"loadgen",
        "clear-cli loadgen — open-loop load generator for serve --listen\n"
@@ -725,6 +754,9 @@ int cmd_serve(const CliArgs& args) {
     net::NetServer net_server(server, nc);
     std::printf("listening on %s:%u\n", nc.listen.host.c_str(),
                 net_server.port());
+    // Machine-readable port line (stable contract for scripts; with port 0
+    // this is how a launcher learns the ephemeral port without a file).
+    std::printf("LISTENING %u\n", net_server.port());
     std::fflush(stdout);
     g_signal_target.store(&net_server);
     std::signal(SIGINT, on_stop_signal);
@@ -826,6 +858,99 @@ int cmd_serve(const CliArgs& args) {
     std::printf(
         "mean time-to-first-prediction: %.1fus (virtual, %zu users)\n",
         ttfp_total / static_cast<double>(ttfp_n), ttfp_n);
+  return 0;
+}
+
+// SIGINT/SIGTERM → graceful fleet shutdown for `coord` (same self-pipe
+// pattern as the serve handler above).
+std::atomic<shard::Coordinator*> g_coord_signal_target{nullptr};
+
+extern "C" void on_coord_stop_signal(int) {
+  shard::Coordinator* target =
+      g_coord_signal_target.load(std::memory_order_relaxed);
+  if (target != nullptr) target->stop();
+}
+
+/// Split a comma-separated list, keeping empty cells ("a,,c" has three).
+std::vector<std::string> split_list(const std::string& raw) {
+  std::vector<std::string> cells;
+  if (raw.empty()) return cells;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = raw.find(',', start);
+    cells.push_back(raw.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start));
+    if (comma == std::string::npos) return cells;
+    start = comma + 1;
+  }
+}
+
+int cmd_coord(const CliArgs& args) {
+  const std::string shards_raw = args.get("shards", "");
+  if (shards_raw.empty()) {
+    std::fprintf(stderr, "coord requires --shards=HOST:PORT,...\n");
+    return 2;
+  }
+  const std::vector<std::string> specs = split_list(shards_raw);
+  const std::vector<std::string> journals =
+      split_list(args.get("shard-journals", ""));
+  if (!journals.empty() && journals.size() != specs.size()) {
+    std::fprintf(stderr,
+                 "--shard-journals has %zu cells but --shards has %zu\n",
+                 journals.size(), specs.size());
+    return 2;
+  }
+  shard::CoordinatorConfig cc;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    shard::ShardSpec spec;
+    spec.endpoint = net::parse_endpoint(specs[i]);
+    if (i < journals.size()) spec.journal_dir = journals[i];
+    cc.shards.push_back(std::move(spec));
+  }
+  cc.listen = net::parse_endpoint(args.get("listen", "127.0.0.1:0"));
+  cc.port_file = args.get("port-file", "");
+  cc.ring.vnodes = static_cast<std::uint32_t>(args.get_int("vnodes", 128));
+  cc.ring.seed = static_cast<std::uint64_t>(args.get_int("ring-seed", 1));
+  cc.heartbeat_ms =
+      static_cast<std::uint64_t>(args.get_int("heartbeat-ms", 200));
+  cc.missed_limit =
+      static_cast<std::size_t>(args.get_int("missed-limit", 3));
+  cc.max_connections =
+      static_cast<std::size_t>(args.get_int("max-connections", 64));
+  cc.decommission_shard = args.get_int("decommission-shard", -1);
+  cc.decommission_after =
+      static_cast<std::uint64_t>(args.get_int("decommission-after", 0));
+
+  shard::Coordinator coord(cc);
+  std::printf("coordinating %zu shards\n", cc.shards.size());
+  std::printf("LISTENING %u\n", coord.port());
+  std::fflush(stdout);
+  g_coord_signal_target.store(&coord);
+  std::signal(SIGINT, on_coord_stop_signal);
+  std::signal(SIGTERM, on_coord_stop_signal);
+  coord.run();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  g_coord_signal_target.store(nullptr);
+
+  const shard::CoordinatorCounters& c = coord.counters();
+  std::printf("-- coord summary --\n");
+  std::printf(
+      "requests=%llu forwarded=%llu queued=%llu responses=%llu\n",
+      static_cast<unsigned long long>(c.requests),
+      static_cast<unsigned long long>(c.forwarded),
+      static_cast<unsigned long long>(c.queued),
+      static_cast<unsigned long long>(c.responses));
+  std::printf(
+      "pings=%llu missed=%llu deaths=%llu adoptions=%llu adopted=%llu "
+      "migrations=%llu failed=%llu\n",
+      static_cast<unsigned long long>(c.pings),
+      static_cast<unsigned long long>(c.heartbeats_missed),
+      static_cast<unsigned long long>(c.shard_deaths),
+      static_cast<unsigned long long>(c.adoptions),
+      static_cast<unsigned long long>(c.adopted_sessions),
+      static_cast<unsigned long long>(c.migrations),
+      static_cast<unsigned long long>(c.migrations_failed));
   return 0;
 }
 
@@ -951,6 +1076,7 @@ int main(int argc, char** argv) {
     else if (command == "profile") rc = cmd_profile(args);
     else if (command == "serve") rc = cmd_serve(args);
     else if (command == "loadgen") rc = cmd_loadgen(args);
+    else if (command == "coord") rc = cmd_coord(args);
     else known = false;
     if (!known) {
       std::fprintf(stderr, "unknown command: %s\n", command.c_str());

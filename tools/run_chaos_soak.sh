@@ -28,17 +28,34 @@
 #     drift-enabled golden run — the crash may not perturb a single drift
 #     decision.
 #
-# Usage: run_chaos_soak.sh <path-to-clear-cli> [--quick]
+#   Shard leg (--shard; ctest `shard_chaos`) — the fleet version of the
+#   same story. A 3-shard fleet behind `clear-cli coord` must produce
+#   responses byte-identical to the single-process golden run, twice over:
+#     run 1 — full stream with shard 1 decommissioned mid-load (drain,
+#             per-session export/import handoff, queued frames flushed).
+#     run 2 — SIGKILL -9 the shard that owns user 0 between phases; the
+#             coordinator must heal by adopting the dead shard's journal
+#             onto a survivor (zero PERSONALIZED loss), and phase 2 via
+#             --start-index must still match the golden file's tail.
+#
+# Usage: run_chaos_soak.sh <path-to-clear-cli> [--quick] [--shard]
+#   --quick  shorter stream (the ctest registrations use this)
+#   --shard  run the 3-shard fleet leg instead of legs A/B/C
 set -eu
 
 CLI="$1"
-QUICK="${2:-}"
+shift
 
 TOTAL=400
 RATE=400
-if [ "$QUICK" = "--quick" ]; then
-  TOTAL=160
-fi
+LEGS=base
+for arg in "$@"; do
+  case "$arg" in
+    --quick) TOTAL=160 ;;
+    --shard) LEGS=shard ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
 HALF=$((TOTAL / 2))
 
 # One connection keeps the wire ordering deterministic (multi-connection
@@ -49,8 +66,10 @@ SLICE="--volunteers=6 --trials=4 --epochs=1 --ft-epochs=1 --data-seed=42"
 
 WORK="$(mktemp -d)"
 SERVER_PID=""
+FLEET_PIDS=""
 cleanup() {
   [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+  for p in $FLEET_PIDS; do kill -9 "$p" 2>/dev/null || true; done
   rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -94,6 +113,152 @@ SERVER_PID=""
   tail -5 golden_gen.log >&2
   exit 1
 }
+
+# ---------------------------------------------------------------------------
+if [ "$LEGS" = shard ]; then
+  # start_shard <prefix> <idx> <journal-dir> — one fleet shard, tracked for
+  # cleanup; publishes <prefix><idx>_PID / <prefix><idx>_PORT.
+  start_shard() {
+    sprefix="$1"; sidx="$2"; sjd="$3"
+    # --threads=2 on every shard vs the golden's --threads=1: fleet
+    # bit-identity must hold at any thread count.
+    start_server "${sprefix}${sidx}.log" "${sprefix}${sidx}.port" \
+      --journal-dir="$sjd" --threads=2
+    eval "${sprefix}${sidx}_PID=$SERVER_PID"
+    eval "${sprefix}${sidx}_PORT=$PORT"
+    FLEET_PIDS="$FLEET_PIDS $SERVER_PID"
+    SERVER_PID=""
+  }
+
+  # start_coord <log> <port-file> [flags...] — wait for the client port.
+  start_coord() {
+    clog="$1"; cpf="$2"; shift 2
+    rm -f "$cpf"
+    "$CLI" coord --listen=127.0.0.1:0 --port-file="$cpf" "$@" \
+      >"$clog" 2>&1 &
+    COORD_PID=$!
+    FLEET_PIDS="$FLEET_PIDS $COORD_PID"
+    i=0
+    while [ ! -s "$cpf" ]; do
+      i=$((i + 1))
+      if [ "$i" -gt 300 ]; then
+        echo "coordinator never published its port; log tail:" >&2
+        tail -20 "$clog" >&2
+        exit 1
+      fi
+      kill -0 "$COORD_PID" 2>/dev/null || {
+        echo "coordinator exited before listening; log tail:" >&2
+        tail -20 "$clog" >&2
+        exit 1
+      }
+      sleep 0.2
+    done
+    CPORT="$(cat "$cpf")"
+  }
+
+  # -------------------------------------------------------------------------
+  echo "== shard run 1: 3-shard identity with a mid-stream decommission =="
+  start_shard a 0 da0
+  start_shard a 1 da1
+  start_shard a 2 da2
+  start_coord coord1.log c1.port \
+    --shards=127.0.0.1:$a0_PORT,127.0.0.1:$a1_PORT,127.0.0.1:$a2_PORT \
+    --shard-journals=da0,da1,da2 \
+    --decommission-shard=1 --decommission-after=$((TOTAL / 4))
+  "$CLI" loadgen --connect=127.0.0.1:"$CPORT" $GEN --requests=$TOTAL \
+    --responses=fleet.txt --shutdown-after >fleet_gen.log 2>&1
+  wait "$COORD_PID" || {
+    echo "coordinator exited nonzero; log tail:" >&2
+    tail -20 coord1.log >&2
+    exit 1
+  }
+  for p in $a0_PID $a1_PID $a2_PID; do wait "$p" 2>/dev/null || true; done
+  FLEET_PIDS=""
+  cmp golden.txt fleet.txt || {
+    echo "fleet responses diverge from the single-process golden run" >&2
+    diff golden.txt fleet.txt | head -10 >&2
+    exit 1
+  }
+  DECOM="$(sed -n 's/coord: decommissioned shard=1 migrated=\([0-9][0-9]*\) failed=\([0-9][0-9]*\).*/\1 \2/p' coord1.log)"
+  M="${DECOM% *}"; F="${DECOM#* }"
+  [ -n "$M" ] && [ "$M" -gt 0 ] && [ "$F" -eq 0 ] || {
+    echo "decommission did not migrate cleanly (migrated=${M:-?} failed=${F:-?}):" >&2
+    grep "coord: decommission" coord1.log >&2 || tail -20 coord1.log >&2
+    exit 1
+  }
+  echo "   bit-identical through the coordinator; $M sessions migrated"
+
+  # -------------------------------------------------------------------------
+  echo "== shard run 2: SIGKILL the owner of user 0, heal from its journal =="
+  start_shard b 0 db0
+  start_shard b 1 db1
+  start_shard b 2 db2
+  start_coord coord2.log c2.port \
+    --shards=127.0.0.1:$b0_PORT,127.0.0.1:$b1_PORT,127.0.0.1:$b2_PORT \
+    --shard-journals=db0,db1,db2
+  "$CLI" loadgen --connect=127.0.0.1:"$CPORT" $GEN --requests=$HALF \
+    --responses=shard_phase1.txt >shard_phase1_gen.log 2>&1
+
+  VICTIM="$(sed -n 's/coord: placement user=0 shard=\([0-9][0-9]*\).*/\1/p' coord2.log | head -1)"
+  [ -n "$VICTIM" ] || {
+    echo "coordinator never placed user 0:" >&2
+    tail -20 coord2.log >&2
+    exit 1
+  }
+  eval "VICTIM_PID=\$b${VICTIM}_PID"
+  kill -9 "$VICTIM_PID"
+  wait "$VICTIM_PID" 2>/dev/null || true
+  # The heartbeat must notice the death and adopt the dead shard's journal
+  # onto a survivor before phase 2 traffic lands.
+  i=0
+  while ! grep -q "coord: healed shard=$VICTIM" coord2.log; do
+    i=$((i + 1))
+    if [ "$i" -gt 150 ]; then
+      echo "coordinator never healed shard $VICTIM; log tail:" >&2
+      tail -20 coord2.log >&2
+      exit 1
+    fi
+    sleep 0.2
+  done
+  HEAL="$(sed -n "s/coord: healed shard=$VICTIM survivor=[0-9]* sessions=\([0-9][0-9]*\) personalized=\([0-9][0-9]*\) failed=\([0-9][0-9]*\).*/\1 \2 \3/p" coord2.log)"
+  SESS="$(echo "$HEAL" | cut -d' ' -f1)"
+  PERS="$(echo "$HEAL" | cut -d' ' -f2)"
+  HFAIL="$(echo "$HEAL" | cut -d' ' -f3)"
+  [ -n "$SESS" ] && [ "$SESS" -gt 0 ] && [ "$PERS" -gt 0 ] && [ "$HFAIL" -eq 0 ] || {
+    echo "heal lost state (sessions=${SESS:-?} personalized=${PERS:-?} failed=${HFAIL:-?}):" >&2
+    grep "coord: healed" coord2.log >&2
+    exit 1
+  }
+  echo "   healed shard $VICTIM: $SESS sessions, $PERS personalized, 0 failed"
+
+  "$CLI" loadgen --connect=127.0.0.1:"$CPORT" $GEN --requests=$HALF \
+    --start-index=$HALF --responses=shard_phase2.txt --shutdown-after \
+    >shard_phase2_gen.log 2>&1
+  wait "$COORD_PID" || {
+    echo "coordinator exited nonzero after the heal; log tail:" >&2
+    tail -20 coord2.log >&2
+    exit 1
+  }
+  for p in $b0_PID $b1_PID $b2_PID; do wait "$p" 2>/dev/null || true; done
+  FLEET_PIDS=""
+
+  head -n "$HALF" golden.txt >shard_golden_head.txt
+  tail -n "$HALF" golden.txt >shard_golden_tail.txt
+  cmp shard_golden_head.txt shard_phase1.txt || {
+    echo "pre-kill fleet responses diverge from the golden run" >&2
+    diff shard_golden_head.txt shard_phase1.txt | head -10 >&2
+    exit 1
+  }
+  cmp shard_golden_tail.txt shard_phase2.txt || {
+    echo "post-heal fleet responses diverge from the golden run" >&2
+    diff shard_golden_tail.txt shard_phase2.txt | head -10 >&2
+    exit 1
+  }
+  echo "   bit-identical: $TOTAL/$TOTAL responses match across the shard kill"
+
+  echo "chaos soak OK"
+  exit 0
+fi
 
 # ---------------------------------------------------------------------------
 echo "== leg A: SIGKILL between phases, recover, bit-identity =="
