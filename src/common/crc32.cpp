@@ -1,24 +1,31 @@
 #include "common/crc32.hpp"
 
 #include <array>
+#include <cstring>
 
 namespace clear {
 
 namespace {
 
-std::array<std::uint32_t, 256> make_table() {
-  std::array<std::uint32_t, 256> table{};
+// Slice-by-8: table[0] is the classic byte-at-a-time table; table[k]
+// advances a byte through k additional zero bytes, so eight lookups fold
+// eight input bytes per iteration. Bit-identical to the byte-wise loop.
+std::array<std::array<std::uint32_t, 256>, 8> make_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
     for (int bit = 0; bit < 8; ++bit)
       c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
-    table[i] = c;
+    t[0][i] = c;
   }
-  return table;
+  for (std::uint32_t i = 0; i < 256; ++i)
+    for (std::size_t k = 1; k < 8; ++k)
+      t[k][i] = t[0][t[k - 1][i] & 0xFFu] ^ (t[k - 1][i] >> 8);
+  return t;
 }
 
-const std::array<std::uint32_t, 256>& table() {
-  static const std::array<std::uint32_t, 256> t = make_table();
+const std::array<std::array<std::uint32_t, 256>, 8>& tables() {
+  static const std::array<std::array<std::uint32_t, 256>, 8> t = make_tables();
   return t;
 }
 
@@ -26,9 +33,22 @@ const std::array<std::uint32_t, 256>& table() {
 
 void Crc32::update(const void* data, std::size_t n) {
   const auto* p = static_cast<const unsigned char*>(data);
-  const auto& t = table();
+  const auto& t = tables();
   std::uint32_t c = state_;
-  for (std::size_t i = 0; i < n; ++i) c = t[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  while (n >= 8) {
+    std::uint32_t lo;
+    std::uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    c ^= lo;
+    c = t[7][c & 0xFFu] ^ t[6][(c >> 8) & 0xFFu] ^ t[5][(c >> 16) & 0xFFu] ^
+        t[4][c >> 24] ^ t[3][hi & 0xFFu] ^ t[2][(hi >> 8) & 0xFFu] ^
+        t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    c = t[0][(c ^ p[i]) & 0xFFu] ^ (c >> 8);
   state_ = c;
 }
 

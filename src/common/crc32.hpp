@@ -3,8 +3,11 @@
 //
 // The incremental `Crc32` accumulator lets writers checksum a payload while
 // streaming it out; the one-shot helpers cover in-memory buffers. The
-// implementation is the classic 256-entry table variant: fast enough for
-// multi-megabyte checkpoints, tiny enough for the edge targets.
+// implementation is slice-by-8 (eight 256-entry tables, eight bytes folded
+// per iteration): several times the throughput of the classic byte-wise
+// table on the multi-megabyte checkpoints the serving layer digests on
+// every cold load, still tiny enough for the edge targets, and bit-
+// identical to the byte-wise loop.
 #pragma once
 
 #include <cstddef>

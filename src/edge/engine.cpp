@@ -65,6 +65,14 @@ void EdgeEngine::apply_weight_transform() {
 
 void EdgeEngine::requantize_weights() { apply_weight_transform(); }
 
+std::size_t EdgeEngine::resident_bytes() {
+  std::size_t bytes = 0;
+  for (const nn::Param* p : model_->parameters())
+    bytes += (p->value.numel() + p->grad.numel()) * sizeof(float);
+  bytes += act_params_.size() * sizeof(QuantParams);
+  return bytes;
+}
+
 void EdgeEngine::calibrate(const std::vector<const Tensor*>& maps) {
   if (config_.precision != Precision::kInt8) return;
   CLEAR_CHECK_MSG(!maps.empty(), "calibration needs at least one map");

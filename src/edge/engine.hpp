@@ -53,6 +53,13 @@ class EdgeEngine {
   /// Re-apply the weight-side precision transform (after fine-tuning).
   void requantize_weights();
 
+  /// Bytes this engine actually occupies resident: parameter values +
+  /// gradients plus the activation calibration table. This — not the size
+  /// of whatever on-disk encoding the engine was built from — is what a
+  /// byte-budgeted cache must charge (a delta-stored checkpoint is small on
+  /// disk but reconstructs to a full-size model in memory).
+  std::size_t resident_bytes();
+
   nn::Sequential& model() { return *model_; }
   Precision precision() const { return config_.precision; }
   bool calibrated() const { return !act_params_.empty(); }

@@ -41,7 +41,11 @@ std::shared_ptr<CheckpointCache::Entry> CheckpointCache::acquire(
     if (!blob.empty()) {
       try {
         entry->engine = builder_(blob, key.precision);
-        entry->bytes = blob.size();
+        // Charge what the engine occupies resident, not the blob size: a
+        // delta/compressed blob is small on disk but reconstructs to a
+        // full-size model, and budgeting by disk bytes would let the cache
+        // hold many times its nominal budget in memory.
+        entry->bytes = entry->engine->resident_bytes();
       } catch (const Error& e) {
         CLEAR_WARN("cluster " << key.id << " checkpoint unusable ("
                               << e.what() << "); serving the general model");
@@ -55,7 +59,7 @@ std::shared_ptr<CheckpointCache::Entry> CheckpointCache::acquire(
                                  << " checkpoint missing/corrupt and no "
                                     "general fallback available");
       entry->engine = builder_(general, key.precision);
-      entry->bytes = general.size();
+      entry->bytes = entry->engine->resident_bytes();
       entry->fallback = true;
       ++stats_.fallbacks;
       CLEAR_OBS_COUNT("serve.cache.fallbacks", 1);
@@ -64,7 +68,7 @@ std::shared_ptr<CheckpointCache::Entry> CheckpointCache::acquire(
     const std::string general = general_blob_();
     CLEAR_CHECK_MSG(!general.empty(), "no general checkpoint to serve");
     entry->engine = builder_(general, key.precision);
-    entry->bytes = general.size();
+    entry->bytes = entry->engine->resident_bytes();
   }
 
   lru_.push_back(key);

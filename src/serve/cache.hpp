@@ -33,7 +33,7 @@ struct CacheStats {
   std::size_t misses = 0;
   std::size_t evictions = 0;
   std::size_t fallbacks = 0;     ///< Entries built from the general blob.
-  std::size_t bytes_in_use = 0;  ///< Sum of resident entries' blob bytes.
+  std::size_t bytes_in_use = 0;  ///< Sum of resident entries' engine bytes.
 };
 
 class CheckpointCache {
@@ -50,7 +50,10 @@ class CheckpointCache {
   struct Entry {
     BatchKey key;
     std::unique_ptr<edge::EdgeEngine> engine;
-    std::size_t bytes = 0;  ///< Blob size — the unit of budget accounting.
+    /// Resident engine bytes (EdgeEngine::resident_bytes()) — the unit of
+    /// budget accounting. Deliberately NOT the on-disk blob size: a
+    /// delta-stored checkpoint is tiny on disk but full-size in memory.
+    std::size_t bytes = 0;
     bool fallback = false;  ///< Built from the general blob, not its own.
   };
 

@@ -21,8 +21,9 @@ namespace fs = std::filesystem;
 
 namespace {
 
-// 8-byte file magics; the trailing digits are the on-disk format version
-// echo. v2 ("CLRWAL02"/"CLRSNP02") added the online-adaptation record kinds
+// 8-byte file magics: a 6-byte prefix ("CLRWAL" for the log, "CLRSNP" for
+// snapshots) plus two ASCII digits echoing the on-disk format version.
+// v2 ("CLRWAL02"/"CLRSNP02") added the online-adaptation record kinds
 // and session/counter fields; v1 files are still read (their drift fields
 // default to zero), while a v1 reader refuses a v2 file wholesale at the
 // header — which is exactly how pre-v2 binaries fail cleanly on the new

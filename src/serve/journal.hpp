@@ -229,7 +229,8 @@ JournalReadResult read_journal(const std::string& directory);
 
 /// nullopt when snapshot.snap does not exist; throws clear::Error when it
 /// exists but fails validation (the caller decides whether to continue
-/// journal-only).
+/// journal-only). Accepts format v1 ("CLRSNP01") and v2 ("CLRSNP02")
+/// snapshots; v1 leaves the adaptation counters/state zero/idle.
 std::optional<SnapshotData> read_snapshot(const std::string& directory);
 
 /// Atomically write a snapshot file without a Journal instance (recovery

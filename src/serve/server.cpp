@@ -18,6 +18,7 @@
 #include "features/feature_map.hpp"
 #include "nn/checkpoint.hpp"
 #include "nn/model.hpp"
+#include "serve/delta.hpp"
 #include "tensor/ops.hpp"
 
 namespace clear::serve {
@@ -128,13 +129,59 @@ Server::Server(ModelSource source, ServeConfig config)
 
 std::unique_ptr<edge::EdgeEngine> Server::build_engine(
     const std::string& blob, edge::Precision precision) {
+  // Delta-stored personal checkpoints reconstruct against their recorded
+  // base before the model sees them; full/legacy blobs pass through. Any
+  // decode failure throws an addressed clear::Error, which the callers
+  // already treat exactly like a corrupt full checkpoint (cache fallback,
+  // recovery quarantine, migration refusal).
+  const std::string* payload = &blob;
+  std::string decoded;
+  if (delta::is_delta(blob)) {
+    const delta::BaseRef ref = delta::base_of(blob);
+    decoded = delta::decode(blob,
+                            ref.kind == delta::BaseRef::Kind::kGeneral
+                                ? source_.general_blob()
+                                : source_.cluster_blob(ref.id));
+    payload = &decoded;
+    ++counters_.delta_loads;
+    CLEAR_OBS_COUNT("serve.delta.loads", 1);
+  }
   edge::EngineConfig ec;
   ec.precision = precision;
   auto engine = std::make_unique<edge::EdgeEngine>(
-      model_from_blob(source_.config.model, blob), ec);
+      model_from_blob(source_.config.model, *payload), ec);
   if (precision == edge::Precision::kInt8)
     engine->calibrate(calibration_ptrs_);
   return engine;
+}
+
+std::string Server::encode_personal_blob(std::uint64_t user_id,
+                                         std::size_t cluster,
+                                         const std::string& full_blob) {
+  if (!config_.delta_checkpoints) return full_blob;
+  delta::EncodeStats stats;
+  std::optional<std::string> enc = delta::encode(
+      source_.cluster_blob(cluster),
+      delta::BaseRef{delta::BaseRef::Kind::kCluster, cluster}, full_blob,
+      &stats);
+  if (!enc && has_general_)
+    enc = delta::encode(source_.general_blob(),
+                        delta::BaseRef{delta::BaseRef::Kind::kGeneral, 0},
+                        full_blob, &stats);
+  if (!enc) {
+    // Missing/corrupt base, mismatched shapes, or a delta that would not
+    // be smaller: the full blob is always safe to store.
+    ++counters_.delta_full_fallbacks;
+    CLEAR_OBS_COUNT("serve.delta.full_fallbacks", 1);
+    return full_blob;
+  }
+  ++counters_.delta_encoded;
+  counters_.delta_bytes_saved += full_blob.size() - enc->size();
+  CLEAR_OBS_COUNT("serve.delta.encoded", 1);
+  CLEAR_OBS_COUNT("serve.delta.bytes_written", enc->size());
+  CLEAR_OBS_COUNT("serve.delta.bytes_saved",
+                  full_blob.size() - enc->size());
+  return *enc;
 }
 
 BatchKey Server::route_for(const Session& session) const {
@@ -249,7 +296,8 @@ void Server::personalize(Session& session) {
   if (journal_) {
     std::ostringstream os(std::ios::binary);
     nn::save_checkpoint(os, engine->model());
-    ckpt_blob = os.str();
+    ckpt_blob = encode_personal_blob(session.user_id(), session.cluster(),
+                                     os.str());
   }
   session.set_personal_engine(std::move(engine));
   ++counters_.finetunes;
@@ -783,11 +831,13 @@ std::optional<Server::ExportedSession> Server::export_session(
   ExportedSession out;
   out.image = session->image();
   if (session->has_personal_engine()) {
-    // The exact serialization personalize() persisted, so the wire blob is
-    // bit-identical to this shard's user_<id>.ckpt.
+    // Re-encode through the same deterministic path personalize() persists
+    // with, so the wire blob carries the delta when one is stored and the
+    // gaining shard's restore decodes to the bit-identical checkpoint.
     std::ostringstream os(std::ios::binary);
     nn::save_checkpoint(os, session->personal_engine()->model());
-    out.checkpoint = os.str();
+    out.checkpoint =
+        encode_personal_blob(user_id, session->cluster(), os.str());
   }
   CLEAR_OBS_COUNT("serve.migration.exports", 1);
   return out;
@@ -854,6 +904,53 @@ bool Server::import_session(const SessionImage& image,
   // record admits it, so replay must find it in snapshot.snap.
   snapshot_now();
   return true;
+}
+
+std::size_t Server::rewrite_user_checkpoints() {
+  CLEAR_CHECK_MSG(journal_,
+                  "checkpoint rewrite requires an active journal "
+                  "(open_journal() or recover() first)");
+  // Fold every outstanding kFinetune record into the snapshot first: those
+  // records pin the size + CRC of the *old* bytes, and replaying them
+  // against rewritten files would quarantine every rewritten session. The
+  // snapshot restore path re-reads user_<id>.ckpt by content, so after
+  // this a crash at any point mid-rewrite recovers cleanly — each file is
+  // atomically either the old or the new encoding, and both load.
+  snapshot_now();
+  std::size_t rewritten = 0;
+  for (const Session* s : sessions_.sessions()) {
+    const std::string stored =
+        read_user_checkpoint(config_.journal.directory, s->user_id());
+    if (stored.empty()) continue;
+    std::string full = stored;
+    if (delta::is_delta(stored)) {
+      try {
+        const delta::BaseRef ref = delta::base_of(stored);
+        full = delta::decode(stored,
+                             ref.kind == delta::BaseRef::Kind::kGeneral
+                                 ? source_.general_blob()
+                                 : source_.cluster_blob(ref.id));
+      } catch (const Error& e) {
+        CLEAR_WARN("user " << s->user_id()
+                           << ": checkpoint left unrewritten (" << e.what()
+                           << ")");
+        continue;
+      }
+    }
+    const std::string next =
+        encode_personal_blob(s->user_id(), s->cluster(), full);
+    if (next == stored) continue;
+    try {
+      write_user_checkpoint(config_.journal.directory, s->user_id(), next,
+                            config_.journal.fsync);
+    } catch (const Error& e) {
+      journal_disable(e, "checkpoint rewrite");
+      break;
+    }
+    ++rewritten;
+    CLEAR_OBS_COUNT("serve.delta.rewrites", 1);
+  }
+  return rewritten;
 }
 
 std::vector<ServeResult> Server::take_results() {

@@ -95,6 +95,12 @@ struct ServeConfig {
   /// Durability: write-ahead session journal. An empty directory disables
   /// journaling; see open_journal()/recover().
   JournalConfig journal;
+  /// Persist personal checkpoints as deltas against their cluster (or
+  /// general) base whenever that is smaller (src/serve/delta.hpp;
+  /// docs/FORMATS.md). Loading sniffs the stored format, so flipping this
+  /// only changes new writes — legacy full checkpoints keep loading either
+  /// way, and rewrite_user_checkpoints() migrates a directory in place.
+  bool delta_checkpoints = true;
 };
 
 /// Deterministic run counters (plain values, independent of CLEAR_OBS).
@@ -127,6 +133,12 @@ struct ServeCounters {
   /// Journal/snapshot write failures. Durability degrades (journaling shuts
   /// off after the first); serving never does.
   std::size_t journal_io_errors = 0;
+  // Delta checkpoint codec (zero when delta_checkpoints is off and no
+  // delta-stored blobs are ever loaded).
+  std::size_t delta_encoded = 0;         ///< Personal blobs stored as deltas.
+  std::size_t delta_full_fallbacks = 0;  ///< Encodes that stayed full-size.
+  std::size_t delta_loads = 0;     ///< Delta blobs decoded into engines.
+  std::size_t delta_bytes_saved = 0;  ///< Sum of full-minus-delta bytes.
 };
 
 class Server {
@@ -188,6 +200,14 @@ class Server {
   bool import_session(const SessionImage& image,
                       const std::string& checkpoint);
 
+  /// Storage migration (docs/OPERATIONS.md runbook): re-encode every
+  /// persisted personal checkpoint in the *current* storage format — delta
+  /// when config.delta_checkpoints, full otherwise. Snapshots first, so no
+  /// outstanding journal record still pins the old bytes' size/CRC. Files
+  /// that fail to re-encode are left as they were (both formats keep
+  /// loading). Returns the number of files rewritten. Requires journaling.
+  std::size_t rewrite_user_checkpoints();
+
   const ServeConfig& config() const { return config_; }
   const ServeCounters& counters() const { return counters_; }
   /// Virtual-clock high-water mark: the latest arrival submitted so far.
@@ -222,6 +242,12 @@ class Server {
   void personalize(Session& session);
   std::unique_ptr<edge::EdgeEngine> build_engine(const std::string& blob,
                                                  edge::Precision precision);
+  /// The bytes to persist for a freshly fine-tuned personal checkpoint:
+  /// the delta encoding when enabled and smaller, else the full blob
+  /// (serve.delta.* counters record the outcome). Deterministic, so
+  /// export_session() reproduces exactly what personalize() stored.
+  std::string encode_personal_blob(std::uint64_t user_id, std::size_t cluster,
+                                   const std::string& full_blob);
   /// Append one record. Never throws: a journal failure warns, counts
   /// serve.journal.io_errors, and disables journaling — the serving path
   /// must survive a full disk.

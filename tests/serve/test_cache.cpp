@@ -17,8 +17,9 @@ namespace {
 // order, byte accounting, and corrupt-blob fallback are all testable with a
 // tiny throwaway model — no training involved. Blob *contents* encode the
 // test scenario: "corrupt..." blobs make the builder throw (standing in for
-// a CRC failure), anything else builds; blob *size* is what the budget
-// accounting sees.
+// a CRC failure), anything else builds. The budget accounting sees the
+// *materialized engine's* resident bytes, never the blob size — blobs may
+// be delta-encoded and bear no relation to the memory the engine occupies.
 nn::CnnLstmConfig tiny_config() {
   nn::CnnLstmConfig c;
   c.feature_dim = 8;
@@ -34,6 +35,15 @@ struct Harness {
   std::map<std::size_t, std::string> cluster_blobs;
   std::string general_blob = std::string(100, 'g');
   std::size_t builds = 0;
+
+  /// Resident size of the (identical) engine every build produces — the
+  /// unit all byte-accounting expectations are phrased in.
+  static std::size_t engine_bytes() {
+    Rng rng(1);
+    edge::EdgeEngine e(nn::build_cnn_lstm(tiny_config(), rng),
+                       edge::EngineConfig{});
+    return e.resident_bytes();
+  }
 
   CheckpointCache make(std::size_t budget) {
     return CheckpointCache(
@@ -71,14 +81,14 @@ TEST(CheckpointCache, MissBuildsThenHitReuses) {
   CheckpointCache cache = h.make(1 << 20);
   const auto first = cache.acquire(cluster(0));
   EXPECT_EQ(h.builds, 1u);
-  EXPECT_EQ(first->bytes, 40u);
+  EXPECT_EQ(first->bytes, Harness::engine_bytes());
   EXPECT_FALSE(first->fallback);
   const auto second = cache.acquire(cluster(0));
   EXPECT_EQ(second.get(), first.get());
   EXPECT_EQ(h.builds, 1u);
   EXPECT_EQ(cache.stats().hits, 1u);
   EXPECT_EQ(cache.stats().misses, 1u);
-  EXPECT_EQ(cache.stats().bytes_in_use, 40u);
+  EXPECT_EQ(cache.stats().bytes_in_use, Harness::engine_bytes());
 }
 
 TEST(CheckpointCache, EvictsLeastRecentlyUsedFirst) {
@@ -86,7 +96,8 @@ TEST(CheckpointCache, EvictsLeastRecentlyUsedFirst) {
   h.cluster_blobs[0] = std::string(40, 'a');
   h.cluster_blobs[1] = std::string(40, 'b');
   h.cluster_blobs[2] = std::string(40, 'c');
-  CheckpointCache cache = h.make(100);  // Room for two 40-byte entries.
+  // Room for exactly two resident engines.
+  CheckpointCache cache = h.make(2 * Harness::engine_bytes());
   cache.acquire(cluster(0));
   cache.acquire(cluster(1));
   // Touch 0 so 1 becomes the eviction victim.
@@ -97,13 +108,13 @@ TEST(CheckpointCache, EvictsLeastRecentlyUsedFirst) {
   ASSERT_EQ(lru.size(), 2u);
   EXPECT_EQ(lru[0], cluster(0));
   EXPECT_EQ(lru[1], cluster(2));
-  EXPECT_EQ(cache.stats().bytes_in_use, 80u);
+  EXPECT_EQ(cache.stats().bytes_in_use, 2 * Harness::engine_bytes());
   // Re-acquiring the victim is a fresh miss.
   cache.acquire(cluster(1));
   EXPECT_EQ(cache.stats().misses, 4u);
 }
 
-TEST(CheckpointCache, ByteAccountingTracksResidentBlobSizes) {
+TEST(CheckpointCache, ByteAccountingTracksResidentEngineSizes) {
   Harness h;
   h.cluster_blobs[0] = std::string(30, 'a');
   h.cluster_blobs[1] = std::string(50, 'b');
@@ -111,8 +122,31 @@ TEST(CheckpointCache, ByteAccountingTracksResidentBlobSizes) {
   cache.acquire(cluster(0));
   cache.acquire(cluster(1));
   cache.acquire(general());
-  EXPECT_EQ(cache.stats().bytes_in_use, 30u + 50u + 100u);
+  // Three different blob sizes, one engine architecture: the budget charges
+  // what is resident, so all three entries cost the same.
+  EXPECT_EQ(cache.stats().bytes_in_use, 3 * Harness::engine_bytes());
   EXPECT_EQ(cache.size(), 3u);
+}
+
+// Regression: the cache used to charge the on-disk blob size. A delta
+// checkpoint is ~40x smaller than the model it reconstructs, so blob-size
+// accounting would quietly hold ~40x the configured budget in memory.
+TEST(CheckpointCache, TinyBlobsAreChargedAtResidentSize) {
+  Harness h;
+  h.cluster_blobs[0] = std::string(10, 'a');  // Delta-sized blob.
+  h.cluster_blobs[1] = std::string(10, 'b');
+  h.cluster_blobs[2] = std::string(10, 'c');
+  CheckpointCache cache = h.make(2 * Harness::engine_bytes());
+  const auto e = cache.acquire(cluster(0));
+  EXPECT_GT(e->bytes, 10u) << "charged the blob size, not the engine size";
+  EXPECT_EQ(e->bytes, Harness::engine_bytes());
+  cache.acquire(cluster(1));
+  cache.acquire(cluster(2));
+  // Under blob-size accounting 30 bytes would all fit; under resident
+  // accounting only two engines do.
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_LE(cache.stats().bytes_in_use, 2 * Harness::engine_bytes());
 }
 
 TEST(CheckpointCache, SingleOverBudgetEntryStillServes) {
@@ -122,13 +156,13 @@ TEST(CheckpointCache, SingleOverBudgetEntryStillServes) {
   CheckpointCache cache = h.make(1);
   const auto a = cache.acquire(cluster(0));
   ASSERT_TRUE(a->engine);
-  EXPECT_EQ(cache.stats().bytes_in_use, 500u);
+  EXPECT_EQ(cache.stats().bytes_in_use, Harness::engine_bytes());
   // The next insert evicts the previous over-budget tenant, never itself.
   const auto b = cache.acquire(cluster(1));
   ASSERT_TRUE(b->engine);
   EXPECT_EQ(cache.stats().evictions, 1u);
   EXPECT_EQ(cache.size(), 1u);
-  EXPECT_EQ(cache.stats().bytes_in_use, 500u);
+  EXPECT_EQ(cache.stats().bytes_in_use, Harness::engine_bytes());
   // The in-flight shared_ptr keeps the evicted engine alive for its batch.
   EXPECT_TRUE(a->engine);
   EXPECT_EQ(a->key, cluster(0));
@@ -141,8 +175,8 @@ TEST(CheckpointCache, CorruptClusterBlobFallsBackToGeneral) {
   const auto e = cache.acquire(cluster(0));
   ASSERT_TRUE(e->engine);
   EXPECT_TRUE(e->fallback);
-  // Accounting uses the blob actually resident — the general one.
-  EXPECT_EQ(e->bytes, h.general_blob.size());
+  // Accounting still charges the materialized engine.
+  EXPECT_EQ(e->bytes, Harness::engine_bytes());
   EXPECT_EQ(cache.stats().fallbacks, 1u);
 }
 

@@ -23,6 +23,7 @@
 #include "common/fault.hpp"
 #include "common/parallel.hpp"
 #include "tensor/serialize.hpp"
+#include "serve/delta.hpp"
 #include "serve/journal.hpp"
 #include "serve/server.hpp"
 #include "wemac/dataset.hpp"
@@ -221,6 +222,72 @@ TEST_F(RecoveryTest, PostRecoveryServingMatchesUninterruptedGoldenRun) {
     expect_identical(golden_tail, tail);
     fs::remove_all(d);
   }
+}
+
+// Delta storage (the default) must be invisible end-to-end: the persisted
+// personal checkpoints are CLRART01 delta artifacts, and a crash + recovery
+// over them serves bit-identically to a full-checkpoint golden run.
+TEST_F(RecoveryTest, DeltaStorageRecoversBitIdenticallyToFullStorage) {
+  auto& f = fixture();
+  ServeConfig full_sc = journaled_config("");
+  full_sc.delta_checkpoints = false;
+  Server golden(f.source, full_sc);
+  golden.run(phase1());
+  const std::vector<ServeResult> golden_tail = golden.run(phase2());
+
+  const ServeCounters crashed = crash_after_phase1(journaled_config(dir));
+  EXPECT_EQ(crashed.delta_encoded, crashed.finetunes);
+  EXPECT_EQ(crashed.delta_full_fallbacks, 0u);
+  EXPECT_GT(crashed.delta_bytes_saved, 0u);
+  for (const std::uint64_t user : {1ull, 2ull}) {
+    const std::string stored = read_user_checkpoint(dir, user);
+    ASSERT_FALSE(stored.empty()) << "user " << user;
+    EXPECT_TRUE(delta::is_delta(stored)) << "user " << user;
+  }
+
+  Server restored(f.source, journaled_config(dir));
+  const RecoveryReport report = restored.recover();
+  EXPECT_TRUE(report.clean()) << report.str();
+  EXPECT_EQ(report.personalized, 2u);
+  EXPECT_GE(restored.counters().delta_loads, 2u);
+  expect_identical(golden_tail, restored.run(phase2()));
+}
+
+// The docs/OPERATIONS.md migration runbook: a directory written with full
+// checkpoints recovers under delta config unchanged, and
+// rewrite_user_checkpoints() converts it in place — after which recovery
+// still serves bit-identically.
+TEST_F(RecoveryTest, RewriteMigratesFullCheckpointsToDeltas) {
+  auto& f = fixture();
+  ServeConfig golden_sc = journaled_config("");
+  golden_sc.delta_checkpoints = false;
+  Server golden(f.source, golden_sc);
+  golden.run(phase1());
+  const std::vector<ServeResult> golden_tail = golden.run(phase2());
+
+  ServeConfig legacy_sc = journaled_config(dir);
+  legacy_sc.delta_checkpoints = false;
+  crash_after_phase1(legacy_sc);
+  EXPECT_FALSE(delta::is_delta(read_user_checkpoint(dir, 1)));
+
+  {
+    // Recover with delta storage on: the legacy full files load unchanged.
+    Server restored(f.source, journaled_config(dir));
+    EXPECT_TRUE(restored.recover().clean());
+    EXPECT_EQ(restored.counters().delta_loads, 0u);
+    EXPECT_EQ(restored.rewrite_user_checkpoints(), 2u);
+    EXPECT_TRUE(delta::is_delta(read_user_checkpoint(dir, 1)));
+    EXPECT_TRUE(delta::is_delta(read_user_checkpoint(dir, 2)));
+    // Idempotent: the second pass finds everything already converted.
+    EXPECT_EQ(restored.rewrite_user_checkpoints(), 0u);
+  }
+
+  Server again(f.source, journaled_config(dir));
+  const RecoveryReport report = again.recover();
+  EXPECT_TRUE(report.clean()) << report.str();
+  EXPECT_EQ(report.personalized, 2u);
+  EXPECT_GE(again.counters().delta_loads, 2u);
+  expect_identical(golden_tail, again.run(phase2()));
 }
 
 TEST_F(RecoveryTest, RecoversFromSnapshotPlusJournalTail) {

@@ -22,6 +22,14 @@ carries the machine's absolute speed, so it alone uses --tolerance; pass a
 generous value (the ctest wiring uses 0.6) to keep the gate meaningful
 across hosts while still catching a wedged event loop.
 
+clear-bench-artifacts-v1 (bench_artifacts --json). Compares the `gains`
+object (density gain of delta checkpoints over full checkpoints per serving
+tier — a deterministic function of the workload, gated at --tolerance) and
+`cold_load.p99_headroom` (full p99 / delta p99 — a timing ratio, gated at
+max(--tolerance, 0.6) since it carries machine noise). The benchmark binary
+additionally self-gates the absolute targets (int8 gain >= 5x, delta
+cold-load p99 <= 1.2x).
+
 Usage:
   bench_regress.py --bench PATH/bench_kernels --baseline BENCH_kernels.json
   bench_regress.py --current run.json --baseline BENCH_loadgen.json
@@ -39,7 +47,8 @@ import subprocess
 import sys
 import tempfile
 
-SCHEMAS = ("clear-bench-kernels-v1", "clear-bench-loadgen-v1")
+SCHEMAS = ("clear-bench-kernels-v1", "clear-bench-loadgen-v1",
+           "clear-bench-artifacts-v1")
 
 
 def load(path):
@@ -126,6 +135,44 @@ def compare_loadgen(current, baseline, tolerance):
     return failures, checked, []
 
 
+def compare_artifacts(current, baseline, tolerance):
+    """Returns (failures, checked, skipped)."""
+    failures, checked = [], 0
+
+    # Density gains are only comparable between identical workloads.
+    cur_cfg, base_cfg = current.get("config", {}), baseline.get("config", {})
+    if cur_cfg != base_cfg:
+        failures.append(
+            f"artifacts config mismatch: current {cur_cfg} vs baseline "
+            f"{base_cfg} — density gains are not comparable")
+        return failures, checked, []
+
+    # Gain per tier is deterministic (the codec has no randomness): gate at
+    # --tolerance. The cold-load headroom is a timing ratio: gate loosely.
+    gates = [(f"gains.{tier}", tolerance)
+             for tier in sorted(baseline.get("gains", {}))]
+    gates.append(("cold_load.p99_headroom", max(tolerance, 0.6)))
+    for name, tol in gates:
+        obj, key = name.split(".", 1)
+        base = baseline.get(obj, {}).get(key)
+        if base is None:
+            continue
+        cur = current.get(obj, {}).get(key)
+        if cur is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        checked += 1
+        floor = base * (1.0 - tol)
+        verdict = "ok" if cur >= floor else "REGRESSION"
+        print(f"{name:24s} baseline {base:7.3f}  current {cur:7.3f}  "
+              f"floor {floor:7.3f}  {verdict}")
+        if cur < floor:
+            failures.append(
+                f"{name}: {cur:.3f} < floor {floor:.3f} "
+                f"(baseline {base:.3f})")
+    return failures, checked, []
+
+
 def main():
     ap = argparse.ArgumentParser(allow_abbrev=False)
     ap.add_argument("--bench", help="benchmark binary to run with --json")
@@ -162,6 +209,9 @@ def main():
 
     if schema == "clear-bench-kernels-v1":
         failures, checked, skipped = compare_kernels(
+            current, baseline, args.tolerance)
+    elif schema == "clear-bench-artifacts-v1":
+        failures, checked, skipped = compare_artifacts(
             current, baseline, args.tolerance)
     else:
         failures, checked, skipped = compare_loadgen(

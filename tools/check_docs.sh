@@ -4,7 +4,7 @@
 #
 #   tools/check_docs.sh CLEAR_CLI_BINARY [repo-root]
 #
-# Three checks over README.md, DESIGN.md, EXPERIMENTS.md, and docs/*.md:
+# Four checks over README.md, DESIGN.md, EXPERIMENTS.md, and docs/*.md:
 #
 #   1. Every `clear-cli <subcommand> --flags...` invocation documented in
 #      the markdown is probed against the real binary: the subcommand must
@@ -17,6 +17,12 @@
 #      flags without repeating the full command line).
 #   3. Every intra-repo markdown link [text](path) must resolve to an
 #      existing file, relative to the file that contains it.
+#   4. docs/FORMATS.md (the normative on-disk format reference) may not
+#      drift from the source of truth: every magic string (CLRART01,
+#      CLEARCK2, ...) and every `kCamelCase` constant (journal record
+#      kinds, delta encodings) it names must appear verbatim under src/,
+#      and — the reverse direction — every RecordType enumerator in
+#      src/serve/journal.hpp must be documented in FORMATS.md.
 #
 # No option parsing beyond $1/$2; runs from any directory.
 set -u
@@ -114,8 +120,55 @@ for doc in $DOCS; do
 done
 [ "$checked_links" -gt 0 ] || fail "no intra-repo markdown links found"
 
+# --- 4. FORMATS.md vs the formats' source of truth ---------------------------
+FORMATS="$ROOT/docs/FORMATS.md"
+checked_fmt=0
+if [ ! -f "$FORMATS" ]; then
+  fail "docs/FORMATS.md is missing (the on-disk format reference is load-bearing)"
+else
+  src_has() {
+    grep -rqw --include='*.hpp' --include='*.cpp' -- "$1" "$ROOT/src"
+  }
+  # Magic strings: CLRART01 / CLRWAL02 / CLEARCK2 / CTSR / ... A magic
+  # documented here but absent from src/ means a format was renamed or
+  # retired without updating the normative reference.
+  grep -oE '\b(CLEAR|CLR)[A-Z0-9]+\b|\bCTSR\b' "$FORMATS" | sort -u \
+    > "$TMP/fmt_magics"
+  [ -s "$TMP/fmt_magics" ] ||
+    fail "docs/FORMATS.md names no magic strings (parser broken?)"
+  while IFS= read -r magic; do
+    checked_fmt=$((checked_fmt + 1))
+    src_has "$magic" ||
+      fail "docs/FORMATS.md names magic '$magic' but it appears nowhere" \
+           "under src/"
+  done < "$TMP/fmt_magics"
+  # kCamelCase constants (record-kind names, delta encodings, sentinels).
+  grep -oE '\bk[A-Z][A-Za-z0-9]*\b' "$FORMATS" | sort -u > "$TMP/fmt_kinds"
+  [ -s "$TMP/fmt_kinds" ] ||
+    fail "docs/FORMATS.md names no k-constants (parser broken?)"
+  while IFS= read -r kind; do
+    checked_fmt=$((checked_fmt + 1))
+    src_has "$kind" ||
+      fail "docs/FORMATS.md names constant '$kind' but it appears nowhere" \
+           "under src/"
+  done < "$TMP/fmt_kinds"
+  # Reverse direction: a new journal record kind must be documented before
+  # it ships — the enum is the writer's source of truth.
+  sed -n '/^enum class RecordType/,/^};/p' "$ROOT/src/serve/journal.hpp" |
+    grep -oE '^ *k[A-Za-z0-9]+' | tr -d ' ' > "$TMP/enum_kinds"
+  [ -s "$TMP/enum_kinds" ] ||
+    fail "could not parse RecordType enumerators from src/serve/journal.hpp"
+  while IFS= read -r kind; do
+    checked_fmt=$((checked_fmt + 1))
+    grep -qw -- "$kind" "$FORMATS" ||
+      fail "src/serve/journal.hpp declares record kind '$kind' but" \
+           "docs/FORMATS.md does not document it"
+  done < "$TMP/enum_kinds"
+fi
+
 if [ "$failures" -gt 0 ]; then
   echo "check_docs: $failures failure(s)"
   exit 1
 fi
-echo "check_docs: OK ($checked_cmds flag probes, $checked_links links)"
+echo "check_docs: OK ($checked_cmds flag probes, $checked_links links," \
+     "$checked_fmt format tokens)"

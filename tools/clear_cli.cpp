@@ -228,6 +228,12 @@ const char* command_help(const std::string& command) {
        "  --journal-fsync       fsync every journal append (machine-crash\n"
        "                        durability; process-crash durability needs\n"
        "                        no fsync)\n"
+       "  --full-checkpoints    persist personal checkpoints as full blobs\n"
+       "                        instead of deltas against the cluster base\n"
+       "                        (either format always loads)\n"
+       "  --rewrite-checkpoints after --recover, re-encode every persisted\n"
+       "                        personal checkpoint in the current storage\n"
+       "                        format, then continue serving\n"
        "  In --listen mode SIGINT/SIGTERM drain gracefully: stop accepting,\n"
        "  flush pending batches, write a final snapshot, exit 0.\n"
        "  exit codes: 0 graceful shutdown, 1 runtime error, 2 usage error\n"},
@@ -622,6 +628,12 @@ void print_serve_summary(const serve::Server& server) {
         "shadow_ticks=%zu promotions=%zu demotions=%zu\n",
         c.drift_ticks, c.drift_detected, c.reassessments,
         c.drift_false_alarms, c.shadow_ticks, c.promotions, c.demotions);
+  // Gated on activity like drift: journal-less runs print nothing new.
+  if (c.delta_encoded + c.delta_full_fallbacks + c.delta_loads > 0)
+    std::printf(
+        "delta: encoded=%zu full_fallbacks=%zu loads=%zu bytes_saved=%zu\n",
+        c.delta_encoded, c.delta_full_fallbacks, c.delta_loads,
+        c.delta_bytes_saved);
   const serve::CacheStats& cs = server.cache().stats();
   std::printf(
       "cache: hits=%zu misses=%zu evictions=%zu fallbacks=%zu resident=%zu "
@@ -715,6 +727,12 @@ int cmd_serve(const CliArgs& args) {
     std::fprintf(stderr, "--recover requires --journal-dir=DIR\n");
     return 2;
   }
+  sc.delta_checkpoints = !args.get_bool("full-checkpoints", false);
+  const bool rewrite_ckpts = args.get_bool("rewrite-checkpoints", false);
+  if (rewrite_ckpts && !recover) {
+    std::fprintf(stderr, "--rewrite-checkpoints requires --recover\n");
+    return 2;
+  }
 
   bool wants_int8 = false;
   for (const edge::Precision p : sc.precisions)
@@ -745,6 +763,9 @@ int cmd_serve(const CliArgs& args) {
       if (recover) {
         const serve::RecoveryReport rr = server.recover();
         std::printf("%s", rr.str().c_str());
+        if (rewrite_ckpts)
+          std::printf("rewrote %zu personal checkpoints\n",
+                      server.rewrite_user_checkpoints());
       } else {
         server.open_journal();
         std::printf("journaling to %s (snapshot every %zu records)\n",
@@ -812,6 +833,9 @@ int cmd_serve(const CliArgs& args) {
     if (recover) {
       const serve::RecoveryReport rr = server.recover();
       std::printf("%s", rr.str().c_str());
+      if (rewrite_ckpts)
+        std::printf("rewrote %zu personal checkpoints\n",
+                    server.rewrite_user_checkpoints());
     } else {
       server.open_journal();
     }

@@ -8,9 +8,11 @@
 #   tools/run_sanitizer_tests.sh [thread|undefined|address|obsoff|all] \
 #       [build-dir-prefix]
 #
-# `address` replays the wire-protocol fuzz/property suites (tests/net) plus
-# the fault suites under ASan+UBSAN — the frame decoder chews adversarial
-# byte streams, exactly where an out-of-bounds read would hide. `obsoff`
+# `address` replays the wire-protocol fuzz/property suites (tests/net) and
+# the artifact-container / delta-codec fuzz suites (tests/artifact) plus
+# the fault suites under ASan+UBSAN — the frame decoder and the artifact
+# codecs chew adversarial byte streams, exactly where an out-of-bounds
+# read would hide. `obsoff`
 # builds clear-cli with -DCLEAR_OBS=OFF and runs the serve smoke's golden
 # comparison against it (instrumentation compiled out must not change a
 # byte of output).
@@ -44,7 +46,7 @@ run_ubsan() {
   local dir="${PREFIX}-ubsan"
   cmake -B "$dir" -S . -DCLEAR_SANITIZE=undefined -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$dir" -j --target test_fault test_common test_nn test_features \
-    test_kernel_equivalence test_net test_serve
+    test_kernel_equivalence test_net test_serve test_delta
   export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
   echo "== test_fault (UBSAN) =="
   "$dir/tests/test_fault"
@@ -54,6 +56,8 @@ run_ubsan() {
   "$dir/tests/test_kernel_equivalence"
   echo "== test_net (UBSAN, wire-codec fuzz/property suites) =="
   "$dir/tests/test_net" --gtest_filter='Protocol*'
+  echo "== test_delta (UBSAN, artifact container + delta codec fuzz) =="
+  "$dir/tests/test_delta"
   echo "== test_common (UBSAN) =="
   "$dir/tests/test_common"
   echo "== test_nn (UBSAN, checkpoint corruption paths) =="
@@ -65,7 +69,7 @@ run_ubsan() {
 run_asan() {
   local dir="${PREFIX}-asan"
   cmake -B "$dir" -S . -DCLEAR_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build "$dir" -j --target test_net test_fault test_serve
+  cmake --build "$dir" -j --target test_net test_fault test_serve test_delta
   export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}"
   export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
   echo "== test_net (ASAN, full wire suite: fuzzed decode, loopback, faults) =="
@@ -74,6 +78,9 @@ run_asan() {
   "$dir/tests/test_fault"
   echo "== test_serve (ASAN, torn/corrupt journal tails + recovery) =="
   "$dir/tests/test_serve" --gtest_filter='JournalTest*:RecoveryTest*'
+  echo "== test_delta (ASAN, fuzzed containers + corrupt delta payloads) =="
+  "$dir/tests/test_delta" \
+    --gtest_filter='ArtifactStore.Fuzz*:ArtifactStore.Rejects*:DeltaCodec.Rejects*:DeltaCodec.RoundTrips*'
 }
 
 run_obsoff() {
